@@ -1,0 +1,127 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  Each prints its paper-style rows (run with ``-s`` to see
+them live) and also writes them to ``benchmarks/reports/<name>.txt`` so
+the full set of regenerated results survives a quiet run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    Dataset,
+    build_iot_model,
+    build_lenet_300_100,
+    build_security_model,
+    quantize_mlp,
+    synthetic_flows,
+    synthetic_iot_traces,
+    synthetic_mnist,
+    train_mlp,
+)
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write one benchmark's rendered report to disk and stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def comparison():
+    """The Figure 21/22 simulation campaign, shared by both benches."""
+    from repro.dnn import SIMULATION_MODELS
+    from repro.sim import BENCHMARK_PLATFORMS, lightning_chip, run_comparison
+
+    return run_comparison(
+        SIMULATION_MODELS(),
+        BENCHMARK_PLATFORMS(),
+        lightning_chip(),
+        utilization=0.98,
+        num_requests=2000,
+        num_traces=10,
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="session")
+def mnist_data() -> tuple[Dataset, Dataset]:
+    """The synthetic-MNIST split used by LeNet experiments.
+
+    Noise is set so the trained model lands in the mid-90s top-1 — the
+    regime in which the paper's Figure 16 comparison is informative.
+    """
+    return synthetic_mnist(num_samples=2600, noise_std=95.0, seed=0).split()
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(mnist_data):
+    train, _ = mnist_data
+    result = train_mlp(
+        [784, 300, 100, 10], train, epochs=20, use_bias=False, name="lenet"
+    )
+    assert result.model.parameter_count == 266_200
+    return result.model
+
+
+@pytest.fixture(scope="session")
+def lenet_dag(trained_lenet, mnist_data):
+    train, _ = mnist_data
+    return quantize_mlp(trained_lenet, train.x[:256], model_id=3,
+                        name="lenet-300-100")
+
+
+@pytest.fixture(scope="session")
+def flows_data():
+    return synthetic_flows(2400, seed=1).split()
+
+
+@pytest.fixture(scope="session")
+def trained_security(flows_data):
+    train, _ = flows_data
+    result = train_mlp(
+        [16, 48, 16, 2], train, epochs=15, use_bias=False, name="security"
+    )
+    assert result.model.parameter_count == 1_568
+    return result.model
+
+
+@pytest.fixture(scope="session")
+def security_dag(trained_security, flows_data):
+    train, _ = flows_data
+    return quantize_mlp(trained_security, train.x[:256], model_id=1,
+                        name="security")
+
+
+@pytest.fixture(scope="session")
+def iot_data():
+    return synthetic_iot_traces(2400, seed=2).split()
+
+
+@pytest.fixture(scope="session")
+def trained_iot(iot_data):
+    train, _ = iot_data
+    result = train_mlp(
+        [16, 32, 32, 5], train, epochs=15, use_bias=False, name="iot"
+    )
+    assert result.model.parameter_count == 1_696
+    return result.model
+
+
+@pytest.fixture(scope="session")
+def iot_dag(trained_iot, iot_data):
+    train, _ = iot_data
+    return quantize_mlp(trained_iot, train.x[:256], model_id=2, name="iot")

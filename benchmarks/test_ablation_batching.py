@@ -1,0 +1,129 @@
+"""Ablation: photonic broadcast batching (Appendix E's batch dimension).
+
+The proposed chip encodes the weight matrix once and photonically
+broadcasts it to B input lanes, so serving a batch costs one pipeline's
+latency instead of B.  This ablation sweeps the hardware batch width on
+the datapath and measures throughput and device cost side by side —
+showing the latency/device trade the paper's Table 5 formalizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import LightningDatapath
+from repro.dnn import quantize_mlp, synthetic_flows, train_mlp
+from repro.photonics import (
+    BehavioralCore,
+    CoreArchitecture,
+    NoiselessModel,
+)
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    train, test = synthetic_flows(1200, seed=50).split()
+    model = train_mlp(
+        [16, 48, 16, 2], train, epochs=10, use_bias=False
+    ).model
+    dag = quantize_mlp(model, train.x[:128], model_id=1)
+    return dag, np.round(test.x[:BATCH])
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    dag, batch = workload
+    rows = []
+    for hardware_batch in (1, 2, 4, 8, 16):
+        arch = CoreArchitecture(
+            accumulation_wavelengths=2, batch_size=hardware_batch
+        )
+        dp = LightningDatapath(
+            core=BehavioralCore(
+                architecture=arch, noise=NoiselessModel()
+            )
+        )
+        dp.register_model(dag)
+        result = dp.execute_batch(1, batch)
+        devices = arch.total_modulators + arch.photodetectors
+        rows.append(
+            {
+                "hardware_batch": hardware_batch,
+                "passes": result.passes,
+                "latency_us": result.total_seconds * 1e6,
+                "throughput": result.throughput_per_second,
+                "devices": devices,
+            }
+        )
+    return rows
+
+
+def test_ablation_batching(sweep, report_writer):
+    table = [
+        [
+            row["hardware_batch"], row["passes"], row["latency_us"],
+            row["throughput"] / 1e6, row["devices"],
+        ]
+        for row in sweep
+    ]
+    report_writer(
+        "ablation_batching",
+        format_table(
+            [
+                "HW batch B", "Passes", "Batch latency (us)",
+                "Throughput (M inf/s)", "Devices",
+            ],
+            table,
+            title=(
+                f"Ablation — photonic broadcast batching "
+                f"({BATCH}-query batch, 2 wavelengths)"
+            ),
+        ),
+    )
+    throughputs = [row["throughput"] for row in sweep]
+    latencies = [row["latency_us"] for row in sweep]
+    devices = [row["devices"] for row in sweep]
+    # Throughput scales ~linearly with the hardware batch width...
+    assert throughputs == sorted(throughputs)
+    assert throughputs[-1] > 10 * throughputs[0]
+    assert latencies[-1] < latencies[0] / 10
+    # ...while devices grow sublinearly (weights encoded once: only the
+    # input modulators and photodetectors replicate, Table 5).
+    assert devices[-1] < devices[0] * BATCH
+    assert sweep[-1]["passes"] == 1
+
+
+def test_ablation_batching_outputs_unchanged(workload):
+    """Batching is a throughput feature, not an arithmetic change."""
+    dag, batch = workload
+    wide = LightningDatapath(
+        core=BehavioralCore(
+            architecture=CoreArchitecture(2, 1, 8),
+            noise=NoiselessModel(),
+        )
+    )
+    narrow = LightningDatapath(
+        core=BehavioralCore(noise=NoiselessModel())
+    )
+    wide.register_model(dag)
+    narrow.register_model(dag)
+    assert np.allclose(
+        wide.execute_batch(1, batch).output_levels,
+        narrow.execute_batch(1, batch).output_levels,
+    )
+
+
+def test_ablation_batching_benchmark(benchmark, workload):
+    dag, batch = workload
+    dp = LightningDatapath(
+        core=BehavioralCore(
+            architecture=CoreArchitecture(2, 1, 16),
+            noise=NoiselessModel(),
+        )
+    )
+    dp.register_model(dag)
+    benchmark(lambda: dp.execute_batch(1, batch))

@@ -1,0 +1,104 @@
+"""Ablation: where the analog noise lands — per result vs per readout.
+
+The §7 emulator applies one calibrated Gaussian draw per MAC *result*
+on its 8-bit scale; the physical datapath accumulates one draw per
+analog *readout*, i.e. sqrt(k/N) growth with inner dimension k.  This
+ablation quantifies how much the interpretation matters for end-to-end
+accuracy — context for reading Figure 19's small gaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.dnn import QuantizedMLP
+from repro.emulation import PhotonicEngine
+from repro.photonics import ASIC_ARCHITECTURE, BehavioralCore
+
+
+@pytest.fixture(scope="module")
+def accuracies(lenet_dag, mnist_data):
+    _, test = mnist_data
+    x = np.round(test.x[:400])
+    y = test.y[:400]
+    q = QuantizedMLP(lenet_dag)
+    int8 = float((q.predict(x) == y).mean())
+    # Physical per-readout noise on the 2-wavelength prototype core.
+    proto = float(
+        (q.predict(x, BehavioralCore(seed=30)) == y).mean()
+    )
+    # Physical per-readout noise on the 24-wavelength ASIC core: fewer
+    # readouts per dot product, less accumulated noise.
+    asic = float(
+        (
+            q.predict(
+                x, BehavioralCore(architecture=ASIC_ARCHITECTURE, seed=30)
+            )
+            == y
+        ).mean()
+    )
+    return {"int8": int8, "proto_readout": proto, "asic_readout": asic}
+
+
+def test_ablation_noise_placement_accuracy(accuracies, report_writer):
+    rows = [
+        ["int8 digital (no analog noise)", accuracies["int8"] * 100],
+        ["per-readout, N=2 prototype", accuracies["proto_readout"] * 100],
+        ["per-readout, N=24 ASIC", accuracies["asic_readout"] * 100],
+    ]
+    report_writer(
+        "ablation_noise_placement",
+        format_table(
+            ["Noise placement", "LeNet top-1 (%)"],
+            rows,
+            title="Ablation — noise placement vs accuracy (400 queries)",
+        ),
+    )
+    # More wavelength parallelism means fewer readouts and less noise.
+    assert accuracies["asic_readout"] >= accuracies["proto_readout"] - 0.02
+    assert accuracies["int8"] >= accuracies["asic_readout"] - 0.02
+    # Even the harshest placement keeps the model usable.
+    assert accuracies["proto_readout"] > 0.75
+
+
+def test_ablation_noise_placement_std(report_writer):
+    """Direct noise-magnitude comparison on one matmul."""
+    rng = np.random.default_rng(31)
+    k = 784
+    a = rng.integers(0, 256, (800, k)).astype(float)
+    b = rng.integers(-255, 256, (k, 1)).astype(float)
+    exact = a @ b / 255.0 * 1.0  # level scale reference
+    rows = []
+    results = {}
+    for label, engine in (
+        ("per_result", PhotonicEngine(core=BehavioralCore(seed=32),
+                                      noise_mode="per_result")),
+        ("per_readout N=2", PhotonicEngine(core=BehavioralCore(seed=32),
+                                           noise_mode="per_readout")),
+        ("per_readout N=24", PhotonicEngine(
+            core=BehavioralCore(architecture=ASIC_ARCHITECTURE, seed=32),
+            noise_mode="per_readout")),
+    ):
+        noisy = engine.matmul(a / 255.0, b / 255.0)
+        err_std = float((noisy - (a / 255.0) @ (b / 255.0)).std())
+        results[label] = err_std
+        rows.append([label, err_std])
+    report_writer(
+        "ablation_noise_placement_std",
+        format_table(
+            ["Placement", "Error std (real units)"],
+            rows,
+            title=f"Ablation — matmul noise std, inner dim k={k}",
+        ),
+    )
+    assert results["per_readout N=24"] < results["per_readout N=2"]
+
+
+def test_ablation_noise_benchmark(benchmark, lenet_dag, mnist_data):
+    _, test = mnist_data
+    x = np.round(test.x[:100])
+    q = QuantizedMLP(lenet_dag)
+    core = BehavioralCore(architecture=ASIC_ARCHITECTURE, seed=33)
+    benchmark(lambda: q.predict(x, core))

@@ -1,0 +1,152 @@
+"""Ablation: preamble repeat count P vs detection reliability under SNR.
+
+§5.2 states P is a model-agnostic knob that depends only on the setup's
+SNR.  This ablation injects increasing analog noise into framed readouts
+and measures the detection success rate for several P values — showing
+why the testbed chose P=10 and how a noisier setup would retune the
+registers rather than redesign the module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import PreambleDetector, add_preamble
+
+PATTERN = "HHHHHHHHLLLLLLLL"
+TRIALS = 60
+
+
+def detection_rate(repeats: int, noise_std: float, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    successes = 0
+    for trial in range(TRIALS):
+        data = rng.integers(0, 256, 48).astype(float)
+        stream = add_preamble(data, PATTERN, repeats).astype(float)
+        stream = stream + rng.normal(0, noise_std, len(stream))
+        offset = int(rng.integers(0, 16))
+        padded_len = ((offset + len(stream) + 15) // 16) * 16
+        padded = np.abs(rng.normal(0, noise_std, padded_len))
+        padded[offset : offset + len(stream)] = stream
+        windows = padded.reshape(-1, 16)
+        detector = PreambleDetector(PATTERN, repeats)
+        try:
+            result = detector.detect(windows)
+        except RuntimeError:
+            continue
+        if result.offset == offset:
+            successes += 1
+    return successes / TRIALS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for repeats in (2, 4, 10):
+        for noise in (5.0, 40.0, 80.0):
+            out[(repeats, noise)] = detection_rate(repeats, noise)
+    return out
+
+
+def test_ablation_preamble_repeats_vs_snr(sweep, report_writer):
+    rows = [
+        [f"P={repeats}", sweep[(repeats, 5.0)], sweep[(repeats, 40.0)],
+         sweep[(repeats, 80.0)]]
+        for repeats in (2, 4, 10)
+    ]
+    report_writer(
+        "ablation_preamble",
+        format_table(
+            ["Repeats", "sigma=5 (clean)", "sigma=40", "sigma=80 (harsh)"],
+            rows,
+            title=(
+                "Ablation — preamble detection success rate vs repeat "
+                f"count and noise ({TRIALS} trials each)"
+            ),
+        ),
+    )
+    # At clean SNR, every P detects perfectly — extra repeats are pure
+    # cycle overhead.
+    for repeats in (2, 4, 10):
+        assert sweep[(repeats, 5.0)] == 1.0
+    # Under exact-equality counting (Listing 2's semantics), a single
+    # corrupted window strands the counter below its target, so *longer*
+    # preambles are MORE fragile to misses at harsh SNR: P exists to
+    # reject false positives (below), and must be sized to the SNR so
+    # that all P windows survive — exactly why the paper calls P an
+    # SNR-dependent knob.
+    assert sweep[(2, 80.0)] >= sweep[(10, 80.0)]
+    # The testbed's P=10 stays reliable well past the nominal SNR.
+    assert sweep[(10, 40.0)] > 0.9
+
+
+def false_positive_rate(repeats: int, seed: int = 0) -> float:
+    """Streams with NO preamble, but with a short pattern-like burst
+    embedded in random data — the coincidence a small P falls for."""
+    rng = np.random.default_rng(seed)
+    fakes = 0
+    for _trial in range(TRIALS):
+        data = rng.integers(0, 256, 256).astype(float)
+        burst = np.tile(
+            np.array([255] * 8 + [0] * 8, dtype=float), 3
+        )  # 3 pattern-like windows
+        start = 16 * int(rng.integers(2, 8))
+        data[start : start + len(burst)] = burst
+        windows = data.reshape(-1, 16)
+        detector = PreambleDetector(PATTERN, repeats)
+        for window in windows:
+            if detector.consume(window) is not None:
+                fakes += 1
+                break
+    return fakes / TRIALS
+
+
+def test_ablation_preamble_false_positives(report_writer):
+    rows = [
+        [f"P={repeats}", false_positive_rate(repeats)]
+        for repeats in (2, 4, 10)
+    ]
+    report_writer(
+        "ablation_preamble_false_positive",
+        format_table(
+            ["Repeats", "False-lock rate"],
+            rows,
+            title=(
+                "Ablation — false preamble locks on pattern-like data "
+                "bursts (3 coincidental windows embedded per stream)"
+            ),
+        ),
+    )
+    rates = {int(r[0][2:]): r[1] for r in rows}
+    # A 2-repeat preamble locks onto the 3-window coincidence every
+    # time; the testbed's 10 repeats reject it entirely.
+    assert rates[2] > 0.9
+    assert rates[10] == 0.0
+    assert rates[4] <= rates[2]
+
+
+def test_ablation_preamble_overhead(report_writer):
+    """The flip side: repeats cost datapath cycles per vector."""
+    rows = []
+    for repeats in (2, 4, 10, 20):
+        overhead_cycles = repeats  # one window per repeat
+        data_cycles = 392 // 16  # one LeNet layer-1 row
+        rows.append(
+            [f"P={repeats}", overhead_cycles,
+             overhead_cycles / (overhead_cycles + data_cycles) * 100]
+        )
+    report_writer(
+        "ablation_preamble_overhead",
+        format_table(
+            ["Repeats", "Preamble cycles/vector", "Overhead (%)"],
+            rows,
+            title="Ablation — preamble cycle overhead per LeNet row",
+        ),
+    )
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_ablation_detection_rate_benchmark(benchmark):
+    benchmark(lambda: detection_rate(10, 40.0, seed=1))

@@ -1,0 +1,103 @@
+"""Ablation: beyond-8-bit precision via multi-core composition (§10).
+
+The paper's extension: a 32-bit value as four 8-bit chunks over four
+photonic cores plus a fixed-point-to-float converter, with photonic
+area/power scaling by ~4x.  This ablation measures the accuracy bought
+per chunk and the photonic resources each precision costs, and checks
+the §6.1 memory-bandwidth arithmetic that feeding more parallel streams
+implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    HBM2_BANDWIDTH_GBPS,
+    required_memory_bandwidth_gbps,
+    wavelengths_fed_by_bandwidth,
+)
+from repro.photonics import HighPrecisionCore
+from repro.synthesis import LightningChip
+
+
+@pytest.fixture(scope="module")
+def errors():
+    rng = np.random.default_rng(42)
+    a = rng.normal(size=(16, 256))
+    b = rng.normal(size=(256, 8))
+    return {
+        chunks: HighPrecisionCore(num_chunks=chunks).quantization_error(a, b)
+        for chunks in (1, 2, 3, 4)
+    }
+
+
+def test_ablation_precision_accuracy(errors, report_writer):
+    chip = LightningChip()
+    base_photonic_area = chip.photonic_area_mm2
+    rows = []
+    for chunks, error in errors.items():
+        core = HighPrecisionCore(num_chunks=chunks)
+        rows.append(
+            [
+                f"{core.effective_bits}-bit",
+                chunks,
+                core.num_partial_products,
+                error,
+                base_photonic_area * core.num_partial_products / 1,
+            ]
+        )
+    report_writer(
+        "ablation_precision",
+        format_table(
+            [
+                "Precision", "Chunks", "Partial products",
+                "RMS rel. error", "Photonic area if replicated (mm^2)",
+            ],
+            rows,
+            precision=4,
+            title="Ablation — multi-core precision composition (§10)",
+        ),
+    )
+    # Each chunk buys orders of magnitude of accuracy...
+    assert errors[2] < errors[1] / 100
+    assert errors[4] < errors[2] / 100
+    # ...at quadratic partial-product cost (the paper expects ~4x
+    # photonic scaling for 32-bit by time-multiplexing chunk pairs over
+    # the 4 cores).
+    assert HighPrecisionCore(num_chunks=4).num_partial_products == 16
+
+
+def test_ablation_precision_memory_pressure(report_writer):
+    """More parallel streams need more memory bandwidth (§6.1)."""
+    rows = []
+    for wavelengths, rate in ((2, 4.055), (24, 97.0), (468, 4.055)):
+        needed = required_memory_bandwidth_gbps(wavelengths, rate)
+        rows.append(
+            [
+                f"{wavelengths} streams @ {rate} GHz",
+                needed,
+                needed / HBM2_BANDWIDTH_GBPS,
+            ]
+        )
+    report_writer(
+        "ablation_memory_bandwidth",
+        format_table(
+            ["Configuration", "Bandwidth (Gbps)", "HBM2 stacks"],
+            rows,
+            title="§6.1 — memory bandwidth to feed the weight streams",
+        ),
+    )
+    # The paper's two worked numbers.
+    assert wavelengths_fed_by_bandwidth(HBM2_BANDWIDTH_GBPS, 4.055) == 468
+    assert 19 <= wavelengths_fed_by_bandwidth(HBM2_BANDWIDTH_GBPS, 97.0) <= 20
+
+
+def test_ablation_precision_benchmark(benchmark):
+    rng = np.random.default_rng(43)
+    a = rng.normal(size=(16, 256))
+    b = rng.normal(size=(256, 8))
+    core = HighPrecisionCore(num_chunks=4)
+    benchmark(lambda: core.matmul(a, b))

@@ -1,0 +1,90 @@
+"""Ablation: Lightning's offline sign separation vs the prior approach
+of computing positive and negative contributions in separate passes.
+
+Appendix C: Nature'21 and Science'22 handle negative values by doubling
+hardware or running twice, halving effective frequency.  Lightning
+splits signs from magnitudes offline and reassembles them in the
+digital adder-subtractor, so its computing frequency is unaffected.
+This ablation measures both costs on the same workload and verifies the
+two strategies compute identical results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import sign_separate_row
+
+NUM_WAVELENGTHS = 2
+SAMPLES_PER_CYCLE = 16
+
+
+def lightning_cycles(weights: np.ndarray) -> int:
+    """Cycles to stream one signed dot product, sign-separated."""
+    row = sign_separate_row(weights, NUM_WAVELENGTHS)
+    steps = len(row.magnitudes) // NUM_WAVELENGTHS
+    return math.ceil(steps / SAMPLES_PER_CYCLE)
+
+
+def run_twice_cycles(weights: np.ndarray) -> int:
+    """Cycles for the prior approach: one full pass for the positive
+    terms, another for the negative terms (same hardware)."""
+    steps = math.ceil(len(weights) / NUM_WAVELENGTHS)
+    per_pass = math.ceil(steps / SAMPLES_PER_CYCLE)
+    return 2 * per_pass
+
+
+def lightning_value(weights: np.ndarray, x: np.ndarray) -> float:
+    row = sign_separate_row(weights, NUM_WAVELENGTHS)
+    gathered = np.where(row.order >= 0, x[np.clip(row.order, 0, None)], 0.0)
+    partials = (
+        gathered.reshape(-1, NUM_WAVELENGTHS)
+        * row.magnitudes.reshape(-1, NUM_WAVELENGTHS)
+    ).sum(axis=1)
+    return float(np.sum(row.group_signs * partials))
+
+
+def run_twice_value(weights: np.ndarray, x: np.ndarray) -> float:
+    positive = np.where(weights >= 0, weights, 0.0)
+    negative = np.where(weights < 0, -weights, 0.0)
+    return float(positive @ x - negative @ x)
+
+
+def test_ablation_sign_handling(report_writer):
+    rng = np.random.default_rng(23)
+    rows = []
+    for length in (64, 784, 4096):
+        weights = rng.integers(-255, 256, length).astype(float)
+        x = rng.integers(0, 256, length).astype(float)
+        lt = lightning_cycles(weights)
+        twice = run_twice_cycles(weights)
+        assert lightning_value(weights, x) == pytest.approx(
+            run_twice_value(weights, x)
+        )
+        rows.append([length, lt, twice, twice / lt])
+    report_writer(
+        "ablation_sign_handling",
+        format_table(
+            ["Vector length", "Lightning cycles",
+             "Run-twice cycles", "Slowdown (x)"],
+            rows,
+            title="Ablation — sign separation vs run-twice negatives "
+                  "(identical results, Appendix C's 2x claim)",
+        ),
+    )
+    # The prior approach costs ~2x cycles at every scale (sign-boundary
+    # padding makes Lightning's advantage slightly under 2x for short
+    # vectors).
+    for _, lt, twice, slowdown in rows:
+        assert 1.5 <= slowdown <= 2.0
+    assert rows[-1][3] == pytest.approx(2.0, abs=0.05)
+
+
+def test_ablation_sign_separation_benchmark(benchmark):
+    rng = np.random.default_rng(24)
+    weights = rng.integers(-255, 256, 784).astype(float)
+    benchmark(lambda: sign_separate_row(weights, NUM_WAVELENGTHS))

@@ -1,0 +1,112 @@
+"""Figure 4: end-to-end inference latency CDF, Lightning vs the
+stop-and-go state of the art (and the §3/Appendix-D datapath ablation).
+
+The paper streams 100 image inferences through both systems and plots
+the latency CDFs, showing a five-orders-of-magnitude gap.  Here the
+stop-and-go baseline is the instrumented AWG/digitizer pipeline model
+and Lightning is the smartNIC datapath model serving the same LeNet
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import cdf_percentile, empirical_cdf, format_table
+from repro.core import LightningDatapath
+from repro.dnn.model import LayerSpec, ModelSpec
+from repro.photonics import BehavioralCore
+from repro.sim import StopAndGoSystem
+
+NUM_IMAGES = 100
+
+
+def lenet_spec() -> ModelSpec:
+    return ModelSpec(
+        name="LeNet-300-100",
+        layers=(
+            LayerSpec("fc1", 784 * 300, 784 * 300),
+            LayerSpec("fc2", 300 * 100, 300 * 100),
+            LayerSpec("fc3", 100 * 10, 100 * 10),
+        ),
+        model_bytes=266_200,
+        query_bytes=784,
+    )
+
+
+@pytest.fixture(scope="module")
+def lightning_latencies(lenet_dag_module):
+    dag, data = lenet_dag_module
+    datapath = LightningDatapath(core=BehavioralCore(seed=0))
+    datapath.register_model(dag)
+    latencies = []
+    for i in range(NUM_IMAGES):
+        execution = datapath.execute(3, np.round(data[i % len(data)]))
+        latencies.append(execution.total_seconds)
+    return np.array(latencies)
+
+
+@pytest.fixture(scope="module")
+def lenet_dag_module(request):
+    # Reuse the session-scoped trained LeNet DAG from conftest.
+    dag = request.getfixturevalue("lenet_dag")
+    train, test = request.getfixturevalue("mnist_data")
+    return dag, test.x
+
+
+@pytest.fixture(scope="module")
+def stop_and_go_latencies():
+    system = StopAndGoSystem()
+    return system.latency_samples(lenet_spec(), NUM_IMAGES, seed=0)
+
+
+def test_fig04_five_orders_of_magnitude(
+    lightning_latencies, stop_and_go_latencies, report_writer
+):
+    lt_median = cdf_percentile(lightning_latencies, 50)
+    sg_median = cdf_percentile(stop_and_go_latencies, 50)
+    gap = sg_median / lt_median
+
+    values_lt, frac_lt = empirical_cdf(lightning_latencies * 1e3)
+    values_sg, frac_sg = empirical_cdf(stop_and_go_latencies * 1e3)
+    percentiles = (10, 50, 90, 99)
+    rows = [
+        [
+            f"p{p}",
+            cdf_percentile(lightning_latencies * 1e3, p),
+            cdf_percentile(stop_and_go_latencies * 1e3, p),
+            cdf_percentile(stop_and_go_latencies, p)
+            / cdf_percentile(lightning_latencies, p),
+        ]
+        for p in percentiles
+    ]
+    report_writer(
+        "fig04_latency_cdf",
+        format_table(
+            ["Percentile", "Lightning (ms)", "Stop-and-go (ms)", "Gap (x)"],
+            rows,
+            title=(
+                "Figure 4 — end-to-end latency CDF over "
+                f"{NUM_IMAGES} LeNet inferences "
+                "(paper: ~5 orders of magnitude)"
+            ),
+        ),
+    )
+    # The paper's claim: the gap is about five orders of magnitude.
+    assert gap > 1e3
+    assert lt_median < 1e-3  # Lightning: sub-millisecond
+    assert sg_median > 0.05  # stop-and-go: tens of milliseconds and up
+    # CDFs are proper distributions.
+    assert frac_lt[-1] == 1.0 and frac_sg[-1] == 1.0
+    assert values_lt[0] <= values_lt[-1]
+    assert values_sg[0] <= values_sg[-1]
+
+
+def test_fig04_lightning_serving_benchmark(benchmark, lenet_dag_module):
+    """Time one Lightning end-to-end LeNet inference (fast fidelity)."""
+    dag, data = lenet_dag_module
+    datapath = LightningDatapath(core=BehavioralCore(seed=1))
+    datapath.register_model(dag)
+    x = np.round(data[0])
+    benchmark(lambda: datapath.execute(3, x))

@@ -1,0 +1,100 @@
+"""Figure 14: photonic multiplication / accumulation / MAC accuracy.
+
+The paper drives 1,000 pairs of unsigned 8-bit operands through the
+prototype's photonic core and reports accuracy (100 % minus the error
+std as a fraction of full scale): 99.451 % for multiplication, 99.465 %
+for accumulation, and 99.25 % for full MACs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import error_statistics, format_table
+from repro.photonics import PrototypeCore
+
+NUM_SAMPLES = 1000
+PAPER = {
+    "multiplication": 99.451,
+    "accumulation": 99.465,
+    "mac": 99.25,
+}
+
+
+@pytest.fixture(scope="module")
+def core():
+    return PrototypeCore(seed=14)
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(14)
+    return {
+        "a": rng.integers(0, 256, NUM_SAMPLES),
+        "b": rng.integers(0, 256, NUM_SAMPLES),
+        "a2": rng.integers(0, 256, (NUM_SAMPLES, 2)),
+        "b2": rng.integers(0, 256, (NUM_SAMPLES, 2)),
+        "va": rng.integers(0, 256, (NUM_SAMPLES, 4)),
+        "vb": rng.integers(0, 256, (NUM_SAMPLES, 4)),
+    }
+
+
+def measure(core, operands):
+    mult = core.multiply(operands["a"], operands["b"])
+    mult_stats = error_statistics(
+        mult, operands["a"] * operands["b"] / 255.0
+    )
+    accum = core.accumulate(operands["a2"], operands["b2"])
+    accum_stats = error_statistics(
+        accum, (operands["a2"] * operands["b2"] / 255.0).sum(axis=1)
+    )
+    macs = np.array(
+        [
+            core.mac(operands["va"][i], operands["vb"][i])
+            for i in range(200)
+        ]
+    )
+    mac_true = (operands["va"][:200] * operands["vb"][:200]).sum(axis=1) / 255.0
+    # MACs over 4 elements pass 2 readouts; remove the calibrated offset
+    # mean before the accuracy metric, as the paper's decode does.
+    mac_stats = error_statistics(macs - np.mean(macs - mac_true), mac_true)
+    return {
+        "multiplication": mult_stats,
+        "accumulation": accum_stats,
+        "mac": mac_stats,
+    }
+
+
+def test_fig14_photonic_op_accuracy(core, operands, report_writer):
+    stats = measure(core, operands)
+    rows = [
+        [name, PAPER[name], s.accuracy_percent, s.std]
+        for name, s in stats.items()
+    ]
+    report_writer(
+        "fig14_mac_accuracy",
+        format_table(
+            ["Operation", "Paper acc (%)", "Measured acc (%)",
+             "Error std (levels)"],
+            rows,
+            title="Figure 14 — photonic computing accuracy "
+                  f"({NUM_SAMPLES} random 8-bit operand pairs)",
+        ),
+    )
+    # Shape: ~99 % accuracy everywhere; MAC slightly worse than the
+    # single operations because it accumulates more readouts.
+    for name, s in stats.items():
+        assert s.accuracy_percent > 98.5, name
+    assert (
+        stats["mac"].std
+        > min(stats["multiplication"].std, stats["accumulation"].std)
+    )
+
+
+def test_fig14_multiply_benchmark(benchmark, core, operands):
+    benchmark(lambda: core.multiply(operands["a"], operands["b"]))
+
+
+def test_fig14_accumulate_benchmark(benchmark, core, operands):
+    benchmark(lambda: core.accumulate(operands["a2"], operands["b2"]))

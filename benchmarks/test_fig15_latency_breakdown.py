@@ -1,0 +1,117 @@
+"""Figure 15: end-to-end / compute / datapath latency for the three
+prototype DNNs on Lightning vs Triton servers with P4 and A100 GPUs.
+
+The paper's headline ratios: Lightning serves the security (and traffic
+classification) models ~499x (508x) faster than the P4 server and ~379x
+(350x) faster than the A100 server; LeNet is 9.4x / 6.6x faster.  The
+structural observations asserted here: Lightning's compute latency grows
+with model size (Fig 15b) while its datapath latency stays flat across
+models because all three share the same count-action modules (Fig 15c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import LightningDatapath, LightningSmartNIC
+from repro.net import InferenceRequest, build_inference_frame
+from repro.photonics import BehavioralCore
+from repro.sim import a100_triton, p4_triton
+
+
+@pytest.fixture(scope="module")
+def served(request):
+    """Serve one packet per model through the full smartNIC."""
+    datapath = LightningDatapath(core=BehavioralCore(seed=15))
+    nic = LightningSmartNIC(datapath=datapath)
+    cases = []
+    for fixture_dag, fixture_data, model_id in (
+        ("security_dag", "flows_data", 1),
+        ("iot_dag", "iot_data", 2),
+        ("lenet_dag", "mnist_data", 3),
+    ):
+        dag = request.getfixturevalue(fixture_dag)
+        _, test = request.getfixturevalue(fixture_data)
+        nic.register_model(dag)
+        frame = build_inference_frame(
+            InferenceRequest(
+                model_id=model_id,
+                request_id=model_id,
+                data=np.round(test.x[0]).astype(np.uint8),
+            )
+        )
+        record = nic.handle_frame(frame)
+        cases.append((dag, record))
+    return cases
+
+
+def test_fig15_latency_breakdown(served, report_writer):
+    p4, a100 = p4_triton(), a100_triton()
+    rows = []
+    lightning_dp = []
+    lightning_compute = []
+    speedups = {}
+    for dag, record in served:
+        macs = dag.total_macs
+        lt_e2e = record.end_to_end_seconds
+        p4_e2e = p4.end_to_end_seconds(macs)
+        a100_e2e = a100.end_to_end_seconds(macs)
+        speedups[dag.name] = (p4_e2e / lt_e2e, a100_e2e / lt_e2e)
+        lightning_dp.append(record.datapath_seconds)
+        lightning_compute.append(record.compute_seconds)
+        rows.append(
+            [
+                dag.name,
+                lt_e2e * 1e6,
+                record.compute_seconds * 1e6,
+                record.datapath_seconds * 1e6,
+                p4_e2e * 1e6,
+                a100_e2e * 1e6,
+                p4_e2e / lt_e2e,
+                a100_e2e / lt_e2e,
+            ]
+        )
+    report_writer(
+        "fig15_latency_breakdown",
+        format_table(
+            [
+                "Model", "LT e2e (us)", "LT compute (us)",
+                "LT datapath (us)", "P4 e2e (us)", "A100 e2e (us)",
+                "vs P4 (x)", "vs A100 (x)",
+            ],
+            rows,
+            title=(
+                "Figure 15 — inference latency breakdown "
+                "(paper: security 499x/379x, traffic 508x/350x, "
+                "LeNet 9.4x/6.6x)"
+            ),
+        ),
+    )
+    # Fig 15a shape: small traffic models accelerate by hundreds of x,
+    # LeNet by single-digit-to-tens of x.
+    assert 100 < speedups["security"][0] < 1500
+    assert 100 < speedups["iot"][0] < 1500
+    assert 3 < speedups["lenet-300-100"][0] < 40
+    assert speedups["security"][1] < speedups["security"][0]  # A100 < P4
+    # Fig 15b: compute latency grows with model size.
+    assert lightning_compute[2] > 10 * lightning_compute[0]
+    # Fig 15c: datapath latency is stable across the three models (same
+    # count-action modules) — within the network-serialization delta.
+    assert max(lightning_dp) / min(lightning_dp) < 2.0
+
+
+def test_fig15_security_serve_benchmark(benchmark, request):
+    dag = request.getfixturevalue("security_dag")
+    _, test = request.getfixturevalue("flows_data")
+    datapath = LightningDatapath(core=BehavioralCore(seed=16))
+    nic = LightningSmartNIC(datapath=datapath)
+    nic.register_model(dag)
+    frame = build_inference_frame(
+        InferenceRequest(
+            model_id=1, request_id=0,
+            data=np.round(test.x[0]).astype(np.uint8),
+        )
+    )
+    benchmark(lambda: nic.handle_frame(frame))

@@ -1,0 +1,67 @@
+"""Figure 18: the photonic multiplication noise histogram.
+
+The paper measures multiplication noise on the testbed and fits a
+Gaussian with mean 2.32 and std 1.65 (0.65 % of 255).  This benchmark
+measures the same statistic on the device-fidelity core and validates
+the Gaussian fit against the histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, gaussian_pdf, histogram_density
+from repro.photonics import PrototypeCore, fit_gaussian
+
+NUM_SAMPLES = 20_000
+
+
+@pytest.fixture(scope="module")
+def noise_samples():
+    core = PrototypeCore(seed=18)
+    rng = np.random.default_rng(18)
+    a = rng.integers(0, 256, NUM_SAMPLES)
+    b = rng.integers(0, 256, NUM_SAMPLES)
+    measured = core.multiply(a, b)
+    return measured - a * b / 255.0
+
+
+def test_fig18_noise_fit(noise_samples, report_writer):
+    mean, std = fit_gaussian(noise_samples)
+    rows = [
+        ["mean (levels)", 2.32, mean],
+        ["std (levels)", 1.65, std],
+        ["std (% of 255)", 0.65, std / 255 * 100],
+    ]
+    report_writer(
+        "fig18_noise_model",
+        format_table(
+            ["Statistic", "Paper", "Measured"],
+            rows,
+            title=f"Figure 18 — photonic multiplication noise "
+                  f"({NUM_SAMPLES} samples)",
+        ),
+    )
+    assert mean == pytest.approx(2.32, abs=0.2)
+    assert std == pytest.approx(1.65, abs=0.2)
+
+
+def test_fig18_histogram_is_gaussian(noise_samples):
+    """The histogram must match the fitted Gaussian density closely —
+    the property that justifies the emulator's noise model."""
+    mean, std = fit_gaussian(noise_samples)
+    centers, density = histogram_density(noise_samples, num_bins=41)
+    predicted = gaussian_pdf(centers, mean, std)
+    # Compare densities where the Gaussian has meaningful mass.
+    mask = predicted > 0.01
+    rel_err = np.abs(density[mask] - predicted[mask]) / predicted[mask]
+    assert np.median(rel_err) < 0.25
+
+
+def test_fig18_noise_measurement_benchmark(benchmark):
+    core = PrototypeCore(seed=19)
+    rng = np.random.default_rng(19)
+    a = rng.integers(0, 256, 1000)
+    b = rng.integers(0, 256, 1000)
+    benchmark(lambda: core.multiply(a, b))

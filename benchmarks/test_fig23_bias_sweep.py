@@ -1,0 +1,74 @@
+"""Figure 23 (Appendix B): sweeping the modulator bias voltage to find
+the max-extinction operating point.
+
+The paper sweeps -9 V to +9 V via the Python API and locks each
+modulator at the bias where (almost) no light passes, establishing the
+encoding zone used for all photonic computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.photonics import (
+    ADC,
+    Laser,
+    MachZehnderModulator,
+    Photodetector,
+    sweep_bias,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    modulator = MachZehnderModulator(v_pi=5.0, extinction_residual=0.01)
+    return sweep_bias(
+        modulator,
+        Laser(wavelength_nm=1544.53),
+        Photodetector(),
+        ADC(bits=8),
+    )
+
+
+def test_fig23_bias_sweep(sweep, report_writer):
+    extinction_bias = sweep.max_extinction_bias()
+    transmission_bias = sweep.max_transmission_bias()
+    rows = [
+        ["max-extinction bias (V)", extinction_bias],
+        ["max-transmission bias (V)", transmission_bias],
+        ["extinction ratio", sweep.extinction_ratio()],
+        ["sweep points", len(sweep.bias_voltages)],
+    ]
+    series = format_series(
+        "readouts at -9..9V (every 20th point)",
+        sweep.adc_readings[::20],
+        precision=0,
+    )
+    report_writer(
+        "fig23_bias_sweep",
+        format_table(
+            ["Quantity", "Value"],
+            rows,
+            title="Figure 23 — modulator bias sweep\n" + series,
+        ),
+    )
+    # The transfer is sinusoidal: extinction at 0 V, peak near +/-5 V
+    # (the half-wave voltage), and the encoding zone between them is
+    # monotonic.
+    assert extinction_bias == pytest.approx(0.0, abs=0.2)
+    assert abs(transmission_bias) == pytest.approx(5.0, abs=0.2)
+    assert sweep.extinction_ratio() > 10
+    volts = sweep.bias_voltages
+    readings = sweep.adc_readings
+    zone = (volts >= 0.0) & (volts <= 5.0)
+    assert np.all(np.diff(readings[zone]) >= 0)
+
+
+def test_fig23_sweep_benchmark(benchmark):
+    modulator = MachZehnderModulator(v_pi=5.0)
+    laser = Laser(wavelength_nm=1544.53)
+    pd = Photodetector()
+    adc = ADC(bits=8)
+    benchmark(lambda: sweep_bias(modulator, laser, pd, adc))

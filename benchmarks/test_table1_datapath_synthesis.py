@@ -1,0 +1,39 @@
+"""Table 1: chip area and power of the digital datapath modules for one
+photonic MAC, synthesized in 65 nm.
+
+Paper totals: 1.46 mm^2 and 0.257 W, with the count-action modules
+dominating both (1.26 mm^2 / 0.156 W).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.synthesis import DatapathSynthesis
+
+
+def test_table1_datapath_breakdown(report_writer):
+    synthesis = DatapathSynthesis()
+    rows = synthesis.rows()
+    report_writer(
+        "table1_datapath_synthesis",
+        format_table(
+            ["Datapath module", "Area (mm^2)", "Power (W)"],
+            rows,
+            title="Table 1 — 65 nm datapath synthesis for one photonic MAC",
+        ),
+    )
+    by_name = dict((r[0], (r[1], r[2])) for r in rows)
+    assert by_name["Packet I/O"] == (pytest.approx(0.08), pytest.approx(0.034))
+    assert by_name["Memory controller"] == (
+        pytest.approx(0.12), pytest.approx(0.067),
+    )
+    assert by_name["Count-action modules"] == (
+        pytest.approx(1.26), pytest.approx(0.156),
+    )
+    assert by_name["Total"] == (pytest.approx(1.46), pytest.approx(0.257))
+
+
+def test_table1_rollup_benchmark(benchmark):
+    benchmark(lambda: DatapathSynthesis().rows())

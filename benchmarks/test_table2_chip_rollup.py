@@ -1,0 +1,75 @@
+"""Table 2: area and power of a full Lightning chip with 576 photonic
+MACs at 97 GHz, plus the §8 comparisons and the §10 cost estimate.
+
+Paper totals: 528.829 mm^2 / 91.317 W digital, 1500.01 mm^2 / 2.23 mW
+photonic, 2028.839 mm^2 / 91.319 W overall; 2.55x smaller than a
+Stratix-10, 1.37x less power than Brainwave, 3.29x less than an A100X;
+estimated smartNIC cost $2,639.95.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.synthesis import CostModel, LightningChip
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return LightningChip()
+
+
+def test_table2_component_rollup(chip, report_writer):
+    rows = chip.table2_rows()
+    rows.append(
+        ("Total", "", "", chip.total_area_mm2, chip.total_power_watts)
+    )
+    report_writer(
+        "table2_chip_rollup",
+        format_table(
+            ["Domain", "Component", "Count", "Area (mm^2)", "Power (W)"],
+            rows,
+            title="Table 2 — Lightning chip with 576 photonic MACs",
+        ),
+    )
+    assert chip.total_area_mm2 == pytest.approx(2028.8, abs=1.0)
+    assert chip.total_power_watts == pytest.approx(91.319, abs=0.05)
+    # Count structure: 600 modulators (576 weight + 24 input), 24 PDs.
+    by_component = {(r[0], r[1]): r[2] for r in rows[:-1]}
+    assert by_component[("Photonic", "Modulator")] == 600
+    assert by_component[("Photonic", "Photodetector")] == 24
+    assert by_component[("Digital", "DAC")] == 600
+    assert by_component[("Digital", "ADC")] == 24
+    assert by_component[("Digital", "Count-action modules")] == 576
+
+
+def test_table2_comparisons_and_cost(chip, report_writer):
+    estimate = CostModel().estimate(chip)
+    rows = [
+        ["area vs Stratix 10 (x smaller)", 2.55, chip.area_vs_stratix10],
+        ["power vs Brainwave (x less)", 1.37, chip.power_vs_brainwave],
+        ["power vs A100X (x less)", 3.29, chip.power_vs_a100x],
+        ["photonic die, prototype ($)", 25312.5,
+         estimate.photonic_prototype_usd],
+        ["photonic die, mass production ($)", 2531.25,
+         estimate.photonic_mass_usd],
+        ["CMOS die ($)", 108.7, estimate.electronic_usd],
+        ["total smartNIC ($)", 2639.95, estimate.total_usd],
+    ]
+    report_writer(
+        "table2_comparisons_cost",
+        format_table(
+            ["Quantity", "Paper", "Measured"],
+            rows,
+            title="§8 comparisons and §10 cost estimate",
+        ),
+    )
+    assert chip.area_vs_stratix10 == pytest.approx(2.55, abs=0.01)
+    assert chip.power_vs_brainwave == pytest.approx(1.37, abs=0.01)
+    assert chip.power_vs_a100x == pytest.approx(3.29, abs=0.01)
+    assert estimate.total_usd == pytest.approx(2639.95, rel=0.01)
+
+
+def test_table2_rollup_benchmark(benchmark):
+    benchmark(lambda: LightningChip().table2_rows())

@@ -1,0 +1,79 @@
+"""Table 3: end-to-end energy consumption per MAC across platforms.
+
+Paper rows: Lightning 1.634 pJ, P4 26.299 pJ, A100 25.652 pJ, A100X
+30.782 pJ, Brainwave 5.208 pJ; Lightning saves 16.09x / 15.69x /
+18.83x / 3.19x respectively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import a100_gpu, a100x_dpu, brainwave, lightning_chip, p4_gpu
+
+PAPER_PJ = {
+    "Lightning": 1.634,
+    "P4 GPU": 26.299,
+    "A100 GPU": 25.652,
+    "A100X DPU": 30.782,
+    "Brainwave": 5.208,
+}
+PAPER_SAVINGS = {
+    "P4 GPU": 16.09,
+    "A100 GPU": 15.69,
+    "A100X DPU": 18.83,
+    "Brainwave": 3.19,
+}
+
+
+def test_table3_energy_per_mac(report_writer):
+    platforms = [
+        lightning_chip(), p4_gpu(), a100_gpu(), a100x_dpu(), brainwave()
+    ]
+    lightning = platforms[0].energy_per_mac_joules
+    rows = []
+    for acc in platforms:
+        energy_pj = acc.energy_per_mac_joules * 1e12
+        savings = energy_pj / (lightning * 1e12)
+        rows.append(
+            [
+                acc.name,
+                acc.power_watts,
+                acc.mac_units,
+                acc.power_per_mac_unit_watts,
+                acc.clock_hz / 1e9,
+                energy_pj,
+                PAPER_PJ[acc.name],
+                savings,
+            ]
+        )
+    report_writer(
+        "table3_energy_per_mac",
+        format_table(
+            [
+                "Platform", "Power (W)", "MAC units", "W/unit",
+                "Clock (GHz)", "pJ/MAC", "Paper pJ/MAC", "x Lightning",
+            ],
+            rows,
+            title="Table 3 — end-to-end energy per MAC",
+        ),
+    )
+    for acc in platforms:
+        assert acc.energy_per_mac_joules * 1e12 == pytest.approx(
+            PAPER_PJ[acc.name], rel=0.01
+        ), acc.name
+    for acc in platforms[1:]:
+        savings = acc.energy_per_mac_joules / lightning
+        assert savings == pytest.approx(PAPER_SAVINGS[acc.name], rel=0.01)
+
+
+def test_table3_benchmark(benchmark):
+    def compute():
+        lt = lightning_chip().energy_per_mac_joules
+        return [
+            acc.energy_per_mac_joules / lt
+            for acc in (p4_gpu(), a100_gpu(), a100x_dpu(), brainwave())
+        ]
+
+    benchmark(compute)

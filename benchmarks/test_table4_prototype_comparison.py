@@ -1,0 +1,86 @@
+"""Table 4 (Appendix C): comparison with prior experimental photonic
+inference demonstrations.
+
+The Lightning prototype runs at 4.055 GHz with 2 wavelengths at 8-bit
+precision — the highest demonstrated compute frequency — and, unlike
+Nature'21 and Science'22, its effective frequency is not halved by
+negative values because signs are separated offline and reassembled
+digitally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import format_table
+from repro.photonics import PROTOTYPE_ARCHITECTURE, PrototypeCore
+
+
+@dataclass(frozen=True)
+class PriorDemo:
+    name: str
+    compute_ghz: float
+    wavelengths: int
+    bits: int
+    #: Effective frequency factor for signed workloads: prior systems
+    #: run twice (or double hardware) for negatives.
+    negative_handling_factor: float
+
+
+PRIOR = (
+    PriorDemo("Feldmann et al., Nature'21 (fast)", 2.0, 4, 8, 0.5),
+    PriorDemo("Feldmann et al., Nature'21 (wide)", 1e-6, 200, 5, 0.5),
+    PriorDemo("Sludds et al., Science'22", 0.5, 16, 8, 0.5),
+)
+
+LIGHTNING_GHZ = 4.055
+
+
+def test_table4_prototype_comparison(report_writer):
+    rows = [
+        [
+            demo.name,
+            demo.compute_ghz,
+            demo.wavelengths,
+            demo.bits,
+            demo.compute_ghz * demo.negative_handling_factor,
+        ]
+        for demo in PRIOR
+    ]
+    rows.append(
+        [
+            "Lightning prototype",
+            LIGHTNING_GHZ,
+            PROTOTYPE_ARCHITECTURE.accumulation_wavelengths,
+            8,
+            LIGHTNING_GHZ,  # sign separation: no halving
+        ]
+    )
+    report_writer(
+        "table4_prototype_comparison",
+        format_table(
+            [
+                "Demonstration", "Compute (GHz)", "Wavelengths", "Bits",
+                "Effective signed (GHz)",
+            ],
+            rows,
+            title="Table 4 — prior photonic inference demonstrations",
+        ),
+    )
+    # Lightning's raw frequency beats every prior demo.
+    assert all(LIGHTNING_GHZ > d.compute_ghz for d in PRIOR)
+    # And its signed-workload frequency is un-halved (see the
+    # sign-handling ablation benchmark for the measured effect).
+    assert all(
+        LIGHTNING_GHZ > d.compute_ghz * d.negative_handling_factor * 2
+        for d in PRIOR
+    )
+
+
+def test_table4_prototype_constructs_at_spec(benchmark):
+    """The device-accurate core instantiates at the Table 4 spec."""
+    core = benchmark(lambda: PrototypeCore(seed=4))
+    assert core.num_wavelengths == 2
+    assert core.adc.sample_rate_gsps == pytest.approx(4.055)

@@ -1,0 +1,96 @@
+"""Table 6 (Appendix F): per-model datapath latencies used in §9.
+
+Lightning's datapath latency is 193 ns per effective DNN layer (with
+parallelizable layers counted once); the A100's are the Triton-measured
+values; the A100X and Brainwave are idealized to zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import (
+    A100_DATAPATH_SECONDS,
+    a100_gpu,
+    a100x_dpu,
+    brainwave,
+    lightning_chip,
+)
+
+PAPER_LIGHTNING_US = {
+    "AlexNet": 1.544,
+    "ResNet18": 4.053,
+    "VGG16": 3.088,
+    "VGG19": 3.667,
+    "BERT": 32.617,
+    "GPT-2": 65.234,
+    "DLRM": 1.544,
+}
+
+
+def test_table6_datapath_latencies(report_writer):
+    lt, gpu, dpu, bw = (
+        lightning_chip(), a100_gpu(), a100x_dpu(), brainwave()
+    )
+    rows = []
+    for spec in SIMULATION_MODELS():
+        rows.append(
+            [
+                spec.name,
+                spec.model_bytes / 1024**2,
+                spec.query_bytes / 1024,
+                spec.effective_depth,
+                lt.datapath_seconds(spec) * 1e6,
+                PAPER_LIGHTNING_US[spec.name],
+                gpu.datapath_seconds(spec) * 1e6,
+                dpu.datapath_seconds(spec) * 1e6,
+                bw.datapath_seconds(spec) * 1e6,
+            ]
+        )
+    report_writer(
+        "table6_datapath_latency",
+        format_table(
+            [
+                "Model", "Size (MB)", "Query (KB)", "Eff. layers",
+                "Lightning (us)", "Paper (us)", "A100 (us)",
+                "A100X (us)", "Brainwave (us)",
+            ],
+            rows,
+            title="Table 6 — datapath latencies used in the simulations",
+        ),
+    )
+    for spec in SIMULATION_MODELS():
+        assert lt.datapath_seconds(spec) * 1e6 == pytest.approx(
+            PAPER_LIGHTNING_US[spec.name], rel=0.01
+        ), spec.name
+        assert gpu.datapath_seconds(spec) == A100_DATAPATH_SECONDS[
+            spec.name
+        ]
+        assert dpu.datapath_seconds(spec) == 0.0
+        assert bw.datapath_seconds(spec) == 0.0
+
+
+def test_table6_parallel_layer_rule(report_writer):
+    """BERT/GPT-2/DLRM count parallelizable layers once (Appendix F)."""
+    from repro.dnn import bert_large_spec, dlrm_spec, gpt2_xl_spec
+
+    rows = []
+    for spec in (bert_large_spec(), gpt2_xl_spec(), dlrm_spec()):
+        rows.append([spec.name, spec.num_layers, spec.effective_depth])
+        assert spec.effective_depth < spec.num_layers
+    report_writer(
+        "table6_parallel_layers",
+        format_table(
+            ["Model", "Layer entries", "Effective depth"],
+            rows,
+            title="Appendix F — parallel-layer collapsing",
+        ),
+    )
+
+
+def test_table6_latency_lookup_benchmark(benchmark):
+    specs = SIMULATION_MODELS()
+    lt = lightning_chip()
+    benchmark(lambda: [lt.datapath_seconds(s) for s in specs])

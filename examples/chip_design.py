@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the Lightning chip (§8, Appendix E).
+
+Sweeps the photonic core architecture — accumulation wavelengths N,
+parallel modulations W, batch B — and rolls up chip area, power, energy
+per MAC, and estimated cost for each point, reproducing the paper's
+576-MAC design point along the way.
+
+Run:  python examples/chip_design.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.photonics import CoreArchitecture
+from repro.synthesis import CostModel, LightningChip
+
+
+def explore() -> None:
+    cost_model = CostModel()
+    design_points = [
+        ("prototype-like", CoreArchitecture(2, 1, 1)),
+        ("8x8", CoreArchitecture(8, 8, 1)),
+        ("16x16", CoreArchitecture(16, 16, 1)),
+        ("paper 24x24", CoreArchitecture(24, 24, 1)),
+        ("24x24, batch 2", CoreArchitecture(24, 24, 2)),
+    ]
+    rows = []
+    for label, arch in design_points:
+        chip = LightningChip(architecture=arch)
+        estimate = cost_model.estimate(chip)
+        rows.append(
+            [
+                label,
+                arch.macs_per_step,
+                chip.num_modulators,
+                chip.total_area_mm2,
+                chip.total_power_watts,
+                chip.energy_per_mac_joules() * 1e12,
+                estimate.total_usd,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Design", "MACs/step", "Modulators", "Area (mm^2)",
+                "Power (W)", "pJ/MAC", "Cost ($)",
+            ],
+            rows,
+            title="Lightning chip design space (97 GHz, 7 nm digital)",
+        )
+    )
+
+
+def paper_design_point() -> None:
+    chip = LightningChip()
+    estimate = CostModel().estimate(chip)
+    print("\nPaper design point (576 MACs @ 97 GHz):")
+    print(f"  digital  : {chip.digital_area_mm2:8.2f} mm^2  "
+          f"{chip.digital_power_watts:7.3f} W")
+    print(f"  photonic : {chip.photonic_area_mm2:8.2f} mm^2  "
+          f"{chip.photonic_power_watts * 1e3:7.3f} mW")
+    print(f"  total    : {chip.total_area_mm2:8.2f} mm^2  "
+          f"{chip.total_power_watts:7.3f} W")
+    print(f"  vs Stratix 10 area   : {chip.area_vs_stratix10:.2f}x smaller "
+          "(paper: 2.55x)")
+    print(f"  vs Brainwave power   : {chip.power_vs_brainwave:.2f}x less "
+          "(paper: 1.37x)")
+    print(f"  vs A100X power       : {chip.power_vs_a100x:.2f}x less "
+          "(paper: 3.29x)")
+    print(f"  energy per MAC       : "
+          f"{chip.energy_per_mac_joules() * 1e12:.3f} pJ (paper: 1.634 pJ)")
+    print(f"  estimated smartNIC   : ${estimate.total_usd:,.2f} "
+          "(paper: $2,639.95)")
+
+
+if __name__ == "__main__":
+    explore()
+    paper_design_point()

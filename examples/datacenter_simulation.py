@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Datacenter-scale inference serving simulation (§9, Figures 21/22).
+
+Replays Poisson inference-request traces over the seven large DNN models
+on Lightning and the three digital platforms, then prints the speedup
+and energy-savings tables the paper plots.
+
+Run:  python examples/datacenter_simulation.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import format_table
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import (
+    BENCHMARK_PLATFORMS,
+    EventDrivenSimulator,
+    PoissonWorkload,
+    lightning_chip,
+    rate_for_utilization,
+    run_comparison,
+)
+
+
+def serve_time_breakdown(num_requests: int) -> None:
+    """Show one platform's serve-time decomposition at high load."""
+    models = SIMULATION_MODELS()
+    platform = BENCHMARK_PLATFORMS()[0]  # A100 GPU
+    rate = rate_for_utilization([platform], models, 0.95)
+    trace = PoissonWorkload(models, rate, seed=3).trace(num_requests)
+    result = EventDrivenSimulator(platform).run(trace)
+    rows = []
+    for model in models:
+        records = [
+            r for r in result.records if r.request.model.name == model.name
+        ]
+        rows.append(
+            [
+                model.name,
+                sum(r.datapath_s for r in records) / len(records) * 1e3,
+                sum(r.queuing_s for r in records) / len(records) * 1e3,
+                sum(r.compute_s for r in records) / len(records) * 1e3,
+            ]
+        )
+    print(
+        format_table(
+            ["Model", "datapath (ms)", "queuing (ms)", "compute (ms)"],
+            rows,
+            title=(
+                f"\n{platform.name} serve-time decomposition at 95% "
+                "utilization — queuing dominates at high load (§9)"
+            ),
+        )
+    )
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    num_requests = 500 if quick else 2000
+    num_traces = 2 if quick else 10
+
+    models = SIMULATION_MODELS()
+    report = run_comparison(
+        models,
+        BENCHMARK_PLATFORMS(),
+        lightning_chip(),
+        utilization=0.98,
+        num_requests=num_requests,
+        num_traces=num_traces,
+        seed=9,
+    )
+    names = [m.name for m in models]
+    paper_speedup = {"A100 GPU": 337, "A100X DPU": 329, "Brainwave": 42}
+    paper_energy = {"A100 GPU": 352, "A100X DPU": 419, "Brainwave": 54}
+
+    speed_rows = [
+        [p.name]
+        + [report.speedups[p.name][n] for n in names]
+        + [report.average_speedup(p.name), paper_speedup[p.name]]
+        for p in report.platforms
+    ]
+    print(
+        format_table(
+            ["Platform"] + names + ["Average", "Paper"],
+            speed_rows,
+            precision=1,
+            title=(
+                f"Figure 21 — serve-time speedup ({num_traces} traces x "
+                f"{num_requests} requests, 98% utilization)"
+            ),
+        )
+    )
+    energy_rows = [
+        [p.name]
+        + [report.energy_savings[p.name][n] for n in names]
+        + [report.average_energy_savings(p.name), paper_energy[p.name]]
+        for p in report.platforms
+    ]
+    print(
+        format_table(
+            ["Platform"] + names + ["Average", "Paper"],
+            energy_rows,
+            precision=1,
+            title="\nFigure 22 — energy savings",
+        )
+    )
+    serve_time_breakdown(num_requests)
+
+
+if __name__ == "__main__":
+    main()

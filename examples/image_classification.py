@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""LeNet-300-100 image classification on the Lightning smartNIC (§6.3).
+
+The full prototype pipeline: train LeNet on the synthetic-MNIST
+substitute, quantize it into a count-action DAG (offline sign separation
+included), register it on the NIC, and serve image queries as UDP
+packets — reporting the Figure 15-style latency breakdown and the
+Figure 16-style accuracy comparison against int8-digital execution.
+
+Run:  python examples/image_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LightningDatapath, LightningSmartNIC
+from repro.dnn import QuantizedMLP, quantize_mlp, synthetic_mnist, train_mlp
+from repro.net import InferenceRequest, build_inference_frame
+from repro.photonics import BehavioralCore
+
+NUM_PACKETS = 50
+NUM_ACCURACY = 600
+
+
+def main() -> None:
+    print("== Training LeNet-300-100 ==")
+    train, test = synthetic_mnist(2600, noise_std=95.0, seed=0).split()
+    result = train_mlp(
+        [784, 300, 100, 10], train, epochs=20, use_bias=False, name="lenet"
+    )
+    model = result.model
+    print(f"  parameters  : {model.parameter_count} (paper: 266,200)")
+    print(f"  train acc   : {result.train_accuracy:.1%}")
+
+    print("\n== Offline phase: quantize + sign-separate into a DAG ==")
+    dag = quantize_mlp(model, train.x[:256], model_id=3, name="lenet")
+    for task in dag.tasks:
+        print(
+            f"  {task.name}: {task.input_size} -> {task.output_size}  "
+            f"({task.nonlinearity}, requant /{task.requant_divisor:.3f})"
+        )
+
+    print(f"\n== Serving {NUM_PACKETS} image packets on the NIC ==")
+    nic = LightningSmartNIC(
+        datapath=LightningDatapath(core=BehavioralCore(seed=1))
+    )
+    nic.register_model(dag)
+    correct = 0
+    compute_s = datapath_s = 0.0
+    for i in range(NUM_PACKETS):
+        frame = build_inference_frame(
+            InferenceRequest(
+                3, i, np.round(test.x[i]).astype(np.uint8)
+            )
+        )
+        served = nic.handle_frame(frame)
+        correct += served.response.prediction == test.y[i]
+        compute_s += served.compute_seconds
+        datapath_s += served.datapath_seconds
+    print(f"  packet accuracy      : {correct / NUM_PACKETS:.1%}")
+    print(f"  mean compute latency : {compute_s / NUM_PACKETS * 1e6:.2f} us")
+    print(f"  mean datapath latency: {datapath_s / NUM_PACKETS * 1e6:.2f} us")
+    print("  (paper prototype: LeNet 9.4x faster than a P4 GPU server)")
+
+    print(f"\n== Figure 16 comparison over {NUM_ACCURACY} queries ==")
+    q = QuantizedMLP(dag)
+    x = np.round(test.x[:NUM_ACCURACY])
+    y = test.y[:NUM_ACCURACY]
+    int8_acc = (q.predict(x) == y).mean()
+    photonic_acc = (q.predict(x, BehavioralCore(seed=2)) == y).mean()
+    print(f"  int8 digital accuracy : {int8_acc:.2%} (paper: 97.45%)")
+    print(f"  photonic accuracy     : {photonic_acc:.2%} (paper: 96.20%)")
+    print(f"  photonic penalty      : {(int8_acc - photonic_acc) * 100:.2f} pp"
+          " (paper: 1.25 pp)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Beyond machine learning: photonic DSP and FEC (Appendix G).
+
+The paper's closing invitation: the same photonic dot-product cores can
+accelerate fast Fourier transforms, image signal processing, and
+forward error correction.  This example runs all three on the noisy
+behavioral core: spectrum sensing with a photonic DFT, denoising with a
+photonic FIR filter, and Hamming(7,4) decoding with photonic syndromes.
+
+Run:  python examples/photonic_signal_processing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import HammingCode, PhotonicDFT, photonic_moving_average
+from repro.photonics import BehavioralCore
+
+
+def spectrum_sensing() -> None:
+    print("== Photonic DFT: spectrum sensing ==")
+    n = 64
+    rng = np.random.default_rng(0)
+    true_bin = 11
+    signal = np.cos(2 * np.pi * true_bin * np.arange(n) / n)
+    signal += 0.3 * rng.normal(size=n)
+    dft = PhotonicDFT(n, core=BehavioralCore(seed=1))
+    detected = dft.dominant_frequency(signal)
+    spectrum = dft.transform(signal)
+    reference = np.fft.fft(signal)
+    err = np.abs(spectrum - reference).max() / np.abs(reference).max()
+    print(f"  tone at bin {true_bin} -> detected bin {detected}")
+    print(f"  max spectrum error vs np.fft: {err:.2%}")
+
+
+def image_signal_processing() -> None:
+    print("\n== Photonic FIR: denoising (ISP) ==")
+    rng = np.random.default_rng(2)
+    clean = np.sin(np.linspace(0, 6 * np.pi, 300))
+    noisy = clean + rng.normal(0, 0.35, 300)
+    smoothed = photonic_moving_average(
+        noisy, window=9, core=BehavioralCore(seed=3)
+    )
+    aligned = clean[4:-4]
+    before = np.abs(noisy[4:-4] - aligned).mean()
+    after = np.abs(smoothed - aligned).mean()
+    print(f"  mean abs error before: {before:.3f}")
+    print(f"  mean abs error after : {after:.3f} "
+          f"({before / after:.1f}x cleaner)")
+
+
+def forward_error_correction() -> None:
+    print("\n== Photonic FEC: Hamming(7,4) over a noisy channel ==")
+    rng = np.random.default_rng(4)
+    code = HammingCode(core=BehavioralCore(seed=5))
+    messages = rng.integers(0, 2, size=(400, 4))
+    flips = rng.integers(0, 7, size=400)
+    recovered = corrected = 0
+    for message, flip in zip(messages, flips):
+        word = code.encode(message)
+        word[flip] ^= 1  # one bit error per codeword
+        decoded, fixed = code.decode(word)
+        corrected += fixed
+        recovered += np.array_equal(decoded, message)
+    print(f"  codewords sent      : 400 (1 bit flipped in each)")
+    print(f"  corrections applied : {corrected}")
+    print(f"  messages recovered  : {recovered} "
+          f"({recovered / 400:.1%})")
+
+
+if __name__ == "__main__":
+    spectrum_sensing()
+    image_signal_processing()
+    forward_error_correction()

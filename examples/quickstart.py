@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: photonic MACs and one end-to-end inference packet.
+
+Mirrors the paper's developer-kit walkthrough (Appendix G, Figure 27):
+benchmark a photonic vector dot product through the device-accurate
+core, then serve a real inference packet on the smartNIC.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LightningDatapath, LightningSmartNIC
+from repro.dnn import quantize_mlp, synthetic_flows, train_mlp
+from repro.net import InferenceRequest, build_inference_frame
+from repro.photonics import PrototypeCore
+
+
+def photonic_mac_demo() -> None:
+    """The Figure 27 session: compute x1*w1 + x2*w2 photonically."""
+    print("== Photonic MAC (Appendix G / Figure 27) ==")
+    core = PrototypeCore(seed=0)  # 2 wavelengths, like the testbed
+
+    # The paper's example operands, normalized 0..1 -> levels 0..255.
+    x1, w1, x2, w2 = 0.85, 0.26, 0.50, 0.93
+    levels = np.round(np.array([x1, x2]) * 255)
+    weights = np.round(np.array([w1, w2]) * 255)
+    result_levels = core.mac(levels, weights)
+    result = result_levels / 255.0
+    truth = x1 * w1 + x2 * w2
+    print(f"  photonic dot product : {result:.3f}")
+    print(f"  ground truth         : {truth:.3f}")
+    print(f"  error                : {abs(result - truth) / truth:.1%}")
+
+
+def packet_inference_demo() -> None:
+    """Train a tiny model, register it, and serve one UDP query."""
+    print("\n== End-to-end inference packet ==")
+    train, test = synthetic_flows(1200, seed=7).split()
+    model = train_mlp(
+        [16, 48, 16, 2], train, epochs=10, use_bias=False, name="security"
+    ).model
+    dag = quantize_mlp(model, train.x[:128], model_id=1)
+
+    nic = LightningSmartNIC(datapath=LightningDatapath())
+    nic.register_model(dag)
+
+    query = InferenceRequest(
+        model_id=1,
+        request_id=42,
+        data=np.round(test.x[0]).astype(np.uint8),
+    )
+    frame = build_inference_frame(query, src_ip="10.0.0.1")
+    served = nic.handle_frame(frame)
+    print(f"  request id           : {served.response.request_id}")
+    print(f"  prediction           : {served.response.prediction} "
+          f"(ground truth {test.y[0]})")
+    print(f"  compute latency      : {served.compute_seconds * 1e6:.3f} us")
+    print(f"  datapath latency     : {served.datapath_seconds * 1e6:.3f} us")
+    print(f"  end-to-end latency   : "
+          f"{served.end_to_end_seconds * 1e6:.3f} us")
+    print(f"  response frame bytes : {len(served.response_frame)}")
+
+
+if __name__ == "__main__":
+    photonic_mac_demo()
+    packet_inference_demo()

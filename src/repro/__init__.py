@@ -1,0 +1,84 @@
+"""Lightning: a reconfigurable photonic-electronic smartNIC — reproduction.
+
+A from-scratch Python implementation of the system described in
+*Lightning: A Reconfigurable Photonic-Electronic SmartNIC for Fast and
+Energy-Efficient Inference* (SIGCOMM 2023): the count-action datapath
+abstraction, a device-level photonic computing substrate, a byte-accurate
+network stack, a numpy DNN substrate with 8-bit quantization, the §7
+accuracy emulator, the §9 event-driven serving simulator, and the §8 chip
+area/power/cost model.
+
+Quick start::
+
+    from repro import LightningSmartNIC, LightningDatapath
+    from repro.dnn import synthetic_mnist, train_mlp, quantize_mlp
+    from repro.net import InferenceRequest, build_inference_frame
+
+    train, test = synthetic_mnist().split()
+    model = train_mlp([784, 300, 100, 10], train, use_bias=False).model
+    dag = quantize_mlp(model, train.x[:256], model_id=1)
+
+    nic = LightningSmartNIC()
+    nic.register_model(dag)
+    frame = build_inference_frame(
+        InferenceRequest(model_id=1, request_id=0, data=test.x[0])
+    )
+    served = nic.handle_frame(frame)
+    print(served.response.prediction, served.end_to_end_seconds)
+"""
+
+from . import (
+    analysis,
+    apps,
+    core,
+    dnn,
+    emulation,
+    net,
+    photonics,
+    sim,
+    synthesis,
+)
+from .devkit import LightningDevKit
+from .core import (
+    ComputationDAG,
+    CountActionFabric,
+    CountActionUnit,
+    LayerTask,
+    LightningDatapath,
+    LightningSmartNIC,
+    PreambleDetector,
+    SynchronousDataStreamer,
+)
+from .photonics import BehavioralCore, GaussianNoise, PrototypeCore
+from .sim import lightning_chip, run_comparison
+from .synthesis import LightningChip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "dnn",
+    "emulation",
+    "net",
+    "photonics",
+    "sim",
+    "synthesis",
+    "CountActionUnit",
+    "CountActionFabric",
+    "SynchronousDataStreamer",
+    "PreambleDetector",
+    "LayerTask",
+    "ComputationDAG",
+    "LightningDatapath",
+    "LightningSmartNIC",
+    "PrototypeCore",
+    "BehavioralCore",
+    "GaussianNoise",
+    "LightningChip",
+    "lightning_chip",
+    "run_comparison",
+    "LightningDevKit",
+    "__version__",
+]

@@ -1,0 +1,170 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Quick access to the reproduction's headline artifacts without writing
+code: the system inventory, the chip model's tables, a photonic MAC
+micro-benchmark, and a fast serving-simulation summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Lightning (SIGCOMM 2023) "
+          "reproduction")
+    import types
+
+    print("subpackages: " + ", ".join(
+        name
+        for name in repro.__all__
+        if isinstance(getattr(repro, name, None), types.ModuleType)
+    ))
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    print("evaluation: pytest benchmarks/   (reports land in "
+          "benchmarks/reports/)")
+    return 0
+
+
+def cmd_chip(_args) -> int:
+    from repro.analysis import format_table
+    from repro.synthesis import CostModel, LightningChip
+
+    chip = LightningChip()
+    rows = chip.table2_rows()
+    rows.append(("Total", "", "", chip.total_area_mm2,
+                 chip.total_power_watts))
+    print(format_table(
+        ["Domain", "Component", "Count", "Area (mm^2)", "Power (W)"],
+        rows,
+        title="Lightning chip, 576 photonic MACs @ 97 GHz (Table 2)",
+    ))
+    estimate = CostModel().estimate(chip)
+    print(f"\nestimated smartNIC cost: ${estimate.total_usd:,.2f}")
+    return 0
+
+
+def cmd_energy(_args) -> int:
+    from repro.analysis import format_table
+    from repro.sim import a100_gpu, a100x_dpu, brainwave, lightning_chip, p4_gpu
+
+    platforms = [lightning_chip(), p4_gpu(), a100_gpu(), a100x_dpu(),
+                 brainwave()]
+    lightning = platforms[0].energy_per_mac_joules
+    rows = [
+        [acc.name, acc.power_watts, acc.mac_units,
+         acc.energy_per_mac_joules * 1e12,
+         acc.energy_per_mac_joules / lightning]
+        for acc in platforms
+    ]
+    print(format_table(
+        ["Platform", "Power (W)", "MAC units", "pJ/MAC", "x Lightning"],
+        rows,
+        title="End-to-end energy per MAC (Table 3)",
+    ))
+    return 0
+
+
+def cmd_mac(args) -> int:
+    from repro.devkit import LightningDevKit
+
+    kit = LightningDevKit(seed=args.seed)
+    reports = kit.benchmark_accuracy(args.samples)
+    for name, report in reports.items():
+        print(f"{name:14s}: {report.accuracy_percent:.3f} % accuracy "
+              f"(error std {report.statistics.std:.3f} levels)")
+    snr = kit.characterize_snr()
+    print(f"SNR: {snr.snr_db:.1f} dB; recommended preamble repeats: "
+          f"{kit.recommend_preamble_repeats()}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.analysis import format_table
+    from repro.dnn import SIMULATION_MODELS
+    from repro.sim import BENCHMARK_PLATFORMS, lightning_chip, run_comparison
+
+    report = run_comparison(
+        SIMULATION_MODELS(),
+        BENCHMARK_PLATFORMS(),
+        lightning_chip(),
+        utilization=args.utilization,
+        num_requests=args.requests,
+        num_traces=args.traces,
+        seed=0,
+    )
+    rows = [
+        [p.name, report.average_speedup(p.name),
+         report.average_energy_savings(p.name)]
+        for p in report.platforms
+    ]
+    print(format_table(
+        ["Platform", "Avg speedup (x)", "Avg energy savings (x)"],
+        rows,
+        precision=1,
+        title=(
+            f"Figures 21/22 summary ({args.traces} traces x "
+            f"{args.requests} requests @ {args.utilization:.0%})"
+        ),
+    ))
+    return 0
+
+
+def cmd_report(_args) -> int:
+    import pathlib
+
+    reports = pathlib.Path(__file__).resolve().parents[2] / (
+        "benchmarks/reports"
+    )
+    if not reports.is_dir():
+        print(
+            "no reports yet — run `pytest benchmarks/` first "
+            f"(looked in {reports})"
+        )
+        return 1
+    for path in sorted(reports.glob("*.txt")):
+        print(path.read_text().rstrip())
+        print("-" * 72)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Lightning (SIGCOMM 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package overview").set_defaults(
+        func=cmd_info
+    )
+    sub.add_parser(
+        "chip", help="the §8 chip area/power/cost tables"
+    ).set_defaults(func=cmd_chip)
+    sub.add_parser(
+        "energy", help="Table 3: energy per MAC across platforms"
+    ).set_defaults(func=cmd_energy)
+    mac = sub.add_parser(
+        "mac", help="photonic MAC accuracy micro-benchmark (§6.2)"
+    )
+    mac.add_argument("--samples", type=int, default=1000)
+    mac.add_argument("--seed", type=int, default=0)
+    mac.set_defaults(func=cmd_mac)
+    simulate = sub.add_parser(
+        "simulate", help="a quick Figures 21/22 serving simulation"
+    )
+    simulate.add_argument("--requests", type=int, default=500)
+    simulate.add_argument("--traces", type=int, default=2)
+    simulate.add_argument("--utilization", type=float, default=0.98)
+    simulate.set_defaults(func=cmd_simulate)
+    sub.add_parser(
+        "report", help="print all regenerated paper tables/figures"
+    ).set_defaults(func=cmd_report)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

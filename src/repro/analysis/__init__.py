@@ -1,0 +1,30 @@
+"""Shared statistics and reporting utilities for the evaluation harness."""
+
+from .stats import (
+    ErrorStatistics,
+    accuracy_percent,
+    cdf_percentile,
+    confusion_matrix,
+    empirical_cdf,
+    error_statistics,
+    gaussian_pdf,
+    geometric_mean,
+    histogram_density,
+    top_k_accuracy,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "ErrorStatistics",
+    "accuracy_percent",
+    "error_statistics",
+    "empirical_cdf",
+    "cdf_percentile",
+    "histogram_density",
+    "gaussian_pdf",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+]

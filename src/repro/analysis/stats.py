@@ -1,0 +1,159 @@
+"""Statistical helpers shared by the evaluation harness.
+
+The paper reports photonic computing accuracy as ``100 % - std(error)``
+where errors are normalized to the 0..255 full scale (§6.2), plots latency
+distributions as CDFs (Figure 4), and fits Gaussians to measured noise
+(Figure 18).  These utilities implement those conventions once so every
+benchmark reports numbers the same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy_percent",
+    "error_statistics",
+    "ErrorStatistics",
+    "empirical_cdf",
+    "cdf_percentile",
+    "histogram_density",
+    "gaussian_pdf",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "geometric_mean",
+]
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Summary of photonic-vs-digital computing errors (Figure 14 style)."""
+
+    mean: float
+    std: float
+    relative_std_percent: float
+    accuracy_percent: float
+    num_samples: int
+
+
+def error_statistics(
+    measured: np.ndarray,
+    reference: np.ndarray,
+    full_scale: float = 255.0,
+) -> ErrorStatistics:
+    """Compute the paper's accuracy metric from measured/reference pairs.
+
+    The photonic computing error is the difference between the photonic
+    result and its corresponding digital result; accuracy is 100 % minus
+    the error standard deviation expressed as a percentage of full scale.
+    """
+    measured = np.asarray(measured, dtype=np.float64).ravel()
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    if measured.shape != reference.shape:
+        raise ValueError("measured and reference must have equal length")
+    if measured.size == 0:
+        raise ValueError("need at least one sample")
+    if full_scale <= 0:
+        raise ValueError("full scale must be positive")
+    errors = measured - reference
+    rel_std = float(errors.std()) / full_scale * 100.0
+    return ErrorStatistics(
+        mean=float(errors.mean()),
+        std=float(errors.std()),
+        relative_std_percent=rel_std,
+        accuracy_percent=100.0 - rel_std,
+        num_samples=errors.size,
+    )
+
+
+def accuracy_percent(
+    measured: np.ndarray, reference: np.ndarray, full_scale: float = 255.0
+) -> float:
+    """Shorthand for :func:`error_statistics`'s accuracy field."""
+    return error_statistics(measured, reference, full_scale).accuracy_percent
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fraction)`` for a CDF plot."""
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        raise ValueError("cannot build a CDF from zero samples")
+    values = np.sort(samples)
+    fractions = np.arange(1, samples.size + 1) / samples.size
+    return values, fractions
+
+
+def cdf_percentile(samples: np.ndarray, percentile: float) -> float:
+    """The value at the given percentile (0-100) of the empirical CDF."""
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    return float(np.percentile(samples, percentile))
+
+
+def histogram_density(
+    samples: np.ndarray, num_bins: int = 30
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalized histogram: ``(bin_centers, probability_density)``."""
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    density, edges = np.histogram(samples, bins=num_bins, density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, density
+
+
+def gaussian_pdf(x: np.ndarray, mean: float, std: float) -> np.ndarray:
+    """Gaussian probability density, for overlaying on histograms."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    coeff = 1.0 / (std * np.sqrt(2.0 * np.pi))
+    return coeff * np.exp(-0.5 * ((x - mean) / std) ** 2)
+
+
+def top_k_accuracy(
+    scores: np.ndarray, labels: np.ndarray, k: int = 1
+) -> float:
+    """Fraction of rows whose true label is among the top-k scores."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.ndim != 2:
+        raise ValueError("scores must be (num_samples, num_classes)")
+    if len(labels) != scores.shape[0]:
+        raise ValueError("one label per score row required")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError("k must be within [1, num_classes]")
+    top_k = np.argsort(scores, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Row-normalized confusion matrix (Figure 16's heat map), percent.
+
+    ``matrix[i, j]`` is the percentage of ground-truth class ``i`` samples
+    predicted as class ``j``.  Rows with no samples stay all-zero.
+    """
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.float64)
+    for truth, pred in zip(labels, predictions):
+        matrix[truth, pred] += 1
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    np.divide(matrix, row_sums, out=matrix, where=row_sums > 0)
+    return matrix * 100.0
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean, used for averaging speedup/savings factors."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark regenerates a paper table or figure as rows of numbers;
+this module renders them as aligned ASCII tables so the harness output
+reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows of mixed values as an aligned ASCII table."""
+    rendered_rows = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Iterable[float], precision: int = 3
+) -> str:
+    """Render a named numeric series on one line (for figure data dumps)."""
+    cells = ", ".join(_format_cell(float(v), precision) for v in values)
+    return f"{name}: [{cells}]"

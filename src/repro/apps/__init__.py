@@ -1,0 +1,22 @@
+"""Beyond-ML photonic applications (Appendix G).
+
+The paper's closing note: besides inference, Lightning's photonic cores
+can accelerate fast Fourier transforms, image signal processing, and
+forward error correction.  These modules realize those use cases on the
+same :class:`~repro.photonics.core.BehavioralCore` compute primitive.
+"""
+
+from .transforms import (
+    PhotonicDFT,
+    photonic_correlate,
+    photonic_moving_average,
+)
+from .fec import HammingCode, photonic_syndrome
+
+__all__ = [
+    "PhotonicDFT",
+    "photonic_correlate",
+    "photonic_moving_average",
+    "HammingCode",
+    "photonic_syndrome",
+]

@@ -1,0 +1,117 @@
+"""Photonic forward error correction (Appendix G).
+
+Hamming-code syndrome computation is a binary matrix-vector product —
+the parity-check matrix times the received word, reduced mod 2.  The
+photonic core computes the integer matmul; the cheap mod-2 reduction
+stays digital, exactly the photonic/digital split the inference datapath
+uses for its non-linearities.
+
+:class:`HammingCode` implements the classic Hamming(7,4) single-error
+correcting code with photonic syndrome evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..photonics.core import BehavioralCore
+from ..photonics.noise import NoiselessModel
+
+__all__ = ["HammingCode", "photonic_syndrome"]
+
+
+def photonic_syndrome(
+    parity_check: np.ndarray,
+    received: np.ndarray,
+    core: BehavioralCore | None = None,
+) -> np.ndarray:
+    """Compute a binary code's syndrome with a photonic matmul.
+
+    ``parity_check`` is an (r, n) 0/1 matrix and ``received`` an n-bit
+    0/1 word; returns the r-bit syndrome ``H @ w mod 2``.  Bits ride the
+    photonic core as levels 0/255, so the integer counts come back as
+    multiples of 255 and round robustly even under analog noise.
+    """
+    parity_check = np.asarray(parity_check)
+    received = np.asarray(received).ravel()
+    if parity_check.ndim != 2:
+        raise ValueError("parity-check matrix must be 2-D")
+    if parity_check.shape[1] != len(received):
+        raise ValueError("received word length does not match the code")
+    if not np.isin(parity_check, (0, 1)).all():
+        raise ValueError("parity-check entries must be bits")
+    if not np.isin(received, (0, 1)).all():
+        raise ValueError("received word must be bits")
+    core = core if core is not None else BehavioralCore(
+        noise=NoiselessModel()
+    )
+    h_levels = parity_check.astype(np.float64) * 255.0
+    w_levels = received.astype(np.float64) * 255.0
+    # core.matmul returns (H*255 @ w*255)/255 = 255 * (H @ w).
+    counts = core.matmul(h_levels, w_levels[:, None])[:, 0] / 255.0
+    return np.round(counts).astype(np.int64) % 2
+
+
+class HammingCode:
+    """Hamming(7,4): single-error correction, photonic syndromes."""
+
+    #: Generator matrix (systematic form): codeword = G.T @ data mod 2.
+    GENERATOR = np.array(
+        [
+            [1, 1, 0, 1],
+            [1, 0, 1, 1],
+            [1, 0, 0, 0],
+            [0, 1, 1, 1],
+            [0, 1, 0, 0],
+            [0, 0, 1, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=np.int64,
+    )
+    #: Parity-check matrix; column i is the binary expansion of i+1, so
+    #: the syndrome directly names the flipped position.
+    PARITY_CHECK = np.array(
+        [
+            [0, 0, 0, 1, 1, 1, 1],
+            [0, 1, 1, 0, 0, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1],
+        ],
+        dtype=np.int64,
+    )
+    #: Positions of the data bits within a codeword.
+    DATA_POSITIONS = (2, 4, 5, 6)
+
+    def __init__(self, core: BehavioralCore | None = None) -> None:
+        self.core = core if core is not None else BehavioralCore(
+            noise=NoiselessModel()
+        )
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        """Encode 4 data bits into a 7-bit codeword."""
+        data_bits = np.asarray(data_bits).ravel()
+        if len(data_bits) != 4 or not np.isin(data_bits, (0, 1)).all():
+            raise ValueError("expects exactly 4 data bits")
+        return (self.GENERATOR @ data_bits.astype(np.int64)) % 2
+
+    def syndrome(self, received: np.ndarray) -> int:
+        """The photonically computed syndrome, as the error position.
+
+        Returns 0 when no error is detected, else the 1-indexed bit
+        position of the single flipped bit.
+        """
+        bits = photonic_syndrome(self.PARITY_CHECK, received, self.core)
+        return int(bits[0] * 4 + bits[1] * 2 + bits[2])
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Correct up to one flipped bit; returns ``(data, corrected)``."""
+        received = np.asarray(received).ravel().astype(np.int64)
+        if len(received) != 7 or not np.isin(received, (0, 1)).all():
+            raise ValueError("expects a 7-bit word")
+        position = self.syndrome(received)
+        corrected = received.copy()
+        fixed = False
+        if position:
+            corrected[position - 1] ^= 1
+            fixed = True
+        data = corrected[list(self.DATA_POSITIONS)]
+        return data, fixed

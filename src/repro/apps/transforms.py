@@ -1,0 +1,112 @@
+"""Photonic signal transforms: DFT and FIR filtering (Appendix G).
+
+A discrete Fourier transform is one matrix-vector product with the DFT
+matrix — exactly the operation a photonic vector dot product core
+performs.  :class:`PhotonicDFT` quantizes the cosine and sine basis
+matrices onto the 8-bit level scale once (they are the "weights") and
+computes both the real and imaginary projections photonically.
+
+:func:`photonic_correlate` is the image-signal-processing primitive: a
+sliding-window correlation (FIR filter) lowered to a matmul against a
+Toeplitz patch matrix, the 1-D analog of the conv-as-dot-products
+lowering the inference datapath uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dnn.quantize import quantize_tensor
+from ..photonics.core import BehavioralCore
+from ..photonics.noise import NoiselessModel
+
+__all__ = ["PhotonicDFT", "photonic_correlate", "photonic_moving_average"]
+
+LEVELS = 255.0
+
+
+def _default_core() -> BehavioralCore:
+    return BehavioralCore(noise=NoiselessModel())
+
+
+class PhotonicDFT:
+    """An N-point DFT computed with photonic matrix-vector products."""
+
+    def __init__(
+        self, size: int, core: BehavioralCore | None = None
+    ) -> None:
+        if size < 2:
+            raise ValueError("a DFT needs at least two points")
+        self.size = size
+        self.core = core if core is not None else _default_core()
+        n = np.arange(size)
+        angles = 2.0 * np.pi * np.outer(n, n) / size
+        # The DFT bases are the photonic "weights": quantized once, like
+        # DNN parameters in the offline phase.
+        self._cos_levels, self._cos_scale = quantize_tensor(np.cos(angles))
+        self._sin_levels, self._sin_scale = quantize_tensor(-np.sin(angles))
+
+    def transform(self, signal: np.ndarray) -> np.ndarray:
+        """The forward DFT of a real signal (complex spectrum)."""
+        signal = np.asarray(signal, dtype=np.float64).ravel()
+        if len(signal) != self.size:
+            raise ValueError(
+                f"expected a {self.size}-point signal, got {len(signal)}"
+            )
+        x_levels, x_scale = quantize_tensor(signal)
+        real = (
+            self.core.matmul(self._cos_levels, x_levels[:, None])[:, 0]
+            * self._cos_scale * x_scale / LEVELS
+        )
+        imag = (
+            self.core.matmul(self._sin_levels, x_levels[:, None])[:, 0]
+            * self._sin_scale * x_scale / LEVELS
+        )
+        return real + 1j * imag
+
+    def power_spectrum(self, signal: np.ndarray) -> np.ndarray:
+        """|DFT|^2, the quantity spectrum-sensing applications need."""
+        spectrum = self.transform(signal)
+        return np.abs(spectrum) ** 2
+
+    def dominant_frequency(self, signal: np.ndarray) -> int:
+        """Index of the strongest non-DC positive-frequency bin."""
+        power = self.power_spectrum(signal)
+        half = power[1 : self.size // 2 + 1]
+        return int(np.argmax(half)) + 1
+
+
+def photonic_correlate(
+    signal: np.ndarray,
+    kernel: np.ndarray,
+    core: BehavioralCore | None = None,
+) -> np.ndarray:
+    """Valid-mode sliding correlation (FIR filter) on the photonic core.
+
+    Windows of the signal form the rows of a Toeplitz matrix; one matmul
+    against the kernel computes every output tap.
+    """
+    signal = np.asarray(signal, dtype=np.float64).ravel()
+    kernel = np.asarray(kernel, dtype=np.float64).ravel()
+    if len(kernel) < 1:
+        raise ValueError("kernel cannot be empty")
+    if len(kernel) > len(signal):
+        raise ValueError("kernel longer than the signal")
+    core = core if core is not None else _default_core()
+    windows = np.lib.stride_tricks.sliding_window_view(signal, len(kernel))
+    w_levels, w_scale = quantize_tensor(windows)
+    k_levels, k_scale = quantize_tensor(kernel)
+    out = core.matmul(w_levels, k_levels[:, None])[:, 0]
+    return out * w_scale * k_scale / LEVELS
+
+
+def photonic_moving_average(
+    signal: np.ndarray,
+    window: int,
+    core: BehavioralCore | None = None,
+) -> np.ndarray:
+    """A box filter — the simplest ISP denoiser — as a photonic FIR."""
+    if window < 1:
+        raise ValueError("window must be at least one sample")
+    kernel = np.full(window, 1.0 / window)
+    return photonic_correlate(signal, kernel, core)

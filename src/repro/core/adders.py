@@ -1,0 +1,246 @@
+"""Pipeline parallel digital computation: adder modules (§5.3, Figure 10).
+
+Light intensity is non-negative, so Lightning computes photonic dot
+products on *absolute values* and re-applies the signs digitally (the
+signs are separated from the magnitudes in an offline phase, §5.3
+footnote 2).  Two digital components do this without stalling the
+pipeline:
+
+* :class:`CrossCycleAdderSubtractor` — 16 parallel adder-subtractors, one
+  per ADC sample lane.  Each cycle they add or subtract the lane's sample
+  according to its paired sign control bit, accumulating partial dot
+  products across cycles whenever the vector is longer than the number of
+  photonic accumulation wavelengths.  A count-action unit counts
+  completed accumulations and fires when ``vector_length /
+  num_accumulation_wavelengths`` partial products have been folded in
+  (Listing 3).
+* :class:`IntraCycleAdderTree` — a binary adder tree that folds the 16
+  per-lane partials into a single result in ``log2(k)`` clock cycles.
+
+:class:`PipelineParallelAdder` chains the two and reports the cycle cost
+of the whole reduction, which the datapath's latency ledger uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .count_action import (
+    Comparison,
+    ControlRegisterFile,
+    CountActionUnit,
+    CountMode,
+)
+
+__all__ = [
+    "CrossCycleAdderSubtractor",
+    "IntraCycleAdderTree",
+    "PipelineParallelAdder",
+]
+
+
+class CrossCycleAdderSubtractor:
+    """Sign-aware cross-cycle accumulator (Listing 3).
+
+    ``num_lanes`` parallel adder-subtractors accumulate the per-lane
+    samples delivered each digital clock cycle.  The embedded
+    count-action unit accumulates the number of valid samples folded in
+    and fires once the configured number of partial products (vector
+    length divided by accumulation wavelengths) has been summed,
+    signalling that the per-lane partials are ready for the intra-cycle
+    adder tree.
+    """
+
+    def __init__(
+        self,
+        num_lanes: int = 16,
+        registers: ControlRegisterFile | None = None,
+        name: str = "cross_cycle_adder_subtractor",
+    ) -> None:
+        if num_lanes < 1:
+            raise ValueError("need at least one adder-subtractor lane")
+        self.num_lanes = num_lanes
+        self.registers = (
+            registers if registers is not None else ControlRegisterFile()
+        )
+        self._target_register = f"{name}.partials_target"
+        self.registers.write(self._target_register, 1)
+        self._partials = np.zeros(num_lanes, dtype=np.float64)
+        self._cycle_valid = 0
+        self._complete = False
+        self.cycles = 0
+        self.unit = CountActionUnit(
+            name=name,
+            count=lambda _ctx: self._cycle_valid,
+            target=self._target_register,
+            actions=[self._complete_action],
+            mode=CountMode.ACCUMULATE,
+            comparison=Comparison.EQUAL,
+            registers=self.registers,
+        )
+
+    def _complete_action(self, _context: object) -> None:
+        self._complete = True
+
+    def configure(
+        self, vector_length: int, num_accumulation_wavelengths: int
+    ) -> None:
+        """Set the fire target for a new dot product (a register write).
+
+        The required number of cross-cycle accumulations is the vector
+        length divided by the number of wavelengths accumulated optically
+        (Listing 3); lengths that do not divide evenly are zero-padded by
+        the streamer, so the ceiling is used.
+        """
+        if vector_length < 1:
+            raise ValueError("vector length must be positive")
+        if num_accumulation_wavelengths < 1:
+            raise ValueError("wavelength count must be positive")
+        target = math.ceil(vector_length / num_accumulation_wavelengths)
+        self.registers.write(self._target_register, target)
+        self.reset()
+
+    @property
+    def target(self) -> int:
+        return int(self.registers.read(self._target_register))
+
+    @property
+    def complete(self) -> bool:
+        """True once the configured number of partials has been folded."""
+        return self._complete
+
+    @property
+    def partials(self) -> np.ndarray:
+        """Current per-lane partial sums (signed)."""
+        return self._partials.copy()
+
+    def reset(self) -> None:
+        """Clear the partials, the counter, and the completion flag."""
+        self._partials[:] = 0.0
+        self._complete = False
+        self._cycle_valid = 0
+        self.unit.reset()
+
+    def tick(self, samples: np.ndarray, signs: np.ndarray) -> bool:
+        """Fold one cycle's samples into the per-lane partials.
+
+        ``samples`` holds up to ``num_lanes`` non-negative photonic
+        results; ``signs`` holds the matching control bits (+1 or -1).
+        Lanes beyond ``len(samples)`` are idle this cycle (their valid
+        flag is low).  Returns True when the accumulation completes.
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        signs = np.asarray(signs, dtype=np.float64)
+        if samples.shape != signs.shape:
+            raise ValueError("each sample needs exactly one sign bit")
+        if samples.ndim != 1 or len(samples) > self.num_lanes:
+            raise ValueError(
+                f"expected at most {self.num_lanes} samples per cycle"
+            )
+        if not np.all(np.isin(signs, (-1.0, 1.0))):
+            raise ValueError("sign control bits must be +1 or -1")
+        if self._complete:
+            raise RuntimeError(
+                "accumulation already complete; reconfigure before reuse"
+            )
+        self._partials[: len(samples)] += signs * samples
+        self._cycle_valid = len(samples)
+        fired = self.unit.tick(None, self.cycles)
+        self.cycles += 1
+        return fired
+
+    def accumulate_stream(
+        self, samples: np.ndarray, signs: np.ndarray
+    ) -> np.ndarray:
+        """Run a whole sample/sign stream through the module.
+
+        The stream is consumed ``num_lanes`` samples per cycle; the module
+        must have been configured so the count-action target matches the
+        stream length.  Returns the per-lane partials after completion.
+        """
+        samples = np.asarray(samples, dtype=np.float64).ravel()
+        signs = np.asarray(signs, dtype=np.float64).ravel()
+        if samples.shape != signs.shape:
+            raise ValueError("samples and signs must align")
+        for start in range(0, len(samples), self.num_lanes):
+            chunk = samples[start : start + self.num_lanes]
+            sign_chunk = signs[start : start + self.num_lanes]
+            self.tick(chunk, sign_chunk)
+        if not self._complete:
+            raise RuntimeError(
+                f"stream of {len(samples)} samples did not reach the "
+                f"configured target of {self.target} accumulations"
+            )
+        return self.partials
+
+
+class IntraCycleAdderTree:
+    """Binary adder tree folding parallel lanes into one value.
+
+    The reduction is performed level by level exactly as the hardware
+    tree would, taking ``ceil(log2(num_lanes))`` clock cycles.
+    """
+
+    def __init__(self, num_lanes: int = 16) -> None:
+        if num_lanes < 1:
+            raise ValueError("need at least one input lane")
+        self.num_lanes = num_lanes
+
+    @property
+    def latency_cycles(self) -> int:
+        """Pipeline depth of the tree: one cycle per level."""
+        return max(1, math.ceil(math.log2(self.num_lanes)))
+
+    def reduce(self, lane_values: np.ndarray) -> float:
+        """Fold the lane values pairwise, level by level."""
+        values = np.asarray(lane_values, dtype=np.float64).ravel()
+        if len(values) != self.num_lanes:
+            raise ValueError(
+                f"expected {self.num_lanes} lane values, got {len(values)}"
+            )
+        while len(values) > 1:
+            if len(values) % 2:
+                values = np.concatenate([values, [0.0]])
+            values = values[0::2] + values[1::2]
+        return float(values[0])
+
+
+class PipelineParallelAdder:
+    """The full §5.3 reduction pipeline: cross-cycle then intra-cycle.
+
+    Produces one signed dot product from a stream of non-negative
+    photonic partial results plus their sign control bits, and reports
+    the number of digital clock cycles consumed.
+    """
+
+    def __init__(
+        self,
+        num_lanes: int = 16,
+        registers: ControlRegisterFile | None = None,
+    ) -> None:
+        self.registers = (
+            registers if registers is not None else ControlRegisterFile()
+        )
+        self.cross_cycle = CrossCycleAdderSubtractor(
+            num_lanes=num_lanes, registers=self.registers
+        )
+        self.intra_cycle = IntraCycleAdderTree(num_lanes=num_lanes)
+
+    def reduce_stream(
+        self,
+        samples: np.ndarray,
+        signs: np.ndarray,
+        vector_length: int,
+        num_accumulation_wavelengths: int,
+    ) -> tuple[float, int]:
+        """Reduce a dot product's sample stream to ``(value, cycles)``."""
+        self.cross_cycle.configure(
+            vector_length, num_accumulation_wavelengths
+        )
+        start_cycles = self.cross_cycle.cycles
+        partials = self.cross_cycle.accumulate_stream(samples, signs)
+        total = self.intra_cycle.reduce(partials)
+        cross_cycles = self.cross_cycle.cycles - start_cycles
+        return total, cross_cycles + self.intra_cycle.latency_cycles

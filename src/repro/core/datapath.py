@@ -1,0 +1,636 @@
+"""The Lightning datapath: photonic-electronic pipelined execution (§4).
+
+:class:`LightningDatapath` wires together the building blocks of the
+paper's Figure 5: the DAG configuration loader writes count-action
+targets for each layer, the memory controller streams sign-separated
+weights, the synchronous data streamer feeds the photonic core, preamble
+detection frames the ADC readout, and the pipeline parallel adder plus
+non-linear modules complete each layer digitally.
+
+Two execution fidelities are offered, producing identical numerical
+results and identical cycle accounting:
+
+* ``fidelity="device"`` walks every row's samples through the framing
+  path — preamble added before the DACs, ADC readout windows with a
+  random data-start offset, count-action preamble detection, and
+  cycle-by-cycle adder-subtractor ticks.  This is the path used to
+  reproduce the Figure 17 traces and to validate the fast path.
+* ``fidelity="fast"`` computes the same reductions with vectorized
+  numpy while charging the same cycle ledger; it is used for serving
+  many requests (Figures 15/16).
+
+Cycle accounting follows the prototype: a 253.44 MHz digital clock moving
+16 samples per cycle per converter (4.055 GS/s analog rate), a preamble
+of P pattern repeats per vector, a log2(16)-cycle adder tree, and the
+per-layer non-linearity latency, all pipelined so per-vector overheads
+appear once per vector and per-layer overheads once per layer.  The
+Lightning-specific datapath functions (DACs, ADCs, count-action modules)
+cost 193 ns per layer, the constant measured on the prototype (§9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..photonics.converters import (
+    PROTOTYPE_FPGA_CLOCK_MHZ,
+    PROTOTYPE_SAMPLES_PER_CYCLE,
+)
+from ..photonics.core import BehavioralCore, PrototypeCore
+from .adders import CrossCycleAdderSubtractor, IntraCycleAdderTree
+from .count_action import ControlRegisterFile
+from .dag import (
+    ComputationDAG,
+    ConvShape,
+    DAGConfigurationLoader,
+    LayerTask,
+    SignSeparatedRow,
+    sign_separate_row,
+)
+from .memory import MemoryController
+from .nonlinear import nonlinear_module
+from .preamble import PREAMBLE_PATTERN_TESTBED, PreambleDetector, add_preamble
+
+__all__ = [
+    "LayerExecution",
+    "InferenceExecution",
+    "BatchExecution",
+    "LightningDatapath",
+    "PER_LAYER_DATAPATH_SECONDS",
+]
+
+#: Datapath latency per DNN layer measured on the prototype (§9): covers
+#: the Lightning-specific functions — DACs, ADCs, count-action modules.
+PER_LAYER_DATAPATH_SECONDS = 193e-9
+
+
+@dataclass(frozen=True)
+class LayerExecution:
+    """Result and cost of executing one DAG task."""
+
+    task_name: str
+    output_levels: np.ndarray
+    compute_cycles: int
+    compute_seconds: float
+    datapath_seconds: float
+    memory_seconds: float
+    rows: int
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """Result and cost of serving a batch on a broadcast core.
+
+    Appendix E's third favourable feature: the weight matrix is encoded
+    once and photonic broadcasting fans it out to ``hardware_batch``
+    input lanes, so a batch costs ``passes = ceil(batch /
+    hardware_batch)`` single-inference pipelines' worth of cycles rather
+    than ``batch`` of them.
+    """
+
+    model_id: int
+    model_name: str
+    output_levels: np.ndarray  # (batch, output_size)
+    batch: int
+    hardware_batch: int
+    passes: int
+    compute_seconds: float
+    datapath_seconds: float
+    memory_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds + self.datapath_seconds + self.memory_seconds
+        )
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return np.argmax(self.output_levels, axis=-1)
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Inferences per second at this batch size."""
+        return self.batch / self.total_seconds
+
+
+@dataclass(frozen=True)
+class InferenceExecution:
+    """Result and cost of executing a full DAG on the datapath."""
+
+    model_id: int
+    model_name: str
+    layers: tuple[LayerExecution, ...]
+    output_levels: np.ndarray
+
+    @property
+    def compute_seconds(self) -> float:
+        """All computing stages: photonic dot products, adders,
+        non-linearities (the paper's "compute latency", Fig 15b)."""
+        return sum(layer.compute_seconds for layer in self.layers)
+
+    @property
+    def datapath_seconds(self) -> float:
+        """Digital datapath overhead (the paper's Fig 15c component)."""
+        return sum(layer.datapath_seconds for layer in self.layers)
+
+    @property
+    def memory_seconds(self) -> float:
+        return sum(layer.memory_seconds for layer in self.layers)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds + self.datapath_seconds + self.memory_seconds
+        )
+
+    @property
+    def prediction(self) -> int:
+        """Argmax of the final layer's outputs."""
+        return int(np.argmax(self.output_levels))
+
+
+class LightningDatapath:
+    """Cycle-level functional model of Lightning's datapath."""
+
+    def __init__(
+        self,
+        core: BehavioralCore | PrototypeCore | None = None,
+        clock_hz: float = PROTOTYPE_FPGA_CLOCK_MHZ * 1e6,
+        samples_per_cycle: int = PROTOTYPE_SAMPLES_PER_CYCLE,
+        preamble_pattern: str = PREAMBLE_PATTERN_TESTBED,
+        preamble_repeats: int = 10,
+        fidelity: str = "fast",
+        memory: MemoryController | None = None,
+        registers: ControlRegisterFile | None = None,
+        seed: int = 0,
+    ) -> None:
+        if fidelity not in ("fast", "device"):
+            raise ValueError("fidelity must be 'fast' or 'device'")
+        if clock_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.core = core if core is not None else BehavioralCore()
+        self.clock_hz = clock_hz
+        self.samples_per_cycle = samples_per_cycle
+        self.preamble_pattern = preamble_pattern
+        self.preamble_repeats = preamble_repeats
+        self.fidelity = fidelity
+        self.registers = (
+            registers if registers is not None else ControlRegisterFile()
+        )
+        self.loader = DAGConfigurationLoader(self.registers)
+        self.memory = memory if memory is not None else MemoryController()
+        self.adder_tree = IntraCycleAdderTree(num_lanes=samples_per_cycle)
+        self._rng = np.random.default_rng(seed)
+        self._sign_cache: dict[tuple[int, str], list[SignSeparatedRow]] = {}
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    @property
+    def num_wavelengths(self) -> int:
+        return self.core.architecture.accumulation_wavelengths
+
+    def register_model(self, dag: ComputationDAG) -> None:
+        """Register a DAG and stage its parameters in DRAM."""
+        self.loader.register_model(dag)
+        self.memory.store_model(
+            dag.model_id,
+            {
+                task.name: task.weights_levels
+                for task in dag.tasks
+                if task.weights_levels is not None
+            },
+        )
+
+    def _sign_separated(
+        self, dag: ComputationDAG, task: LayerTask
+    ) -> list[SignSeparatedRow]:
+        """Offline sign separation, computed once per task and cached."""
+        key = (dag.model_id, task.name)
+        if key not in self._sign_cache:
+            self._sign_cache[key] = [
+                sign_separate_row(row, self.num_wavelengths)
+                for row in task.weights_levels
+            ]
+        return self._sign_cache[key]
+
+    # ------------------------------------------------------------------
+    # Row reduction paths
+    # ------------------------------------------------------------------
+    def _row_operands(
+        self, row: SignSeparatedRow, activations: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather activation and magnitude streams for one output row.
+
+        Padding positions (``order == -1``) contribute zero activations.
+        """
+        gathered = np.where(
+            row.order >= 0, activations[np.clip(row.order, 0, None)], 0.0
+        )
+        return gathered, row.magnitudes
+
+    def _reduce_row_fast(
+        self, row: SignSeparatedRow, activations: np.ndarray
+    ) -> float:
+        """Vectorized equivalent of the device path's reduction."""
+        a_levels, b_levels = self._row_operands(row, activations)
+        n = self.num_wavelengths
+        partials = self.core.accumulate(
+            a_levels.reshape(-1, n), b_levels.reshape(-1, n)
+        )
+        return float(np.sum(row.group_signs * partials))
+
+    def _reduce_row_device(
+        self, row: SignSeparatedRow, activations: np.ndarray
+    ) -> float:
+        """Full framing path: preamble, ADC windows, detection, adders."""
+        a_levels, b_levels = self._row_operands(row, activations)
+        n = self.num_wavelengths
+        partials = self.core.accumulate(
+            a_levels.reshape(-1, n), b_levels.reshape(-1, n)
+        )
+        # The preamble travels the analog path too: H on both modulators
+        # reads back ~full scale, L reads ~zero.
+        preamble_out = add_preamble(
+            np.zeros(0),
+            self.preamble_pattern,
+            self.preamble_repeats,
+            high=255,
+            low=0,
+        ).astype(np.float64)
+        stream = np.concatenate([preamble_out, np.clip(partials, 0, None)])
+        offset = int(self._rng.integers(0, self.samples_per_cycle))
+        block = self.samples_per_cycle
+        total = offset + len(stream)
+        padded = np.zeros(((total + block - 1) // block) * block)
+        padded[offset : offset + len(stream)] = stream
+        windows = padded.reshape(-1, block)
+        detector = PreambleDetector(
+            self.preamble_pattern, self.preamble_repeats
+        )
+        data = detector.extract_data(windows, num_samples=len(partials))
+        # Sign stream: one control bit per photonic partial result.
+        adder = CrossCycleAdderSubtractor(
+            num_lanes=block, registers=ControlRegisterFile()
+        )
+        adder.configure(len(data) * n, n)
+        lanes = adder.accumulate_stream(data, row.group_signs)
+        return self.adder_tree.reduce(lanes)
+
+    def _row_cycles(self, row: SignSeparatedRow) -> int:
+        """Digital clock cycles to stream and reduce one output row."""
+        num_steps = len(row.magnitudes) // self.num_wavelengths
+        stream_cycles = math.ceil(num_steps / self.samples_per_cycle)
+        return self.preamble_repeats + stream_cycles
+
+    @staticmethod
+    def _unroll_patches(
+        activations: np.ndarray, conv: ConvShape
+    ) -> np.ndarray:
+        """im2col for one sample: (positions, patch_size) level rows."""
+        image = activations.reshape(
+            conv.in_channels, conv.height, conv.width
+        )
+        if conv.padding:
+            image = np.pad(
+                image,
+                ((0, 0), (conv.padding, conv.padding),
+                 (conv.padding, conv.padding)),
+                mode="constant",
+            )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            image, (conv.kernel, conv.kernel), axis=(1, 2)
+        )[:, :: conv.stride, :: conv.stride]
+        # windows: (channels, out_h, out_w, k, k)
+        patches = windows.transpose(1, 2, 0, 3, 4).reshape(
+            conv.positions, conv.patch_size
+        )
+        return np.ascontiguousarray(patches)
+
+    # ------------------------------------------------------------------
+    # Layer / DAG execution
+    # ------------------------------------------------------------------
+    def execute_layer(
+        self,
+        dag: ComputationDAG,
+        layer_index: int,
+        activations: np.ndarray,
+    ) -> LayerExecution:
+        """Run one DAG task over the photonic-electronic pipeline."""
+        task = self.loader.configure_layer(
+            dag, layer_index, self.num_wavelengths
+        )
+        activations = np.asarray(activations, dtype=np.float64).ravel()
+        if len(activations) != task.input_size:
+            raise ValueError(
+                f"layer {task.name!r} expects {task.input_size} "
+                f"activations, got {len(activations)}"
+            )
+        if np.any(activations < 0) or np.any(activations > 255):
+            raise ValueError(
+                "activations must be non-negative 0..255 levels (signs "
+                "are carried by the weights after sign separation)"
+            )
+        is_last = layer_index == dag.num_layers - 1
+        if task.kind == "dense":
+            return self._execute_dense(dag, task, activations, is_last)
+        if task.kind == "conv":
+            return self._execute_conv(dag, task, activations, is_last)
+        if task.kind == "attention":
+            return self._execute_attention(dag, task, activations, is_last)
+        return self._execute_pool(task, activations)
+
+    def _finish_layer(
+        self,
+        task: LayerTask,
+        raw: np.ndarray,
+        is_last: bool,
+        stream_cycles: int,
+        memory_seconds: float,
+        rows: int,
+    ) -> LayerExecution:
+        """Shared tail: non-linearity, requantization, cycle ledger."""
+        nonlinear = nonlinear_module(task.nonlinearity)
+        raw = nonlinear(raw)
+        if not is_last and task.requant_divisor != 1.0:
+            raw = np.clip(raw / task.requant_divisor, 0.0, 255.0)
+        cycles = (
+            stream_cycles
+            + self.adder_tree.latency_cycles
+            + nonlinear.latency_cycles
+        )
+        return LayerExecution(
+            task_name=task.name,
+            output_levels=np.asarray(raw, dtype=np.float64).ravel(),
+            compute_cycles=cycles,
+            compute_seconds=cycles / self.clock_hz,
+            datapath_seconds=PER_LAYER_DATAPATH_SECONDS,
+            memory_seconds=memory_seconds,
+            rows=rows,
+        )
+
+    def _execute_dense(
+        self,
+        dag: ComputationDAG,
+        task: LayerTask,
+        activations: np.ndarray,
+        is_last: bool,
+    ) -> LayerExecution:
+        # The memory controller streams this layer's weights; the first
+        # access fills the pipeline, the back-pressure buffer hides the
+        # rest behind compute.
+        _, memory_seconds = self.memory.stream_weights(
+            dag.model_id, task.name
+        )
+        rows = self._sign_separated(dag, task)
+        reduce = (
+            self._reduce_row_device
+            if self.fidelity == "device"
+            else self._reduce_row_fast
+        )
+        raw = np.array([reduce(row, activations) for row in rows])
+        if task.bias_levels is not None:
+            raw = raw + task.bias_levels
+        stream_cycles = sum(self._row_cycles(row) for row in rows)
+        return self._finish_layer(
+            task, raw, is_last, stream_cycles, memory_seconds, len(rows)
+        )
+
+    def _execute_conv(
+        self,
+        dag: ComputationDAG,
+        task: LayerTask,
+        activations: np.ndarray,
+        is_last: bool,
+    ) -> LayerExecution:
+        """A convolution layer: kernel rows reused across positions.
+
+        The kernel is fetched once via the memory controller's register
+        file cache (§4 step 3); each of the ``out_channels x positions``
+        dot products is one photonic vector reduction.  Outputs are
+        emitted channel-major (NCHW flattening) so downstream conv and
+        pool tasks can re-tile them.
+        """
+        conv = task.conv
+        assert conv is not None
+        _, memory_seconds = self.memory.load_kernel(
+            dag.model_id, task.name
+        )
+        patches = self._unroll_patches(activations, conv)
+        rows = self._sign_separated(dag, task)  # one per output channel
+        if self.fidelity == "device":
+            raw = np.empty((conv.positions, conv.out_channels))
+            for p in range(conv.positions):
+                for oc, row in enumerate(rows):
+                    raw[p, oc] = self._reduce_row_device(row, patches[p])
+        elif hasattr(self.core, "matmul"):
+            # The sign-separated per-row reduction equals the signed
+            # dot product exactly, so the whole layer vectorizes as one
+            # noisy matmul on the behavioral core.
+            assert task.weights_levels is not None
+            raw = self.core.matmul(patches, task.weights_levels.T)
+        else:
+            # Device-accurate cores reduce row by row.
+            raw = np.empty((conv.positions, conv.out_channels))
+            for p in range(conv.positions):
+                for oc, row in enumerate(rows):
+                    raw[p, oc] = self._reduce_row_fast(row, patches[p])
+        if task.bias_levels is not None:
+            raw = raw + task.bias_levels  # broadcast per out-channel
+        raw = raw.T.ravel()  # channel-major (NCHW) flattening
+        per_row_cycles = sum(self._row_cycles(row) for row in rows)
+        stream_cycles = per_row_cycles * conv.positions
+        return self._finish_layer(
+            task,
+            raw,
+            is_last,
+            stream_cycles,
+            memory_seconds,
+            conv.out_channels * conv.positions,
+        )
+
+    def _execute_attention(
+        self,
+        dag: ComputationDAG,
+        task: LayerTask,
+        activations: np.ndarray,
+        is_last: bool,
+    ) -> LayerExecution:
+        """Self-attention: four static projections plus two
+        dynamic-dynamic photonic products (§4's attention template).
+
+        The score and context matmuls multiply two *runtime* streams —
+        which the photonic primitive supports natively, since both
+        modulators are DAC-driven; only the memory controller's role
+        differs from weight-static layers.  The digital softmax runs on
+        the real logit scale via the task's calibrated ``score_scale``.
+        """
+        att = task.attention
+        assert att is not None
+        if not hasattr(self.core, "matmul"):
+            raise ValueError(
+                "attention tasks require a behavioral core (device-"
+                "fidelity attention streaming is not implemented)"
+            )
+        _, memory_seconds = self.memory.stream_weights(
+            dag.model_id, task.name
+        )
+        d = att.d_model
+        weights = task.weights_levels
+        assert weights is not None
+        wq, wk = weights[0:d], weights[d : 2 * d]
+        wv, wo = weights[2 * d : 3 * d], weights[3 * d : 4 * d]
+        tokens = activations.reshape(att.seq_len, d)
+        q = self.core.matmul(tokens, wq.T)
+        k = self.core.matmul(tokens, wk.T)
+        v = self.core.matmul(tokens, wv.T)
+        scores = self.core.matmul(q, k.T) * att.score_scale
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        attn = exps / exps.sum(axis=-1, keepdims=True)
+        # The attention weights are non-negative [0, 1] values: they ride
+        # the photonic core as levels directly.
+        context = self.core.matmul(attn * 255.0, v)
+        raw = self.core.matmul(context, wo.T).ravel()
+
+        def row_cost(length: int) -> int:
+            steps = math.ceil(length / self.num_wavelengths)
+            return self.preamble_repeats + math.ceil(
+                steps / self.samples_per_cycle
+            )
+
+        stream_cycles = (
+            3 * att.seq_len * row_cost(d)  # Q, K, V projections
+            + att.seq_len * row_cost(d)  # score rows
+            + att.seq_len * row_cost(att.seq_len)  # context rows
+            + att.seq_len * row_cost(d)  # output projection
+        )
+        # The softmax pipelines once per score row.
+        stream_cycles += att.seq_len * 8
+        return self._finish_layer(
+            task,
+            raw,
+            is_last,
+            stream_cycles,
+            memory_seconds,
+            6 * att.seq_len,
+        )
+
+    def _execute_pool(
+        self, task: LayerTask, activations: np.ndarray
+    ) -> LayerExecution:
+        """Max pooling: a pipeline-parallel digital stage.
+
+        Pooling needs neither photonics nor weights; it is folded into
+        the digital pipeline of the preceding layer, so it contributes
+        comparator cycles (``samples_per_cycle`` comparisons per clock)
+        but no per-layer datapath overhead.
+        """
+        pool = task.pool
+        assert pool is not None
+        image = activations.reshape(pool.channels, pool.height, pool.width)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            image, (pool.kernel, pool.kernel), axis=(1, 2)
+        )[:, :: pool.effective_stride, :: pool.effective_stride]
+        pooled = windows.max(axis=(-2, -1))
+        comparisons = task.output_size * (pool.kernel * pool.kernel - 1)
+        cycles = max(
+            1, math.ceil(comparisons / self.samples_per_cycle)
+        )
+        return LayerExecution(
+            task_name=task.name,
+            output_levels=pooled.ravel(),
+            compute_cycles=cycles,
+            compute_seconds=cycles / self.clock_hz,
+            datapath_seconds=0.0,
+            memory_seconds=0.0,
+            rows=0,
+        )
+
+    def execute(
+        self, model_id: int, input_levels: np.ndarray
+    ) -> InferenceExecution:
+        """Serve one inference request end to end on the datapath.
+
+        ``input_levels`` are the query's activation levels (0..255).
+        Layers execute in DAG order; tasks in the same parallel group
+        share their datapath overhead (Appendix F).
+        """
+        dag = self.loader.load(model_id)
+        activations = np.asarray(input_levels, dtype=np.float64).ravel()
+        layer_records: list[LayerExecution] = []
+        seen_groups: set[str] = set()
+        for index, task in enumerate(dag.tasks):
+            record = self.execute_layer(dag, index, activations)
+            if task.parallel_group is not None:
+                if task.parallel_group in seen_groups:
+                    record = LayerExecution(
+                        task_name=record.task_name,
+                        output_levels=record.output_levels,
+                        compute_cycles=record.compute_cycles,
+                        compute_seconds=record.compute_seconds,
+                        datapath_seconds=0.0,
+                        memory_seconds=record.memory_seconds,
+                        rows=record.rows,
+                    )
+                else:
+                    seen_groups.add(task.parallel_group)
+            layer_records.append(record)
+            activations = record.output_levels
+        return InferenceExecution(
+            model_id=dag.model_id,
+            model_name=dag.name,
+            layers=tuple(layer_records),
+            output_levels=layer_records[-1].output_levels,
+        )
+
+    def execute_batch(
+        self, model_id: int, batch_levels: np.ndarray
+    ) -> BatchExecution:
+        """Serve a batch of queries with photonic weight broadcasting.
+
+        The core's architecture defines the hardware batch width ``B``
+        (Appendix E): the weights are encoded once per pass and split
+        optically to ``B`` input-modulator lanes, so ``ceil(batch / B)``
+        passes serve the whole batch.  Outputs match per-sample
+        :meth:`execute` results exactly (noise draws aside); only the
+        cycle accounting differs.
+        """
+        dag = self.loader.load(model_id)
+        batch_levels = np.atleast_2d(
+            np.asarray(batch_levels, dtype=np.float64)
+        )
+        batch = batch_levels.shape[0]
+        if batch < 1:
+            raise ValueError("a batch needs at least one query")
+        hardware_batch = self.core.architecture.batch_size
+        passes = math.ceil(batch / hardware_batch)
+        outputs = []
+        pipeline_compute = 0.0
+        pipeline_datapath = 0.0
+        pipeline_memory = 0.0
+        for index in range(batch):
+            execution = self.execute(model_id, batch_levels[index])
+            outputs.append(execution.output_levels)
+            if index == 0:
+                pipeline_compute = execution.compute_seconds
+                pipeline_datapath = execution.datapath_seconds
+                pipeline_memory = execution.memory_seconds
+        return BatchExecution(
+            model_id=dag.model_id,
+            model_name=dag.name,
+            output_levels=np.stack(outputs),
+            batch=batch,
+            hardware_batch=hardware_batch,
+            passes=passes,
+            # Each pass streams the weights once and computes all its
+            # batch lanes simultaneously; the per-layer datapath and
+            # memory costs are per pass as well.
+            compute_seconds=pipeline_compute * passes,
+            datapath_seconds=pipeline_datapath * passes,
+            memory_seconds=pipeline_memory * passes,
+        )

@@ -1,0 +1,102 @@
+"""Pipelined non-linear function modules (§5.3).
+
+The computation DAG of a DNN layer needs more than dot products: ReLU,
+softmax, argmax, pooling.  Lightning computes these in the digital domain
+with dedicated pipeline stages so they never stall the photonic dataflow
+(requirement R5).  Each module advertises its pipeline latency in digital
+clock cycles; the paper's implementations take one cycle for ReLU and
+eight for softmax (§5.3 footnote 3).  Because a non-linearity runs once
+per dot product and is pipelined across the layer's many dot products, it
+adds only its own latency to the *last* result of a layer — which is how
+the datapath ledger accounts for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NonlinearModule",
+    "Identity",
+    "ReLU",
+    "Softmax",
+    "ArgMax",
+    "nonlinear_module",
+]
+
+
+class NonlinearModule:
+    """Base class: a digital function with a fixed pipeline latency."""
+
+    #: Pipeline depth in digital clock cycles.
+    latency_cycles: int = 0
+    #: Name used in DAG configurations.
+    name: str = "nonlinear"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Apply the function element-wise (rows for batched input)."""
+        raise NotImplementedError
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.apply(np.asarray(values, dtype=np.float64))
+
+
+class Identity(NonlinearModule):
+    """Pass-through for layers without a non-linearity."""
+
+    latency_cycles = 0
+    name = "identity"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64).copy()
+
+
+class ReLU(NonlinearModule):
+    """Rectified linear unit; a single-cycle comparator in hardware."""
+
+    latency_cycles = 1
+    name = "relu"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(values, dtype=np.float64), 0.0)
+
+
+class Softmax(NonlinearModule):
+    """Numerically stable softmax; eight pipeline cycles in the RTL."""
+
+    latency_cycles = 8
+    name = "softmax"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        shifted = values - values.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=-1, keepdims=True)
+
+
+class ArgMax(NonlinearModule):
+    """Index of the maximum — used by result generation to pick the
+    predicted class before assembling the response packet."""
+
+    latency_cycles = 1
+    name = "argmax"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return np.argmax(values, axis=-1)
+
+
+_REGISTRY: dict[str, type[NonlinearModule]] = {
+    cls.name: cls for cls in (Identity, ReLU, Softmax, ArgMax)
+}
+
+
+def nonlinear_module(name: str) -> NonlinearModule:
+    """Instantiate a non-linear module by its DAG configuration name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown non-linear module {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,281 @@
+"""Preamble generation and detection (§5.2, Listing 2, Figures 8/9).
+
+The ADC delivers windows of parallel samples with no indication of which
+samples are noise and which are photonic compute results (requirement
+R4).  Lightning prepends every vector with a preamble: a single-cycle
+H/L pattern repeated ``P`` times, where ``P`` depends only on the setup's
+SNR, never on the model.
+
+Detection uses one count-action unit per candidate shift ``k`` (0 to
+samples-per-cycle minus 1).  A window that equals the pattern cyclically
+rotated by ``k`` increments counter ``k``.  When the preamble starts at
+offset ``k > 0`` inside a window, only the ``P - 1`` interior windows are
+full rotated copies, so counter ``k``'s target is ``P - 1`` while counter
+0's target is ``P``.  Whichever counter reaches its target fires, and the
+fired ``k`` is exactly the position of the first meaningful data sample
+in the following window — the action streams ``ADC.data[k:]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .count_action import (
+    Comparison,
+    ControlRegisterFile,
+    CountActionUnit,
+    CountMode,
+)
+
+__all__ = [
+    "PREAMBLE_PATTERN_TESTBED",
+    "make_preamble",
+    "add_preamble",
+    "PreambleDetector",
+    "DetectionResult",
+]
+
+# The testbed's pattern: 8 high then 8 low samples, repeated 10x (§6.3).
+PREAMBLE_PATTERN_TESTBED = "HHHHHHHHLLLLLLLL"
+DEFAULT_REPEATS = 10
+
+
+def _pattern_levels(pattern: str, high: int, low: int) -> np.ndarray:
+    if not pattern:
+        raise ValueError("preamble pattern cannot be empty")
+    invalid = set(pattern) - {"H", "L"}
+    if invalid:
+        raise ValueError(
+            f"preamble pattern may only contain 'H' and 'L', got {invalid}"
+        )
+    return np.array([high if c == "H" else low for c in pattern], dtype=np.int64)
+
+
+def make_preamble(
+    pattern: str = PREAMBLE_PATTERN_TESTBED,
+    repeats: int = DEFAULT_REPEATS,
+    high: int = 255,
+    low: int = 0,
+) -> np.ndarray:
+    """Build the preamble sample sequence: ``pattern`` repeated P times."""
+    if repeats < 1:
+        raise ValueError("the preamble must repeat at least once")
+    return np.tile(_pattern_levels(pattern, high, low), repeats)
+
+
+def add_preamble(
+    levels: np.ndarray,
+    pattern: str = PREAMBLE_PATTERN_TESTBED,
+    repeats: int = DEFAULT_REPEATS,
+    high: int = 255,
+    low: int = 0,
+) -> np.ndarray:
+    """Prepend the preamble to a digital sample vector (done pre-DAC)."""
+    levels = np.asarray(levels)
+    return np.concatenate([make_preamble(pattern, repeats, high, low), levels])
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of preamble detection.
+
+    ``offset`` is the sample position within a readout window where the
+    meaningful data begins; ``data_window`` is the index of the first
+    window containing meaningful data; ``detection_cycle`` is the cycle
+    on which the count-action unit fired.
+    """
+
+    offset: int
+    data_window: int
+    detection_cycle: int
+
+
+class PreambleDetector:
+    """Count-action preamble detector for one ADC (Listing 2)."""
+
+    def __init__(
+        self,
+        pattern: str = PREAMBLE_PATTERN_TESTBED,
+        repeats: int = DEFAULT_REPEATS,
+        high: int = 255,
+        low: int = 0,
+        registers: ControlRegisterFile | None = None,
+    ) -> None:
+        if repeats < 2:
+            raise ValueError(
+                "detection needs at least two repeats: shifted preambles "
+                "are only counted P - 1 times"
+            )
+        self.pattern = pattern
+        self.repeats = repeats
+        self.high = high
+        self.low = low
+        self.samples_per_cycle = len(pattern)
+        self.registers = (
+            registers if registers is not None else ControlRegisterFile()
+        )
+        self._threshold = (high + low) / 2.0
+        base = _pattern_levels(pattern, high, low) > self._threshold
+        self._shifted = [
+            np.roll(base, k) for k in range(self.samples_per_cycle)
+        ]
+        # One counter per candidate shift; targets are control registers
+        # so P can be retuned for SNR without touching the units.
+        self.registers.write("preamble.target_k0", repeats)
+        self.registers.write("preamble.target_shifted", repeats - 1)
+        self._matched: dict[int, bool] = {}
+        self.units = []
+        for k in range(self.samples_per_cycle):
+            target = (
+                "preamble.target_k0" if k == 0 else "preamble.target_shifted"
+            )
+            self.units.append(
+                CountActionUnit(
+                    name=f"preamble_k{k}",
+                    count=self._make_count(k),
+                    target=target,
+                    actions=[self._make_action(k)],
+                    mode=CountMode.ACCUMULATE,
+                    comparison=Comparison.EQUAL,
+                    registers=self.registers,
+                )
+            )
+        self._cycle = 0
+        self._result: DetectionResult | None = None
+        self._candidate: DetectionResult | None = None
+        self._extension_budget = 0
+        self._first_match: dict[int, int] = {}
+
+    def _make_count(self, k: int):
+        def count(_context: object) -> int:
+            return 1 if self._matched.get(k, False) else 0
+
+        return count
+
+    def _make_action(self, k: int):
+        def action(_context: object) -> None:
+            if self._candidate is None:
+                self._candidate = DetectionResult(
+                    offset=k,
+                    data_window=self._cycle + 1,
+                    detection_cycle=self._cycle,
+                )
+                # When the samples preceding a shifted preamble threshold
+                # low, the *partial* leading window also matches the
+                # rotated pattern, reaching the P-1 target one window
+                # early.  That happened iff this shifted counter's first
+                # match was window 0 — in which case exactly one more
+                # genuine preamble window follows the fire.
+                self._extension_budget = (
+                    1 if k > 0 and self._first_match.get(k) == 0 else 0
+                )
+
+        return action
+
+    @property
+    def result(self) -> DetectionResult | None:
+        return self._result
+
+    def reset(self) -> None:
+        """Clear all counters for the next vector."""
+        for unit in self.units:
+            unit.reset()
+        self._cycle = 0
+        self._result = None
+        self._candidate = None
+        self._extension_budget = 0
+        self._first_match = {}
+
+    def consume(self, window: np.ndarray) -> DetectionResult | None:
+        """Feed one ADC readout window; return the result once detected.
+
+        Windows are compared against each rotated pattern after
+        thresholding at the midpoint between the high and low levels,
+        which makes detection robust to analog noise on the rails.
+
+        Once a counter fires, the detection becomes a *candidate*.  When
+        the samples preceding a shifted preamble threshold low, the
+        partial leading window also matches the rotated pattern (the
+        pattern ends in L samples) and the counter reaches its target one
+        window early; that case is recognized by the counter's first
+        match having been window 0, and the data start slides forward by
+        exactly one window.
+        """
+        window = np.asarray(window, dtype=np.float64)
+        if window.shape != (self.samples_per_cycle,):
+            raise ValueError(
+                f"expected a window of {self.samples_per_cycle} samples, "
+                f"got shape {window.shape}"
+            )
+        if self._result is not None:
+            return self._result
+        bits = window > self._threshold
+        if self._candidate is not None:
+            if self._extension_budget > 0 and np.array_equal(
+                bits, self._shifted[self._candidate.offset]
+            ):
+                # The counted target was reached one window early (the
+                # partial leading window matched); this window is the
+                # final genuine preamble repeat.
+                self._extension_budget -= 1
+                self._candidate = DetectionResult(
+                    offset=self._candidate.offset,
+                    data_window=self._cycle + 1,
+                    detection_cycle=self._candidate.detection_cycle,
+                )
+                self._cycle += 1
+                return None
+            self._result = self._candidate
+            self._cycle += 1
+            return self._result
+        for k, shifted in enumerate(self._shifted):
+            matched = bool(np.array_equal(bits, shifted))
+            self._matched[k] = matched
+            if matched and k not in self._first_match:
+                self._first_match[k] = self._cycle
+        for unit in self.units:
+            unit.tick(None, self._cycle)
+        self._cycle += 1
+        return self._result
+
+    def detect(self, windows: np.ndarray) -> DetectionResult:
+        """Consume framed readout windows until the preamble is found."""
+        windows = np.atleast_2d(np.asarray(windows))
+        for window in windows:
+            result = self.consume(window)
+            if result is not None:
+                return result
+        if self._candidate is not None:
+            # The stream ended exactly at the preamble boundary; the data
+            # begins wherever the candidate last pointed.
+            self._result = self._candidate
+            return self._result
+        raise RuntimeError(
+            "preamble not detected: either the SNR corrupted the pattern "
+            "or the stream carried no preamble"
+        )
+
+    def extract_data(
+        self, windows: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
+        """Detect the preamble and return the meaningful data samples.
+
+        ``num_samples`` truncates the returned stream (the count-action
+        modules downstream know the vector length from the DAG
+        configuration); when omitted, everything after the preamble is
+        returned.
+        """
+        windows = np.atleast_2d(np.asarray(windows))
+        result = self.detect(windows)
+        tail = windows[result.data_window :].ravel()
+        data = tail[result.offset :]
+        if num_samples is not None:
+            if num_samples > len(data):
+                raise ValueError(
+                    f"stream holds only {len(data)} post-preamble samples, "
+                    f"{num_samples} requested"
+                )
+            data = data[:num_samples]
+        return data

@@ -1,0 +1,169 @@
+"""An inference-serving runtime on top of the smartNIC.
+
+The paper benchmarks against Nvidia Triton servers; this module is the
+Lightning-side counterpart a deployment would actually run: a serving
+loop wrapping :class:`~repro.core.smartnic.LightningSmartNIC` with
+model management, warm-up, and the latency/throughput statistics an
+operator monitors (p50/p95/p99 serve time, per-model request counts,
+drop/punt accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..net.packet import InferenceRequest, build_inference_frame
+from .dag import ComputationDAG
+from .smartnic import LightningSmartNIC, PuntedPacket, ServedRequest
+
+__all__ = ["ServerStats", "InferenceServer"]
+
+
+@dataclass
+class ServerStats:
+    """Rolling serving statistics."""
+
+    served: int = 0
+    punted: int = 0
+    dropped: int = 0
+    errors: int = 0
+    per_model_served: dict[int, int] = field(default_factory=dict)
+    _latencies: list[float] = field(default_factory=list)
+
+    def record(self, model_id: int, latency_s: float) -> None:
+        """Account one served request's latency."""
+        self.served += 1
+        self.per_model_served[model_id] = (
+            self.per_model_served.get(model_id, 0) + 1
+        )
+        self._latencies.append(latency_s)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Serve-time percentile in seconds (raises with no samples)."""
+        if not self._latencies:
+            raise ValueError("no requests served yet")
+        return float(np.percentile(self._latencies, percentile))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self._latencies:
+            raise ValueError("no requests served yet")
+        return float(np.mean(self._latencies))
+
+    def summary(self) -> dict[str, float | int]:
+        """A dashboard-style snapshot."""
+        out: dict[str, float | int] = {
+            "served": self.served,
+            "punted": self.punted,
+            "dropped": self.dropped,
+            "errors": self.errors,
+        }
+        if self._latencies:
+            out["p50_us"] = self.latency_percentile(50) * 1e6
+            out["p95_us"] = self.latency_percentile(95) * 1e6
+            out["p99_us"] = self.latency_percentile(99) * 1e6
+            out["mean_us"] = self.mean_latency_s * 1e6
+        return out
+
+
+class InferenceServer:
+    """A serving loop over the smartNIC with operator-grade accounting."""
+
+    def __init__(self, nic: LightningSmartNIC | None = None) -> None:
+        self.nic = nic if nic is not None else LightningSmartNIC()
+        self.stats = ServerStats()
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        dag: ComputationDAG,
+        header_data: bool = False,
+        warmup: int = 1,
+    ) -> None:
+        """Register a model and optionally warm its pipeline.
+
+        Warm-up serves a few zero queries so the first live request does
+        not pay one-time costs (sign-separation caching, kernel loads).
+        """
+        self.nic.register_model(dag, header_data=header_data)
+        for _ in range(max(warmup, 0)):
+            zeros = np.zeros(dag.tasks[0].input_size, dtype=np.uint8)
+            self.nic.datapath.execute(dag.model_id, zeros.astype(float))
+
+    @property
+    def deployed_models(self) -> tuple[int, ...]:
+        return self.nic.model_ids
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self, model_id: int, data_levels: np.ndarray, **frame_kwargs
+    ) -> ServedRequest:
+        """Build, serve, and account one inference query.
+
+        Raises ``KeyError`` for unknown models — callers submitting to a
+        serving API get loud failures, unlike anonymous wire traffic.
+        """
+        if model_id not in self.deployed_models:
+            raise KeyError(f"model {model_id} is not deployed")
+        request = InferenceRequest(
+            model_id=model_id,
+            request_id=self._next_request_id,
+            data=np.asarray(data_levels).astype(np.uint8),
+        )
+        self._next_request_id += 1
+        frame = build_inference_frame(request, **frame_kwargs)
+        outcome = self.nic.handle_frame(frame)
+        assert isinstance(outcome, ServedRequest)
+        self.stats.record(model_id, outcome.end_to_end_seconds)
+        return outcome
+
+    def handle_wire_frame(
+        self, raw: bytes, now_s: float | None = None
+    ) -> ServedRequest | PuntedPacket | None:
+        """Serve one raw wire frame, absorbing malformed traffic.
+
+        Returns ``None`` when the frame was unparseable even at the
+        Ethernet layer (counted as an error), mirroring how a NIC
+        silently drops runts.
+        """
+        try:
+            outcome = self.nic.handle_frame(raw, now_s=now_s)
+        except ValueError:
+            self.stats.errors += 1
+            return None
+        except KeyError:
+            # An inference query for a model this server never deployed.
+            self.stats.errors += 1
+            return None
+        if isinstance(outcome, ServedRequest):
+            self.stats.record(
+                outcome.response.model_id, outcome.end_to_end_seconds
+            )
+        elif outcome.pcie_seconds == 0.0 and "dropped" in outcome.reason:
+            self.stats.dropped += 1
+        else:
+            self.stats.punted += 1
+        return outcome
+
+    def serve_batch(
+        self, model_id: int, batch_levels: np.ndarray
+    ) -> np.ndarray:
+        """Serve a batch through the datapath's broadcast path.
+
+        Returns per-query predictions; batch serving bypasses packet
+        framing (it is the PCIe/local-host path of §6.1).
+        """
+        if model_id not in self.deployed_models:
+            raise KeyError(f"model {model_id} is not deployed")
+        result = self.nic.datapath.execute_batch(model_id, batch_levels)
+        per_query = result.total_seconds / result.batch
+        for _ in range(result.batch):
+            self.stats.record(model_id, per_query)
+        return result.predictions

@@ -1,0 +1,121 @@
+"""Synchronous data streamer (§5.1, Listing 1).
+
+Photonic multiplication needs the i-th element of vector ``a`` on
+modulator 1 at the same instant the i-th element of vector ``b`` hits
+modulator 2; a single out-of-sync sample corrupts the dot product
+(requirement R3).  DRAM latency variation means the parallel DAC lanes do
+not fill deterministically, so the streamer uses a count-action unit that
+counts the sum of the AXI ``valid`` flags across all DAC lanes *each
+cycle* and only triggers streaming when the count equals the number of
+lanes — i.e. when every lane holds a complete block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..photonics.converters import DAC
+from .count_action import (
+    Comparison,
+    ControlRegisterFile,
+    CountActionUnit,
+    CountMode,
+)
+
+__all__ = ["SynchronousDataStreamer"]
+
+
+class SynchronousDataStreamer:
+    """Creates synchronized parallel streams for the photonic cores.
+
+    Each call to :meth:`tick` models one digital datapath clock cycle: the
+    embedded count-action unit sums the valid flags of all DAC lanes and,
+    only if every lane is valid, pops one block from each lane, converts
+    it to analog voltages, and hands the aligned blocks to the sink.
+
+    The streamer also keeps stall statistics: a cycle in which at least
+    one lane was valid but not all of them counts as a *sync stall* — the
+    situation the count-action gate exists to make harmless.
+    """
+
+    def __init__(
+        self,
+        dacs: list[DAC],
+        sink: Callable[[list[np.ndarray]], None] | None = None,
+        registers: ControlRegisterFile | None = None,
+    ) -> None:
+        if not dacs:
+            raise ValueError("the streamer needs at least one DAC lane")
+        self.dacs = list(dacs)
+        self.sink = sink
+        self.registers = (
+            registers if registers is not None else ControlRegisterFile()
+        )
+        # The target lives in a control register so reconfiguring the
+        # datapath for a different lane count is a register write.
+        self.registers.write("streamer.num_dacs", len(self.dacs))
+        self._streamed: list[np.ndarray] | None = None
+        self.unit = CountActionUnit(
+            name="synchronous_data_streamer",
+            count=lambda _ctx: sum(dac.valid for dac in self.dacs),
+            target="streamer.num_dacs",
+            actions=[self._stream_action],
+            mode=CountMode.PER_CYCLE,
+            comparison=Comparison.EQUAL,
+            registers=self.registers,
+        )
+        self.cycles = 0
+        self.stall_cycles = 0
+        self.idle_cycles = 0
+        self.blocks_streamed = 0
+
+    def _stream_action(self, _context: object) -> None:
+        self._streamed = [dac.stream() for dac in self.dacs]
+        self.blocks_streamed += 1
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.dacs)
+
+    def tick(self) -> list[np.ndarray] | None:
+        """Advance one cycle; return aligned voltage blocks if streamed.
+
+        Returns ``None`` on cycles where the valid count missed the
+        target (some lane still waiting on memory).
+        """
+        valid_sum = sum(dac.valid for dac in self.dacs)
+        self._streamed = None
+        self.unit.tick(None, self.cycles)
+        self.cycles += 1
+        if self._streamed is None:
+            if valid_sum == 0:
+                self.idle_cycles += 1
+            else:
+                self.stall_cycles += 1
+            return None
+        blocks = self._streamed
+        if self.sink is not None:
+            self.sink(blocks)
+        return blocks
+
+    def stream_all(self) -> list[list[np.ndarray]]:
+        """Tick until every lane drains; return all streamed block sets.
+
+        Raises ``RuntimeError`` if the lanes hold unequal numbers of
+        blocks — that would deadlock real hardware, with some lane's
+        valid flag never rising again.
+        """
+        counts = {dac.queued_blocks for dac in self.dacs}
+        if len(counts) > 1:
+            raise RuntimeError(
+                "DAC lanes hold unequal block counts "
+                f"({sorted(counts)}); streams would never re-synchronize"
+            )
+        out = []
+        while any(dac.valid for dac in self.dacs):
+            blocks = self.tick()
+            if blocks is not None:
+                out.append(blocks)
+        return out

@@ -1,0 +1,241 @@
+"""The Lightning developer kit Python API (§6.1, Appendix G).
+
+The paper ships a PYNQ/QICK-style Python stack so developers can talk to
+the photonic hardware without RTL knowledge.  Its documented surface —
+reproduced here against the simulated devices — supports:
+
+(i)   sending/receiving data to/from the photonic vector dot product
+      cores to benchmark computing accuracy (:meth:`LightningDevKit.mac`,
+      :meth:`benchmark_accuracy`);
+(ii)  characterizing the SNR of the photonic cores for calibration
+      (:meth:`characterize_snr`);
+(iii) configuring the bias voltage input of the optical modulators
+      (:meth:`sweep_bias`, :meth:`lock_bias`).
+
+The Appendix-G notebook session translates directly::
+
+    from repro.devkit import LightningDevKit
+
+    kit = LightningDevKit()
+    kit.lock_bias()                      # max-extinction operating point
+    result = kit.mac([0.85, 0.50], [0.26, 0.93])
+    # result ~= 0.85*0.26 + 0.50*0.93 = 0.686
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .analysis.stats import ErrorStatistics, error_statistics
+from .photonics.calibration import BiasSweepResult, sweep_bias
+from .photonics.converters import ADC
+from .photonics.core import PrototypeCore
+from .photonics.devices import Photodetector
+from .photonics.noise import NoiseModel
+
+__all__ = ["SNRReport", "AccuracyReport", "LightningDevKit"]
+
+
+@dataclass(frozen=True)
+class SNRReport:
+    """SNR characterization of the photonic path (dev-kit use case ii)."""
+
+    signal_level: float
+    noise_mean: float
+    noise_std: float
+    snr_db: float
+    num_samples: int
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Computing-accuracy benchmark (dev-kit use case i)."""
+
+    operation: str
+    statistics: ErrorStatistics
+
+    @property
+    def accuracy_percent(self) -> float:
+        return self.statistics.accuracy_percent
+
+
+class LightningDevKit:
+    """Programmer-facing handle on the (simulated) photonic hardware.
+
+    Values cross this API normalized to ``[0, 1]`` — the convention of
+    the paper's notebook (Figure 27) — and are encoded onto the 256
+    analog levels internally.
+    """
+
+    def __init__(
+        self,
+        core: PrototypeCore | None = None,
+        noise: NoiseModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if core is not None and noise is not None:
+            raise ValueError("pass either a core or a noise model, not both")
+        self.core = (
+            core
+            if core is not None
+            else PrototypeCore(noise=noise, seed=seed)
+            if noise is not None
+            else PrototypeCore(seed=seed)
+        )
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # (iii) Bias configuration
+    # ------------------------------------------------------------------
+    def sweep_bias(self, lane: int = 0, which: str = "a") -> BiasSweepResult:
+        """Sweep one modulator's bias −9..9 V and return the readouts."""
+        lane_obj = self._lane(lane)
+        modulator = lane_obj.mod_a if which == "a" else lane_obj.mod_b
+        return sweep_bias(
+            modulator, lane_obj.laser, Photodetector(), ADC(bits=8)
+        )
+
+    def lock_bias(self) -> dict[tuple[int, str], float]:
+        """Find and apply the max-extinction bias on every modulator.
+
+        Returns the locked bias voltage per (lane, modulator) pair,
+        mirroring the packaged bias controller of Appendix B.
+        """
+        locked: dict[tuple[int, str], float] = {}
+        for index in range(self.core.num_wavelengths):
+            for which in ("a", "b"):
+                result = self.sweep_bias(index, which)
+                bias = result.max_extinction_bias()
+                lane_obj = self._lane(index)
+                modulator = (
+                    lane_obj.mod_a if which == "a" else lane_obj.mod_b
+                )
+                modulator.set_bias(bias)
+                locked[(index, which)] = bias
+        return locked
+
+    def _lane(self, lane: int):
+        if not 0 <= lane < self.core.num_wavelengths:
+            raise IndexError(
+                f"lane {lane} out of range; core has "
+                f"{self.core.num_wavelengths} wavelength lanes"
+            )
+        return self.core.lanes[lane]
+
+    # ------------------------------------------------------------------
+    # (i) Sending/receiving data — photonic compute
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_levels(values) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if np.any(values < 0) or np.any(values > 1):
+            raise ValueError(
+                "dev-kit values are normalized to [0, 1] (Figure 27)"
+            )
+        return np.round(values * 255.0)
+
+    def multiply(self, x, w) -> np.ndarray:
+        """Element-wise photonic multiplication of normalized values."""
+        levels = self.core.multiply(self._to_levels(x), self._to_levels(w))
+        return np.asarray(levels) / 255.0
+
+    def mac(self, x, w) -> float:
+        """Photonic dot product of two normalized vectors (Figure 27)."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        w = np.asarray(w, dtype=np.float64).ravel()
+        if x.shape != w.shape:
+            raise ValueError("vectors must have equal length")
+        return self.core.mac(self._to_levels(x), self._to_levels(w)) / 255.0
+
+    def benchmark_accuracy(
+        self, num_samples: int = 1000
+    ) -> dict[str, AccuracyReport]:
+        """The §6.2 micro-benchmark: random 8-bit operand pairs through
+        multiplication and accumulation, reporting the paper's accuracy
+        metric for each."""
+        if num_samples < 2:
+            raise ValueError("need at least two samples")
+        a = self._rng.integers(0, 256, num_samples)
+        b = self._rng.integers(0, 256, num_samples)
+        mult = self.core.multiply(a, b)
+        mult_stats = error_statistics(mult, a * b / 255.0)
+        n = self.core.num_wavelengths
+        a2 = self._rng.integers(0, 256, (num_samples, n))
+        b2 = self._rng.integers(0, 256, (num_samples, n))
+        accum = self.core.accumulate(a2, b2)
+        accum_stats = error_statistics(accum, (a2 * b2 / 255.0).sum(axis=1))
+        return {
+            "multiplication": AccuracyReport("multiplication", mult_stats),
+            "accumulation": AccuracyReport("accumulation", accum_stats),
+        }
+
+    # ------------------------------------------------------------------
+    # (ii) SNR characterization
+    # ------------------------------------------------------------------
+    def characterize_snr(
+        self, signal: float = 0.5, num_samples: int = 2000
+    ) -> SNRReport:
+        """Measure the photonic path's SNR at a constant signal level.
+
+        Drives both modulators with a constant value, reads the analog
+        results back, and reports the noise statistics plus the SNR in
+        dB — the calibration input that sizes the preamble repeat count.
+        """
+        if not 0.0 < signal <= 1.0:
+            raise ValueError("signal level must be in (0, 1]")
+        if num_samples < 2:
+            raise ValueError("need at least two samples")
+        level = np.full(num_samples, round(signal * 255))
+        readout = self.core.multiply(level, np.full(num_samples, 255))
+        expected = level.astype(np.float64)
+        noise = readout - expected
+        noise_std = float(noise.std())
+        signal_level = float(expected.mean())
+        snr_db = (
+            float("inf")
+            if noise_std == 0
+            else 20.0 * np.log10(signal_level / noise_std)
+        )
+        return SNRReport(
+            signal_level=signal_level,
+            noise_mean=float(noise.mean()),
+            noise_std=noise_std,
+            snr_db=snr_db,
+            num_samples=num_samples,
+        )
+
+    def recommend_preamble_repeats(
+        self, min_repeats: int = 2, max_repeats: int = 32
+    ) -> int:
+        """Size the preamble repeat count from the measured SNR.
+
+        Two opposing pressures (quantified in the preamble ablation
+        benchmark): more repeats reject false locks onto pattern-like
+        data, but under exact-equality counting every one of the P
+        windows must survive noise unflipped, so more repeats are more
+        fragile at poor SNR.  The recommendation is the smallest P whose
+        false-lock probability over a million random windows is below
+        1e-9 — then bumped down only if the measured SNR cannot sustain
+        it at 99 % detection probability (in which case the best
+        sustainable P is returned and the operator should improve SNR).
+        """
+        from math import ceil, erfc, log, sqrt
+
+        # A random thresholded 16-sample window matches one of the 16
+        # rotations with probability 16 / 2**16; a false lock needs P-1
+        # consecutive matches.
+        p_random_window = 16 / 65536
+        needed = ceil(1 + (log(1e-9) - log(1e6)) / log(p_random_window))
+        recommended = min(max(needed, min_repeats), max_repeats)
+
+        report = self.characterize_snr()
+        if report.noise_std == 0:
+            return recommended
+        margin = 127.5
+        p_flip = 0.5 * erfc(margin / (report.noise_std * sqrt(2.0)))
+        p_window = (1.0 - p_flip) ** 16
+        while recommended > min_repeats and p_window**recommended < 0.99:
+            recommended -= 1
+        return recommended

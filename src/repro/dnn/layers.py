@@ -1,0 +1,427 @@
+"""DNN layers, from scratch in numpy.
+
+Layers route their heavy arithmetic — every matrix multiplication —
+through a *compute engine* (see :mod:`repro.emulation.engines`), which is
+how the accuracy emulator (§7) runs the same model under fp32 digital,
+int8 digital, and int8 photonic-with-noise schemes.  Everything that
+Lightning computes digitally on the datapath (pooling, ReLU, softmax,
+flattening) is plain numpy regardless of engine.
+
+Convolutions lower to matrix multiplication via im2col, matching how the
+datapath maps convolution layers onto photonic dot products (the kernel
+is one operand vector, the unrolled patch the other).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "ComputeEngine",
+    "ExactEngine",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "ReLULayer",
+    "SelfAttention",
+    "SoftmaxLayer",
+    "im2col",
+]
+
+
+class ComputeEngine(Protocol):
+    """Anything that can multiply matrices for a layer."""
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply two matrices under this engine's arithmetic."""
+        ...
+
+
+class ExactEngine:
+    """The default engine: exact fp64 matrix multiplication."""
+
+    name = "fp32"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact fp64 matrix multiplication."""
+        return np.asarray(a, dtype=np.float64) @ np.asarray(
+            b, dtype=np.float64
+        )
+
+
+class Layer:
+    """Base layer: forward pass plus parameter introspection."""
+
+    name: str = "layer"
+
+    def forward(
+        self, x: np.ndarray, engine: ComputeEngine | None = None
+    ) -> np.ndarray:
+        """Apply the layer to a batch, routing matmuls via ``engine``."""
+        raise NotImplementedError
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable tensors, in a stable order."""
+        return []
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters)
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Multiply-accumulates per input sample (0 for shape ops)."""
+        return 0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of one sample's output given one sample's input shape."""
+        raise NotImplementedError
+
+
+def _he_init(rng: np.random.Generator, fan_in: int, shape: tuple[int, ...]):
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+class Dense(Layer):
+    """A fully-connected layer: ``y = x @ W.T + b``."""
+
+    name = "dense"
+
+    def __init__(
+        self,
+        input_size: int,
+        output_size: int,
+        weights: np.ndarray | None = None,
+        bias: np.ndarray | None = None,
+        use_bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if input_size < 1 or output_size < 1:
+            raise ValueError("layer sizes must be positive")
+        self.input_size = input_size
+        self.output_size = output_size
+        self.use_bias = use_bias
+        if weights is None:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            weights = _he_init(rng, input_size, (output_size, input_size))
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.shape != (output_size, input_size):
+            raise ValueError(
+                f"weights shape {self.weights.shape} does not match "
+                f"({output_size}, {input_size})"
+            )
+        if use_bias:
+            if bias is None:
+                bias = np.zeros(output_size)
+            self.bias = np.asarray(bias, dtype=np.float64)
+            if self.bias.shape != (output_size,):
+                raise ValueError("bias shape must be (output_size,)")
+        else:
+            self.bias = None
+
+    def forward(self, x, engine=None):
+        engine = engine if engine is not None else ExactEngine()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.input_size:
+            raise ValueError(
+                f"dense layer expects {self.input_size} features, got "
+                f"{x.shape[1]}"
+            )
+        y = engine.matmul(x, self.weights.T)
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    @property
+    def parameters(self):
+        return [self.weights] + ([self.bias] if self.bias is not None else [])
+
+    @property
+    def macs_per_sample(self) -> int:
+        return self.input_size * self.output_size
+
+    def output_shape(self, input_shape):
+        return (self.output_size,)
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unroll NCHW images into patch rows for conv-as-matmul.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch * out_h * out_w, channels * kernel * kernel)``.
+    """
+    batch, channels, height, width = x.shape
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel does not fit the padded input")
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    # windows: (batch, channels, out_h, out_w, kernel, kernel)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Conv2D(Layer):
+    """A 2-D convolution lowered to matmul via im2col."""
+
+    name = "conv2d"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        weights: np.ndarray | None = None,
+        bias: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ValueError("conv parameters must be positive")
+        if padding < 0:
+            raise ValueError("padding cannot be negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel * kernel
+        if weights is None:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            weights = _he_init(
+                rng, fan_in, (out_channels, in_channels, kernel, kernel)
+            )
+        self.weights = np.asarray(weights, dtype=np.float64)
+        expected = (out_channels, in_channels, kernel, kernel)
+        if self.weights.shape != expected:
+            raise ValueError(
+                f"conv weights shape {self.weights.shape} != {expected}"
+            )
+        self.bias = (
+            np.zeros(out_channels)
+            if bias is None
+            else np.asarray(bias, dtype=np.float64)
+        )
+
+    def forward(self, x, engine=None):
+        engine = engine if engine is not None else ExactEngine()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                "conv input must be NCHW with "
+                f"{self.in_channels} channels, got shape {x.shape}"
+            )
+        cols, out_h, out_w = im2col(
+            x, self.kernel, self.stride, self.padding
+        )
+        flat_w = self.weights.reshape(self.out_channels, -1)
+        y = engine.matmul(cols, flat_w.T) + self.bias
+        batch = x.shape[0]
+        return (
+            y.reshape(batch, out_h, out_w, self.out_channels)
+            .transpose(0, 3, 1, 2)
+        )
+
+    @property
+    def parameters(self):
+        return [self.weights, self.bias]
+
+    def output_shape(self, input_shape):
+        channels, height, width = input_shape
+        out_h = (height + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def macs_for_input(self, input_shape: tuple[int, ...]) -> int:
+        """MACs for one sample of the given (C, H, W) input shape."""
+        _, out_h, out_w = self.output_shape(input_shape)
+        return (
+            out_h
+            * out_w
+            * self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+        )
+
+
+class _Pool2D(Layer):
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        if kernel < 1:
+            raise ValueError("pool kernel must be positive")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        if self.stride < 1:
+            raise ValueError("pool stride must be positive")
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError("pooling input must be NCHW")
+        return np.lib.stride_tricks.sliding_window_view(
+            x, (self.kernel, self.kernel), axis=(2, 3)
+        )[:, :, :: self.stride, :: self.stride]
+
+    def output_shape(self, input_shape):
+        channels, height, width = input_shape
+        out_h = (height - self.kernel) // self.stride + 1
+        out_w = (width - self.kernel) // self.stride + 1
+        return (channels, out_h, out_w)
+
+
+class MaxPool2D(_Pool2D):
+    """2-D max pooling over non-overlapping (or strided) windows."""
+
+    name = "maxpool2d"
+
+    def forward(self, x, engine=None):
+        return self._windows(np.asarray(x, dtype=np.float64)).max(
+            axis=(-2, -1)
+        )
+
+
+class AvgPool2D(_Pool2D):
+    """2-D average pooling."""
+
+    name = "avgpool2d"
+
+    def forward(self, x, engine=None):
+        return self._windows(np.asarray(x, dtype=np.float64)).mean(
+            axis=(-2, -1)
+        )
+
+
+class Flatten(Layer):
+    """Flattens NCHW feature maps to (batch, features) rows."""
+
+    name = "flatten"
+
+    def forward(self, x, engine=None):
+        x = np.asarray(x, dtype=np.float64)
+        return x.reshape(x.shape[0], -1)
+
+    def output_shape(self, input_shape):
+        return (int(np.prod(input_shape)),)
+
+
+class ReLULayer(Layer):
+    """Element-wise rectification as a standalone layer."""
+
+    name = "relu"
+
+    def forward(self, x, engine=None):
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+class SelfAttention(Layer):
+    """Single-head scaled dot-product self-attention (§4's template).
+
+    Operates on flattened ``(batch, seq_len * d_model)`` rows (the
+    vector representation the datapath streams), internally reshaping to
+    ``(seq_len, d_model)``.  All six matrix products — the Q/K/V
+    projections, the score matrix, the context aggregation, and the
+    output projection — route through the compute engine, so attention
+    emulates under fp32/int8/photonic schemes like every other layer.
+    """
+
+    name = "attention"
+
+    def __init__(
+        self,
+        seq_len: int,
+        d_model: int,
+        wq: np.ndarray | None = None,
+        wk: np.ndarray | None = None,
+        wv: np.ndarray | None = None,
+        wo: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if seq_len < 1 or d_model < 1:
+            raise ValueError("attention dimensions must be positive")
+        self.seq_len = seq_len
+        self.d_model = d_model
+        rng = rng if rng is not None else np.random.default_rng(0)
+        matrices = []
+        for given in (wq, wk, wv, wo):
+            if given is None:
+                given = _he_init(rng, d_model, (d_model, d_model))
+            given = np.asarray(given, dtype=np.float64)
+            if given.shape != (d_model, d_model):
+                raise ValueError(
+                    f"attention weights must be ({d_model}, {d_model})"
+                )
+            matrices.append(given)
+        self.wq, self.wk, self.wv, self.wo = matrices
+
+    def forward(self, x, engine=None):
+        engine = engine if engine is not None else ExactEngine()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        expected = self.seq_len * self.d_model
+        if x.shape[1] != expected:
+            raise ValueError(
+                f"attention expects {expected} features, got {x.shape[1]}"
+            )
+        batch = x.shape[0]
+        out = np.empty_like(x)
+        for b in range(batch):
+            tokens = x[b].reshape(self.seq_len, self.d_model)
+            q = engine.matmul(tokens, self.wq.T)
+            k = engine.matmul(tokens, self.wk.T)
+            v = engine.matmul(tokens, self.wv.T)
+            scores = engine.matmul(q, k.T) / math.sqrt(self.d_model)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exps = np.exp(shifted)
+            attn = exps / exps.sum(axis=-1, keepdims=True)
+            context = engine.matmul(attn, v)
+            out[b] = engine.matmul(context, self.wo.T).ravel()
+        return out
+
+    @property
+    def parameters(self):
+        return [self.wq, self.wk, self.wv, self.wo]
+
+    @property
+    def macs_per_sample(self) -> int:
+        projections = 4 * self.seq_len * self.d_model * self.d_model
+        interactions = 2 * self.seq_len * self.seq_len * self.d_model
+        return projections + interactions
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+class SoftmaxLayer(Layer):
+    """Row-wise softmax as a standalone layer."""
+
+    name = "softmax"
+
+    def forward(self, x, engine=None):
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=-1, keepdims=True)
+
+    def output_shape(self, input_shape):
+        return input_shape

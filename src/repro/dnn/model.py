@@ -1,0 +1,147 @@
+"""Model containers: a runnable Sequential network and analytic specs.
+
+:class:`Sequential` chains layers for actual forward passes (the models
+the prototype and emulator run).  :class:`ModelSpec` is the analytic
+description — layer-exact MAC and parameter counts — used for the seven
+large DNNs of the simulation section (§9), where only the work volume
+matters, not the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layers import ComputeEngine, Conv2D, Dense, Layer
+
+__all__ = ["Sequential", "LayerSpec", "ModelSpec"]
+
+
+class Sequential:
+    """An ordered stack of layers with engine-pluggable forward passes."""
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        input_shape: tuple[int, ...],
+        name: str = "model",
+    ) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.name = name
+        # Validate shape chaining eagerly so misconfigured stacks fail at
+        # construction, not mid-inference.
+        self._shapes = [self.input_shape]
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            self._shapes.append(tuple(shape))
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        return self._shapes[-1]
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, ...]]:
+        """Per-sample shapes: input, then after each layer."""
+        return list(self._shapes)
+
+    def forward(
+        self, x: np.ndarray, engine: ComputeEngine | None = None
+    ) -> np.ndarray:
+        """Run a batch through every layer."""
+        for layer in self.layers:
+            x = layer.forward(x, engine)
+        return x
+
+    def predict(
+        self, x: np.ndarray, engine: ComputeEngine | None = None
+    ) -> np.ndarray:
+        """Class predictions (argmax over the final axis)."""
+        return np.argmax(self.forward(x, engine), axis=-1)
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(layer.parameter_count for layer in self.layers)
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Total multiply-accumulates for one input sample."""
+        total = 0
+        for layer, in_shape in zip(self.layers, self._shapes):
+            if isinstance(layer, Conv2D):
+                total += layer.macs_for_input(in_shape)
+            else:
+                total += layer.macs_per_sample
+        return total
+
+    def dense_layers(self) -> list[Dense]:
+        """The model's dense layers, in order."""
+        return [l for l in self.layers if isinstance(l, Dense)]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Analytic description of one layer of a large DNN."""
+
+    name: str
+    macs: int
+    parameters: int
+    #: Layers sharing a parallel group execute concurrently and incur
+    #: the per-layer datapath latency once (Appendix F).
+    parallel_group: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.macs < 0 or self.parameters < 0:
+            raise ValueError("layer spec counts cannot be negative")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Analytic description of a DNN for the event-driven simulator.
+
+    ``model_bytes`` and ``query_bytes`` follow Table 6 (model size and
+    inference-query size); ``layers`` carries the per-layer MAC volumes
+    the scheduler decomposes requests into.
+    """
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    model_bytes: int
+    query_bytes: int
+    dataset: str = "synthetic"
+    task: str = "vision"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model spec needs at least one layer")
+        if self.model_bytes <= 0 or self.query_bytes <= 0:
+            raise ValueError("model and query sizes must be positive")
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_parameters(self) -> int:
+        return sum(layer.parameters for layer in self.layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def effective_depth(self) -> int:
+        """Layer count with parallel groups collapsed (Appendix F)."""
+        seen: set[str] = set()
+        depth = 0
+        for layer in self.layers:
+            if layer.parallel_group is None:
+                depth += 1
+            elif layer.parallel_group not in seen:
+                seen.add(layer.parallel_group)
+                depth += 1
+        return depth

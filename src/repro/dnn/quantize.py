@@ -1,0 +1,482 @@
+"""8-bit quantization: from trained float models to datapath DAGs.
+
+Lightning encodes operands on 256 analog levels (§6.2), with weight signs
+separated from magnitudes in an offline phase.  This module performs that
+offline phase for dense stacks:
+
+* weights quantize symmetrically — ``W_q = round(W / s_w * 255)`` with
+  per-layer scale ``s_w = max|W|``, so ``W_q`` is a signed level in
+  ``[-255, 255]`` whose magnitude and sign the datapath splits;
+* activations are calibrated — a representative batch runs through the
+  float model and the per-layer post-nonlinearity maxima become the
+  activation scales ``s_x``;
+* the datapath's raw dot product ``y_lvl = sum(W_q * x_q) / 255`` relates
+  to the real value by ``y = y_lvl * s_w * s_x / 255``, so the divisor
+  that requantizes one layer's output onto the next layer's 0..255 input
+  scale is ``s_x' / (s_w * s_x)`` — stored per task as
+  ``requant_divisor``.
+
+:class:`QuantizedMLP` is the vectorized executor of a quantized DAG used
+by the accuracy emulator: it reproduces the datapath arithmetic exactly
+(validated by tests against :class:`repro.core.LightningDatapath`) while
+running whole batches through a photonic or exact compute core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dag import (
+    AttentionShape,
+    ComputationDAG,
+    ConvShape,
+    LayerTask,
+    PoolShape,
+)
+from ..photonics.core import BehavioralCore
+from .layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLULayer,
+    SelfAttention,
+    SoftmaxLayer,
+    im2col,
+)
+from .model import Sequential
+
+__all__ = [
+    "quantize_tensor",
+    "calibrate_activation_scales",
+    "quantize_mlp",
+    "quantize_cnn",
+    "QuantizedMLP",
+    "QuantizedNetwork",
+]
+
+LEVELS = 255.0
+
+
+def quantize_tensor(tensor: np.ndarray) -> tuple[np.ndarray, float]:
+    """Symmetric 8-bit quantization: ``(levels, scale)``.
+
+    ``levels`` are signed integers in ``[-255, 255]`` such that
+    ``tensor ≈ levels * scale / 255``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    scale = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    if scale == 0.0:
+        return np.zeros_like(tensor), 1.0
+    levels = np.round(tensor / scale * LEVELS)
+    return levels, scale
+
+
+def _dense_stack(model: Sequential) -> list[tuple[Dense, str]]:
+    """Extract (dense, nonlinearity-name) pairs from a dense/ReLU stack."""
+    pairs: list[tuple[Dense, str]] = []
+    layers = list(model.layers)
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Dense):
+            nonlinearity = "identity"
+            if i + 1 < len(layers) and isinstance(layers[i + 1], ReLULayer):
+                nonlinearity = "relu"
+                i += 1
+            elif i + 1 < len(layers) and isinstance(
+                layers[i + 1], SoftmaxLayer
+            ):
+                nonlinearity = "softmax"
+                i += 1
+            pairs.append((layer, nonlinearity))
+        elif isinstance(layer, (ReLULayer, SoftmaxLayer)):
+            raise ValueError(
+                "activation layer without a preceding dense layer"
+            )
+        else:
+            raise ValueError(
+                f"quantize_mlp supports dense/ReLU/softmax stacks only, "
+                f"found {type(layer).__name__}"
+            )
+        i += 1
+    if not pairs:
+        raise ValueError("model contains no dense layers")
+    return pairs
+
+
+def calibrate_activation_scales(
+    model: Sequential, calibration_x: np.ndarray
+) -> list[float]:
+    """Per-layer activation scales from a float calibration pass.
+
+    Returns one scale per dense layer *input*: the first is the raw input
+    scale (255, since queries arrive as levels), the rest are the maxima
+    of each layer's post-nonlinearity outputs over the calibration batch.
+    """
+    pairs = _dense_stack(model)
+    x = np.atleast_2d(np.asarray(calibration_x, dtype=np.float64))
+    scales = [LEVELS]
+    h = x
+    for dense, nonlinearity in pairs[:-1]:
+        h = dense.forward(h)
+        if nonlinearity == "relu":
+            h = np.maximum(h, 0.0)
+        peak = float(np.max(np.abs(h)))
+        scales.append(peak if peak > 0 else 1.0)
+    return scales
+
+
+def quantize_mlp(
+    model: Sequential,
+    calibration_x: np.ndarray,
+    model_id: int,
+    name: str | None = None,
+) -> ComputationDAG:
+    """Quantize a trained dense/ReLU stack into a datapath DAG."""
+    pairs = _dense_stack(model)
+    scales = calibrate_activation_scales(model, calibration_x)
+    tasks: list[LayerTask] = []
+    previous: tuple[str, ...] = ()
+    for index, ((dense, nonlinearity), s_x) in enumerate(
+        zip(pairs, scales)
+    ):
+        w_levels, s_w = quantize_tensor(dense.weights)
+        layer_name = f"fc{index + 1}"
+        bias_levels = None
+        if dense.bias is not None:
+            # Bias joins the raw dot product, which carries value
+            # y = y_lvl * s_w * s_x / 255  =>  b_lvl = b * 255/(s_w*s_x).
+            bias_levels = dense.bias * LEVELS / (s_w * s_x)
+        if index < len(pairs) - 1:
+            requant_divisor = scales[index + 1] / (s_w * s_x)
+        else:
+            requant_divisor = 1.0
+        tasks.append(
+            LayerTask(
+                name=layer_name,
+                kind="dense",
+                input_size=dense.input_size,
+                output_size=dense.output_size,
+                weights_levels=w_levels,
+                nonlinearity=nonlinearity,
+                bias_levels=bias_levels,
+                depends_on=previous,
+                requant_divisor=requant_divisor,
+            )
+        )
+        previous = (layer_name,)
+    return ComputationDAG(
+        model_id=model_id,
+        name=name if name is not None else model.name,
+        tasks=tasks,
+    )
+
+
+def quantize_cnn(
+    model: Sequential,
+    calibration_x: np.ndarray,
+    model_id: int,
+    name: str | None = None,
+) -> ComputationDAG:
+    """Quantize a conv/pool/dense stack into a datapath DAG (§5.4).
+
+    Supports the layer vocabulary of the paper's datapath templates:
+    :class:`Conv2D` (with ReLU), :class:`MaxPool2D`, :class:`Flatten`
+    (a no-op on the datapath's flattened channel-major vectors), and
+    :class:`Dense` (with ReLU/softmax).  Activation scales are
+    calibrated layer by layer on a float forward pass; each compute
+    task's ``requant_divisor`` maps its raw level-scale outputs onto the
+    next compute layer's 0..255 input scale.
+    """
+    x = np.asarray(calibration_x, dtype=np.float64)
+    if x.ndim == len(model.input_shape):
+        x = x[None, ...]
+    tasks: list[LayerTask] = []
+    previous: tuple[str, ...] = ()
+    pending: list[dict] = []  # compute tasks awaiting requant divisors
+    s_x = LEVELS  # current compute-input activation scale
+    h = x
+    index = 0
+    layers = list(model.layers)
+    shapes = model.layer_shapes
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        in_shape = shapes[i]
+        if isinstance(layer, (Conv2D, Dense, SelfAttention)):
+            nonlinearity = "identity"
+            float_out = layer.forward(h)
+            if i + 1 < len(layers) and isinstance(
+                layers[i + 1], ReLULayer
+            ):
+                nonlinearity = "relu"
+                float_out = np.maximum(float_out, 0.0)
+                i += 1
+            elif i + 1 < len(layers) and isinstance(
+                layers[i + 1], SoftmaxLayer
+            ):
+                nonlinearity = "softmax"
+                i += 1
+            index += 1
+            if isinstance(layer, SelfAttention):
+                stacked = np.concatenate(
+                    [layer.wq, layer.wk, layer.wv, layer.wo], axis=0
+                )
+                w_levels, s_w = quantize_tensor(stacked)
+                # Level-scale scores map to float logits (with the
+                # 1/sqrt(d) temperature) via this calibrated factor.
+                score_scale = (s_x * s_w) ** 2 / (
+                    LEVELS * np.sqrt(layer.d_model)
+                )
+                shape = AttentionShape(
+                    seq_len=layer.seq_len,
+                    d_model=layer.d_model,
+                    score_scale=float(score_scale),
+                )
+                task_kwargs = dict(
+                    name=f"attn{index}",
+                    kind="attention",
+                    input_size=shape.input_size,
+                    output_size=shape.output_size,
+                    attention=shape,
+                )
+            elif isinstance(layer, Conv2D):
+                conv = ConvShape(
+                    in_channels=in_shape[0],
+                    height=in_shape[1],
+                    width=in_shape[2],
+                    out_channels=layer.out_channels,
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                )
+                w_levels, s_w = quantize_tensor(
+                    layer.weights.reshape(layer.out_channels, -1)
+                )
+                task_kwargs = dict(
+                    name=f"conv{index}",
+                    kind="conv",
+                    input_size=conv.input_size,
+                    output_size=conv.output_size,
+                    conv=conv,
+                )
+            else:
+                w_levels, s_w = quantize_tensor(layer.weights)
+                task_kwargs = dict(
+                    name=f"fc{index}",
+                    kind="dense",
+                    input_size=layer.input_size,
+                    output_size=layer.output_size,
+                )
+            bias = getattr(layer, "bias", None)
+            bias_levels = (
+                bias * LEVELS / (s_w * s_x) if bias is not None else None
+            )
+            if task_kwargs["kind"] == "attention":
+                bias_levels = None  # projections are bias-free here
+            pending.append(
+                dict(
+                    kwargs=dict(
+                        weights_levels=w_levels,
+                        nonlinearity=nonlinearity,
+                        bias_levels=bias_levels,
+                        depends_on=previous,
+                        **task_kwargs,
+                    ),
+                    s_w=s_w,
+                    s_x=s_x,
+                    kind=task_kwargs["kind"],
+                )
+            )
+            previous = (task_kwargs["name"],)
+            # The next compute layer's input scale is this layer's
+            # post-nonlinearity calibration maximum.
+            peak = float(np.max(np.abs(float_out)))
+            s_x = peak if peak > 0 else 1.0
+            h = float_out
+        elif isinstance(layer, MaxPool2D):
+            pool = PoolShape(
+                channels=in_shape[0],
+                height=in_shape[1],
+                width=in_shape[2],
+                kernel=layer.kernel,
+                stride=layer.stride,
+            )
+            index += 1
+            task = LayerTask(
+                name=f"pool{index}",
+                kind="maxpool",
+                input_size=pool.input_size,
+                output_size=pool.output_size,
+                pool=pool,
+                depends_on=previous,
+            )
+            # Pools slot between two compute tasks; flush the pending
+            # compute with a requant that targets its own scale (the
+            # pool preserves scale).
+            tasks.extend(_flush_pending(pending, s_x))
+            tasks.append(task)
+            previous = (task.name,)
+            h = layer.forward(h)
+        elif isinstance(layer, Flatten):
+            # The datapath's conv outputs are already flattened
+            # channel-major; Flatten is the identity there.
+            h = layer.forward(h)
+        else:
+            raise ValueError(
+                f"quantize_cnn does not support {type(layer).__name__}"
+            )
+        i += 1
+    tasks.extend(_flush_pending(pending, s_x, final=True))
+    if not tasks:
+        raise ValueError("model contains no compute layers")
+    return ComputationDAG(
+        model_id=model_id,
+        name=name if name is not None else model.name,
+        tasks=tasks,
+    )
+
+
+def _flush_pending(
+    pending: list[dict], next_scale: float, final: bool = False
+) -> list[LayerTask]:
+    """Materialize queued compute tasks with their requant divisors.
+
+    Each task's requant target is the *next* compute layer's input
+    scale: for queued neighbours that is the following entry's recorded
+    input scale; for the last queued task it is ``next_scale`` (the
+    scale measured after it), unless it is the DAG's final compute task.
+    """
+    out: list[LayerTask] = []
+    for position, entry in enumerate(pending):
+        is_final = final and position == len(pending) - 1
+        if is_final:
+            divisor = 1.0
+        else:
+            target = (
+                pending[position + 1]["s_x"]
+                if position + 1 < len(pending)
+                else next_scale
+            )
+            if entry.get("kind") == "attention":
+                # Attention outputs carry the weight scale twice (the
+                # V and output projections): divisor = s_x' / (s_x s_w^2).
+                divisor = target / (
+                    entry["s_w"] ** 2 * entry["s_x"]
+                )
+            else:
+                divisor = target / (entry["s_w"] * entry["s_x"])
+        out.append(
+            LayerTask(requant_divisor=divisor, **entry["kwargs"])
+        )
+    pending.clear()
+    return out
+
+
+class QuantizedNetwork:
+    """Vectorized executor of a quantized DAG (the emulator's fast path).
+
+    Reproduces the datapath arithmetic — level-scale dot products, bias
+    addition, max pooling, non-linearity, requantization with clipping —
+    over whole batches, for dense, conv, and pool tasks alike.  Pass a
+    :class:`BehavioralCore` to inject photonic readout noise, or
+    ``core=None`` for exact int8-digital execution.
+    """
+
+    def __init__(self, dag: ComputationDAG) -> None:
+        self.dag = dag
+
+    @staticmethod
+    def _matmul(h, weights_t, core):
+        if core is not None:
+            return core.matmul(h, weights_t)
+        return h @ weights_t / LEVELS
+
+    def forward(
+        self, x_levels: np.ndarray, core: BehavioralCore | None = None
+    ) -> np.ndarray:
+        """Run a batch of level-scale inputs; returns final raw outputs."""
+        h = np.atleast_2d(np.asarray(x_levels, dtype=np.float64))
+        if h.shape[1] != self.dag.tasks[0].input_size:
+            raise ValueError(
+                f"model {self.dag.name!r} expects "
+                f"{self.dag.tasks[0].input_size} features, got {h.shape[1]}"
+            )
+        batch = h.shape[0]
+        for index, task in enumerate(self.dag.tasks):
+            if task.kind == "dense":
+                raw = self._matmul(h, task.weights_levels.T, core)
+                if task.bias_levels is not None:
+                    raw = raw + task.bias_levels
+            elif task.kind == "conv":
+                conv = task.conv
+                images = h.reshape(
+                    batch, conv.in_channels, conv.height, conv.width
+                )
+                cols, out_h, out_w = im2col(
+                    images, conv.kernel, conv.stride, conv.padding
+                )
+                raw = self._matmul(cols, task.weights_levels.T, core)
+                if task.bias_levels is not None:
+                    raw = raw + task.bias_levels
+                # (batch*positions, out_c) -> channel-major flattening.
+                raw = (
+                    raw.reshape(batch, out_h * out_w, conv.out_channels)
+                    .transpose(0, 2, 1)
+                    .reshape(batch, -1)
+                )
+            elif task.kind == "attention":
+                att = task.attention
+                d = att.d_model
+                weights = task.weights_levels
+                wq, wk = weights[0:d], weights[d : 2 * d]
+                wv, wo = weights[2 * d : 3 * d], weights[3 * d : 4 * d]
+                raw = np.empty_like(h)
+                for b in range(batch):
+                    tokens = h[b].reshape(att.seq_len, d)
+                    q = self._matmul(tokens, wq.T, core)
+                    k = self._matmul(tokens, wk.T, core)
+                    v = self._matmul(tokens, wv.T, core)
+                    scores = (
+                        self._matmul(q, k.T, core) * att.score_scale
+                    )
+                    shifted = scores - scores.max(axis=-1, keepdims=True)
+                    exps = np.exp(shifted)
+                    attn = exps / exps.sum(axis=-1, keepdims=True)
+                    context = self._matmul(attn * LEVELS, v, core)
+                    raw[b] = self._matmul(context, wo.T, core).ravel()
+            else:  # maxpool
+                pool = task.pool
+                images = h.reshape(
+                    batch, pool.channels, pool.height, pool.width
+                )
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    images, (pool.kernel, pool.kernel), axis=(2, 3)
+                )[
+                    :, :, :: pool.effective_stride,
+                    :: pool.effective_stride,
+                ]
+                raw = windows.max(axis=(-2, -1)).reshape(batch, -1)
+            if task.nonlinearity == "relu":
+                raw = np.maximum(raw, 0.0)
+            elif task.nonlinearity == "softmax":
+                shifted = raw - raw.max(axis=1, keepdims=True)
+                exps = np.exp(shifted)
+                raw = exps / exps.sum(axis=1, keepdims=True)
+            if index < len(self.dag.tasks) - 1 and task.requant_divisor != 1.0:
+                raw = np.clip(raw / task.requant_divisor, 0.0, LEVELS)
+            h = raw
+        return h
+
+    def predict(
+        self, x_levels: np.ndarray, core: BehavioralCore | None = None
+    ) -> np.ndarray:
+        """Class predictions (argmax of :meth:`forward`)."""
+        return np.argmax(self.forward(x_levels, core), axis=-1)
+
+
+#: Backwards-compatible name: the dense-only executor is the same class.
+QuantizedMLP = QuantizedNetwork

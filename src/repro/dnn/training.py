@@ -1,0 +1,236 @@
+"""From-scratch training for the prototype's DNN models.
+
+The paper trains LeNet-300-100 with PyTorch and takes the two N3IC
+traffic-analysis MLPs from open-source code; neither is available
+offline, so this module implements minibatch SGD with momentum and
+softmax cross-entropy for dense/ReLU stacks in plain numpy.
+
+Feature standardization is applied during optimization and then *folded
+into the first layer's weights*, so the returned model consumes raw
+0..255 feature levels directly — exactly what arrives in inference
+packets — with no separate preprocessing stage to keep in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .datasets import Dataset
+from .layers import Dense, ReLULayer
+from .model import Sequential
+
+__all__ = ["TrainingResult", "MLPTrainer", "train_mlp"]
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """A trained model plus its optimization trace."""
+
+    model: Sequential
+    losses: tuple[float, ...]
+    train_accuracy: float
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+class MLPTrainer:
+    """Minibatch SGD + momentum for dense/ReLU classification stacks."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        epochs: int = 30,
+        weight_decay: float = 1e-4,
+        use_bias: bool = True,
+        grad_clip: float = 1.0,
+        normalization: str = "per_feature",
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if batch_size < 1 or epochs < 1:
+            raise ValueError("batch size and epochs must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay cannot be negative")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.epochs = epochs
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("gradient clip must be positive or None")
+        if normalization not in ("per_feature", "global"):
+            raise ValueError(
+                "normalization must be 'per_feature' or 'global'"
+            )
+        self.weight_decay = weight_decay
+        self.use_bias = use_bias
+        self.grad_clip = grad_clip
+        self.normalization = normalization
+        self.seed = seed
+
+    def train(
+        self, layer_sizes: list[int], dataset: Dataset, name: str = "mlp"
+    ) -> TrainingResult:
+        """Train a stack of the given sizes on the dataset.
+
+        ``layer_sizes`` is ``[input, hidden..., num_classes]``; ReLU is
+        applied between every pair of dense layers (not after the last).
+        """
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if layer_sizes[0] != dataset.x.reshape(len(dataset.x), -1).shape[1]:
+            raise ValueError(
+                "first layer size must match the dataset feature count"
+            )
+        if layer_sizes[-1] != dataset.num_classes:
+            raise ValueError(
+                "last layer size must match the dataset class count"
+            )
+        rng = np.random.default_rng(self.seed)
+        x = dataset.x.reshape(len(dataset.x), -1).astype(np.float64)
+        y = dataset.y.astype(np.int64)
+
+        # Standardize features for optimization; folded back out below.
+        # Bias-free stacks cannot absorb a mean shift, so they get a
+        # pure (exactly foldable) scale normalization instead.  A
+        # "global" scale keeps the folded first-layer weights well
+        # conditioned for later 8-bit quantization (per-feature scales
+        # can differ by orders of magnitude, and the fold bakes that
+        # spread into the weights).
+        if self.use_bias:
+            mean = x.mean(axis=0)
+        else:
+            mean = np.zeros(x.shape[1])
+        if self.normalization == "per_feature":
+            if self.use_bias:
+                std = x.std(axis=0)
+            else:
+                std = np.sqrt((x**2).mean(axis=0))
+            # Floor tiny scales at a fraction of the median so the fold
+            # never spreads first-layer weight magnitudes by more than
+            # ~20x — keeping them quantizable to 8 bits.
+            floor = 0.05 * float(np.median(std[std > 1e-6]) or 1.0)
+            std = np.maximum(std, max(floor, 1e-6))
+        else:
+            scale = float(np.sqrt((x**2).mean()))
+            std = np.full(x.shape[1], scale if scale > 1e-6 else 1.0)
+        x_norm = (x - mean) / std
+
+        weights = []
+        biases = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            weights.append(
+                rng.normal(0.0, np.sqrt(2.0 / fan_in), (fan_out, fan_in))
+            )
+            biases.append(np.zeros(fan_out) if self.use_bias else None)
+        vel_w = [np.zeros_like(w) for w in weights]
+        vel_b = [
+            np.zeros_like(b) if b is not None else None for b in biases
+        ]
+
+        num_samples = len(x_norm)
+        losses = []
+        for _epoch in range(self.epochs):
+            order = rng.permutation(num_samples)
+            epoch_loss = 0.0
+            for start in range(0, num_samples, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                xb, yb = x_norm[batch_idx], y[batch_idx]
+                loss = self._step(xb, yb, weights, biases, vel_w, vel_b)
+                epoch_loss += loss * len(batch_idx)
+            losses.append(epoch_loss / num_samples)
+
+        # Fold standardization into the first layer so the model takes
+        # raw 0..255 levels: W'x + b' == W((x - mean)/std) + b.
+        weights[0] = weights[0] / std
+        if biases[0] is not None:
+            biases[0] = biases[0] - weights[0] @ mean
+
+        layers = []
+        for i, (w, b) in enumerate(zip(weights, biases)):
+            layers.append(
+                Dense(
+                    input_size=w.shape[1],
+                    output_size=w.shape[0],
+                    weights=w,
+                    bias=b,
+                    use_bias=b is not None,
+                )
+            )
+            if i < len(weights) - 1:
+                layers.append(ReLULayer())
+        model = Sequential(layers, input_shape=(layer_sizes[0],), name=name)
+        accuracy = float((model.predict(x) == y).mean())
+        return TrainingResult(
+            model=model, losses=tuple(losses), train_accuracy=accuracy
+        )
+
+    def _step(self, xb, yb, weights, biases, vel_w, vel_b) -> float:
+        """One SGD step; returns the batch's mean cross-entropy loss."""
+        # Forward with cached pre-activations.
+        activations = [xb]
+        pre_acts = []
+        h = xb
+        for i, (w, b) in enumerate(zip(weights, biases)):
+            z = h @ w.T
+            if b is not None:
+                z = z + b
+            pre_acts.append(z)
+            h = np.maximum(z, 0.0) if i < len(weights) - 1 else z
+            activations.append(h)
+        probs = _softmax(activations[-1])
+        batch = len(xb)
+        loss = float(
+            -np.log(np.clip(probs[np.arange(batch), yb], 1e-12, None)).mean()
+        )
+        # Backward.
+        delta = probs
+        delta[np.arange(batch), yb] -= 1.0
+        delta /= batch
+        for i in reversed(range(len(weights))):
+            grad_w = delta.T @ activations[i]
+            if self.weight_decay:
+                grad_w = grad_w + self.weight_decay * weights[i]
+            if self.grad_clip is not None:
+                norm = float(np.linalg.norm(grad_w))
+                if norm > self.grad_clip:
+                    grad_w = grad_w * (self.grad_clip / norm)
+            vel_w[i] = self.momentum * vel_w[i] - self.learning_rate * grad_w
+            if biases[i] is not None:
+                grad_b = delta.sum(axis=0)
+                vel_b[i] = (
+                    self.momentum * vel_b[i] - self.learning_rate * grad_b
+                )
+            if i > 0:
+                delta = (delta @ weights[i]) * (pre_acts[i - 1] > 0)
+            weights[i] += vel_w[i]
+            if biases[i] is not None:
+                biases[i] += vel_b[i]
+        return loss
+
+
+def train_mlp(
+    layer_sizes: list[int],
+    dataset: Dataset,
+    epochs: int = 30,
+    seed: int = 0,
+    name: str = "mlp",
+    use_bias: bool = True,
+) -> TrainingResult:
+    """Convenience wrapper around :class:`MLPTrainer`."""
+    trainer = MLPTrainer(epochs=epochs, seed=seed, use_bias=use_bias)
+    return trainer.train(layer_sizes, dataset, name=name)

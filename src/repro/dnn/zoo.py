@@ -1,0 +1,568 @@
+"""Model zoo: the paper's DNNs.
+
+Runnable models (built layer-by-layer, trainable with
+:mod:`repro.dnn.training`):
+
+* ``build_lenet_300_100`` — the prototype's image classifier (§6.3);
+  266,200 parameters exactly, matching the paper's count (bias-free).
+* ``build_security_model`` — the N3IC-style anomaly detector, 1,568
+  parameters, taking the 16 packet-header features.
+* ``build_iot_model`` — the IoT traffic classifier, 1,696 parameters.
+* ``build_alexnet_emulation`` / ``build_vgg_emulation`` — scaled-down
+  AlexNet/VGG-11/16/19 for the accuracy emulator (§7): the canonical
+  conv/pool topology at 32x32 input with reduced channel widths, random
+  (fixed) convolutional features and a trainable dense readout — see
+  DESIGN.md for why this substitution preserves the fp32/int8/photonic
+  accuracy *deltas* the figure establishes.
+
+Analytic specs (:class:`~repro.dnn.model.ModelSpec`) describe the seven
+large DNNs of the simulation section (§9, Table 6) with layer-exact MAC
+and parameter counts: AlexNet, ResNet-18, VGG-16, VGG-19, BERT-Large,
+GPT-2 XL, and DLRM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets import Dataset
+from .layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLULayer,
+)
+from .model import LayerSpec, ModelSpec, Sequential
+from .training import MLPTrainer, TrainingResult
+
+__all__ = [
+    "build_lenet_300_100",
+    "build_security_model",
+    "build_iot_model",
+    "build_alexnet_emulation",
+    "build_vgg_emulation",
+    "train_readout",
+    "normalize_feature_scales",
+    "alexnet_spec",
+    "resnet18_spec",
+    "vgg16_spec",
+    "vgg19_spec",
+    "bert_large_spec",
+    "gpt2_xl_spec",
+    "dlrm_spec",
+    "SIMULATION_MODELS",
+]
+
+
+# ----------------------------------------------------------------------
+# Runnable prototype models
+# ----------------------------------------------------------------------
+def build_lenet_300_100(
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """LeNet-300-100: 784 -> 300 -> 100 -> 10, bias-free (266,200 params)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = [
+        Dense(784, 300, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(300, 100, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(100, 10, use_bias=False, rng=rng),
+    ]
+    return Sequential(layers, input_shape=(784,), name="lenet-300-100")
+
+
+def build_security_model(
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """The security anomaly-detection MLP: 16 -> 48 -> 16 -> 2.
+
+    1,568 parameters (bias-free), matching the paper's count for the
+    UNSW-NB15 intrusion model, consuming the parser's 16 header features.
+    """
+    rng = rng if rng is not None else np.random.default_rng(1)
+    layers = [
+        Dense(16, 48, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(48, 16, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(16, 2, use_bias=False, rng=rng),
+    ]
+    return Sequential(layers, input_shape=(16,), name="security")
+
+
+def build_iot_model(rng: np.random.Generator | None = None) -> Sequential:
+    """The IoT traffic classifier: 16 -> 32 -> 32 -> 5 (1,696 params)."""
+    rng = rng if rng is not None else np.random.default_rng(2)
+    layers = [
+        Dense(16, 32, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(32, 32, use_bias=False, rng=rng),
+        ReLULayer(),
+        Dense(32, 5, use_bias=False, rng=rng),
+    ]
+    return Sequential(layers, input_shape=(16,), name="iot-traffic")
+
+
+# ----------------------------------------------------------------------
+# Emulation models (scaled-down AlexNet / VGG)
+# ----------------------------------------------------------------------
+def build_alexnet_emulation(
+    num_classes: int = 10,
+    input_size: int = 32,
+    width: int = 8,
+    seed: int = 10,
+) -> Sequential:
+    """A scaled AlexNet: 5 convs + 3 dense, at ``width`` base channels."""
+    rng = np.random.default_rng(seed)
+    w = width
+    layers = [
+        Conv2D(3, w, kernel=3, stride=1, padding=1, rng=rng),
+        ReLULayer(),
+        MaxPool2D(2),
+        Conv2D(w, 3 * w, kernel=3, padding=1, rng=rng),
+        ReLULayer(),
+        MaxPool2D(2),
+        Conv2D(3 * w, 6 * w, kernel=3, padding=1, rng=rng),
+        ReLULayer(),
+        Conv2D(6 * w, 4 * w, kernel=3, padding=1, rng=rng),
+        ReLULayer(),
+        Conv2D(4 * w, 4 * w, kernel=3, padding=1, rng=rng),
+        ReLULayer(),
+        MaxPool2D(2),
+        Flatten(),
+    ]
+    feature_dim = 4 * w * (input_size // 8) ** 2
+    layers += [
+        Dense(feature_dim, 16 * w, rng=rng),
+        ReLULayer(),
+        Dense(16 * w, 16 * w, rng=rng),
+        ReLULayer(),
+        Dense(16 * w, num_classes, rng=rng),
+    ]
+    return Sequential(
+        layers, input_shape=(3, input_size, input_size), name="alexnet-emu"
+    )
+
+
+_VGG_PLANS = {
+    11: [1, 1, 2, 2, 2],
+    16: [2, 2, 3, 3, 3],
+    19: [2, 2, 4, 4, 4],
+}
+
+
+def build_vgg_emulation(
+    depth: int,
+    num_classes: int = 10,
+    input_size: int = 32,
+    width: int = 8,
+    seed: int = 11,
+) -> Sequential:
+    """A scaled VGG-{11,16,19}: the canonical five conv stages at
+    ``width`` base channels, pooling after each stage."""
+    if depth not in _VGG_PLANS:
+        raise ValueError(f"supported VGG depths: {sorted(_VGG_PLANS)}")
+    rng = np.random.default_rng(seed + depth)
+    plan = _VGG_PLANS[depth]
+    layers: list = []
+    in_ch = 3
+    stage_width = width
+    spatial = input_size
+    for stage, convs in enumerate(plan):
+        for _ in range(convs):
+            layers += [
+                Conv2D(in_ch, stage_width, kernel=3, padding=1, rng=rng),
+                ReLULayer(),
+            ]
+            in_ch = stage_width
+        layers.append(MaxPool2D(2))
+        spatial //= 2
+        if stage < len(plan) - 1:
+            stage_width = min(stage_width * 2, 8 * width)
+    layers.append(Flatten())
+    feature_dim = in_ch * spatial * spatial
+    layers += [
+        Dense(feature_dim, 16 * width, rng=rng),
+        ReLULayer(),
+        Dense(16 * width, 16 * width, rng=rng),
+        ReLULayer(),
+        Dense(16 * width, num_classes, rng=rng),
+    ]
+    return Sequential(
+        layers,
+        input_shape=(3, input_size, input_size),
+        name=f"vgg{depth}-emu",
+    )
+
+
+def normalize_feature_scales(
+    model: Sequential,
+    sample: np.ndarray,
+    target_rms: float = 64.0,
+    flatten_index: int | None = None,
+) -> None:
+    """LSUV-style activation normalization of a conv feature stack.
+
+    Random (untrained) convolution weights produce activations whose
+    magnitudes drift multiplicatively layer by layer; by the fifth layer
+    the dynamic range defeats 8-bit per-tensor quantization.  Trained
+    networks do not have this pathology, so to make the random feature
+    extractors behave like trained ones for quantization purposes, each
+    convolution's weights are rescaled so its output RMS over a sample
+    batch equals ``target_rms`` (a comfortable fraction of the 0..255
+    level scale).  Rescaling a conv layer only changes the features by a
+    positive per-layer factor, which ReLU and max-pooling commute with —
+    the extractor's representational content is untouched.
+    """
+    end = flatten_index + 1 if flatten_index is not None else len(model.layers)
+    current = np.asarray(sample, dtype=np.float64)
+    for layer in model.layers[:end]:
+        if isinstance(layer, Conv2D):
+            out = layer.forward(current)
+            rms = float(np.sqrt((out**2).mean()))
+            if rms > 1e-12:
+                factor = target_rms / rms
+                layer.weights = layer.weights * factor
+                layer.bias = layer.bias * factor
+                out = out * factor
+            current = out
+        else:
+            current = layer.forward(current)
+
+
+def train_readout(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int = 20,
+    seed: int = 0,
+) -> TrainingResult:
+    """Train a conv model's dense readout on fixed random conv features.
+
+    The convolutional stage acts as a fixed random feature extractor
+    (trained conv weights are unavailable offline): its activation scales
+    are first normalized (see :func:`normalize_feature_scales`), features
+    are computed once, the dense head is trained on them, and the trained
+    weights are written back into the model in place.  Returns the head's
+    training result; the model itself is updated.
+    """
+    flatten_index = next(
+        (
+            i
+            for i, layer in enumerate(model.layers)
+            if layer.name == "flatten"
+        ),
+        None,
+    )
+    if flatten_index is None:
+        raise ValueError("model has no flatten layer separating the head")
+    sample = np.asarray(dataset.x[: min(len(dataset.x), 32)], dtype=np.float64)
+    normalize_feature_scales(model, sample, flatten_index=flatten_index)
+    features = np.asarray(dataset.x, dtype=np.float64)
+    for layer in model.layers[: flatten_index + 1]:
+        features = layer.forward(features)
+    head_dense = [
+        layer
+        for layer in model.layers[flatten_index + 1 :]
+        if isinstance(layer, Dense)
+    ]
+    sizes = [head_dense[0].input_size] + [d.output_size for d in head_dense]
+    head_data = Dataset(
+        x=features, y=dataset.y, num_classes=dataset.num_classes
+    )
+    trainer = MLPTrainer(epochs=epochs, seed=seed, learning_rate=0.02)
+    result = trainer.train(sizes, head_data, name=f"{model.name}-head")
+    for target, trained in zip(head_dense, result.model.dense_layers()):
+        target.weights = trained.weights
+        target.bias = trained.bias
+    return result
+
+
+# ----------------------------------------------------------------------
+# Analytic specs for the simulation section (§9, Table 6)
+# ----------------------------------------------------------------------
+def _conv_spec(
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+    out_hw: int,
+) -> LayerSpec:
+    macs = out_hw * out_hw * out_ch * in_ch * kernel * kernel
+    params = out_ch * in_ch * kernel * kernel
+    return LayerSpec(name=name, macs=macs, parameters=params)
+
+
+def _dense_spec(name: str, fan_in: int, fan_out: int, group=None) -> LayerSpec:
+    return LayerSpec(
+        name=name,
+        macs=fan_in * fan_out,
+        parameters=fan_in * fan_out,
+        parallel_group=group,
+    )
+
+
+def alexnet_spec() -> ModelSpec:
+    """AlexNet at 224x224: 5 conv + 3 dense layers, ~61 M parameters."""
+    layers = (
+        _conv_spec("conv1", 3, 96, 11, 55),
+        _conv_spec("conv2", 96, 256, 5, 27),
+        _conv_spec("conv3", 256, 384, 3, 13),
+        _conv_spec("conv4", 384, 384, 3, 13),
+        _conv_spec("conv5", 384, 256, 3, 13),
+        _dense_spec("fc6", 256 * 6 * 6, 4096),
+        _dense_spec("fc7", 4096, 4096),
+        _dense_spec("fc8", 4096, 1000),
+    )
+    return ModelSpec(
+        name="AlexNet",
+        layers=layers,
+        model_bytes=233 * 1024**2,
+        query_bytes=150 * 1024,
+        dataset="ImageNet",
+        task="vision",
+    )
+
+
+def _vgg_layers(plan: list[int]) -> tuple[LayerSpec, ...]:
+    widths = [64, 128, 256, 512, 512]
+    spatial = 224
+    layers: list[LayerSpec] = []
+    in_ch = 3
+    for stage, (convs, width) in enumerate(zip(plan, widths)):
+        for i in range(convs):
+            layers.append(
+                _conv_spec(
+                    f"conv{stage + 1}_{i + 1}", in_ch, width, 3, spatial
+                )
+            )
+            in_ch = width
+        spatial //= 2
+    layers.append(_dense_spec("fc6", 512 * 7 * 7, 4096))
+    layers.append(_dense_spec("fc7", 4096, 4096))
+    layers.append(_dense_spec("fc8", 4096, 1000))
+    return tuple(layers)
+
+
+def vgg16_spec() -> ModelSpec:
+    """VGG-16 at 224x224: 13 conv + 3 dense, ~138 M parameters."""
+    return ModelSpec(
+        name="VGG16",
+        layers=_vgg_layers(_VGG_PLANS[16]),
+        model_bytes=528 * 1024**2,
+        query_bytes=150 * 1024,
+        dataset="ImageNet",
+        task="vision",
+    )
+
+
+def vgg19_spec() -> ModelSpec:
+    """VGG-19 at 224x224: 16 conv + 3 dense, ~144 M parameters."""
+    return ModelSpec(
+        name="VGG19",
+        layers=_vgg_layers(_VGG_PLANS[19]),
+        model_bytes=548 * 1024**2,
+        query_bytes=150 * 1024,
+        dataset="ImageNet",
+        task="vision",
+    )
+
+
+def resnet18_spec() -> ModelSpec:
+    """ResNet-18 at 224x224: 17 convs + 1 dense, ~11.7 M parameters.
+
+    Counting the three 1x1 downsample-shortcut convolutions as steps,
+    the model is 21 steps deep — matching Table 6's 4.053 us datapath
+    latency at 193 ns per layer.
+    """
+    layers: list[LayerSpec] = [_conv_spec("conv1", 3, 64, 7, 112)]
+    stage_plan = [
+        ("stage1", 64, 64, 56, False),
+        ("stage2", 64, 128, 28, True),
+        ("stage3", 128, 256, 14, True),
+        ("stage4", 256, 512, 7, True),
+    ]
+    for name, in_ch, out_ch, hw, downsample in stage_plan:
+        layers.append(_conv_spec(f"{name}_b1c1", in_ch, out_ch, 3, hw))
+        if downsample:
+            layers.append(_conv_spec(f"{name}_proj", in_ch, out_ch, 1, hw))
+        layers.append(_conv_spec(f"{name}_b1c2", out_ch, out_ch, 3, hw))
+        layers.append(_conv_spec(f"{name}_b2c1", out_ch, out_ch, 3, hw))
+        layers.append(_conv_spec(f"{name}_b2c2", out_ch, out_ch, 3, hw))
+    layers.append(_dense_spec("fc", 512, 1000))
+    return ModelSpec(
+        name="ResNet18",
+        layers=tuple(layers),
+        model_bytes=45 * 1024**2,
+        query_bytes=150 * 1024,
+        dataset="ImageNet",
+        task="vision",
+    )
+
+
+def _transformer_layers(
+    blocks: int, hidden: int, ff: int, seq: int, vocab_macs: int
+) -> tuple[LayerSpec, ...]:
+    """Per-block sublayers of a transformer encoder/decoder.
+
+    Each block contributes 7 sequential steps: Q, K, V projections
+    (parallel group), attention scores, attention-weighted values, the
+    output projection, and the two feed-forward matmuls; plus one
+    embedding/readout step for the whole model.
+    """
+    layers: list[LayerSpec] = [
+        LayerSpec(name="embed", macs=vocab_macs, parameters=vocab_macs // seq)
+    ]
+    for b in range(blocks):
+        group = f"block{b}_qkv"
+        for proj in ("q", "k", "v"):
+            layers.append(
+                LayerSpec(
+                    name=f"block{b}_{proj}",
+                    macs=seq * hidden * hidden,
+                    parameters=hidden * hidden,
+                    parallel_group=group,
+                )
+            )
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_scores", macs=seq * seq * hidden, parameters=0
+            )
+        )
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_context", macs=seq * seq * hidden, parameters=0
+            )
+        )
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_proj",
+                macs=seq * hidden * hidden,
+                parameters=hidden * hidden,
+            )
+        )
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_ff1",
+                macs=seq * hidden * ff,
+                parameters=hidden * ff,
+            )
+        )
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_ff2",
+                macs=seq * ff * hidden,
+                parameters=ff * hidden,
+            )
+        )
+        # Residual adds + the block's two layer norms, fused as one
+        # pipeline step (scale/shift multiplies, few parameters).
+        layers.append(
+            LayerSpec(
+                name=f"block{b}_norm",
+                macs=2 * seq * hidden,
+                parameters=4 * hidden,
+            )
+        )
+    return tuple(layers)
+
+
+def bert_large_spec(seq: int = 64) -> ModelSpec:
+    """BERT-Large: 24 blocks, hidden 1024, FF 4096, ~340 M parameters.
+
+    Effective depth 169 (24 blocks x 7 steps + embedding), matching the
+    32.617 us datapath latency of Table 6 at 193 ns per layer.
+    """
+    return ModelSpec(
+        name="BERT",
+        layers=_transformer_layers(
+            blocks=24,
+            hidden=1024,
+            ff=4096,
+            seq=seq,
+            vocab_macs=seq * 1024 * 512,
+        ),
+        model_bytes=1380 * 1024**2,
+        query_bytes=int(5.12 * 1024),
+        dataset="Synthetic",
+        task="language",
+    )
+
+
+def gpt2_xl_spec(seq: int = 64) -> ModelSpec:
+    """GPT-2 XL: 48 blocks, hidden 1600, FF 6400, ~1.56 B parameters.
+
+    Effective depth 337 + embedding = 338, matching Table 6's 65.234 us.
+    """
+    layers = _transformer_layers(
+        blocks=48,
+        hidden=1600,
+        ff=6400,
+        seq=seq,
+        vocab_macs=seq * 1600 * 512,
+    )
+    # GPT-2 also has an LM head readout.
+    layers = layers + (
+        LayerSpec(name="lm_head", macs=seq * 1600 * 512, parameters=0),
+    )
+    return ModelSpec(
+        name="GPT-2",
+        layers=layers,
+        model_bytes=6263 * 1024**2,
+        query_bytes=int(10.24 * 1024),
+        dataset="Synthetic",
+        task="language",
+    )
+
+
+def dlrm_spec() -> ModelSpec:
+    """DLRM: embedding-dominated recommendation model, ~12.4 GB.
+
+    The MLP towers are small (bottom 13-512-256-64, top 512-256-1); the
+    bulk of the bytes are embedding tables that contribute lookups, not
+    MACs.  Effective depth 8, matching Table 6's 1.544 us: the embedding
+    lookups run in parallel as one step.
+    """
+    emb_params = (12400 * 1024**2 - 3 * 10**6) // 4
+    num_tables = 26
+    per_table = int(emb_params) // num_tables
+    embedding_layers = tuple(
+        LayerSpec(
+            name=f"emb{t}",
+            macs=64,  # one 64-wide lookup-sum per table
+            parameters=per_table,
+            parallel_group="embed",
+        )
+        for t in range(num_tables)
+    )
+    layers = embedding_layers + (
+        _dense_spec("bot1", 13, 512),
+        _dense_spec("bot2", 512, 256),
+        _dense_spec("bot3", 256, 64),
+        LayerSpec(name="interact", macs=27 * 27 * 64, parameters=0),
+        _dense_spec("top1", 512, 256),
+        _dense_spec("top2", 256, 128),
+        _dense_spec("top3", 128, 1),
+    )
+    return ModelSpec(
+        name="DLRM",
+        layers=layers,
+        model_bytes=12400 * 1024**2,
+        query_bytes=int(5.12 * 1024),
+        dataset="Synthetic",
+        task="recommendation",
+    )
+
+
+def SIMULATION_MODELS() -> list[ModelSpec]:
+    """The seven large DNNs evaluated in the simulations (§9)."""
+    return [
+        alexnet_spec(),
+        resnet18_spec(),
+        vgg16_spec(),
+        vgg19_spec(),
+        bert_large_spec(),
+        gpt2_xl_spec(),
+        dlrm_spec(),
+    ]

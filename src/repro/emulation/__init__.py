@@ -1,0 +1,14 @@
+"""Accuracy emulation (§7): fp32 vs int8 vs photonic execution."""
+
+from .emulator import EmulationReport, PhotonicEmulator, SchemeResult
+from .engines import FP32Engine, Int8Engine, PhotonicEngine, engine_for
+
+__all__ = [
+    "PhotonicEmulator",
+    "EmulationReport",
+    "SchemeResult",
+    "FP32Engine",
+    "Int8Engine",
+    "PhotonicEngine",
+    "engine_for",
+]

@@ -1,0 +1,125 @@
+"""The Python accuracy emulator (§7, Figure 19).
+
+Runs a model under the 8-bit photonic, 8-bit digital, and 32-bit digital
+computation schemes and reports top-k accuracy for each.  Photonic runs
+repeat over several trials with independent noise seeds and report the
+average, matching the paper's "average accuracy over ten experiments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import top_k_accuracy
+from ..dnn.datasets import Dataset
+from ..dnn.model import Sequential
+from ..photonics.noise import GaussianNoise, NoiseModel
+from ..photonics.core import BehavioralCore
+from .engines import FP32Engine, Int8Engine, PhotonicEngine
+
+__all__ = ["SchemeResult", "EmulationReport", "PhotonicEmulator"]
+
+SCHEMES = ("fp32", "int8", "photonic")
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Accuracy of one execution scheme."""
+
+    scheme: str
+    top1: float
+    top5: float
+    trials: int
+
+
+@dataclass(frozen=True)
+class EmulationReport:
+    """Per-scheme accuracies for one model (one Figure 19 group)."""
+
+    model_name: str
+    results: dict[str, SchemeResult]
+
+    def accuracy(self, scheme: str, k: int = 5) -> float:
+        """One scheme's top-1 (k=1) or top-5 accuracy."""
+        result = self.results[scheme]
+        return result.top5 if k == 5 else result.top1
+
+    def photonic_gap_top5(self) -> float:
+        """Top-5 accuracy lost to photonic noise vs int8 digital
+        (the paper's "within 2.25 %" headline)."""
+        return self.results["int8"].top5 - self.results["photonic"].top5
+
+
+class PhotonicEmulator:
+    """Runs a model under all three schemes over a dataset."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        noise: NoiseModel | None = None,
+        photonic_trials: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if photonic_trials < 1:
+            raise ValueError("need at least one photonic trial")
+        self.model = model
+        self.noise = noise if noise is not None else GaussianNoise()
+        self.photonic_trials = photonic_trials
+        self.seed = seed
+
+    def _scores(self, x: np.ndarray, engine) -> np.ndarray:
+        return np.asarray(self.model.forward(x, engine), dtype=np.float64)
+
+    def evaluate(
+        self,
+        dataset: Dataset,
+        schemes: tuple[str, ...] = SCHEMES,
+        batch_size: int = 64,
+    ) -> EmulationReport:
+        """Evaluate top-1/top-5 accuracy under the requested schemes."""
+        x = np.asarray(dataset.x, dtype=np.float64)
+        y = np.asarray(dataset.y)
+        k5 = min(5, dataset.num_classes)
+        results: dict[str, SchemeResult] = {}
+        for scheme in schemes:
+            if scheme == "photonic":
+                top1s, top5s = [], []
+                for trial in range(self.photonic_trials):
+                    engine = PhotonicEngine(
+                        core=BehavioralCore(
+                            noise=self.noise, seed=self.seed + trial
+                        )
+                    )
+                    scores = self._batched_scores(x, engine, batch_size)
+                    top1s.append(top_k_accuracy(scores, y, k=1))
+                    top5s.append(top_k_accuracy(scores, y, k=k5))
+                results[scheme] = SchemeResult(
+                    scheme=scheme,
+                    top1=float(np.mean(top1s)),
+                    top5=float(np.mean(top5s)),
+                    trials=self.photonic_trials,
+                )
+            else:
+                engine = (
+                    FP32Engine() if scheme == "fp32" else Int8Engine()
+                )
+                scores = self._batched_scores(x, engine, batch_size)
+                results[scheme] = SchemeResult(
+                    scheme=scheme,
+                    top1=top_k_accuracy(scores, y, k=1),
+                    top5=top_k_accuracy(scores, y, k=k5),
+                    trials=1,
+                )
+        return EmulationReport(
+            model_name=self.model.name, results=results
+        )
+
+    def _batched_scores(
+        self, x: np.ndarray, engine, batch_size: int
+    ) -> np.ndarray:
+        chunks = []
+        for start in range(0, len(x), batch_size):
+            chunks.append(self._scores(x[start : start + batch_size], engine))
+        return np.concatenate(chunks, axis=0)

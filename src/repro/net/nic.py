@@ -1,0 +1,85 @@
+"""NIC port and PCIe interface latency/energy models.
+
+The 100 Gbps Ethernet MAC serializes frames onto the wire; its latency is
+the frame's bits over the line rate plus a fixed MAC pipeline delay.
+Lightning answers inference packets directly from the NIC, so PCIe only
+carries regular traffic and model-parameter updates (§6.1); the PCIe
+model exists so the datapath can account for the punting cost that
+Lightning *avoids* on the inference path — the comparison that motivates
+the smartNIC placement in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NICPort", "PCIeInterface"]
+
+
+@dataclass
+class NICPort:
+    """A 100 Gbps Ethernet MAC (CMAC) port."""
+
+    rate_gbps: float = 100.0
+    mac_pipeline_ns: float = 50.0
+    power_watts: float = 15.0  # typical 100 Gbps NIC card power
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValueError("line rate must be positive")
+        if self.mac_pipeline_ns < 0:
+            raise ValueError("MAC pipeline delay cannot be negative")
+
+    def serialization_seconds(self, num_bytes: int) -> float:
+        """Time to clock ``num_bytes`` through the serdes at line rate."""
+        if num_bytes < 0:
+            raise ValueError("cannot serialize a negative byte count")
+        return num_bytes * 8 / (self.rate_gbps * 1e9)
+
+    def receive_seconds(self, num_bytes: int) -> float:
+        """RX latency: serialization plus the MAC pipeline."""
+        return self.serialization_seconds(num_bytes) + self.mac_pipeline_ns * 1e-9
+
+    def transmit_seconds(self, num_bytes: int) -> float:
+        """TX latency: serialization plus the MAC pipeline."""
+        return self.serialization_seconds(num_bytes) + self.mac_pipeline_ns * 1e-9
+
+
+@dataclass
+class PCIeInterface:
+    """A PCIe Gen4 x16 host interface.
+
+    Used by Lightning only for regular-packet forwarding and model
+    updates; inference packets never cross it.  The round-trip latency is
+    what GPU-attached serving pays on every query.
+    """
+
+    lanes: int = 16
+    gbps_per_lane: float = 16.0  # Gen4 per-lane effective rate
+    dma_setup_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError("PCIe needs at least one lane")
+        if self.gbps_per_lane <= 0:
+            raise ValueError("per-lane rate must be positive")
+        if self.dma_setup_us < 0:
+            raise ValueError("DMA setup time cannot be negative")
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.lanes * self.gbps_per_lane
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """DMA setup plus transfer time for one hop across the bus."""
+        if num_bytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        return self.dma_setup_us * 1e-6 + num_bytes * 8 / (
+            self.bandwidth_gbps * 1e9
+        )
+
+    def round_trip_seconds(self, request_bytes: int, response_bytes: int) -> float:
+        """Query in, result out — the punting cost of host-side serving."""
+        return self.transfer_seconds(request_bytes) + self.transfer_seconds(
+            response_bytes
+        )

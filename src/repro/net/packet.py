@@ -1,0 +1,367 @@
+"""Byte-accurate packet construction and parsing.
+
+Lightning receives inference queries as ordinary UDP datagrams on its
+100 Gbps Ethernet interface (requirement R1).  This module implements the
+wire formats from scratch: Ethernet II framing, IPv4 with header
+checksums, UDP with the pseudo-header checksum, and Lightning's
+application-layer encoding of inference requests and responses.
+
+An inference request carries a magic word, the DNN model ID, a request
+ID for matching responses, and the query data — either packed in the
+payload (image pixels, language tokens) or, for traffic-analysis models,
+derived from the packet's own header fields (§4 step 1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "IP_PROTO_UDP",
+    "LIGHTNING_UDP_PORT",
+    "REQUEST_MAGIC",
+    "RESPONSE_MAGIC",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "ip_to_bytes",
+    "bytes_to_ip",
+    "internet_checksum",
+    "EthernetFrame",
+    "IPv4Packet",
+    "UDPDatagram",
+    "InferenceRequest",
+    "InferenceResponse",
+    "build_inference_frame",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+IP_PROTO_UDP = 17
+#: The UDP destination port identifying Lightning inference queries.
+LIGHTNING_UDP_PORT = 4055
+
+REQUEST_MAGIC = 0x4C49  # "LI"
+RESPONSE_MAGIC = 0x4C52  # "LR"
+
+_REQUEST_HEADER = struct.Struct("!HHI")  # magic, model_id, request_id
+_RESPONSE_HEADER = struct.Struct("!HHIH")  # magic, model_id, req_id, pred
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into 6 bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address {mac!r}")
+    try:
+        raw = bytes(int(p, 16) for p in parts)
+    except ValueError:
+        raise ValueError(f"malformed MAC address {mac!r}") from None
+    return raw
+
+
+def bytes_to_mac(raw: bytes) -> str:
+    """Render 6 raw bytes as ``aa:bb:cc:dd:ee:ff``."""
+    if len(raw) != 6:
+        raise ValueError("a MAC address is exactly 6 bytes")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def ip_to_bytes(ip: str) -> bytes:
+    """Parse dotted-quad IPv4 into 4 bytes."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {ip!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"malformed IPv4 address {ip!r}") from None
+    if any(not 0 <= o <= 255 for o in octets):
+        raise ValueError(f"malformed IPv4 address {ip!r}")
+    return bytes(octets)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    """Render 4 raw bytes as dotted-quad IPv4."""
+    if len(raw) != 4:
+        raise ValueError("an IPv4 address is exactly 4 bytes")
+    return ".".join(str(b) for b in raw)
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 one's-complement checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame (no FCS; the MAC strips it)."""
+
+    dst_mac: str
+    src_mac: str
+    ethertype: int
+    payload: bytes
+
+    HEADER_LEN = 14
+
+    def pack(self) -> bytes:
+        """Serialize the frame to wire bytes."""
+        return (
+            mac_to_bytes(self.dst_mac)
+            + mac_to_bytes(self.src_mac)
+            + struct.pack("!H", self.ethertype)
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < cls.HEADER_LEN:
+            raise ValueError("truncated Ethernet frame")
+        dst = bytes_to_mac(raw[0:6])
+        src = bytes_to_mac(raw[6:12])
+        (ethertype,) = struct.unpack("!H", raw[12:14])
+        return cls(dst, src, ethertype, raw[14:])
+
+    def __len__(self) -> int:
+        return self.HEADER_LEN + len(self.payload)
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """A minimal IPv4 packet (no options), checksum-verified on unpack."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+
+    HEADER_LEN = 20
+
+    def pack(self) -> bytes:
+        """Serialize the packet, computing the header checksum."""
+        total_length = self.HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version 4, IHL 5
+            0,  # DSCP/ECN
+            total_length,
+            self.identification,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            ip_to_bytes(self.src_ip),
+            ip_to_bytes(self.dst_ip),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "IPv4Packet":
+        if len(raw) < cls.HEADER_LEN:
+            raise ValueError("truncated IPv4 packet")
+        version_ihl = raw[0]
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < cls.HEADER_LEN or len(raw) < ihl:
+            raise ValueError("malformed IPv4 header length")
+        if internet_checksum(raw[:ihl]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        (
+            _vi,
+            _tos,
+            total_length,
+            identification,
+            _frag,
+            ttl,
+            protocol,
+            _csum,
+            src_raw,
+            dst_raw,
+        ) = struct.unpack("!BBHHHBBH4s4s", raw[: cls.HEADER_LEN])
+        if total_length > len(raw):
+            raise ValueError("IPv4 total length exceeds captured bytes")
+        payload = raw[ihl:total_length]
+        return cls(
+            src_ip=bytes_to_ip(src_raw),
+            dst_ip=bytes_to_ip(dst_raw),
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            identification=identification,
+        )
+
+    def __len__(self) -> int:
+        return self.HEADER_LEN + len(self.payload)
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """A UDP datagram with the IPv4 pseudo-header checksum."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    HEADER_LEN = 8
+
+    def pack(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize with the pseudo-header checksum for these IPs."""
+        length = self.HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            "!HHHH", self.src_port, self.dst_port, length, 0
+        )
+        pseudo = (
+            ip_to_bytes(src_ip)
+            + ip_to_bytes(dst_ip)
+            + struct.pack("!BBH", 0, IP_PROTO_UDP, length)
+        )
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "none"
+        header = header[:6] + struct.pack("!H", checksum)
+        return header + self.payload
+
+    @classmethod
+    def unpack(
+        cls, raw: bytes, src_ip: str, dst_ip: str, verify: bool = True
+    ) -> "UDPDatagram":
+        if len(raw) < cls.HEADER_LEN:
+            raise ValueError("truncated UDP datagram")
+        src_port, dst_port, length, checksum = struct.unpack(
+            "!HHHH", raw[: cls.HEADER_LEN]
+        )
+        if length < cls.HEADER_LEN or length > len(raw):
+            raise ValueError("malformed UDP length")
+        payload = raw[cls.HEADER_LEN : length]
+        if verify and checksum != 0:
+            pseudo = (
+                ip_to_bytes(src_ip)
+                + ip_to_bytes(dst_ip)
+                + struct.pack("!BBH", 0, IP_PROTO_UDP, length)
+            )
+            if internet_checksum(pseudo + raw[:length]) != 0:
+                raise ValueError("UDP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=payload)
+
+    def __len__(self) -> int:
+        return self.HEADER_LEN + len(self.payload)
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """Lightning's application-layer inference query."""
+
+    model_id: int
+    request_id: int
+    data: np.ndarray  # uint8 levels
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.model_id <= 0xFFFF:
+            raise ValueError("model id must fit in 16 bits")
+        if not 0 <= self.request_id <= 0xFFFFFFFF:
+            raise ValueError("request id must fit in 32 bits")
+        data = np.asarray(self.data)
+        if data.dtype != np.uint8:
+            if np.any(np.asarray(data) < 0) or np.any(np.asarray(data) > 255):
+                raise ValueError("inference data must be 8-bit levels")
+            data = data.astype(np.uint8)
+        object.__setattr__(self, "data", data.ravel())
+
+    def pack(self) -> bytes:
+        """Serialize the request header plus data payload."""
+        header = _REQUEST_HEADER.pack(
+            REQUEST_MAGIC, self.model_id, self.request_id
+        )
+        return header + self.data.tobytes()
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "InferenceRequest":
+        if len(raw) < _REQUEST_HEADER.size:
+            raise ValueError("truncated inference request")
+        magic, model_id, request_id = _REQUEST_HEADER.unpack(
+            raw[: _REQUEST_HEADER.size]
+        )
+        if magic != REQUEST_MAGIC:
+            raise ValueError("not a Lightning inference request")
+        data = np.frombuffer(raw[_REQUEST_HEADER.size :], dtype=np.uint8)
+        return cls(model_id=model_id, request_id=request_id, data=data)
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """Lightning's application-layer inference result."""
+
+    model_id: int
+    request_id: int
+    prediction: int
+    scores: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prediction <= 0xFFFF:
+            raise ValueError("prediction must fit in 16 bits")
+        if self.scores is not None:
+            object.__setattr__(
+                self,
+                "scores",
+                np.asarray(self.scores, dtype=np.float32).ravel(),
+            )
+
+    def pack(self) -> bytes:
+        """Serialize the response header plus optional scores."""
+        header = _RESPONSE_HEADER.pack(
+            RESPONSE_MAGIC, self.model_id, self.request_id, self.prediction
+        )
+        if self.scores is None:
+            return header
+        return header + self.scores.astype(">f4").tobytes()
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "InferenceResponse":
+        if len(raw) < _RESPONSE_HEADER.size:
+            raise ValueError("truncated inference response")
+        magic, model_id, request_id, prediction = _RESPONSE_HEADER.unpack(
+            raw[: _RESPONSE_HEADER.size]
+        )
+        if magic != RESPONSE_MAGIC:
+            raise ValueError("not a Lightning inference response")
+        tail = raw[_RESPONSE_HEADER.size :]
+        scores = None
+        if tail:
+            if len(tail) % 4:
+                raise ValueError("malformed response score block")
+            scores = np.frombuffer(tail, dtype=">f4").astype(np.float32)
+        return cls(
+            model_id=model_id,
+            request_id=request_id,
+            prediction=prediction,
+            scores=scores,
+        )
+
+
+def build_inference_frame(
+    request: InferenceRequest,
+    src_mac: str = "02:00:00:00:00:01",
+    dst_mac: str = "02:00:00:00:00:02",
+    src_ip: str = "10.0.0.1",
+    dst_ip: str = "10.0.0.2",
+    src_port: int = 40001,
+    dst_port: int = LIGHTNING_UDP_PORT,
+) -> bytes:
+    """Assemble a complete Ethernet/IPv4/UDP inference query frame."""
+    udp = UDPDatagram(src_port, dst_port, request.pack())
+    ip = IPv4Packet(src_ip, dst_ip, IP_PROTO_UDP, udp.pack(src_ip, dst_ip))
+    frame = EthernetFrame(dst_mac, src_mac, ETHERTYPE_IPV4, ip.pack())
+    return frame.pack()

@@ -1,0 +1,151 @@
+"""Lightning's packet parser (§4 step 1).
+
+The parser receives frames from the 100 Gbps interface and identifies
+inference queries by the destination port number in the packet header.
+Once identified, it extracts the DNN model ID and the user data.
+Depending on the model, the data lives in the packet *payload* (an image,
+a language query) or in the packet *header* itself (traffic analysis
+models classify the flow the packet belongs to, so the features are the
+addresses and ports).  Everything else is a regular packet, handed to the
+packet-processing module and punted to the host over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .packet import (
+    ETHERTYPE_IPV4,
+    IP_PROTO_UDP,
+    LIGHTNING_UDP_PORT,
+    EthernetFrame,
+    InferenceRequest,
+    IPv4Packet,
+    UDPDatagram,
+    ip_to_bytes,
+)
+
+__all__ = [
+    "ParsedInferenceQuery",
+    "RegularPacket",
+    "PacketParser",
+    "extract_header_features",
+]
+
+#: Number of features derived from packet headers for traffic-analysis
+#: models: 4+4 IP octets, 2+2 port bytes, protocol, TTL, 2 length bytes.
+HEADER_FEATURE_COUNT = 16
+
+
+def extract_header_features(
+    ip: IPv4Packet, udp: UDPDatagram
+) -> np.ndarray:
+    """Derive the traffic-analysis feature vector from header fields.
+
+    Returns ``HEADER_FEATURE_COUNT`` byte-valued levels: the source and
+    destination IP octets, port bytes, protocol, TTL, and total length
+    split into bytes — the header data a flow classifier keys on.
+    """
+    length = IPv4Packet.HEADER_LEN + len(ip.payload)
+    features = (
+        list(ip_to_bytes(ip.src_ip))
+        + list(ip_to_bytes(ip.dst_ip))
+        + [udp.src_port >> 8, udp.src_port & 0xFF]
+        + [udp.dst_port >> 8, udp.dst_port & 0xFF]
+        + [ip.protocol, ip.ttl]
+        + [(length >> 8) & 0xFF, length & 0xFF]
+    )
+    return np.array(features, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class ParsedInferenceQuery:
+    """An inference query plus the addressing needed to respond."""
+
+    request: InferenceRequest
+    data_levels: np.ndarray
+    src_mac: str
+    dst_mac: str
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+
+
+@dataclass(frozen=True)
+class RegularPacket:
+    """A non-inference packet, forwarded to the host over PCIe."""
+
+    frame: EthernetFrame
+    reason: str
+
+
+class PacketParser:
+    """Classifies frames and extracts inference queries (requirement R1)."""
+
+    def __init__(
+        self,
+        inference_port: int = LIGHTNING_UDP_PORT,
+        header_data_models: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        if not 0 < inference_port <= 0xFFFF:
+            raise ValueError("inference port must be a valid UDP port")
+        self.inference_port = inference_port
+        #: Model IDs whose query data comes from header fields instead of
+        #: the payload (traffic-analysis models).
+        self.header_data_models = frozenset(header_data_models)
+        self.inference_packets = 0
+        self.regular_packets = 0
+        self.malformed_packets = 0
+
+    def parse(
+        self, raw: bytes
+    ) -> ParsedInferenceQuery | RegularPacket:
+        """Classify one wire frame.
+
+        Malformed inner layers degrade to :class:`RegularPacket` (the NIC
+        never drops traffic just because it is not an inference query);
+        a frame too short to carry an Ethernet header raises.
+        """
+        frame = EthernetFrame.unpack(raw)
+        if frame.ethertype != ETHERTYPE_IPV4:
+            self.regular_packets += 1
+            return RegularPacket(frame, "non-IPv4 ethertype")
+        try:
+            ip = IPv4Packet.unpack(frame.payload)
+        except ValueError as exc:
+            self.malformed_packets += 1
+            return RegularPacket(frame, f"bad IPv4: {exc}")
+        if ip.protocol != IP_PROTO_UDP:
+            self.regular_packets += 1
+            return RegularPacket(frame, "non-UDP protocol")
+        try:
+            udp = UDPDatagram.unpack(ip.payload, ip.src_ip, ip.dst_ip)
+        except ValueError as exc:
+            self.malformed_packets += 1
+            return RegularPacket(frame, f"bad UDP: {exc}")
+        if udp.dst_port != self.inference_port:
+            self.regular_packets += 1
+            return RegularPacket(frame, "not the inference port")
+        try:
+            request = InferenceRequest.unpack(udp.payload)
+        except ValueError as exc:
+            self.malformed_packets += 1
+            return RegularPacket(frame, f"bad inference request: {exc}")
+        if request.model_id in self.header_data_models:
+            data = extract_header_features(ip, udp)
+        else:
+            data = request.data
+        self.inference_packets += 1
+        return ParsedInferenceQuery(
+            request=request,
+            data_levels=data,
+            src_mac=frame.src_mac,
+            dst_mac=frame.dst_mac,
+            src_ip=ip.src_ip,
+            dst_ip=ip.dst_ip,
+            src_port=udp.src_port,
+            dst_port=udp.dst_port,
+        )

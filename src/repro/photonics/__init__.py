@@ -1,0 +1,115 @@
+"""Photonic substrate: devices, converters, calibration, noise, cores.
+
+This package models everything analog in Lightning: lasers, Mach-Zehnder
+modulators, photodetectors, WDM components (:mod:`~repro.photonics.devices`),
+the DAC/ADC/RF-amplifier chain (:mod:`~repro.photonics.converters`), the
+Appendix-A calibration procedures (:mod:`~repro.photonics.calibration`),
+noise models fit to the prototype (:mod:`~repro.photonics.noise`), and the
+photonic vector dot product cores built from all of the above
+(:mod:`~repro.photonics.core`).
+"""
+
+from .calibration import (
+    BiasSweepResult,
+    CalibratedEncoder,
+    ModulatorTransferFit,
+    PhotodetectorDecoder,
+    calibrate_photodetector,
+    find_max_extinction_bias,
+    fit_modulator_transfer,
+    sweep_bias,
+)
+from .converters import (
+    ADC,
+    DAC,
+    PROTOTYPE_FPGA_CLOCK_MHZ,
+    PROTOTYPE_SAMPLE_RATE_GSPS,
+    PROTOTYPE_SAMPLES_PER_CYCLE,
+    RFAmplifier,
+)
+from .core import (
+    ASIC_ARCHITECTURE,
+    PROTOTYPE_ARCHITECTURE,
+    SCALAR_UNIT,
+    BehavioralCore,
+    CoreArchitecture,
+    PrototypeCore,
+)
+from .devices import (
+    C_BAND_END_NM,
+    C_BAND_START_NM,
+    DEFAULT_WAVELENGTHS_NM,
+    CombLaser,
+    Laser,
+    MachZehnderModulator,
+    OpticalField,
+    OpticalSplitter,
+    Photodetector,
+    WDMDemultiplexer,
+    WDMMultiplexer,
+)
+from .precision import HighPrecisionCore, chunk_decompose
+from .noise import (
+    FULL_SCALE,
+    PROTOTYPE_NOISE_MEAN,
+    PROTOTYPE_NOISE_STD,
+    CompositeNoise,
+    GaussianNoise,
+    NoiseModel,
+    NoiselessModel,
+    ShotNoise,
+    ThermalNoise,
+    fit_gaussian,
+)
+
+__all__ = [
+    # devices
+    "OpticalField",
+    "Laser",
+    "CombLaser",
+    "MachZehnderModulator",
+    "Photodetector",
+    "WDMMultiplexer",
+    "WDMDemultiplexer",
+    "OpticalSplitter",
+    "C_BAND_START_NM",
+    "C_BAND_END_NM",
+    "DEFAULT_WAVELENGTHS_NM",
+    # converters
+    "DAC",
+    "ADC",
+    "RFAmplifier",
+    "PROTOTYPE_SAMPLE_RATE_GSPS",
+    "PROTOTYPE_FPGA_CLOCK_MHZ",
+    "PROTOTYPE_SAMPLES_PER_CYCLE",
+    # calibration
+    "BiasSweepResult",
+    "sweep_bias",
+    "find_max_extinction_bias",
+    "ModulatorTransferFit",
+    "fit_modulator_transfer",
+    "PhotodetectorDecoder",
+    "calibrate_photodetector",
+    "CalibratedEncoder",
+    # noise
+    "NoiseModel",
+    "NoiselessModel",
+    "GaussianNoise",
+    "ShotNoise",
+    "ThermalNoise",
+    "CompositeNoise",
+    "fit_gaussian",
+    "PROTOTYPE_NOISE_MEAN",
+    "PROTOTYPE_NOISE_STD",
+    "FULL_SCALE",
+    # cores
+    "CoreArchitecture",
+    "SCALAR_UNIT",
+    "PROTOTYPE_ARCHITECTURE",
+    "ASIC_ARCHITECTURE",
+    "PrototypeCore",
+    "BehavioralCore",
+    # precision composition (§10)
+    "HighPrecisionCore",
+    "chunk_decompose",
+]

@@ -1,0 +1,237 @@
+"""Data converter models: DACs, ADCs, and the RF amplifier chain.
+
+Lightning's prototype runs its RFSoC data converters at 4.055 GS/s with an
+FPGA datapath clock of 253.44 MHz, so every digital clock cycle moves a
+*block* of 16 parallel 8-bit samples in or out of each converter (§6.1).
+Two digital artifacts of this arrangement drive the paper's datapath
+design, and both are modeled here:
+
+* Each DAC lane exposes an AXI-stream style ``valid`` flag that is 1 only
+  while the lane holds a complete block ready to transfer.  The
+  synchronous data streamer (§5.1) counts these flags and only fires when
+  *every* lane is valid, which is what keeps the two modulator inputs of a
+  photonic multiplication element-wise aligned.
+* The ADC delivers readout windows whose alignment to the meaningful data
+  is unknown: the photonic result may begin at any sample offset within a
+  window (Figure 8).  :meth:`ADC.frame` reproduces this by prepending a
+  configurable number of noise samples before framing.
+
+The RF amplifiers (Appendix B) bridge the ~1 V converter swing to the
+modulator's 5 V half-wave voltage on the transmit side and add the ADC's
+required common-mode voltage on the receive side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DAC",
+    "ADC",
+    "RFAmplifier",
+    "PROTOTYPE_SAMPLE_RATE_GSPS",
+    "PROTOTYPE_FPGA_CLOCK_MHZ",
+    "PROTOTYPE_SAMPLES_PER_CYCLE",
+]
+
+# Prototype constants (§6.1).
+PROTOTYPE_SAMPLE_RATE_GSPS = 4.055
+PROTOTYPE_FPGA_CLOCK_MHZ = 253.44
+PROTOTYPE_SAMPLES_PER_CYCLE = 16
+
+
+def _check_levels(levels: np.ndarray, bits: int) -> np.ndarray:
+    levels = np.asarray(levels)
+    if levels.ndim != 1:
+        raise ValueError("converter samples must form a 1-D series")
+    if not np.issubdtype(levels.dtype, np.integer):
+        if not np.all(levels == np.round(levels)):
+            raise ValueError("digital samples must be integers")
+        levels = levels.astype(np.int64)
+    max_level = (1 << bits) - 1
+    if np.any(levels < 0) or np.any(levels > max_level):
+        raise ValueError(f"digital samples must lie in [0, {max_level}]")
+    return levels.astype(np.int64)
+
+
+class DAC:
+    """A digital-to-analog converter lane with an AXI-style valid flag.
+
+    The lane holds a FIFO of sample blocks.  ``valid`` is true while at
+    least one complete block is queued; :meth:`stream` pops the next block
+    and converts it to voltages.  The digital range ``[0, 2**bits - 1]``
+    maps linearly onto ``[0, full_scale_voltage]``.
+    """
+
+    def __init__(
+        self,
+        lane_id: int = 0,
+        bits: int = 8,
+        sample_rate_gsps: float = PROTOTYPE_SAMPLE_RATE_GSPS,
+        samples_per_cycle: int = PROTOTYPE_SAMPLES_PER_CYCLE,
+        full_scale_voltage: float = 1.0,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("DAC resolution must be at least 1 bit")
+        if sample_rate_gsps <= 0:
+            raise ValueError("sample rate must be positive")
+        if samples_per_cycle < 1:
+            raise ValueError("samples per cycle must be at least 1")
+        if full_scale_voltage <= 0:
+            raise ValueError("full-scale voltage must be positive")
+        self.lane_id = lane_id
+        self.bits = bits
+        self.sample_rate_gsps = sample_rate_gsps
+        self.samples_per_cycle = samples_per_cycle
+        self.full_scale_voltage = full_scale_voltage
+        self._fifo: deque[np.ndarray] = deque()
+
+    @property
+    def max_level(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def valid(self) -> int:
+        """1 while a complete sample block is ready to transfer, else 0."""
+        return 1 if self._fifo else 0
+
+    @property
+    def queued_blocks(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def data_rate_gbps(self) -> float:
+        """Digital input data rate consumed by this lane (GS/s x bits)."""
+        return self.sample_rate_gsps * self.bits
+
+    def push(self, levels: np.ndarray) -> None:
+        """Queue digital samples; they are split into per-cycle blocks.
+
+        The final partial block, if any, is zero-padded — matching the RTL,
+        where the AXI stream always transfers full-width words.
+        """
+        levels = _check_levels(levels, self.bits)
+        block = self.samples_per_cycle
+        remainder = len(levels) % block
+        if remainder:
+            levels = np.concatenate(
+                [levels, np.zeros(block - remainder, dtype=np.int64)]
+            )
+        for start in range(0, len(levels), block):
+            self._fifo.append(levels[start : start + block])
+
+    def convert(self, levels: np.ndarray) -> np.ndarray:
+        """Convert digital levels directly to analog voltages."""
+        levels = _check_levels(levels, self.bits)
+        return levels / self.max_level * self.full_scale_voltage
+
+    def stream(self) -> np.ndarray:
+        """Pop the next queued block and emit its analog voltages.
+
+        Raises ``RuntimeError`` if no block is valid — the streamer module
+        must never fire a lane whose valid flag is low.
+        """
+        if not self._fifo:
+            raise RuntimeError(
+                f"DAC lane {self.lane_id} streamed with no valid data"
+            )
+        return self.convert(self._fifo.popleft())
+
+    def flush(self) -> None:
+        """Discard all queued blocks (datapath reconfiguration)."""
+        self._fifo.clear()
+
+
+class ADC:
+    """An analog-to-digital converter with windowed parallel readout."""
+
+    def __init__(
+        self,
+        bits: int = 8,
+        sample_rate_gsps: float = PROTOTYPE_SAMPLE_RATE_GSPS,
+        samples_per_cycle: int = PROTOTYPE_SAMPLES_PER_CYCLE,
+        full_scale_voltage: float = 1.0,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("ADC resolution must be at least 1 bit")
+        if sample_rate_gsps <= 0:
+            raise ValueError("sample rate must be positive")
+        if samples_per_cycle < 1:
+            raise ValueError("samples per cycle must be at least 1")
+        if full_scale_voltage <= 0:
+            raise ValueError("full-scale voltage must be positive")
+        self.bits = bits
+        self.sample_rate_gsps = sample_rate_gsps
+        self.samples_per_cycle = samples_per_cycle
+        self.full_scale_voltage = full_scale_voltage
+
+    @property
+    def max_level(self) -> int:
+        return (1 << self.bits) - 1
+
+    def digitize(self, voltages: np.ndarray) -> np.ndarray:
+        """Quantize analog voltages to digital levels, clipping at rails."""
+        volts = np.asarray(voltages, dtype=np.float64)
+        levels = np.round(volts / self.full_scale_voltage * self.max_level)
+        return np.clip(levels, 0, self.max_level).astype(np.int64)
+
+    def frame(
+        self,
+        voltages: np.ndarray,
+        start_offset: int = 0,
+        noise_floor: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        noise_std_volts: float = 0.01,
+    ) -> np.ndarray:
+        """Digitize and frame a signal into parallel readout windows.
+
+        ``start_offset`` prepends that many noise samples before the
+        meaningful data, reproducing the unknown data-start alignment of
+        Figure 8; trailing samples of the last window are padded with
+        noise too.  Returns a 2-D array of shape ``(cycles,
+        samples_per_cycle)`` — one row per digital clock cycle.
+        """
+        if start_offset < 0:
+            raise ValueError("start offset cannot be negative")
+        volts = np.asarray(voltages, dtype=np.float64)
+        total = start_offset + len(volts)
+        block = self.samples_per_cycle
+        padded_len = ((total + block - 1) // block) * block
+        if noise_floor is not None:
+            noise_floor = np.asarray(noise_floor, dtype=np.float64)
+            if len(noise_floor) < padded_len:
+                raise ValueError("noise floor shorter than framed signal")
+            padded = noise_floor[:padded_len].copy()
+        else:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            padded = np.abs(
+                rng.normal(0.0, noise_std_volts, size=padded_len)
+            )
+        padded[start_offset : start_offset + len(volts)] = volts
+        return self.digitize(padded).reshape(-1, block)
+
+
+@dataclass
+class RFAmplifier:
+    """A DC-coupled RF amplifier stage (Appendix B).
+
+    On the transmit side a gain of ~5 lifts the RFSoC's ~1 V DAC swing to
+    the modulator's 5 V half-wave voltage; on the receive side a unity-gain
+    stage adds the ADC's 1.2 V common-mode voltage.
+    """
+
+    gain: float = 5.0
+    common_mode_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain == 0:
+            raise ValueError("amplifier gain cannot be zero")
+
+    def amplify(self, voltages: np.ndarray) -> np.ndarray:
+        """Apply the gain and common-mode offset to a waveform."""
+        volts = np.asarray(voltages, dtype=np.float64)
+        return self.gain * volts + self.common_mode_voltage

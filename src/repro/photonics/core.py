@@ -1,0 +1,416 @@
+"""Photonic vector dot product cores.
+
+Two levels of modeling are provided:
+
+* :class:`PrototypeCore` — a device-accurate model of the testbed core
+  (§6.1): one or more wavelength lanes, each with two cascaded calibrated
+  Mach-Zehnder modulators, all lanes WDM-muxed onto a single photodetector,
+  digitized by an ADC.  Every operand travels the full analog chain
+  (DAC -> RF amplifier -> modulator -> modulator -> photodetector -> RF
+  amplifier -> ADC), so quantization, transfer-function, and noise effects
+  all appear in results.  This is the core the Figure 14 micro-benchmarks
+  exercise.
+
+* :class:`BehavioralCore` — a fast vectorized model for large DNNs: exact
+  arithmetic plus the calibrated per-MAC Gaussian noise, used by the
+  accuracy emulator (§7) and the cycle-level datapath when streaming long
+  vectors.
+
+:class:`CoreArchitecture` captures the device-count accounting of Table 5
+(Appendix E): a core accumulating on ``N`` wavelengths, with ``W`` parallel
+modulations per modulator and an inference batch of ``B``, performs
+``N*W*B`` MACs per time step using ``N*W`` weight modulators, ``N*B`` input
+modulators, and ``W*B`` photodetectors, over ``max(N, W)`` distinct
+wavelengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calibration import (
+    CalibratedEncoder,
+    calibrate_photodetector,
+    fit_modulator_transfer,
+)
+from .converters import ADC, DAC, RFAmplifier
+from .devices import (
+    DEFAULT_WAVELENGTHS_NM,
+    Laser,
+    MachZehnderModulator,
+    OpticalField,
+    Photodetector,
+    WDMMultiplexer,
+)
+from .noise import GaussianNoise, NoiseModel, NoiselessModel
+
+__all__ = [
+    "CoreArchitecture",
+    "SCALAR_UNIT",
+    "PROTOTYPE_ARCHITECTURE",
+    "ASIC_ARCHITECTURE",
+    "PrototypeCore",
+    "BehavioralCore",
+]
+
+
+@dataclass(frozen=True)
+class CoreArchitecture:
+    """Device-count model of a photonic dot product core (Table 5).
+
+    Parameters
+    ----------
+    accumulation_wavelengths:
+        ``N`` — wavelengths summed on each photodetector.
+    parallel_modulations:
+        ``W`` — co-propagating wavelength groups modulated by a single
+        input modulator (photonic broadcasting of the weight matrix rows).
+    batch_size:
+        ``B`` — inference inputs processed simultaneously against one
+        encoding of the weights.
+    """
+
+    accumulation_wavelengths: int = 1
+    parallel_modulations: int = 1
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("accumulation_wavelengths", self.accumulation_wavelengths),
+            ("parallel_modulations", self.parallel_modulations),
+            ("batch_size", self.batch_size),
+        ):
+            if value < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+    @property
+    def macs_per_step(self) -> int:
+        """Simultaneous multiply-accumulate operations per time step."""
+        return (
+            self.accumulation_wavelengths
+            * self.parallel_modulations
+            * self.batch_size
+        )
+
+    @property
+    def weight_modulators(self) -> int:
+        """Modulators that encode the weight matrix (``N * W``)."""
+        return self.accumulation_wavelengths * self.parallel_modulations
+
+    @property
+    def input_modulators(self) -> int:
+        """Modulators that encode the input vectors (``N * B``)."""
+        return self.accumulation_wavelengths * self.batch_size
+
+    @property
+    def total_modulators(self) -> int:
+        return self.weight_modulators + self.input_modulators
+
+    @property
+    def photodetectors(self) -> int:
+        """Photodetectors accumulating results (``W * B``)."""
+        return self.parallel_modulations * self.batch_size
+
+    @property
+    def distinct_wavelengths(self) -> int:
+        """Comb lines required (``max(N, W)``)."""
+        return max(self.accumulation_wavelengths, self.parallel_modulations)
+
+    @property
+    def computing_primitive(self) -> str:
+        """Human name of the computation this core performs in one step."""
+        n, w, b = (
+            self.accumulation_wavelengths,
+            self.parallel_modulations,
+            self.batch_size,
+        )
+        if n == 1 and w == 1 and b == 1:
+            return "scalar multiplication"
+        if w == 1 and b == 1:
+            return "vector dot product"
+        if b == 1:
+            return "matrix-vector product"
+        return "matrix multiplication"
+
+
+# Canonical configurations used throughout the paper.
+SCALAR_UNIT = CoreArchitecture(1, 1, 1)
+PROTOTYPE_ARCHITECTURE = CoreArchitecture(accumulation_wavelengths=2)
+ASIC_ARCHITECTURE = CoreArchitecture(
+    accumulation_wavelengths=24, parallel_modulations=24, batch_size=1
+)
+
+
+class _WavelengthLane:
+    """One wavelength's pair of cascaded, individually calibrated MZMs."""
+
+    def __init__(
+        self,
+        wavelength_nm: float,
+        v_pi: float,
+        extinction_residual: float,
+        samples_per_cycle: int,
+    ) -> None:
+        self.laser = Laser(wavelength_nm=wavelength_nm)
+        self.mod_a = MachZehnderModulator(
+            v_pi=v_pi, extinction_residual=extinction_residual
+        )
+        self.mod_b = MachZehnderModulator(
+            v_pi=v_pi, extinction_residual=extinction_residual
+        )
+        self.dac_a = DAC(lane_id=0, samples_per_cycle=samples_per_cycle)
+        self.dac_b = DAC(lane_id=1, samples_per_cycle=samples_per_cycle)
+        amp = RFAmplifier(gain=v_pi / self.dac_a.full_scale_voltage)
+        self.amp_a = amp
+        self.amp_b = RFAmplifier(gain=v_pi / self.dac_b.full_scale_voltage)
+        # A probe photodetector used only during calibration.
+        probe = Photodetector()
+        fit_a = fit_modulator_transfer(self.mod_a, self.laser, probe)
+        fit_b = fit_modulator_transfer(self.mod_b, self.laser, probe)
+        self.encoder_a = CalibratedEncoder(self.dac_a, self.amp_a, fit_a)
+        self.encoder_b = CalibratedEncoder(self.dac_b, self.amp_b, fit_b)
+
+    def propagate(
+        self, a_levels: np.ndarray, b_levels: np.ndarray
+    ) -> OpticalField:
+        """Drive both modulators and return the double-modulated light."""
+        volts_a = self.encoder_a.drive_voltages(a_levels)
+        volts_b = self.encoder_b.drive_voltages(b_levels)
+        carrier = self.laser.emit(len(volts_a))
+        once = self.mod_a.modulate(carrier, volts_a)
+        return self.mod_b.modulate(once, volts_b)
+
+
+class PrototypeCore:
+    """Device-accurate model of the testbed's photonic core (§6.1).
+
+    The default configuration matches the prototype: two wavelength lanes
+    (1544.53 nm and 1552.52 nm), four 15 GHz modulators, one 9.5 GHz
+    photodetector, 8-bit operands encoded on 256 levels.
+
+    Operand semantics follow the paper's micro-benchmarks: unsigned
+    fixed-point 8-bit levels in ``[0, 255]``, with results reported on the
+    same scale (``255`` represents the carrier's full intensity, so a
+    multiplication of levels ``a`` and ``b`` ideally reads
+    ``a * b / 255``).
+    """
+
+    def __init__(
+        self,
+        num_wavelengths: int = 2,
+        wavelengths_nm: tuple[float, ...] | None = None,
+        v_pi: float = 5.0,
+        extinction_residual: float = 0.0,
+        noise: NoiseModel | None = None,
+        samples_per_cycle: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if num_wavelengths < 1:
+            raise ValueError("core needs at least one wavelength")
+        if wavelengths_nm is None:
+            if num_wavelengths <= len(DEFAULT_WAVELENGTHS_NM):
+                wavelengths_nm = DEFAULT_WAVELENGTHS_NM[:num_wavelengths]
+            else:
+                wavelengths_nm = tuple(
+                    1540.0 + 0.8 * i for i in range(num_wavelengths)
+                )
+        if len(wavelengths_nm) != num_wavelengths:
+            raise ValueError("wavelength list does not match lane count")
+        self.architecture = CoreArchitecture(
+            accumulation_wavelengths=num_wavelengths
+        )
+        self.lanes = [
+            _WavelengthLane(
+                w, v_pi, extinction_residual, samples_per_cycle
+            )
+            for w in wavelengths_nm
+        ]
+        self.mux = WDMMultiplexer()
+        self.photodetector = Photodetector()
+        self.adc = ADC(bits=16, samples_per_cycle=samples_per_cycle)
+        self.receive_amp = RFAmplifier(gain=1.0)
+        self.noise = noise if noise is not None else GaussianNoise()
+        self._rng = np.random.default_rng(seed)
+        # Decode calibration through lane 0 with all other lanes dark.
+        lane0 = self.lanes[0]
+        fit = lane0.encoder_a.transfer
+        # Full scale on the ADC must cover the sum over all lanes.
+        self.adc.full_scale_voltage = float(num_wavelengths)
+        self.decoder = calibrate_photodetector(
+            self.photodetector, self.adc, lane0.laser, lane0.mod_a, fit
+        )
+        # The ADC spans num_wavelengths x the single-lane range, so the
+        # two-point decode must be rescaled to the per-lane unit.
+        self._level_scale = 255.0
+
+    @property
+    def num_wavelengths(self) -> int:
+        return len(self.lanes)
+
+    def _detect(self, light: OpticalField) -> np.ndarray:
+        """Photodetector -> amplifier -> ADC -> level decode, plus noise."""
+        volts = self.receive_amp.amplify(self.photodetector.detect(light))
+        readout = self.adc.digitize(volts).astype(np.float64)
+        span = self.decoder.r_max - self.decoder.r_min
+        levels = (readout - self.decoder.r_min) / span * self._level_scale
+        return self.noise.apply(levels, self._rng)
+
+    def multiply(
+        self, a_levels: np.ndarray, b_levels: np.ndarray
+    ) -> np.ndarray:
+        """Element-wise photonic multiplication on lane 0 (Figure 2a).
+
+        Returns results on the 0..255 scale: ``a * b / 255`` plus analog
+        error.
+        """
+        a_levels = np.atleast_1d(np.asarray(a_levels))
+        b_levels = np.atleast_1d(np.asarray(b_levels))
+        if a_levels.shape != b_levels.shape:
+            raise ValueError("operand streams must have equal length")
+        light = self.lanes[0].propagate(a_levels, b_levels)
+        return self._detect(light)
+
+    def accumulate(
+        self, a_pairs: np.ndarray, b_pairs: np.ndarray
+    ) -> np.ndarray:
+        """Photonic accumulation across wavelengths (Figure 2c).
+
+        ``a_pairs`` / ``b_pairs`` have shape ``(num_steps,
+        num_wavelengths)``; each row's element-wise products are summed on
+        the photodetector, yielding one output level per step on the
+        0..255 scale (so a full-scale sum across ``N`` wavelengths reads
+        ``N * 255``... clipped only by the ADC's extended range).
+        """
+        a_pairs = np.atleast_2d(np.asarray(a_pairs))
+        b_pairs = np.atleast_2d(np.asarray(b_pairs))
+        if a_pairs.shape != b_pairs.shape:
+            raise ValueError("operand blocks must have equal shape")
+        if a_pairs.shape[1] != self.num_wavelengths:
+            raise ValueError(
+                f"expected {self.num_wavelengths} operands per step, got "
+                f"{a_pairs.shape[1]}"
+            )
+        fields = [
+            lane.propagate(a_pairs[:, i], b_pairs[:, i])
+            for i, lane in enumerate(self.lanes)
+        ]
+        combined = self.mux.combine(*fields)
+        return self._detect(combined)
+
+    def mac(self, a_levels: np.ndarray, b_levels: np.ndarray) -> float:
+        """Full multiply-accumulate of two vectors of arbitrary length.
+
+        Vectors longer than the wavelength count are chunked across time
+        steps; partial-step tails are zero-padded.  Returns the dot
+        product on the 0..255 scale (``sum(a*b)/255`` ideally).
+        """
+        a_levels = np.asarray(a_levels, dtype=np.float64).ravel()
+        b_levels = np.asarray(b_levels, dtype=np.float64).ravel()
+        if a_levels.shape != b_levels.shape:
+            raise ValueError("operand vectors must have equal length")
+        n = self.num_wavelengths
+        pad = (-len(a_levels)) % n
+        if pad:
+            a_levels = np.concatenate([a_levels, np.zeros(pad)])
+            b_levels = np.concatenate([b_levels, np.zeros(pad)])
+        a_pairs = a_levels.reshape(-1, n)
+        b_pairs = b_levels.reshape(-1, n)
+        per_step = self.accumulate(a_pairs, b_pairs)
+        return float(np.sum(per_step))
+
+
+class BehavioralCore:
+    """Fast vectorized photonic core for large workloads.
+
+    Computes exact dot products on the 0..255 level scale and injects the
+    calibrated per-MAC Gaussian noise.  By default the systematic offset
+    (the noise mean) is removed, reflecting that the two-point decode
+    calibration of Appendix A absorbs any constant bias; pass
+    ``remove_mean=False`` to keep the raw measured distribution.
+    """
+
+    def __init__(
+        self,
+        architecture: CoreArchitecture = PROTOTYPE_ARCHITECTURE,
+        noise: NoiseModel | None = None,
+        remove_mean: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.architecture = architecture
+        self.noise = noise if noise is not None else GaussianNoise()
+        self.remove_mean = remove_mean
+        self._rng = np.random.default_rng(seed)
+
+    def _noise_offset(self) -> float:
+        if self.remove_mean and isinstance(self.noise, GaussianNoise):
+            return self.noise.mean
+        return 0.0
+
+    def apply_readout_noise(self, levels: np.ndarray) -> np.ndarray:
+        """Perturb level-scale values with one readout's worth of noise.
+
+        Used by emulation engines that model one analog readout per
+        result (the §7 emulator semantics); the calibrated offset is
+        removed as in every other path.
+        """
+        levels = np.asarray(levels, dtype=np.float64)
+        return self.noise.apply(levels, self._rng) - self._noise_offset()
+
+    def multiply(self, a_levels: np.ndarray, b_levels: np.ndarray) -> np.ndarray:
+        """Element-wise products on the 0..255 scale, with per-op noise."""
+        a_levels = np.asarray(a_levels, dtype=np.float64)
+        b_levels = np.asarray(b_levels, dtype=np.float64)
+        clean = a_levels * b_levels / 255.0
+        return self.noise.apply(clean, self._rng) - self._noise_offset()
+
+    def accumulate(
+        self, a_pairs: np.ndarray, b_pairs: np.ndarray
+    ) -> np.ndarray:
+        """Per-time-step wavelength accumulation (PrototypeCore-compatible).
+
+        ``a_pairs`` / ``b_pairs`` have shape ``(num_steps, N)``; returns
+        one noisy partial dot product per step on the 0..255 scale.
+        """
+        a_pairs = np.atleast_2d(np.asarray(a_pairs, dtype=np.float64))
+        b_pairs = np.atleast_2d(np.asarray(b_pairs, dtype=np.float64))
+        if a_pairs.shape != b_pairs.shape:
+            raise ValueError("operand blocks must have equal shape")
+        clean = (a_pairs * b_pairs / 255.0).sum(axis=1)
+        return self.noise.apply(clean, self._rng) - self._noise_offset()
+
+    def matmul(self, a_matrix: np.ndarray, b_matrix: np.ndarray) -> np.ndarray:
+        """Noisy matrix product with per-readout noise accumulation.
+
+        Physically, one noise draw lands on every *ADC readout* — the
+        optical accumulation of ``N`` element-wise products in one time
+        step (the Figure 18 statistics were measured per readout).  A dot
+        product with inner dimension ``k`` therefore digitally sums
+        ``ceil(k / N)`` noisy readouts and accumulates noise with std
+        ``sqrt(ceil(k / N))`` times the per-readout std, where ``N`` is
+        the core's wavelength parallelism.
+        """
+        a_matrix = np.asarray(a_matrix, dtype=np.float64)
+        b_matrix = np.asarray(b_matrix, dtype=np.float64)
+        clean = a_matrix @ b_matrix / 255.0
+        inner = a_matrix.shape[-1]
+        readouts = -(-inner // self.architecture.accumulation_wavelengths)
+        if isinstance(self.noise, NoiselessModel):
+            return clean
+        if isinstance(self.noise, GaussianNoise):
+            mean = 0.0 if self.remove_mean else self.noise.mean * readouts
+            std = self.noise.std * np.sqrt(readouts)
+            return clean + self._rng.normal(mean, std, size=clean.shape)
+        # Generic models: draw per-readout noise explicitly and sum.
+        draws = self.noise.sample(clean.shape + (readouts,), self._rng)
+        return clean + draws.sum(axis=-1) - self._noise_offset() * readouts
+
+    def dot(self, a_levels: np.ndarray, b_levels: np.ndarray) -> float:
+        """Noisy dot product of two level vectors."""
+        a_levels = np.asarray(a_levels, dtype=np.float64).ravel()
+        b_levels = np.asarray(b_levels, dtype=np.float64).ravel()
+        if a_levels.shape != b_levels.shape:
+            raise ValueError("operand vectors must have equal length")
+        result = self.matmul(a_levels[None, :], b_levels[:, None])
+        return float(result[0, 0])

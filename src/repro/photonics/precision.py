@@ -1,0 +1,153 @@
+"""Beyond-8-bit precision via multi-core composition (§10).
+
+The paper's extension path for scenarios needing more than 8 bits,
+following Microsoft's block-floating-point idea: represent a
+high-precision number as several 8-bit chunks, compute the chunk-pair
+partial products on multiple photonic cores, and reassemble them with a
+fixed-point-to-float converter in the digital datapath.  The photonic
+part scales by the number of chunk pairs; the digital reassembly is a
+shift-and-add.
+
+:class:`HighPrecisionCore` implements this for ``num_chunks`` 8-bit
+chunks per operand (2 chunks = 16-bit operands, 4 chunks = 32-bit):
+
+* both operand blocks share one exponent (block floating point): values
+  are scaled by the block's maximum magnitude;
+* each operand's mantissa splits into base-256 digits, most significant
+  first;
+* every digit-pair dot product runs on a photonic core (``num_chunks**2``
+  partial products, dispatched round-robin over the supplied cores — the
+  paper allocates one core per chunk, i.e. 4 cores for 32-bit);
+* the digital converter recombines partials with powers of 1/256 and
+  restores the block scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core import BehavioralCore
+from .noise import NoiselessModel
+
+__all__ = ["chunk_decompose", "HighPrecisionCore"]
+
+RADIX = 256
+
+
+def chunk_decompose(
+    values: np.ndarray, num_chunks: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Split values into signed base-256 digit planes.
+
+    Returns ``(digits, signs, scale)`` where ``digits`` has shape
+    ``(num_chunks,) + values.shape`` holding level-scale (0..255)
+    magnitudes — most significant chunk first — ``signs`` holds the
+    per-value ±1, and ``values ≈ signs * scale *
+    sum_i digits[i] / 256**(i+1) * (256/255)``-style reconstruction is
+    handled by :meth:`HighPrecisionCore`'s recombination.  Precisely::
+
+        |values| / scale = sum_i digits[i] * 256**(-i-1)   (digits<256)
+    """
+    if num_chunks < 1:
+        raise ValueError("need at least one chunk")
+    values = np.asarray(values, dtype=np.float64)
+    scale = float(np.max(np.abs(values))) if values.size else 0.0
+    if scale == 0.0:
+        zeros = np.zeros((num_chunks,) + values.shape)
+        return zeros, np.ones_like(values), 1.0
+    signs = np.where(values < 0, -1.0, 1.0)
+    # Normalized mantissa in [0, 1]; digits are its base-256 expansion.
+    mantissa = np.abs(values) / scale
+    digits = np.empty((num_chunks,) + values.shape)
+    remainder = mantissa
+    for i in range(num_chunks):
+        remainder = remainder * RADIX
+        digit = np.floor(remainder)
+        # The leading digit of the maximum element is exactly 256; clamp
+        # into the representable 0..255 range (costs one LSB there).
+        digit = np.minimum(digit, RADIX - 1.0)
+        remainder = remainder - digit
+        digits[i] = digit
+    return digits, signs, scale
+
+
+class HighPrecisionCore:
+    """Composes photonic cores into a higher-precision dot engine."""
+
+    def __init__(
+        self,
+        num_chunks: int = 2,
+        cores: list[BehavioralCore] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if num_chunks < 1:
+            raise ValueError("need at least one chunk")
+        self.num_chunks = num_chunks
+        if cores is None:
+            cores = [
+                BehavioralCore(noise=NoiselessModel(), seed=seed + i)
+                for i in range(num_chunks)
+            ]
+        if not cores:
+            raise ValueError("need at least one constituent core")
+        self.cores = list(cores)
+
+    @property
+    def num_partial_products(self) -> int:
+        """Chunk-pair dot products per matmul (``num_chunks**2``)."""
+        return self.num_chunks * self.num_chunks
+
+    @property
+    def effective_bits(self) -> int:
+        return 8 * self.num_chunks
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """High-precision matrix product via chunk-pair composition.
+
+        Signs are separated per operand *element* and folded into the
+        digit planes before the photonic stage consumes their absolute
+        values — the same offline separation the 8-bit datapath uses,
+        applied per chunk.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        a_digits, a_signs, a_scale = chunk_decompose(a, self.num_chunks)
+        b_digits, b_signs, b_scale = chunk_decompose(b, self.num_chunks)
+        # Fold signs into the digit planes; the cores' behavioral model
+        # accepts signed levels (physically: sign-separated streaming).
+        a_digits = a_digits * a_signs
+        b_digits = b_digits * b_signs
+        total = np.zeros(a.shape[:-1] + b.shape[1:])
+        core_index = 0
+        for i in range(self.num_chunks):
+            for j in range(self.num_chunks):
+                core = self.cores[core_index % len(self.cores)]
+                core_index += 1
+                # core.matmul returns (levels @ levels)/255; weight each
+                # partial by its chunk significance.  digits/256**(k+1)
+                # reconstructs the mantissa, so a chunk-pair (i, j)
+                # carries 256**(-(i+1)) * 256**(-(j+1)).
+                partial = core.matmul(a_digits[i], b_digits[j]) * 255.0
+                weight = float(RADIX ** (-(i + 1)) * RADIX ** (-(j + 1)))
+                total = total + partial * weight
+        # Fixed-point-to-float conversion: restore the block scales.
+        return total * a_scale * b_scale
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """High-precision dot product of two vectors."""
+        a = np.asarray(a, dtype=np.float64).ravel()
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if a.shape != b.shape:
+            raise ValueError("vectors must have equal length")
+        return float(self.matmul(a[None, :], b[:, None])[0, 0])
+
+    def quantization_error(self, a: np.ndarray, b: np.ndarray) -> float:
+        """RMS relative error of this precision on the given matmul."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        exact = a @ b
+        approx = self.matmul(a, b)
+        denom = float(np.sqrt((exact**2).mean()))
+        if denom == 0:
+            return 0.0
+        return float(np.sqrt(((approx - exact) ** 2).mean())) / denom

@@ -1,0 +1,179 @@
+"""Accelerator performance models for the large-scale simulations (§9).
+
+Each platform is characterized exactly as the paper characterizes it
+(Table 3 and Table 6): number of MAC units, clock frequency, total board
+power, and a per-model datapath latency — the time from a request's
+arrival at the NIC until its first-layer computation can start.
+
+* **Lightning** — the proposed 576-MAC, 97 GHz chip (§8); its datapath
+  latency is 193 ns per effective DNN layer, measured on the prototype.
+* **A100 GPU** — server-attached: inference packets cross the NIC, PCIe
+  and the serving stack, so its datapath latencies are the large
+  per-model values measured on Nvidia Triton (Table 6).
+* **A100X DPU / Brainwave** — smartNICs: the paper idealizes their
+  datapath latency to zero.
+* **P4 GPU** — used in the prototype comparison (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnn.model import ModelSpec
+
+__all__ = [
+    "AcceleratorSpec",
+    "lightning_chip",
+    "a100_gpu",
+    "a100x_dpu",
+    "brainwave",
+    "p4_gpu",
+    "BENCHMARK_PLATFORMS",
+    "A100_DATAPATH_SECONDS",
+    "LIGHTNING_PER_LAYER_SECONDS",
+]
+
+#: Prototype-measured Lightning datapath latency per effective layer.
+LIGHTNING_PER_LAYER_SECONDS = 193e-9
+
+#: Measured A100 (Triton) datapath latency per model, seconds (Table 6).
+A100_DATAPATH_SECONDS = {
+    "AlexNet": 581e-6,
+    "ResNet18": 615e-6,
+    "VGG16": 607e-6,
+    "VGG19": 596e-6,
+    "BERT": 1176e-6,
+    "GPT-2": 6605e-6,
+    "DLRM": 13210e-6,
+}
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """A platform's compute, power, and datapath characterization."""
+
+    name: str
+    mac_units: int
+    clock_hz: float
+    power_watts: float
+    #: "per_layer" scales a constant by the model's effective depth;
+    #: "table" looks the model up in ``datapath_table``; "zero" is the
+    #: idealized smartNIC datapath.
+    datapath_kind: str = "zero"
+    datapath_per_layer_s: float = 0.0
+    datapath_table: dict[str, float] = field(default_factory=dict)
+    #: Power of the NIC card that fronts a server-attached accelerator
+    #: (0 for smartNICs whose packet I/O is on-board).
+    nic_power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mac_units < 1:
+            raise ValueError("an accelerator needs at least one MAC unit")
+        if self.clock_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.power_watts <= 0:
+            raise ValueError("power must be positive")
+        if self.datapath_kind not in ("zero", "per_layer", "table"):
+            raise ValueError(f"unknown datapath kind {self.datapath_kind!r}")
+
+    @property
+    def macs_per_second(self) -> float:
+        """Peak MAC throughput."""
+        return self.mac_units * self.clock_hz
+
+    @property
+    def power_per_mac_unit_watts(self) -> float:
+        """Table 3's "single unit power" row."""
+        return self.power_watts / self.mac_units
+
+    @property
+    def energy_per_mac_joules(self) -> float:
+        """Table 3's end-to-end energy per MAC: unit power over clock."""
+        return self.power_per_mac_unit_watts / self.clock_hz
+
+    def compute_seconds(self, model: ModelSpec) -> float:
+        """Time to execute the model's MACs at peak throughput."""
+        return model.total_macs / self.macs_per_second
+
+    def datapath_seconds(self, model: ModelSpec) -> float:
+        """Request-arrival-to-first-layer latency for this model."""
+        if self.datapath_kind == "zero":
+            return 0.0
+        if self.datapath_kind == "per_layer":
+            return self.datapath_per_layer_s * model.effective_depth
+        try:
+            return self.datapath_table[model.name]
+        except KeyError:
+            raise KeyError(
+                f"no measured datapath latency for model {model.name!r} "
+                f"on {self.name}"
+            ) from None
+
+    def service_seconds(self, model: ModelSpec) -> float:
+        """Total uncontended service time: datapath plus compute."""
+        return self.datapath_seconds(model) + self.compute_seconds(model)
+
+
+def lightning_chip() -> AcceleratorSpec:
+    """The proposed Lightning chip: 576 photonic MACs at 97 GHz (§8)."""
+    return AcceleratorSpec(
+        name="Lightning",
+        mac_units=576,
+        clock_hz=97e9,
+        power_watts=91.319,
+        datapath_kind="per_layer",
+        datapath_per_layer_s=LIGHTNING_PER_LAYER_SECONDS,
+    )
+
+
+def a100_gpu() -> AcceleratorSpec:
+    """Nvidia A100 behind a Triton server (server-attached)."""
+    return AcceleratorSpec(
+        name="A100 GPU",
+        mac_units=6912,
+        clock_hz=1.41e9,
+        power_watts=250.0,
+        datapath_kind="table",
+        datapath_table=dict(A100_DATAPATH_SECONDS),
+        nic_power_watts=25.0,
+    )
+
+
+def a100x_dpu() -> AcceleratorSpec:
+    """Nvidia A100X converged DPU (idealized zero datapath)."""
+    return AcceleratorSpec(
+        name="A100X DPU",
+        mac_units=6912,
+        clock_hz=1.41e9,
+        power_watts=300.0,
+        datapath_kind="zero",
+    )
+
+
+def brainwave() -> AcceleratorSpec:
+    """Microsoft Brainwave smartNIC (Stratix 10, idealized datapath)."""
+    return AcceleratorSpec(
+        name="Brainwave",
+        mac_units=96000,
+        clock_hz=0.25e9,
+        power_watts=125.0,
+        datapath_kind="zero",
+    )
+
+
+def p4_gpu() -> AcceleratorSpec:
+    """Nvidia P4 behind a Triton server (prototype comparison, Fig 15)."""
+    return AcceleratorSpec(
+        name="P4 GPU",
+        mac_units=2560,
+        clock_hz=1.114e9,
+        power_watts=75.0,
+        datapath_kind="table",
+        datapath_table=dict(A100_DATAPATH_SECONDS),
+        nic_power_watts=25.0,
+    )
+
+
+def BENCHMARK_PLATFORMS() -> list[AcceleratorSpec]:
+    """The three digital platforms Figures 21/22 compare against."""
+    return [a100_gpu(), a100x_dpu(), brainwave()]

@@ -1,0 +1,79 @@
+"""A minimal discrete-event engine.
+
+The large-scale simulator (§9) is event-driven: request arrivals, service
+starts, and completions are events ordered by simulated time.  The engine
+is a binary heap with a monotonic tiebreaker so same-time events pop in
+schedule order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the most recently popped event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; times may not precede the current time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before current time "
+                f"{self._now}"
+            )
+        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise RuntimeError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def run(
+        self, handler: Callable[[Event], None], until: float | None = None
+    ) -> int:
+        """Dispatch events to ``handler`` until empty (or past ``until``).
+
+        Returns the number of events processed.  Handlers may push new
+        events while running.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            handler(self.pop())
+            processed += 1
+        return processed

@@ -1,0 +1,270 @@
+"""The event-driven inference-serving simulator (§9).
+
+Requests are decomposed into layer-wise compute tasks and dispatched to
+an accelerator's compute cores by a round-robin scheduler with FIFO
+queues.  The simulator tracks the paper's serve-time decomposition per
+request:
+
+* ``datapath`` (t_d) — arrival at the NIC to first-layer start;
+* ``queuing`` (t_q) — time buffered in host DRAM while all cores busy;
+* ``compute`` (t_c) — execution on the accelerator.
+
+Energy accounting follows §9 exactly: computation energy is compute time
+times accelerator power (for Lightning this includes the datapath, whose
+packet I/O is integrated); server-attached platforms additionally pay the
+NIC card's power during their datapath time; and queued requests pay
+DRAM power while waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dnn.model import ModelSpec
+from .accelerators import AcceleratorSpec
+from .events import Event, EventQueue
+from .workload import PoissonWorkload, SimRequest, rate_for_utilization
+
+__all__ = [
+    "ServedRecord",
+    "RoundRobinScheduler",
+    "EventDrivenSimulator",
+    "SimulationResult",
+    "ComparisonReport",
+    "run_comparison",
+    "DRAM_QUEUE_POWER_WATTS",
+]
+
+#: Power drawn by host DRAM holding queued requests [ref 29].
+DRAM_QUEUE_POWER_WATTS = 3.0
+
+
+@dataclass(frozen=True)
+class ServedRecord:
+    """Timing decomposition of one served request."""
+
+    request: SimRequest
+    core: int
+    datapath_s: float
+    queuing_s: float
+    compute_s: float
+    finish_s: float
+
+    @property
+    def serve_time_s(self) -> float:
+        """Arrival to result (t_d + t_q + t_c)."""
+        return self.datapath_s + self.queuing_s + self.compute_s
+
+    def energy_joules(
+        self,
+        accelerator: AcceleratorSpec,
+        dram_power_watts: float = DRAM_QUEUE_POWER_WATTS,
+    ) -> float:
+        """Per-request energy following the paper's three sources."""
+        compute_energy = self.compute_s * accelerator.power_watts
+        if accelerator.datapath_kind == "per_layer":
+            # Lightning: datapath energy is part of chip power.
+            datapath_energy = self.datapath_s * accelerator.power_watts
+        else:
+            datapath_energy = self.datapath_s * accelerator.nic_power_watts
+        queue_energy = self.queuing_s * dram_power_watts
+        return compute_energy + datapath_energy + queue_energy
+
+
+class RoundRobinScheduler:
+    """Round-robin task placement over compute cores with FIFO queues."""
+
+    def __init__(self, num_cores: int = 1) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._next = 0
+
+    def assign(self, _request: SimRequest) -> int:
+        """Pick the next core in round-robin order."""
+        core = self._next
+        self._next = (self._next + 1) % self.num_cores
+        return core
+
+    def reset(self) -> None:
+        """Restart the rotation at core 0."""
+        self._next = 0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """All served records of one trace on one accelerator."""
+
+    accelerator: AcceleratorSpec
+    records: tuple[ServedRecord, ...]
+
+    def serve_times(self) -> np.ndarray:
+        """Every request's serve time, in record order."""
+        return np.array([r.serve_time_s for r in self.records])
+
+    def mean_serve_time(self, model_name: str | None = None) -> float:
+        """Mean serve time, optionally restricted to one model."""
+        times = [
+            r.serve_time_s
+            for r in self.records
+            if model_name is None or r.request.model.name == model_name
+        ]
+        if not times:
+            raise ValueError(f"no records for model {model_name!r}")
+        return float(np.mean(times))
+
+    def mean_energy(self, model_name: str | None = None) -> float:
+        """Mean per-request energy, optionally for one model."""
+        energies = [
+            r.energy_joules(self.accelerator)
+            for r in self.records
+            if model_name is None or r.request.model.name == model_name
+        ]
+        if not energies:
+            raise ValueError(f"no records for model {model_name!r}")
+        return float(np.mean(energies))
+
+    def utilization(self) -> float:
+        """Fraction of the simulated horizon the accelerator computed."""
+        busy = sum(r.compute_s for r in self.records)
+        horizon = max(r.finish_s for r in self.records)
+        return busy / horizon if horizon > 0 else 0.0
+
+
+class EventDrivenSimulator:
+    """Simulates one accelerator serving one request trace."""
+
+    def __init__(
+        self,
+        accelerator: AcceleratorSpec,
+        scheduler: RoundRobinScheduler | None = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.scheduler = (
+            scheduler if scheduler is not None else RoundRobinScheduler()
+        )
+
+    def run(self, trace: list[SimRequest]) -> SimulationResult:
+        """Serve a trace to completion; returns all per-request records."""
+        if not trace:
+            raise ValueError("cannot simulate an empty trace")
+        self.scheduler.reset()
+        queue = EventQueue()
+        core_free_at = [0.0] * self.scheduler.num_cores
+        records: list[ServedRecord] = []
+        for request in sorted(trace, key=lambda r: r.arrival_s):
+            queue.push(request.arrival_s, "arrival", request)
+
+        def handle(event: Event) -> None:
+            if event.kind != "arrival":
+                return
+            request: SimRequest = event.payload
+            core = self.scheduler.assign(request)
+            datapath_s = self.accelerator.datapath_seconds(request.model)
+            compute_s = self.accelerator.compute_seconds(request.model)
+            # The request becomes ready for compute after its datapath
+            # stage; it queues in DRAM while the core is busy.
+            ready_at = request.arrival_s + datapath_s
+            start = max(ready_at, core_free_at[core])
+            queuing_s = start - ready_at
+            finish = start + compute_s
+            core_free_at[core] = finish
+            records.append(
+                ServedRecord(
+                    request=request,
+                    core=core,
+                    datapath_s=datapath_s,
+                    queuing_s=queuing_s,
+                    compute_s=compute_s,
+                    finish_s=finish,
+                )
+            )
+
+        queue.run(handle)
+        return SimulationResult(
+            accelerator=self.accelerator, records=tuple(records)
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Lightning vs digital platforms over the same traces (Figs 21/22)."""
+
+    lightning: AcceleratorSpec
+    platforms: tuple[AcceleratorSpec, ...]
+    models: tuple[ModelSpec, ...]
+    #: speedup[platform_name][model_name] -> serve-time ratio
+    speedups: dict[str, dict[str, float]]
+    #: savings[platform_name][model_name] -> energy ratio
+    energy_savings: dict[str, dict[str, float]]
+
+    def average_speedup(self, platform_name: str) -> float:
+        """Mean per-model serve-time speedup vs one platform."""
+        return float(np.mean(list(self.speedups[platform_name].values())))
+
+    def average_energy_savings(self, platform_name: str) -> float:
+        """Mean per-model energy savings vs one platform."""
+        return float(
+            np.mean(list(self.energy_savings[platform_name].values()))
+        )
+
+
+def run_comparison(
+    models: list[ModelSpec],
+    platforms: list[AcceleratorSpec],
+    lightning: AcceleratorSpec,
+    utilization: float = 0.95,
+    num_requests: int = 2000,
+    num_traces: int = 10,
+    seed: int = 0,
+) -> ComparisonReport:
+    """Reproduce the Figure 21/22 experiment.
+
+    Each digital platform is compared pairwise against Lightning: the
+    arrival rate is set so the most congested accelerator *of that pair*
+    (always the digital platform) runs at the target utilization, the
+    same traces are replayed on both, and speedups / energy savings are
+    ratios of mean serve time / mean energy per model, averaged across
+    traces.
+    """
+    sums_speedup: dict[str, dict[str, list[float]]] = {
+        p.name: {m.name: [] for m in models} for p in platforms
+    }
+    sums_energy: dict[str, dict[str, list[float]]] = {
+        p.name: {m.name: [] for m in models} for p in platforms
+    }
+    for platform in platforms:
+        rate = rate_for_utilization(
+            [platform, lightning], models, utilization
+        )
+        workload = PoissonWorkload(models, rate, seed=seed)
+        for trace_index in range(num_traces):
+            trace = workload.trace(num_requests, trace_index)
+            lightning_result = EventDrivenSimulator(lightning).run(trace)
+            result = EventDrivenSimulator(platform).run(trace)
+            for model in models:
+                sums_speedup[platform.name][model.name].append(
+                    result.mean_serve_time(model.name)
+                    / lightning_result.mean_serve_time(model.name)
+                )
+                sums_energy[platform.name][model.name].append(
+                    result.mean_energy(model.name)
+                    / lightning_result.mean_energy(model.name)
+                )
+    speedups = {
+        p: {m: float(np.mean(v)) for m, v in per_model.items()}
+        for p, per_model in sums_speedup.items()
+    }
+    energy_savings = {
+        p: {m: float(np.mean(v)) for m, v in per_model.items()}
+        for p, per_model in sums_energy.items()
+    }
+    return ComparisonReport(
+        lightning=lightning,
+        platforms=tuple(platforms),
+        models=tuple(models),
+        speedups=speedups,
+        energy_savings=energy_savings,
+    )

@@ -1,0 +1,104 @@
+"""The stop-and-go baseline: prior photonic computing demos (§3, App. D).
+
+State-of-the-art photonic demonstrations couple a software control plane
+(a Python script) with lab instruments: every layer of the DNN requires
+the script to read vectors from memory, ship them to an Arbitrary
+Waveform Generator over a slow control link, arm the instrument, run the
+photonic computation, read the digitizer back, and post-process — then
+repeat for the next layer.  The photonic compute itself is microseconds;
+everything around it is tens of milliseconds, which is how the end-to-end
+latency ends up five orders of magnitude above Lightning (Figure 4).
+
+The per-stage constants below reflect typical bench instruments (USB/LAN
+instrument links at ~100 Mbps, tens-of-milliseconds arm/trigger cycles,
+millisecond-scale interpreted post-processing); jitter is lognormal, as
+is characteristic of OS-scheduled software loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dnn.model import ModelSpec
+
+__all__ = ["StopAndGoSystem"]
+
+
+@dataclass
+class StopAndGoSystem:
+    """Latency model of an AWG + digitizer photonic computing setup."""
+
+    #: Control-link throughput between the PC and the instruments.
+    link_gbps: float = 0.1
+    #: Arming/triggering the AWG for one burst (VISA/USB instrument
+    #: round trips plus waveform-memory load).
+    awg_arm_seconds: float = 100e-3
+    #: Reading one burst back out of the digitizer.
+    digitizer_read_seconds: float = 50e-3
+    #: Software memory read + write around each photonic step.
+    software_step_seconds: float = 20e-3
+    #: Photonic computing frequency of the cores themselves.
+    photonic_rate_hz: float = 4.055e9
+    #: Wavelength parallelism of the cores.
+    num_wavelengths: int = 2
+    #: Lognormal jitter sigma applied multiplicatively per stage.
+    jitter_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ValueError("control link rate must be positive")
+        if self.photonic_rate_hz <= 0:
+            raise ValueError("photonic rate must be positive")
+        if self.num_wavelengths < 1:
+            raise ValueError("need at least one wavelength")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter sigma cannot be negative")
+
+    def _jitter(self, rng: np.random.Generator | None) -> float:
+        if rng is None or self.jitter_sigma == 0:
+            return 1.0
+        return float(rng.lognormal(0.0, self.jitter_sigma))
+
+    def layer_latency_seconds(
+        self, layer_macs: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """One stop-and-go round trip for one layer's dot products."""
+        if layer_macs < 0:
+            raise ValueError("MAC count cannot be negative")
+        # Two operand vectors out, one result vector back; 8-bit samples.
+        transfer_bytes = 3 * layer_macs
+        transfer_s = transfer_bytes * 8 / (self.link_gbps * 1e9)
+        compute_s = layer_macs / (
+            self.photonic_rate_hz * self.num_wavelengths
+        )
+        overhead = (
+            self.awg_arm_seconds
+            + self.digitizer_read_seconds
+            + self.software_step_seconds
+        )
+        return (transfer_s + compute_s + overhead) * self._jitter(rng)
+
+    def inference_latency_seconds(
+        self, model: ModelSpec, rng: np.random.Generator | None = None
+    ) -> float:
+        """Full-model latency: one stop-and-go round trip per layer."""
+        return sum(
+            self.layer_latency_seconds(layer.macs, rng)
+            for layer in model.layers
+        )
+
+    def latency_samples(
+        self, model: ModelSpec, num_samples: int, seed: int = 0
+    ) -> np.ndarray:
+        """Monte-Carlo latency samples for CDF plotting (Figure 4)."""
+        if num_samples < 1:
+            raise ValueError("need at least one sample")
+        rng = np.random.default_rng(seed)
+        return np.array(
+            [
+                self.inference_latency_seconds(model, rng)
+                for _ in range(num_samples)
+            ]
+        )

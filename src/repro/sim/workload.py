@@ -1,0 +1,106 @@
+"""Inference request workloads for the large-scale simulations (§9).
+
+Requests arrive as a Poisson process; every DNN model in the mix is
+equally likely.  The arrival rate is sized so that the *most congested*
+accelerator under comparison runs at a target utilization (the paper uses
+≈90-99 %), which is what makes queueing — not just raw compute — part of
+the serve-time story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dnn.model import ModelSpec
+from .accelerators import AcceleratorSpec
+
+__all__ = [
+    "SimRequest",
+    "PoissonWorkload",
+    "rate_for_utilization",
+]
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One inference query in the simulation."""
+
+    request_id: int
+    model: ModelSpec
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+def rate_for_utilization(
+    accelerators: list[AcceleratorSpec],
+    models: list[ModelSpec],
+    utilization: float,
+) -> float:
+    """Arrival rate putting the most congested accelerator at the target.
+
+    Utilization is compute occupancy: the accelerator's cores are busy
+    only while computing (the datapath stage is pipelined in front of
+    them), so the offered load is ``rate x mean compute time`` over the
+    uniform model mix.  The binding constraint is the platform with the
+    largest mean compute time.
+    """
+    if not accelerators:
+        raise ValueError("need at least one accelerator")
+    if not models:
+        raise ValueError("need at least one model")
+    if not 0.0 < utilization < 1.0:
+        raise ValueError("utilization must be in (0, 1)")
+    worst_mean_compute = max(
+        float(np.mean([acc.compute_seconds(m) for m in models]))
+        for acc in accelerators
+    )
+    return utilization / worst_mean_compute
+
+
+class PoissonWorkload:
+    """Generates Poisson-arrival request traces over a uniform model mix."""
+
+    def __init__(
+        self,
+        models: list[ModelSpec],
+        arrival_rate_per_s: float,
+        seed: int = 0,
+    ) -> None:
+        if not models:
+            raise ValueError("need at least one model in the mix")
+        if arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.models = list(models)
+        self.arrival_rate_per_s = arrival_rate_per_s
+        self.seed = seed
+
+    def trace(
+        self, num_requests: int, trace_index: int = 0
+    ) -> list[SimRequest]:
+        """One randomized trace of ``num_requests`` requests.
+
+        ``trace_index`` selects an independent substream so the paper's
+        "ten randomized-generated inference request traces" are
+        reproducible individually.
+        """
+        if num_requests < 1:
+            raise ValueError("a trace needs at least one request")
+        rng = np.random.default_rng((self.seed, trace_index))
+        gaps = rng.exponential(
+            1.0 / self.arrival_rate_per_s, size=num_requests
+        )
+        arrivals = np.cumsum(gaps)
+        choices = rng.integers(0, len(self.models), size=num_requests)
+        return [
+            SimRequest(
+                request_id=i,
+                model=self.models[int(choices[i])],
+                arrival_s=float(arrivals[i]),
+            )
+            for i in range(num_requests)
+        ]

@@ -1,0 +1,34 @@
+"""ASIC synthesis model (§8): chip area, power, energy, and cost."""
+
+from .chip import (
+    A100X_POWER_WATTS,
+    BRAINWAVE_POWER_WATTS,
+    STRATIX10_AREA_MM2,
+    DatapathSynthesis,
+    LightningChip,
+)
+from .components import (
+    DATAPATH_65NM,
+    PHOTONIC_COMPONENTS,
+    SCALE_65NM_TO_7NM,
+    UNIT_COMPONENTS_7NM,
+    ChipComponent,
+    TechnologyScaling,
+)
+from .cost import CostEstimate, CostModel
+
+__all__ = [
+    "ChipComponent",
+    "TechnologyScaling",
+    "SCALE_65NM_TO_7NM",
+    "DATAPATH_65NM",
+    "UNIT_COMPONENTS_7NM",
+    "PHOTONIC_COMPONENTS",
+    "DatapathSynthesis",
+    "LightningChip",
+    "STRATIX10_AREA_MM2",
+    "BRAINWAVE_POWER_WATTS",
+    "A100X_POWER_WATTS",
+    "CostModel",
+    "CostEstimate",
+]

@@ -1,0 +1,227 @@
+"""The full Lightning chip area/power model (§8, Tables 1-3).
+
+The proposed chip performs ``N x W = 576`` photonic MACs per step at
+97 GHz using a 24-line comb.  Device counts follow directly from the
+photonic core architecture (Appendix E / Table 5):
+
+* ``N*W`` modulators encode the weight matrix and ``N*B`` the inputs —
+  600 modulators, each fed by its own 97 GS/s DAC;
+* ``W*B = 24`` photodetectors accumulate, each read by its own ADC;
+* one count-action module and one memory-controller slice per MAC, and
+  one packet I/O block per wavelength.
+
+Digital datapath modules take their unit area/power from the 65 nm
+synthesis (Table 1) scaled to 7 nm; HBM2, converters and photonics use
+published unit numbers.  Photonic power is the 40 aJ/MAC figure times
+the MAC rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..photonics.core import ASIC_ARCHITECTURE, CoreArchitecture
+from .components import (
+    DATAPATH_65NM,
+    PHOTONIC_COMPONENTS,
+    SCALE_65NM_TO_7NM,
+    ChipComponent,
+    TechnologyScaling,
+)
+
+__all__ = [
+    "DatapathSynthesis",
+    "LightningChip",
+    "STRATIX10_AREA_MM2",
+    "BRAINWAVE_POWER_WATTS",
+    "A100X_POWER_WATTS",
+]
+
+#: Intel Stratix 10 FPGA die area (the Brainwave smartNIC's FPGA).
+STRATIX10_AREA_MM2 = 5180.0
+BRAINWAVE_POWER_WATTS = 125.0
+A100X_POWER_WATTS = 300.0
+
+
+@dataclass(frozen=True)
+class DatapathSynthesis:
+    """Table 1: the 65 nm datapath synthesis for ONE photonic MAC."""
+
+    modules: tuple[ChipComponent, ...] = DATAPATH_65NM
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(m.total_area_mm2 for m in self.modules)
+
+    @property
+    def total_power_watts(self) -> float:
+        return sum(m.total_power_watts for m in self.modules)
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(module, area mm^2, power W) rows plus the total."""
+        out = [
+            (m.name, m.total_area_mm2, m.total_power_watts)
+            for m in self.modules
+        ]
+        out.append(("Total", self.total_area_mm2, self.total_power_watts))
+        return out
+
+
+@dataclass(frozen=True)
+class LightningChip:
+    """Area/power rollup of a full Lightning chip (Table 2)."""
+
+    architecture: CoreArchitecture = ASIC_ARCHITECTURE
+    clock_hz: float = 97e9
+    scaling: TechnologyScaling = SCALE_65NM_TO_7NM
+    energy_per_photonic_mac_joules: float = 40e-18
+    synthesis: DatapathSynthesis = field(default_factory=DatapathSynthesis)
+
+    @property
+    def macs_per_step(self) -> int:
+        return self.architecture.macs_per_step
+
+    @property
+    def num_modulators(self) -> int:
+        return self.architecture.total_modulators
+
+    @property
+    def num_photodetectors(self) -> int:
+        return self.architecture.photodetectors
+
+    @property
+    def num_dacs(self) -> int:
+        """One DAC per modulator drive."""
+        return self.num_modulators
+
+    @property
+    def num_adcs(self) -> int:
+        """One ADC per photodetector."""
+        return self.num_photodetectors
+
+    # ------------------------------------------------------------------
+    # Component rollup
+    # ------------------------------------------------------------------
+    def digital_components(self) -> list[ChipComponent]:
+        """Table 2's digital rows, with architecture-derived counts."""
+        by_name = {m.name: m for m in self.synthesis.modules}
+        packet_io = by_name["Packet I/O"].scaled(
+            self.scaling, count=self.architecture.distinct_wavelengths
+        )
+        memory = by_name["Memory controller"].scaled(
+            self.scaling, count=self.macs_per_step
+        )
+        count_action = by_name["Count-action modules"].scaled(
+            self.scaling, count=self.macs_per_step
+        )
+        from .components import UNIT_COMPONENTS_7NM
+
+        published = {c.name: c for c in UNIT_COMPONENTS_7NM}
+        return [
+            packet_io,
+            memory,
+            count_action,
+            published["HBM2"].with_count(1),
+            published["DAC"].with_count(self.num_dacs),
+            published["ADC"].with_count(self.num_adcs),
+        ]
+
+    def photonic_components(self) -> list[ChipComponent]:
+        """Table 2's photonic rows; power comes from the aJ/MAC figure."""
+        by_name = {c.name: c for c in PHOTONIC_COMPONENTS}
+        return [
+            by_name["Modulator"].with_count(self.num_modulators),
+            by_name["Photodetector"].with_count(self.num_photodetectors),
+            by_name["Laser"].with_count(1),
+        ]
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def digital_area_mm2(self) -> float:
+        return sum(c.total_area_mm2 for c in self.digital_components())
+
+    @property
+    def digital_power_watts(self) -> float:
+        return sum(c.total_power_watts for c in self.digital_components())
+
+    @property
+    def photonic_area_mm2(self) -> float:
+        return sum(c.total_area_mm2 for c in self.photonic_components())
+
+    @property
+    def photonic_power_watts(self) -> float:
+        """40 aJ/MAC x MAC rate."""
+        return (
+            self.energy_per_photonic_mac_joules
+            * self.clock_hz
+            * self.macs_per_step
+        )
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.digital_area_mm2 + self.photonic_area_mm2
+
+    @property
+    def total_power_watts(self) -> float:
+        return self.digital_power_watts + self.photonic_power_watts
+
+    @property
+    def cmos_area_mm2(self) -> float:
+        """The CMOS die area used for wafer cost: the digital components
+        plus the HBM2 stack counted as its own die (§10)."""
+        hbm = next(
+            c for c in self.digital_components() if c.name == "HBM2"
+        )
+        return self.digital_area_mm2 + hbm.total_area_mm2
+
+    # ------------------------------------------------------------------
+    # Comparisons (§8)
+    # ------------------------------------------------------------------
+    @property
+    def area_vs_stratix10(self) -> float:
+        """How many times smaller than the Brainwave FPGA (2.55x)."""
+        return STRATIX10_AREA_MM2 / self.total_area_mm2
+
+    @property
+    def power_vs_brainwave(self) -> float:
+        """How many times less power than Brainwave (1.37x)."""
+        return BRAINWAVE_POWER_WATTS / self.total_power_watts
+
+    @property
+    def power_vs_a100x(self) -> float:
+        """How many times less power than the A100X DPU (3.29x)."""
+        return A100X_POWER_WATTS / self.total_power_watts
+
+    def energy_per_mac_joules(self) -> float:
+        """Table 3's end-to-end energy per MAC for this chip."""
+        per_unit_power = self.total_power_watts / self.macs_per_step
+        return per_unit_power / self.clock_hz
+
+    def table2_rows(self) -> list[tuple[str, str, int, float, float]]:
+        """(domain, component, count, area mm^2, power W) rows."""
+        rows = []
+        for comp in self.digital_components():
+            rows.append(
+                (
+                    "Digital",
+                    comp.name,
+                    comp.count,
+                    comp.total_area_mm2,
+                    comp.total_power_watts,
+                )
+            )
+        photonic = self.photonic_components()
+        photonic_power = self.photonic_power_watts
+        for i, comp in enumerate(photonic):
+            rows.append(
+                (
+                    "Photonic",
+                    comp.name,
+                    comp.count,
+                    comp.total_area_mm2,
+                    photonic_power if i == 0 else 0.0,
+                )
+            )
+        return rows

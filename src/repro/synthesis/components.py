@@ -1,0 +1,117 @@
+"""Component database for the Lightning chip model (§8, Appendix E).
+
+The paper's chip evaluation is itself an analytic model built from
+(a) Cadence synthesis results for the datapath modules of one photonic
+MAC in a 65 nm process (Table 1), (b) published unit areas and powers for
+HBM2, 97 GS/s converters, thin-film modulators, photodetectors, and comb
+lasers (Table 2), and (c) a 65 nm -> 7 nm technology scaling rule of
+9.3x in area and 3.6x in power.  This module encodes those constants and
+the scaling arithmetic; :mod:`repro.synthesis.chip` rolls them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ChipComponent",
+    "TechnologyScaling",
+    "SCALE_65NM_TO_7NM",
+    "DATAPATH_65NM",
+    "UNIT_COMPONENTS_7NM",
+    "PHOTONIC_COMPONENTS",
+]
+
+
+@dataclass(frozen=True)
+class ChipComponent:
+    """One chip building block: unit area/power and an instance count."""
+
+    name: str
+    unit_area_mm2: float
+    unit_power_watts: float
+    count: int = 1
+    domain: str = "digital"  # or "photonic"
+
+    def __post_init__(self) -> None:
+        if self.unit_area_mm2 < 0 or self.unit_power_watts < 0:
+            raise ValueError("area and power cannot be negative")
+        if self.count < 1:
+            raise ValueError("component count must be at least 1")
+        if self.domain not in ("digital", "photonic"):
+            raise ValueError(f"unknown domain {self.domain!r}")
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.unit_area_mm2 * self.count
+
+    @property
+    def total_power_watts(self) -> float:
+        return self.unit_power_watts * self.count
+
+    def scaled(
+        self, scaling: "TechnologyScaling", count: int | None = None
+    ) -> "ChipComponent":
+        """Project the component into another process node."""
+        return ChipComponent(
+            name=self.name,
+            unit_area_mm2=self.unit_area_mm2 / scaling.area_factor,
+            unit_power_watts=self.unit_power_watts / scaling.power_factor,
+            count=count if count is not None else self.count,
+            domain=self.domain,
+        )
+
+    def with_count(self, count: int) -> "ChipComponent":
+        """The same component at a different instance count."""
+        return ChipComponent(
+            name=self.name,
+            unit_area_mm2=self.unit_area_mm2,
+            unit_power_watts=self.unit_power_watts,
+            count=count,
+            domain=self.domain,
+        )
+
+
+@dataclass(frozen=True)
+class TechnologyScaling:
+    """Process-node scaling factors (area and power shrink)."""
+
+    from_node_nm: int
+    to_node_nm: int
+    area_factor: float
+    power_factor: float
+
+    def __post_init__(self) -> None:
+        if self.area_factor <= 0 or self.power_factor <= 0:
+            raise ValueError("scaling factors must be positive")
+
+
+#: The paper's 65 nm -> 7 nm projection (following TPUv4i comparisons):
+#: 9.3x area shrink, 3.6x power shrink.
+SCALE_65NM_TO_7NM = TechnologyScaling(
+    from_node_nm=65, to_node_nm=7, area_factor=9.3, power_factor=3.6
+)
+
+#: Cadence Genus/Innovus synthesis of the datapath for ONE photonic MAC
+#: in 65 nm (Table 1): area mm^2 and power W per module.
+DATAPATH_65NM = (
+    ChipComponent("Packet I/O", 0.08, 0.034),
+    ChipComponent("Memory controller", 0.12, 0.067),
+    ChipComponent("Count-action modules", 1.26, 0.156),
+)
+
+#: Published unit area/power for the off-datapath digital components of
+#: the full chip (Table 2).
+UNIT_COMPONENTS_7NM = (
+    ChipComponent("HBM2", 81.1, 7.41),
+    ChipComponent("DAC", 0.58, 0.077),
+    ChipComponent("ADC", 0.58, 0.075),
+)
+
+#: Photonic device unit areas (Table 2); photonic power is computed from
+#: the 40 aJ/MAC figure in :mod:`repro.synthesis.chip`.
+PHOTONIC_COMPONENTS = (
+    ChipComponent("Modulator", 2.5, 0.0, domain="photonic"),
+    ChipComponent("Photodetector", 3.2e-5, 0.0, domain="photonic"),
+    ChipComponent("Laser", 0.01, 0.0, domain="photonic"),
+)

@@ -1,0 +1,81 @@
+"""Chip cost estimation (§10).
+
+The paper anchors cost to chip area: the photonic die is priced from the
+2023 Europractice LioniX silicon-nitride multi-wafer-run price list
+(4 samples of 200 mm^2 for ~$13,500), discounted 10x for mass
+production; the CMOS die is priced from TSMC's 7 nm wafer cost ($10,000)
+with 80 % yield on a standard 300 mm wafer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .chip import LightningChip
+
+__all__ = ["CostModel", "CostEstimate"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Breakdown of one smartNIC's estimated manufacturing cost."""
+
+    photonic_prototype_usd: float
+    photonic_mass_usd: float
+    electronic_usd: float
+    chips_per_wafer: int
+
+    @property
+    def total_usd(self) -> float:
+        return self.photonic_mass_usd + self.electronic_usd
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Area-anchored cost model with the paper's 2023 price points."""
+
+    #: LioniX MPW: ~$13,500 buys 4 samples of 200 mm^2.
+    mpw_batch_usd: float = 13500.0
+    mpw_batch_area_mm2: float = 4 * 200.0
+    mass_production_discount: float = 10.0
+    #: TSMC 7 nm wafer price and yield.
+    wafer_usd: float = 10000.0
+    wafer_diameter_mm: float = 300.0
+    yield_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if min(self.mpw_batch_usd, self.mpw_batch_area_mm2) <= 0:
+            raise ValueError("MPW pricing must be positive")
+        if self.mass_production_discount < 1:
+            raise ValueError("mass-production discount must be >= 1")
+        if self.wafer_usd <= 0 or self.wafer_diameter_mm <= 0:
+            raise ValueError("wafer parameters must be positive")
+        if not 0 < self.yield_fraction <= 1:
+            raise ValueError("yield must be in (0, 1]")
+
+    @property
+    def photonic_usd_per_mm2(self) -> float:
+        return self.mpw_batch_usd / self.mpw_batch_area_mm2
+
+    @property
+    def wafer_area_mm2(self) -> float:
+        radius = self.wafer_diameter_mm / 2.0
+        return math.pi * radius * radius
+
+    def estimate(self, chip: LightningChip) -> CostEstimate:
+        """Estimate one chip's cost from its area breakdown."""
+        prototype = chip.photonic_area_mm2 * self.photonic_usd_per_mm2
+        mass = prototype / self.mass_production_discount
+        chips_per_wafer = int(self.wafer_area_mm2 // chip.cmos_area_mm2)
+        if chips_per_wafer < 1:
+            raise ValueError(
+                "the CMOS die does not fit on the configured wafer"
+            )
+        electronic = self.wafer_usd / chips_per_wafer / self.yield_fraction
+        return CostEstimate(
+            photonic_prototype_usd=prototype,
+            photonic_mass_usd=mass,
+            electronic_usd=electronic,
+            chips_per_wafer=chips_per_wafer,
+        )

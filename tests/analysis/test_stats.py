@@ -1,0 +1,171 @@
+"""Tests for the shared statistics and table helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    accuracy_percent,
+    cdf_percentile,
+    confusion_matrix,
+    empirical_cdf,
+    error_statistics,
+    format_series,
+    format_table,
+    gaussian_pdf,
+    geometric_mean,
+    histogram_density,
+    top_k_accuracy,
+)
+
+
+class TestErrorStatistics:
+    def test_paper_accuracy_convention(self):
+        """Accuracy = 100 % - std(error)/full_scale (§6.2)."""
+        reference = np.zeros(1000)
+        rng = np.random.default_rng(0)
+        measured = rng.normal(0.0, 2.55, 1000)  # std = 1 % of 255
+        stats = error_statistics(measured, reference)
+        assert stats.accuracy_percent == pytest.approx(99.0, abs=0.1)
+
+    def test_mean_does_not_affect_accuracy(self):
+        # A constant offset is calibration, not error std.
+        reference = np.zeros(100)
+        measured = np.full(100, 50.0)
+        stats = error_statistics(measured, reference)
+        assert stats.accuracy_percent == 100.0
+        assert stats.mean == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            error_statistics(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError, match="at least one"):
+            error_statistics(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError, match="positive"):
+            error_statistics(np.ones(2), np.ones(2), full_scale=0)
+
+    def test_shorthand(self):
+        assert accuracy_percent(np.zeros(5), np.zeros(5)) == 100.0
+
+
+class TestCDF:
+    def test_cdf_is_monotone_and_normalized(self):
+        values, fractions = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert np.array_equal(values, [1.0, 2.0, 3.0])
+        assert fractions[-1] == 1.0
+        assert np.all(np.diff(fractions) > 0)
+
+    def test_percentile(self):
+        samples = np.arange(101.0)
+        assert cdf_percentile(samples, 50) == pytest.approx(50.0)
+        assert cdf_percentile(samples, 100) == 100.0
+
+    def test_empty_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.zeros(0))
+        with pytest.raises(ValueError):
+            cdf_percentile(np.ones(3), 101)
+
+
+class TestHistogramAndGaussian:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        centers, density = histogram_density(rng.normal(size=5000), 40)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, abs=0.01)
+
+    def test_gaussian_pdf_peak(self):
+        x = np.array([0.0])
+        assert gaussian_pdf(x, 0.0, 1.0)[0] == pytest.approx(
+            1 / np.sqrt(2 * np.pi)
+        )
+
+    def test_gaussian_pdf_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(np.zeros(1), 0.0, 0.0)
+
+
+class TestTopKAndConfusion:
+    def test_top1(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        labels = np.array([0, 0])
+        assert top_k_accuracy(scores, labels, k=1) == 0.5
+
+    def test_top_k_includes_runner_ups(self):
+        scores = np.array([[0.5, 0.3, 0.2]])
+        assert top_k_accuracy(scores, np.array([1]), k=1) == 0.0
+        assert top_k_accuracy(scores, np.array([1]), k=2) == 1.0
+
+    def test_top_k_validation(self):
+        scores = np.ones((2, 3))
+        with pytest.raises(ValueError):
+            top_k_accuracy(scores, np.zeros(3), k=1)
+        with pytest.raises(ValueError):
+            top_k_accuracy(scores, np.zeros(2), k=4)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.ones(3), np.zeros(3), k=1)
+
+    def test_confusion_matrix_rows_are_percentages(self):
+        predictions = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 0, 1])
+        matrix = confusion_matrix(predictions, labels, 2)
+        assert matrix[0, 0] == pytest.approx(200 / 3)
+        assert matrix[1, 1] == 100.0
+
+    def test_confusion_matrix_empty_class_row(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), 3)
+        assert np.all(matrix[2] == 0.0)
+
+    @given(
+        n=st.integers(5, 100),
+        classes=st.integers(2, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_confusion_rows_sum_to_100_property(self, n, classes):
+        rng = np.random.default_rng(n)
+        predictions = rng.integers(0, classes, n)
+        labels = rng.integers(0, classes, n)
+        matrix = confusion_matrix(predictions, labels, classes)
+        for c in range(classes):
+            if np.any(labels == c):
+                assert matrix[c].sum() == pytest.approx(100.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean(np.array([1.0, 100.0])) == pytest.approx(10.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.zeros(0))
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["Name", "Value"],
+            [["alpha", 1.5], ["b", 200.0]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[1]
+        assert all(len(l) >= 5 for l in lines[2:])
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError, match="width"):
+            format_table(["a", "b"], [[1]])
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["v"], [[1.5e-9]])
+        assert "e-09" in text
+
+    def test_format_series(self):
+        text = format_series("latency", [1.0, 2.5])
+        assert text.startswith("latency: [")
+        assert "2.500" in text

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationDAG, LayerTask
+from repro.photonics import BehavioralCore, NoiselessModel, PrototypeCore
+
+
+@pytest.fixture(scope="session")
+def prototype_core() -> PrototypeCore:
+    """A two-wavelength device-accurate core (calibration is slow-ish,
+    so one instance is shared across the session; its RNG state advances
+    but every test asserts statistics, not exact draws)."""
+    return PrototypeCore(seed=7)
+
+
+@pytest.fixture()
+def noiseless_core() -> BehavioralCore:
+    return BehavioralCore(noise=NoiselessModel())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def tiny_dag() -> ComputationDAG:
+    """A small signed 2-layer DAG for datapath tests."""
+    gen = np.random.default_rng(5)
+    w1 = gen.integers(-200, 201, size=(6, 12)).astype(np.float64)
+    w2 = gen.integers(-200, 201, size=(3, 6)).astype(np.float64)
+    return ComputationDAG(
+        model_id=1,
+        name="tiny",
+        tasks=[
+            LayerTask(
+                name="fc1",
+                kind="dense",
+                input_size=12,
+                output_size=6,
+                weights_levels=w1,
+                nonlinearity="relu",
+                requant_divisor=12.0,
+            ),
+            LayerTask(
+                name="fc2",
+                kind="dense",
+                input_size=6,
+                output_size=3,
+                weights_levels=w2,
+                depends_on=("fc1",),
+            ),
+        ],
+    )

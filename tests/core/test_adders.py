@@ -1,0 +1,168 @@
+"""Tests for the pipeline parallel adder modules (§5.3, Listing 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CrossCycleAdderSubtractor,
+    IntraCycleAdderTree,
+    PipelineParallelAdder,
+)
+
+
+class TestCrossCycleAdderSubtractor:
+    def test_signed_accumulation(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=4)
+        adder.configure(vector_length=8, num_accumulation_wavelengths=1)
+        adder.tick(np.array([1.0, 2.0, 3.0, 4.0]), np.array([1, 1, -1, -1]))
+        adder.tick(np.array([5.0, 6.0, 7.0, 8.0]), np.array([1, -1, 1, 1]))
+        assert np.allclose(adder.partials, [6.0, -4.0, 4.0, 4.0])
+        assert adder.complete
+
+    def test_fires_at_vector_length_over_wavelengths(self):
+        # Listing 3: target = vector_length / num_accumulation_lambdas.
+        adder = CrossCycleAdderSubtractor(num_lanes=16)
+        adder.configure(vector_length=784, num_accumulation_wavelengths=2)
+        assert adder.target == 392
+
+    def test_ceiling_for_uneven_lengths(self):
+        adder = CrossCycleAdderSubtractor()
+        adder.configure(vector_length=7, num_accumulation_wavelengths=2)
+        assert adder.target == 4
+
+    def test_partial_cycle_counts_only_valid_lanes(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=4)
+        adder.configure(vector_length=6, num_accumulation_wavelengths=1)
+        fired1 = adder.tick(np.ones(4), np.ones(4))
+        fired2 = adder.tick(np.ones(2), np.ones(2))
+        assert not fired1 and fired2
+
+    def test_sign_bits_validated(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=2)
+        with pytest.raises(ValueError, match=r"\+1 or -1"):
+            adder.tick(np.ones(2), np.array([1.0, 0.5]))
+
+    def test_sample_sign_shape_mismatch_rejected(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=4)
+        with pytest.raises(ValueError, match="one sign"):
+            adder.tick(np.ones(3), np.ones(2))
+
+    def test_too_many_samples_rejected(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=2)
+        with pytest.raises(ValueError, match="at most 2"):
+            adder.tick(np.ones(3), np.ones(3))
+
+    def test_tick_after_completion_rejected(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=2)
+        adder.configure(vector_length=2, num_accumulation_wavelengths=1)
+        adder.tick(np.ones(2), np.ones(2))
+        with pytest.raises(RuntimeError, match="complete"):
+            adder.tick(np.ones(2), np.ones(2))
+
+    def test_accumulate_stream(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=4)
+        samples = np.arange(1.0, 13.0)
+        signs = np.tile([1.0, -1.0], 6)
+        adder.configure(vector_length=12, num_accumulation_wavelengths=1)
+        partials = adder.accumulate_stream(samples, signs)
+        # Lane j accumulates samples j, j+4, j+8 with alternating signs.
+        assert np.allclose(partials, [15.0, -18.0, 21.0, -24.0])
+
+    def test_stream_shorter_than_target_raises(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=4)
+        adder.configure(vector_length=100, num_accumulation_wavelengths=1)
+        with pytest.raises(RuntimeError, match="did not reach"):
+            adder.accumulate_stream(np.ones(8), np.ones(8))
+
+    def test_reconfigure_resets_state(self):
+        adder = CrossCycleAdderSubtractor(num_lanes=2)
+        adder.configure(vector_length=2, num_accumulation_wavelengths=1)
+        adder.tick(np.ones(2), np.ones(2))
+        adder.configure(vector_length=4, num_accumulation_wavelengths=1)
+        assert not adder.complete
+        assert np.allclose(adder.partials, 0.0)
+
+    def test_invalid_configure_rejected(self):
+        adder = CrossCycleAdderSubtractor()
+        with pytest.raises(ValueError):
+            adder.configure(0, 2)
+        with pytest.raises(ValueError):
+            adder.configure(8, 0)
+
+
+class TestIntraCycleAdderTree:
+    def test_reduces_to_sum(self):
+        tree = IntraCycleAdderTree(num_lanes=16)
+        values = np.arange(16.0)
+        assert tree.reduce(values) == pytest.approx(values.sum())
+
+    def test_latency_is_log2(self):
+        assert IntraCycleAdderTree(num_lanes=16).latency_cycles == 4
+        assert IntraCycleAdderTree(num_lanes=8).latency_cycles == 3
+        assert IntraCycleAdderTree(num_lanes=1).latency_cycles == 1
+
+    def test_non_power_of_two_lanes(self):
+        tree = IntraCycleAdderTree(num_lanes=5)
+        assert tree.reduce(np.ones(5)) == pytest.approx(5.0)
+        assert tree.latency_cycles == 3
+
+    def test_wrong_width_rejected(self):
+        tree = IntraCycleAdderTree(num_lanes=4)
+        with pytest.raises(ValueError, match="expected 4"):
+            tree.reduce(np.ones(5))
+
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6), min_size=16, max_size=16
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tree_equals_sum_property(self, values):
+        tree = IntraCycleAdderTree(num_lanes=16)
+        arr = np.array(values)
+        assert tree.reduce(arr) == pytest.approx(arr.sum(), rel=1e-9, abs=1e-6)
+
+
+class TestPipelineParallelAdder:
+    def test_signed_dot_product_reduction(self):
+        pipeline = PipelineParallelAdder(num_lanes=16)
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0, 255, 64)
+        signs = rng.choice([-1.0, 1.0], 64)
+        value, cycles = pipeline.reduce_stream(
+            samples, signs, vector_length=128,
+            num_accumulation_wavelengths=2,
+        )
+        assert value == pytest.approx(float(np.sum(samples * signs)))
+        # 64 samples / 16 lanes = 4 cross cycles + 4 tree cycles.
+        assert cycles == 8
+
+    def test_negative_results_supported(self):
+        # The paper's key point: negatives handled digitally, photonics
+        # only ever sees non-negative intensities.
+        pipeline = PipelineParallelAdder(num_lanes=4)
+        samples = np.array([10.0, 20.0, 30.0, 40.0])
+        signs = np.array([-1.0, -1.0, -1.0, -1.0])
+        value, _ = pipeline.reduce_stream(samples, signs, 4, 1)
+        assert value == pytest.approx(-100.0)
+
+    @given(
+        length=st.integers(1, 200),
+        wavelengths=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_matches_numpy_property(self, length, wavelengths):
+        rng = np.random.default_rng(length * 7 + wavelengths)
+        num_partials = -(-length // wavelengths)  # ceil
+        samples = rng.uniform(0, 255, num_partials)
+        signs = rng.choice([-1.0, 1.0], num_partials)
+        pipeline = PipelineParallelAdder(num_lanes=16)
+        value, cycles = pipeline.reduce_stream(
+            samples, signs, length, wavelengths
+        )
+        assert value == pytest.approx(float(np.sum(samples * signs)))
+        assert cycles == -(-num_partials // 16) + 4

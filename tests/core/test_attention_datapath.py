@@ -1,0 +1,206 @@
+"""Tests for the self-attention datapath template (§4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttentionShape,
+    ComputationDAG,
+    LayerTask,
+    LightningDatapath,
+)
+from repro.dnn import (
+    Dense,
+    QuantizedNetwork,
+    ReLULayer,
+    SelfAttention,
+    Sequential,
+    quantize_cnn,
+)
+from repro.photonics import BehavioralCore, GaussianNoise, NoiselessModel
+
+SEQ, D = 4, 8
+
+
+@pytest.fixture(scope="module")
+def attention_model():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        [
+            SelfAttention(SEQ, D, rng=rng),
+            ReLULayer(),
+            Dense(SEQ * D, 3, rng=rng),
+        ],
+        input_shape=(SEQ * D,),
+        name="attn-toy",
+    )
+
+
+@pytest.fixture(scope="module")
+def attention_dag(attention_model):
+    rng = np.random.default_rng(1)
+    calibration = rng.uniform(0, 255, size=(16, SEQ * D))
+    return quantize_cnn(attention_model, calibration, model_id=40)
+
+
+class TestAttentionShape:
+    def test_geometry(self):
+        shape = AttentionShape(seq_len=SEQ, d_model=D)
+        assert shape.input_size == shape.output_size == 32
+        assert shape.macs == 4 * SEQ * D * D + 2 * SEQ * SEQ * D
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttentionShape(0, 8)
+        with pytest.raises(ValueError):
+            AttentionShape(4, 8, score_scale=0.0)
+
+
+class TestAttentionTask:
+    def test_stacked_weight_shape_enforced(self):
+        shape = AttentionShape(SEQ, D)
+        with pytest.raises(ValueError, match="does not match"):
+            LayerTask(
+                name="a", kind="attention",
+                input_size=shape.input_size,
+                output_size=shape.output_size,
+                weights_levels=np.zeros((3 * D, D)),
+                attention=shape,
+            )
+
+    def test_shape_required(self):
+        with pytest.raises(ValueError, match="AttentionShape"):
+            LayerTask(
+                name="a", kind="attention", input_size=32,
+                output_size=32, weights_levels=np.zeros((32, 8)),
+            )
+
+    def test_bias_rejected(self):
+        shape = AttentionShape(SEQ, D)
+        with pytest.raises(ValueError, match="no bias"):
+            LayerTask(
+                name="a", kind="attention",
+                input_size=shape.input_size,
+                output_size=shape.output_size,
+                weights_levels=np.zeros((4 * D, D)),
+                attention=shape,
+                bias_levels=np.zeros(32),
+            )
+
+    def test_macs(self):
+        shape = AttentionShape(SEQ, D)
+        task = LayerTask(
+            name="a", kind="attention",
+            input_size=shape.input_size, output_size=shape.output_size,
+            weights_levels=np.zeros((4 * D, D)), attention=shape,
+        )
+        assert task.macs == shape.macs
+        assert task.parameter_count == 4 * D * D
+
+
+class TestAttentionExecution:
+    def test_quantized_tracks_float_argmax(self, attention_model,
+                                           attention_dag):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 255, size=(40, SEQ * D))
+        float_pred = attention_model.predict(x)
+        q_pred = QuantizedNetwork(attention_dag).predict(x)
+        assert (float_pred == q_pred).mean() > 0.9
+
+    def test_datapath_matches_vectorized(self, attention_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(attention_dag)
+        q = QuantizedNetwork(attention_dag)
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            x = np.round(rng.uniform(0, 255, SEQ * D))
+            assert np.allclose(
+                dp.execute(40, x).output_levels,
+                q.forward(x[None, :])[0],
+            )
+
+    def test_attention_stage_quantization_error_small(
+        self, attention_model, attention_dag
+    ):
+        """The requantized attention output matches the float layer's
+        output on its calibrated level scale within ~1 level."""
+        rng = np.random.default_rng(1)
+        calibration = rng.uniform(0, 255, size=(16, SEQ * D))
+        att_task = attention_dag.tasks[0]
+        att_float = np.maximum(
+            attention_model.layers[0].forward(calibration), 0.0
+        )
+        s_next = float(np.abs(att_float).max())
+        expected_lvl = np.clip(att_float / s_next * 255, 0, 255)
+        sub = ComputationDAG(41, "sub", [att_task])
+        out_lvl = QuantizedNetwork(sub).forward(calibration)
+        requantized = np.clip(
+            out_lvl / att_task.requant_divisor, 0, 255
+        )
+        assert np.abs(requantized - expected_lvl).max() < 3.0
+
+    def test_photonic_noise_degrades_gracefully(self, attention_model,
+                                                attention_dag):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 255, size=(40, SEQ * D))
+        q = QuantizedNetwork(attention_dag)
+        clean = q.predict(x)
+        noisy = q.predict(
+            x, BehavioralCore(noise=GaussianNoise(), seed=5)
+        )
+        assert (clean == noisy).mean() > 0.8
+
+    def test_device_core_rejected_with_clear_error(self, attention_dag):
+        from repro.photonics import PrototypeCore
+
+        dp = LightningDatapath(core=PrototypeCore(seed=0))
+        dp.register_model(attention_dag)
+        with pytest.raises(ValueError, match="behavioral core"):
+            dp.execute(40, np.zeros(SEQ * D))
+
+    def test_cycle_ledger_counts_all_stages(self, attention_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(attention_dag)
+        execution = dp.execute(40, np.zeros(SEQ * D))
+        att_exec = execution.layers[0]
+        # 6 matmul stages x seq rows of work.
+        assert att_exec.rows == 6 * SEQ
+        assert att_exec.compute_cycles > 0
+
+    def test_smartnic_serves_attention_packets(self, attention_dag):
+        from repro.core import LightningSmartNIC
+        from repro.net import InferenceRequest, build_inference_frame
+
+        nic = LightningSmartNIC(
+            datapath=LightningDatapath(
+                core=BehavioralCore(noise=NoiselessModel())
+            )
+        )
+        nic.register_model(attention_dag)
+        rng = np.random.default_rng(6)
+        x = rng.integers(0, 256, SEQ * D).astype(np.uint8)
+        served = nic.handle_frame(
+            build_inference_frame(InferenceRequest(40, 1, x))
+        )
+        q = QuantizedNetwork(attention_dag)
+        assert served.response.prediction == int(
+            q.predict(x.astype(float)[None, :])[0]
+        )
+
+    def test_emulator_runs_attention_models(self, attention_model):
+        """Attention routes through engines, so the §7 emulator covers
+        transformer-style models too."""
+        from repro.dnn.datasets import Dataset
+        from repro.emulation import PhotonicEmulator
+
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 255, size=(30, SEQ * D))
+        y = attention_model.predict(x)  # self-consistent labels
+        dataset = Dataset(x, y, num_classes=3)
+        report = PhotonicEmulator(
+            attention_model, photonic_trials=1
+        ).evaluate(dataset, schemes=("fp32", "int8"))
+        assert report.results["fp32"].top1 == 1.0
+        assert report.results["int8"].top1 > 0.9

@@ -1,0 +1,77 @@
+"""Tests for batched inference with photonic broadcasting (Appendix E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LightningDatapath
+from repro.photonics import BehavioralCore, CoreArchitecture, NoiselessModel
+
+
+def make_datapath(batch_size: int = 1):
+    core = BehavioralCore(
+        architecture=CoreArchitecture(
+            accumulation_wavelengths=2, batch_size=batch_size
+        ),
+        noise=NoiselessModel(),
+    )
+    return LightningDatapath(core=core)
+
+
+class TestExecuteBatch:
+    def test_outputs_match_per_sample_execution(self, tiny_dag, rng):
+        dp = make_datapath(batch_size=2)
+        dp.register_model(tiny_dag)
+        batch = rng.integers(0, 256, (5, 12)).astype(float)
+        result = dp.execute_batch(1, batch)
+        for i in range(5):
+            single = dp.execute(1, batch[i])
+            assert np.allclose(result.output_levels[i], single.output_levels)
+
+    def test_pass_count_follows_hardware_batch(self, tiny_dag, rng):
+        dp = make_datapath(batch_size=4)
+        dp.register_model(tiny_dag)
+        batch = rng.integers(0, 256, (10, 12)).astype(float)
+        result = dp.execute_batch(1, batch)
+        assert result.hardware_batch == 4
+        assert result.passes == 3  # ceil(10 / 4)
+
+    def test_broadcast_amortizes_latency(self, tiny_dag, rng):
+        """The Appendix E win: a B-wide core serves B queries for one
+        pipeline's worth of time."""
+        batch = rng.integers(0, 256, (8, 12)).astype(float)
+        narrow = make_datapath(batch_size=1)
+        wide = make_datapath(batch_size=8)
+        narrow.register_model(tiny_dag)
+        wide.register_model(tiny_dag)
+        t_narrow = narrow.execute_batch(1, batch).total_seconds
+        t_wide = wide.execute_batch(1, batch).total_seconds
+        assert t_narrow == pytest.approx(8 * t_wide, rel=0.25)
+
+    def test_throughput_grows_with_hardware_batch(self, tiny_dag, rng):
+        batch = rng.integers(0, 256, (8, 12)).astype(float)
+        throughputs = []
+        for b in (1, 2, 8):
+            dp = make_datapath(batch_size=b)
+            dp.register_model(tiny_dag)
+            throughputs.append(
+                dp.execute_batch(1, batch).throughput_per_second
+            )
+        assert throughputs == sorted(throughputs)
+        assert throughputs[-1] > 4 * throughputs[0]
+
+    def test_predictions_shape(self, tiny_dag, rng):
+        dp = make_datapath(batch_size=2)
+        dp.register_model(tiny_dag)
+        batch = rng.integers(0, 256, (6, 12)).astype(float)
+        result = dp.execute_batch(1, batch)
+        assert result.predictions.shape == (6,)
+        assert result.output_levels.shape == (6, 3)
+
+    def test_single_row_batch(self, tiny_dag):
+        dp = make_datapath()
+        dp.register_model(tiny_dag)
+        result = dp.execute_batch(1, np.zeros(12))
+        assert result.batch == 1
+        assert result.passes == 1

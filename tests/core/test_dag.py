@@ -1,0 +1,257 @@
+"""Tests for computation DAGs, sign separation, and the config loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ComputationDAG,
+    ControlRegisterFile,
+    DAGConfigurationLoader,
+    LayerTask,
+    sign_separate_row,
+)
+
+
+def dense_task(name, in_size, out_size, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-255, 256, (out_size, in_size)).astype(float)
+    return LayerTask(
+        name=name,
+        kind="dense",
+        input_size=in_size,
+        output_size=out_size,
+        weights_levels=weights,
+        **kwargs,
+    )
+
+
+class TestSignSeparation:
+    def test_positive_weights_first(self):
+        row = sign_separate_row(np.array([5.0, -3.0, 2.0, -1.0]), 2)
+        assert np.allclose(row.magnitudes, [5.0, 2.0, 3.0, 1.0])
+        assert np.array_equal(row.order, [0, 2, 1, 3])
+        assert np.array_equal(row.group_signs, [1.0, -1.0])
+
+    def test_groups_share_single_sign(self):
+        """The invariant that makes photonic accumulation sign-safe:
+        every group of group_size elements carries one control bit."""
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-255, 256, 37).astype(float)
+        row = sign_separate_row(weights, 4)
+        assert len(row.group_signs) * 4 == len(row.magnitudes)
+
+    def test_padding_at_sign_boundary(self):
+        row = sign_separate_row(np.array([1.0, -1.0, -1.0]), 2)
+        # 1 positive padded to 2; 2 negatives already aligned.
+        assert len(row.magnitudes) == 4
+        assert row.magnitudes[1] == 0.0
+        assert np.array_equal(row.group_signs, [1.0, -1.0])
+        assert row.order[1] == -1  # padding marker
+
+    def test_signed_dot_product_reconstruction(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-255, 256, 50).astype(float)
+        x = rng.integers(0, 256, 50).astype(float)
+        row = sign_separate_row(weights, 3)
+        gathered = np.where(
+            row.order >= 0, x[np.clip(row.order, 0, None)], 0.0
+        )
+        partials = (
+            gathered.reshape(-1, 3) * row.magnitudes.reshape(-1, 3)
+        ).sum(axis=1)
+        reconstructed = float(np.sum(row.group_signs * partials))
+        assert reconstructed == pytest.approx(float(weights @ x))
+
+    def test_zero_counted_as_positive(self):
+        row = sign_separate_row(np.array([0.0, -5.0]), 1)
+        assert row.num_positive == 1
+        assert np.array_equal(row.group_signs, [1.0, -1.0])
+
+    def test_invalid_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            sign_separate_row(np.ones(4), 0)
+
+    @given(
+        length=st.integers(1, 80),
+        group=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reconstruction_property(self, length, group, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-255, 256, length).astype(float)
+        x = rng.integers(0, 256, length).astype(float)
+        row = sign_separate_row(weights, group)
+        gathered = np.where(
+            row.order >= 0, x[np.clip(row.order, 0, None)], 0.0
+        )
+        partials = (
+            gathered.reshape(-1, group)
+            * row.magnitudes.reshape(-1, group)
+        ).sum(axis=1)
+        assert float(np.sum(row.group_signs * partials)) == pytest.approx(
+            float(weights @ x)
+        )
+
+
+class TestLayerTask:
+    def test_macs_and_parameters(self):
+        task = dense_task("fc", 10, 5)
+        assert task.macs == 50
+        assert task.parameter_count == 50
+
+    def test_bias_counts_as_parameters(self):
+        task = dense_task("fc", 10, 5, bias_levels=np.zeros(5))
+        assert task.parameter_count == 55
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            LayerTask(
+                name="bad", kind="dense", input_size=4, output_size=2,
+                weights_levels=np.zeros((3, 4)),
+            )
+
+    def test_overrange_levels_rejected(self):
+        with pytest.raises(ValueError, match="8-bit"):
+            LayerTask(
+                name="bad", kind="dense", input_size=1, output_size=1,
+                weights_levels=np.array([[300.0]]),
+            )
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unsupported layer kind"):
+            LayerTask(
+                name="bad", kind="pool", input_size=1, output_size=1,
+                weights_levels=np.zeros((1, 1)),
+            )
+
+    def test_bias_length_validated(self):
+        with pytest.raises(ValueError, match="bias length"):
+            dense_task("fc", 4, 2, bias_levels=np.zeros(3))
+
+
+class TestComputationDAG:
+    def test_basic_chain(self):
+        dag = ComputationDAG(
+            1, "m",
+            [
+                dense_task("a", 8, 4),
+                dense_task("b", 4, 2, depends_on=("a",)),
+            ],
+        )
+        assert dag.num_layers == 2
+        assert dag.total_macs == 8 * 4 + 4 * 2
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            ComputationDAG(
+                1, "m", [dense_task("a", 4, 2, depends_on=("ghost",))]
+            )
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ValueError, match="topologically"):
+            ComputationDAG(
+                1,
+                "m",
+                [
+                    dense_task("a", 8, 4, depends_on=("b",)),
+                    dense_task("b", 4, 8),
+                ],
+            )
+
+    def test_size_chain_validated(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ComputationDAG(
+                1,
+                "m",
+                [
+                    dense_task("a", 8, 4),
+                    dense_task("b", 5, 2, depends_on=("a",)),
+                ],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ComputationDAG(
+                1, "m", [dense_task("a", 4, 4), dense_task("a", 4, 4)]
+            )
+
+    def test_effective_depth_collapses_parallel_groups(self):
+        dag = ComputationDAG(
+            1,
+            "m",
+            [
+                dense_task("q", 8, 8, parallel_group="attn"),
+                dense_task("k", 8, 8, parallel_group="attn"),
+                dense_task("v", 8, 8, parallel_group="attn"),
+                dense_task("out", 8, 4),
+            ],
+        )
+        assert dag.num_layers == 4
+        assert dag.effective_depth == 2
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            ComputationDAG(1, "m", [])
+
+
+class TestDAGConfigurationLoader:
+    def make_loader(self):
+        regs = ControlRegisterFile()
+        loader = DAGConfigurationLoader(regs)
+        dag = ComputationDAG(
+            3, "m",
+            [
+                dense_task("a", 8, 4, nonlinearity="relu"),
+                dense_task("b", 4, 2, depends_on=("a",)),
+            ],
+        )
+        loader.register_model(dag)
+        return regs, loader, dag
+
+    def test_load_writes_model_registers(self):
+        regs, loader, dag = self.make_loader()
+        loader.load(3)
+        assert regs.read("dag.model_id") == 3
+        assert regs.read("dag.num_layers") == 2
+        assert regs.read("layer.index") == 0
+
+    def test_configure_layer_writes_count_action_targets(self):
+        regs, loader, dag = self.make_loader()
+        loader.configure_layer(dag, 0, num_accumulation_wavelengths=2)
+        assert regs.read("layer.accumulations_target") == 4  # ceil(8/2)
+        assert regs.read("layer.results_target") == 4
+        assert regs.read("layer.nonlinearity") == "relu"
+
+    def test_switching_models_rewrites_registers(self):
+        """The §5.4 scenario: a second packet for another model re-points
+        the datapath by register writes alone."""
+        regs, loader, _ = self.make_loader()
+        other = ComputationDAG(4, "other", [dense_task("x", 16, 2)])
+        loader.register_model(other)
+        loader.load(3)
+        loader.load(4)
+        assert regs.read("dag.model_id") == 4
+        assert regs.read("layer.input_size") == 16
+        assert loader.loads == 2
+
+    def test_unknown_model_rejected(self):
+        _, loader, _ = self.make_loader()
+        with pytest.raises(KeyError, match="no DAG registered"):
+            loader.load(99)
+
+    def test_duplicate_model_id_rejected(self):
+        _, loader, dag = self.make_loader()
+        with pytest.raises(ValueError, match="already registered"):
+            loader.register_model(
+                ComputationDAG(3, "dup", [dense_task("x", 2, 2)])
+            )
+
+    def test_layer_index_bounds_checked(self):
+        _, loader, dag = self.make_loader()
+        with pytest.raises(IndexError):
+            loader.configure_layer(dag, 5)

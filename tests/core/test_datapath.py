@@ -1,0 +1,218 @@
+"""Tests for the cycle-level Lightning datapath."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PER_LAYER_DATAPATH_SECONDS,
+    ComputationDAG,
+    LayerTask,
+    LightningDatapath,
+)
+from repro.photonics import BehavioralCore, GaussianNoise, NoiselessModel
+
+
+def reference_forward(dag, x):
+    """Plain numpy mirror of the datapath's quantized arithmetic."""
+    h = np.asarray(x, dtype=np.float64)
+    for index, task in enumerate(dag.tasks):
+        raw = task.weights_levels @ h / 255.0
+        if task.bias_levels is not None:
+            raw = raw + task.bias_levels
+        if task.nonlinearity == "relu":
+            raw = np.maximum(raw, 0.0)
+        if index < len(dag.tasks) - 1 and task.requant_divisor != 1.0:
+            raw = np.clip(raw / task.requant_divisor, 0.0, 255.0)
+        h = raw
+    return h
+
+
+class TestExecution:
+    def test_fast_path_matches_reference(self, tiny_dag, rng):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        x = rng.integers(0, 256, 12).astype(float)
+        execution = dp.execute(1, x)
+        assert np.allclose(
+            execution.output_levels, reference_forward(tiny_dag, x)
+        )
+
+    def test_device_path_matches_fast_path(self, tiny_dag, rng):
+        x = rng.integers(0, 256, 12).astype(float)
+        fast = LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel()), fidelity="fast"
+        )
+        device = LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel()), fidelity="device"
+        )
+        fast.register_model(tiny_dag)
+        device.register_model(tiny_dag)
+        out_fast = fast.execute(1, x).output_levels
+        out_device = device.execute(1, x).output_levels
+        assert np.allclose(out_fast, out_device)
+
+    def test_device_and_fast_cycle_ledgers_agree(self, tiny_dag, rng):
+        x = rng.integers(0, 256, 12).astype(float)
+        results = []
+        for fidelity in ("fast", "device"):
+            dp = LightningDatapath(
+                core=BehavioralCore(noise=NoiselessModel()),
+                fidelity=fidelity,
+            )
+            dp.register_model(tiny_dag)
+            results.append(
+                [l.compute_cycles for l in dp.execute(1, x).layers]
+            )
+        assert results[0] == results[1]
+
+    def test_prediction_is_argmax(self, tiny_dag, rng):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        x = rng.integers(0, 256, 12).astype(float)
+        execution = dp.execute(1, x)
+        assert execution.prediction == int(
+            np.argmax(execution.output_levels)
+        )
+
+    def test_noise_perturbs_but_tracks_reference(self, tiny_dag, rng):
+        dp = LightningDatapath(
+            core=BehavioralCore(noise=GaussianNoise(), seed=9)
+        )
+        dp.register_model(tiny_dag)
+        x = rng.integers(0, 256, 12).astype(float)
+        out = dp.execute(1, x).output_levels
+        ref = reference_forward(tiny_dag, x)
+        assert not np.allclose(out, ref)  # noise present
+        assert np.allclose(out, ref, atol=30.0)  # but small
+
+    def test_wrong_input_size_rejected(self, tiny_dag):
+        dp = LightningDatapath()
+        dp.register_model(tiny_dag)
+        with pytest.raises(ValueError, match="expects 12"):
+            dp.execute(1, np.zeros(5))
+
+    def test_negative_activations_rejected(self, tiny_dag):
+        dp = LightningDatapath()
+        dp.register_model(tiny_dag)
+        with pytest.raises(ValueError, match="non-negative"):
+            dp.execute(1, np.full(12, -1.0))
+
+    def test_unregistered_model_rejected(self):
+        dp = LightningDatapath()
+        with pytest.raises(KeyError):
+            dp.execute(42, np.zeros(4))
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            LightningDatapath(fidelity="magic")
+
+
+class TestLatencyAccounting:
+    def test_datapath_latency_is_193ns_per_layer(self, tiny_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        execution = dp.execute(1, np.zeros(12))
+        assert execution.datapath_seconds == pytest.approx(
+            2 * PER_LAYER_DATAPATH_SECONDS
+        )
+
+    def test_compute_scales_with_model_size(self):
+        """Fig 15b: compute latency grows with the model; Fig 15c: the
+        datapath latency stays fixed per layer."""
+        rng = np.random.default_rng(0)
+        small = ComputationDAG(
+            1, "small",
+            [LayerTask("fc", "dense", 8, 4,
+                       rng.integers(-255, 256, (4, 8)).astype(float))],
+        )
+        big = ComputationDAG(
+            2, "big",
+            [LayerTask("fc", "dense", 256, 128,
+                       rng.integers(-255, 256, (128, 256)).astype(float))],
+        )
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(small)
+        dp.register_model(big)
+        ex_small = dp.execute(1, np.zeros(8))
+        ex_big = dp.execute(2, np.zeros(256))
+        assert ex_big.compute_seconds > 10 * ex_small.compute_seconds
+        assert ex_big.datapath_seconds == ex_small.datapath_seconds
+
+    def test_cycle_count_formula(self):
+        # One row of 32 magnitudes over 2 wavelengths = 16 partials =
+        # 1 stream cycle + 10 preamble cycles; + 4 tree + 0 identity.
+        rng = np.random.default_rng(0)
+        dag = ComputationDAG(
+            1, "one",
+            [LayerTask("fc", "dense", 32, 1,
+                       np.abs(rng.integers(1, 256, (1, 32))).astype(float))],
+        )
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(dag)
+        execution = dp.execute(1, np.zeros(32))
+        assert execution.layers[0].compute_cycles == 10 + 1 + 4
+
+    def test_parallel_group_shares_datapath_latency(self):
+        rng = np.random.default_rng(0)
+        w = np.abs(rng.integers(0, 256, (8, 8))).astype(float)
+        dag = ComputationDAG(
+            1, "heads",
+            [
+                LayerTask("q", "dense", 8, 8, w, parallel_group="attn",
+                          requant_divisor=8.0),
+                LayerTask("k", "dense", 8, 8, w, parallel_group="attn"),
+            ],
+        )
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(dag)
+        # execute only charges the 193 ns once for the group
+        execution = dp.execute(1, np.zeros(8))
+        charged = [l.datapath_seconds for l in execution.layers]
+        assert charged[0] == pytest.approx(PER_LAYER_DATAPATH_SECONDS)
+        assert charged[1] == 0.0
+
+    def test_memory_latency_accounted(self, tiny_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        execution = dp.execute(1, np.zeros(12))
+        assert execution.memory_seconds > 0
+        assert execution.total_seconds == pytest.approx(
+            execution.compute_seconds
+            + execution.datapath_seconds
+            + execution.memory_seconds
+        )
+
+
+class TestRuntimeReconfigurability:
+    def test_two_models_served_back_to_back(self, tiny_dag, rng):
+        """§5.4: consecutive packets for different models reconfigure the
+        datapath without rebuilding it."""
+        other = ComputationDAG(
+            2, "other",
+            [LayerTask("fc", "dense", 4, 2,
+                       rng.integers(-255, 256, (2, 4)).astype(float))],
+        )
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        dp.register_model(other)
+        x1 = rng.integers(0, 256, 12).astype(float)
+        x2 = rng.integers(0, 256, 4).astype(float)
+        out1 = dp.execute(1, x1)
+        out2 = dp.execute(2, x2)
+        out1_again = dp.execute(1, x1)
+        assert np.allclose(out1.output_levels, out1_again.output_levels)
+        assert dp.registers.read("dag.model_id") == 1
+        assert out2.model_name == "other"
+
+    def test_register_writes_track_layer_progression(self, tiny_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        dp.execute(1, np.zeros(12))
+        layer_writes = [
+            value
+            for name, value in dp.registers.write_log
+            if name == "layer.index"
+        ]
+        assert layer_writes == [0, 0, 1]  # load() configures layer 0 too

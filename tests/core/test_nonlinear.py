@@ -1,0 +1,91 @@
+"""Tests for the pipelined non-linear function modules (§5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArgMax, Identity, ReLU, Softmax, nonlinear_module
+
+
+class TestReLU:
+    def test_clamps_negatives(self):
+        relu = ReLU()
+        assert np.allclose(relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+    def test_single_cycle_latency(self):
+        # §5.3 footnote 3: ReLU takes one clock cycle.
+        assert ReLU().latency_cycles == 1
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=32))
+    def test_output_non_negative(self, values):
+        out = ReLU()(np.array(values))
+        assert np.all(out >= 0.0)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = Softmax()(np.array([1.0, 2.0, 3.0]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_eight_cycle_latency(self):
+        # §5.3 footnote 3: softmax takes eight clock cycles.
+        assert Softmax().latency_cycles == 8
+
+    def test_numerically_stable_for_large_logits(self):
+        out = Softmax()(np.array([1e4, 1e4 + 1.0]))
+        assert np.isfinite(out).all()
+        assert out[1] > out[0]
+
+    def test_batched_rows_normalize_independently(self):
+        out = Softmax()(np.array([[1.0, 1.0], [0.0, 10.0]]))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_preserves_argmax(self):
+        logits = np.array([3.0, -1.0, 7.0, 2.0])
+        assert np.argmax(Softmax()(logits)) == np.argmax(logits)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=16)
+    )
+    @settings(max_examples=50)
+    def test_probabilities_property(self, values):
+        out = Softmax()(np.array(values))
+        assert np.all(out >= 0) and np.all(out <= 1)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestIdentityAndArgMax:
+    def test_identity_copies(self):
+        x = np.array([1.0, -2.0])
+        out = Identity()(x)
+        assert np.array_equal(out, x)
+        out[0] = 99.0
+        assert x[0] == 1.0
+
+    def test_identity_free_latency(self):
+        assert Identity().latency_cycles == 0
+
+    def test_argmax_picks_class(self):
+        assert ArgMax()(np.array([0.1, 0.9, 0.3])) == 1
+
+    def test_argmax_batched(self):
+        out = ArgMax()(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert np.array_equal(out, [0, 1])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("relu", ReLU), ("softmax", Softmax), ("identity", Identity),
+         ("argmax", ArgMax)],
+    )
+    def test_lookup_by_dag_name(self, name, cls):
+        assert isinstance(nonlinear_module(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown non-linear"):
+            nonlinear_module("gelu")

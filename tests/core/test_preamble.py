@@ -1,0 +1,201 @@
+"""Tests for preamble generation and detection (§5.2, Listing 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PREAMBLE_PATTERN_TESTBED,
+    PreambleDetector,
+    add_preamble,
+    make_preamble,
+)
+
+
+def frame_with_offset(
+    stream: np.ndarray,
+    offset: int,
+    block: int = 16,
+    noise: np.ndarray | None = None,
+) -> np.ndarray:
+    """Place a sample stream at the given offset in zero/noise windows."""
+    total = offset + len(stream)
+    padded_len = ((total + block - 1) // block) * block
+    if noise is None:
+        padded = np.zeros(padded_len)
+    else:
+        padded = noise[:padded_len].copy()
+    padded[offset : offset + len(stream)] = stream
+    return padded.reshape(-1, block)
+
+
+class TestMakePreamble:
+    def test_testbed_pattern_levels(self):
+        preamble = make_preamble("HHHHHHHHLLLLLLLL", repeats=1)
+        assert np.array_equal(
+            preamble, [255] * 8 + [0] * 8
+        )
+
+    def test_repeats(self):
+        preamble = make_preamble("HL", repeats=3)
+        assert np.array_equal(preamble, [255, 0] * 3)
+
+    def test_custom_levels(self):
+        preamble = make_preamble("HL", repeats=1, high=200, low=10)
+        assert np.array_equal(preamble, [200, 10])
+
+    def test_invalid_pattern_characters_rejected(self):
+        with pytest.raises(ValueError, match="'H' and 'L'"):
+            make_preamble("HXL")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_preamble("")
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError, match="at least once"):
+            make_preamble("HL", repeats=0)
+
+    def test_add_preamble_prepends(self):
+        data = np.array([7, 8, 9])
+        stream = add_preamble(data, "HL", repeats=2)
+        assert np.array_equal(stream[:4], [255, 0, 255, 0])
+        assert np.array_equal(stream[4:], data)
+
+
+class TestPreambleDetector:
+    def test_zero_offset_detection(self):
+        data = np.arange(32) + 1
+        stream = add_preamble(data, repeats=10)
+        windows = frame_with_offset(stream, offset=0)
+        detector = PreambleDetector(repeats=10)
+        result = detector.detect(windows)
+        assert result.offset == 0
+        assert result.data_window == 10
+
+    def test_figure8b_style_offset(self):
+        # Figure 8b: meaningful data starts at the 7th sample position.
+        data = np.full(20, 200.0)
+        stream = add_preamble(data, repeats=10)
+        windows = frame_with_offset(stream, offset=6)
+        result = PreambleDetector(repeats=10).detect(windows)
+        assert result.offset == 6
+
+    @pytest.mark.parametrize("offset", range(16))
+    def test_every_offset_recovers_data(self, offset):
+        rng = np.random.default_rng(offset)
+        data = rng.integers(0, 256, 45).astype(float)
+        stream = add_preamble(data, repeats=10)
+        windows = frame_with_offset(stream, offset=offset)
+        detector = PreambleDetector(repeats=10)
+        got = detector.extract_data(windows, num_samples=len(data))
+        assert np.array_equal(got, data)
+        assert detector.result.offset == offset
+
+    def test_detection_with_analog_noise(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 64).astype(float)
+        stream = add_preamble(data, repeats=10).astype(float)
+        # Add Gaussian noise well under the H/L threshold margin.
+        stream = stream + rng.normal(0, 8.0, len(stream))
+        noise_floor = np.abs(rng.normal(0, 8.0, 2048))
+        windows = frame_with_offset(stream, offset=5, noise=noise_floor)
+        got = PreambleDetector(repeats=10).extract_data(
+            windows, num_samples=len(data)
+        )
+        assert np.allclose(got, data, atol=30)
+
+    def test_counts_follow_listing2_targets(self):
+        """k=0 patterns are counted P times; k-shifted ones P-1 times."""
+        detector = PreambleDetector(repeats=10)
+        stream = add_preamble(np.full(16, 200.0), repeats=10)
+        windows = frame_with_offset(stream, offset=0)
+        detector.detect(windows)
+        assert detector.units[0].fires == 1
+        assert detector.units[0].target == 10
+
+        shifted = PreambleDetector(repeats=10)
+        assert shifted.units[3].target == 9
+
+    def test_no_preamble_raises(self):
+        rng = np.random.default_rng(0)
+        windows = rng.integers(0, 256, (8, 16))
+        with pytest.raises(RuntimeError, match="not detected"):
+            PreambleDetector(repeats=10).detect(windows)
+
+    def test_stream_ending_at_preamble_boundary(self):
+        stream = make_preamble(repeats=10)
+        windows = frame_with_offset(stream, offset=0)
+        result = PreambleDetector(repeats=10).detect(windows)
+        assert result.offset == 0
+        assert result.data_window == 10
+
+    def test_wrong_window_width_rejected(self):
+        detector = PreambleDetector(repeats=10)
+        with pytest.raises(ValueError, match="16 samples"):
+            detector.consume(np.zeros(8))
+
+    def test_single_repeat_rejected(self):
+        with pytest.raises(ValueError, match="two repeats"):
+            PreambleDetector(repeats=1)
+
+    def test_reset_allows_reuse(self):
+        detector = PreambleDetector(repeats=10)
+        data = np.full(16, 130.0)
+        stream = add_preamble(data, repeats=10)
+        detector.extract_data(frame_with_offset(stream, 0))
+        detector.reset()
+        assert detector.result is None
+        got = detector.extract_data(
+            frame_with_offset(add_preamble(data, repeats=10), 4),
+            num_samples=16,
+        )
+        assert np.array_equal(got, data)
+
+    def test_extract_more_samples_than_available_rejected(self):
+        stream = add_preamble(np.ones(4), repeats=10)
+        windows = frame_with_offset(stream, 0)
+        with pytest.raises(ValueError, match="post-preamble"):
+            PreambleDetector(repeats=10).extract_data(
+                windows, num_samples=1000
+            )
+
+    def test_result_returned_while_consuming_data_window(self):
+        detector = PreambleDetector(repeats=10)
+        data = np.full(16, 99.0)
+        windows = frame_with_offset(add_preamble(data, repeats=10), 0)
+        results = [detector.consume(w) for w in windows]
+        # One-cycle detection latency: the result lands while the first
+        # data window is being consumed.
+        assert results[9] is None or results[10] is not None
+
+    def test_retuning_repeats_via_registers(self):
+        # P is SNR-dependent and model-agnostic; retuning it is a
+        # register write, not a rebuild.
+        detector = PreambleDetector(repeats=10)
+        detector.registers.write("preamble.target_k0", 5)
+        detector.registers.write("preamble.target_shifted", 4)
+        stream = add_preamble(np.full(16, 80.0), repeats=5)
+        got = detector.extract_data(
+            frame_with_offset(stream, 0), num_samples=16
+        )
+        assert np.allclose(got, 80.0)
+
+    @given(
+        offset=st.integers(0, 15),
+        repeats=st.integers(2, 12),
+        length=st.integers(1, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, offset, repeats, length):
+        """Any data vector survives preamble framing at any offset."""
+        rng = np.random.default_rng(offset * 1000 + repeats * 61 + length)
+        data = rng.integers(0, 256, length).astype(float)
+        stream = add_preamble(data, repeats=repeats)
+        windows = frame_with_offset(stream, offset=offset)
+        detector = PreambleDetector(repeats=repeats)
+        got = detector.extract_data(windows, num_samples=length)
+        assert np.array_equal(got, data)

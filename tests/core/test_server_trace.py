@@ -1,0 +1,154 @@
+"""Tests for the inference-serving runtime and the datapath tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatapathTracer,
+    InferenceServer,
+    LightningDatapath,
+    LightningSmartNIC,
+    ServedRequest,
+)
+from repro.net import InferenceRequest, build_inference_frame
+from repro.photonics import BehavioralCore, NoiselessModel
+
+
+@pytest.fixture()
+def server(tiny_dag):
+    nic = LightningSmartNIC(
+        datapath=LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel())
+        )
+    )
+    srv = InferenceServer(nic)
+    srv.deploy(tiny_dag, warmup=2)
+    return srv
+
+
+class TestInferenceServer:
+    def test_deploy_and_submit(self, server):
+        outcome = server.submit(1, np.arange(12))
+        assert isinstance(outcome, ServedRequest)
+        assert server.stats.served == 1
+        assert server.stats.per_model_served == {1: 1}
+
+    def test_warmup_populates_caches(self, tiny_dag):
+        nic = LightningSmartNIC(
+            datapath=LightningDatapath(
+                core=BehavioralCore(noise=NoiselessModel())
+            )
+        )
+        srv = InferenceServer(nic)
+        srv.deploy(tiny_dag, warmup=3)
+        # Warm-up runs do not count as served requests.
+        assert srv.stats.served == 0
+        # But the sign-separation cache is warm.
+        assert len(nic.datapath._sign_cache) == 2
+
+    def test_unknown_model_submit_raises(self, server):
+        with pytest.raises(KeyError, match="not deployed"):
+            server.submit(99, np.zeros(4))
+
+    def test_latency_percentiles(self, server):
+        for _ in range(10):
+            server.submit(1, np.arange(12))
+        p50 = server.stats.latency_percentile(50)
+        p99 = server.stats.latency_percentile(99)
+        assert 0 < p50 <= p99
+        summary = server.stats.summary()
+        assert summary["served"] == 10
+        assert summary["p99_us"] >= summary["p50_us"]
+
+    def test_percentile_without_samples_raises(self, server):
+        with pytest.raises(ValueError, match="no requests"):
+            InferenceServer().stats.latency_percentile(50)
+
+    def test_wire_frames_accounted(self, server, tiny_dag):
+        good = build_inference_frame(
+            InferenceRequest(1, 5, np.zeros(12, dtype=np.uint8))
+        )
+        regular = build_inference_frame(
+            InferenceRequest(1, 6, np.zeros(12, dtype=np.uint8)),
+            dst_port=8080,
+        )
+        server.handle_wire_frame(good)
+        server.handle_wire_frame(regular)
+        assert server.stats.served == 1
+        assert server.stats.punted == 1
+
+    def test_malformed_wire_frame_counted_as_error(self, server):
+        assert server.handle_wire_frame(b"\x00" * 5) is None
+        assert server.stats.errors == 1
+
+    def test_unknown_model_wire_frame_is_error_not_crash(self, server):
+        frame = build_inference_frame(
+            InferenceRequest(42, 1, np.zeros(4, dtype=np.uint8))
+        )
+        assert server.handle_wire_frame(frame) is None
+        assert server.stats.errors == 1
+
+    def test_serve_batch(self, server, rng):
+        batch = rng.integers(0, 256, (6, 12)).astype(float)
+        predictions = server.serve_batch(1, batch)
+        assert predictions.shape == (6,)
+        assert server.stats.served == 6
+
+
+class TestDatapathTracer:
+    @pytest.fixture()
+    def tracer(self, tiny_dag):
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(tiny_dag)
+        return DatapathTracer(dp)
+
+    def test_events_recorded_per_layer(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count("load") == 1
+        assert kinds.count("layer") == 2
+        assert kinds.count("register") > 0
+
+    def test_timeline_is_monotone(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        tracer.execute(1, np.zeros(12))
+        times = [t for t, _, _ in tracer.layer_timeline()]
+        assert times == sorted(times)
+        assert len(times) == 4
+
+    def test_execution_result_unchanged_by_tracing(self, tiny_dag, rng):
+        x = rng.integers(0, 256, 12).astype(float)
+        plain = LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel())
+        )
+        plain.register_model(tiny_dag)
+        traced_dp = LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel())
+        )
+        traced_dp.register_model(tiny_dag)
+        tracer = DatapathTracer(traced_dp)
+        assert np.allclose(
+            plain.execute(1, x).output_levels,
+            tracer.execute(1, x).output_levels,
+        )
+
+    def test_register_write_history(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        indices = tracer.register_writes("layer.index")
+        assert indices == [0, 0, 1]
+
+    def test_render_listing(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        text = tracer.render()
+        assert "dag:tiny" in text
+        assert "fc1" in text and "fc2" in text
+        short = tracer.render(max_events=2)
+        assert len(short.splitlines()) == 3
+
+    def test_clear(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        tracer.clear()
+        assert tracer.events == ()
+        assert tracer.now_s == 0.0

@@ -1,0 +1,161 @@
+"""Tests for the synthetic datasets and from-scratch training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    Dataset,
+    MLPTrainer,
+    synthetic_flows,
+    synthetic_imagenet,
+    synthetic_iot_traces,
+    synthetic_mnist,
+    train_mlp,
+)
+
+
+class TestDatasets:
+    def test_mnist_shape_and_range(self):
+        ds = synthetic_mnist(num_samples=100)
+        assert ds.x.shape == (100, 784)
+        assert ds.x.min() >= 0.0 and ds.x.max() <= 255.0
+        assert ds.num_classes == 10
+        assert set(np.unique(ds.y)) <= set(range(10))
+
+    def test_mnist_deterministic(self):
+        a = synthetic_mnist(num_samples=50, seed=3)
+        b = synthetic_mnist(num_samples=50, seed=3)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_mnist_seed_changes_data(self):
+        a = synthetic_mnist(num_samples=50, seed=3)
+        b = synthetic_mnist(num_samples=50, seed=4)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_imagenet_is_nchw(self):
+        ds = synthetic_imagenet(num_samples=20, size=16)
+        assert ds.x.shape == (20, 3, 16, 16)
+
+    def test_flows_binary_classes(self):
+        ds = synthetic_flows(num_samples=200)
+        assert ds.num_classes == 2
+        assert ds.x.shape[1] == 16
+        # Both classes present.
+        assert set(np.unique(ds.y)) == {0, 1}
+
+    def test_iot_five_devices(self):
+        ds = synthetic_iot_traces(num_samples=300)
+        assert ds.num_classes == 5
+
+    def test_split_proportions(self):
+        ds = synthetic_mnist(num_samples=100)
+        train, test = ds.split(0.7)
+        assert len(train) == 70 and len(test) == 30
+
+    def test_split_bounds_checked(self):
+        ds = synthetic_mnist(num_samples=10)
+        with pytest.raises(ValueError):
+            ds.split(0.0)
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            Dataset(np.zeros((3, 2)), np.zeros(2), 2)
+        with pytest.raises(ValueError, match="two classes"):
+            Dataset(np.zeros((3, 2)), np.zeros(3), 1)
+
+    def test_classes_are_separable(self):
+        """A nearest-centroid rule should beat chance comfortably —
+        otherwise accuracy experiments on these datasets say nothing."""
+        ds = synthetic_flows(num_samples=400, noise_std=18.0)
+        centroids = np.stack(
+            [ds.x[ds.y == c].mean(axis=0) for c in range(2)]
+        )
+        dists = np.linalg.norm(
+            ds.x[:, None, :] - centroids[None], axis=2
+        )
+        acc = (np.argmin(dists, axis=1) == ds.y).mean()
+        assert acc > 0.9
+
+
+class TestTraining:
+    def test_security_model_learns(self):
+        train, test = synthetic_flows(1200, seed=1).split()
+        result = train_mlp(
+            [16, 48, 16, 2], train, epochs=10, use_bias=False
+        )
+        acc = (result.model.predict(test.x) == test.y).mean()
+        assert acc > 0.95
+        assert result.final_loss < result.losses[0]
+
+    def test_iot_model_learns(self):
+        train, test = synthetic_iot_traces(1500, seed=2).split()
+        result = train_mlp(
+            [16, 32, 32, 5], train, epochs=12, use_bias=False
+        )
+        acc = (result.model.predict(test.x) == test.y).mean()
+        assert acc > 0.9
+
+    def test_lenet_learns_synthetic_mnist(self):
+        train, test = synthetic_mnist(1200, seed=0).split()
+        result = train_mlp(
+            [784, 300, 100, 10], train, epochs=10, use_bias=False
+        )
+        acc = (result.model.predict(test.x) == test.y).mean()
+        assert acc > 0.9
+
+    def test_trained_model_takes_raw_levels(self):
+        """Standardization must be folded into the weights: the model is
+        fed raw 0..255 levels, exactly as packets deliver them."""
+        train, _ = synthetic_flows(600).split()
+        result = train_mlp([16, 48, 16, 2], train, epochs=5, use_bias=False)
+        raw_acc = (result.model.predict(train.x) == train.y).mean()
+        assert raw_acc == result.train_accuracy
+
+    def test_bias_fold_exact_for_biased_models(self):
+        train, _ = synthetic_flows(600).split()
+        trainer = MLPTrainer(epochs=5, use_bias=True, seed=0)
+        result = trainer.train([16, 8, 2], train)
+        # Per-feature standardization folded exactly: predictions on raw
+        # features equal the recorded training accuracy.
+        assert (
+            (result.model.predict(train.x) == train.y).mean()
+            == result.train_accuracy
+        )
+
+    def test_loss_history_length(self):
+        train, _ = synthetic_flows(300).split()
+        result = MLPTrainer(epochs=7, seed=0).train([16, 8, 2], train)
+        assert len(result.losses) == 7
+
+    def test_layer_size_validation(self):
+        train, _ = synthetic_flows(300).split()
+        trainer = MLPTrainer(epochs=1)
+        with pytest.raises(ValueError, match="feature count"):
+            trainer.train([10, 4, 2], train)
+        with pytest.raises(ValueError, match="class count"):
+            trainer.train([16, 4, 3], train)
+        with pytest.raises(ValueError, match="at least"):
+            trainer.train([16], train)
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            MLPTrainer(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPTrainer(momentum=1.0)
+        with pytest.raises(ValueError):
+            MLPTrainer(epochs=0)
+        with pytest.raises(ValueError):
+            MLPTrainer(grad_clip=0.0)
+
+    def test_training_is_deterministic(self):
+        train, _ = synthetic_flows(400).split()
+        r1 = train_mlp([16, 8, 2], train, epochs=3, seed=5)
+        r2 = train_mlp([16, 8, 2], train, epochs=3, seed=5)
+        w1 = r1.model.dense_layers()[0].weights
+        w2 = r2.model.dense_layers()[0].weights
+        assert np.array_equal(w1, w2)

@@ -1,0 +1,178 @@
+"""Tests for the numpy DNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    ExactEngine,
+    Flatten,
+    MaxPool2D,
+    ReLULayer,
+    SoftmaxLayer,
+    im2col,
+)
+
+
+class TestDense:
+    def test_forward_matches_matmul(self):
+        w = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([0.5, -0.5])
+        layer = Dense(2, 2, weights=w, bias=b)
+        x = np.array([[1.0, 1.0]])
+        assert np.allclose(layer.forward(x), [[3.5, 6.5]])
+
+    def test_bias_free(self):
+        layer = Dense(2, 1, weights=np.ones((1, 2)), use_bias=False)
+        assert layer.bias is None
+        assert layer.parameter_count == 2
+        assert np.allclose(layer.forward(np.ones((1, 2))), [[2.0]])
+
+    def test_he_initialization_scale(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(1000, 100, rng=rng)
+        assert layer.weights.std() == pytest.approx(
+            np.sqrt(2.0 / 1000), rel=0.1
+        )
+
+    def test_wrong_input_width_rejected(self):
+        layer = Dense(3, 2)
+        with pytest.raises(ValueError, match="expects 3"):
+            layer.forward(np.ones((1, 4)))
+
+    def test_macs_per_sample(self):
+        assert Dense(784, 300).macs_per_sample == 235_200
+
+    def test_wrong_weight_shape_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            Dense(3, 2, weights=np.ones((3, 2)))
+
+
+class TestIm2col:
+    def test_unrolls_patches(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols, out_h, out_w = im2col(x, kernel=2, stride=2, padding=0)
+        assert (out_h, out_w) == (2, 2)
+        assert cols.shape == (4, 4)
+        assert np.allclose(cols[0], [0, 1, 4, 5])
+
+    def test_padding_expands_output(self):
+        x = np.ones((1, 1, 3, 3))
+        _, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+        assert (out_h, out_w) == (3, 3)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            im2col(np.ones((1, 1, 2, 2)), kernel=5, stride=1, padding=0)
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0  # delta kernel
+        conv = Conv2D(1, 1, kernel=3, padding=1, weights=w)
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        assert np.allclose(conv.forward(x), x)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        conv = Conv2D(3, 4, kernel=3, stride=1, padding=1, rng=rng)
+        got = conv.forward(x)
+        # Naive reference.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        want = np.zeros_like(got)
+        for n in range(2):
+            for oc in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = xp[n, :, i : i + 3, j : j + 3]
+                        want[n, oc, i, j] = (
+                            np.sum(patch * conv.weights[oc]) + conv.bias[oc]
+                        )
+        assert np.allclose(got, want)
+
+    def test_stride(self):
+        conv = Conv2D(1, 1, kernel=2, stride=2)
+        out = conv.forward(np.ones((1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_output_shape_and_macs(self):
+        conv = Conv2D(3, 8, kernel=3, padding=1)
+        assert conv.output_shape((3, 32, 32)) == (8, 32, 32)
+        assert conv.macs_for_input((3, 32, 32)) == 32 * 32 * 8 * 3 * 9
+
+    def test_wrong_channel_count_rejected(self):
+        conv = Conv2D(3, 4, kernel=3)
+        with pytest.raises(ValueError, match="3 channels"):
+            conv.forward(np.ones((1, 2, 8, 8)))
+
+    def test_conv_uses_engine(self):
+        calls = []
+
+        class SpyEngine:
+            def matmul(self, a, b):
+                calls.append((a.shape, b.shape))
+                return a @ b
+
+        conv = Conv2D(1, 2, kernel=2, rng=np.random.default_rng(0))
+        conv.forward(np.ones((1, 1, 4, 4)), SpyEngine())
+        assert len(calls) == 1
+
+
+class TestPooling:
+    def test_maxpool(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool.forward(x)[0, 0, 0, 0] == 4.0
+
+    def test_avgpool(self):
+        pool = AvgPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert pool.forward(x)[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_pool_output_shape(self):
+        pool = MaxPool2D(2)
+        assert pool.output_shape((8, 10, 10)) == (8, 5, 5)
+
+    def test_pool_stride_defaults_to_kernel(self):
+        assert MaxPool2D(3).stride == 3
+
+    def test_non_nchw_rejected(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            MaxPool2D(2).forward(np.ones((4, 4)))
+
+
+class TestShapeOps:
+    def test_flatten(self):
+        out = Flatten().forward(np.ones((2, 3, 4, 4)))
+        assert out.shape == (2, 48)
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+    def test_relu_layer(self):
+        out = ReLULayer().forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 2.0]])
+
+    def test_softmax_layer_rows_normalize(self):
+        out = SoftmaxLayer().forward(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @given(
+        batch=st.integers(1, 4),
+        c=st.integers(1, 3),
+        hw=st.integers(2, 8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_flatten_preserves_values(self, batch, c, hw):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(batch, c, hw, hw))
+        out = Flatten().forward(x)
+        assert np.allclose(out.reshape(x.shape), x)

@@ -1,0 +1,147 @@
+"""Tests for 8-bit quantization and the datapath DAG bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LightningDatapath
+from repro.dnn import (
+    QuantizedMLP,
+    calibrate_activation_scales,
+    quantize_mlp,
+    quantize_tensor,
+    synthetic_flows,
+    train_mlp,
+)
+from repro.photonics import BehavioralCore, NoiselessModel
+
+
+@pytest.fixture(scope="module")
+def trained():
+    train, test = synthetic_flows(800, seed=3).split()
+    result = train_mlp([16, 48, 16, 2], train, epochs=8, use_bias=False)
+    return result.model, train, test
+
+
+class TestQuantizeTensor:
+    def test_max_magnitude_maps_to_255(self):
+        levels, scale = quantize_tensor(np.array([0.5, -1.0, 0.25]))
+        assert scale == 1.0
+        assert levels[1] == -255
+
+    def test_reconstruction_error_bounded(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=200)
+        levels, scale = quantize_tensor(tensor)
+        reconstructed = levels * scale / 255.0
+        assert np.max(np.abs(reconstructed - tensor)) <= scale / 255.0
+
+    def test_zero_tensor(self):
+        levels, scale = quantize_tensor(np.zeros(4))
+        assert scale == 1.0
+        assert np.all(levels == 0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_levels_within_8bit_range(self, values):
+        levels, _ = quantize_tensor(np.array(values))
+        assert np.all(np.abs(levels) <= 255)
+        assert np.all(levels == np.round(levels))
+
+
+class TestCalibration:
+    def test_first_scale_is_input_levels(self, trained):
+        model, train, _ = trained
+        scales = calibrate_activation_scales(model, train.x[:64])
+        assert scales[0] == 255.0
+        assert len(scales) == 3  # one per dense layer input
+
+    def test_scales_positive(self, trained):
+        model, train, _ = trained
+        scales = calibrate_activation_scales(model, train.x[:64])
+        assert all(s > 0 for s in scales)
+
+
+class TestQuantizeMLP:
+    def test_dag_structure(self, trained):
+        model, train, _ = trained
+        dag = quantize_mlp(model, train.x[:64], model_id=5)
+        assert dag.num_layers == 3
+        assert dag.tasks[0].nonlinearity == "relu"
+        assert dag.tasks[-1].nonlinearity == "identity"
+        assert dag.tasks[0].depends_on == ()
+        assert dag.tasks[1].depends_on == ("fc1",)
+
+    def test_weight_levels_in_range(self, trained):
+        model, train, _ = trained
+        dag = quantize_mlp(model, train.x[:64], model_id=5)
+        for task in dag.tasks:
+            assert np.max(np.abs(task.weights_levels)) <= 255
+
+    def test_int8_accuracy_close_to_float(self, trained):
+        """Quantization costs little accuracy (the Fig 16/19 premise)."""
+        model, train, test = trained
+        dag = quantize_mlp(model, train.x[:128], model_id=5)
+        q = QuantizedMLP(dag)
+        float_acc = (model.predict(test.x) == test.y).mean()
+        int8_acc = (q.predict(test.x) == test.y).mean()
+        assert abs(float_acc - int8_acc) < 0.05
+
+    def test_agreement_rate_with_float_model(self, trained):
+        model, train, test = trained
+        dag = quantize_mlp(model, train.x[:128], model_id=5)
+        q = QuantizedMLP(dag)
+        agreement = (q.predict(test.x) == model.predict(test.x)).mean()
+        assert agreement > 0.9
+
+    def test_unsupported_layers_rejected(self):
+        from repro.dnn import Conv2D, Sequential
+
+        conv_model = Sequential(
+            [Conv2D(1, 1, kernel=1)], input_shape=(1, 2, 2)
+        )
+        with pytest.raises(ValueError, match="dense"):
+            quantize_mlp(conv_model, np.zeros((1, 4)), model_id=1)
+
+
+class TestQuantizedMLPExecution:
+    def test_matches_datapath_exactly(self, trained):
+        """The vectorized executor and the cycle-level datapath are the
+        same arithmetic — bit-for-bit in fp64."""
+        model, train, test = trained
+        dag = quantize_mlp(model, train.x[:128], model_id=5)
+        q = QuantizedMLP(dag)
+        dp = LightningDatapath(core=BehavioralCore(noise=NoiselessModel()))
+        dp.register_model(dag)
+        for i in range(5):
+            x = np.round(test.x[i])
+            dp_out = dp.execute(5, x).output_levels
+            q_out = q.forward(x[None, :])[0]
+            assert np.allclose(dp_out, q_out)
+
+    def test_photonic_noise_changes_outputs(self, trained):
+        model, train, test = trained
+        dag = quantize_mlp(model, train.x[:128], model_id=5)
+        q = QuantizedMLP(dag)
+        clean = q.forward(test.x[:8])
+        noisy = q.forward(test.x[:8], BehavioralCore(seed=1))
+        assert not np.allclose(clean, noisy)
+
+    def test_photonic_accuracy_degrades_gracefully(self, trained):
+        model, train, test = trained
+        dag = quantize_mlp(model, train.x[:128], model_id=5)
+        q = QuantizedMLP(dag)
+        int8_acc = (q.predict(test.x) == test.y).mean()
+        photonic_acc = (
+            q.predict(test.x, BehavioralCore(seed=2)) == test.y
+        ).mean()
+        assert photonic_acc > int8_acc - 0.1
+
+    def test_wrong_feature_count_rejected(self, trained):
+        model, train, _ = trained
+        dag = quantize_mlp(model, train.x[:64], model_id=5)
+        with pytest.raises(ValueError, match="expects 16"):
+            QuantizedMLP(dag).forward(np.zeros((1, 4)))

@@ -1,0 +1,159 @@
+"""Tests for the model zoo: prototype models and analytic specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    SIMULATION_MODELS,
+    alexnet_spec,
+    bert_large_spec,
+    build_alexnet_emulation,
+    build_iot_model,
+    build_lenet_300_100,
+    build_security_model,
+    build_vgg_emulation,
+    dlrm_spec,
+    gpt2_xl_spec,
+    resnet18_spec,
+    synthetic_imagenet,
+    train_readout,
+    vgg16_spec,
+    vgg19_spec,
+)
+from repro.dnn.model import LayerSpec, ModelSpec
+
+
+class TestPrototypeModels:
+    def test_lenet_parameter_count_matches_paper(self):
+        # §6.3: LeNet-300-100 with 266,200 parameters.
+        assert build_lenet_300_100().parameter_count == 266_200
+
+    def test_security_parameter_count_matches_paper(self):
+        # §6.3: the security DNN has 1,568 parameters.
+        assert build_security_model().parameter_count == 1_568
+
+    def test_iot_parameter_count_matches_paper(self):
+        # §6.3: the traffic-classification DNN has 1,696 parameters.
+        assert build_iot_model().parameter_count == 1_696
+
+    def test_lenet_forward_shape(self):
+        model = build_lenet_300_100()
+        out = model.forward(np.zeros((2, 784)))
+        assert out.shape == (2, 10)
+
+    def test_traffic_models_take_header_features(self):
+        assert build_security_model().input_shape == (16,)
+        assert build_iot_model().input_shape == (16,)
+
+
+class TestEmulationModels:
+    def test_alexnet_emulation_runs(self):
+        model = build_alexnet_emulation()
+        out = model.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("depth", [11, 16, 19])
+    def test_vgg_depths(self, depth):
+        model = build_vgg_emulation(depth)
+        convs = sum(1 for l in model.layers if l.name == "conv2d")
+        denses = sum(1 for l in model.layers if l.name == "dense")
+        assert convs + denses == depth
+
+    def test_unsupported_vgg_depth_rejected(self):
+        with pytest.raises(ValueError, match="supported"):
+            build_vgg_emulation(13)
+
+    def test_deeper_vgg_has_more_macs(self):
+        m11 = build_vgg_emulation(11)
+        m19 = build_vgg_emulation(19)
+        assert m19.macs_per_sample > m11.macs_per_sample
+
+    def test_train_readout_improves_model(self):
+        ds = synthetic_imagenet(num_samples=120, seed=7)
+        model = build_alexnet_emulation()
+        before = (model.predict(ds.x) == ds.y).mean()
+        train_readout(model, ds, epochs=8)
+        after = (model.predict(ds.x) == ds.y).mean()
+        assert after > max(before, 0.5)
+
+    def test_train_readout_requires_flatten(self):
+        from repro.dnn import Dense, Sequential
+        from repro.dnn.datasets import Dataset
+
+        mlp = Sequential([Dense(4, 2)], input_shape=(4,))
+        ds = Dataset(np.zeros((10, 4)), np.zeros(10, dtype=int), 2)
+        with pytest.raises(ValueError, match="flatten"):
+            train_readout(mlp, ds)
+
+
+class TestSimulationSpecs:
+    def test_seven_models(self):
+        specs = SIMULATION_MODELS()
+        assert [s.name for s in specs] == [
+            "AlexNet", "ResNet18", "VGG16", "VGG19", "BERT", "GPT-2",
+            "DLRM",
+        ]
+
+    def test_effective_depths_match_table6_datapath(self):
+        """Table 6's Lightning datapath latency is 193 ns x depth."""
+        per_layer = 193e-9
+        expected_us = {
+            "AlexNet": 1.544,
+            "ResNet18": 4.053,
+            "VGG16": 3.088,
+            "VGG19": 3.667,
+            "BERT": 32.617,
+            "GPT-2": 65.234,
+            "DLRM": 1.544,
+        }
+        for spec in SIMULATION_MODELS():
+            got = spec.effective_depth * per_layer * 1e6
+            assert got == pytest.approx(expected_us[spec.name], rel=0.01), (
+                spec.name
+            )
+
+    def test_model_sizes_match_table6(self):
+        sizes_mb = {
+            "AlexNet": 233, "ResNet18": 45, "VGG16": 528, "VGG19": 548,
+            "BERT": 1380, "GPT-2": 6263, "DLRM": 12400,
+        }
+        for spec in SIMULATION_MODELS():
+            assert spec.model_bytes == sizes_mb[spec.name] * 1024**2
+
+    def test_canonical_mac_counts(self):
+        # Well-known figures: AlexNet ~0.7-1.2 GMACs, VGG16 ~15.5 GMACs.
+        assert 0.7e9 < alexnet_spec().total_macs < 1.3e9
+        assert 15.0e9 < vgg16_spec().total_macs < 16.0e9
+        assert 19.0e9 < vgg19_spec().total_macs < 20.5e9
+        assert 1.5e9 < resnet18_spec().total_macs < 2.1e9
+
+    def test_canonical_parameter_counts(self):
+        # AlexNet ~61 M, VGG16 ~138 M, ResNet-18 ~11.7 M parameters.
+        assert 55e6 < alexnet_spec().total_parameters < 65e6
+        assert 130e6 < vgg16_spec().total_parameters < 145e6
+        assert 10e6 < resnet18_spec().total_parameters < 13e6
+
+    def test_transformer_blocks_structure(self):
+        bert = bert_large_spec()
+        qkv = [l for l in bert.layers if l.name.endswith(("_q", "_k", "_v"))]
+        assert len(qkv) == 72  # 24 blocks x 3 projections
+        assert all(l.parallel_group for l in qkv)
+
+    def test_gpt2_is_biggest_compute(self):
+        specs = SIMULATION_MODELS()
+        gpt2 = next(s for s in specs if s.name == "GPT-2")
+        assert gpt2.total_macs == max(s.total_macs for s in specs)
+
+    def test_dlrm_is_memory_not_compute(self):
+        dlrm = dlrm_spec()
+        # Embedding-dominated: billions of parameters, trivial MACs.
+        assert dlrm.total_parameters > 1e9
+        assert dlrm.total_macs < 1e7
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="x", layers=(), model_bytes=1, query_bytes=1)
+        with pytest.raises(ValueError):
+            LayerSpec(name="x", macs=-1, parameters=0)

@@ -1,0 +1,208 @@
+"""Tests for the accuracy emulator and its compute engines (§7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    build_alexnet_emulation,
+    synthetic_flows,
+    synthetic_imagenet,
+    train_mlp,
+    train_readout,
+)
+from repro.emulation import (
+    FP32Engine,
+    Int8Engine,
+    PhotonicEngine,
+    PhotonicEmulator,
+    engine_for,
+)
+from repro.photonics import BehavioralCore, GaussianNoise, NoiselessModel
+
+
+class TestEngines:
+    def test_fp32_engine_exact(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(4, 6)), rng.normal(size=(6, 3))
+        assert np.allclose(FP32Engine().matmul(a, b), a @ b)
+
+    def test_int8_engine_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(8, 32)), rng.normal(size=(32, 8))
+        exact = a @ b
+        quantized = Int8Engine().matmul(a, b)
+        # 8-bit symmetric quantization: relative error well under 5 %.
+        scale = np.abs(exact).max()
+        assert np.max(np.abs(quantized - exact)) < 0.05 * scale
+
+    def test_int8_engine_deterministic(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+        assert np.array_equal(
+            Int8Engine().matmul(a, b), Int8Engine().matmul(a, b)
+        )
+
+    def test_photonic_engine_noisy_but_unbiased(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 1, size=(2000, 16))
+        b = rng.uniform(0, 1, size=(16, 1))
+        engine = PhotonicEngine(core=BehavioralCore(seed=0))
+        got = engine.matmul(a, b)
+        exact = a @ b
+        errors = got - exact
+        assert abs(errors.mean()) < 0.01 * np.abs(exact).mean()
+        assert errors.std() > 0
+
+    def test_photonic_noiseless_readout_matches_int8(self):
+        # In per-readout mode with a noiseless core, the photonic engine
+        # degenerates to exact int8 arithmetic.
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=(4, 8)), rng.normal(size=(8, 2))
+        photonic = PhotonicEngine(
+            core=BehavioralCore(noise=NoiselessModel()),
+            noise_mode="per_readout",
+        )
+        assert np.allclose(
+            photonic.matmul(a, b), Int8Engine().matmul(a, b)
+        )
+
+    def test_per_result_quantizes_results(self):
+        # The §7 emulator also quantizes results to 8 bits, so even a
+        # noiseless per-result engine differs from int8 by at most one
+        # result-scale quantization step.
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=(4, 8)), rng.normal(size=(8, 2))
+        exact = Int8Engine().matmul(a, b)
+        photonic = PhotonicEngine(
+            core=BehavioralCore(noise=NoiselessModel()),
+            noise_mode="per_result",
+        )
+        step = np.abs(exact).max() / 255.0
+        assert np.allclose(photonic.matmul(a, b), exact, atol=step)
+
+    def test_per_result_noise_is_fraction_of_result_range(self):
+        # §7 semantics: one Gaussian draw (0.65 % of full scale) per MAC
+        # result on the result tensor's own 8-bit scale.
+        rng = np.random.default_rng(6)
+        a = rng.uniform(0, 1, size=(2000, 64))
+        b = rng.uniform(0, 1, size=(64, 1))
+        exact = a @ b
+        noisy = PhotonicEngine(
+            core=BehavioralCore(seed=1), noise_mode="per_result"
+        ).matmul(a, b)
+        expected_std = 1.65 / 255.0 * np.abs(exact).max()
+        assert (noisy - exact).std() == pytest.approx(
+            expected_std, rel=0.15
+        )
+
+    def test_per_readout_noise_follows_accumulation_formula(self):
+        # Physical semantics: std = 1.65 * sqrt(k/N) * s_a * s_b / 255.
+        rng = np.random.default_rng(7)
+        k = 2048
+        a = rng.uniform(0, 1, size=(2000, k))
+        b = rng.uniform(0, 1, size=(k, 1))
+        exact = a @ b
+        noisy = PhotonicEngine(
+            core=BehavioralCore(seed=1), noise_mode="per_readout"
+        ).matmul(a, b)
+        s_a, s_b = np.abs(a).max(), np.abs(b).max()
+        expected_std = 1.65 * np.sqrt(k / 2) * s_a * s_b / 255.0
+        assert (noisy - exact).std() == pytest.approx(
+            expected_std, rel=0.15
+        )
+
+    def test_invalid_noise_mode_rejected(self):
+        with pytest.raises(ValueError, match="noise_mode"):
+            PhotonicEngine(noise_mode="per_photon")
+
+    def test_engine_factory(self):
+        assert isinstance(engine_for("fp32"), FP32Engine)
+        assert isinstance(engine_for("int8"), Int8Engine)
+        assert isinstance(engine_for("photonic"), PhotonicEngine)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            engine_for("fp16")
+
+
+@pytest.fixture(scope="module")
+def trained_mlp():
+    train, test = synthetic_flows(1000, seed=5, noise_std=30.0).split()
+    model = train_mlp([16, 48, 16, 2], train, epochs=8, use_bias=False).model
+    return model, test
+
+
+class TestPhotonicEmulator:
+    def test_reports_all_schemes(self, trained_mlp):
+        model, test = trained_mlp
+        emulator = PhotonicEmulator(model, photonic_trials=2)
+        report = emulator.evaluate(test)
+        assert set(report.results) == {"fp32", "int8", "photonic"}
+
+    def test_fp32_is_upper_bound_ish(self, trained_mlp):
+        """The Figure 19 shape: fp32 >= int8 >= photonic, with small
+        gaps (noise never *helps* systematically)."""
+        model, test = trained_mlp
+        report = PhotonicEmulator(model, photonic_trials=3).evaluate(test)
+        fp32 = report.results["fp32"].top1
+        int8 = report.results["int8"].top1
+        photonic = report.results["photonic"].top1
+        assert fp32 >= int8 - 0.03
+        assert int8 >= photonic - 0.05
+        assert photonic > 0.7  # still far above chance
+
+    def test_photonic_gap_within_paper_band(self, trained_mlp):
+        model, test = trained_mlp
+        report = PhotonicEmulator(model, photonic_trials=3).evaluate(test)
+        # Paper: within 2.25 % top-5 of int8 digital; we allow a little
+        # slack for the small synthetic test set.
+        assert report.photonic_gap_top5() < 0.05
+
+    def test_trials_averaged(self, trained_mlp):
+        model, test = trained_mlp
+        report = PhotonicEmulator(model, photonic_trials=4).evaluate(
+            test, schemes=("photonic",)
+        )
+        assert report.results["photonic"].trials == 4
+
+    def test_top5_at_most_num_classes(self, trained_mlp):
+        model, test = trained_mlp
+        report = PhotonicEmulator(model, photonic_trials=1).evaluate(
+            test, schemes=("int8",)
+        )
+        # Binary classifier: top-"5" is top-2 == always 1.0.
+        assert report.results["int8"].top5 == 1.0
+
+    def test_bigger_noise_hurts_more(self, trained_mlp):
+        model, test = trained_mlp
+        mild = PhotonicEmulator(
+            model, noise=GaussianNoise(std=1.65), photonic_trials=2
+        ).evaluate(test, schemes=("photonic",))
+        harsh = PhotonicEmulator(
+            model, noise=GaussianNoise(std=40.0), photonic_trials=2
+        ).evaluate(test, schemes=("photonic",))
+        assert (
+            harsh.results["photonic"].top1
+            <= mild.results["photonic"].top1
+        )
+
+    def test_conv_model_emulation(self):
+        """The Figure 19 models are conv stacks; the emulator must route
+        conv matmuls through the engines too."""
+        ds = synthetic_imagenet(num_samples=80, seed=8)
+        model = build_alexnet_emulation()
+        train_readout(model, ds, epochs=8)
+        report = PhotonicEmulator(model, photonic_trials=2).evaluate(
+            ds, schemes=("fp32", "photonic")
+        )
+        assert report.results["fp32"].top1 > 0.8
+        # The paper's Figure 19 metric is top-5, within a few percent.
+        assert (
+            report.results["photonic"].top5
+            > report.results["fp32"].top5 - 0.1
+        )
+
+    def test_invalid_trials_rejected(self, trained_mlp):
+        model, _ = trained_mlp
+        with pytest.raises(ValueError):
+            PhotonicEmulator(model, photonic_trials=0)

@@ -1,0 +1,68 @@
+"""Tests for the NIC port and PCIe latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import NICPort, PCIeInterface
+
+
+class TestNICPort:
+    def test_serialization_at_line_rate(self):
+        port = NICPort(rate_gbps=100.0)
+        # 1250 bytes = 10,000 bits at 100 Gbps = 100 ns.
+        assert port.serialization_seconds(1250) == pytest.approx(100e-9)
+
+    def test_rx_tx_include_mac_pipeline(self):
+        port = NICPort(rate_gbps=100.0, mac_pipeline_ns=50.0)
+        assert port.receive_seconds(0) == pytest.approx(50e-9)
+        assert port.transmit_seconds(1250) == pytest.approx(150e-9)
+
+    def test_slower_port_is_slower(self):
+        fast = NICPort(rate_gbps=100.0)
+        slow = NICPort(rate_gbps=10.0)
+        assert slow.serialization_seconds(1500) == pytest.approx(
+            10 * fast.serialization_seconds(1500)
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NICPort().serialization_seconds(-1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NICPort(rate_gbps=0.0)
+
+
+class TestPCIeInterface:
+    def test_gen4_x16_bandwidth(self):
+        pcie = PCIeInterface()
+        assert pcie.bandwidth_gbps == pytest.approx(256.0)
+
+    def test_transfer_includes_dma_setup(self):
+        pcie = PCIeInterface(dma_setup_us=1.0)
+        assert pcie.transfer_seconds(0) == pytest.approx(1e-6)
+
+    def test_round_trip_is_two_transfers(self):
+        pcie = PCIeInterface()
+        assert pcie.round_trip_seconds(1000, 1000) == pytest.approx(
+            2 * pcie.transfer_seconds(1000)
+        )
+
+    def test_pcie_hop_dwarfs_nic_serialization(self):
+        """The placement argument: punting a small query over PCIe costs
+        far more than serving it on the NIC would."""
+        pcie = PCIeInterface()
+        port = NICPort()
+        query_bytes = 200
+        assert pcie.round_trip_seconds(query_bytes, 64) > 20 * (
+            port.receive_seconds(query_bytes)
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeInterface(lanes=0)
+        with pytest.raises(ValueError):
+            PCIeInterface(gbps_per_lane=0)
+        with pytest.raises(ValueError):
+            PCIeInterface().transfer_seconds(-1)

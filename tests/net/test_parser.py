@@ -1,0 +1,150 @@
+"""Tests for the packet parser (§4 step 1, requirement R1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    EthernetFrame,
+    HEADER_FEATURE_COUNT,
+    InferenceRequest,
+    IPv4Packet,
+    PacketParser,
+    ParsedInferenceQuery,
+    RegularPacket,
+    UDPDatagram,
+    build_inference_frame,
+    extract_header_features,
+)
+
+
+def inference_frame(**kwargs):
+    req = InferenceRequest(
+        model_id=kwargs.pop("model_id", 1),
+        request_id=kwargs.pop("request_id", 1),
+        data=kwargs.pop("data", np.arange(4, dtype=np.uint8)),
+    )
+    return build_inference_frame(req, **kwargs)
+
+
+class TestClassification:
+    def test_inference_query_identified_by_port(self):
+        parser = PacketParser()
+        parsed = parser.parse(inference_frame())
+        assert isinstance(parsed, ParsedInferenceQuery)
+        assert parser.inference_packets == 1
+
+    def test_other_udp_port_is_regular(self):
+        parser = PacketParser()
+        parsed = parser.parse(inference_frame(dst_port=53))
+        assert isinstance(parsed, RegularPacket)
+        assert "not the inference port" in parsed.reason
+        assert parser.regular_packets == 1
+
+    def test_non_udp_is_regular(self):
+        ip = IPv4Packet("1.1.1.1", "2.2.2.2", 6, b"\x00" * 20)  # TCP
+        frame = EthernetFrame(
+            "02:00:00:00:00:02", "02:00:00:00:00:01", 0x0800, ip.pack()
+        )
+        parsed = PacketParser().parse(frame.pack())
+        assert isinstance(parsed, RegularPacket)
+        assert "non-UDP" in parsed.reason
+
+    def test_non_ipv4_is_regular(self):
+        frame = EthernetFrame(
+            "02:00:00:00:00:02", "02:00:00:00:00:01", 0x86DD, b"\x00" * 40
+        )
+        parsed = PacketParser().parse(frame.pack())
+        assert isinstance(parsed, RegularPacket)
+
+    def test_corrupted_ip_counted_malformed(self):
+        raw = bytearray(inference_frame())
+        raw[22] ^= 0xFF  # corrupt the IP header (TTL), checksum fails
+        parser = PacketParser()
+        parsed = parser.parse(bytes(raw))
+        assert isinstance(parsed, RegularPacket)
+        assert parser.malformed_packets == 1
+
+    def test_bad_request_payload_malformed(self):
+        udp = UDPDatagram(1, 4055, b"junk")
+        ip = IPv4Packet("1.1.1.1", "2.2.2.2", 17,
+                        udp.pack("1.1.1.1", "2.2.2.2"))
+        frame = EthernetFrame(
+            "02:00:00:00:00:02", "02:00:00:00:00:01", 0x0800, ip.pack()
+        )
+        parser = PacketParser()
+        parsed = parser.parse(frame.pack())
+        assert isinstance(parsed, RegularPacket)
+        assert parser.malformed_packets == 1
+
+    def test_custom_inference_port(self):
+        parser = PacketParser(inference_port=9000)
+        assert isinstance(
+            parser.parse(inference_frame(dst_port=9000)),
+            ParsedInferenceQuery,
+        )
+        assert isinstance(
+            parser.parse(inference_frame()), RegularPacket
+        )
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            PacketParser(inference_port=0)
+
+
+class TestExtraction:
+    def test_payload_data_extracted(self):
+        data = np.array([9, 8, 7], dtype=np.uint8)
+        parsed = PacketParser().parse(inference_frame(data=data))
+        assert np.array_equal(parsed.data_levels, data)
+
+    def test_model_and_request_ids_extracted(self):
+        parsed = PacketParser().parse(
+            inference_frame(model_id=12, request_id=99)
+        )
+        assert parsed.request.model_id == 12
+        assert parsed.request.request_id == 99
+
+    def test_addressing_captured_for_response(self):
+        parsed = PacketParser().parse(
+            inference_frame(src_ip="10.5.5.5", src_port=7777)
+        )
+        assert parsed.src_ip == "10.5.5.5"
+        assert parsed.src_port == 7777
+
+    def test_header_data_model_uses_header_features(self):
+        parser = PacketParser(header_data_models={4})
+        parsed = parser.parse(
+            inference_frame(
+                model_id=4, data=np.zeros(0, dtype=np.uint8),
+                src_ip="192.168.7.1",
+            )
+        )
+        assert len(parsed.data_levels) == HEADER_FEATURE_COUNT
+        assert parsed.data_levels[0] == 192  # first src IP octet
+
+    def test_payload_model_ignores_header_features(self):
+        parser = PacketParser(header_data_models={4})
+        data = np.array([1, 2, 3], dtype=np.uint8)
+        parsed = parser.parse(inference_frame(model_id=5, data=data))
+        assert np.array_equal(parsed.data_levels, data)
+
+
+class TestHeaderFeatures:
+    def test_feature_vector_layout(self):
+        ip = IPv4Packet("1.2.3.4", "5.6.7.8", 17, b"\x00" * 12, ttl=33)
+        udp = UDPDatagram(0x1234, 0x0FD7, b"")
+        features = extract_header_features(ip, udp)
+        assert len(features) == HEADER_FEATURE_COUNT
+        assert list(features[:8]) == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert features[8] == 0x12 and features[9] == 0x34
+        assert features[12] == 17  # protocol
+        assert features[13] == 33  # TTL
+
+    def test_features_are_byte_valued(self):
+        ip = IPv4Packet("255.255.255.255", "0.0.0.0", 17, b"")
+        udp = UDPDatagram(65535, 65535, b"")
+        features = extract_header_features(ip, udp)
+        assert features.dtype == np.uint8
+        assert features.max() <= 255

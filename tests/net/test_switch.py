@@ -1,0 +1,210 @@
+"""Tests for the in-network optical inference switch (§11 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationDAG, LayerTask, LightningDatapath
+from repro.net import (
+    EthernetFrame,
+    InferenceRequest,
+    build_inference_frame,
+)
+from repro.net.switch import (
+    ClassPolicy,
+    InNetworkInferenceSwitch,
+    PolicyAction,
+)
+from repro.photonics import BehavioralCore, NoiselessModel
+
+
+def traffic_dag(model_id=20, seed=4, classes=2):
+    rng = np.random.default_rng(seed)
+    return ComputationDAG(
+        model_id,
+        "switch-classifier",
+        [
+            LayerTask(
+                name="fc",
+                kind="dense",
+                input_size=16,
+                output_size=classes,
+                weights_levels=rng.integers(
+                    -200, 201, (classes, 16)
+                ).astype(float),
+            )
+        ],
+    )
+
+
+def make_switch(policies=None, num_ports=4):
+    datapath = LightningDatapath(
+        core=BehavioralCore(noise=NoiselessModel())
+    )
+    switch = InNetworkInferenceSwitch(num_ports, datapath=datapath)
+    if policies is not None:
+        switch.install_model(traffic_dag(), policies)
+    return switch
+
+
+def frame_from(src_mac, dst_mac, src_ip="10.0.0.5"):
+    return build_inference_frame(
+        InferenceRequest(1, 1, np.zeros(4, dtype=np.uint8)),
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=src_ip,
+    )
+
+
+class TestL2Learning:
+    def test_unknown_destination_floods(self):
+        switch = make_switch()
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 0
+        )
+        assert decision.egress_ports == (1, 2, 3)
+
+    def test_learned_destination_unicasts(self):
+        switch = make_switch()
+        switch.switch_frame(
+            frame_from("02:00:00:00:00:0b", "02:00:00:00:00:0a"), 2
+        )
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 0
+        )
+        assert decision.egress_ports == (2,)
+
+    def test_hairpin_suppressed(self):
+        switch = make_switch()
+        switch.switch_frame(
+            frame_from("02:00:00:00:00:0b", "02:00:00:00:00:0a"), 0
+        )
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 0
+        )
+        assert decision.egress_ports == ()
+
+    def test_invalid_port_rejected(self):
+        switch = make_switch()
+        with pytest.raises(ValueError, match="out of range"):
+            switch.switch_frame(
+                frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 9
+            )
+
+    def test_too_few_ports_rejected(self):
+        with pytest.raises(ValueError):
+            InNetworkInferenceSwitch(1)
+
+
+class TestInferencePolicy:
+    def find_class_ips(self, switch, wanted_classes):
+        """Find source IPs the installed model maps to each class."""
+        found = {}
+        for octet in range(1, 250):
+            ip = f"10.0.{octet}.1"
+            decision = switch.switch_frame(
+                frame_from(
+                    "02:00:00:00:00:0a", "02:00:00:00:00:0b", src_ip=ip
+                ),
+                0,
+            )
+            cls = decision.inferred_class
+            if cls in wanted_classes and cls not in found:
+                found[cls] = ip
+            if len(found) == len(wanted_classes):
+                break
+        return found
+
+    def test_every_ip_classified(self):
+        switch = make_switch(policies={})
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 0
+        )
+        assert decision.inferred_class in (0, 1)
+        assert decision.inference_seconds > 0
+        assert switch.inferences == 1
+
+    def test_drop_policy_blocks_class(self):
+        probe = make_switch(policies={})
+        ips = self.find_class_ips(probe, {0, 1})
+        assert len(ips) == 2, "model must separate some sources"
+        switch = make_switch(
+            policies={1: ClassPolicy(PolicyAction.DROP)}
+        )
+        dropped = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b",
+                       src_ip=ips[1]),
+            0,
+        )
+        allowed = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b",
+                       src_ip=ips[0]),
+            0,
+        )
+        assert dropped.action is PolicyAction.DROP
+        assert dropped.egress_ports == ()
+        assert allowed.action is PolicyAction.FORWARD
+        assert allowed.egress_ports != ()
+        assert switch.frames_dropped == 1
+
+    def test_mirror_policy_adds_monitor_port(self):
+        probe = make_switch(policies={})
+        ips = self.find_class_ips(probe, {0, 1})
+        switch = make_switch(
+            policies={
+                1: ClassPolicy(PolicyAction.MIRROR, mirror_port=3)
+            }
+        )
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b",
+                       src_ip=ips[1]),
+            0,
+        )
+        assert decision.action is PolicyAction.MIRROR
+        assert 3 in decision.egress_ports
+        assert switch.frames_mirrored == 1
+
+    def test_non_ip_traffic_skips_inference(self):
+        switch = make_switch(policies={})
+        arp = EthernetFrame(
+            "02:00:00:00:00:0b", "02:00:00:00:00:0a", 0x0806,
+            b"\x00" * 28,
+        )
+        decision = switch.switch_frame(arp.pack(), 0)
+        assert decision.inferred_class is None
+        assert decision.action is PolicyAction.FORWARD
+        assert switch.inferences == 0
+
+    def test_mirror_policy_requires_port(self):
+        with pytest.raises(ValueError, match="mirror port"):
+            ClassPolicy(PolicyAction.MIRROR)
+
+    def test_model_must_take_header_features(self):
+        switch = make_switch()
+        rng = np.random.default_rng(0)
+        wrong = ComputationDAG(
+            21, "wrong",
+            [LayerTask("fc", "dense", 8, 2,
+                       rng.integers(-10, 10, (2, 8)).astype(float))],
+        )
+        with pytest.raises(ValueError, match="16 header features"):
+            switch.install_model(wrong, {})
+
+    def test_mirror_port_validated(self):
+        switch = make_switch()
+        with pytest.raises(ValueError, match="out of range"):
+            switch.install_model(
+                traffic_dag(),
+                {0: ClassPolicy(PolicyAction.MIRROR, mirror_port=9)},
+            )
+
+    def test_inference_latency_is_line_rate_scale(self):
+        """The point of photonic in-network inference: classification
+        completes in microseconds, not the milliseconds of a punted
+        round trip."""
+        switch = make_switch(policies={})
+        decision = switch.switch_frame(
+            frame_from("02:00:00:00:00:0a", "02:00:00:00:00:0b"), 0
+        )
+        assert decision.inference_seconds < 5e-6

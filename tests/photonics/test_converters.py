@@ -1,0 +1,165 @@
+"""Tests for the DAC/ADC/RF-amplifier converter models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics import ADC, DAC, RFAmplifier
+from repro.photonics.converters import PROTOTYPE_SAMPLES_PER_CYCLE
+
+
+class TestDAC:
+    def test_valid_flag_follows_fifo(self):
+        dac = DAC(samples_per_cycle=4)
+        assert dac.valid == 0
+        dac.push(np.arange(4))
+        assert dac.valid == 1
+        dac.stream()
+        assert dac.valid == 0
+
+    def test_push_splits_into_blocks(self):
+        dac = DAC(samples_per_cycle=4)
+        dac.push(np.arange(10))
+        assert dac.queued_blocks == 3  # 4 + 4 + padded 2
+
+    def test_partial_block_zero_padded(self):
+        dac = DAC(samples_per_cycle=4)
+        dac.push(np.array([10, 20]))
+        volts = dac.stream()
+        assert volts[2] == 0.0 and volts[3] == 0.0
+
+    def test_linear_code_to_voltage(self):
+        dac = DAC(bits=8, full_scale_voltage=1.0)
+        volts = dac.convert(np.array([0, 255, 51]))
+        assert volts[0] == pytest.approx(0.0)
+        assert volts[1] == pytest.approx(1.0)
+        assert volts[2] == pytest.approx(0.2)
+
+    def test_stream_without_valid_data_raises(self):
+        dac = DAC()
+        with pytest.raises(RuntimeError, match="no valid data"):
+            dac.stream()
+
+    def test_out_of_range_codes_rejected(self):
+        dac = DAC(bits=8)
+        with pytest.raises(ValueError, match=r"\[0, 255\]"):
+            dac.push(np.array([256]))
+        with pytest.raises(ValueError):
+            dac.push(np.array([-1]))
+
+    def test_non_integer_codes_rejected(self):
+        dac = DAC()
+        with pytest.raises(ValueError, match="integers"):
+            dac.push(np.array([1.5]))
+
+    def test_flush_discards_queue(self):
+        dac = DAC(samples_per_cycle=4)
+        dac.push(np.arange(8))
+        dac.flush()
+        assert dac.valid == 0
+
+    def test_prototype_data_rate(self):
+        # 4.055 GS/s x 8 b/S = 32.44 Gbps per lane (§6.1 maths).
+        dac = DAC()
+        assert dac.data_rate_gbps == pytest.approx(4.055 * 8)
+
+    def test_fifo_preserves_order(self):
+        dac = DAC(samples_per_cycle=2, full_scale_voltage=255.0)
+        dac.push(np.array([1, 2, 3, 4]))
+        assert np.allclose(dac.stream(), [1, 2])
+        assert np.allclose(dac.stream(), [3, 4])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DAC(bits=0)
+        with pytest.raises(ValueError):
+            DAC(sample_rate_gsps=0)
+        with pytest.raises(ValueError):
+            DAC(samples_per_cycle=0)
+        with pytest.raises(ValueError):
+            DAC(full_scale_voltage=0)
+
+
+class TestADC:
+    def test_digitize_round_trip_with_dac(self):
+        dac, adc = DAC(), ADC()
+        codes = np.array([0, 17, 100, 255])
+        assert np.array_equal(adc.digitize(dac.convert(codes)), codes)
+
+    def test_digitize_clips_at_rails(self):
+        adc = ADC(bits=8, full_scale_voltage=1.0)
+        levels = adc.digitize(np.array([-0.5, 1.5]))
+        assert levels[0] == 0
+        assert levels[1] == 255
+
+    def test_frame_shape(self):
+        adc = ADC(samples_per_cycle=16)
+        windows = adc.frame(np.linspace(0, 1, 40), start_offset=0)
+        assert windows.shape == (3, 16)
+
+    def test_frame_offset_places_data(self):
+        adc = ADC(samples_per_cycle=8, full_scale_voltage=1.0)
+        signal = np.full(4, 1.0)
+        windows = adc.frame(signal, start_offset=3, noise_floor=np.zeros(64))
+        flat = windows.ravel()
+        assert np.all(flat[:3] == 0)
+        assert np.all(flat[3:7] == 255)
+
+    def test_frame_negative_offset_rejected(self):
+        adc = ADC()
+        with pytest.raises(ValueError, match="offset"):
+            adc.frame(np.ones(4), start_offset=-1)
+
+    def test_frame_noise_floor_too_short_rejected(self):
+        adc = ADC(samples_per_cycle=8)
+        with pytest.raises(ValueError, match="noise floor"):
+            adc.frame(np.ones(20), noise_floor=np.zeros(8))
+
+    def test_frame_default_noise_is_low(self):
+        adc = ADC(samples_per_cycle=16)
+        windows = adc.frame(
+            np.full(8, 0.9),
+            start_offset=8,
+            rng=np.random.default_rng(0),
+        )
+        noise = windows.ravel()[:8]
+        assert np.all(noise < 64)  # noise stays well below signal
+
+    @given(offset=st.integers(0, 15), n=st.integers(1, 50))
+    def test_frame_total_length_is_multiple_of_window(self, offset, n):
+        adc = ADC(samples_per_cycle=16)
+        windows = adc.frame(
+            np.ones(n), start_offset=offset, rng=np.random.default_rng(0)
+        )
+        assert windows.size % PROTOTYPE_SAMPLES_PER_CYCLE == 0
+        assert windows.size >= offset + n
+
+    def test_sixteen_bit_adc_range(self):
+        adc = ADC(bits=16)
+        assert adc.max_level == 65535
+
+
+class TestRFAmplifier:
+    def test_gain_applied(self):
+        amp = RFAmplifier(gain=5.0)
+        assert np.allclose(amp.amplify(np.array([0.2, 1.0])), [1.0, 5.0])
+
+    def test_common_mode_offset(self):
+        # The receive-side stage adds the ADC's 1.2 V common mode (App B).
+        amp = RFAmplifier(gain=1.0, common_mode_voltage=1.2)
+        assert amp.amplify(np.zeros(1))[0] == pytest.approx(1.2)
+
+    def test_zero_gain_rejected(self):
+        with pytest.raises(ValueError, match="gain"):
+            RFAmplifier(gain=0.0)
+
+    def test_dac_amplifier_covers_v_pi(self):
+        # The gain-5 stage lifts the ~1 V DAC swing to the 5 V half-wave
+        # voltage of the prototype's modulators (Appendix B).
+        dac = DAC(full_scale_voltage=1.0)
+        amp = RFAmplifier(gain=5.0)
+        top = amp.amplify(dac.convert(np.array([255])))
+        assert top[0] == pytest.approx(5.0)

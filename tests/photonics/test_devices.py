@@ -1,0 +1,282 @@
+"""Tests for the analog photonic device models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics import (
+    CombLaser,
+    Laser,
+    MachZehnderModulator,
+    OpticalField,
+    OpticalSplitter,
+    Photodetector,
+    WDMDemultiplexer,
+    WDMMultiplexer,
+)
+
+
+class TestOpticalField:
+    def test_empty_field_has_no_samples(self):
+        field = OpticalField()
+        assert field.num_samples == 0
+        assert field.wavelengths == ()
+        assert len(field.total_intensity()) == 0
+
+    def test_set_and_read_channel(self):
+        field = OpticalField()
+        field.set_channel(1550.0, np.array([0.1, 0.5, 1.0]))
+        assert field.num_samples == 3
+        assert np.allclose(field.channel(1550.0), [0.1, 0.5, 1.0])
+
+    def test_negative_intensity_rejected(self):
+        field = OpticalField()
+        with pytest.raises(ValueError, match="negative"):
+            field.set_channel(1550.0, np.array([-0.1]))
+
+    def test_mismatched_sample_counts_rejected(self):
+        field = OpticalField({1550.0: np.ones(4)})
+        with pytest.raises(ValueError, match="same number of samples"):
+            field.set_channel(1551.0, np.ones(3))
+
+    def test_missing_channel_raises(self):
+        field = OpticalField({1550.0: np.ones(2)})
+        with pytest.raises(KeyError, match="1551"):
+            field.channel(1551.0)
+
+    def test_total_intensity_sums_wavelengths(self):
+        field = OpticalField(
+            {1550.0: np.array([0.25, 0.5]), 1551.0: np.array([0.75, 0.5])}
+        )
+        assert np.allclose(field.total_intensity(), [1.0, 1.0])
+
+    def test_wavelengths_sorted(self):
+        field = OpticalField({1552.0: np.ones(1), 1544.0: np.ones(1)})
+        assert field.wavelengths == (1544.0, 1552.0)
+
+    def test_copy_is_independent(self):
+        field = OpticalField({1550.0: np.ones(2)})
+        clone = field.copy()
+        clone.channel(1550.0)[0] = 0.0
+        assert field.channel(1550.0)[0] == 1.0
+
+    def test_2d_channel_rejected(self):
+        field = OpticalField()
+        with pytest.raises(ValueError, match="1-D"):
+            field.set_channel(1550.0, np.ones((2, 2)))
+
+
+class TestLaser:
+    def test_emits_constant_carrier(self):
+        laser = Laser(wavelength_nm=1550.0, power=0.8)
+        field = laser.emit(5)
+        assert np.allclose(field.channel(1550.0), 0.8)
+
+    def test_wavelength_outside_c_band_rejected(self):
+        with pytest.raises(ValueError, match="C-band"):
+            Laser(wavelength_nm=1300.0)
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(ValueError, match="power"):
+            Laser(power=0.0)
+
+    def test_prototype_wavelengths_valid(self):
+        # The two testbed lasers (§6.1) must construct cleanly.
+        Laser(wavelength_nm=1544.53)
+        Laser(wavelength_nm=1552.52)
+
+    def test_negative_sample_count_rejected(self):
+        with pytest.raises(ValueError):
+            Laser().emit(-1)
+
+
+class TestCombLaser:
+    def test_line_count_and_spacing(self):
+        comb = CombLaser(num_lines=4, start_nm=1540.0, spacing_nm=1.0)
+        assert comb.wavelengths == (1540.0, 1541.0, 1542.0, 1543.0)
+
+    def test_default_24_lines_fit_c_band(self):
+        comb = CombLaser()
+        assert len(comb.wavelengths) == 24
+        field = comb.emit(3)
+        assert len(field) == 24
+        assert field.num_samples == 3
+
+    def test_comb_exceeding_band_rejected(self):
+        with pytest.raises(ValueError, match="C-band"):
+            CombLaser(num_lines=100, start_nm=1540.0, spacing_nm=1.0)
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ValueError, match="spacing"):
+            CombLaser(spacing_nm=0.0)
+
+
+class TestMachZehnderModulator:
+    def test_transmission_zero_at_extinction_bias(self):
+        mod = MachZehnderModulator(v_pi=5.0)
+        assert mod.transmission(0.0) == pytest.approx(0.0)
+
+    def test_transmission_full_at_half_wave(self):
+        mod = MachZehnderModulator(v_pi=5.0)
+        assert mod.transmission(5.0) == pytest.approx(1.0)
+
+    def test_transfer_is_sine_squared(self):
+        mod = MachZehnderModulator(v_pi=5.0)
+        volts = np.linspace(0, 5, 11)
+        expected = np.sin(np.pi / 2 * volts / 5.0) ** 2
+        assert np.allclose(mod.transmission(volts), expected)
+
+    def test_extinction_residual_floor(self):
+        mod = MachZehnderModulator(extinction_residual=0.01)
+        assert mod.transmission(0.0) == pytest.approx(0.01)
+        assert mod.transmission(mod.v_pi) == pytest.approx(1.0)
+
+    def test_bias_shifts_operating_point(self):
+        mod = MachZehnderModulator(v_pi=5.0, bias_voltage=5.0)
+        assert mod.transmission(0.0) == pytest.approx(1.0)
+
+    def test_modulate_scales_all_wavelengths(self):
+        mod = MachZehnderModulator(v_pi=5.0)
+        field = OpticalField(
+            {1544.0: np.ones(2), 1552.0: np.full(2, 0.5)}
+        )
+        out = mod.modulate(field, np.array([5.0, 2.5]))
+        t = mod.transmission(np.array([5.0, 2.5]))
+        assert np.allclose(out.channel(1544.0), t)
+        assert np.allclose(out.channel(1552.0), 0.5 * t)
+
+    def test_modulate_length_mismatch_rejected(self):
+        mod = MachZehnderModulator()
+        field = OpticalField({1550.0: np.ones(3)})
+        with pytest.raises(ValueError, match="samples"):
+            mod.modulate(field, np.ones(2))
+
+    def test_cascaded_modulators_multiply(self):
+        # The §2.1 primitive: two cascaded MZMs multiply transmissions.
+        mod1 = MachZehnderModulator(v_pi=5.0)
+        mod2 = MachZehnderModulator(v_pi=5.0)
+        carrier = Laser(wavelength_nm=1550.0).emit(1)
+        once = mod1.modulate(carrier, np.array([2.0]))
+        twice = mod2.modulate(once, np.array([3.0]))
+        expected = mod1.transmission(2.0) * mod2.transmission(3.0)
+        assert twice.channel(1550.0)[0] == pytest.approx(float(expected))
+
+    @given(volts=st.floats(-20, 20))
+    def test_transmission_bounded(self, volts):
+        mod = MachZehnderModulator(v_pi=5.0)
+        t = float(mod.transmission(volts))
+        assert 0.0 <= t <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MachZehnderModulator(v_pi=0.0)
+        with pytest.raises(ValueError):
+            MachZehnderModulator(extinction_residual=1.0)
+        with pytest.raises(ValueError):
+            MachZehnderModulator(bandwidth_ghz=0.0)
+
+
+class TestPhotodetector:
+    def test_detect_is_linear_in_intensity(self):
+        pd = Photodetector(responsivity=2.0)
+        field = OpticalField({1550.0: np.array([0.0, 0.5, 1.0])})
+        assert np.allclose(pd.detect(field), [0.0, 1.0, 2.0])
+
+    def test_detect_sums_wavelengths(self):
+        # Einstein's photoelectric effect: incoherent power summation.
+        pd = Photodetector()
+        field = OpticalField(
+            {1544.0: np.array([0.3]), 1552.0: np.array([0.4])}
+        )
+        assert pd.detect(field)[0] == pytest.approx(0.7)
+
+    def test_integrating_detection_accumulates_windows(self):
+        pd = Photodetector()
+        field = OpticalField({1550.0: np.array([0.1, 0.2, 0.3, 0.4])})
+        out = pd.detect_integrated(field, integration_samples=2)
+        assert np.allclose(out, [0.3, 0.7])
+
+    def test_integration_window_must_divide(self):
+        pd = Photodetector()
+        field = OpticalField({1550.0: np.ones(5)})
+        with pytest.raises(ValueError, match="windows"):
+            pd.detect_integrated(field, integration_samples=2)
+
+    def test_dark_level_offset(self):
+        pd = Photodetector(dark_level=0.05)
+        field = OpticalField({1550.0: np.zeros(1)})
+        assert pd.detect(field)[0] == pytest.approx(0.05)
+
+
+class TestWDMComponents:
+    def test_mux_combines_disjoint_wavelengths(self):
+        mux = WDMMultiplexer()
+        a = OpticalField({1544.0: np.ones(2)})
+        b = OpticalField({1552.0: np.full(2, 0.5)})
+        combined = mux.combine(a, b)
+        assert combined.wavelengths == (1544.0, 1552.0)
+
+    def test_mux_rejects_wavelength_collision(self):
+        mux = WDMMultiplexer()
+        a = OpticalField({1550.0: np.ones(1)})
+        b = OpticalField({1550.0: np.ones(1)})
+        with pytest.raises(ValueError, match="collision"):
+            mux.combine(a, b)
+
+    def test_demux_separates_channels(self):
+        demux = WDMDemultiplexer()
+        field = OpticalField(
+            {1544.0: np.array([0.1]), 1552.0: np.array([0.9])}
+        )
+        split = demux.split(field)
+        assert set(split) == {1544.0, 1552.0}
+        assert split[1544.0].channel(1544.0)[0] == pytest.approx(0.1)
+
+    def test_demux_select_subset(self):
+        demux = WDMDemultiplexer()
+        field = OpticalField(
+            {w: np.ones(1) for w in (1540.0, 1541.0, 1542.0)}
+        )
+        chosen = demux.select(field, [1540.0, 1542.0])
+        assert chosen.wavelengths == (1540.0, 1542.0)
+
+    def test_mux_demux_round_trip(self):
+        mux, demux = WDMMultiplexer(), WDMDemultiplexer()
+        fields = [
+            OpticalField({1540.0 + i: np.full(3, 0.1 * (i + 1))})
+            for i in range(4)
+        ]
+        recovered = demux.split(mux.combine(*fields))
+        for i in range(4):
+            w = 1540.0 + i
+            assert np.allclose(recovered[w].channel(w), 0.1 * (i + 1))
+
+
+class TestOpticalSplitter:
+    def test_lossless_broadcast_keeps_power(self):
+        splitter = OpticalSplitter(num_outputs=3, lossless=True)
+        outs = splitter.split(OpticalField({1550.0: np.ones(2)}))
+        assert len(outs) == 3
+        for out in outs:
+            assert np.allclose(out.channel(1550.0), 1.0)
+
+    def test_passive_split_divides_power(self):
+        splitter = OpticalSplitter(num_outputs=4, lossless=False)
+        outs = splitter.split(OpticalField({1550.0: np.ones(1)}))
+        assert outs[0].channel(1550.0)[0] == pytest.approx(0.25)
+
+    def test_excess_loss_applied(self):
+        splitter = OpticalSplitter(
+            num_outputs=2, lossless=True, excess_loss=0.9
+        )
+        outs = splitter.split(OpticalField({1550.0: np.ones(1)}))
+        assert outs[0].channel(1550.0)[0] == pytest.approx(0.9)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalSplitter(num_outputs=0)
+        with pytest.raises(ValueError):
+            OpticalSplitter(excess_loss=0.0)

@@ -1,0 +1,141 @@
+"""Tests for the analog noise models (§7, Figure 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics import (
+    PROTOTYPE_NOISE_MEAN,
+    PROTOTYPE_NOISE_STD,
+    CompositeNoise,
+    GaussianNoise,
+    NoiselessModel,
+    ShotNoise,
+    ThermalNoise,
+    fit_gaussian,
+)
+
+
+class TestGaussianNoise:
+    def test_defaults_match_prototype_fit(self):
+        noise = GaussianNoise()
+        assert noise.mean == PROTOTYPE_NOISE_MEAN == 2.32
+        assert noise.std == PROTOTYPE_NOISE_STD == 1.65
+
+    def test_relative_std_is_paper_percentage(self):
+        # 1.65 / 255 = 0.647 % — the paper's "0.65% out of 255".
+        assert GaussianNoise().relative_std == pytest.approx(0.00647, abs=1e-4)
+
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(0)
+        draws = GaussianNoise().sample(200_000, rng)
+        assert draws.mean() == pytest.approx(2.32, abs=0.02)
+        assert draws.std() == pytest.approx(1.65, abs=0.02)
+
+    def test_apply_adds_noise(self):
+        rng = np.random.default_rng(0)
+        clean = np.full(10_000, 100.0)
+        noisy = GaussianNoise().apply(clean, rng)
+        assert noisy.mean() == pytest.approx(102.32, abs=0.1)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(std=-1.0)
+
+    def test_zero_std_is_deterministic_offset(self):
+        rng = np.random.default_rng(0)
+        noisy = GaussianNoise(mean=5.0, std=0.0).apply(np.zeros(4), rng)
+        assert np.allclose(noisy, 5.0)
+
+
+class TestNoiselessModel:
+    def test_apply_is_identity(self):
+        rng = np.random.default_rng(0)
+        clean = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(NoiselessModel().apply(clean, rng), clean)
+
+    def test_apply_copies(self):
+        rng = np.random.default_rng(0)
+        clean = np.ones(3)
+        out = NoiselessModel().apply(clean, rng)
+        out[0] = 99.0
+        assert clean[0] == 1.0
+
+
+class TestShotNoise:
+    def test_variance_grows_with_signal(self):
+        rng = np.random.default_rng(0)
+        noise = ShotNoise(scale=4.0)
+        dim = 50_000
+        low = noise.apply(np.full(dim, 10.0), rng) - 10.0
+        high = noise.apply(np.full(dim, 250.0), rng) - 250.0
+        assert high.std() > 2 * low.std()
+
+    def test_zero_signal_noise_free(self):
+        rng = np.random.default_rng(0)
+        out = ShotNoise(scale=2.0).apply(np.zeros(100), rng)
+        assert np.allclose(out, 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ShotNoise(scale=-1.0)
+
+
+class TestThermalNoise:
+    def test_signal_independent(self):
+        rng = np.random.default_rng(0)
+        noise = ThermalNoise(std=2.0)
+        dim = 50_000
+        low = noise.apply(np.zeros(dim), rng)
+        high = noise.apply(np.full(dim, 250.0), rng) - 250.0
+        assert low.std() == pytest.approx(high.std(), rel=0.05)
+
+
+class TestCompositeNoise:
+    def test_variances_add(self):
+        rng = np.random.default_rng(0)
+        combo = CompositeNoise(ThermalNoise(std=3.0), ThermalNoise(std=4.0))
+        draws = combo.sample(100_000, rng)
+        assert draws.std() == pytest.approx(5.0, rel=0.02)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeNoise()
+
+    def test_shot_plus_thermal_is_prototype_shape(self):
+        # The prototype's Gaussian fit is the composite of shot and
+        # thermal noise (§7); their sum should still look Gaussian.
+        rng = np.random.default_rng(0)
+        combo = CompositeNoise(ShotNoise(scale=1.0), ThermalNoise(std=1.3))
+        out = combo.apply(np.full(100_000, 127.0), rng) - 127.0
+        mean, std = fit_gaussian(out)
+        assert abs(mean) < 0.05
+        assert 1.0 < std < 2.5
+
+
+class TestFitGaussian:
+    def test_recovers_parameters(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(2.32, 1.65, 100_000)
+        mean, std = fit_gaussian(samples)
+        assert mean == pytest.approx(2.32, abs=0.02)
+        assert std == pytest.approx(1.65, abs=0.02)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gaussian(np.array([1.0]))
+
+    @given(
+        mean=st.floats(-5, 5),
+        std=st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fit_is_consistent(self, mean, std):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(mean, std, 20_000)
+        got_mean, got_std = fit_gaussian(samples)
+        assert got_mean == pytest.approx(mean, abs=0.1)
+        assert got_std == pytest.approx(std, rel=0.1)

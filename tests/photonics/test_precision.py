@@ -1,0 +1,147 @@
+"""Tests for beyond-8-bit precision composition (§10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics import (
+    BehavioralCore,
+    GaussianNoise,
+    HighPrecisionCore,
+    NoiselessModel,
+    chunk_decompose,
+)
+
+
+class TestChunkDecompose:
+    def test_single_chunk_is_8bit_quantization(self):
+        values = np.array([1.0, 0.5, -1.0])
+        digits, signs, scale = chunk_decompose(values, 1)
+        assert scale == 1.0
+        assert np.array_equal(signs, [1.0, 1.0, -1.0])
+        assert digits[0, 0] == 255  # clamped leading digit
+        assert digits[0, 2] == 255
+
+    def test_reconstruction_improves_with_chunks(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        errors = []
+        for chunks in (1, 2, 3):
+            digits, signs, scale = chunk_decompose(values, chunks)
+            weights = 256.0 ** -(np.arange(chunks) + 1)
+            recon = signs * scale * np.tensordot(weights, digits, axes=1)
+            errors.append(np.abs(recon - values).max())
+        assert errors[1] < errors[0] / 50
+        assert errors[2] < errors[1] / 50
+
+    def test_digits_in_8bit_range(self):
+        rng = np.random.default_rng(1)
+        digits, _, _ = chunk_decompose(rng.normal(size=50), 4)
+        assert digits.min() >= 0
+        assert digits.max() <= 255
+        assert np.all(digits == np.round(digits))
+
+    def test_zero_tensor(self):
+        digits, signs, scale = chunk_decompose(np.zeros(3), 2)
+        assert np.all(digits == 0)
+        assert scale == 1.0
+
+    def test_invalid_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_decompose(np.ones(2), 0)
+
+
+class TestHighPrecisionCore:
+    def test_precision_scales_with_chunks(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 64))
+        b = rng.normal(size=(64, 4))
+        errors = {
+            chunks: HighPrecisionCore(num_chunks=chunks).quantization_error(
+                a, b
+            )
+            for chunks in (1, 2, 4)
+        }
+        # Each extra chunk buys ~2 more decimal digits of precision.
+        assert errors[2] < errors[1] / 100
+        assert errors[4] < errors[2] / 100
+
+    def test_16bit_dot_accuracy(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=128)
+        b = rng.normal(size=128)
+        core = HighPrecisionCore(num_chunks=2)
+        assert core.dot(a, b) == pytest.approx(float(a @ b), rel=1e-3)
+
+    def test_partial_product_count(self):
+        assert HighPrecisionCore(num_chunks=2).num_partial_products == 4
+        assert HighPrecisionCore(num_chunks=4).num_partial_products == 16
+        assert HighPrecisionCore(num_chunks=2).effective_bits == 16
+
+    def test_signed_operands(self):
+        a = np.array([[-0.5, 0.25]])
+        b = np.array([[0.5], [-0.25]])
+        core = HighPrecisionCore(num_chunks=2)
+        assert core.matmul(a, b)[0, 0] == pytest.approx(
+            -0.3125, rel=1e-3
+        )
+
+    def test_noisy_cores_still_converge_in_expectation(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, size=(400, 16))
+        b = rng.uniform(0, 1, size=(16, 1))
+        noisy = HighPrecisionCore(
+            num_chunks=2,
+            cores=[
+                BehavioralCore(noise=GaussianNoise(), seed=i)
+                for i in range(2)
+            ],
+        )
+        exact = a @ b
+        errors = noisy.matmul(a, b) - exact
+        assert abs(errors.mean()) < 0.02 * np.abs(exact).mean()
+
+    def test_round_robin_core_dispatch(self):
+        calls = []
+
+        class SpyCore(BehavioralCore):
+            def __init__(self, tag):
+                super().__init__(noise=NoiselessModel())
+                self.tag = tag
+
+            def matmul(self, a, b):
+                calls.append(self.tag)
+                return super().matmul(a, b)
+
+        core = HighPrecisionCore(
+            num_chunks=2, cores=[SpyCore("x"), SpyCore("y")]
+        )
+        core.matmul(np.ones((1, 2)), np.ones((2, 1)))
+        assert calls == ["x", "y", "x", "y"]
+
+    def test_dot_shape_validation(self):
+        core = HighPrecisionCore()
+        with pytest.raises(ValueError, match="equal length"):
+            core.dot(np.ones(3), np.ones(2))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HighPrecisionCore(num_chunks=0)
+        with pytest.raises(ValueError):
+            HighPrecisionCore(cores=[])
+
+    @given(
+        seed=st.integers(0, 50),
+        length=st.integers(2, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_16bit_always_beats_8bit_property(self, seed, length):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(4, length))
+        b = rng.normal(size=(length, 2))
+        err8 = HighPrecisionCore(num_chunks=1).quantization_error(a, b)
+        err16 = HighPrecisionCore(num_chunks=2).quantization_error(a, b)
+        assert err16 <= err8 + 1e-12

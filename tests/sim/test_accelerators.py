@@ -1,0 +1,147 @@
+"""Tests for the accelerator performance models (Tables 3 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn import SIMULATION_MODELS, alexnet_spec, gpt2_xl_spec
+from repro.sim import (
+    A100_DATAPATH_SECONDS,
+    AcceleratorSpec,
+    a100_gpu,
+    a100x_dpu,
+    brainwave,
+    lightning_chip,
+    p4_gpu,
+)
+
+
+class TestTable3Reproduction:
+    """Table 3's per-MAC energy, row by row."""
+
+    def test_lightning_energy_per_mac(self):
+        assert lightning_chip().energy_per_mac_joules == pytest.approx(
+            1.634e-12, rel=0.01
+        )
+
+    def test_p4_energy_per_mac(self):
+        assert p4_gpu().energy_per_mac_joules == pytest.approx(
+            26.299e-12, rel=0.01
+        )
+
+    def test_a100_energy_per_mac(self):
+        assert a100_gpu().energy_per_mac_joules == pytest.approx(
+            25.652e-12, rel=0.01
+        )
+
+    def test_a100x_energy_per_mac(self):
+        assert a100x_dpu().energy_per_mac_joules == pytest.approx(
+            30.782e-12, rel=0.01
+        )
+
+    def test_brainwave_energy_per_mac(self):
+        assert brainwave().energy_per_mac_joules == pytest.approx(
+            5.208e-12, rel=0.01
+        )
+
+    def test_lightning_savings_factors(self):
+        """The Table 3 bottom row: 16.09x / 15.69x / 18.83x / 3.19x."""
+        lt = lightning_chip().energy_per_mac_joules
+        assert p4_gpu().energy_per_mac_joules / lt == pytest.approx(
+            16.09, rel=0.01
+        )
+        assert a100_gpu().energy_per_mac_joules / lt == pytest.approx(
+            15.69, rel=0.01
+        )
+        assert a100x_dpu().energy_per_mac_joules / lt == pytest.approx(
+            18.83, rel=0.01
+        )
+        assert brainwave().energy_per_mac_joules / lt == pytest.approx(
+            3.19, rel=0.01
+        )
+
+    def test_single_unit_powers(self):
+        assert lightning_chip().power_per_mac_unit_watts == pytest.approx(
+            0.1585, abs=1e-3
+        )
+        assert brainwave().power_per_mac_unit_watts == pytest.approx(
+            0.0013, abs=1e-4
+        )
+
+
+class TestDatapathLatency:
+    def test_lightning_scales_with_depth(self):
+        lt = lightning_chip()
+        assert lt.datapath_seconds(alexnet_spec()) == pytest.approx(
+            1.544e-6, rel=0.01
+        )
+        assert lt.datapath_seconds(gpt2_xl_spec()) == pytest.approx(
+            65.234e-6, rel=0.01
+        )
+
+    def test_a100_uses_measured_table(self):
+        gpu = a100_gpu()
+        for spec in SIMULATION_MODELS():
+            assert gpu.datapath_seconds(spec) == A100_DATAPATH_SECONDS[
+                spec.name
+            ]
+
+    def test_smartnics_have_zero_datapath(self):
+        for acc in (a100x_dpu(), brainwave()):
+            for spec in SIMULATION_MODELS():
+                assert acc.datapath_seconds(spec) == 0.0
+
+    def test_unknown_model_in_table_rejected(self):
+        gpu = a100_gpu()
+        from repro.dnn.model import LayerSpec, ModelSpec
+
+        ghost = ModelSpec(
+            name="Ghost",
+            layers=(LayerSpec("l", 10, 10),),
+            model_bytes=1,
+            query_bytes=1,
+        )
+        with pytest.raises(KeyError, match="Ghost"):
+            gpu.datapath_seconds(ghost)
+
+
+class TestComputeModel:
+    def test_lightning_peak_throughput(self):
+        # 576 MACs x 97 GHz = 55.87 TMAC/s.
+        assert lightning_chip().macs_per_second == pytest.approx(
+            576 * 97e9
+        )
+
+    def test_lightning_compute_beats_all_digital(self):
+        lt = lightning_chip()
+        for acc in (p4_gpu(), a100_gpu(), a100x_dpu(), brainwave()):
+            assert lt.macs_per_second > acc.macs_per_second
+
+    def test_brainwave_is_fastest_digital(self):
+        bw = brainwave()
+        for acc in (p4_gpu(), a100_gpu(), a100x_dpu()):
+            assert bw.macs_per_second > acc.macs_per_second
+
+    def test_compute_seconds_linear_in_macs(self):
+        lt = lightning_chip()
+        assert lt.compute_seconds(gpt2_xl_spec()) > lt.compute_seconds(
+            alexnet_spec()
+        )
+
+    def test_service_is_datapath_plus_compute(self):
+        lt = lightning_chip()
+        spec = alexnet_spec()
+        assert lt.service_seconds(spec) == pytest.approx(
+            lt.datapath_seconds(spec) + lt.compute_seconds(spec)
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("x", mac_units=0, clock_hz=1e9, power_watts=1)
+        with pytest.raises(ValueError):
+            AcceleratorSpec("x", mac_units=1, clock_hz=0, power_watts=1)
+        with pytest.raises(ValueError):
+            AcceleratorSpec(
+                "x", mac_units=1, clock_hz=1e9, power_watts=1,
+                datapath_kind="magic",
+            )

@@ -1,0 +1,226 @@
+"""Tests for the event-driven serving simulator and the stop-and-go
+baseline (§3, §9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnn import SIMULATION_MODELS, alexnet_spec
+from repro.dnn.model import LayerSpec, ModelSpec
+from repro.sim import (
+    EventDrivenSimulator,
+    PoissonWorkload,
+    RoundRobinScheduler,
+    StopAndGoSystem,
+    a100_gpu,
+    a100x_dpu,
+    brainwave,
+    lightning_chip,
+    rate_for_utilization,
+    run_comparison,
+)
+from repro.sim.workload import SimRequest
+
+
+def tiny_model(macs=1_000_000, name="Tiny"):
+    return ModelSpec(
+        name=name,
+        layers=(LayerSpec("l1", macs, macs),),
+        model_bytes=1024,
+        query_bytes=128,
+    )
+
+
+class TestRoundRobinScheduler:
+    def test_cycles_through_cores(self):
+        sched = RoundRobinScheduler(num_cores=3)
+        req = SimRequest(0, tiny_model(), 0.0)
+        assert [sched.assign(req) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_reset(self):
+        sched = RoundRobinScheduler(num_cores=2)
+        sched.assign(SimRequest(0, tiny_model(), 0.0))
+        sched.reset()
+        assert sched.assign(SimRequest(1, tiny_model(), 0.0)) == 0
+
+
+class TestEventDrivenSimulator:
+    def test_uncontended_request_has_no_queuing(self):
+        acc = lightning_chip()
+        sim = EventDrivenSimulator(acc)
+        result = sim.run([SimRequest(0, alexnet_spec(), 0.0)])
+        record = result.records[0]
+        assert record.queuing_s == 0.0
+        assert record.serve_time_s == pytest.approx(
+            acc.service_seconds(alexnet_spec())
+        )
+
+    def test_back_to_back_requests_queue(self):
+        acc = lightning_chip()
+        model = alexnet_spec()
+        trace = [
+            SimRequest(0, model, 0.0),
+            SimRequest(1, model, 0.0),
+        ]
+        result = EventDrivenSimulator(acc).run(trace)
+        assert result.records[0].queuing_s == 0.0
+        assert result.records[1].queuing_s > 0.0
+
+    def test_fifo_order_preserved(self):
+        acc = lightning_chip()
+        model = alexnet_spec()
+        trace = [SimRequest(i, model, i * 1e-9) for i in range(5)]
+        result = EventDrivenSimulator(acc).run(trace)
+        finishes = [r.finish_s for r in result.records]
+        assert finishes == sorted(finishes)
+
+    def test_multicore_parallelism_reduces_queuing(self):
+        model = tiny_model()
+        trace = [SimRequest(i, model, 0.0) for i in range(8)]
+        single = EventDrivenSimulator(lightning_chip()).run(trace)
+        multi = EventDrivenSimulator(
+            lightning_chip(), RoundRobinScheduler(num_cores=4)
+        ).run(trace)
+        assert multi.mean_serve_time() < single.mean_serve_time()
+
+    def test_utilization_reported(self):
+        models = SIMULATION_MODELS()
+        acc = a100x_dpu()
+        rate = rate_for_utilization([acc], models, 0.9)
+        trace = PoissonWorkload(models, rate, seed=0).trace(2000)
+        result = EventDrivenSimulator(acc).run(trace)
+        assert result.utilization() == pytest.approx(0.9, abs=0.08)
+
+    def test_mean_serve_time_per_model(self):
+        models = [tiny_model(10**6, "A"), tiny_model(10**9, "B")]
+        trace = [
+            SimRequest(0, models[0], 0.0),
+            SimRequest(1, models[1], 1.0),
+        ]
+        result = EventDrivenSimulator(lightning_chip()).run(trace)
+        assert result.mean_serve_time("B") > result.mean_serve_time("A")
+        with pytest.raises(ValueError, match="no records"):
+            result.mean_serve_time("C")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            EventDrivenSimulator(lightning_chip()).run([])
+
+    def test_energy_components(self):
+        acc = a100_gpu()
+        result = EventDrivenSimulator(acc).run(
+            [SimRequest(0, alexnet_spec(), 0.0)]
+        )
+        record = result.records[0]
+        expected = (
+            record.compute_s * acc.power_watts
+            + record.datapath_s * acc.nic_power_watts
+        )
+        assert record.energy_joules(acc) == pytest.approx(expected)
+
+    def test_lightning_datapath_energy_at_chip_power(self):
+        acc = lightning_chip()
+        result = EventDrivenSimulator(acc).run(
+            [SimRequest(0, alexnet_spec(), 0.0)]
+        )
+        record = result.records[0]
+        expected = (
+            record.compute_s + record.datapath_s
+        ) * acc.power_watts
+        assert record.energy_joules(acc) == pytest.approx(expected)
+
+    def test_queued_requests_pay_dram_energy(self):
+        acc = lightning_chip()
+        model = alexnet_spec()
+        trace = [SimRequest(i, model, 0.0) for i in range(3)]
+        result = EventDrivenSimulator(acc).run(trace)
+        queued = result.records[-1]
+        unqueued_energy = (
+            queued.compute_s + queued.datapath_s
+        ) * acc.power_watts
+        assert queued.energy_joules(acc) > unqueued_energy
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_comparison(
+            SIMULATION_MODELS(),
+            [a100_gpu(), a100x_dpu(), brainwave()],
+            lightning_chip(),
+            utilization=0.98,
+            num_requests=600,
+            num_traces=2,
+            seed=0,
+        )
+
+    def test_fig21_speedup_shape(self, report):
+        """The headline: hundreds of x vs GPUs/DPUs, tens vs Brainwave."""
+        a100 = report.average_speedup("A100 GPU")
+        a100x = report.average_speedup("A100X DPU")
+        bw = report.average_speedup("Brainwave")
+        assert 100 < a100 < 1000  # paper: 337x
+        assert 100 < a100x < 1000  # paper: 329x
+        assert 10 < bw < 100  # paper: 42x
+        assert bw < min(a100, a100x)
+
+    def test_a100_slightly_above_a100x(self, report):
+        # Same compute, but the GPU also pays the Triton datapath.
+        assert report.average_speedup("A100 GPU") > report.average_speedup(
+            "A100X DPU"
+        )
+
+    def test_fig22_energy_savings_shape(self, report):
+        for platform in ("A100 GPU", "A100X DPU", "Brainwave"):
+            assert report.average_energy_savings(platform) > 1.0
+        assert report.average_energy_savings(
+            "Brainwave"
+        ) < report.average_energy_savings("A100 GPU")
+
+    def test_every_model_covered(self, report):
+        for per_model in report.speedups.values():
+            assert len(per_model) == 7
+            assert all(v > 1.0 for v in per_model.values())
+
+
+class TestStopAndGo:
+    def test_five_orders_of_magnitude_slower(self):
+        """Figure 4's gap: the stop-and-go pipeline is ~1e5x slower than
+        Lightning end-to-end."""
+        system = StopAndGoSystem(jitter_sigma=0.0)
+        model = alexnet_spec()
+        stop_and_go = system.inference_latency_seconds(model)
+        lt = lightning_chip()
+        lightning = lt.service_seconds(model)
+        assert stop_and_go / lightning > 1e4
+
+    def test_per_layer_overhead_dominates(self):
+        system = StopAndGoSystem(jitter_sigma=0.0)
+        latency = system.layer_latency_seconds(1000)
+        overhead = (
+            system.awg_arm_seconds
+            + system.digitizer_read_seconds
+            + system.software_step_seconds
+        )
+        assert latency == pytest.approx(overhead, rel=0.01)
+
+    def test_jitter_produces_spread(self):
+        system = StopAndGoSystem()
+        samples = system.latency_samples(alexnet_spec(), 50, seed=0)
+        assert samples.std() > 0
+        assert len(samples) == 50
+
+    def test_deterministic_without_rng(self):
+        system = StopAndGoSystem()
+        a = system.inference_latency_seconds(alexnet_spec())
+        b = system.inference_latency_seconds(alexnet_spec())
+        assert a == b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StopAndGoSystem(link_gbps=0)
+        with pytest.raises(ValueError):
+            StopAndGoSystem(num_wavelengths=0)
+        with pytest.raises(ValueError):
+            StopAndGoSystem().layer_latency_seconds(-1)

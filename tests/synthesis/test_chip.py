@@ -1,0 +1,171 @@
+"""Tests for the ASIC synthesis model (§8, Tables 1-2, §10 cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.photonics import CoreArchitecture
+from repro.synthesis import (
+    DATAPATH_65NM,
+    SCALE_65NM_TO_7NM,
+    ChipComponent,
+    CostModel,
+    DatapathSynthesis,
+    LightningChip,
+    TechnologyScaling,
+)
+
+
+class TestTable1:
+    """The 65 nm datapath synthesis for one photonic MAC."""
+
+    def test_module_areas(self):
+        by_name = {m.name: m for m in DATAPATH_65NM}
+        assert by_name["Packet I/O"].unit_area_mm2 == 0.08
+        assert by_name["Memory controller"].unit_area_mm2 == 0.12
+        assert by_name["Count-action modules"].unit_area_mm2 == 1.26
+
+    def test_total_area_146mm2(self):
+        assert DatapathSynthesis().total_area_mm2 == pytest.approx(1.46)
+
+    def test_total_power_257mw(self):
+        assert DatapathSynthesis().total_power_watts == pytest.approx(0.257)
+
+    def test_count_action_dominates(self):
+        # The count-action modules are the bulk of the datapath (Table 1).
+        syn = DatapathSynthesis()
+        ca = next(
+            m for m in syn.modules if m.name == "Count-action modules"
+        )
+        assert ca.total_area_mm2 / syn.total_area_mm2 > 0.8
+
+    def test_rows_include_total(self):
+        rows = DatapathSynthesis().rows()
+        assert rows[-1][0] == "Total"
+        assert len(rows) == 4
+
+
+class TestTechnologyScaling:
+    def test_paper_factors(self):
+        assert SCALE_65NM_TO_7NM.area_factor == 9.3
+        assert SCALE_65NM_TO_7NM.power_factor == 3.6
+
+    def test_scaled_component(self):
+        comp = ChipComponent("x", unit_area_mm2=9.3, unit_power_watts=3.6)
+        scaled = comp.scaled(SCALE_65NM_TO_7NM, count=10)
+        assert scaled.unit_area_mm2 == pytest.approx(1.0)
+        assert scaled.unit_power_watts == pytest.approx(1.0)
+        assert scaled.count == 10
+
+    def test_invalid_scaling_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyScaling(65, 7, area_factor=0, power_factor=1)
+
+
+class TestTable2:
+    """The full 576-MAC chip rollup."""
+
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return LightningChip()
+
+    def test_device_counts_derive_from_architecture(self, chip):
+        assert chip.macs_per_step == 576
+        assert chip.num_modulators == 600
+        assert chip.num_photodetectors == 24
+        assert chip.num_dacs == 600
+        assert chip.num_adcs == 24
+
+    def test_digital_area_and_power(self, chip):
+        assert chip.digital_area_mm2 == pytest.approx(528.8, abs=1.0)
+        assert chip.digital_power_watts == pytest.approx(91.317, abs=0.05)
+
+    def test_photonic_area_and_power(self, chip):
+        assert chip.photonic_area_mm2 == pytest.approx(1500.01, abs=0.01)
+        assert chip.photonic_power_watts == pytest.approx(
+            2.23e-3, rel=0.01
+        )
+
+    def test_chip_totals(self, chip):
+        assert chip.total_area_mm2 == pytest.approx(2028.8, abs=1.0)
+        assert chip.total_power_watts == pytest.approx(91.319, abs=0.05)
+
+    def test_comparisons_match_paper(self, chip):
+        assert chip.area_vs_stratix10 == pytest.approx(2.55, abs=0.01)
+        assert chip.power_vs_brainwave == pytest.approx(1.37, abs=0.01)
+        assert chip.power_vs_a100x == pytest.approx(3.29, abs=0.01)
+
+    def test_energy_per_mac(self, chip):
+        assert chip.energy_per_mac_joules() == pytest.approx(
+            1.634e-12, rel=0.01
+        )
+
+    def test_table2_rows_cover_all_components(self, chip):
+        rows = chip.table2_rows()
+        names = {r[1] for r in rows}
+        assert names == {
+            "Packet I/O", "Memory controller", "Count-action modules",
+            "HBM2", "DAC", "ADC", "Modulator", "Photodetector", "Laser",
+        }
+
+    def test_smaller_architecture_scales_down(self):
+        small = LightningChip(
+            architecture=CoreArchitecture(
+                accumulation_wavelengths=4, parallel_modulations=4
+            )
+        )
+        big = LightningChip()
+        assert small.total_area_mm2 < big.total_area_mm2
+        assert small.total_power_watts < big.total_power_watts
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            ChipComponent("x", unit_area_mm2=-1, unit_power_watts=0)
+        with pytest.raises(ValueError):
+            ChipComponent("x", 1, 1, count=0)
+        with pytest.raises(ValueError):
+            ChipComponent("x", 1, 1, domain="quantum")
+
+
+class TestCostModel:
+    """§10's cost estimate."""
+
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return CostModel().estimate(LightningChip())
+
+    def test_photonic_prototype_cost(self, estimate):
+        assert estimate.photonic_prototype_usd == pytest.approx(
+            25312.5, rel=0.01
+        )
+
+    def test_photonic_mass_production_cost(self, estimate):
+        assert estimate.photonic_mass_usd == pytest.approx(
+            2531.25, rel=0.01
+        )
+
+    def test_electronics_cost(self, estimate):
+        assert estimate.chips_per_wafer == 115
+        assert estimate.electronic_usd == pytest.approx(108.7, rel=0.01)
+
+    def test_total_smartnic_cost(self, estimate):
+        assert estimate.total_usd == pytest.approx(2639.95, rel=0.01)
+
+    def test_oversized_die_rejected(self):
+        huge = LightningChip(
+            architecture=CoreArchitecture(
+                accumulation_wavelengths=24,
+                parallel_modulations=24,
+                batch_size=2000,
+            )
+        )
+        with pytest.raises(ValueError, match="does not fit"):
+            CostModel().estimate(huge)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(mpw_batch_usd=0)
+        with pytest.raises(ValueError):
+            CostModel(yield_fraction=0)
+        with pytest.raises(ValueError):
+            CostModel(mass_production_discount=0.5)

@@ -1,0 +1,104 @@
+"""API quality gates: documentation and export hygiene.
+
+A library a downstream user adopts needs every public item documented
+and every advertised export importable; these tests enforce both across
+the whole package.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps",
+    "repro.core",
+    "repro.devkit",
+    "repro.dnn",
+    "repro.emulation",
+    "repro.net",
+    "repro.photonics",
+    "repro.sim",
+    "repro.synthesis",
+]
+
+
+def iter_public_objects():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            yield module_name, name, getattr(module, name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+def test_every_public_class_and_function_documented():
+    undocumented = []
+    for module_name, name, obj in iter_public_objects():
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def _documented_in_mro(cls, method_name: str) -> bool:
+    """True when any class in the MRO documents ``method_name`` —
+    overrides inherit their contract from the documented base."""
+    for base in cls.__mro__:
+        method = base.__dict__.get(method_name)
+        doc = getattr(method, "__doc__", None)
+        if doc and doc.strip():
+            return True
+    return False
+
+
+def test_public_class_methods_documented():
+    """Every public method of every exported class has a docstring
+    (its own, or an inherited one on the overridden base method)."""
+    undocumented = []
+    for module_name, name, obj in iter_public_objects():
+        if not inspect.isclass(obj):
+            continue
+        for method_name, method in inspect.getmembers(
+            obj, inspect.isfunction
+        ):
+            if method_name.startswith("_"):
+                continue
+            # Only check methods defined in this package.
+            if "repro" not in (method.__module__ or ""):
+                continue
+            if not _documented_in_mro(obj, method_name):
+                undocumented.append(f"{module_name}.{name}.{method_name}")
+    assert not undocumented, f"missing docstrings: {sorted(set(undocumented))}"
+
+
+def test_all_submodules_importable():
+    """Every module file in the package imports cleanly."""
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        importlib.import_module(info.name)
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+    major = int(repro.__version__.split(".")[0])
+    assert major >= 1

@@ -1,0 +1,155 @@
+"""Tests for the beyond-ML photonic applications (Appendix G)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    HammingCode,
+    PhotonicDFT,
+    photonic_correlate,
+    photonic_moving_average,
+    photonic_syndrome,
+)
+from repro.photonics import BehavioralCore, GaussianNoise, NoiselessModel
+
+
+class TestPhotonicDFT:
+    def test_matches_numpy_fft(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=64)
+        dft = PhotonicDFT(64)
+        spectrum = dft.transform(signal)
+        reference = np.fft.fft(signal)
+        scale = np.abs(reference).max()
+        assert np.allclose(spectrum, reference, atol=0.02 * scale)
+
+    def test_pure_tone_lands_in_its_bin(self):
+        n = 32
+        tone = np.cos(2 * np.pi * 5 * np.arange(n) / n)
+        dft = PhotonicDFT(n)
+        assert dft.dominant_frequency(tone) == 5
+
+    def test_dominant_frequency_under_analog_noise(self):
+        n = 64
+        rng = np.random.default_rng(1)
+        tone = np.cos(2 * np.pi * 9 * np.arange(n) / n)
+        tone = tone + rng.normal(0, 0.2, n)
+        dft = PhotonicDFT(
+            n, core=BehavioralCore(noise=GaussianNoise(), seed=2)
+        )
+        assert dft.dominant_frequency(tone) == 9
+
+    def test_parseval_holds_approximately(self):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(size=32)
+        dft = PhotonicDFT(32)
+        spectral = dft.power_spectrum(signal).sum() / 32
+        temporal = float((signal**2).sum())
+        assert spectral == pytest.approx(temporal, rel=0.05)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="16-point"):
+            PhotonicDFT(16).transform(np.zeros(8))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicDFT(1)
+
+    @given(freq=st.integers(1, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_every_tone_detected_property(self, freq):
+        n = 32
+        tone = np.sin(2 * np.pi * freq * np.arange(n) / n)
+        assert PhotonicDFT(n).dominant_frequency(tone) == freq
+
+
+class TestPhotonicFIR:
+    def test_matches_numpy_correlate(self):
+        rng = np.random.default_rng(4)
+        signal = rng.normal(size=100)
+        kernel = rng.normal(size=7)
+        out = photonic_correlate(signal, kernel)
+        reference = np.correlate(signal, kernel, mode="valid")
+        scale = np.abs(reference).max()
+        assert np.allclose(out, reference, atol=0.02 * scale)
+
+    def test_moving_average_denoises(self):
+        rng = np.random.default_rng(5)
+        clean = np.sin(np.linspace(0, 4 * np.pi, 200))
+        noisy = clean + rng.normal(0, 0.4, 200)
+        smoothed = photonic_moving_average(noisy, window=9)
+        aligned = clean[4:-4]
+        assert np.abs(smoothed - aligned).mean() < np.abs(
+            noisy[4:-4] - aligned
+        ).mean()
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            photonic_correlate(np.ones(4), np.zeros(0))
+        with pytest.raises(ValueError, match="longer"):
+            photonic_correlate(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            photonic_moving_average(np.ones(4), 0)
+
+
+class TestHammingFEC:
+    def test_encode_known_vector(self):
+        code = HammingCode()
+        word = code.encode(np.array([1, 0, 1, 1]))
+        # Every valid codeword has a zero syndrome.
+        assert code.syndrome(word) == 0
+
+    def test_all_codewords_have_zero_syndrome(self):
+        code = HammingCode()
+        for value in range(16):
+            data = np.array([int(b) for b in f"{value:04b}"])
+            assert code.syndrome(code.encode(data)) == 0
+
+    def test_single_error_corrected_at_every_position(self):
+        code = HammingCode()
+        data = np.array([1, 1, 0, 1])
+        word = code.encode(data)
+        for position in range(7):
+            corrupted = word.copy()
+            corrupted[position] ^= 1
+            decoded, fixed = code.decode(corrupted)
+            assert fixed
+            assert np.array_equal(decoded, data), f"bit {position}"
+
+    def test_clean_word_not_corrected(self):
+        code = HammingCode()
+        data = np.array([0, 1, 1, 0])
+        decoded, fixed = code.decode(code.encode(data))
+        assert not fixed
+        assert np.array_equal(decoded, data)
+
+    def test_syndrome_robust_to_analog_noise(self):
+        code = HammingCode(core=BehavioralCore(seed=6))
+        data = np.array([1, 0, 0, 1])
+        word = code.encode(data)
+        word[3] ^= 1
+        decoded, fixed = code.decode(word)
+        assert fixed and np.array_equal(decoded, data)
+
+    def test_syndrome_validation(self):
+        with pytest.raises(ValueError, match="bits"):
+            photonic_syndrome(np.array([[2, 0]]), np.array([1, 0]))
+        with pytest.raises(ValueError, match="length"):
+            photonic_syndrome(np.eye(3), np.array([1, 0]))
+        with pytest.raises(ValueError, match="7-bit"):
+            HammingCode().decode(np.zeros(6))
+
+    @given(value=st.integers(0, 15), position=st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_correction_property(self, value, position):
+        code = HammingCode()
+        data = np.array([int(b) for b in f"{value:04b}"])
+        word = code.encode(data)
+        word[position] ^= 1
+        decoded, fixed = code.decode(word)
+        assert fixed
+        assert np.array_equal(decoded, data)

@@ -1,0 +1,113 @@
+"""Tests for the developer-kit Python API (Appendix G)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devkit import LightningDevKit
+from repro.photonics import NoiselessModel, PrototypeCore
+
+
+@pytest.fixture(scope="module")
+def kit():
+    return LightningDevKit(seed=1)
+
+
+@pytest.fixture(scope="module")
+def clean_kit():
+    return LightningDevKit(
+        core=PrototypeCore(noise=NoiselessModel(), seed=0)
+    )
+
+
+class TestBiasConfiguration:
+    def test_sweep_returns_full_range(self, kit):
+        result = kit.sweep_bias(lane=0, which="a")
+        assert result.bias_voltages[0] == -9.0
+        assert result.bias_voltages[-1] == 9.0
+
+    def test_lock_bias_finds_extinction_null(self, kit):
+        locked = kit.lock_bias()
+        # Two lanes x two modulators, all locked at the 0 V null.
+        assert len(locked) == 4
+        assert all(abs(v) < 0.2 for v in locked.values())
+
+    def test_invalid_lane_rejected(self, kit):
+        with pytest.raises(IndexError, match="lane 5"):
+            kit.sweep_bias(lane=5)
+
+
+class TestPhotonicCompute:
+    def test_figure27_session(self, kit):
+        """The Appendix G example: 0.85*0.26 + 0.50*0.93 = 0.686."""
+        result = kit.mac([0.85, 0.50], [0.26, 0.93])
+        assert result == pytest.approx(0.686, abs=0.05)
+
+    def test_multiply_normalized(self, clean_kit):
+        out = clean_kit.multiply([0.6], [0.85])
+        assert out[0] == pytest.approx(0.51, abs=0.01)
+
+    def test_values_must_be_normalized(self, kit):
+        with pytest.raises(ValueError, match="normalized"):
+            kit.mac([1.5], [0.5])
+        with pytest.raises(ValueError, match="normalized"):
+            kit.multiply([-0.1], [0.5])
+
+    def test_length_mismatch_rejected(self, kit):
+        with pytest.raises(ValueError, match="equal length"):
+            kit.mac([0.1, 0.2], [0.3])
+
+    def test_benchmark_accuracy_near_paper(self, kit):
+        reports = kit.benchmark_accuracy(800)
+        assert set(reports) == {"multiplication", "accumulation"}
+        for report in reports.values():
+            assert report.accuracy_percent > 98.5
+
+    def test_benchmark_needs_samples(self, kit):
+        with pytest.raises(ValueError):
+            kit.benchmark_accuracy(1)
+
+
+class TestSNRCharacterization:
+    def test_snr_reflects_noise_model(self, kit):
+        report = kit.characterize_snr(signal=0.5, num_samples=3000)
+        # Prototype noise: std ~1.65 levels at ~127.5 signal -> ~37.8 dB.
+        assert report.noise_std == pytest.approx(1.65, abs=0.2)
+        assert report.snr_db == pytest.approx(37.8, abs=1.5)
+
+    def test_noiseless_snr_infinite(self, clean_kit):
+        report = clean_kit.characterize_snr()
+        assert report.snr_db == float("inf") or report.snr_db > 60
+
+    def test_invalid_signal_rejected(self, kit):
+        with pytest.raises(ValueError):
+            kit.characterize_snr(signal=0.0)
+        with pytest.raises(ValueError):
+            kit.characterize_snr(signal=1.5)
+
+
+class TestPreambleRecommendation:
+    def test_clean_snr_recommends_false_lock_floor(self, kit):
+        # At testbed SNR the binding constraint is false-lock rejection,
+        # not survival.
+        repeats = kit.recommend_preamble_repeats()
+        assert 4 <= repeats <= 12
+
+    def test_poor_snr_recommends_fewer(self):
+        from repro.photonics import GaussianNoise
+
+        noisy = LightningDevKit(noise=GaussianNoise(std=60.0), seed=2)
+        clean = LightningDevKit(seed=2)
+        assert (
+            noisy.recommend_preamble_repeats()
+            <= clean.recommend_preamble_repeats()
+        )
+
+    def test_core_and_noise_mutually_exclusive(self):
+        from repro.photonics import GaussianNoise
+
+        with pytest.raises(ValueError, match="not both"):
+            LightningDevKit(
+                core=PrototypeCore(seed=0), noise=GaussianNoise()
+            )
