@@ -35,6 +35,7 @@ from . import (
     emulation,
     net,
     photonics,
+    runtime,
     sim,
     synthesis,
 )
@@ -50,6 +51,7 @@ from .core import (
     SynchronousDataStreamer,
 )
 from .photonics import BehavioralCore, GaussianNoise, PrototypeCore
+from .runtime import Cluster
 from .sim import lightning_chip, run_comparison
 from .synthesis import LightningChip
 
@@ -63,6 +65,7 @@ __all__ = [
     "emulation",
     "net",
     "photonics",
+    "runtime",
     "sim",
     "synthesis",
     "CountActionUnit",
@@ -79,6 +82,7 @@ __all__ = [
     "LightningChip",
     "lightning_chip",
     "run_comparison",
+    "Cluster",
     "LightningDevKit",
     "__version__",
 ]

@@ -62,8 +62,14 @@ from .preamble import (
     add_preamble,
     make_preamble,
 )
-from .server import InferenceServer, ServerStats
+from .server import InferenceServer
 from .smartnic import LightningSmartNIC, PuntedPacket, ServedRequest
+from .stats import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    LatencyReservoir,
+    NICCounters,
+    ServerStats,
+)
 from .streamer import SynchronousDataStreamer
 from .trace import DatapathTracer, TraceEvent
 
@@ -113,6 +119,9 @@ __all__ = [
     "PuntedPacket",
     "InferenceServer",
     "ServerStats",
+    "LatencyReservoir",
+    "NICCounters",
+    "DEFAULT_RESERVOIR_CAPACITY",
     "DatapathTracer",
     "TraceEvent",
 ]

@@ -10,62 +10,14 @@ drop/punt accounting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..net.packet import InferenceRequest, build_inference_frame
 from .dag import ComputationDAG
 from .smartnic import LightningSmartNIC, PuntedPacket, ServedRequest
+from .stats import ServerStats
 
 __all__ = ["ServerStats", "InferenceServer"]
-
-
-@dataclass
-class ServerStats:
-    """Rolling serving statistics."""
-
-    served: int = 0
-    punted: int = 0
-    dropped: int = 0
-    errors: int = 0
-    per_model_served: dict[int, int] = field(default_factory=dict)
-    _latencies: list[float] = field(default_factory=list)
-
-    def record(self, model_id: int, latency_s: float) -> None:
-        """Account one served request's latency."""
-        self.served += 1
-        self.per_model_served[model_id] = (
-            self.per_model_served.get(model_id, 0) + 1
-        )
-        self._latencies.append(latency_s)
-
-    def latency_percentile(self, percentile: float) -> float:
-        """Serve-time percentile in seconds (raises with no samples)."""
-        if not self._latencies:
-            raise ValueError("no requests served yet")
-        return float(np.percentile(self._latencies, percentile))
-
-    @property
-    def mean_latency_s(self) -> float:
-        if not self._latencies:
-            raise ValueError("no requests served yet")
-        return float(np.mean(self._latencies))
-
-    def summary(self) -> dict[str, float | int]:
-        """A dashboard-style snapshot."""
-        out: dict[str, float | int] = {
-            "served": self.served,
-            "punted": self.punted,
-            "dropped": self.dropped,
-            "errors": self.errors,
-        }
-        if self._latencies:
-            out["p50_us"] = self.latency_percentile(50) * 1e6
-            out["p95_us"] = self.latency_percentile(95) * 1e6
-            out["p99_us"] = self.latency_percentile(99) * 1e6
-            out["mean_us"] = self.mean_latency_s * 1e6
-        return out
 
 
 class InferenceServer:

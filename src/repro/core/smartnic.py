@@ -33,6 +33,7 @@ from ..net.parser import PacketParser, ParsedInferenceQuery, RegularPacket
 from ..net.processing import PacketProcessor, Verdict
 from .dag import ComputationDAG
 from .datapath import InferenceExecution, LightningDatapath
+from .stats import NICCounters
 
 __all__ = ["ServedRequest", "PuntedPacket", "LightningSmartNIC"]
 
@@ -105,10 +106,23 @@ class LightningSmartNIC:
         )
         self.mac_address = mac_address
         self.ip_address = ip_address
-        self.served_requests = 0
-        self.punted_packets = 0
-        self.dropped_packets = 0
-        self._frames_seen = 0
+        #: Frame-level accounting, shared shape with the runtime layer.
+        self.counters = NICCounters()
+
+    @property
+    def served_requests(self) -> int:
+        """Inference queries served on the datapath."""
+        return self.counters.served
+
+    @property
+    def punted_packets(self) -> int:
+        """Regular packets forwarded to the host over PCIe."""
+        return self.counters.punted
+
+    @property
+    def dropped_packets(self) -> int:
+        """Packets dropped by intrusion detection (never cross PCIe)."""
+        return self.counters.dropped
 
     def register_model(
         self, dag: ComputationDAG, header_data: bool = False
@@ -138,14 +152,14 @@ class LightningSmartNIC:
         microsecond-per-frame internal clock is used.
         """
         if now_s is None:
-            now_s = self._frames_seen * 1e-6
-        self._frames_seen += 1
+            now_s = self.counters.frames_seen * 1e-6
+        self.counters.frames_seen += 1
         rx_seconds = self.port.receive_seconds(len(raw))
         parsed = self.parser.parse(raw)
         if isinstance(parsed, RegularPacket):
             processed = self.processor.process(raw, now_s)
             if processed.verdict is Verdict.DROP:
-                self.dropped_packets += 1
+                self.counters.dropped += 1
                 return PuntedPacket(
                     frame=parsed.frame,
                     reason=f"{parsed.reason}; dropped by intrusion "
@@ -153,7 +167,7 @@ class LightningSmartNIC:
                     pcie_seconds=0.0,
                     verdict=processed.verdict,
                 )
-            self.punted_packets += 1
+            self.counters.punted += 1
             return PuntedPacket(
                 frame=parsed.frame,
                 reason=parsed.reason,
@@ -177,7 +191,7 @@ class LightningSmartNIC:
         )
         response_frame = self._build_response_frame(query, response)
         tx_seconds = self.port.transmit_seconds(len(response_frame))
-        self.served_requests += 1
+        self.counters.served += 1
         return ServedRequest(
             response_frame=response_frame,
             response=response,

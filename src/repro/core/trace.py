@@ -7,6 +7,13 @@ the equivalent observability for the Python datapath: a
 structured event stream — DAG loads, per-layer executions with their
 cycle ledgers, control-register writes — that tests and notebooks can
 assert on or render as a timeline.
+
+The runtime layer (:mod:`repro.runtime`) feeds its own events into the
+same stream through :meth:`DatapathTracer.emit`: queue admissions,
+drops, and batch dispatches appear interleaved with the layer events on
+one clock, so a single trace shows a request waiting, dispatching, and
+executing.  A tracer built without a datapath acts as a pure event sink
+for those runtime events.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ class TraceEvent:
     """
 
     time_s: float
-    kind: str  # "load" | "layer" | "register"
+    kind: str  # "load" | "layer" | "register" | runtime kinds via emit()
     label: str
     detail: dict = field(default_factory=dict)
 
@@ -37,7 +44,7 @@ class TraceEvent:
 class DatapathTracer:
     """Records a structured event stream from datapath executions."""
 
-    def __init__(self, datapath: LightningDatapath) -> None:
+    def __init__(self, datapath: LightningDatapath | None = None) -> None:
         self.datapath = datapath
         self._events: list[TraceEvent] = []
         self._clock_s = 0.0
@@ -55,10 +62,41 @@ class DatapathTracer:
         self._events.clear()
         self._clock_s = 0.0
 
+    def emit(
+        self,
+        kind: str,
+        label: str,
+        detail: dict | None = None,
+        time_s: float | None = None,
+    ) -> TraceEvent:
+        """Record an externally timestamped event (runtime integration).
+
+        ``time_s`` is the emitting clock's timestamp — the runtime's
+        virtual clock, for queue/dispatch/drop events.  The trace clock
+        never moves backwards: an event stamped earlier than the current
+        clock is recorded at the current clock, keeping the stream
+        monotone for :meth:`layer_timeline`-style consumers.
+        """
+        when = self._clock_s if time_s is None else max(time_s, self._clock_s)
+        self._clock_s = when
+        event = TraceEvent(
+            time_s=when,
+            kind=kind,
+            label=label,
+            detail=dict(detail) if detail else {},
+        )
+        self._events.append(event)
+        return event
+
     def execute(
         self, model_id: int, input_levels: np.ndarray
     ) -> InferenceExecution:
         """Execute one inference while recording its event stream."""
+        if self.datapath is None:
+            raise RuntimeError(
+                "this tracer was built as a pure event sink (no datapath); "
+                "attach a LightningDatapath to trace executions"
+            )
         write_log_start = len(self.datapath.registers.write_log)
         execution = self.datapath.execute(model_id, input_levels)
         self._events.append(

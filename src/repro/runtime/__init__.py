@@ -1,0 +1,51 @@
+"""The multi-core serving runtime: cluster, schedulers, queues, batching.
+
+This package turns the single-shot serving loop of
+:mod:`repro.core.server` into a load-bearing runtime — the layer the
+paper's §9 simulator abstracts, realised over real
+:class:`~repro.core.datapath.LightningDatapath` cores:
+
+* :class:`~repro.runtime.cluster.Cluster` — N photonic cores sharing
+  deployed DAGs behind a virtual-clock event loop;
+* :mod:`~repro.runtime.schedulers` — the :class:`Scheduler` protocol
+  (shared with the §9 simulator) plus round-robin, least-loaded, and
+  weighted-fair policies;
+* :mod:`~repro.runtime.queues` — bounded per-model admission queues
+  with drop-tail / drop-head overload policies;
+* :mod:`~repro.runtime.batching` — the opportunistic coalescer that
+  merges queued same-model requests into broadcast batch executions;
+* :mod:`~repro.runtime.workload` — Poisson traces over deployed DAGs,
+  reusing the §9 workload generator.
+"""
+
+from .schedulers import (
+    LeastLoadedScheduler,
+    ModelQueueView,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulerBase,
+    WeightedFairScheduler,
+)
+from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
+from .batching import BatchingCoalescer
+from .cluster import Cluster, ClusterResult, RuntimeRecord, RuntimeRequest
+from .workload import poisson_trace, rate_for_cluster_utilization
+
+__all__ = [
+    "Scheduler",
+    "SchedulerBase",
+    "ModelQueueView",
+    "RoundRobinScheduler",
+    "LeastLoadedScheduler",
+    "WeightedFairScheduler",
+    "DROP_POLICIES",
+    "AdmissionQueue",
+    "QueueEntry",
+    "BatchingCoalescer",
+    "Cluster",
+    "ClusterResult",
+    "RuntimeRecord",
+    "RuntimeRequest",
+    "poisson_trace",
+    "rate_for_cluster_utilization",
+]

@@ -1,0 +1,384 @@
+"""A multi-core serving cluster over real Lightning datapaths.
+
+:class:`Cluster` is the runtime the paper's §9 simulator abstracts: N
+photonic cores (independent
+:class:`~repro.core.datapath.LightningDatapath` instances sharing the
+same deployed DAGs), a pluggable
+:class:`~repro.runtime.schedulers.Scheduler`, bounded per-model
+admission queues with explicit drop policies, and an opportunistic
+:class:`~repro.runtime.batching.BatchingCoalescer`.  A virtual-clock
+event loop (the same discrete-event engine as the simulator) serves a
+request trace through the *real* cycle-accounted datapath, so every
+served request carries the paper's serve-time decomposition:
+
+* ``t_q`` (queuing) — waiting in the bounded admission queue plus any
+  pipeline-pass staggering inside a coalesced batch (the DRAM-buffered
+  time of §9);
+* ``t_d`` (datapath) — the digital datapath and memory-streaming cost
+  of one pipeline pass, from the datapath's own cycle ledger;
+* ``t_c`` (compute) — photonic dot products, adders, non-linearities.
+
+The identity ``finish - arrival == t_q + t_d + t_c`` holds exactly for
+every record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.datapath import LightningDatapath
+from ..core.dag import ComputationDAG
+from ..core.stats import ServerStats
+from ..core.trace import DatapathTracer
+from ..sim.events import EventQueue
+from .batching import BatchingCoalescer
+from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
+from .schedulers import RoundRobinScheduler, Scheduler
+
+__all__ = ["RuntimeRequest", "RuntimeRecord", "ClusterResult", "Cluster"]
+
+
+@dataclass(frozen=True)
+class RuntimeRequest:
+    """One inference query offered to the cluster."""
+
+    request_id: int
+    model_id: int
+    arrival_s: float
+    data_levels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+@dataclass(frozen=True)
+class RuntimeRecord:
+    """One served request with its t_q/t_d/t_c decomposition."""
+
+    request: RuntimeRequest
+    core: int
+    batch_size: int
+    queuing_s: float
+    datapath_s: float
+    compute_s: float
+    finish_s: float
+    prediction: int
+
+    @property
+    def serve_time_s(self) -> float:
+        """Arrival to result (t_q + t_d + t_c == finish - arrival)."""
+        return self.queuing_s + self.datapath_s + self.compute_s
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Everything one trace produced on the cluster."""
+
+    records: tuple[RuntimeRecord, ...]
+    dropped: tuple[RuntimeRequest, ...]
+    stats: ServerStats
+    num_cores: int
+    busy_seconds: float
+    horizon_s: float
+
+    @property
+    def served(self) -> int:
+        """Requests that completed with a prediction."""
+        return len(self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained completions per second over the trace horizon."""
+        if self.horizon_s <= 0:
+            raise ValueError("no requests finished")
+        return self.served / self.horizon_s
+
+    def utilization(self) -> float:
+        """Fraction of total core-time the datapaths were executing."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.busy_seconds / (self.num_cores * self.horizon_s)
+
+    def serve_times(self) -> np.ndarray:
+        """Every request's serve time, in completion order."""
+        return np.array([r.serve_time_s for r in self.records])
+
+    def decomposition(self) -> dict[str, float]:
+        """Mean t_q / t_d / t_c over all served requests, in seconds."""
+        if not self.records:
+            raise ValueError("no requests served")
+        return {
+            "t_q": float(np.mean([r.queuing_s for r in self.records])),
+            "t_d": float(np.mean([r.datapath_s for r in self.records])),
+            "t_c": float(np.mean([r.compute_s for r in self.records])),
+        }
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size across served requests."""
+        if not self.records:
+            raise ValueError("no requests served")
+        return float(np.mean([r.batch_size for r in self.records]))
+
+
+class Cluster:
+    """N photonic cores behind schedulers, queues, and a coalescer."""
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        datapath_factory: Callable[[int], LightningDatapath] | None = None,
+        scheduler: Scheduler | None = None,
+        queue_capacity: int = 64,
+        drop_policy: str = "drop-tail",
+        max_batch: int = 1,
+        tracer: DatapathTracer | None = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("a cluster needs at least one core")
+        # Validate queue parameters eagerly so a misconfigured cluster
+        # fails at construction, not at the first deploy().
+        if queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"unknown drop policy {drop_policy!r}; "
+                f"choose from {DROP_POLICIES}"
+            )
+        factory = (
+            datapath_factory
+            if datapath_factory is not None
+            else lambda core: LightningDatapath(seed=core)
+        )
+        self.datapaths: tuple[LightningDatapath, ...] = tuple(
+            factory(core) for core in range(num_cores)
+        )
+        self.scheduler: Scheduler = (
+            scheduler
+            if scheduler is not None
+            else RoundRobinScheduler(num_cores)
+        )
+        self.queue_capacity = queue_capacity
+        self.drop_policy = drop_policy
+        self.coalescer = BatchingCoalescer(max_batch=max_batch)
+        self.tracer = tracer
+        self.stats = ServerStats()
+        self._dags: dict[int, ComputationDAG] = {}
+        self._queues: dict[int, AdmissionQueue[RuntimeRequest]] = {}
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return len(self.datapaths)
+
+    @property
+    def model_ids(self) -> tuple[int, ...]:
+        """Models deployed on every core, in deployment order."""
+        return tuple(self._dags)
+
+    @property
+    def deployed_dags(self) -> tuple[ComputationDAG, ...]:
+        """The shared DAGs, one registration per core."""
+        return tuple(self._dags.values())
+
+    def deploy(self, dag: ComputationDAG, warmup: int = 1) -> None:
+        """Register one DAG on every core and create its queue.
+
+        Warm-up executes a few zero queries per core so first live
+        requests do not pay one-time costs (sign-separation caching).
+        """
+        for datapath in self.datapaths:
+            datapath.register_model(dag)
+        self._dags[dag.model_id] = dag
+        self._queues[dag.model_id] = AdmissionQueue(
+            model_id=dag.model_id,
+            capacity=self.queue_capacity,
+            policy=self.drop_policy,
+        )
+        zeros = np.zeros(dag.tasks[0].input_size, dtype=np.float64)
+        for datapath in self.datapaths:
+            for _ in range(max(warmup, 0)):
+                datapath.execute(dag.model_id, zeros)
+
+    def queue_counters(self) -> dict[int, dict[str, int]]:
+        """Per-model admission/drop counters for operator dashboards."""
+        return {
+            model_id: {"admitted": q.admitted, "dropped": q.dropped}
+            for model_id, q in self._queues.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_trace(
+        self, requests: Iterable[RuntimeRequest]
+    ) -> ClusterResult:
+        """Serve one arrival trace to completion on the virtual clock."""
+        trace = sorted(requests, key=lambda r: r.arrival_s)
+        if not trace:
+            raise ValueError("cannot serve an empty trace")
+        for request in trace:
+            if request.model_id not in self._dags:
+                raise KeyError(
+                    f"model {request.model_id} is not deployed"
+                )
+        self.scheduler.reset()
+        events = EventQueue()
+        core_free_at = [0.0] * self.num_cores
+        core_busy = [False] * self.num_cores
+        records: list[RuntimeRecord] = []
+        dropped: list[RuntimeRequest] = []
+        busy_seconds = 0.0
+        for request in trace:
+            events.push(request.arrival_s, "arrival", request)
+
+        def emit(kind: str, label: str, detail: dict, now: float) -> None:
+            if self.tracer is not None:
+                self.tracer.emit(kind, label, detail, time_s=now)
+
+        def dispatch(now: float) -> None:
+            nonlocal busy_seconds
+            while True:
+                idle = [
+                    i for i in range(self.num_cores) if not core_busy[i]
+                ]
+                ready = [
+                    q.view() for q in self._queues.values() if q.depth
+                ]
+                if not idle or not ready:
+                    return
+                model_id = self.scheduler.next_model(ready)
+                entries = self.coalescer.take(self._queues[model_id])
+                pick = self.scheduler.assign(
+                    entries[0].item,
+                    [core_free_at[i] for i in idle],
+                    now_s=now,
+                )
+                core = idle[pick]
+                finish, service_s = self._execute(
+                    core, model_id, entries, now, records
+                )
+                core_busy[core] = True
+                core_free_at[core] = finish
+                busy_seconds += service_s
+                self.scheduler.account(model_id, service_s)
+                events.push(finish, "core_free", core)
+                emit(
+                    "dispatch",
+                    f"core:{core}",
+                    {
+                        "model_id": model_id,
+                        "batch": len(entries),
+                        "service_us": service_s * 1e6,
+                    },
+                    now,
+                )
+
+        def handle(event) -> None:
+            now = events.now
+            if event.kind == "arrival":
+                request: RuntimeRequest = event.payload
+                queue = self._queues[request.model_id]
+                victim = queue.offer(request, now)
+                if victim is not None:
+                    dropped.append(victim)
+                    self.stats.dropped += 1
+                    emit(
+                        "drop",
+                        f"model:{request.model_id}",
+                        {
+                            "request_id": victim.request_id,
+                            "policy": queue.policy,
+                        },
+                        now,
+                    )
+                else:
+                    emit(
+                        "enqueue",
+                        f"model:{request.model_id}",
+                        {
+                            "request_id": request.request_id,
+                            "depth": queue.depth,
+                        },
+                        now,
+                    )
+            elif event.kind == "core_free":
+                core_busy[event.payload] = False
+            dispatch(now)
+
+        events.run(handle)
+        horizon = max((r.finish_s for r in records), default=0.0)
+        return ClusterResult(
+            records=tuple(records),
+            dropped=tuple(dropped),
+            stats=self.stats,
+            num_cores=self.num_cores,
+            busy_seconds=busy_seconds,
+            horizon_s=horizon,
+        )
+
+    def _execute(
+        self,
+        core: int,
+        model_id: int,
+        entries: Sequence[QueueEntry],
+        start_s: float,
+        records: list[RuntimeRecord],
+    ) -> tuple[float, float]:
+        """Run one dispatch on a core's real datapath; append records.
+
+        Returns ``(finish_s, service_s)``.  A multi-request dispatch
+        goes through the broadcast batch path: each request's t_d/t_c is
+        one pipeline pass's worth, and any extra passes a large batch
+        needs land in t_q (the request is DRAM-buffered while earlier
+        passes stream), keeping the decomposition identity exact.
+        """
+        datapath = self.datapaths[core]
+        if len(entries) == 1:
+            execution = datapath.execute(
+                model_id, entries[0].item.data_levels
+            )
+            service_s = execution.total_seconds
+            pass_datapath_s = (
+                execution.datapath_seconds + execution.memory_seconds
+            )
+            pass_compute_s = execution.compute_seconds
+            outputs = [execution.output_levels]
+        else:
+            batch = datapath.execute_batch(
+                model_id,
+                np.stack([e.item.data_levels for e in entries]),
+            )
+            service_s = batch.total_seconds
+            pass_datapath_s = (
+                batch.datapath_seconds + batch.memory_seconds
+            ) / batch.passes
+            pass_compute_s = batch.compute_seconds / batch.passes
+            outputs = list(batch.output_levels)
+        finish = start_s + service_s
+        for entry, output in zip(entries, outputs):
+            queuing_s = (
+                finish
+                - entry.item.arrival_s
+                - pass_datapath_s
+                - pass_compute_s
+            )
+            record = RuntimeRecord(
+                request=entry.item,
+                core=core,
+                batch_size=len(entries),
+                queuing_s=queuing_s,
+                datapath_s=pass_datapath_s,
+                compute_s=pass_compute_s,
+                finish_s=finish,
+                prediction=int(np.argmax(output)),
+            )
+            records.append(record)
+            self.stats.record(model_id, record.serve_time_s)
+        return finish, service_s

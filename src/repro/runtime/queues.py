@@ -1,0 +1,114 @@
+"""Bounded per-model admission queues with explicit drop policies.
+
+The §9 simulator buffers overload in host DRAM without bound; a real
+deployment cannot.  Each deployed model gets one
+:class:`AdmissionQueue` with a hard capacity and a drop policy, so
+overload sheds requests loudly (counted, traceable) instead of growing
+memory or hanging:
+
+* ``"drop-tail"`` — a full queue rejects the arriving request (classic
+  tail drop, the default);
+* ``"drop-head"`` — a full queue evicts its oldest request to admit
+  the new one (freshest-first serving, useful when stale inference
+  answers are worthless).
+
+Queued entries carry their enqueue timestamp, which becomes the
+request's t_q (DRAM queuing) component in the serve-time decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from .schedulers import ModelQueueView
+
+__all__ = ["DROP_POLICIES", "QueueEntry", "AdmissionQueue"]
+
+#: The supported overload policies.
+DROP_POLICIES = ("drop-tail", "drop-head")
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QueueEntry(Generic[T]):
+    """One admitted request plus its admission timestamp."""
+
+    item: T
+    enqueued_s: float
+
+
+class AdmissionQueue(Generic[T]):
+    """A bounded FIFO for one model's pending inference requests."""
+
+    def __init__(
+        self,
+        model_id: int,
+        capacity: int = 64,
+        policy: str = "drop-tail",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if policy not in DROP_POLICIES:
+            raise ValueError(
+                f"unknown drop policy {policy!r}; choose from "
+                f"{DROP_POLICIES}"
+            )
+        self.model_id = model_id
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: deque[QueueEntry[T]] = deque()
+        self.admitted = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued requests."""
+        return len(self._entries)
+
+    @property
+    def head_enqueued_s(self) -> float:
+        """Admission time of the oldest queued request."""
+        if not self._entries:
+            raise ValueError("queue is empty")
+        return self._entries[0].enqueued_s
+
+    def view(self) -> ModelQueueView:
+        """The scheduler-facing snapshot of this queue."""
+        return ModelQueueView(
+            model_id=self.model_id,
+            depth=self.depth,
+            head_enqueued_s=self.head_enqueued_s,
+        )
+
+    def offer(self, item: T, now_s: float) -> T | None:
+        """Admit one request, returning the victim dropped to make room.
+
+        Returns ``None`` when the request was admitted without loss;
+        under ``drop-tail`` a full queue returns the *offered* request
+        (rejected), under ``drop-head`` it returns the evicted oldest
+        request (the new one is admitted).
+        """
+        if len(self._entries) < self.capacity:
+            self._entries.append(QueueEntry(item, now_s))
+            self.admitted += 1
+            return None
+        if self.policy == "drop-tail":
+            self.dropped += 1
+            return item
+        victim = self._entries.popleft()
+        self._entries.append(QueueEntry(item, now_s))
+        self.admitted += 1
+        self.dropped += 1
+        return victim.item
+
+    def pop(self) -> QueueEntry[T]:
+        """Remove and return the oldest queued entry."""
+        if not self._entries:
+            raise ValueError("queue is empty")
+        return self._entries.popleft()

@@ -1,0 +1,227 @@
+"""Pluggable request-to-core schedulers.
+
+One :class:`Scheduler` protocol is shared by the §9 event-driven
+simulator (:mod:`repro.sim.simulator`) and the serving runtime
+(:mod:`repro.runtime.cluster`), so a placement policy validated in the
+abstract simulator carries the same semantics when it drives real
+:class:`~repro.core.datapath.LightningDatapath` cores.
+
+A scheduler makes two kinds of decisions:
+
+* :meth:`Scheduler.assign` — which core executes a request, given the
+  per-core busy-until times (the simulator's round-robin placement over
+  FIFO queues is the paper's §9 policy);
+* :meth:`Scheduler.next_model` — when a core frees up and several model
+  queues hold work, which model is served next.  The default is global
+  FIFO (earliest head-of-line enqueue wins), matching the simulator's
+  FIFO semantics; :class:`WeightedFairScheduler` overrides it with
+  weighted fair sharing of core time between models.
+
+This module is dependency-free (numpy only) so both the simulator and
+the runtime can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "ModelQueueView",
+    "Scheduler",
+    "SchedulerBase",
+    "RoundRobinScheduler",
+    "LeastLoadedScheduler",
+    "WeightedFairScheduler",
+]
+
+
+@dataclass(frozen=True)
+class ModelQueueView:
+    """A scheduler's read-only view of one model's admission queue."""
+
+    model_id: int
+    depth: int
+    head_enqueued_s: float
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """The placement policy shared by the simulator and the runtime."""
+
+    num_cores: int
+
+    def assign(
+        self,
+        request: object,
+        core_free_at: Sequence[float] | None = None,
+        now_s: float = 0.0,
+    ) -> int:
+        """Pick the core index that executes ``request``.
+
+        ``core_free_at`` holds each candidate core's busy-until time
+        (the runtime passes only its idle cores; the simulator passes
+        all of them).  Policies that ignore load, like round-robin, may
+        be called without it.
+        """
+        ...
+
+    def next_model(self, candidates: Sequence[ModelQueueView]) -> int:
+        """Pick the ``model_id`` whose queue is served next."""
+        ...
+
+    def account(self, model_id: int, service_s: float) -> None:
+        """Charge ``service_s`` seconds of core time to ``model_id``."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all placement state (rotation, virtual work, ...)."""
+        ...
+
+
+class SchedulerBase:
+    """Shared behaviour: FIFO model selection, no-op accounting."""
+
+    def __init__(self, num_cores: int = 1) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+
+    def next_model(self, candidates: Sequence[ModelQueueView]) -> int:
+        """Global FIFO: serve the model whose head waited longest."""
+        if not candidates:
+            raise ValueError("no candidate queues to pick from")
+        best = min(
+            candidates, key=lambda c: (c.head_enqueued_s, c.model_id)
+        )
+        return best.model_id
+
+    def account(self, model_id: int, service_s: float) -> None:
+        """Load-oblivious policies track no per-model usage."""
+
+    def reset(self) -> None:
+        """Base schedulers are stateless between traces."""
+
+
+class RoundRobinScheduler(SchedulerBase):
+    """Round-robin task placement over compute cores with FIFO queues.
+
+    This is the §9 simulator's scheduler; the rotation ignores load
+    entirely.  When the runtime passes a subset of (idle) cores, the
+    rotation cycles over that subset.
+    """
+
+    def __init__(self, num_cores: int = 1) -> None:
+        super().__init__(num_cores)
+        self._next = 0
+
+    def assign(
+        self,
+        _request: object,
+        core_free_at: Sequence[float] | None = None,
+        now_s: float = 0.0,
+    ) -> int:
+        """Pick the next core in round-robin order."""
+        n = (
+            len(core_free_at)
+            if core_free_at is not None
+            else self.num_cores
+        )
+        if n < 1:
+            raise ValueError("no cores to assign to")
+        core = self._next % n
+        self._next = (core + 1) % n
+        return core
+
+    def reset(self) -> None:
+        """Restart the rotation at core 0."""
+        self._next = 0
+
+
+class LeastLoadedScheduler(SchedulerBase):
+    """Join-the-shortest-backlog placement.
+
+    Each request goes to the core that frees up earliest; ties break to
+    the lowest core index so runs stay deterministic.
+    """
+
+    def assign(
+        self,
+        _request: object,
+        core_free_at: Sequence[float] | None = None,
+        now_s: float = 0.0,
+    ) -> int:
+        """Pick the core with the earliest busy-until time."""
+        if not core_free_at:
+            raise ValueError(
+                "least-loaded scheduling needs per-core load information"
+            )
+        return min(range(len(core_free_at)), key=lambda i: core_free_at[i])
+
+
+class WeightedFairScheduler(SchedulerBase):
+    """Weighted fair sharing of core time between deployed models.
+
+    Each model carries a weight; the scheduler tracks every model's
+    normalized service (core-seconds divided by weight) and always
+    serves the backlogged model with the least normalized service.
+    Under saturation two models with weights 3 and 1 therefore receive
+    core time in a 3:1 ratio.  Core placement itself is least-loaded.
+    """
+
+    def __init__(
+        self,
+        num_cores: int = 1,
+        weights: dict[int, float] | None = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__(num_cores)
+        if default_weight <= 0:
+            raise ValueError("weights must be positive")
+        if weights and any(w <= 0 for w in weights.values()):
+            raise ValueError("weights must be positive")
+        self.weights = dict(weights) if weights else {}
+        self.default_weight = default_weight
+        self._normalized_service: dict[int, float] = {}
+
+    def weight(self, model_id: int) -> float:
+        """The configured (or default) weight of one model."""
+        return self.weights.get(model_id, self.default_weight)
+
+    def assign(
+        self,
+        _request: object,
+        core_free_at: Sequence[float] | None = None,
+        now_s: float = 0.0,
+    ) -> int:
+        """Least-loaded placement (fairness lives in queue selection)."""
+        if not core_free_at:
+            raise ValueError(
+                "weighted-fair scheduling needs per-core load information"
+            )
+        return min(range(len(core_free_at)), key=lambda i: core_free_at[i])
+
+    def next_model(self, candidates: Sequence[ModelQueueView]) -> int:
+        """Serve the backlogged model with least normalized service."""
+        if not candidates:
+            raise ValueError("no candidate queues to pick from")
+        best = min(
+            candidates,
+            key=lambda c: (
+                self._normalized_service.get(c.model_id, 0.0),
+                c.head_enqueued_s,
+                c.model_id,
+            ),
+        )
+        return best.model_id
+
+    def account(self, model_id: int, service_s: float) -> None:
+        """Charge core time against the model's fair share."""
+        self._normalized_service[model_id] = (
+            self._normalized_service.get(model_id, 0.0)
+            + service_s / self.weight(model_id)
+        )
+
+    def reset(self) -> None:
+        """Forget accumulated per-model service."""
+        self._normalized_service.clear()

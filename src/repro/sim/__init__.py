@@ -17,6 +17,7 @@ from .simulator import (
     ComparisonReport,
     EventDrivenSimulator,
     RoundRobinScheduler,
+    Scheduler,
     ServedRecord,
     SimulationResult,
     run_comparison,
@@ -41,6 +42,7 @@ __all__ = [
     "PoissonWorkload",
     "rate_for_utilization",
     "ServedRecord",
+    "Scheduler",
     "RoundRobinScheduler",
     "EventDrivenSimulator",
     "SimulationResult",

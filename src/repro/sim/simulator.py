@@ -27,8 +27,15 @@ from .accelerators import AcceleratorSpec
 from .events import Event, EventQueue
 from .workload import PoissonWorkload, SimRequest, rate_for_utilization
 
+# The scheduler abstraction is shared with the serving runtime
+# (repro.runtime): a policy validated here drives real datapath cores
+# there with identical placement semantics.  RoundRobinScheduler is
+# re-exported for backwards compatibility.
+from ..runtime.schedulers import RoundRobinScheduler, Scheduler
+
 __all__ = [
     "ServedRecord",
+    "Scheduler",
     "RoundRobinScheduler",
     "EventDrivenSimulator",
     "SimulationResult",
@@ -71,26 +78,6 @@ class ServedRecord:
             datapath_energy = self.datapath_s * accelerator.nic_power_watts
         queue_energy = self.queuing_s * dram_power_watts
         return compute_energy + datapath_energy + queue_energy
-
-
-class RoundRobinScheduler:
-    """Round-robin task placement over compute cores with FIFO queues."""
-
-    def __init__(self, num_cores: int = 1) -> None:
-        if num_cores < 1:
-            raise ValueError("need at least one core")
-        self.num_cores = num_cores
-        self._next = 0
-
-    def assign(self, _request: SimRequest) -> int:
-        """Pick the next core in round-robin order."""
-        core = self._next
-        self._next = (self._next + 1) % self.num_cores
-        return core
-
-    def reset(self) -> None:
-        """Restart the rotation at core 0."""
-        self._next = 0
 
 
 @dataclass(frozen=True)
@@ -139,7 +126,7 @@ class EventDrivenSimulator:
     def __init__(
         self,
         accelerator: AcceleratorSpec,
-        scheduler: RoundRobinScheduler | None = None,
+        scheduler: Scheduler | None = None,
     ) -> None:
         self.accelerator = accelerator
         self.scheduler = (
@@ -161,7 +148,7 @@ class EventDrivenSimulator:
             if event.kind != "arrival":
                 return
             request: SimRequest = event.payload
-            core = self.scheduler.assign(request)
+            core = self.scheduler.assign(request, core_free_at)
             datapath_s = self.accelerator.datapath_seconds(request.model)
             compute_s = self.accelerator.compute_seconds(request.model)
             # The request becomes ready for compute after its datapath

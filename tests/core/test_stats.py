@@ -1,0 +1,116 @@
+"""Tests for the shared serving statistics (bounded-memory reservoir)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    LatencyReservoir,
+    NICCounters,
+    ServerStats,
+)
+
+
+class TestLatencyReservoir:
+    def test_memory_bounded_under_sustained_traffic(self):
+        res = LatencyReservoir(capacity=100)
+        for i in range(50_000):
+            res.add(float(i))
+        assert len(res) == 100
+        assert res.count == 50_000
+
+    def test_mean_exact_despite_subsampling(self):
+        res = LatencyReservoir(capacity=10)
+        values = list(range(1, 1001))
+        for v in values:
+            res.add(float(v))
+        assert res.mean == pytest.approx(np.mean(values))
+
+    def test_small_streams_kept_verbatim(self):
+        res = LatencyReservoir(capacity=100)
+        for v in [5.0, 1.0, 3.0]:
+            res.add(v)
+        assert res.percentile(50) == 3.0
+
+    def test_percentiles_statistically_stable(self):
+        """A subsampled reservoir still estimates percentiles of the
+        full uniform stream to within a few percent."""
+        res = LatencyReservoir(capacity=4096)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0.0, 1.0, size=50_000):
+            res.add(float(v))
+        p50, p95, p99 = res.percentiles([50, 95, 99])
+        assert p50 == pytest.approx(0.50, abs=0.04)
+        assert p95 == pytest.approx(0.95, abs=0.03)
+        assert p99 == pytest.approx(0.99, abs=0.02)
+
+    def test_empty_reservoir_raises(self):
+        res = LatencyReservoir()
+        with pytest.raises(ValueError, match="no samples"):
+            res.percentile(50)
+        with pytest.raises(ValueError, match="no samples"):
+            _ = res.mean
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+
+class TestServerStats:
+    def test_reservoir_capacity_configurable_and_documented_default(self):
+        stats = ServerStats()
+        assert stats.reservoir_capacity == DEFAULT_RESERVOIR_CAPACITY
+        small = ServerStats(reservoir_capacity=8)
+        for i in range(100):
+            small.record(1, float(i))
+        assert len(small._latencies) == 8
+        assert small.served == 100
+
+    def test_summary_uses_single_percentile_pass(self, monkeypatch):
+        """p50/p95/p99 come from one np.percentile call, not four."""
+        stats = ServerStats()
+        for i in range(50):
+            stats.record(1, i * 1e-6)
+        calls = []
+        real = np.percentile
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(np, "percentile", counting)
+        summary = stats.summary()
+        assert len(calls) == 1
+        assert summary["p50_us"] <= summary["p95_us"] <= summary["p99_us"]
+
+    def test_mean_exact_beyond_capacity(self):
+        stats = ServerStats(reservoir_capacity=4)
+        latencies = [1e-6 * i for i in range(1, 101)]
+        for v in latencies:
+            stats.record(7, v)
+        assert stats.mean_latency_s == pytest.approx(np.mean(latencies))
+        assert stats.per_model_served == {7: 100}
+
+    def test_empty_stats_raise(self):
+        stats = ServerStats()
+        with pytest.raises(ValueError, match="no requests"):
+            stats.latency_percentile(50)
+        with pytest.raises(ValueError, match="no requests"):
+            _ = stats.mean_latency_s
+        assert "p50_us" not in stats.summary()
+
+
+class TestNICCounters:
+    def test_summary_snapshot(self):
+        counters = NICCounters()
+        counters.served += 2
+        counters.dropped += 1
+        counters.frames_seen += 3
+        assert counters.summary() == {
+            "served": 2,
+            "punted": 0,
+            "dropped": 1,
+            "frames_seen": 3,
+        }

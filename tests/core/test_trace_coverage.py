@@ -1,0 +1,163 @@
+"""Dedicated coverage for the datapath tracer and the server's wire-frame
+error paths (runts, unknown models, drop-vs-punt accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatapathTracer,
+    InferenceServer,
+    LightningDatapath,
+    LightningSmartNIC,
+    PuntedPacket,
+)
+from repro.net import InferenceRequest, build_inference_frame
+from repro.net.processing import (
+    IntrusionDetector,
+    PacketProcessor,
+    Verdict,
+)
+from repro.photonics import BehavioralCore, NoiselessModel
+
+
+@pytest.fixture()
+def tracer(tiny_dag):
+    datapath = LightningDatapath(
+        core=BehavioralCore(noise=NoiselessModel())
+    )
+    datapath.register_model(tiny_dag)
+    return DatapathTracer(datapath)
+
+
+class TestTracerEventStream:
+    def test_event_ordering_load_layers_registers(self, tracer):
+        """Per execution: the DAG load precedes its layers, which
+        precede that execution's register writes."""
+        tracer.execute(1, np.zeros(12))
+        kinds = [e.kind for e in tracer.events]
+        assert kinds[0] == "load"
+        assert kinds.index("layer") < kinds.index("register")
+        first_register = kinds.index("register")
+        assert all(k == "register" for k in kinds[first_register:])
+
+    def test_clock_accumulates_layer_ledger_exactly(self, tracer):
+        """The trace clock advances by exactly the cycle ledger."""
+        execution = tracer.execute(1, np.zeros(12))
+        assert tracer.now_s == pytest.approx(execution.total_seconds)
+        second = tracer.execute(1, np.zeros(12))
+        assert tracer.now_s == pytest.approx(
+            execution.total_seconds + second.total_seconds
+        )
+
+    def test_layer_event_times_are_cumulative(self, tracer):
+        execution = tracer.execute(1, np.zeros(12))
+        layer_events = [e for e in tracer.events if e.kind == "layer"]
+        running = 0.0
+        for event, layer in zip(layer_events, execution.layers):
+            running += (
+                layer.compute_seconds
+                + layer.datapath_seconds
+                + layer.memory_seconds
+            )
+            assert event.time_s == pytest.approx(running)
+
+    def test_clear_rewinds_clock_and_events(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        assert tracer.events and tracer.now_s > 0
+        tracer.clear()
+        assert tracer.events == ()
+        assert tracer.now_s == 0.0
+        # The tracer is reusable after clear().
+        tracer.execute(1, np.zeros(12))
+        assert tracer.events
+
+    def test_emit_keeps_clock_monotone(self, tracer):
+        tracer.execute(1, np.zeros(12))
+        before = tracer.now_s
+        event = tracer.emit("drop", "model:1", time_s=before / 2)
+        assert event.time_s == before  # clamped, never backwards
+        later = tracer.emit("enqueue", "model:1", time_s=before * 2)
+        assert later.time_s == pytest.approx(before * 2)
+        assert tracer.now_s == pytest.approx(before * 2)
+
+
+def make_server(tiny_dag, processor=None):
+    nic = LightningSmartNIC(
+        datapath=LightningDatapath(
+            core=BehavioralCore(noise=NoiselessModel())
+        ),
+        processor=processor,
+    )
+    server = InferenceServer(nic)
+    server.deploy(tiny_dag, warmup=1)
+    return server
+
+
+class TestWireFrameErrorPaths:
+    def test_runt_frame_dropped_silently(self, tiny_dag):
+        server = make_server(tiny_dag)
+        assert server.handle_wire_frame(b"\x01\x02\x03") is None
+        assert server.stats.errors == 1
+        assert server.stats.served == 0
+        assert server.nic.counters.frames_seen == 1
+
+    def test_empty_frame_counted_once(self, tiny_dag):
+        server = make_server(tiny_dag)
+        assert server.handle_wire_frame(b"") is None
+        assert server.stats.errors == 1
+
+    def test_unknown_model_is_error_not_crash(self, tiny_dag):
+        server = make_server(tiny_dag)
+        frame = build_inference_frame(
+            InferenceRequest(77, 0, np.zeros(12, dtype=np.uint8))
+        )
+        assert server.handle_wire_frame(frame) is None
+        assert server.stats.errors == 1
+        assert server.stats.served == 0
+
+    def test_drop_vs_punt_accounting(self, tiny_dag):
+        """Intrusion-dropped frames count as drops (no PCIe); benign
+        regular traffic counts as punts (PCIe crossing)."""
+        server = make_server(
+            tiny_dag,
+            processor=PacketProcessor(
+                detector=IntrusionDetector(blocklist={"66.6.6.6"})
+            ),
+        )
+        blocked = build_inference_frame(
+            InferenceRequest(1, 0, np.zeros(12, dtype=np.uint8)),
+            src_ip="66.6.6.6",
+            dst_port=8080,
+        )
+        benign = build_inference_frame(
+            InferenceRequest(1, 1, np.zeros(12, dtype=np.uint8)),
+            dst_port=8080,
+        )
+        dropped = server.handle_wire_frame(blocked)
+        punted = server.handle_wire_frame(benign)
+        assert isinstance(dropped, PuntedPacket)
+        assert dropped.verdict is Verdict.DROP
+        assert dropped.pcie_seconds == 0.0
+        assert isinstance(punted, PuntedPacket)
+        assert punted.pcie_seconds > 0.0
+        assert server.stats.dropped == 1
+        assert server.stats.punted == 1
+        assert server.stats.served == 0
+        # Mirrored on the NIC's own frame counters.
+        assert server.nic.counters.dropped == 1
+        assert server.nic.counters.punted == 1
+
+    def test_served_frames_still_accounted_alongside_errors(
+        self, tiny_dag
+    ):
+        server = make_server(tiny_dag)
+        good = build_inference_frame(
+            InferenceRequest(1, 2, np.zeros(12, dtype=np.uint8))
+        )
+        server.handle_wire_frame(b"runt")
+        outcome = server.handle_wire_frame(good)
+        assert outcome is not None
+        assert server.stats.served == 1
+        assert server.stats.errors == 1

@@ -1,0 +1,103 @@
+"""Tests for bounded admission queues and the batching coalescer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import AdmissionQueue, BatchingCoalescer
+
+
+class TestAdmissionQueue:
+    def test_fifo_order_and_timestamps(self):
+        q = AdmissionQueue(model_id=1, capacity=4)
+        for i in range(3):
+            assert q.offer(f"r{i}", now_s=float(i)) is None
+        assert q.depth == 3
+        assert q.head_enqueued_s == 0.0
+        first = q.pop()
+        assert first.item == "r0" and first.enqueued_s == 0.0
+        assert q.pop().item == "r1"
+
+    def test_drop_tail_rejects_incoming(self):
+        q = AdmissionQueue(model_id=1, capacity=2, policy="drop-tail")
+        q.offer("old0", 0.0)
+        q.offer("old1", 0.0)
+        victim = q.offer("new", 1.0)
+        assert victim == "new"
+        assert [q.pop().item for _ in range(2)] == ["old0", "old1"]
+        assert q.dropped == 1 and q.admitted == 2
+
+    def test_drop_head_evicts_oldest(self):
+        q = AdmissionQueue(model_id=1, capacity=2, policy="drop-head")
+        q.offer("old0", 0.0)
+        q.offer("old1", 0.0)
+        victim = q.offer("new", 1.0)
+        assert victim == "old0"
+        assert [q.pop().item for _ in range(2)] == ["old1", "new"]
+        assert q.dropped == 1 and q.admitted == 3
+
+    def test_memory_stays_bounded_under_sustained_overload(self):
+        q = AdmissionQueue(model_id=1, capacity=8)
+        drops = sum(
+            q.offer(i, float(i)) is not None for i in range(10_000)
+        )
+        assert q.depth == 8
+        assert drops == 10_000 - 8
+
+    def test_view_matches_state(self):
+        q = AdmissionQueue(model_id=9, capacity=4)
+        q.offer("a", 2.5)
+        v = q.view()
+        assert (v.model_id, v.depth, v.head_enqueued_s) == (9, 1, 2.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(model_id=1, capacity=0)
+        with pytest.raises(ValueError, match="drop policy"):
+            AdmissionQueue(model_id=1, policy="random-early")
+
+    def test_empty_queue_raises(self):
+        q = AdmissionQueue(model_id=1)
+        with pytest.raises(ValueError, match="empty"):
+            q.pop()
+        with pytest.raises(ValueError, match="empty"):
+            _ = q.head_enqueued_s
+
+
+class TestBatchingCoalescer:
+    def test_takes_up_to_max_batch_in_fifo_order(self):
+        q = AdmissionQueue(model_id=1, capacity=8)
+        for i in range(5):
+            q.offer(i, float(i))
+        coalescer = BatchingCoalescer(max_batch=3)
+        batch = coalescer.take(q)
+        assert [e.item for e in batch] == [0, 1, 2]
+        assert q.depth == 2
+
+    def test_single_request_batches_allowed(self):
+        q = AdmissionQueue(model_id=1, capacity=8)
+        q.offer("only", 0.0)
+        coalescer = BatchingCoalescer(max_batch=4)
+        assert len(coalescer.take(q)) == 1
+        assert coalescer.mean_batch_size == 1.0
+
+    def test_counters(self):
+        q = AdmissionQueue(model_id=1, capacity=8)
+        coalescer = BatchingCoalescer(max_batch=2)
+        for i in range(4):
+            q.offer(i, 0.0)
+        coalescer.take(q)
+        coalescer.take(q)
+        assert coalescer.batches_formed == 2
+        assert coalescer.requests_coalesced == 4
+        assert coalescer.mean_batch_size == 2.0
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BatchingCoalescer().take(AdmissionQueue(model_id=1))
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingCoalescer(max_batch=0)
+        with pytest.raises(ValueError, match="no batches"):
+            _ = BatchingCoalescer().mean_batch_size

@@ -1,0 +1,123 @@
+"""Tests for the scheduler policies shared by the runtime and §9 sim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    LeastLoadedScheduler,
+    ModelQueueView,
+    RoundRobinScheduler,
+    Scheduler,
+    WeightedFairScheduler,
+)
+from repro.sim import RoundRobinScheduler as SimRoundRobinScheduler
+
+
+def view(model_id, depth=1, head=0.0):
+    return ModelQueueView(
+        model_id=model_id, depth=depth, head_enqueued_s=head
+    )
+
+
+class TestProtocol:
+    def test_sim_reexports_the_same_class(self):
+        """The §9 simulator and the runtime share one scheduler type."""
+        assert SimRoundRobinScheduler is RoundRobinScheduler
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            RoundRobinScheduler(2),
+            LeastLoadedScheduler(2),
+            WeightedFairScheduler(2),
+        ],
+    )
+    def test_policies_satisfy_protocol(self, policy):
+        assert isinstance(policy, Scheduler)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="at least one core"):
+            RoundRobinScheduler(0)
+
+
+class TestRoundRobin:
+    def test_cycles_without_load_information(self):
+        sched = RoundRobinScheduler(num_cores=3)
+        assert [sched.assign(None) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_cycles_over_idle_subset(self):
+        """The runtime passes only idle cores; rotation follows along."""
+        sched = RoundRobinScheduler(num_cores=4)
+        picks = [sched.assign(None, [0.0, 0.0]) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_reset(self):
+        sched = RoundRobinScheduler(num_cores=2)
+        sched.assign(None)
+        sched.reset()
+        assert sched.assign(None) == 0
+
+    def test_fifo_model_selection(self):
+        sched = RoundRobinScheduler(num_cores=2)
+        picked = sched.next_model(
+            [view(7, head=2.0), view(3, head=1.0), view(5, head=3.0)]
+        )
+        assert picked == 3
+
+
+class TestLeastLoaded:
+    def test_picks_earliest_free_core(self):
+        sched = LeastLoadedScheduler(num_cores=3)
+        assert sched.assign(None, [5.0, 1.0, 3.0]) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        sched = LeastLoadedScheduler(num_cores=3)
+        assert sched.assign(None, [2.0, 2.0, 2.0]) == 0
+
+    def test_requires_load_information(self):
+        with pytest.raises(ValueError, match="load information"):
+            LeastLoadedScheduler(num_cores=2).assign(None)
+
+
+class TestWeightedFair:
+    def test_unserved_models_tie_break_fifo(self):
+        sched = WeightedFairScheduler(num_cores=1)
+        assert (
+            sched.next_model([view(1, head=1.0), view(2, head=0.5)]) == 2
+        )
+
+    def test_service_pushes_model_back(self):
+        sched = WeightedFairScheduler(num_cores=1)
+        sched.account(1, 1.0)
+        assert sched.next_model([view(1), view(2)]) == 2
+
+    def test_weights_shape_the_share(self):
+        """Weight 3 vs 1 under saturation → ~3:1 core-time split."""
+        sched = WeightedFairScheduler(
+            num_cores=1, weights={1: 3.0, 2: 1.0}
+        )
+        service = {1: 0.0, 2: 0.0}
+        for _ in range(400):
+            model = sched.next_model([view(1), view(2)])
+            sched.account(model, 1e-6)
+            service[model] += 1e-6
+        assert service[1] / service[2] == pytest.approx(3.0, rel=0.05)
+
+    def test_reset_forgets_history(self):
+        sched = WeightedFairScheduler(num_cores=1)
+        sched.account(1, 5.0)
+        sched.reset()
+        assert (
+            sched.next_model([view(1, head=0.0), view(2, head=1.0)]) == 1
+        )
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedFairScheduler(num_cores=1, weights={1: 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            WeightedFairScheduler(num_cores=1, default_weight=-1.0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            WeightedFairScheduler(num_cores=1).next_model([])

@@ -25,6 +25,7 @@ MODULES = [
     "repro.emulation",
     "repro.net",
     "repro.photonics",
+    "repro.runtime",
     "repro.sim",
     "repro.synthesis",
 ]

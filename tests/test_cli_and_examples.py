@@ -56,6 +56,7 @@ class TestCLI:
         "chip_design.py",
         "developer_kit.py",
         "photonic_signal_processing.py",
+        "serving_runtime.py",
     ],
 )
 def test_example_runs_clean(script):
