@@ -1,0 +1,139 @@
+"""Benchmark: goodput under a mid-trace core crash.
+
+A 4-core cluster sized to 0.8 utilization loses one core halfway
+through the trace.  The resilience layer (retry-with-backoff plus
+bounded queues) must keep the degraded cluster's goodput at >= 70 % of
+the healthy baseline while accounting for every offered request —
+``served + dropped + failed == offered``, nothing lost silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import LightningDatapath
+from repro.dnn import quantize_mlp, synthetic_flows, train_mlp
+from repro.faults import FaultSchedule, RetryPolicy
+from repro.photonics import (
+    BehavioralCore,
+    CoreArchitecture,
+    NoiselessModel,
+)
+from repro.runtime import (
+    Cluster,
+    LeastLoadedScheduler,
+    poisson_trace,
+    rate_for_cluster_utilization,
+)
+
+NUM_REQUESTS = 800
+NUM_CORES = 4
+UTILIZATION = 0.8
+
+
+def make_cluster() -> Cluster:
+    arch = CoreArchitecture(accumulation_wavelengths=2, batch_size=8)
+    return Cluster(
+        num_cores=NUM_CORES,
+        datapath_factory=lambda core: LightningDatapath(
+            core=BehavioralCore(
+                architecture=arch, noise=NoiselessModel()
+            ),
+            seed=core,
+        ),
+        scheduler=LeastLoadedScheduler(NUM_CORES),
+        queue_capacity=64,
+        max_batch=8,
+    )
+
+
+@pytest.fixture(scope="module")
+def dag():
+    train, _ = synthetic_flows(1200, seed=70).split()
+    model = train_mlp(
+        [16, 48, 16, 2], train, epochs=8, use_bias=False
+    ).model
+    return quantize_mlp(model, train.x[:128], model_id=1)
+
+
+@pytest.fixture(scope="module")
+def campaign(dag):
+    """The same 0.8-utilization trace, healthy and with a crash."""
+    probe = make_cluster()
+    probe.deploy(dag)
+    rate = rate_for_cluster_utilization(probe, UTILIZATION)
+    trace = poisson_trace([dag], rate, NUM_REQUESTS, seed=71)
+    crash_at = trace[-1].arrival_s * 0.5
+
+    def run(schedule=None):
+        cluster = make_cluster()
+        cluster.deploy(dag)
+        result = cluster.serve_trace(
+            trace,
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        return cluster, result
+
+    _, healthy = run()
+    crashed_cluster, crashed = run(
+        FaultSchedule(seed=72).core_crash(at_s=crash_at, core=1)
+    )
+    return healthy, crashed, crashed_cluster, crash_at
+
+
+def test_fault_resilience_report(campaign, report_writer):
+    healthy, crashed, _, crash_at = campaign
+    rows = []
+    for label, result in (("healthy", healthy), ("1 core crashed", crashed)):
+        rows.append(
+            [
+                label,
+                result.served,
+                len(result.dropped),
+                len(result.failed),
+                result.stats.retries,
+                100.0 * result.served / result.offered,
+                result.throughput_rps / 1e6,
+                result.stats.latency_percentile(99) * 1e6,
+            ]
+        )
+    report_writer(
+        "fault_resilience",
+        format_table(
+            [
+                "Scenario", "Served", "Dropped", "Failed", "Retries",
+                "Goodput (%)", "Tput (M req/s)", "p99 (us)",
+            ],
+            rows,
+            title=(
+                f"Fault resilience — {NUM_CORES}-core cluster at "
+                f"{UTILIZATION:.1f} utilization, core 1 crashed at "
+                f"t={crash_at * 1e6:.1f} us (50% of trace)"
+            ),
+        ),
+    )
+
+
+def test_goodput_survives_a_crash(campaign):
+    """Acceptance: degraded goodput stays >= 70% of the healthy run."""
+    healthy, crashed, _, _ = campaign
+    assert healthy.served == NUM_REQUESTS
+    assert crashed.served >= 0.7 * healthy.served
+
+
+def test_every_request_accounted_under_crash(campaign):
+    """Acceptance: served + dropped + failed == offered, exactly."""
+    _, crashed, cluster, crash_at = campaign
+    assert crashed.offered == NUM_REQUESTS
+    assert (
+        crashed.served + len(crashed.dropped) + len(crashed.failed)
+        == NUM_REQUESTS
+    )
+    assert not crashed.unfinished
+    assert crashed.stats.core_health[1] == "crashed"
+    # The dead core served nothing after the crash instant.
+    assert not any(
+        r.core == 1 and r.finish_s > crash_at for r in crashed.records
+    )

@@ -33,6 +33,7 @@ from . import (
     core,
     dnn,
     emulation,
+    faults,
     net,
     photonics,
     runtime,
@@ -63,6 +64,7 @@ __all__ = [
     "core",
     "dnn",
     "emulation",
+    "faults",
     "net",
     "photonics",
     "runtime",

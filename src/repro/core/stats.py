@@ -142,7 +142,20 @@ class ServerStats:
     punted: int = 0
     dropped: int = 0
     errors: int = 0
+    #: Requests abandoned after exhausting their retry budget (or
+    #: stranded with no usable core) — shed loudly, never lost silently.
+    failed: int = 0
+    #: Re-enqueues of requests lost to crashed/stalled cores.
+    retries: int = 0
+    #: Requests shed before dispatch because their SLO deadline passed
+    #: (also included in ``dropped``).
+    slo_dropped: int = 0
+    #: Cores removed from service by the calibration watchdog.
+    quarantines: int = 0
     per_model_served: dict[int, int] = field(default_factory=dict)
+    #: Last observed state per core ("healthy" | "stalled" |
+    #: "quarantined" | "crashed"), maintained by the runtime.
+    core_health: dict[int, str] = field(default_factory=dict)
     reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY
     _latencies: LatencyReservoir = field(init=False, repr=False)
 
@@ -177,6 +190,10 @@ class ServerStats:
             "punted": self.punted,
             "dropped": self.dropped,
             "errors": self.errors,
+            "failed": self.failed,
+            "retries": self.retries,
+            "slo_dropped": self.slo_dropped,
+            "quarantines": self.quarantines,
         }
         if len(self._latencies):
             p50, p95, p99 = self._latencies.percentiles([50, 95, 99])

@@ -1,0 +1,81 @@
+"""Fault injection and resilience for the photonic serving stack.
+
+Analog accelerators degrade silently: a drifting laser or a wandering
+modulator bias point shifts the calibrated error model (Figure 18)
+without any digital alarm.  This package makes failure a first-class,
+*replayable* input to the serving runtime:
+
+* :mod:`~repro.faults.schedule` — :class:`FaultSchedule`, a seeded,
+  time-ordered list of fault events replayed on the cluster's virtual
+  clock;
+* :mod:`~repro.faults.device` — laser power drift, MZM bias drift,
+  photodetector saturation, and stuck converter bits as
+  time-parameterized perturbations of the photonics models, composed
+  by :class:`DegradedCore`;
+* :mod:`~repro.faults.wire` — frame drop/corrupt/reorder at NIC
+  ingress via :class:`WireFaultInjector`;
+* :mod:`~repro.faults.resilience` — the :class:`CalibrationWatchdog`
+  (probe vectors + quarantine), :class:`RetryPolicy` (bounded
+  retry-with-backoff), and per-core :class:`CoreHealth`.
+
+The :class:`~repro.runtime.cluster.Cluster` consumes all four: pass a
+``fault_schedule`` (plus optionally a watchdog, retry policy, and SLO)
+to ``serve_trace`` and every scheduled failure interleaves
+deterministically with arrivals, dispatches, and probes.
+"""
+
+from .schedule import (
+    CORE_FAULT_KINDS,
+    DEVICE_FAULT_KINDS,
+    FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+from .device import (
+    DegradedCore,
+    DeviceFault,
+    LaserPowerDrift,
+    MZMBiasDrift,
+    PhotodetectorSaturation,
+    StuckBit,
+    device_fault_from_event,
+)
+from .wire import (
+    WireFaultInjector,
+    WireFaultReport,
+    WireFrame,
+    requests_from_frames,
+)
+from .resilience import (
+    CORE_STATES,
+    CalibrationWatchdog,
+    CoreHealth,
+    ProbeResult,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEVICE_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
+    "CORE_FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "DeviceFault",
+    "LaserPowerDrift",
+    "MZMBiasDrift",
+    "PhotodetectorSaturation",
+    "StuckBit",
+    "DegradedCore",
+    "device_fault_from_event",
+    "WireFrame",
+    "WireFaultReport",
+    "WireFaultInjector",
+    "requests_from_frames",
+    "CORE_STATES",
+    "CoreHealth",
+    "ProbeResult",
+    "RetryPolicy",
+    "CalibrationWatchdog",
+]

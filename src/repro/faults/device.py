@@ -1,0 +1,314 @@
+"""Time-parameterized analog device faults.
+
+The paper's accuracy claims rest on a *calibrated* analog path: the
+measured error model of Figure 18 (Gaussian, mean 2.32, std 1.65 on the
+0..255 scale) holds only while lasers hold power, modulator bias points
+sit at max extinction, and converters behave.  This module expresses
+the dominant deployment-time failure modes as perturbations of the
+existing photonics models, each parameterized by elapsed time since an
+onset so that drift *accumulates* the way real devices wander:
+
+* :class:`LaserPowerDrift` — carrier power decays, scaling every
+  photonic product down (a gain error calibration cannot see);
+* :class:`MZMBiasDrift` — the modulator bias walks off the
+  max-extinction point of Figure 23, leaking a growing additive offset
+  into every readout;
+* :class:`PhotodetectorSaturation` — readouts clip at a saturation
+  level, flattening large dot products;
+* :class:`StuckBit` — a DAC/ADC data bit sticks, corrupting the 8-bit
+  readout code deterministically.
+
+:class:`DegradedCore` composes any number of these around a
+:class:`~repro.photonics.core.BehavioralCore`-compatible core.  It
+preserves the core interface the datapath uses (``architecture``,
+``matmul``, ``accumulate``, ``multiply``), so a fault can be installed
+on a *live* serving core — the cluster wraps a core's datapath in place
+when a scheduled device fault fires — and the calibration watchdog can
+measure the degradation through the same interface it probes healthy
+cores with.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..photonics.noise import FULL_SCALE
+from .schedule import DEVICE_FAULT_KINDS, FaultEvent
+
+__all__ = [
+    "DeviceFault",
+    "LaserPowerDrift",
+    "MZMBiasDrift",
+    "PhotodetectorSaturation",
+    "StuckBit",
+    "DegradedCore",
+    "device_fault_from_event",
+]
+
+
+class DeviceFault:
+    """One analog fault: a time-parameterized readout perturbation.
+
+    ``perturb`` maps clean aggregate values to faulty ones.
+    ``readouts`` is how many ADC readouts the aggregate digitally sums
+    (1 for a single accumulate step, ``ceil(k / N)`` for a dot product
+    of inner size ``k`` on ``N`` wavelengths) so per-readout effects
+    scale correctly.
+    """
+
+    def __init__(self, onset_s: float = 0.0) -> None:
+        if onset_s < 0:
+            raise ValueError("fault onset cannot be negative")
+        self.onset_s = onset_s
+
+    def elapsed(self, now_s: float) -> float:
+        """Seconds the fault has been acting (0 before onset)."""
+        return max(0.0, now_s - self.onset_s)
+
+    def perturb(
+        self, values: np.ndarray, readouts: int, now_s: float
+    ) -> np.ndarray:
+        """Map clean aggregate values to faulty ones at ``now_s``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A short human-readable tag for traces and reports."""
+        return type(self).__name__
+
+
+class LaserPowerDrift(DeviceFault):
+    """Carrier power decays by ``fraction_per_s`` of nominal per second.
+
+    Every photonic product is proportional to laser intensity, so a
+    dimmed carrier scales all readouts by the same gain — a systematic
+    multiplicative error the two-point decode calibration (done at
+    nominal power) no longer corrects.
+    """
+
+    def __init__(
+        self, onset_s: float = 0.0, fraction_per_s: float = 0.0
+    ) -> None:
+        super().__init__(onset_s)
+        if fraction_per_s < 0:
+            raise ValueError("drift rate cannot be negative")
+        self.fraction_per_s = fraction_per_s
+
+    def gain(self, now_s: float) -> float:
+        """Remaining carrier power as a fraction of nominal."""
+        return max(0.0, 1.0 - self.fraction_per_s * self.elapsed(now_s))
+
+    def perturb(self, values, readouts, now_s):
+        return values * self.gain(now_s)
+
+
+class MZMBiasDrift(DeviceFault):
+    """The modulator bias point wanders off max extinction.
+
+    A bias error ``b(t) = volts_per_s * t`` away from the extinction
+    point leaks ``sin^2(pi/2 * b / v_pi)`` of the carrier through a
+    nominally-dark modulator (the Appendix A transfer function), adding
+    a growing offset to every readout — exactly the failure the bias
+    controller of Figure 23 exists to servo away.
+    """
+
+    def __init__(
+        self,
+        onset_s: float = 0.0,
+        volts_per_s: float = 0.0,
+        v_pi: float = 5.0,
+    ) -> None:
+        super().__init__(onset_s)
+        if volts_per_s < 0:
+            raise ValueError("bias drift rate cannot be negative")
+        if v_pi <= 0:
+            raise ValueError("half-wave voltage must be positive")
+        self.volts_per_s = volts_per_s
+        self.v_pi = v_pi
+
+    def leakage_levels(self, now_s: float) -> float:
+        """Per-readout additive offset, on the 0..255 scale."""
+        bias_error = self.volts_per_s * self.elapsed(now_s)
+        transmission = math.sin(
+            (math.pi / 2.0) * min(bias_error, self.v_pi) / self.v_pi
+        ) ** 2
+        return transmission * FULL_SCALE
+
+    def perturb(self, values, readouts, now_s):
+        return values + self.leakage_levels(now_s) * readouts
+
+
+class PhotodetectorSaturation(DeviceFault):
+    """Readouts clip at ``saturation_level`` (0..255 per readout).
+
+    An overdriven or degraded photodetector compresses large optical
+    sums; digitally-composed aggregates clip at ``readouts x`` the
+    per-readout ceiling.  Sign-separated negative partials clip
+    symmetrically (the magnitude travels the analog path).
+    """
+
+    def __init__(
+        self, onset_s: float = 0.0, saturation_level: float = FULL_SCALE
+    ) -> None:
+        super().__init__(onset_s)
+        if saturation_level <= 0:
+            raise ValueError("saturation level must be positive")
+        self.saturation_level = saturation_level
+
+    def perturb(self, values, readouts, now_s):
+        if now_s < self.onset_s:
+            return values
+        ceiling = self.saturation_level * readouts
+        return np.clip(values, -ceiling, ceiling)
+
+
+class StuckBit(DeviceFault):
+    """A converter data bit sticks at 0 or 1 in every 8-bit readout.
+
+    The per-readout magnitude is quantized to its 8-bit code, the stuck
+    bit is forced, and the aggregate is rebuilt — a deterministic,
+    value-dependent corruption characteristic of DAC/ADC lane damage.
+    """
+
+    def __init__(
+        self, onset_s: float = 0.0, bit: int = 0, stuck_to: int = 1
+    ) -> None:
+        super().__init__(onset_s)
+        if not 0 <= bit <= 7:
+            raise ValueError("stuck bit index must be in [0, 7]")
+        if stuck_to not in (0, 1):
+            raise ValueError("a bit sticks to 0 or 1")
+        self.bit = bit
+        self.stuck_to = stuck_to
+
+    def perturb(self, values, readouts, now_s):
+        if now_s < self.onset_s:
+            return values
+        values = np.asarray(values, dtype=np.float64)
+        signs = np.where(values < 0, -1.0, 1.0)
+        codes = np.clip(
+            np.round(np.abs(values) / readouts), 0, FULL_SCALE
+        ).astype(np.int64)
+        mask = 1 << self.bit
+        if self.stuck_to:
+            codes = codes | mask
+        else:
+            codes = codes & ~mask
+        return signs * codes.astype(np.float64) * readouts
+
+    def describe(self) -> str:
+        return f"StuckBit(bit={self.bit}, stuck_to={self.stuck_to})"
+
+
+def device_fault_from_event(event: FaultEvent) -> DeviceFault:
+    """Instantiate the :class:`DeviceFault` a schedule event describes."""
+    if event.kind not in DEVICE_FAULT_KINDS:
+        raise ValueError(f"{event.kind!r} is not a device fault")
+    params = dict(event.params)
+    if event.kind == "laser_drift":
+        return LaserPowerDrift(event.time_s, **params)
+    if event.kind == "mzm_bias_drift":
+        return MZMBiasDrift(event.time_s, **params)
+    if event.kind == "pd_saturation":
+        return PhotodetectorSaturation(event.time_s, **params)
+    return StuckBit(
+        event.time_s,
+        bit=int(params.get("bit", 0)),
+        stuck_to=int(params.get("stuck_to", 1)),
+    )
+
+
+class DegradedCore:
+    """A photonic core with installed analog faults.
+
+    Wraps any core exposing the :class:`BehavioralCore` interface and
+    applies every installed fault to each result, scaled by the number
+    of ADC readouts the result digitally sums.  The wrapper carries its
+    own clock (``now_s``), advanced by whoever owns the timeline — the
+    serving cluster sets it to the virtual-clock dispatch time, so
+    drift accumulates in *simulated* seconds, deterministically.
+    """
+
+    def __init__(
+        self,
+        core,
+        faults: tuple[DeviceFault, ...] | list[DeviceFault] = (),
+        now_s: float = 0.0,
+    ) -> None:
+        if isinstance(core, DegradedCore):
+            raise ValueError("core is already wrapped; use install()")
+        self.core = core
+        self.faults: list[DeviceFault] = list(faults)
+        self.now_s = now_s
+
+    @classmethod
+    def ensure(cls, datapath) -> "DegradedCore":
+        """Wrap ``datapath.core`` in place (idempotent).
+
+        The datapath reads ``self.core`` on every execution, so
+        swapping the attribute degrades a live core mid-run — the
+        serving cluster uses this when a scheduled device fault fires.
+        """
+        if not isinstance(datapath.core, cls):
+            datapath.core = cls(datapath.core)
+        return datapath.core
+
+    def install(self, fault: DeviceFault) -> None:
+        """Add one more fault to the composition."""
+        self.faults.append(fault)
+
+    def set_time(self, now_s: float) -> None:
+        """Advance the wrapper's clock (virtual seconds)."""
+        self.now_s = float(now_s)
+
+    @property
+    def architecture(self):
+        return self.core.architecture
+
+    @property
+    def noise(self):
+        return self.core.noise
+
+    def _perturb(self, values: np.ndarray, readouts: int) -> np.ndarray:
+        for fault in self.faults:
+            if self.now_s >= fault.onset_s:
+                values = fault.perturb(values, readouts, self.now_s)
+        return values
+
+    # ------------------------------------------------------------------
+    # Core interface (what the datapath and the watchdog call)
+    # ------------------------------------------------------------------
+    def multiply(self, a_levels, b_levels):
+        """Elementwise photonic product, perturbed per-readout."""
+        return self._perturb(self.core.multiply(a_levels, b_levels), 1)
+
+    def accumulate(self, a_pairs, b_pairs):
+        """One accumulate step (a single readout), perturbed."""
+        return self._perturb(self.core.accumulate(a_pairs, b_pairs), 1)
+
+    def matmul(self, a_matrix, b_matrix):
+        """Matrix product with faults scaled by the readouts each
+        output digitally sums (``ceil(inner / wavelengths)``)."""
+        if not hasattr(self.core, "matmul"):
+            raise AttributeError(
+                "the wrapped core does not provide matmul (device-"
+                "accurate cores reduce through accumulate/mac)"
+            )
+        a_matrix = np.asarray(a_matrix, dtype=np.float64)
+        inner = a_matrix.shape[-1]
+        readouts = -(-inner // self.architecture.accumulation_wavelengths)
+        return self._perturb(
+            self.core.matmul(a_matrix, b_matrix), readouts
+        )
+
+    def dot(self, a_levels, b_levels) -> float:
+        """One faulty dot product (a 1x1 :meth:`matmul`)."""
+        a_levels = np.asarray(a_levels, dtype=np.float64).ravel()
+        b_levels = np.asarray(b_levels, dtype=np.float64).ravel()
+        result = self.matmul(a_levels[None, :], b_levels[:, None])
+        return float(result[0, 0])
+
+    def apply_readout_noise(self, levels):
+        """The wrapped core's readout noise plus installed faults."""
+        return self._perturb(self.core.apply_readout_noise(levels), 1)

@@ -1,0 +1,167 @@
+"""Health monitoring and graceful degradation policies.
+
+The serving cluster stays up by *measuring* its cores instead of
+trusting them:
+
+* :class:`CalibrationWatchdog` — periodically pushes known probe
+  vectors through each core's photonic path and compares the readouts
+  against the exact digital result.  A healthy core's per-readout RMS
+  error sits at the calibrated noise floor (std 1.65 on the 0..255
+  scale, Figure 18); a drifted or damaged core's error grows past the
+  quarantine threshold and the cluster stops dispatching to it.
+* :class:`RetryPolicy` — requests lost to a crashed or stalled core are
+  re-enqueued with a backoff, at most ``max_retries`` times, then
+  counted as failed (never silently lost).
+* :class:`CoreHealth` — one core's observed state, reported through
+  :class:`~repro.core.stats.ServerStats` for operator dashboards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..photonics.noise import FULL_SCALE, PROTOTYPE_NOISE_STD
+
+__all__ = [
+    "CORE_STATES",
+    "CoreHealth",
+    "RetryPolicy",
+    "ProbeResult",
+    "CalibrationWatchdog",
+]
+
+#: Observable states of one serving core.
+CORE_STATES = ("healthy", "stalled", "quarantined", "crashed")
+
+
+@dataclass
+class CoreHealth:
+    """One core's monitored condition."""
+
+    state: str = "healthy"
+    error_rms: float = 0.0
+    probes: int = 0
+    quarantined_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in CORE_STATES:
+            raise ValueError(
+                f"unknown core state {self.state!r}; choose from "
+                f"{CORE_STATES}"
+            )
+
+    @property
+    def usable(self) -> bool:
+        """True while the cluster may dispatch new work to the core."""
+        return self.state == "healthy"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for requests lost to core faults."""
+
+    max_retries: int = 2
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_s < 0:
+            raise ValueError("backoff cannot be negative")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-enqueueing the ``attempt``-th retry
+        (linear: the schedule stays deterministic and bounded)."""
+        if attempt < 1:
+            raise ValueError("attempts are counted from 1")
+        return self.backoff_s * attempt
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One watchdog probe of one core."""
+
+    core: int
+    error_rms: float
+    healthy: bool
+
+
+class CalibrationWatchdog:
+    """Probes cores with known vectors and quarantines drifted ones.
+
+    The probe set is fixed at construction (deterministic levels drawn
+    once from ``seed``), so every probe of a healthy core measures the
+    same statistic: the per-readout RMS analog error.  The default
+    threshold is ``3x`` the prototype's calibrated noise std — a
+    healthy core sits at ~1.65, so tripping at 4.95 keeps the false
+    quarantine rate negligible while catching drift well before it
+    costs whole-model accuracy.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 100e-6,
+        threshold: float = 3.0 * PROTOTYPE_NOISE_STD,
+        num_probes: int = 8,
+        probe_length: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        if threshold <= 0:
+            raise ValueError("quarantine threshold must be positive")
+        if num_probes < 1:
+            raise ValueError("need at least one probe vector")
+        if probe_length < 1:
+            raise ValueError("probe vectors need at least one element")
+        self.interval_s = interval_s
+        self.threshold = threshold
+        rng = np.random.default_rng((seed, 0xCAFE))
+        self.probe_a = rng.integers(
+            0, 256, size=(num_probes, probe_length)
+        ).astype(np.float64)
+        self.probe_b = rng.integers(
+            0, 256, size=(num_probes, probe_length)
+        ).astype(np.float64)
+        #: Exact digital dot products the analog readouts should match.
+        self.expected = (
+            np.einsum("ij,ij->i", self.probe_a, self.probe_b) / FULL_SCALE
+        )
+
+    def probe(self, core) -> float:
+        """Per-readout RMS error of one core against the probe set.
+
+        Works with any core exposing ``matmul`` (behavioral) or ``mac``
+        (device-accurate); the error is normalized by ``sqrt(readouts)``
+        so the healthy value equals the per-readout noise std no matter
+        the probe length.
+        """
+        length = self.probe_a.shape[1]
+        wavelengths = core.architecture.accumulation_wavelengths
+        readouts = math.ceil(length / wavelengths)
+        if hasattr(core, "matmul"):
+            measured = np.array([
+                core.matmul(a[None, :], b[:, None])[0, 0]
+                for a, b in zip(self.probe_a, self.probe_b)
+            ])
+        else:
+            measured = np.array([
+                core.mac(a, b)
+                for a, b in zip(self.probe_a, self.probe_b)
+            ])
+        errors = measured - self.expected
+        return float(
+            np.sqrt(np.mean(errors**2)) / math.sqrt(readouts)
+        )
+
+    def check(self, core_index: int, core) -> ProbeResult:
+        """Probe one core and judge it against the threshold."""
+        error_rms = self.probe(core)
+        return ProbeResult(
+            core=core_index,
+            error_rms=error_rms,
+            healthy=error_rms <= self.threshold,
+        )

@@ -1,0 +1,270 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultSchedule` is a time-ordered list of :class:`FaultEvent`
+entries — the single source of truth for *when* and *where* something
+goes wrong in a serving run.  The cluster replays the schedule on its
+virtual clock (the same :class:`~repro.sim.events.EventQueue` that
+orders arrivals and completions), and every random decision a fault
+makes — which frame a lossy window drops, which payload byte a
+corruption flips — draws from a generator derived from the schedule's
+seed.  Two runs with the same seed and the same schedule therefore
+replay a failure scenario bit-exactly, which is what makes fault
+regressions testable at all.
+
+Fault kinds span the four layers the serving stack degrades in:
+
+* device (``repro.photonics``) — ``laser_drift``, ``mzm_bias_drift``,
+  ``pd_saturation``, ``stuck_bit``;
+* wire (``repro.net``) — ``frame_drop``, ``frame_corrupt``,
+  ``frame_reorder``, active over a time window;
+* core (``repro.runtime``) — ``core_stall`` (transient), and
+  ``core_crash`` (permanent, loses the in-flight batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "DEVICE_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
+    "CORE_FAULT_KINDS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+#: Analog device perturbations, applied to one core's photonic path.
+DEVICE_FAULT_KINDS = (
+    "laser_drift",
+    "mzm_bias_drift",
+    "pd_saturation",
+    "stuck_bit",
+)
+#: Frame-level faults injected at NIC ingress over a time window.
+WIRE_FAULT_KINDS = ("frame_drop", "frame_corrupt", "frame_reorder")
+#: Whole-core faults handled by the runtime's resilience layer.
+CORE_FAULT_KINDS = ("core_stall", "core_crash")
+FAULT_KINDS = DEVICE_FAULT_KINDS + WIRE_FAULT_KINDS + CORE_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: what goes wrong, where, when, and how badly.
+
+    ``core`` targets a cluster core for device/core faults and is
+    ``None`` for wire faults (the wire is shared).  ``duration_s`` is
+    the active window for transient faults (wire windows, core stalls);
+    ``None`` means the fault persists for the rest of the run.
+    ``params`` holds the kind-specific knobs (drift rates, probabilities
+    ...) as an immutable mapping.
+    """
+
+    time_s: float
+    kind: str
+    core: int | None = None
+    duration_s: float | None = None
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("fault time cannot be negative")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{FAULT_KINDS}"
+            )
+        if self.kind in WIRE_FAULT_KINDS:
+            if self.core is not None:
+                raise ValueError("wire faults target the shared wire, "
+                                 "not a core")
+        elif self.core is None or self.core < 0:
+            raise ValueError(f"{self.kind} needs a target core index")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("fault duration must be positive")
+        # Freeze the params so a schedule cannot drift between replays.
+        object.__setattr__(
+            self, "params", MappingProxyType(dict(self.params))
+        )
+
+    @property
+    def end_s(self) -> float:
+        """When the fault stops acting (``inf`` for persistent faults)."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.time_s + self.duration_s
+
+    def active_at(self, now_s: float) -> bool:
+        """True while the fault perturbs the system at ``now_s``."""
+        return self.time_s <= now_s < self.end_s
+
+
+class FaultSchedule:
+    """A seeded, time-ordered fault scenario.
+
+    Events may be added in any order; iteration is always by
+    ``(time_s, insertion order)``, matching the deterministic
+    tie-breaking of the runtime's event queue.  Builder methods cover
+    every supported fault kind and return ``self`` for chaining::
+
+        schedule = (
+            FaultSchedule(seed=7)
+            .laser_drift(at_s=1e-3, core=2, fraction_per_s=40.0)
+            .core_crash(at_s=2e-3, core=1)
+            .frame_corrupt(at_s=0.0, duration_s=1e-3, probability=0.3)
+        )
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Event management
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """All events, ordered by (time, insertion order)."""
+        order = {id(e): i for i, e in enumerate(self._events)}
+        return tuple(
+            sorted(self._events, key=lambda e: (e.time_s, order[id(e)]))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append one pre-built event."""
+        self._events.append(event)
+        return self
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """A generator for one named decision stream.
+
+        Distinct streams (e.g. ``"wire"``) are independent but fully
+        determined by the schedule seed, so consumers can draw without
+        perturbing each other's sequences between replays.
+        """
+        digest = sum(ord(c) * 131 ** i for i, c in enumerate(stream))
+        return np.random.default_rng((self.seed, digest & 0xFFFFFFFF))
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def device_events(self) -> tuple[FaultEvent, ...]:
+        """The schedule's analog device faults, in replay order."""
+        return tuple(e for e in self if e.kind in DEVICE_FAULT_KINDS)
+
+    def wire_events(self) -> tuple[FaultEvent, ...]:
+        """The schedule's NIC-ingress wire faults, in replay order."""
+        return tuple(e for e in self if e.kind in WIRE_FAULT_KINDS)
+
+    def core_events(self) -> tuple[FaultEvent, ...]:
+        """The schedule's whole-core faults, in replay order."""
+        return tuple(e for e in self if e.kind in CORE_FAULT_KINDS)
+
+    # ------------------------------------------------------------------
+    # Builders — device faults
+    # ------------------------------------------------------------------
+    def laser_drift(
+        self, at_s: float, core: int, fraction_per_s: float
+    ) -> "FaultSchedule":
+        """Carrier power decays by ``fraction_per_s`` of nominal per
+        second from ``at_s`` (thermal drift of an uncontrolled laser)."""
+        return self.add(FaultEvent(
+            at_s, "laser_drift", core=core,
+            params={"fraction_per_s": fraction_per_s},
+        ))
+
+    def mzm_bias_drift(
+        self, at_s: float, core: int, volts_per_s: float
+    ) -> "FaultSchedule":
+        """The modulator's bias point wanders off max-extinction at
+        ``volts_per_s``, leaking light into every readout (Fig 23)."""
+        return self.add(FaultEvent(
+            at_s, "mzm_bias_drift", core=core,
+            params={"volts_per_s": volts_per_s},
+        ))
+
+    def pd_saturation(
+        self, at_s: float, core: int, saturation_level: float
+    ) -> "FaultSchedule":
+        """The photodetector clips readouts above ``saturation_level``
+        (0..255 per-readout scale) from ``at_s`` on."""
+        return self.add(FaultEvent(
+            at_s, "pd_saturation", core=core,
+            params={"saturation_level": saturation_level},
+        ))
+
+    def stuck_bit(
+        self, at_s: float, core: int, bit: int, stuck_to: int = 1
+    ) -> "FaultSchedule":
+        """One converter bit sticks at 0 or 1 in every 8-bit readout."""
+        return self.add(FaultEvent(
+            at_s, "stuck_bit", core=core,
+            params={"bit": bit, "stuck_to": stuck_to},
+        ))
+
+    # ------------------------------------------------------------------
+    # Builders — wire faults
+    # ------------------------------------------------------------------
+    def frame_drop(
+        self, at_s: float, duration_s: float, probability: float
+    ) -> "FaultSchedule":
+        """Each frame arriving in the window is lost with
+        ``probability``."""
+        return self.add(FaultEvent(
+            at_s, "frame_drop", duration_s=duration_s,
+            params={"probability": probability},
+        ))
+
+    def frame_corrupt(
+        self,
+        at_s: float,
+        duration_s: float,
+        probability: float,
+        max_flipped_bytes: int = 4,
+    ) -> "FaultSchedule":
+        """Each frame in the window has up to ``max_flipped_bytes``
+        payload bytes corrupted with ``probability``."""
+        return self.add(FaultEvent(
+            at_s, "frame_corrupt", duration_s=duration_s,
+            params={
+                "probability": probability,
+                "max_flipped_bytes": max_flipped_bytes,
+            },
+        ))
+
+    def frame_reorder(
+        self, at_s: float, duration_s: float, probability: float
+    ) -> "FaultSchedule":
+        """Each frame in the window swaps arrival order with its
+        successor with ``probability`` (late delivery on a busy wire)."""
+        return self.add(FaultEvent(
+            at_s, "frame_reorder", duration_s=duration_s,
+            params={"probability": probability},
+        ))
+
+    # ------------------------------------------------------------------
+    # Builders — core faults
+    # ------------------------------------------------------------------
+    def core_stall(
+        self, at_s: float, core: int, duration_s: float
+    ) -> "FaultSchedule":
+        """The core freezes for ``duration_s``: its in-flight batch
+        finishes late and no new work dispatches until it clears."""
+        return self.add(FaultEvent(
+            at_s, "core_stall", core=core, duration_s=duration_s,
+        ))
+
+    def core_crash(self, at_s: float, core: int) -> "FaultSchedule":
+        """The core dies permanently; its in-flight batch is lost and
+        goes through the runtime's retry policy."""
+        return self.add(FaultEvent(at_s, "core_crash", core=core))

@@ -1,0 +1,202 @@
+"""Frame-level fault injection at NIC ingress.
+
+Lightning answers inference queries straight off the 100 Gbps port, so
+anything the wire does to a frame — loss, payload corruption, late
+delivery — lands directly on the serving path.  The
+:class:`WireFaultInjector` replays the wire faults of a
+:class:`~repro.faults.schedule.FaultSchedule` over a timestamped frame
+stream, deterministically under the schedule's seed:
+
+* ``frame_drop`` windows lose each in-window frame with a probability;
+* ``frame_corrupt`` windows flip random payload bytes (the frame still
+  parses as Ethernet, but the inner layers degrade — a corrupted
+  inference query becomes a punted :class:`RegularPacket`, never a
+  crash);
+* ``frame_reorder`` windows swap a frame's arrival order with its
+  successor's.
+
+:func:`requests_from_frames` bridges the surviving frames into
+:class:`~repro.runtime.cluster.RuntimeRequest` objects via the real
+:class:`~repro.net.parser.PacketParser`, counting punts into an
+optional :class:`~repro.core.stats.NICCounters` — the same frame
+accounting the smartNIC keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.stats import NICCounters
+from ..net.parser import PacketParser, ParsedInferenceQuery
+from .schedule import FaultSchedule
+
+__all__ = [
+    "WireFrame",
+    "WireFaultReport",
+    "WireFaultInjector",
+    "requests_from_frames",
+]
+
+#: Bytes of the Ethernet header; corruption never touches them so the
+#: frame always still *frames* (real links protect the header with the
+#: preamble/SFD and fail whole-frame on header damage, which is the
+#: ``frame_drop`` fault instead).
+_ETHERNET_HEADER_LEN = 14
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One raw frame plus its wire arrival timestamp."""
+
+    arrival_s: float
+    raw: bytes
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+        if len(self.raw) <= _ETHERNET_HEADER_LEN:
+            raise ValueError("frame too short to carry an Ethernet header")
+
+
+@dataclass(frozen=True)
+class WireFaultReport:
+    """What the wire did to one frame stream."""
+
+    offered: int
+    delivered: int
+    dropped: int
+    corrupted: int
+    reordered: int
+
+    def summary(self) -> dict[str, int]:
+        """A dashboard-style snapshot of the wire's damage."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "reordered": self.reordered,
+        }
+
+
+class WireFaultInjector:
+    """Applies a schedule's wire faults to a timestamped frame stream."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+
+    def apply(
+        self, frames: list[WireFrame] | tuple[WireFrame, ...]
+    ) -> tuple[list[WireFrame], WireFaultReport]:
+        """Run the stream through the faulty wire.
+
+        Returns the delivered frames (sorted by their — possibly
+        swapped — arrival times) and the injection report.  Replays are
+        bit-exact: all randomness comes from the schedule's ``"wire"``
+        decision stream.
+        """
+        rng = self.schedule.rng("wire")
+        events = self.schedule.wire_events()
+        ordered = sorted(frames, key=lambda f: f.arrival_s)
+        dropped = corrupted = reordered = 0
+
+        survivors: list[WireFrame] = []
+        swap_flags: list[bool] = []
+        for frame in ordered:
+            fate = frame
+            lost = False
+            swap = False
+            for event in events:
+                if not event.active_at(frame.arrival_s):
+                    continue
+                roll = float(rng.random())
+                probability = float(event.params.get("probability", 0.0))
+                if roll >= probability:
+                    continue
+                if event.kind == "frame_drop":
+                    lost = True
+                elif event.kind == "frame_corrupt":
+                    fate = WireFrame(
+                        fate.arrival_s, self._corrupt(fate.raw, event, rng)
+                    )
+                    corrupted += 1
+                else:  # frame_reorder
+                    swap = True
+            if lost:
+                dropped += 1
+            else:
+                survivors.append(fate)
+                swap_flags.append(swap)
+
+        # Reorder pass: a flagged frame's payload is delivered at its
+        # successor's timestamp and vice versa (late delivery).
+        for i in range(len(survivors) - 1):
+            if swap_flags[i]:
+                here, nxt = survivors[i], survivors[i + 1]
+                survivors[i] = WireFrame(here.arrival_s, nxt.raw)
+                survivors[i + 1] = WireFrame(nxt.arrival_s, here.raw)
+                reordered += 1
+
+        report = WireFaultReport(
+            offered=len(ordered),
+            delivered=len(survivors),
+            dropped=dropped,
+            corrupted=corrupted,
+            reordered=reordered,
+        )
+        return survivors, report
+
+    @staticmethod
+    def _corrupt(raw: bytes, event, rng: np.random.Generator) -> bytes:
+        """Flip up to ``max_flipped_bytes`` bytes past the Ethernet
+        header."""
+        max_bytes = int(event.params.get("max_flipped_bytes", 4))
+        body = len(raw) - _ETHERNET_HEADER_LEN
+        count = int(rng.integers(1, max(2, max_bytes + 1)))
+        buffer = bytearray(raw)
+        for _ in range(min(count, body)):
+            offset = _ETHERNET_HEADER_LEN + int(rng.integers(0, body))
+            buffer[offset] ^= int(rng.integers(1, 256))
+        return bytes(buffer)
+
+
+def requests_from_frames(
+    frames: list[WireFrame] | tuple[WireFrame, ...],
+    parser: PacketParser | None = None,
+    counters: NICCounters | None = None,
+):
+    """Parse delivered frames into cluster-servable requests.
+
+    Frames that parse as inference queries become
+    :class:`~repro.runtime.cluster.RuntimeRequest` objects; anything
+    else — including queries mangled by ``frame_corrupt`` — degrades to
+    a punt, counted on ``counters`` exactly as the smartNIC counts it.
+    Returns ``(requests, punted)``.
+    """
+    from ..runtime.cluster import RuntimeRequest
+
+    parser = parser if parser is not None else PacketParser()
+    requests: list[RuntimeRequest] = []
+    punted = 0
+    for frame in frames:
+        if counters is not None:
+            counters.frames_seen += 1
+        parsed = parser.parse(frame.raw)
+        if isinstance(parsed, ParsedInferenceQuery):
+            requests.append(
+                RuntimeRequest(
+                    request_id=parsed.request.request_id,
+                    model_id=parsed.request.model_id,
+                    arrival_s=frame.arrival_s,
+                    data_levels=np.asarray(
+                        parsed.data_levels, dtype=np.float64
+                    ),
+                )
+            )
+        else:
+            punted += 1
+            if counters is not None:
+                counters.punted += 1
+    return requests, punted

@@ -155,6 +155,17 @@ class Laser:
             {self.wavelength_nm: np.full(num_samples, self.power)}
         )
 
+    def set_power(self, power: float) -> None:
+        """Re-set the carrier power (drift injection / power servo).
+
+        The fault layer (:mod:`repro.faults.device`) drives this to
+        model thermal power drift of an uncontrolled laser; a power
+        servo would drive it the other way.
+        """
+        if power <= 0:
+            raise ValueError("laser power must be positive")
+        self.power = float(power)
+
 
 @dataclass
 class CombLaser:
@@ -298,22 +309,33 @@ class Photodetector:
         responsivity: float = 1.0,
         bandwidth_ghz: float = 9.5,
         dark_level: float = 0.0,
+        saturation_level: float | None = None,
     ) -> None:
         if responsivity <= 0:
             raise ValueError("responsivity must be positive")
         if bandwidth_ghz <= 0:
             raise ValueError("photodetector bandwidth must be positive")
+        if saturation_level is not None and saturation_level <= 0:
+            raise ValueError("saturation level must be positive")
         self.responsivity = responsivity
         self.bandwidth_ghz = bandwidth_ghz
         self.dark_level = dark_level
+        #: Output ceiling of the transimpedance stage; ``None`` models an
+        #: unsaturable (ideal) receiver.  The fault layer lowers this to
+        #: model an overdriven or degraded detector compressing readouts.
+        self.saturation_level = saturation_level
 
     def detect(self, light: OpticalField) -> np.ndarray:
         """Convert incident light to an output voltage series.
 
-        Wavelengths are summed incoherently sample-by-sample.
+        Wavelengths are summed incoherently sample-by-sample; output
+        clips at ``saturation_level`` when one is configured.
         """
         total = light.total_intensity()
-        return self.responsivity * total + self.dark_level
+        voltage = self.responsivity * total + self.dark_level
+        if self.saturation_level is not None:
+            voltage = np.minimum(voltage, self.saturation_level)
+        return voltage
 
     def detect_integrated(
         self, light: OpticalField, integration_samples: int

@@ -13,13 +13,29 @@ served request carries the paper's serve-time decomposition:
 
 * ``t_q`` (queuing) — waiting in the bounded admission queue plus any
   pipeline-pass staggering inside a coalesced batch (the DRAM-buffered
-  time of §9);
+  time of §9), plus any core-stall time the request rode out;
 * ``t_d`` (datapath) — the digital datapath and memory-streaming cost
   of one pipeline pass, from the datapath's own cycle ledger;
 * ``t_c`` (compute) — photonic dot products, adders, non-linearities.
 
 The identity ``finish - arrival == t_q + t_d + t_c`` holds exactly for
-every record.
+every record, faults or no faults.
+
+Resilience: ``serve_trace`` accepts a
+:class:`~repro.faults.schedule.FaultSchedule` whose device and core
+faults replay on the same virtual clock as arrivals — device faults
+wrap the target datapath's core in a
+:class:`~repro.faults.device.DegradedCore` mid-run, stalls freeze a
+core (extending its in-flight batch), and crashes remove it for good,
+sending the lost batch through the
+:class:`~repro.faults.resilience.RetryPolicy`.  A
+:class:`~repro.faults.resilience.CalibrationWatchdog` probes healthy
+cores on its interval and quarantines any whose analog error drifts
+past threshold; an ``slo_s`` deadline sheds requests that can no longer
+answer in time; ``timeout_s`` bounds the virtual clock so a mis-sized
+trace terminates with partial stats instead of spinning.  Every request
+ends in exactly one bucket — ``served + dropped + failed + unfinished
+== offered`` — so degraded runs stay fully accounted.
 """
 
 from __future__ import annotations
@@ -31,8 +47,22 @@ import numpy as np
 
 from ..core.datapath import LightningDatapath
 from ..core.dag import ComputationDAG
-from ..core.stats import ServerStats
+from ..core.stats import NICCounters, ServerStats
 from ..core.trace import DatapathTracer
+from ..faults.device import DegradedCore, device_fault_from_event
+from ..faults.resilience import CalibrationWatchdog, CoreHealth, RetryPolicy
+from ..faults.schedule import (
+    DEVICE_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    FaultSchedule,
+)
+from ..faults.wire import (
+    WireFaultInjector,
+    WireFaultReport,
+    WireFrame,
+    requests_from_frames,
+)
+from ..net.parser import PacketParser
 from ..sim.events import EventQueue
 from .batching import BatchingCoalescer
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
@@ -74,6 +104,28 @@ class RuntimeRecord:
         return self.queuing_s + self.datapath_s + self.compute_s
 
 
+@dataclass
+class _Dispatch:
+    """One in-flight batch on one core, finalized at completion time.
+
+    Records are *not* written at dispatch: a stall can push the finish
+    out and a crash can void the batch entirely, so the outcome is only
+    known when the completion event (carrying a matching ``epoch``)
+    fires.
+    """
+
+    core: int
+    model_id: int
+    entries: Sequence[QueueEntry]
+    start_s: float
+    finish_s: float
+    service_s: float
+    pass_datapath_s: float
+    pass_compute_s: float
+    outputs: list[np.ndarray]
+    epoch: int = 0
+
+
 @dataclass(frozen=True)
 class ClusterResult:
     """Everything one trace produced on the cluster."""
@@ -84,11 +136,24 @@ class ClusterResult:
     num_cores: int
     busy_seconds: float
     horizon_s: float
+    #: Requests abandoned after exhausting retries or stranded with no
+    #: usable core left.
+    failed: tuple[RuntimeRequest, ...] = ()
+    #: Requests still queued, in flight, or not yet arrived when a
+    #: ``timeout_s`` cut the run short.
+    unfinished: tuple[RuntimeRequest, ...] = ()
+    #: Requests in the offered trace (0 for results predating faults).
+    offered: int = 0
 
     @property
     def served(self) -> int:
         """Requests that completed with a prediction."""
         return len(self.records)
+
+    @property
+    def shed(self) -> int:
+        """Requests the cluster gave up on, loudly (dropped + failed)."""
+        return len(self.dropped) + len(self.failed)
 
     @property
     def throughput_rps(self) -> float:
@@ -98,7 +163,7 @@ class ClusterResult:
         return self.served / self.horizon_s
 
     def utilization(self) -> float:
-        """Fraction of total core-time the datapaths were executing."""
+        """Fraction of total core-time the datapaths were occupied."""
         if self.horizon_s <= 0:
             return 0.0
         return self.busy_seconds / (self.num_cores * self.horizon_s)
@@ -167,6 +232,13 @@ class Cluster:
         self.coalescer = BatchingCoalescer(max_batch=max_batch)
         self.tracer = tracer
         self.stats = ServerStats()
+        #: Frame-level accounting shared with every admission queue, so
+        #: both drop policies (and SLO sheds) charge the same counter.
+        self.nic_counters = NICCounters()
+        #: Per-core monitored condition, refreshed by each serve.
+        self.health: dict[int, CoreHealth] = {
+            i: CoreHealth() for i in range(num_cores)
+        }
         self._dags: dict[int, ComputationDAG] = {}
         self._queues: dict[int, AdmissionQueue[RuntimeRequest]] = {}
 
@@ -200,6 +272,7 @@ class Cluster:
             model_id=dag.model_id,
             capacity=self.queue_capacity,
             policy=self.drop_policy,
+            counters=self.nic_counters,
         )
         zeros = np.zeros(dag.tasks[0].input_size, dtype=np.float64)
         for datapath in self.datapaths:
@@ -216,10 +289,44 @@ class Cluster:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve_trace(
-        self, requests: Iterable[RuntimeRequest]
+    def serve(
+        self,
+        requests: Iterable[RuntimeRequest],
+        **kwargs,
     ) -> ClusterResult:
-        """Serve one arrival trace to completion on the virtual clock."""
+        """Serve one arrival trace (alias of :meth:`serve_trace`).
+
+        Accepts the same keywords, notably ``timeout_s`` to bound the
+        virtual clock on a mis-sized trace.
+        """
+        return self.serve_trace(requests, **kwargs)
+
+    def serve_trace(
+        self,
+        requests: Iterable[RuntimeRequest],
+        *,
+        fault_schedule: FaultSchedule | None = None,
+        watchdog: CalibrationWatchdog | None = None,
+        retry_policy: RetryPolicy | None = None,
+        slo_s: float | None = None,
+        timeout_s: float | None = None,
+    ) -> ClusterResult:
+        """Serve one arrival trace to completion on the virtual clock.
+
+        ``fault_schedule`` replays device and core faults at their
+        scheduled virtual times (wire faults are ingress-side — see
+        :meth:`serve_frames`).  ``watchdog`` probes healthy cores every
+        ``interval_s`` and quarantines drifted ones.  ``retry_policy``
+        bounds re-enqueues of batches lost to crashes (default:
+        :class:`~repro.faults.resilience.RetryPolicy`).  ``slo_s`` sheds
+        requests whose deadline passed before dispatch.  ``timeout_s``
+        stops the virtual clock early, returning partial stats with the
+        leftovers in ``unfinished``.
+        """
+        if slo_s is not None and slo_s <= 0:
+            raise ValueError("slo must be positive")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout must be positive")
         trace = sorted(requests, key=lambda r: r.arrival_s)
         if not trace:
             raise ValueError("cannot serve an empty trace")
@@ -228,25 +335,226 @@ class Cluster:
                 raise KeyError(
                     f"model {request.model_id} is not deployed"
                 )
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.scheduler.reset()
         events = EventQueue()
+        health = {i: CoreHealth() for i in range(self.num_cores)}
+        self.health = health
         core_free_at = [0.0] * self.num_cores
         core_busy = [False] * self.num_cores
+        stalled_until = [0.0] * self.num_cores
+        epoch = [0] * self.num_cores
+        inflight: dict[int, _Dispatch] = {}
         records: list[RuntimeRecord] = []
         dropped: list[RuntimeRequest] = []
+        failed: list[RuntimeRequest] = []
+        attempts: dict[int, int] = {}
         busy_seconds = 0.0
+        remaining_arrivals = len(trace)
+        pending_retries = 0
         for request in trace:
             events.push(request.arrival_s, "arrival", request)
+        if fault_schedule is not None:
+            for fault in fault_schedule.events:
+                if fault.kind in WIRE_FAULT_KINDS:
+                    continue  # ingress-side; see serve_frames
+                events.push(fault.time_s, "fault", fault)
+        if watchdog is not None:
+            events.push(watchdog.interval_s, "probe")
 
         def emit(kind: str, label: str, detail: dict, now: float) -> None:
             if self.tracer is not None:
                 self.tracer.emit(kind, label, detail, time_s=now)
 
-        def dispatch(now: float) -> None:
+        def set_core_time(core: int, now: float) -> None:
+            wrapped = self.datapaths[core].core
+            if isinstance(wrapped, DegradedCore):
+                wrapped.set_time(now)
+
+        def work_pending() -> bool:
+            if remaining_arrivals or pending_retries or inflight:
+                return True
+            queued = any(q.depth for q in self._queues.values())
+            alive = any(
+                health[i].state in ("healthy", "stalled")
+                for i in range(self.num_cores)
+            )
+            return queued and alive
+
+        def fail(request: RuntimeRequest, now: float, reason: str) -> None:
+            failed.append(request)
+            self.stats.failed += 1
+            emit(
+                "fail",
+                f"model:{request.model_id}",
+                {"request_id": request.request_id, "reason": reason},
+                now,
+            )
+
+        def slo_drop(request: RuntimeRequest, now: float) -> None:
+            dropped.append(request)
+            self.stats.dropped += 1
+            self.stats.slo_dropped += 1
+            self.nic_counters.dropped += 1
+            emit(
+                "slo_drop",
+                f"model:{request.model_id}",
+                {"request_id": request.request_id, "slo_s": slo_s},
+                now,
+            )
+
+        def purge_expired(now: float) -> None:
+            if slo_s is None:
+                return
+            for queue in self._queues.values():
+                while (
+                    queue.depth
+                    and now - queue.peek().item.arrival_s > slo_s
+                ):
+                    slo_drop(queue.pop().item, now)
+
+        def requeue(request: RuntimeRequest, now: float) -> None:
+            nonlocal pending_retries
+            count = attempts.get(request.request_id, 0) + 1
+            attempts[request.request_id] = count
+            if count > policy.max_retries:
+                fail(request, now, "retries_exhausted")
+                return
+            self.stats.retries += 1
+            pending_retries += 1
+            events.push(now + policy.delay(count), "retry", request)
+            emit(
+                "retry",
+                f"model:{request.model_id}",
+                {"request_id": request.request_id, "attempt": count},
+                now,
+            )
+
+        def abort_inflight(core: int, now: float) -> None:
             nonlocal busy_seconds
+            batch = inflight.pop(core, None)
+            if batch is None:
+                return
+            epoch[core] += 1
+            core_busy[core] = False
+            # The crashed dispatch's partial occupancy still counts
+            # against the core — wasted work is work.
+            busy_seconds += now - batch.start_s
+            for entry in batch.entries:
+                requeue(entry.item, now)
+
+        def finalize(core: int, now: float) -> None:
+            nonlocal busy_seconds
+            batch = inflight.pop(core)
+            core_busy[core] = False
+            busy_seconds += batch.service_s
+            for entry, output in zip(batch.entries, batch.outputs):
+                queuing_s = (
+                    batch.finish_s
+                    - entry.item.arrival_s
+                    - batch.pass_datapath_s
+                    - batch.pass_compute_s
+                )
+                record = RuntimeRecord(
+                    request=entry.item,
+                    core=core,
+                    batch_size=len(batch.entries),
+                    queuing_s=queuing_s,
+                    datapath_s=batch.pass_datapath_s,
+                    compute_s=batch.pass_compute_s,
+                    finish_s=batch.finish_s,
+                    prediction=int(np.argmax(output)),
+                )
+                records.append(record)
+                self.stats.record(batch.model_id, record.serve_time_s)
+                self.nic_counters.served += 1
+            emit(
+                "complete",
+                f"core:{core}",
+                {"model_id": batch.model_id, "batch": len(batch.entries)},
+                now,
+            )
+
+        def apply_fault(fault, now: float) -> None:
+            core = fault.core
+            if fault.kind in DEVICE_FAULT_KINDS:
+                wrapper = DegradedCore.ensure(self.datapaths[core])
+                wrapper.set_time(now)
+                wrapper.install(device_fault_from_event(fault))
+                emit("fault", f"core:{core}", {"kind": fault.kind}, now)
+                return
+            if fault.kind == "core_crash":
+                if health[core].state == "crashed":
+                    return
+                health[core].state = "crashed"
+                emit("fault", f"core:{core}", {"kind": "core_crash"}, now)
+                abort_inflight(core, now)
+                return
+            # core_stall: a dead or benched core cannot stall further.
+            if health[core].state in ("crashed", "quarantined"):
+                return
+            stalled_until[core] = max(
+                stalled_until[core], now + fault.duration_s
+            )
+            if health[core].state == "healthy":
+                health[core].state = "stalled"
+            batch = inflight.get(core)
+            if batch is not None:
+                # The frozen batch finishes late: invalidate its old
+                # completion and push the delayed one.  The stall time
+                # lands in each request's t_q, keeping the identity.
+                epoch[core] += 1
+                batch.epoch = epoch[core]
+                batch.finish_s += fault.duration_s
+                batch.service_s += fault.duration_s
+                core_free_at[core] = batch.finish_s
+                events.push(batch.finish_s, "complete", (core, batch.epoch))
+            events.push(stalled_until[core], "stall_clear", core)
+            emit(
+                "fault",
+                f"core:{core}",
+                {"kind": "core_stall", "duration_s": fault.duration_s},
+                now,
+            )
+
+        def run_probes(now: float) -> None:
+            for i in range(self.num_cores):
+                if health[i].state != "healthy":
+                    continue
+                set_core_time(i, now)
+                result = watchdog.check(i, self.datapaths[i].core)
+                health[i].error_rms = result.error_rms
+                health[i].probes += 1
+                emit(
+                    "probe",
+                    f"core:{i}",
+                    {"error_rms": result.error_rms},
+                    now,
+                )
+                if result.healthy:
+                    continue
+                health[i].state = "quarantined"
+                health[i].quarantined_at_s = now
+                self.stats.quarantines += 1
+                emit(
+                    "quarantine",
+                    f"core:{i}",
+                    {
+                        "error_rms": result.error_rms,
+                        "threshold": watchdog.threshold,
+                    },
+                    now,
+                )
+            if work_pending():
+                events.push(now + watchdog.interval_s, "probe")
+
+        def dispatch(now: float) -> None:
             while True:
+                purge_expired(now)
                 idle = [
-                    i for i in range(self.num_cores) if not core_busy[i]
+                    i
+                    for i in range(self.num_cores)
+                    if not core_busy[i] and health[i].state == "healthy"
                 ]
                 ready = [
                     q.view() for q in self._queues.values() if q.depth
@@ -255,34 +563,52 @@ class Cluster:
                     return
                 model_id = self.scheduler.next_model(ready)
                 entries = self.coalescer.take(self._queues[model_id])
+                if slo_s is not None:
+                    # Retries re-enter at the tail, so an expired
+                    # request can hide behind a live head.
+                    live = [
+                        e
+                        for e in entries
+                        if now - e.item.arrival_s <= slo_s
+                    ]
+                    for entry in entries:
+                        if entry not in live:
+                            slo_drop(entry.item, now)
+                    if not live:
+                        continue
+                    entries = live
                 pick = self.scheduler.assign(
                     entries[0].item,
                     [core_free_at[i] for i in idle],
                     now_s=now,
                 )
                 core = idle[pick]
-                finish, service_s = self._execute(
-                    core, model_id, entries, now, records
-                )
+                set_core_time(core, now)
+                batch = self._run_batch(core, model_id, entries, now)
+                batch.epoch = epoch[core]
+                inflight[core] = batch
                 core_busy[core] = True
-                core_free_at[core] = finish
-                busy_seconds += service_s
-                self.scheduler.account(model_id, service_s)
-                events.push(finish, "core_free", core)
+                core_free_at[core] = batch.finish_s
+                self.scheduler.account(model_id, batch.service_s)
+                events.push(
+                    batch.finish_s, "complete", (core, batch.epoch)
+                )
                 emit(
                     "dispatch",
                     f"core:{core}",
                     {
                         "model_id": model_id,
                         "batch": len(entries),
-                        "service_us": service_s * 1e6,
+                        "service_us": batch.service_s * 1e6,
                     },
                     now,
                 )
 
         def handle(event) -> None:
+            nonlocal remaining_arrivals, pending_retries
             now = events.now
             if event.kind == "arrival":
+                remaining_arrivals -= 1
                 request: RuntimeRequest = event.payload
                 queue = self._queues[request.model_id]
                 victim = queue.offer(request, now)
@@ -308,11 +634,63 @@ class Cluster:
                         },
                         now,
                     )
-            elif event.kind == "core_free":
-                core_busy[event.payload] = False
+            elif event.kind == "retry":
+                pending_retries -= 1
+                request = event.payload
+                queue = self._queues[request.model_id]
+                victim = queue.offer(request, now)
+                if victim is not None:
+                    dropped.append(victim)
+                    self.stats.dropped += 1
+                    emit(
+                        "drop",
+                        f"model:{request.model_id}",
+                        {
+                            "request_id": victim.request_id,
+                            "policy": queue.policy,
+                        },
+                        now,
+                    )
+            elif event.kind == "complete":
+                core, stamp = event.payload
+                batch = inflight.get(core)
+                if batch is None or batch.epoch != stamp:
+                    return  # voided by a crash or superseded by a stall
+                finalize(core, now)
+            elif event.kind == "fault":
+                apply_fault(event.payload, now)
+            elif event.kind == "stall_clear":
+                core = event.payload
+                if (
+                    health[core].state == "stalled"
+                    and now >= stalled_until[core]
+                ):
+                    health[core].state = "healthy"
+            elif event.kind == "probe":
+                run_probes(now)
             dispatch(now)
 
-        events.run(handle)
+        events.run(handle, until=timeout_s)
+
+        unfinished: list[RuntimeRequest] = []
+        timed_out = timeout_s is not None and len(events) > 0
+        if timed_out:
+            for batch in inflight.values():
+                unfinished.extend(e.item for e in batch.entries)
+            for queue in self._queues.values():
+                while queue.depth:
+                    unfinished.append(queue.pop().item)
+            unfinished.extend(events.pending("arrival"))
+            unfinished.extend(events.pending("retry"))
+        else:
+            # A fully drained clock with queued leftovers means no
+            # usable core remained — strand them loudly.
+            for queue in self._queues.values():
+                while queue.depth:
+                    fail(queue.pop().item, events.now, "no_usable_core")
+        self.stats.core_health = {
+            i: health[i].state for i in range(self.num_cores)
+        }
         horizon = max((r.finish_s for r in records), default=0.0)
         return ClusterResult(
             records=tuple(records),
@@ -321,23 +699,63 @@ class Cluster:
             num_cores=self.num_cores,
             busy_seconds=busy_seconds,
             horizon_s=horizon,
+            failed=tuple(failed),
+            unfinished=tuple(unfinished),
+            offered=len(trace),
         )
 
-    def _execute(
+    def serve_frames(
+        self,
+        frames: Sequence[WireFrame],
+        *,
+        fault_schedule: FaultSchedule | None = None,
+        parser: PacketParser | None = None,
+        **kwargs,
+    ) -> tuple[ClusterResult, WireFaultReport]:
+        """Serve raw timestamped frames through the faulty wire.
+
+        The schedule's wire faults (drop/corrupt/reorder) act on the
+        frame stream first; survivors parse through the real
+        :class:`~repro.net.parser.PacketParser` (corrupted queries
+        degrade to punts on :attr:`nic_counters`, never crashes), and
+        the resulting requests serve through :meth:`serve_trace` with
+        the same schedule's device/core faults.  Returns the serve
+        result plus the wire's injection report.
+        """
+        schedule = (
+            fault_schedule
+            if fault_schedule is not None
+            else FaultSchedule()
+        )
+        delivered, report = WireFaultInjector(schedule).apply(list(frames))
+        requests, _ = requests_from_frames(
+            delivered, parser=parser, counters=self.nic_counters
+        )
+        if not requests:
+            raise ValueError(
+                "no inference requests survived NIC ingress"
+            )
+        result = self.serve_trace(
+            requests, fault_schedule=fault_schedule, **kwargs
+        )
+        return result, report
+
+    def _run_batch(
         self,
         core: int,
         model_id: int,
         entries: Sequence[QueueEntry],
         start_s: float,
-        records: list[RuntimeRecord],
-    ) -> tuple[float, float]:
-        """Run one dispatch on a core's real datapath; append records.
+    ) -> _Dispatch:
+        """Run one dispatch on a core's real datapath.
 
-        Returns ``(finish_s, service_s)``.  A multi-request dispatch
-        goes through the broadcast batch path: each request's t_d/t_c is
-        one pipeline pass's worth, and any extra passes a large batch
-        needs land in t_q (the request is DRAM-buffered while earlier
-        passes stream), keeping the decomposition identity exact.
+        A multi-request dispatch goes through the broadcast batch path:
+        each request's t_d/t_c is one pipeline pass's worth, and any
+        extra passes a large batch needs land in t_q (the request is
+        DRAM-buffered while earlier passes stream), keeping the
+        decomposition identity exact.  The outputs are computed here,
+        but records are only finalized when the completion event fires
+        — see :class:`_Dispatch`.
         """
         datapath = self.datapaths[core]
         if len(entries) == 1:
@@ -361,24 +779,14 @@ class Cluster:
             ) / batch.passes
             pass_compute_s = batch.compute_seconds / batch.passes
             outputs = list(batch.output_levels)
-        finish = start_s + service_s
-        for entry, output in zip(entries, outputs):
-            queuing_s = (
-                finish
-                - entry.item.arrival_s
-                - pass_datapath_s
-                - pass_compute_s
-            )
-            record = RuntimeRecord(
-                request=entry.item,
-                core=core,
-                batch_size=len(entries),
-                queuing_s=queuing_s,
-                datapath_s=pass_datapath_s,
-                compute_s=pass_compute_s,
-                finish_s=finish,
-                prediction=int(np.argmax(output)),
-            )
-            records.append(record)
-            self.stats.record(model_id, record.serve_time_s)
-        return finish, service_s
+        return _Dispatch(
+            core=core,
+            model_id=model_id,
+            entries=list(entries),
+            start_s=start_s,
+            finish_s=start_s + service_s,
+            service_s=service_s,
+            pass_datapath_s=pass_datapath_s,
+            pass_compute_s=pass_compute_s,
+            outputs=outputs,
+        )

@@ -22,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
+from ..core.stats import NICCounters
 from .schedulers import ModelQueueView
 
 __all__ = ["DROP_POLICIES", "QueueEntry", "AdmissionQueue"]
@@ -48,6 +49,7 @@ class AdmissionQueue(Generic[T]):
         model_id: int,
         capacity: int = 64,
         policy: str = "drop-tail",
+        counters: NICCounters | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be at least 1")
@@ -59,6 +61,12 @@ class AdmissionQueue(Generic[T]):
         self.model_id = model_id
         self.capacity = capacity
         self.policy = policy
+        #: Shared frame-level accounting.  *Both* overload policies
+        #: charge their victim to the same ``counters.dropped`` field
+        #: (drop-head evictions used to bypass NIC-level accounting),
+        #: so a dashboard reading NICCounters sees every shed request
+        #: regardless of policy.
+        self.counters = counters
         self._entries: deque[QueueEntry[T]] = deque()
         self.admitted = 0
         self.dropped = 0
@@ -94,18 +102,27 @@ class AdmissionQueue(Generic[T]):
         (rejected), under ``drop-head`` it returns the evicted oldest
         request (the new one is admitted).
         """
+        if self.counters is not None:
+            self.counters.frames_seen += 1
         if len(self._entries) < self.capacity:
             self._entries.append(QueueEntry(item, now_s))
             self.admitted += 1
             return None
+        self.dropped += 1
+        if self.counters is not None:
+            self.counters.dropped += 1
         if self.policy == "drop-tail":
-            self.dropped += 1
             return item
         victim = self._entries.popleft()
         self._entries.append(QueueEntry(item, now_s))
         self.admitted += 1
-        self.dropped += 1
         return victim.item
+
+    def peek(self) -> QueueEntry[T]:
+        """The oldest queued entry, without removing it."""
+        if not self._entries:
+            raise ValueError("queue is empty")
+        return self._entries[0]
 
     def pop(self) -> QueueEntry[T]:
         """Remove and return the oldest queued entry."""

@@ -54,6 +54,19 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def pending(self, kind: str | None = None) -> list[Any]:
+        """Payloads of not-yet-popped events, in schedule order.
+
+        Optionally filtered to one event kind.  Used by consumers that
+        stop early (``run(until=...)``) and must account for work still
+        in the heap — e.g. the runtime counting requests that never
+        arrived before a serve timeout.
+        """
+        events = sorted(self._heap)
+        return [
+            e.payload for e in events if kind is None or e.kind == kind
+        ]
+
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing the clock."""
         if not self._heap:

@@ -1,0 +1,49 @@
+"""Shared fixtures for the fault-injection suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LightningDatapath
+from repro.photonics import BehavioralCore, CoreArchitecture, NoiselessModel
+from repro.runtime import Cluster, RuntimeRequest
+
+
+def make_cluster(num_cores=4, hardware_batch=1, **kwargs):
+    """A deterministic noiseless cluster (same idiom as runtime tests)."""
+    arch = CoreArchitecture(
+        accumulation_wavelengths=2, batch_size=hardware_batch
+    )
+    return Cluster(
+        num_cores=num_cores,
+        datapath_factory=lambda core: LightningDatapath(
+            core=BehavioralCore(
+                architecture=arch, noise=NoiselessModel()
+            ),
+            seed=core,
+        ),
+        **kwargs,
+    )
+
+
+def steady_trace(count=60, spacing_s=2e-6, model_id=1, size=12, seed=1):
+    """A uniformly spaced arrival trace with reproducible payloads."""
+    rng = np.random.default_rng(seed)
+    return [
+        RuntimeRequest(
+            request_id=i,
+            model_id=model_id,
+            arrival_s=i * spacing_s,
+            data_levels=rng.integers(0, 256, size=size).astype(np.float64),
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def fault_cluster(tiny_dag):
+    """A deployed 4-core cluster ready for fault scenarios."""
+    cluster = make_cluster(num_cores=4)
+    cluster.deploy(tiny_dag)
+    return cluster

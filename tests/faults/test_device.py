@@ -1,0 +1,186 @@
+"""Tests for analog device faults and the degraded-core wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LightningDatapath
+from repro.faults import (
+    DegradedCore,
+    FaultEvent,
+    LaserPowerDrift,
+    MZMBiasDrift,
+    PhotodetectorSaturation,
+    StuckBit,
+    device_fault_from_event,
+)
+from repro.photonics import (
+    BehavioralCore,
+    CoreArchitecture,
+    NoiselessModel,
+    PrototypeCore,
+)
+
+
+def noiseless_core(wavelengths=2):
+    return BehavioralCore(
+        architecture=CoreArchitecture(accumulation_wavelengths=wavelengths),
+        noise=NoiselessModel(),
+    )
+
+
+class TestLaserPowerDrift:
+    def test_no_effect_before_onset(self):
+        fault = LaserPowerDrift(onset_s=1.0, fraction_per_s=0.5)
+        values = np.array([100.0])
+        assert fault.perturb(values, 1, 0.5) == pytest.approx(100.0)
+
+    def test_gain_decays_linearly_then_floors_at_zero(self):
+        fault = LaserPowerDrift(onset_s=0.0, fraction_per_s=0.25)
+        assert fault.gain(2.0) == pytest.approx(0.5)
+        assert fault.gain(100.0) == 0.0
+
+    def test_scales_every_value(self):
+        fault = LaserPowerDrift(onset_s=0.0, fraction_per_s=0.1)
+        values = np.array([10.0, -20.0])
+        np.testing.assert_allclose(
+            fault.perturb(values, 4, 5.0), values * 0.5
+        )
+
+
+class TestMZMBiasDrift:
+    def test_leakage_grows_with_elapsed_time(self):
+        fault = MZMBiasDrift(onset_s=0.0, volts_per_s=1.0, v_pi=5.0)
+        early = fault.leakage_levels(1.0)
+        late = fault.leakage_levels(4.0)
+        assert 0.0 < early < late
+
+    def test_leakage_saturates_at_full_scale(self):
+        fault = MZMBiasDrift(onset_s=0.0, volts_per_s=1.0, v_pi=5.0)
+        assert fault.leakage_levels(1e6) == pytest.approx(255.0)
+
+    def test_offset_scales_with_readouts(self):
+        fault = MZMBiasDrift(onset_s=0.0, volts_per_s=1.0)
+        one = fault.perturb(np.array([0.0]), 1, 2.0)[0]
+        four = fault.perturb(np.array([0.0]), 4, 2.0)[0]
+        assert four == pytest.approx(4 * one)
+
+
+class TestPhotodetectorSaturation:
+    def test_clips_symmetrically(self):
+        fault = PhotodetectorSaturation(saturation_level=100.0)
+        values = np.array([50.0, 150.0, -150.0])
+        np.testing.assert_allclose(
+            fault.perturb(values, 1, 0.0), [50.0, 100.0, -100.0]
+        )
+
+    def test_ceiling_scales_with_readouts(self):
+        fault = PhotodetectorSaturation(saturation_level=100.0)
+        assert fault.perturb(np.array([350.0]), 3, 0.0)[0] == 300.0
+
+
+class TestStuckBit:
+    def test_stuck_high_forces_the_bit(self):
+        fault = StuckBit(bit=0, stuck_to=1)
+        # 100 has bit 0 clear; stuck-high makes it 101.
+        assert fault.perturb(np.array([100.0]), 1, 0.0)[0] == 101.0
+
+    def test_stuck_low_clears_the_bit(self):
+        fault = StuckBit(bit=0, stuck_to=0)
+        assert fault.perturb(np.array([101.0]), 1, 0.0)[0] == 100.0
+
+    def test_preserves_sign(self):
+        fault = StuckBit(bit=0, stuck_to=1)
+        assert fault.perturb(np.array([-100.0]), 1, 0.0)[0] == -101.0
+
+    def test_validates_bit_index(self):
+        with pytest.raises(ValueError, match="bit index"):
+            StuckBit(bit=8)
+
+
+class TestFaultFromEvent:
+    @pytest.mark.parametrize(
+        "kind, params, cls",
+        [
+            ("laser_drift", {"fraction_per_s": 0.1}, LaserPowerDrift),
+            ("mzm_bias_drift", {"volts_per_s": 0.2}, MZMBiasDrift),
+            (
+                "pd_saturation",
+                {"saturation_level": 50.0},
+                PhotodetectorSaturation,
+            ),
+            ("stuck_bit", {"bit": 3, "stuck_to": 0}, StuckBit),
+        ],
+    )
+    def test_builds_matching_fault(self, kind, params, cls):
+        event = FaultEvent(2.5, kind, core=0, params=params)
+        fault = device_fault_from_event(event)
+        assert isinstance(fault, cls)
+        assert fault.onset_s == 2.5
+
+    def test_rejects_non_device_kinds(self):
+        with pytest.raises(ValueError, match="not a device fault"):
+            device_fault_from_event(FaultEvent(0.0, "core_crash", core=0))
+
+
+class TestDegradedCore:
+    def test_transparent_with_no_faults(self):
+        core = noiseless_core()
+        wrapped = DegradedCore(core)
+        a = np.arange(12, dtype=np.float64)[None, :]
+        b = np.arange(12, dtype=np.float64)[:, None]
+        np.testing.assert_allclose(
+            wrapped.matmul(a, b), core.matmul(a, b)
+        )
+
+    def test_drift_accumulates_on_the_wrapper_clock(self):
+        wrapped = DegradedCore(noiseless_core())
+        wrapped.install(LaserPowerDrift(onset_s=0.0, fraction_per_s=0.1))
+        a = np.full((1, 4), 200.0)
+        b = np.full((4, 1), 200.0)
+        clean = noiseless_core().matmul(a, b)[0, 0]
+        wrapped.set_time(2.0)
+        dimmed = wrapped.matmul(a, b)[0, 0]
+        assert dimmed == pytest.approx(clean * 0.8)
+        wrapped.set_time(5.0)
+        assert wrapped.matmul(a, b)[0, 0] == pytest.approx(clean * 0.5)
+
+    def test_faults_compose_in_install_order(self):
+        wrapped = DegradedCore(noiseless_core(), now_s=1.0)
+        wrapped.install(MZMBiasDrift(onset_s=0.0, volts_per_s=2.5))
+        wrapped.install(PhotodetectorSaturation(saturation_level=10.0))
+        # Leakage pushes the value up; saturation then clips it.
+        value = wrapped.matmul(
+            np.full((1, 2), 255.0), np.full((2, 1), 255.0)
+        )[0, 0]
+        assert value == 10.0
+
+    def test_ensure_wraps_in_place_and_is_idempotent(self):
+        datapath = LightningDatapath(core=noiseless_core(), seed=0)
+        original = datapath.core
+        wrapper = DegradedCore.ensure(datapath)
+        assert datapath.core is wrapper
+        assert wrapper.core is original
+        assert DegradedCore.ensure(datapath) is wrapper
+
+    def test_refuses_double_wrapping(self):
+        wrapped = DegradedCore(noiseless_core())
+        with pytest.raises(ValueError, match="already wrapped"):
+            DegradedCore(wrapped)
+
+    def test_matmul_guard_tracks_wrapped_core(self):
+        wrapped = DegradedCore(PrototypeCore(seed=0))
+        with pytest.raises(AttributeError, match="matmul"):
+            wrapped.matmul(np.ones((1, 2)), np.ones((2, 1)))
+
+    def test_datapath_still_executes_through_wrapper(self, tiny_dag):
+        datapath = LightningDatapath(core=noiseless_core(), seed=0)
+        datapath.register_model(tiny_dag)
+        x = np.arange(12, dtype=np.float64)
+        clean = datapath.execute(tiny_dag.model_id, x)
+        DegradedCore.ensure(datapath)
+        degraded = datapath.execute(tiny_dag.model_id, x)
+        np.testing.assert_allclose(
+            degraded.output_levels, clean.output_levels
+        )

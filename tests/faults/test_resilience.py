@@ -1,0 +1,102 @@
+"""Tests for the watchdog, retry policy, and core health tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CORE_STATES,
+    CalibrationWatchdog,
+    CoreHealth,
+    LaserPowerDrift,
+    DegradedCore,
+    RetryPolicy,
+)
+from repro.photonics import BehavioralCore, CoreArchitecture, PrototypeCore
+from repro.photonics.noise import PROTOTYPE_NOISE_STD
+
+
+class TestCoreHealth:
+    def test_defaults_healthy_and_usable(self):
+        health = CoreHealth()
+        assert health.state == "healthy"
+        assert health.usable
+
+    @pytest.mark.parametrize("state", CORE_STATES[1:])
+    def test_only_healthy_is_usable(self, state):
+        assert not CoreHealth(state=state).usable
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(ValueError, match="unknown core state"):
+            CoreHealth(state="tired")
+
+
+class TestRetryPolicy:
+    def test_linear_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=2e-6)
+        assert policy.delay(1) == pytest.approx(2e-6)
+        assert policy.delay(3) == pytest.approx(6e-6)
+
+    def test_attempts_count_from_one(self):
+        with pytest.raises(ValueError, match="counted from 1"):
+            RetryPolicy().delay(0)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1.0)
+
+
+class TestCalibrationWatchdog:
+    def test_healthy_behavioral_core_sits_at_the_noise_floor(self):
+        watchdog = CalibrationWatchdog()
+        core = BehavioralCore(
+            architecture=CoreArchitecture(accumulation_wavelengths=2),
+            seed=3,
+        )
+        result = watchdog.check(0, core)
+        assert result.healthy
+        # Per-readout RMS of calibrated noise: near sqrt(mu^2 + sigma^2)
+        # (the probe error includes the systematic mean offset).
+        assert result.error_rms < watchdog.threshold
+
+    def test_probes_device_accurate_core_via_mac(self):
+        watchdog = CalibrationWatchdog(num_probes=2, probe_length=8)
+        core = PrototypeCore(seed=5)
+        result = watchdog.check(1, core)
+        assert result.core == 1
+        assert result.error_rms >= 0.0
+
+    def test_drifted_core_trips_the_threshold(self):
+        watchdog = CalibrationWatchdog()
+        wrapped = DegradedCore(
+            BehavioralCore(
+                architecture=CoreArchitecture(accumulation_wavelengths=2),
+                seed=3,
+            )
+        )
+        wrapped.install(LaserPowerDrift(onset_s=0.0, fraction_per_s=0.1))
+        wrapped.set_time(5.0)  # 50% power loss: large systematic error
+        result = watchdog.check(0, wrapped)
+        assert not result.healthy
+        assert result.error_rms > watchdog.threshold
+
+    def test_probe_set_is_fixed_by_seed(self):
+        a = CalibrationWatchdog(seed=2)
+        b = CalibrationWatchdog(seed=2)
+        assert (a.probe_a == b.probe_a).all()
+        assert (a.expected == b.expected).all()
+
+    def test_default_threshold_is_three_sigma(self):
+        assert CalibrationWatchdog().threshold == pytest.approx(
+            3.0 * PROTOTYPE_NOISE_STD
+        )
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            CalibrationWatchdog(interval_s=0.0)
+        with pytest.raises(ValueError):
+            CalibrationWatchdog(threshold=0.0)
+        with pytest.raises(ValueError):
+            CalibrationWatchdog(num_probes=0)

@@ -1,0 +1,110 @@
+"""Tests for the deterministic fault schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CORE_FAULT_KINDS,
+    DEVICE_FAULT_KINDS,
+    FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+
+
+class TestFaultEvent:
+    def test_kind_taxonomy_is_complete(self):
+        assert set(FAULT_KINDS) == (
+            set(DEVICE_FAULT_KINDS)
+            | set(WIRE_FAULT_KINDS)
+            | set(CORE_FAULT_KINDS)
+        )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(0.0, "gremlins", core=0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="negative"):
+            FaultEvent(-1.0, "core_crash", core=0)
+
+    def test_wire_faults_refuse_a_core_target(self):
+        with pytest.raises(ValueError, match="shared wire"):
+            FaultEvent(0.0, "frame_drop", core=1, duration_s=1.0)
+
+    def test_core_faults_require_a_core_target(self):
+        with pytest.raises(ValueError, match="target core"):
+            FaultEvent(0.0, "core_crash")
+
+    def test_params_are_frozen(self):
+        event = FaultEvent(
+            0.0, "laser_drift", core=0, params={"fraction_per_s": 1.0}
+        )
+        with pytest.raises(TypeError):
+            event.params["fraction_per_s"] = 2.0
+
+    def test_active_window(self):
+        event = FaultEvent(1.0, "frame_drop", duration_s=2.0,
+                           params={"probability": 1.0})
+        assert not event.active_at(0.5)
+        assert event.active_at(1.0)
+        assert event.active_at(2.9)
+        assert not event.active_at(3.0)
+
+    def test_persistent_fault_never_ends(self):
+        event = FaultEvent(1.0, "core_crash", core=0)
+        assert event.end_s == float("inf")
+        assert event.active_at(1e9)
+
+
+class TestFaultSchedule:
+    def test_builders_cover_every_kind(self):
+        schedule = (
+            FaultSchedule(seed=3)
+            .laser_drift(at_s=1.0, core=0, fraction_per_s=0.1)
+            .mzm_bias_drift(at_s=2.0, core=1, volts_per_s=0.5)
+            .pd_saturation(at_s=3.0, core=2, saturation_level=100.0)
+            .stuck_bit(at_s=4.0, core=3, bit=7)
+            .frame_drop(at_s=5.0, duration_s=1.0, probability=0.1)
+            .frame_corrupt(at_s=6.0, duration_s=1.0, probability=0.1)
+            .frame_reorder(at_s=7.0, duration_s=1.0, probability=0.1)
+            .core_stall(at_s=8.0, core=0, duration_s=1.0)
+            .core_crash(at_s=9.0, core=1)
+        )
+        assert {e.kind for e in schedule} == set(FAULT_KINDS)
+        assert len(schedule.device_events()) == 4
+        assert len(schedule.wire_events()) == 3
+        assert len(schedule.core_events()) == 2
+
+    def test_events_sorted_by_time_then_insertion(self):
+        schedule = (
+            FaultSchedule()
+            .core_crash(at_s=5.0, core=0)
+            .core_stall(at_s=1.0, core=1, duration_s=1.0)
+            .core_crash(at_s=1.0, core=2)
+        )
+        kinds = [(e.time_s, e.kind, e.core) for e in schedule.events]
+        assert kinds == [
+            (1.0, "core_stall", 1),
+            (1.0, "core_crash", 2),
+            (5.0, "core_crash", 0),
+        ]
+
+    def test_rng_streams_are_deterministic_and_independent(self):
+        a = FaultSchedule(seed=9)
+        b = FaultSchedule(seed=9)
+        assert np.array_equal(
+            a.rng("wire").random(8), b.rng("wire").random(8)
+        )
+        assert not np.array_equal(
+            a.rng("wire").random(8), a.rng("other").random(8)
+        )
+
+    def test_different_seeds_diverge(self):
+        assert not np.array_equal(
+            FaultSchedule(seed=0).rng("wire").random(8),
+            FaultSchedule(seed=1).rng("wire").random(8),
+        )

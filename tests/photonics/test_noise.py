@@ -50,6 +50,17 @@ class TestGaussianNoise:
         noisy = GaussianNoise(mean=5.0, std=0.0).apply(np.zeros(4), rng)
         assert np.allclose(noisy, 5.0)
 
+    @pytest.mark.parametrize("seed", [1, 17, 101, 2023, 99991])
+    def test_fit_recovers_figure_18_under_any_seed(self, seed):
+        # The calibrated model must reproduce the Figure 18 fit
+        # (mean 2.32, std 1.65) regardless of which generator seeded
+        # it — the statistics belong to the model, not to seed 0.
+        rng = np.random.default_rng(seed)
+        draws = GaussianNoise().sample(100_000, rng)
+        mean, std = fit_gaussian(draws)
+        assert mean == pytest.approx(PROTOTYPE_NOISE_MEAN, abs=0.05)
+        assert std == pytest.approx(PROTOTYPE_NOISE_STD, abs=0.05)
+
 
 class TestNoiselessModel:
     def test_apply_is_identity(self):

@@ -295,3 +295,31 @@ class TestTracerIntegration:
     def test_sink_tracer_rejects_execute(self):
         with pytest.raises(RuntimeError, match="event sink"):
             DatapathTracer().execute(1, np.zeros(4))
+
+
+class TestServeTimeout:
+    def test_mis_sized_trace_terminates_with_partial_stats(self, cluster):
+        # A trace far larger than the timeout can serve: the virtual
+        # clock stops at the deadline and the leftovers are accounted
+        # as unfinished instead of spinning the loop to completion.
+        trace = [
+            request(i, arrival=i * 1e-6, seed=4) for i in range(200)
+        ]
+        result = cluster.serve(trace, timeout_s=20e-6)
+        assert 0 < result.served < 200
+        assert result.offered == 200
+        assert (
+            result.served
+            + len(result.dropped)
+            + len(result.failed)
+            + len(result.unfinished)
+            == 200
+        )
+        assert all(r.finish_s <= 20e-6 for r in result.records)
+        assert result.stats.served == result.served
+
+    def test_cluster_reusable_after_timeout(self, cluster):
+        trace = [request(i, arrival=i * 1e-6, seed=4) for i in range(50)]
+        cluster.serve(trace, timeout_s=10e-6)
+        full = cluster.serve_trace(trace)
+        assert full.served == 50

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.stats import NICCounters
 from repro.runtime import AdmissionQueue, BatchingCoalescer
 
 
@@ -62,6 +63,35 @@ class TestAdmissionQueue:
             q.pop()
         with pytest.raises(ValueError, match="empty"):
             _ = q.head_enqueued_s
+        with pytest.raises(ValueError, match="empty"):
+            q.peek()
+
+    def test_peek_does_not_remove(self):
+        q = AdmissionQueue(model_id=1, capacity=4)
+        q.offer("a", 1.0)
+        assert q.peek().item == "a"
+        assert q.depth == 1
+
+    @pytest.mark.parametrize("policy", ["drop-tail", "drop-head"])
+    def test_both_drop_policies_charge_the_same_nic_counter(self, policy):
+        # Regression: drop-head evictions used to bypass the shared
+        # NIC-level accounting that drop-tail rejections charged, so a
+        # dashboard's dropped count depended on the configured policy.
+        counters = NICCounters()
+        q = AdmissionQueue(
+            model_id=1, capacity=2, policy=policy, counters=counters
+        )
+        for i in range(5):
+            q.offer(f"r{i}", float(i))
+        assert counters.dropped == 3
+        assert counters.dropped == q.dropped
+        assert counters.frames_seen == 5
+
+    def test_counters_optional(self):
+        q = AdmissionQueue(model_id=1, capacity=1)
+        q.offer("a", 0.0)
+        assert q.offer("b", 1.0) == "b"
+        assert q.counters is None
 
 
 class TestBatchingCoalescer:

@@ -23,6 +23,7 @@ MODULES = [
     "repro.devkit",
     "repro.dnn",
     "repro.emulation",
+    "repro.faults",
     "repro.net",
     "repro.photonics",
     "repro.runtime",

@@ -55,6 +55,7 @@ class TestCLI:
         "quickstart.py",
         "chip_design.py",
         "developer_kit.py",
+        "fault_injection.py",
         "photonic_signal_processing.py",
         "serving_runtime.py",
     ],
