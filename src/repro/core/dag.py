@@ -194,6 +194,17 @@ class SignSeparatedRow:
     group_size: int
     num_positive: int
 
+    @property
+    def num_steps(self) -> int:
+        """Photonic accumulate steps (ADC readouts) this row streams.
+
+        The padded magnitude vector is an exact multiple of the group
+        size, so this is the one step-count formula shared by the
+        per-row loop's cycle ledger and the compiled plans — keeping
+        the two paths' ledgers bit-identical by construction.
+        """
+        return len(self.magnitudes) // self.group_size
+
 
 def sign_separate_row(
     weights_levels: np.ndarray, group_size: int

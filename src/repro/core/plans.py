@@ -1,0 +1,579 @@
+"""Compiled execution plans: compile once, replay many (perf fast path).
+
+The datapath's count-action hardware never stops and goes: once the DAG
+loader writes a layer's targets, weights and activations stream through
+the photonic core back-to-back.  The Python emulator, however, used to
+re-derive gather patterns and walk ``for row in rows`` loops on every
+request, so the *emulator* — not the modeled hardware — bounded serving
+throughput.  This module removes that bottleneck the way ENLighten and
+LiteCON do: every :class:`~repro.core.dag.LayerTask` is compiled once,
+at :meth:`~repro.core.datapath.LightningDatapath.register_model` time,
+into an :class:`ExecutionPlan` that replays each request as a handful of
+vectorized numpy operations and *one* photonic-core call per layer.
+
+What a plan precomputes:
+
+* **Dense** — the sign-separated rows of the weight matrix stacked into
+  a single ``(total_steps, N)`` operand block: a clipped gather map into
+  the activation vector (padding positions index slot 0 and are nulled
+  by their zero magnitudes), the stacked magnitude block, the per-step
+  sign control bits, and the ``reduceat`` row boundaries.  Replay is one
+  activation gather, one ``core.accumulate`` (or fused
+  ``accumulate_fast``) call over the whole layer, and one
+  ``np.add.reduceat`` — no per-row Python.
+* **Conv** — the im2col gather map for the layer's exact geometry
+  (shared process-wide per :class:`~repro.core.dag.ConvShape` via
+  :func:`im2col_indices`), plus the transposed kernel matrix, so replay
+  is one patch gather and one ``core.matmul``.  Cores without ``matmul``
+  (the device-accurate :class:`~repro.photonics.core.PrototypeCore`)
+  fall back to a stacked accumulate block over all positions and output
+  channels, built lazily.
+* **Attention** — the four projection slices pre-split and transposed,
+  and the §4 row-cost table folded into a precomputed cycle count.
+* **Pool** — the window geometry and comparator cycle count.
+
+Every plan also precomputes the task's full cycle ledger (stream cycles,
+adder-tree latency, non-linearity latency) using *exactly* the formulas
+of the per-row path, so Figure 15/17/21 cycle accounting is bit-for-bit
+unchanged.  Noise semantics are preserved draw-for-draw: a plan issues
+the same RNG stream the per-row loop issued (one Gaussian per photonic
+readout, in the same order), so predictions are reproducible under a
+fixed seed; the only difference is floating-point summation order
+(documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .dag import (
+    ComputationDAG,
+    ConvShape,
+    LayerTask,
+    SignSeparatedRow,
+)
+from .nonlinear import NonlinearModule, nonlinear_module
+
+try:  # optional: halves the dense contraction when scipy is present
+    from scipy.sparse import _sparsetools as _csr_kernels
+except Exception:  # pragma: no cover - scipy-less installs
+    _csr_kernels = None
+
+__all__ = [
+    "ExecutionPlan",
+    "DensePlan",
+    "ConvPlan",
+    "AttentionPlan",
+    "PoolPlan",
+    "ModelPlan",
+    "PlanGeometry",
+    "im2col_indices",
+    "clear_im2col_cache",
+    "compile_task",
+    "compile_model",
+    "supports_matmul",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared im2col index cache (satellite: one map per conv geometry)
+# ----------------------------------------------------------------------
+_IM2COL_CACHE: dict[ConvShape, np.ndarray] = {}
+
+
+def im2col_indices(conv: ConvShape) -> np.ndarray:
+    """Gather map lowering this conv geometry to patch rows.
+
+    Returns a read-only ``(positions, patch_size)`` int64 array whose
+    entries index the *flat* layer input; padded border positions index
+    the sentinel slot ``conv.input_size`` (callers gather from a buffer
+    one element longer than the input, with the sentinel set to zero).
+    Maps are cached process-wide per geometry — ``ConvShape`` is frozen
+    and hashable — so the unrolling cost is paid once per (input shape,
+    kernel, stride, padding), not once per sample of every request.
+    """
+    cached = _IM2COL_CACHE.get(conv)
+    if cached is not None:
+        return cached
+    flat = np.arange(conv.input_size, dtype=np.int64).reshape(
+        conv.in_channels, conv.height, conv.width
+    )
+    if conv.padding:
+        flat = np.pad(
+            flat,
+            ((0, 0), (conv.padding, conv.padding),
+             (conv.padding, conv.padding)),
+            mode="constant",
+            constant_values=conv.input_size,
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        flat, (conv.kernel, conv.kernel), axis=(1, 2)
+    )[:, :: conv.stride, :: conv.stride]
+    indices = np.ascontiguousarray(
+        windows.transpose(1, 2, 0, 3, 4).reshape(
+            conv.positions, conv.patch_size
+        )
+    )
+    indices.setflags(write=False)
+    _IM2COL_CACHE[conv] = indices
+    return indices
+
+
+def clear_im2col_cache() -> None:
+    """Drop all cached im2col maps (test isolation hook)."""
+    _IM2COL_CACHE.clear()
+
+
+def gather_patches(activations: np.ndarray, conv: ConvShape) -> np.ndarray:
+    """im2col one flat sample into ``(positions, patch_size)`` rows.
+
+    Uses the cached index map; equivalent value-for-value to padding the
+    image and sliding a window over it.
+    """
+    indices = im2col_indices(conv)
+    buffer = np.empty(conv.input_size + 1, dtype=np.float64)
+    buffer[:-1] = activations
+    buffer[-1] = 0.0
+    return buffer[indices]
+
+
+def supports_matmul(core) -> bool:
+    """Whether a core natively executes whole-layer matrix products.
+
+    Prefers the core's own :attr:`supports_matmul` declaration (which
+    fault wrappers forward) and falls back to duck typing for
+    third-party cores.
+    """
+    declared = getattr(core, "supports_matmul", None)
+    if declared is not None:
+        return bool(declared)
+    return hasattr(core, "matmul")
+
+
+def _accumulate_call(core):
+    """The core's fused streaming accumulate, or plain accumulate.
+
+    ``accumulate_fast`` consumes the identical RNG stream as
+    ``accumulate`` (one noise draw per readout, in order) but fuses the
+    multiply-accumulate into a single einsum pass; device-accurate cores
+    that only provide ``accumulate`` still execute the whole block in
+    one call.
+    """
+    return getattr(core, "accumulate_fast", None) or core.accumulate
+
+
+@dataclass(frozen=True)
+class PlanGeometry:
+    """The datapath parameters a plan's cycle ledger was compiled for."""
+
+    num_wavelengths: int
+    samples_per_cycle: int
+    preamble_repeats: int
+
+    def row_cycles(self, vector_length: int) -> int:
+        """Digital cycles to stream and reduce one output row.
+
+        Identical to the per-row path's ledger: one preamble per vector
+        plus the ceil-divided stream cycles.
+        """
+        steps = math.ceil(vector_length / self.num_wavelengths)
+        return self.preamble_repeats + math.ceil(
+            steps / self.samples_per_cycle
+        )
+
+
+def _stack_rows(
+    rows: list[SignSeparatedRow], num_wavelengths: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Stack sign-separated rows into one contiguous operand block.
+
+    Returns ``(a_index, magnitudes, group_signs, row_starts,
+    total_steps)`` where ``a_index`` is the clipped activation gather
+    map of shape ``(total_steps, N)`` (padding positions index slot 0;
+    their magnitudes are zero so the gathered value cannot contribute),
+    and ``row_starts`` are ``np.add.reduceat`` boundaries.
+    """
+    n = num_wavelengths
+    order = np.concatenate([row.order for row in rows])
+    a_index = np.ascontiguousarray(
+        np.clip(order, 0, None).reshape(-1, n)
+    )
+    magnitudes = np.ascontiguousarray(
+        np.concatenate([row.magnitudes for row in rows]).reshape(-1, n)
+    )
+    group_signs = np.concatenate([row.group_signs for row in rows])
+    steps = np.array(
+        [len(row.group_signs) for row in rows], dtype=np.int64
+    )
+    row_starts = np.zeros(len(rows), dtype=np.int64)
+    np.cumsum(steps[:-1], out=row_starts[1:])
+    return a_index, magnitudes, group_signs, row_starts, int(steps.sum())
+
+
+class ExecutionPlan:
+    """Base class: one task compiled against one datapath geometry."""
+
+    kind: str = "plan"
+
+    def __init__(
+        self,
+        task: LayerTask,
+        geometry: PlanGeometry,
+    ) -> None:
+        self.task_name = task.name
+        self.geometry = geometry
+        self.nonlinear: NonlinearModule = nonlinear_module(
+            task.nonlinearity
+        )
+        self.bias_levels = task.bias_levels
+        self.requant_divisor = task.requant_divisor
+        #: Output rows the task reduces (the LayerExecution ``rows``).
+        self.rows: int = 0
+        #: Stream cycles charged by the task, identical to the loop path.
+        self.stream_cycles: int = 0
+
+    def execute(self, core, activations: np.ndarray) -> np.ndarray:
+        """Replay the compiled task; returns the raw pre-bias levels."""
+        raise NotImplementedError
+
+
+class DensePlan(ExecutionPlan):
+    """A fully-connected layer as one stacked accumulate block."""
+
+    kind = "dense"
+
+    def __init__(
+        self,
+        task: LayerTask,
+        geometry: PlanGeometry,
+        rows: list[SignSeparatedRow],
+    ) -> None:
+        super().__init__(task, geometry)
+        (
+            self.a_index,
+            self.magnitudes,
+            self.group_signs,
+            self.row_starts,
+            self.total_steps,
+        ) = _stack_rows(rows, geometry.num_wavelengths)
+        self.rows = len(rows)
+        self.stream_cycles = sum(
+            geometry.preamble_repeats
+            + math.ceil(row.num_steps / geometry.samples_per_cycle)
+            for row in rows
+        )
+        # Replay scratch, owned by the plan so steady-state serving
+        # allocates nothing per request: the gathered activation block,
+        # the per-step partials, and the core's noise-draw buffer.
+        # ``accumulate_into`` takes pre-scaled weights (levels / 255),
+        # baking the photonic transmission scale in at compile time.
+        self._scaled = self.magnitudes / 255.0
+        self._gathered = np.empty_like(self.magnitudes)
+        self._partials = np.empty(self.total_steps, dtype=np.float64)
+        self._scratch = np.empty(self.total_steps, dtype=np.float64)
+        # The stacked block is a CSR matrix with exactly N entries per
+        # step row (padding entries carry zero magnitude), so the clean
+        # partials are one sparse matvec — bit-identical to gathering
+        # and contracting lane by lane, at roughly half the memory
+        # traffic.  Built only when scipy's kernel is importable.
+        self._input_size = task.input_size
+        n = geometry.num_wavelengths
+        self._csr_indptr = np.arange(
+            0, self.total_steps * n + 1, n, dtype=np.int64
+        )
+        self._csr_indices = np.ascontiguousarray(
+            self.a_index.reshape(-1), dtype=np.int64
+        )
+        self._csr_data = np.ascontiguousarray(self._scaled.reshape(-1))
+
+    def _clean_partials_csr(self, activations: np.ndarray) -> np.ndarray:
+        """Contraction via one CSR matvec into the owned buffer."""
+        partials = self._partials
+        partials[:] = 0.0  # csr_matvec accumulates: y += A @ x
+        _csr_kernels.csr_matvec(
+            self.total_steps,
+            self._input_size,
+            self._csr_indptr,
+            self._csr_indices,
+            self._csr_data,
+            activations,
+            partials,
+        )
+        return partials
+
+    def _execute_row_granular(self, core, activations: np.ndarray):
+        """Per-row accumulate calls for noise models whose draws are
+        not stream-equivalent under batching (``CompositeNoise``
+        cascades one draw per source per *call*, so one stacked call
+        would interleave the stream differently than the loop path)."""
+        gathered = activations.take(self.a_index)
+        call = _accumulate_call(core)
+        partials = np.empty(self.total_steps, dtype=np.float64)
+        bounds = np.append(self.row_starts, self.total_steps)
+        for i in range(len(self.row_starts)):
+            lo, hi = bounds[i], bounds[i + 1]
+            partials[lo:hi] = call(gathered[lo:hi], self.magnitudes[lo:hi])
+        return partials
+
+    def execute(self, core, activations: np.ndarray) -> np.ndarray:
+        if not getattr(
+            getattr(core, "noise", None), "stream_equivalent", True
+        ):
+            partials = self._execute_row_granular(core, activations)
+            np.multiply(partials, self.group_signs, out=partials)
+            return np.add.reduceat(partials, self.row_starts)
+        noise_into = getattr(core, "readout_noise_into", None)
+        into = getattr(core, "accumulate_into", None)
+        if _csr_kernels is not None and noise_into is not None:
+            if activations.dtype != np.float64 or not activations.flags[
+                "C_CONTIGUOUS"
+            ]:
+                activations = np.ascontiguousarray(
+                    activations, dtype=np.float64
+                )
+            partials = self._clean_partials_csr(activations)
+            noise_into(partials, self._scratch)
+        elif into is not None:
+            partials = self._partials
+            # Indices were clipped at compile time; mode="clip" skips
+            # numpy's per-element bounds checking.
+            np.take(
+                activations, self.a_index, out=self._gathered,
+                mode="clip",
+            )
+            into(self._gathered, self._scaled, partials, self._scratch)
+        else:
+            gathered = activations.take(self.a_index)
+            partials = np.asarray(
+                _accumulate_call(core)(gathered, self.magnitudes),
+                dtype=np.float64,
+            )
+        # Both branches hand us a buffer we own for this call; signing
+        # it in place saves one full-stream temporary per layer.
+        np.multiply(partials, self.group_signs, out=partials)
+        return np.add.reduceat(partials, self.row_starts)
+
+
+class ConvPlan(ExecutionPlan):
+    """A convolution layer as one patch gather plus one matmul."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        task: LayerTask,
+        geometry: PlanGeometry,
+        rows: list[SignSeparatedRow],
+    ) -> None:
+        super().__init__(task, geometry)
+        conv = task.conv
+        assert conv is not None and task.weights_levels is not None
+        self.conv = conv
+        self.patch_gather = im2col_indices(conv)
+        # A transposed *view*: matmul consumes it exactly as the loop
+        # path consumed ``task.weights_levels.T``, bit-for-bit.
+        self.weights_t = task.weights_levels.T
+        self.rows = conv.out_channels * conv.positions
+        per_row = sum(
+            geometry.preamble_repeats
+            + math.ceil(row.num_steps / geometry.samples_per_cycle)
+            for row in rows
+        )
+        self.stream_cycles = per_row * conv.positions
+        self._rows = rows
+        # Built lazily, only for cores without a native matmul.
+        self._fallback: tuple[np.ndarray, ...] | None = None
+
+    def _patches(self, activations: np.ndarray) -> np.ndarray:
+        buffer = np.empty(self.conv.input_size + 1, dtype=np.float64)
+        buffer[:-1] = activations
+        buffer[-1] = 0.0
+        return buffer[self.patch_gather]
+
+    def _fallback_block(self) -> tuple[np.ndarray, ...]:
+        """Stacked accumulate operands for matmul-less cores.
+
+        The block replays the legacy ``for position: for channel:``
+        double loop as one accumulate call, preserving its p-major RNG
+        draw order.
+        """
+        if self._fallback is None:
+            a_index, magnitudes, group_signs, row_starts, steps = (
+                _stack_rows(self._rows, self.geometry.num_wavelengths)
+            )
+            self._fallback = (
+                a_index, magnitudes, group_signs, row_starts, np.int64(steps)
+            )
+        return self._fallback
+
+    def execute(self, core, activations: np.ndarray) -> np.ndarray:
+        patches = self._patches(activations)
+        if supports_matmul(core):
+            # (positions, out_channels) in one noisy photonic matmul.
+            return core.matmul(patches, self.weights_t)
+        a_index, magnitudes, group_signs, row_starts, steps = (
+            self._fallback_block()
+        )
+        positions = self.conv.positions
+        gathered = patches[:, a_index].reshape(
+            positions * int(steps), self.geometry.num_wavelengths
+        )
+        blocks = np.broadcast_to(
+            magnitudes, (positions,) + magnitudes.shape
+        ).reshape(gathered.shape)
+        partials = _accumulate_call(core)(gathered, blocks)
+        signed = (
+            np.broadcast_to(
+                group_signs, (positions, len(group_signs))
+            ).ravel()
+            * np.asarray(partials, dtype=np.float64)
+        )
+        starts = (
+            np.arange(positions, dtype=np.int64)[:, None] * int(steps)
+            + row_starts[None, :]
+        ).ravel()
+        return np.add.reduceat(signed, starts).reshape(
+            positions, self.conv.out_channels
+        )
+
+
+class AttentionPlan(ExecutionPlan):
+    """Self-attention with pre-split projections and cached row costs."""
+
+    kind = "attention"
+
+    def __init__(self, task: LayerTask, geometry: PlanGeometry) -> None:
+        super().__init__(task, geometry)
+        att = task.attention
+        assert att is not None and task.weights_levels is not None
+        self.attention = att
+        d = att.d_model
+        weights = task.weights_levels
+        # Transposed views of the four stacked projections, consumed by
+        # matmul exactly as the uncompiled path consumed them.
+        self.wq_t = weights[0:d].T
+        self.wk_t = weights[d : 2 * d].T
+        self.wv_t = weights[2 * d : 3 * d].T
+        self.wo_t = weights[3 * d : 4 * d].T
+        self.rows = 6 * att.seq_len
+        d_cost = geometry.row_cycles(d)
+        self.stream_cycles = (
+            3 * att.seq_len * d_cost  # Q, K, V projections
+            + att.seq_len * d_cost  # score rows
+            + att.seq_len * geometry.row_cycles(att.seq_len)  # context
+            + att.seq_len * d_cost  # output projection
+            + att.seq_len * 8  # pipelined softmax per score row
+        )
+
+    def execute(self, core, activations: np.ndarray) -> np.ndarray:
+        att = self.attention
+        tokens = activations.reshape(att.seq_len, att.d_model)
+        q = core.matmul(tokens, self.wq_t)
+        k = core.matmul(tokens, self.wk_t)
+        v = core.matmul(tokens, self.wv_t)
+        scores = core.matmul(q, k.T) * att.score_scale
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        attn = exps / exps.sum(axis=-1, keepdims=True)
+        # Attention weights are non-negative [0, 1] values: they ride
+        # the photonic core as levels directly.
+        context = core.matmul(attn * 255.0, v)
+        return core.matmul(context, self.wo_t).ravel()
+
+
+class PoolPlan(ExecutionPlan):
+    """Max pooling: a digital stage with a precomputed cycle count."""
+
+    kind = "maxpool"
+
+    def __init__(self, task: LayerTask, geometry: PlanGeometry) -> None:
+        super().__init__(task, geometry)
+        pool = task.pool
+        assert pool is not None
+        self.pool = pool
+        comparisons = task.output_size * (pool.kernel * pool.kernel - 1)
+        self.compute_cycles = max(
+            1, math.ceil(comparisons / geometry.samples_per_cycle)
+        )
+
+    def execute(self, core, activations: np.ndarray) -> np.ndarray:
+        pool = self.pool
+        image = activations.reshape(pool.channels, pool.height, pool.width)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            image, (pool.kernel, pool.kernel), axis=(1, 2)
+        )[:, :: pool.effective_stride, :: pool.effective_stride]
+        return windows.max(axis=(-2, -1)).ravel()
+
+
+@dataclass
+class ModelPlan:
+    """Every task of one DAG compiled against one datapath geometry."""
+
+    model_id: int
+    model_name: str
+    geometry: PlanGeometry
+    tasks: dict[str, ExecutionPlan] = field(default_factory=dict)
+    #: Requests replayed through this plan since compilation.
+    replays: int = 0
+
+    def plan(self, task_name: str) -> ExecutionPlan:
+        return self.tasks[task_name]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+
+def compile_task(
+    task: LayerTask,
+    geometry: PlanGeometry,
+    rows: list[SignSeparatedRow] | None = None,
+) -> ExecutionPlan:
+    """Compile one DAG task into its execution plan.
+
+    ``rows`` lets the caller pass an existing sign-separation (the
+    datapath's per-model cache) so compilation never duplicates the
+    offline phase's work.
+    """
+    if task.kind == "maxpool":
+        return PoolPlan(task, geometry)
+    if task.kind == "attention":
+        return AttentionPlan(task, geometry)
+    if rows is None:
+        from .dag import sign_separate_row
+
+        assert task.weights_levels is not None
+        rows = [
+            sign_separate_row(row, geometry.num_wavelengths)
+            for row in task.weights_levels
+        ]
+    if task.kind == "dense":
+        return DensePlan(task, geometry, rows)
+    return ConvPlan(task, geometry, rows)
+
+
+def compile_model(
+    dag: ComputationDAG,
+    geometry: PlanGeometry,
+    rows_for: "callable | None" = None,
+) -> ModelPlan:
+    """Compile a whole DAG, one plan per task.
+
+    ``rows_for(task)`` supplies cached sign-separated rows for weighted
+    tasks (attention excluded — it streams through matmul directly).
+    """
+    plans: dict[str, ExecutionPlan] = {}
+    for task in dag.tasks:
+        rows = None
+        if rows_for is not None and task.kind in ("dense", "conv"):
+            rows = rows_for(task)
+        plans[task.name] = compile_task(task, geometry, rows)
+    return ModelPlan(
+        model_id=dag.model_id,
+        model_name=dag.name,
+        geometry=geometry,
+        tasks=plans,
+    )

@@ -118,14 +118,22 @@ class PreambleDetector:
         )
         self._threshold = (high + low) / 2.0
         base = _pattern_levels(pattern, high, low) > self._threshold
-        self._shifted = [
-            np.roll(base, k) for k in range(self.samples_per_cycle)
-        ]
+        # All cyclic rotations of the thresholded pattern as one
+        # (samples_per_cycle, samples_per_cycle) circulant, built from a
+        # strided view of the doubled pattern: row ``k`` is
+        # ``np.roll(base, k)``.  One broadcast comparison per window
+        # then scores every candidate shift at once.
+        doubled = np.concatenate([base, base[:-1]])
+        windows = np.lib.stride_tricks.sliding_window_view(
+            doubled, self.samples_per_cycle
+        )
+        rows = (-np.arange(self.samples_per_cycle)) % self.samples_per_cycle
+        self._shifted = np.ascontiguousarray(windows[rows])
         # One counter per candidate shift; targets are control registers
         # so P can be retuned for SNR without touching the units.
         self.registers.write("preamble.target_k0", repeats)
         self.registers.write("preamble.target_shifted", repeats - 1)
-        self._matched: dict[int, bool] = {}
+        self._matched = np.zeros(self.samples_per_cycle, dtype=bool)
         self.units = []
         for k in range(self.samples_per_cycle):
             target = (
@@ -146,11 +154,12 @@ class PreambleDetector:
         self._result: DetectionResult | None = None
         self._candidate: DetectionResult | None = None
         self._extension_budget = 0
-        self._first_match: dict[int, int] = {}
+        # First window on which each shift counter matched; -1 = never.
+        self._first_match = np.full(self.samples_per_cycle, -1, dtype=np.int64)
 
     def _make_count(self, k: int):
         def count(_context: object) -> int:
-            return 1 if self._matched.get(k, False) else 0
+            return int(self._matched[k])
 
         return count
 
@@ -169,7 +178,7 @@ class PreambleDetector:
                 # match was window 0 — in which case exactly one more
                 # genuine preamble window follows the fire.
                 self._extension_budget = (
-                    1 if k > 0 and self._first_match.get(k) == 0 else 0
+                    1 if k > 0 and self._first_match[k] == 0 else 0
                 )
 
         return action
@@ -186,7 +195,8 @@ class PreambleDetector:
         self._result = None
         self._candidate = None
         self._extension_budget = 0
-        self._first_match = {}
+        self._matched[:] = False
+        self._first_match[:] = -1
 
     def consume(self, window: np.ndarray) -> DetectionResult | None:
         """Feed one ADC readout window; return the result once detected.
@@ -230,11 +240,11 @@ class PreambleDetector:
             self._result = self._candidate
             self._cycle += 1
             return self._result
-        for k, shifted in enumerate(self._shifted):
-            matched = bool(np.array_equal(bits, shifted))
-            self._matched[k] = matched
-            if matched and k not in self._first_match:
-                self._first_match[k] = self._cycle
+        # One broadcast comparison scores every candidate shift at once
+        # (the old path rolled the pattern and compared per offset).
+        np.logical_and.reduce(self._shifted == bits, axis=1, out=self._matched)
+        fresh = self._matched & (self._first_match < 0)
+        self._first_match[fresh] = self._cycle
         for unit in self.units:
             unit.tick(None, self._cycle)
         self._cycle += 1

@@ -270,6 +270,17 @@ class DegradedCore:
     def noise(self):
         return self.core.noise
 
+    @property
+    def supports_matmul(self) -> bool:
+        """Forward the wrapped core's matmul capability.
+
+        ``hasattr(wrapper, "matmul")`` is always true, so capability
+        checks must see through the wrapper to the actual core.
+        """
+        from ..core.plans import supports_matmul
+
+        return supports_matmul(self.core)
+
     def _perturb(self, values: np.ndarray, readouts: int) -> np.ndarray:
         for fault in self.faults:
             if self.now_s >= fault.onset_s:
@@ -286,6 +297,67 @@ class DegradedCore:
     def accumulate(self, a_pairs, b_pairs):
         """One accumulate step (a single readout), perturbed."""
         return self._perturb(self.core.accumulate(a_pairs, b_pairs), 1)
+
+    def accumulate_fast(self, a_pairs, b_pairs):
+        """Fused accumulate for compiled plans, perturbed per readout.
+
+        Every fault is an elementwise map of the per-readout value, so
+        perturbing the stacked block equals perturbing row slices one
+        at a time — :class:`DegradedCore` behaves identically under the
+        compiled fast path and the per-row loop.
+        """
+        inner = getattr(self.core, "accumulate_fast", None)
+        if inner is None:
+            inner = self.core.accumulate
+        return self._perturb(inner(a_pairs, b_pairs), 1)
+
+    @property
+    def accumulate_into(self):
+        """Buffer-reusing accumulate for compiled plans, perturbed.
+
+        ``accumulate_into`` takes *pre-scaled* weights (levels / 255),
+        unlike the rest of the core interface, so the wrapper must not
+        emulate it on top of :meth:`accumulate_fast` — that would scale
+        twice.  Instead the capability is forwarded only when the
+        wrapped core truly provides it: raising :class:`AttributeError`
+        from the property makes ``getattr(core, "accumulate_into",
+        None)`` — the probe compiled plans use — return ``None``, and
+        the plan falls back to the unscaled accumulate path.
+        """
+        inner = getattr(self.core, "accumulate_into", None)
+        if inner is None:
+            raise AttributeError(
+                "wrapped core does not provide accumulate_into"
+            )
+
+        def call(a_pairs, b_pairs, out, scratch):
+            inner(a_pairs, b_pairs, out, scratch)
+            out[:] = self._perturb(out, 1)
+            return out
+
+        return call
+
+    @property
+    def readout_noise_into(self):
+        """Per-readout noise application for plan-side contractions.
+
+        Forwarded like :attr:`accumulate_into` (absent when the wrapped
+        core lacks it); faults perturb the noisy readouts exactly as the
+        per-row ``accumulate`` path does — clean value plus noise, then
+        every installed fault at one readout each.
+        """
+        inner = getattr(self.core, "readout_noise_into", None)
+        if inner is None:
+            raise AttributeError(
+                "wrapped core does not provide readout_noise_into"
+            )
+
+        def call(out, scratch):
+            inner(out, scratch)
+            out[:] = self._perturb(out, 1)
+            return out
+
+        return call
 
     def matmul(self, a_matrix, b_matrix):
         """Matrix product with faults scaled by the readouts each

@@ -1,0 +1,34 @@
+"""Performance instrumentation and the benchmark harness.
+
+This package tracks the emulator's serving performance from the compiled
+fast-path PR onward:
+
+* :mod:`~repro.perf.timers` — :class:`PhaseTimer`, a lightweight named
+  phase accumulator for wall-clock breakdowns (compile vs replay vs
+  readout, queue vs dispatch) with negligible overhead when idle;
+* :mod:`~repro.perf.bench` — the benchmark harness: a LeNet-class
+  emulation benchmark comparing the compiled fast path against the
+  per-row loop path, and a cluster serving benchmark, both emitting
+  machine-readable ``BENCH_emulator.json`` / ``BENCH_cluster.json``
+  reports plus a regression gate for CI (``python -m repro.perf.bench``).
+"""
+
+from .timers import PhaseTimer
+from .bench import (
+    REGRESSION_THRESHOLD,
+    bench_cluster,
+    bench_emulator,
+    check_regression,
+    lenet_class_dag,
+    write_report,
+)
+
+__all__ = [
+    "PhaseTimer",
+    "REGRESSION_THRESHOLD",
+    "bench_cluster",
+    "bench_emulator",
+    "check_regression",
+    "lenet_class_dag",
+    "write_report",
+]

@@ -1,0 +1,365 @@
+"""The perf benchmark harness: fast path vs loop path, and the cluster.
+
+Two benchmarks, both emitting machine-readable JSON so the performance
+trajectory is tracked PR over PR:
+
+* **Emulator** (``BENCH_emulator.json``) — a LeNet-class dense DAG
+  (784-300-100-10) served request by request on two identically seeded
+  datapaths, one replaying compiled plans (``fidelity="fast"``) and one
+  walking the per-row loops (``fidelity="loop"``).  Reports wall-clock
+  throughput for both, the speedup, and verifies the contract: bit-
+  identical predictions and bit-identical cycle ledgers.
+* **Cluster** (``BENCH_cluster.json``) — a multi-core
+  :class:`~repro.runtime.cluster.Cluster` serving a Poisson trace on
+  the fast path, reporting wall-clock serve time, requests per wall
+  second, and the plan-cache replay counters.
+
+Run from a checkout::
+
+    PYTHONPATH=src python -m repro.perf.bench --out-dir reports/
+    PYTHONPATH=src python -m repro.perf.bench --check benchmarks/baselines
+
+``--check`` compares fresh numbers against checked-in baselines and
+exits non-zero on a throughput regression beyond
+:data:`REGRESSION_THRESHOLD` (CI's perf gate).  Absolute throughput
+varies across machines, so the gate compares *ratios* measured on the
+same host in the same run: the fast/loop speedup for the emulator and
+the per-request wall cost normalized by the loop path's for the cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from ..core.dag import ComputationDAG
+from ..core.datapath import LightningDatapath
+from ..dnn import build_lenet_300_100, quantize_mlp
+from ..photonics import BehavioralCore
+from ..runtime import Cluster
+from ..runtime.workload import poisson_trace
+from .timers import PhaseTimer
+
+__all__ = [
+    "REGRESSION_THRESHOLD",
+    "lenet_class_dag",
+    "bench_emulator",
+    "bench_cluster",
+    "write_report",
+    "check_regression",
+    "main",
+]
+
+#: CI fails when a gated metric regresses by more than this fraction.
+REGRESSION_THRESHOLD = 0.20
+
+#: The metrics the CI gate compares, per benchmark.  Machine-relative
+#: ratios only — absolute throughput is not comparable across hosts.
+GATED_METRICS = {
+    "BENCH_emulator": ["speedup"],
+    "BENCH_cluster": ["fast_loop_serve_ratio"],
+}
+
+
+def lenet_class_dag(seed: int = 0, model_id: int = 1) -> ComputationDAG:
+    """A LeNet-300-100-class dense DAG with random weights.
+
+    Random (untrained) weights keep the harness fast and deterministic;
+    the perf profile depends only on layer shapes, which match the
+    paper's LeNet benchmark exactly (784-300-100-10, 266,200 MACs).
+    """
+    rng = np.random.default_rng(seed)
+    model = build_lenet_300_100(rng)
+    calibration = rng.uniform(0.0, 255.0, size=(64, 784))
+    return quantize_mlp(
+        model, calibration, model_id=model_id, name="lenet-class"
+    )
+
+
+def _datapath(fidelity: str, seed: int) -> LightningDatapath:
+    return LightningDatapath(
+        core=BehavioralCore(seed=seed), fidelity=fidelity, seed=seed
+    )
+
+
+def _ledger(execution) -> list[int]:
+    return [layer.compute_cycles for layer in execution.layers]
+
+
+def bench_emulator(
+    requests: int = 64, seed: int = 0, dag: ComputationDAG | None = None
+) -> dict:
+    """Fast path vs loop path on a LeNet-class emulation benchmark.
+
+    Both datapaths share one seed, so the compiled path must reproduce
+    the loop path's predictions and per-layer cycle ledgers bit for bit
+    (asserted here, not just reported).
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    dag = dag if dag is not None else lenet_class_dag(seed)
+    inputs = np.random.default_rng(seed + 1).integers(
+        0, 256, size=(requests, dag.tasks[0].input_size)
+    ).astype(np.float64)
+
+    timer = PhaseTimer()
+    datapaths: dict[str, LightningDatapath] = {}
+    results: dict[str, dict] = {}
+    for fidelity in ("fast", "loop"):
+        datapaths[fidelity] = _datapath(fidelity, seed)
+        with timer.phase(f"register:{fidelity}"):
+            datapaths[fidelity].register_model(dag)
+        # One warm-up request outside the timed window (first-touch
+        # costs: sign-separation cache on the loop path, scratch pages
+        # on the fast path).
+        datapaths[fidelity].execute(dag.model_id, inputs[0])
+        results[fidelity] = {
+            "wall_s": 0.0,
+            "round_walls": [],
+            "predictions": np.empty(requests, dtype=np.int64),
+            "ledgers": [],
+        }
+    # Interleave small alternating rounds so CPU frequency drift during
+    # the run biases neither side of the ratio; per-round walls let the
+    # throughput metric reject rounds disturbed by OS noise.
+    round_size = 8
+    for lo in range(0, requests, round_size):
+        hi = min(lo + round_size, requests)
+        for fidelity in ("fast", "loop"):
+            datapath = datapaths[fidelity]
+            record = results[fidelity]
+            start = time.perf_counter()
+            for i in range(lo, hi):
+                execution = datapath.execute(dag.model_id, inputs[i])
+                record["predictions"][i] = execution.prediction
+                record["ledgers"].append(_ledger(execution))
+            elapsed = time.perf_counter() - start
+            record["wall_s"] += elapsed
+            record["round_walls"].append((elapsed, hi - lo))
+    for fidelity, record in results.items():
+        # Mean throughput answers "what did this run sustain"; the
+        # best interleaved round answers "what can this machine do" —
+        # the standard min-of-N estimator that rejects scheduler and
+        # frequency-scaling noise, and the one the speedup ratio uses
+        # (both paths' best rounds come from the same machine regime).
+        best_per_request = min(
+            wall / count for wall, count in record["round_walls"]
+        )
+        record["best_round_rps"] = 1.0 / best_per_request
+        record["throughput_rps"] = requests / record["wall_s"]
+        timer.add(f"serve:{fidelity}", record["wall_s"], requests)
+
+    fast, loop = results["fast"], results["loop"]
+    predictions_identical = bool(
+        np.array_equal(fast["predictions"], loop["predictions"])
+    )
+    ledgers_identical = fast["ledgers"] == loop["ledgers"]
+    if not predictions_identical:
+        raise AssertionError(
+            "fast-path predictions diverged from the loop path"
+        )
+    if not ledgers_identical:
+        raise AssertionError(
+            "fast-path cycle ledgers diverged from the loop path"
+        )
+    return {
+        "benchmark": "emulator",
+        "model": dag.name,
+        "requests": requests,
+        "seed": seed,
+        "fast_throughput_rps": fast["throughput_rps"],
+        "loop_throughput_rps": loop["throughput_rps"],
+        "fast_best_round_rps": fast["best_round_rps"],
+        "loop_best_round_rps": loop["best_round_rps"],
+        "fast_wall_s": fast["wall_s"],
+        "loop_wall_s": loop["wall_s"],
+        "speedup": fast["best_round_rps"] / loop["best_round_rps"],
+        "mean_speedup": fast["throughput_rps"] / loop["throughput_rps"],
+        "predictions_identical": predictions_identical,
+        "cycle_ledgers_identical": ledgers_identical,
+        "compile_s": timer.seconds("register:fast"),
+        "phases": timer.summary(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def bench_cluster(
+    requests: int = 128,
+    num_cores: int = 4,
+    max_batch: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Cluster serving wall-clock on the fast path vs the loop path.
+
+    Serves one Poisson trace twice — on a fast-fidelity cluster and on
+    a loop-fidelity cluster — and reports the wall-clock ratio (the
+    machine-independent gated metric) plus the fast cluster's absolute
+    numbers and plan-cache replay counters.
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    dag = lenet_class_dag(seed)
+    walls: dict[str, float] = {}
+    fast_cluster = None
+    for fidelity in ("fast", "loop"):
+        cluster = Cluster(
+            num_cores=num_cores,
+            datapath_factory=lambda core: LightningDatapath(
+                core=BehavioralCore(seed=core),
+                fidelity=fidelity,  # noqa: B023 — consumed within the loop body
+                seed=core,
+            ),
+            max_batch=max_batch,
+        )
+        cluster.deploy(dag)
+        rate = 2_000_000.0  # arrivals much faster than service: full load
+        trace = poisson_trace([dag], rate, requests, seed=seed)
+        start = time.perf_counter()
+        result = cluster.serve_trace(trace)
+        walls[fidelity] = time.perf_counter() - start
+        if fidelity == "fast":
+            fast_cluster = cluster
+            served = len(result.records)
+    assert fast_cluster is not None
+    replays = sum(
+        stats.get(dag.model_id, {}).get("replays", 0)
+        for stats in fast_cluster.plan_stats().values()
+    )
+    return {
+        "benchmark": "cluster",
+        "model": dag.name,
+        "requests": requests,
+        "served": served,
+        "num_cores": num_cores,
+        "max_batch": max_batch,
+        "seed": seed,
+        "fast_wall_s": walls["fast"],
+        "loop_wall_s": walls["loop"],
+        "fast_requests_per_wall_s": requests / walls["fast"],
+        # >1.0 means the fast path serves the same trace in less wall
+        # time; the gate watches this ratio, not absolute throughput.
+        "fast_loop_serve_ratio": walls["loop"] / walls["fast"],
+        "plan_replays": replays,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def write_report(result: dict, path: pathlib.Path | str) -> pathlib.Path:
+    """Write one benchmark result as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_regression(
+    current: dict,
+    baseline: dict,
+    metrics: list[str],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Compare gated metrics against a baseline report.
+
+    Returns a list of human-readable failure strings (empty = pass).  A
+    metric regresses when it falls more than ``threshold`` below the
+    baseline value; improvements never fail.
+    """
+    failures = []
+    for metric in metrics:
+        if metric not in baseline:
+            continue  # baselines predating a metric don't gate it
+        base = float(baseline[metric])
+        now = float(current[metric])
+        floor = base * (1.0 - threshold)
+        if now < floor:
+            failures.append(
+                f"{metric}: {now:.3f} is below {floor:.3f} "
+                f"(baseline {base:.3f} - {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.bench",
+        description="Run the emulator/cluster perf benchmarks.",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("."),
+        help="directory for BENCH_emulator.json / BENCH_cluster.json",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=64,
+        help="emulator benchmark request count",
+    )
+    parser.add_argument(
+        "--cluster-requests", type=int, default=128,
+        help="cluster benchmark request count",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        help="baseline directory; exit 1 on >20%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    reports = {
+        "BENCH_emulator": bench_emulator(
+            requests=args.requests, seed=args.seed
+        ),
+        "BENCH_cluster": bench_cluster(
+            requests=args.cluster_requests, seed=args.seed
+        ),
+    }
+    failures: list[str] = []
+    for name, result in reports.items():
+        path = write_report(result, args.out_dir / f"{name}.json")
+        print(f"wrote {path}")
+        if args.check is not None:
+            baseline_path = args.check / f"{name}.json"
+            if not baseline_path.exists():
+                print(f"no baseline {baseline_path}; skipping gate")
+                continue
+            baseline = json.loads(baseline_path.read_text())
+            for failure in check_regression(
+                result, baseline, GATED_METRICS[name]
+            ):
+                failures.append(f"{name}: {failure}")
+    print(
+        "emulator: fast {:.1f} rps vs loop {:.1f} rps "
+        "(best-round speedup {:.2f}x, mean {:.2f}x)".format(
+            reports["BENCH_emulator"]["fast_best_round_rps"],
+            reports["BENCH_emulator"]["loop_best_round_rps"],
+            reports["BENCH_emulator"]["speedup"],
+            reports["BENCH_emulator"]["mean_speedup"],
+        )
+    )
+    print(
+        "cluster: {:.1f} req/wall-s on {} cores "
+        "(fast/loop serve ratio {:.2f}x)".format(
+            reports["BENCH_cluster"]["fast_requests_per_wall_s"],
+            reports["BENCH_cluster"]["num_cores"],
+            reports["BENCH_cluster"]["fast_loop_serve_ratio"],
+        )
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Lightweight named phase timers for wall-clock breakdowns.
+
+The cycle ledger measures *modeled* hardware time; :class:`PhaseTimer`
+measures the *emulator's* wall-clock time, which is what the fast path
+optimizes.  A timer accumulates total seconds and call counts per named
+phase, so a benchmark can report where a request's wall time went
+(gather, core call, reduction, ...) without a profiler in the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Phases nest freely (each ``with`` block charges only its own name)
+    and the same name accumulates across entries::
+
+        timer = PhaseTimer()
+        with timer.phase("replay"):
+            ...
+        timer.seconds("replay")   # total wall seconds in "replay"
+        timer.summary()           # {"replay": {"seconds": ..., "calls": ...}}
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one entry of the named phase."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Charge pre-measured time to a phase (for external timers)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        """Total wall seconds accumulated in one phase (0.0 if unused)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of completed entries of one phase."""
+        return self._calls.get(name, 0)
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """Phase names in first-use order."""
+        return tuple(self._seconds)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-phase totals, JSON-ready."""
+        return {
+            name: {
+                "seconds": self._seconds[name],
+                "calls": self._calls[name],
+            }
+            for name in self._seconds
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated phases."""
+        self._seconds.clear()
+        self._calls.clear()

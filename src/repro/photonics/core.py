@@ -197,6 +197,10 @@ class PrototypeCore:
     ``a * b / 255``).
     """
 
+    #: Whole-layer matrix products are not a device primitive: the
+    #: testbed streams one accumulation per readout.
+    supports_matmul = False
+
     def __init__(
         self,
         num_wavelengths: int = 2,
@@ -331,6 +335,9 @@ class BehavioralCore:
     ``remove_mean=False`` to keep the raw measured distribution.
     """
 
+    #: Whole-layer matrix products are native here (see :meth:`matmul`).
+    supports_matmul = True
+
     def __init__(
         self,
         architecture: CoreArchitecture = PROTOTYPE_ARCHITECTURE,
@@ -379,6 +386,90 @@ class BehavioralCore:
             raise ValueError("operand blocks must have equal shape")
         clean = (a_pairs * b_pairs / 255.0).sum(axis=1)
         return self.noise.apply(clean, self._rng) - self._noise_offset()
+
+    def accumulate_fast(
+        self, a_pairs: np.ndarray, b_pairs: np.ndarray
+    ) -> np.ndarray:
+        """Fused :meth:`accumulate` for compiled-plan replay.
+
+        Computes the identical per-step result stream with the identical
+        noise draws — one draw per readout, same RNG consumption — but
+        fuses the multiply-and-sum into a single einsum pass and skips
+        the shape-validation of the streaming entry point.  Callers pass
+        pre-validated ``(num_steps, N)`` float64 blocks (plans guarantee
+        this by construction).
+        """
+        clean = np.einsum("ij,ij->i", a_pairs, b_pairs) / 255.0
+        return self.noise.apply(clean, self._rng) - self._noise_offset()
+
+    def accumulate_into(
+        self,
+        a_pairs: np.ndarray,
+        b_pairs: np.ndarray,
+        out: np.ndarray,
+        scratch: np.ndarray,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`accumulate_fast` into caller buffers.
+
+        Unlike :meth:`accumulate`, ``b_pairs`` carries *pre-scaled*
+        weights (levels already divided by 255), so replay skips one
+        full-stream division per layer — compiled plans bake the scale
+        into their stacked magnitude block once.  ``out`` and
+        ``scratch`` are float64 buffers of length ``num_steps`` that
+        the caller owns across requests, so steady-state replay
+        allocates nothing; ``a_pairs`` is treated as scratch too and
+        may be clobbered.  RNG consumption is identical to
+        :meth:`accumulate` — a ``Generator`` fills ``standard_normal(n,
+        out=...)`` from the same stream ``normal(mean, std, n)``
+        consumes, and ``z * std + mean`` rounds identically to the C
+        ``loc + scale * z`` — so the noise stream is draw-for-draw the
+        per-row loop's; the clean dot products differ from
+        :meth:`accumulate` only in float rounding/summation order.
+        """
+        if a_pairs.shape[1] == 2:
+            # The prototype geometry (N=2): one in-place multiply and
+            # one strided add beat the einsum contraction.
+            np.multiply(a_pairs, b_pairs, out=a_pairs)
+            flat = a_pairs.reshape(-1)
+            np.add(flat[0::2], flat[1::2], out=out)
+        else:
+            np.einsum("ij,ij->i", a_pairs, b_pairs, out=out)
+        return self.readout_noise_into(out, scratch)
+
+    def readout_noise_into(
+        self, out: np.ndarray, scratch: np.ndarray
+    ) -> np.ndarray:
+        """Add one readout-noise draw per partial, in stream order.
+
+        ``out`` holds the clean (already offset-corrected scale)
+        readout values; ``scratch`` is a same-length float64 buffer the
+        draws land in.  Consumes exactly one Gaussian per element from
+        the same stream :meth:`accumulate` draws from, so callers that
+        compute the clean contraction themselves (e.g. a compiled
+        plan's sparse matvec) stay draw-for-draw identical to the
+        per-row loop path.
+        """
+        noise = self.noise
+        if type(noise) is GaussianNoise:
+            self._rng.standard_normal(out.shape[0], out=scratch)
+            scratch *= noise.std
+            if self.remove_mean:
+                # The loop path adds the mean with the draw and removes
+                # it again as the calibrated offset; adding the centered
+                # draw directly skips two full-stream passes (same value
+                # up to float cancellation).
+                out += scratch
+            else:
+                scratch += noise.mean
+                out += scratch
+        elif isinstance(noise, NoiselessModel):
+            pass
+        else:
+            out[:] = noise.apply(out, self._rng)
+            offset = self._noise_offset()
+            if offset:
+                out -= offset
+        return out
 
     def matmul(self, a_matrix: np.ndarray, b_matrix: np.ndarray) -> np.ndarray:
         """Noisy matrix product with per-readout noise accumulation.

@@ -40,6 +40,17 @@ FULL_SCALE = 255.0
 class NoiseModel:
     """Base interface: perturb a measured analog readout."""
 
+    #: Whether perturbing a block of readouts in one :meth:`apply` call
+    #: consumes the same RNG stream as perturbing them one by one.
+    #: True for models whose ``apply`` is a single shaped draw (numpy
+    #: Generators fill ``normal(size=a)`` then ``normal(size=b)``
+    #: identically to ``normal(size=a + b)``); the compiled fast path
+    #: relies on this to batch per-row readout noise without changing
+    #: seeded results.  Models that cascade multiple draws per call
+    #: (e.g. :class:`CompositeNoise`) interleave differently when
+    #: batched and must declare ``False``.
+    stream_equivalent = True
+
     def sample(self, size: int | tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         """Draw noise values (0..255 scale) of the given shape."""
         raise NotImplementedError
@@ -136,6 +147,11 @@ class ThermalNoise(NoiseModel):
 
 class CompositeNoise(NoiseModel):
     """Sum of independent noise sources (e.g. shot + thermal)."""
+
+    # Cascading draws one sample per source per call, so batched and
+    # per-row application interleave the stream differently: batched
+    # results remain statistically identical but not draw-for-draw.
+    stream_equivalent = False
 
     def __init__(self, *sources: NoiseModel) -> None:
         if not sources:

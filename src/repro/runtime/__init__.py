@@ -27,7 +27,7 @@ from .schedulers import (
     WeightedFairScheduler,
 )
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
-from .batching import BatchingCoalescer
+from .batching import BatchingCoalescer, stack_levels
 from .cluster import Cluster, ClusterResult, RuntimeRecord, RuntimeRequest
 from .workload import poisson_trace, rate_for_cluster_utilization
 
@@ -42,6 +42,7 @@ __all__ = [
     "AdmissionQueue",
     "QueueEntry",
     "BatchingCoalescer",
+    "stack_levels",
     "Cluster",
     "ClusterResult",
     "RuntimeRecord",

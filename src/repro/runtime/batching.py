@@ -16,9 +16,32 @@ throughput exactly when it needs it.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from .queues import AdmissionQueue, QueueEntry
 
-__all__ = ["BatchingCoalescer"]
+__all__ = ["BatchingCoalescer", "stack_levels"]
+
+
+def stack_levels(entries: Sequence[QueueEntry]) -> np.ndarray:
+    """Stack coalesced requests' level vectors into one operand block.
+
+    Writes each request's ``data_levels`` straight into a preallocated
+    ``(batch, input_size)`` float64 block — the layout
+    :meth:`~repro.core.datapath.LightningDatapath.execute_batch` and the
+    compiled plans consume — instead of materializing a list of arrays
+    for ``np.stack`` on every dispatch.
+    """
+    if not entries:
+        raise ValueError("cannot stack an empty dispatch")
+    first = np.asarray(entries[0].item.data_levels, dtype=np.float64)
+    block = np.empty((len(entries), first.shape[-1]), dtype=np.float64)
+    block[0] = first
+    for i, entry in enumerate(entries[1:], start=1):
+        block[i] = entry.item.data_levels
+    return block
 
 
 class BatchingCoalescer:

@@ -64,7 +64,7 @@ from ..faults.wire import (
 )
 from ..net.parser import PacketParser
 from ..sim.events import EventQueue
-from .batching import BatchingCoalescer
+from .batching import BatchingCoalescer, stack_levels
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
 from .schedulers import RoundRobinScheduler, Scheduler
 
@@ -284,6 +284,19 @@ class Cluster:
         return {
             model_id: {"admitted": q.admitted, "dropped": q.dropped}
             for model_id, q in self._queues.items()
+        }
+
+    def plan_stats(self) -> dict[int, dict[int, dict[str, int]]]:
+        """Per-core compiled-plan cache statistics.
+
+        Maps core index to the datapath's per-model plan stats (tasks
+        compiled, requests replayed).  Cores serving on the fast path
+        show replay counts climbing while the task counts stay flat —
+        the compile-once, replay-many contract made observable.
+        """
+        return {
+            core: datapath.plan_stats()
+            for core, datapath in enumerate(self.datapaths)
         }
 
     # ------------------------------------------------------------------
@@ -535,6 +548,10 @@ class Cluster:
                     continue
                 health[i].state = "quarantined"
                 health[i].quarantined_at_s = now
+                # The core's calibration no longer matches what its
+                # plans were compiled against; recompile lazily if the
+                # core ever serves again (post-recalibration).
+                self.datapaths[i].invalidate_plans()
                 self.stats.quarantines += 1
                 emit(
                     "quarantine",
@@ -770,8 +787,7 @@ class Cluster:
             outputs = [execution.output_levels]
         else:
             batch = datapath.execute_batch(
-                model_id,
-                np.stack([e.item.data_levels for e in entries]),
+                model_id, stack_levels(entries)
             )
             service_s = batch.total_seconds
             pass_datapath_s = (

@@ -32,8 +32,14 @@ def random_dense_dag(draw):
         nonlinearity = draw(
             st.sampled_from(["identity", "relu", "softmax"])
         )
+        # Intermediate divisors must differ from 1.0: a divisor of
+        # exactly 1.0 skips the requant clip, so an identity layer could
+        # hand negative levels to the next layer, which the datapath
+        # rejects by contract.
         divisor = draw(
-            st.floats(0.5, 64.0) if i < num_layers - 1 else st.just(1.0)
+            st.floats(0.5, 64.0).filter(lambda d: d != 1.0)
+            if i < num_layers - 1
+            else st.just(1.0)
         )
         name = f"fc{i}"
         tasks.append(

@@ -199,3 +199,72 @@ class TestPreambleDetector:
         detector = PreambleDetector(repeats=repeats)
         got = detector.extract_data(windows, num_samples=length)
         assert np.array_equal(got, data)
+
+
+class TestVectorizedScan:
+    """The broadcast circulant scan must equal the old per-offset loop."""
+
+    def test_circulant_rows_are_rolled_patterns(self):
+        detector = PreambleDetector()
+        base = np.array(
+            [c == "H" for c in detector.pattern], dtype=bool
+        )
+        assert detector._shifted.shape == (16, 16)
+        for k in range(detector.samples_per_cycle):
+            np.testing.assert_array_equal(
+                detector._shifted[k], np.roll(base, k)
+            )
+
+    def test_broadcast_match_equals_per_offset_loop(self):
+        detector = PreambleDetector()
+        base = np.array(
+            [c == "H" for c in detector.pattern], dtype=bool
+        )
+        rng = np.random.default_rng(0)
+        windows = list(rng.uniform(0, 255, size=(20, 16)))
+        # Exact rotated preamble windows too, so matches actually occur.
+        for k in range(16):
+            windows.append(np.where(np.roll(base, k), 255.0, 0.0))
+        for window in windows:
+            bits = window > detector._threshold
+            vectorized = np.logical_and.reduce(
+                detector._shifted == bits, axis=1
+            )
+            looped = np.array([
+                np.array_equal(bits, np.roll(base, k)) for k in range(16)
+            ])
+            np.testing.assert_array_equal(vectorized, looped)
+
+    @given(offset=st.integers(0, 15), repeats=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_detection_equals_loop_reference(self, offset, repeats):
+        """End-to-end detection agrees with a per-offset-loop detector."""
+
+        class LoopDetector(PreambleDetector):
+            def consume(self, window):  # the pre-vectorization scan
+                window = np.asarray(window, dtype=np.float64)
+                if self._result is not None:
+                    return self._result
+                bits = window > self._threshold
+                if self._candidate is not None:
+                    return super().consume(window)
+                for k in range(self.samples_per_cycle):
+                    matched = bool(
+                        np.array_equal(bits, self._shifted[k])
+                    )
+                    self._matched[k] = matched
+                    if matched and self._first_match[k] < 0:
+                        self._first_match[k] = self._cycle
+                for unit in self.units:
+                    unit.tick(None, self._cycle)
+                self._cycle += 1
+                return self._result
+
+        rng = np.random.default_rng(offset * 31 + repeats)
+        data = rng.integers(0, 256, 24).astype(float)
+        windows = frame_with_offset(
+            add_preamble(data, repeats=repeats), offset=offset
+        )
+        fast = PreambleDetector(repeats=repeats).detect(windows)
+        loop = LoopDetector(repeats=repeats).detect(windows)
+        assert fast == loop

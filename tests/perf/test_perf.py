@@ -1,0 +1,137 @@
+"""Tests for the perf harness: timers, benchmarks, and the CI gate."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.perf import (
+    PhaseTimer,
+    bench_cluster,
+    bench_emulator,
+    check_regression,
+    lenet_class_dag,
+    write_report,
+)
+from repro.perf.bench import main
+
+
+class TestPhaseTimer:
+    def test_phase_accumulates_seconds_and_calls(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("work"):
+                time.sleep(0.001)
+        assert timer.calls("work") == 3
+        assert timer.seconds("work") >= 0.003
+        assert timer.phases == ("work",)
+
+    def test_add_charges_external_time(self):
+        timer = PhaseTimer()
+        timer.add("serve", 1.5, calls=10)
+        timer.add("serve", 0.5, calls=2)
+        assert timer.seconds("serve") == 2.0
+        assert timer.calls("serve") == 12
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PhaseTimer().add("x", -1.0)
+
+    def test_unused_phase_reads_zero(self):
+        timer = PhaseTimer()
+        assert timer.seconds("nope") == 0.0
+        assert timer.calls("nope") == 0
+
+    def test_summary_and_reset(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        assert timer.summary() == {"a": {"seconds": 1.0, "calls": 1}}
+        timer.reset()
+        assert timer.summary() == {}
+
+
+class TestCheckRegression:
+    def test_within_threshold_passes(self):
+        assert check_regression(
+            {"speedup": 4.5}, {"speedup": 5.0}, ["speedup"]
+        ) == []
+
+    def test_improvement_passes(self):
+        assert check_regression(
+            {"speedup": 9.0}, {"speedup": 5.0}, ["speedup"]
+        ) == []
+
+    def test_regression_fails(self):
+        failures = check_regression(
+            {"speedup": 3.0}, {"speedup": 5.0}, ["speedup"]
+        )
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_metric_missing_from_baseline_skipped(self):
+        assert check_regression({"new": 1.0}, {}, ["new"]) == []
+
+
+class TestLenetClassDag:
+    def test_paper_layer_shapes(self):
+        dag = lenet_class_dag(seed=0)
+        assert [t.output_size for t in dag.tasks] == [300, 100, 10]
+        assert dag.tasks[0].input_size == 784
+
+    def test_deterministic_per_seed(self):
+        import numpy as np
+
+        a = lenet_class_dag(seed=1)
+        b = lenet_class_dag(seed=1)
+        np.testing.assert_array_equal(
+            a.tasks[0].weights_levels, b.tasks[0].weights_levels
+        )
+
+
+class TestBenchmarks:
+    def test_bench_emulator_asserts_equivalence(self):
+        result = bench_emulator(requests=4, seed=0)
+        assert result["predictions_identical"] is True
+        assert result["cycle_ledgers_identical"] is True
+        assert result["speedup"] > 0
+        assert result["fast_throughput_rps"] > 0
+        assert "serve:fast" in result["phases"]
+
+    def test_bench_cluster_serves_trace(self):
+        result = bench_cluster(requests=8, num_cores=2, max_batch=2, seed=0)
+        assert result["served"] == 8
+        assert result["plan_replays"] > 0
+        assert result["fast_loop_serve_ratio"] > 0
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bench_emulator(requests=0)
+        with pytest.raises(ValueError, match="at least one"):
+            bench_cluster(requests=0)
+
+
+class TestCLI:
+    def test_writes_reports_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "reports"
+        code = main([
+            "--out-dir", str(out), "--requests", "4",
+            "--cluster-requests", "4",
+        ])
+        assert code == 0
+        emulator = json.loads((out / "BENCH_emulator.json").read_text())
+        assert emulator["benchmark"] == "emulator"
+        assert (out / "BENCH_cluster.json").exists()
+
+        # A hugely better baseline makes the gate fail.
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        inflated = dict(emulator, speedup=emulator["speedup"] * 100)
+        write_report(inflated, baseline_dir / "BENCH_emulator.json")
+        code = main([
+            "--out-dir", str(out), "--requests", "4",
+            "--cluster-requests", "4", "--check", str(baseline_dir),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.stats import NICCounters
@@ -131,3 +133,26 @@ class TestBatchingCoalescer:
             BatchingCoalescer(max_batch=0)
         with pytest.raises(ValueError, match="no batches"):
             _ = BatchingCoalescer().mean_batch_size
+
+
+class TestStackLevels:
+    def test_matches_np_stack(self):
+        import numpy as np
+
+        from repro.runtime import stack_levels
+
+        rng = np.random.default_rng(0)
+        vectors = [rng.uniform(0, 255, 12) for _ in range(4)]
+        q = AdmissionQueue(model_id=1, capacity=8)
+        for v in vectors:
+            q.offer(SimpleNamespace(data_levels=v), 0.0)
+        entries = BatchingCoalescer(max_batch=4).take(q)
+        block = stack_levels(entries)
+        assert block.dtype == np.float64
+        np.testing.assert_array_equal(block, np.stack(vectors))
+
+    def test_empty_dispatch_rejected(self):
+        from repro.runtime import stack_levels
+
+        with pytest.raises(ValueError, match="empty"):
+            stack_levels([])
