@@ -73,6 +73,7 @@ __all__ = [
     "LayerExecution",
     "InferenceExecution",
     "BatchExecution",
+    "TimingEstimate",
     "LightningDatapath",
     "PER_LAYER_DATAPATH_SECONDS",
 ]
@@ -130,6 +131,29 @@ class BatchExecution:
     def throughput_per_second(self) -> float:
         """Inferences per second at this batch size."""
         return self.batch / self.total_seconds
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """The cost of an execution without its outputs.
+
+    Produced by :meth:`LightningDatapath.execute_timing` — the parent
+    process's dry-run in process-parallel serving, which must charge the
+    exact seconds :meth:`LightningDatapath.execute` would have charged
+    (same per-layer formulas, same summation order, same memory-jitter
+    RNG consumption) while a worker computes the actual outputs.
+    """
+
+    compute_seconds: float
+    datapath_seconds: float
+    memory_seconds: float
+    passes: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds + self.datapath_seconds + self.memory_seconds
+        )
 
 
 @dataclass(frozen=True)
@@ -210,13 +234,18 @@ class LightningDatapath:
     def num_wavelengths(self) -> int:
         return self.core.architecture.accumulation_wavelengths
 
-    def register_model(self, dag: ComputationDAG) -> None:
+    def register_model(
+        self, dag: ComputationDAG, plan: ModelPlan | None = None
+    ) -> None:
         """Register a DAG, stage its parameters in DRAM, compile plans.
 
         On the compiled fast path every task is lowered to its
         :class:`~repro.core.plans.ExecutionPlan` here, once, so serving
         replays cached gather maps and stacked operands instead of
-        re-deriving them per request.
+        re-deriving them per request.  ``plan`` lets a caller adopt an
+        already-compiled :class:`~repro.core.plans.ModelPlan` (e.g. one
+        rebuilt around shared-memory views in a worker process) instead
+        of compiling — the geometry must match this datapath's.
         """
         self.loader.register_model(dag)
         self.memory.store_model(
@@ -228,17 +257,31 @@ class LightningDatapath:
             },
         )
         if self.fidelity == "fast":
-            self._plans[dag.model_id] = self._compile(dag)
+            if plan is not None:
+                if plan.geometry != self.plan_geometry:
+                    raise ValueError(
+                        "adopted plan was compiled for a different "
+                        "datapath geometry"
+                    )
+                self._plans[dag.model_id] = plan
+            else:
+                self._plans[dag.model_id] = self._compile(dag)
 
-    def _compile(self, dag: ComputationDAG) -> ModelPlan:
-        """Compile one DAG against this datapath's geometry."""
-        geometry = PlanGeometry(
+    @property
+    def plan_geometry(self) -> PlanGeometry:
+        """The geometry compiled plans on this datapath are keyed by."""
+        return PlanGeometry(
             num_wavelengths=self.num_wavelengths,
             samples_per_cycle=self.samples_per_cycle,
             preamble_repeats=self.preamble_repeats,
         )
+
+    def _compile(self, dag: ComputationDAG) -> ModelPlan:
+        """Compile one DAG against this datapath's geometry."""
         return compile_model(
-            dag, geometry, rows_for=lambda t: self._sign_separated(dag, t)
+            dag,
+            self.plan_geometry,
+            rows_for=lambda t: self._sign_separated(dag, t),
         )
 
     def _plan_for(self, dag: ComputationDAG) -> ModelPlan:
@@ -260,6 +303,14 @@ class LightningDatapath:
             self._plans.clear()
         else:
             self._plans.pop(model_id, None)
+
+    def model_plan(self, model_id: int) -> ModelPlan | None:
+        """The compiled plan for one model, if the fast path built it.
+
+        The serving layer uses this to publish a deployed model's
+        compiled state into shared memory for worker processes.
+        """
+        return self._plans.get(model_id)
 
     def plan_stats(self) -> dict[int, dict[str, int]]:
         """Per-model plan-cache statistics (tasks compiled, replays)."""
@@ -752,4 +803,106 @@ class LightningDatapath:
             compute_seconds=pipeline_compute * passes,
             datapath_seconds=pipeline_datapath * passes,
             memory_seconds=pipeline_memory * passes,
+        )
+
+    # ------------------------------------------------------------------
+    # Timing dry-runs (process-parallel serving)
+    # ------------------------------------------------------------------
+    def _layer_timing(
+        self, dag: ComputationDAG, plan_model: ModelPlan, task: LayerTask
+    ) -> tuple[float, float, float]:
+        """One layer's (compute, datapath, memory) seconds, no outputs.
+
+        Mirrors :meth:`_execute_plan` cost for cost: the same memory-
+        controller calls in the same order (they carry the DRAM jitter
+        RNG stream), the same cycle formulas, the same constants — so a
+        dry-run's ledger is bit-identical to a real execution's.
+        """
+        plan = plan_model.plan(task.name)
+        if task.kind == "maxpool":
+            return plan.compute_cycles / self.clock_hz, 0.0, 0.0
+        if task.kind == "attention" and not supports_matmul(self.core):
+            raise ValueError(
+                "attention tasks require a behavioral core (device-"
+                "fidelity attention streaming is not implemented)"
+            )
+        if task.kind == "conv":
+            _, memory_seconds = self.memory.load_kernel(
+                dag.model_id, task.name
+            )
+        else:
+            _, memory_seconds = self.memory.stream_weights(
+                dag.model_id, task.name
+            )
+        cycles = (
+            plan.stream_cycles
+            + self.adder_tree.latency_cycles
+            + plan.nonlinear.latency_cycles
+        )
+        return (
+            cycles / self.clock_hz,
+            PER_LAYER_DATAPATH_SECONDS,
+            memory_seconds,
+        )
+
+    def execute_timing(self, model_id: int) -> TimingEstimate:
+        """Charge one request's exact cost without computing outputs.
+
+        The parent process of a worker pool calls this instead of
+        :meth:`execute`: it advances the loader, plan-replay counters,
+        and memory-jitter RNG exactly as a real execution would — so the
+        virtual-clock event loop stays bit-identical to serial serving —
+        while the worker computes the output levels.
+        """
+        if self.fidelity != "fast":
+            raise ValueError(
+                "timing dry-runs require the compiled fast path "
+                "(fidelity='fast')"
+            )
+        dag = self.loader.load(model_id)
+        plan_model = self._plan_for(dag)
+        plan_model.replays += 1
+        compute: list[float] = []
+        datapath: list[float] = []
+        memory: list[float] = []
+        seen_groups: set[str] = set()
+        for index, task in enumerate(dag.tasks):
+            self.loader.configure_layer(dag, index, self.num_wavelengths)
+            c, d, m = self._layer_timing(dag, plan_model, task)
+            if task.parallel_group is not None:
+                if task.parallel_group in seen_groups:
+                    d = 0.0
+                else:
+                    seen_groups.add(task.parallel_group)
+            compute.append(c)
+            datapath.append(d)
+            memory.append(m)
+        return TimingEstimate(
+            compute_seconds=sum(compute),
+            datapath_seconds=sum(datapath),
+            memory_seconds=sum(memory),
+        )
+
+    def execute_batch_timing(
+        self, model_id: int, batch: int
+    ) -> TimingEstimate:
+        """Batch twin of :meth:`execute_timing`.
+
+        Replays the accounting of :meth:`execute_batch` exactly: every
+        sample advances the memory RNG and replay counters (the real
+        path executes each sample), but only sample 0's pipeline cost,
+        multiplied by the pass count, is charged.
+        """
+        if batch < 1:
+            raise ValueError("a batch needs at least one query")
+        first = self.execute_timing(model_id)
+        for _ in range(batch - 1):
+            self.execute_timing(model_id)
+        hardware_batch = self.core.architecture.batch_size
+        passes = math.ceil(batch / hardware_batch)
+        return TimingEstimate(
+            compute_seconds=first.compute_seconds * passes,
+            datapath_seconds=first.datapath_seconds * passes,
+            memory_seconds=first.memory_seconds * passes,
+            passes=passes,
         )

@@ -74,6 +74,8 @@ __all__ = [
     "clear_im2col_cache",
     "compile_task",
     "compile_model",
+    "export_model_plan",
+    "import_model_plan",
     "supports_matmul",
 ]
 
@@ -239,6 +241,55 @@ class ExecutionPlan:
         """Replay the compiled task; returns the raw pre-bias levels."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Shared-memory export/import (process-parallel serving)
+    # ------------------------------------------------------------------
+    def shared_arrays(self) -> dict[str, np.ndarray]:
+        """The large compiled blocks a worker process maps, not copies.
+
+        Everything returned here is immutable replay state (weight
+        stacks, gather maps); per-request scratch buffers stay private
+        to each process.  Attention and pool plans derive all their
+        state from the task itself, so they export nothing extra.
+        """
+        return {}
+
+    def shared_meta(self) -> dict:
+        """Small picklable metadata :meth:`from_shared` rebuilds from."""
+        return {
+            "kind": self.kind,
+            "rows": self.rows,
+            "stream_cycles": self.stream_cycles,
+        }
+
+    @classmethod
+    def from_shared(
+        cls,
+        task: LayerTask,
+        geometry: PlanGeometry,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+    ) -> "ExecutionPlan":
+        """Rebuild a compiled plan around shared-memory array views.
+
+        The worker-side twin of compilation: no sign separation, no
+        im2col unrolling, no copies of the stacked operand blocks —
+        just view wiring plus freshly allocated private scratch.  The
+        cycle ledger is restored from ``meta`` verbatim, so shared
+        replicas charge the identical cycles the parent compiled.
+        """
+        plan = cls.__new__(cls)
+        ExecutionPlan.__init__(plan, task, geometry)
+        plan.rows = int(meta["rows"])
+        plan.stream_cycles = int(meta["stream_cycles"])
+        plan._bind_shared(task, arrays, meta)
+        return plan
+
+    def _bind_shared(
+        self, task: LayerTask, arrays: dict[str, np.ndarray], meta: dict
+    ) -> None:
+        raise NotImplementedError
+
 
 class DensePlan(ExecutionPlan):
     """A fully-connected layer as one stacked accumulate block."""
@@ -356,6 +407,40 @@ class DensePlan(ExecutionPlan):
         np.multiply(partials, self.group_signs, out=partials)
         return np.add.reduceat(partials, self.row_starts)
 
+    def shared_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "a_index": self.a_index,
+            "magnitudes": self.magnitudes,
+            "scaled": self._scaled,
+            "group_signs": self.group_signs,
+            "row_starts": self.row_starts,
+        }
+
+    def shared_meta(self) -> dict:
+        meta = super().shared_meta()
+        meta["total_steps"] = self.total_steps
+        return meta
+
+    def _bind_shared(self, task, arrays, meta):
+        self.a_index = arrays["a_index"]
+        self.magnitudes = arrays["magnitudes"]
+        self.group_signs = arrays["group_signs"]
+        self.row_starts = arrays["row_starts"]
+        self.total_steps = int(meta["total_steps"])
+        self._scaled = arrays["scaled"]
+        self._gathered = np.empty(self.magnitudes.shape, dtype=np.float64)
+        self._partials = np.empty(self.total_steps, dtype=np.float64)
+        self._scratch = np.empty(self.total_steps, dtype=np.float64)
+        self._input_size = task.input_size
+        n = self.geometry.num_wavelengths
+        self._csr_indptr = np.arange(
+            0, self.total_steps * n + 1, n, dtype=np.int64
+        )
+        # Flat views of the shared blocks (both are C-contiguous by
+        # construction, so reshape cannot copy).
+        self._csr_indices = self.a_index.reshape(-1)
+        self._csr_data = self._scaled.reshape(-1)
+
 
 class ConvPlan(ExecutionPlan):
     """A convolution layer as one patch gather plus one matmul."""
@@ -401,6 +486,11 @@ class ConvPlan(ExecutionPlan):
         draw order.
         """
         if self._fallback is None:
+            if self._rows is None:
+                raise RuntimeError(
+                    "shared conv plans carry no sign-separated rows; "
+                    "replay them on a core with native matmul"
+                )
             a_index, magnitudes, group_signs, row_starts, steps = (
                 _stack_rows(self._rows, self.geometry.num_wavelengths)
             )
@@ -438,6 +528,23 @@ class ConvPlan(ExecutionPlan):
         return np.add.reduceat(signed, starts).reshape(
             positions, self.conv.out_channels
         )
+
+    def shared_arrays(self) -> dict[str, np.ndarray]:
+        return {"patch_gather": self.patch_gather}
+
+    def _bind_shared(self, task, arrays, meta):
+        conv = task.conv
+        assert conv is not None and task.weights_levels is not None
+        self.conv = conv
+        self.patch_gather = arrays["patch_gather"]
+        # Seed the process-wide cache so sibling geometry lookups hit
+        # the shared map instead of re-unrolling it.
+        _IM2COL_CACHE.setdefault(conv, self.patch_gather)
+        # The task's weights are themselves shared-memory views in a
+        # worker, so the transposed view costs nothing.
+        self.weights_t = task.weights_levels.T
+        self._rows = None
+        self._fallback = None
 
 
 class AttentionPlan(ExecutionPlan):
@@ -483,6 +590,17 @@ class AttentionPlan(ExecutionPlan):
         context = core.matmul(attn * 255.0, v)
         return core.matmul(context, self.wo_t).ravel()
 
+    def _bind_shared(self, task, arrays, meta):
+        att = task.attention
+        assert att is not None and task.weights_levels is not None
+        self.attention = att
+        d = att.d_model
+        weights = task.weights_levels
+        self.wq_t = weights[0:d].T
+        self.wk_t = weights[d : 2 * d].T
+        self.wv_t = weights[2 * d : 3 * d].T
+        self.wo_t = weights[3 * d : 4 * d].T
+
 
 class PoolPlan(ExecutionPlan):
     """Max pooling: a digital stage with a precomputed cycle count."""
@@ -506,6 +624,16 @@ class PoolPlan(ExecutionPlan):
             image, (pool.kernel, pool.kernel), axis=(1, 2)
         )[:, :: pool.effective_stride, :: pool.effective_stride]
         return windows.max(axis=(-2, -1)).ravel()
+
+    def shared_meta(self) -> dict:
+        meta = super().shared_meta()
+        meta["compute_cycles"] = self.compute_cycles
+        return meta
+
+    def _bind_shared(self, task, arrays, meta):
+        assert task.pool is not None
+        self.pool = task.pool
+        self.compute_cycles = int(meta["compute_cycles"])
 
 
 @dataclass
@@ -576,4 +704,58 @@ def compile_model(
         model_name=dag.name,
         geometry=geometry,
         tasks=plans,
+    )
+
+
+_PLAN_CLASSES: dict[str, type[ExecutionPlan]] = {
+    "dense": DensePlan,
+    "conv": ConvPlan,
+    "attention": AttentionPlan,
+    "maxpool": PoolPlan,
+}
+
+
+def export_model_plan(
+    model_plan: ModelPlan,
+) -> tuple[dict[str, dict[str, np.ndarray]], dict[str, dict]]:
+    """Split a compiled model into shareable blocks plus metadata.
+
+    Returns ``(arrays_by_task, meta_by_task)``: the former holds every
+    large immutable array a worker should map from shared memory, the
+    latter the small picklable state :func:`import_model_plan` rebuilds
+    the plans from.
+    """
+    arrays = {
+        name: plan.shared_arrays()
+        for name, plan in model_plan.tasks.items()
+    }
+    meta = {
+        name: plan.shared_meta() for name, plan in model_plan.tasks.items()
+    }
+    return arrays, meta
+
+
+def import_model_plan(
+    dag: ComputationDAG,
+    geometry: PlanGeometry,
+    arrays_by_task: dict[str, dict[str, np.ndarray]],
+    meta_by_task: dict[str, dict],
+) -> ModelPlan:
+    """Reassemble a :class:`ModelPlan` around shared-memory views.
+
+    The worker-side counterpart of :func:`export_model_plan` — no
+    recompilation, no copies of the stacked operand blocks.
+    """
+    tasks: dict[str, ExecutionPlan] = {}
+    for task in dag.tasks:
+        meta = meta_by_task[task.name]
+        cls = _PLAN_CLASSES[meta["kind"]]
+        tasks[task.name] = cls.from_shared(
+            task, geometry, arrays_by_task.get(task.name, {}), meta
+        )
+    return ModelPlan(
+        model_id=dag.model_id,
+        model_name=dag.name,
+        geometry=geometry,
+        tasks=tasks,
     )

@@ -262,6 +262,16 @@ class DegradedCore:
         """Advance the wrapper's clock (virtual seconds)."""
         self.now_s = float(now_s)
 
+    def reseed_noise(self, *subkey: int) -> None:
+        """Rebase the wrapped core's noise stream (no-op if it can't).
+
+        Faults perturb values deterministically — only the inner core
+        draws randomness — so keyed reseeding commutes with wrapping.
+        """
+        inner = getattr(self.core, "reseed_noise", None)
+        if inner is not None:
+            inner(*subkey)
+
     @property
     def architecture(self):
         return self.core.architecture

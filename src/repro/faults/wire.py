@@ -185,14 +185,16 @@ def requests_from_frames(
             counters.frames_seen += 1
         parsed = parser.parse(frame.raw)
         if isinstance(parsed, ParsedInferenceQuery):
+            # The parser's data_levels are a uint8 view of the frame
+            # bytes; pass the view straight through — the datapath
+            # widens to float64 inside its own preallocated buffers at
+            # execute time, so ingress never copies a payload.
             requests.append(
                 RuntimeRequest(
                     request_id=parsed.request.request_id,
                     model_id=parsed.request.model_id,
                     arrival_s=frame.arrival_s,
-                    data_levels=np.asarray(
-                        parsed.data_levels, dtype=np.float64
-                    ),
+                    data_levels=parsed.data_levels,
                 )
             )
         else:

@@ -30,6 +30,8 @@ __all__ = [
     "ip_to_bytes",
     "bytes_to_ip",
     "internet_checksum",
+    "checksum_accumulate",
+    "checksum_fold",
     "EthernetFrame",
     "IPv4Packet",
     "UDPDatagram",
@@ -90,15 +92,38 @@ def bytes_to_ip(raw: bytes) -> str:
     return ".".join(str(b) for b in raw)
 
 
-def internet_checksum(data: bytes) -> int:
-    """RFC 1071 one's-complement checksum over 16-bit words."""
-    if len(data) % 2:
-        data += b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+def checksum_accumulate(data: bytes | bytearray | memoryview) -> int:
+    """Unfolded one's-complement word sum of one even- or odd-length
+    chunk (the odd tail is zero-padded, per RFC 1071).
+
+    Vectorized: the bytes are viewed as big-endian 16-bit words and
+    summed in one :func:`numpy.sum` — deferring the end-around carry to
+    a single final fold is exact, because one's-complement addition is
+    associative and a 64-bit accumulator cannot overflow on any frame
+    shorter than ~2^48 bytes.  Chunks may be concatenated by adding
+    their sums **only** when every chunk but the last has even length
+    (word boundaries must align).
+    """
+    buf = np.frombuffer(data, dtype=np.uint8)
+    even = buf.size & ~1
+    total = int(
+        buf[:even].view(dtype=">u2").sum(dtype=np.uint64)
+    )
+    if buf.size & 1:
+        total += int(buf[-1]) << 8
+    return total
+
+
+def checksum_fold(total: int) -> int:
+    """Fold an accumulated word sum into the final 16-bit checksum."""
+    while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
+
+
+def internet_checksum(data: bytes | bytearray | memoryview) -> int:
+    """RFC 1071 one's-complement checksum over 16-bit words."""
+    return checksum_fold(checksum_accumulate(data))
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ packet-processing module and punted to the host over PCIe.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,12 +21,20 @@ from .packet import (
     ETHERTYPE_IPV4,
     IP_PROTO_UDP,
     LIGHTNING_UDP_PORT,
+    REQUEST_MAGIC,
     EthernetFrame,
     InferenceRequest,
     IPv4Packet,
     UDPDatagram,
+    bytes_to_ip,
+    bytes_to_mac,
+    checksum_accumulate,
+    checksum_fold,
+    internet_checksum,
     ip_to_bytes,
 )
+
+_REQUEST_HEADER = struct.Struct("!HHI")  # magic, model_id, request_id
 
 __all__ = [
     "ParsedInferenceQuery",
@@ -101,51 +110,174 @@ class PacketParser:
         self.malformed_packets = 0
 
     def parse(
-        self, raw: bytes
+        self, raw: bytes | bytearray | memoryview
     ) -> ParsedInferenceQuery | RegularPacket:
         """Classify one wire frame.
 
         Malformed inner layers degrade to :class:`RegularPacket` (the NIC
         never drops traffic just because it is not an inference query);
         a frame too short to carry an Ethernet header raises.
+
+        The inference path parses headers in place over one
+        :class:`memoryview` — field reads via ``unpack_from``, checksums
+        via the vectorized word sum, and the query data as a
+        :func:`numpy.frombuffer` view of the frame — so a query crosses
+        the parser without a single payload copy.  Only punts (the slow
+        path by construction) materialize an :class:`EthernetFrame`.
         """
-        frame = EthernetFrame.unpack(raw)
-        if frame.ethertype != ETHERTYPE_IPV4:
+        view = memoryview(raw)
+        if len(view) < EthernetFrame.HEADER_LEN:
+            raise ValueError("truncated Ethernet frame")
+        (ethertype,) = struct.unpack_from("!H", view, 12)
+        if ethertype != ETHERTYPE_IPV4:
             self.regular_packets += 1
-            return RegularPacket(frame, "non-IPv4 ethertype")
+            return RegularPacket(
+                EthernetFrame.unpack(raw), "non-IPv4 ethertype"
+            )
+        ip_view = view[EthernetFrame.HEADER_LEN :]
         try:
-            ip = IPv4Packet.unpack(frame.payload)
+            ihl, total_length, ttl, protocol = self._parse_ipv4(ip_view)
         except ValueError as exc:
             self.malformed_packets += 1
-            return RegularPacket(frame, f"bad IPv4: {exc}")
-        if ip.protocol != IP_PROTO_UDP:
+            return RegularPacket(
+                EthernetFrame.unpack(raw), f"bad IPv4: {exc}"
+            )
+        if protocol != IP_PROTO_UDP:
             self.regular_packets += 1
-            return RegularPacket(frame, "non-UDP protocol")
+            return RegularPacket(
+                EthernetFrame.unpack(raw), "non-UDP protocol"
+            )
+        udp_view = ip_view[ihl:total_length]
         try:
-            udp = UDPDatagram.unpack(ip.payload, ip.src_ip, ip.dst_ip)
+            src_port, dst_port, udp_length = self._parse_udp(
+                udp_view, ip_view
+            )
         except ValueError as exc:
             self.malformed_packets += 1
-            return RegularPacket(frame, f"bad UDP: {exc}")
-        if udp.dst_port != self.inference_port:
+            return RegularPacket(
+                EthernetFrame.unpack(raw), f"bad UDP: {exc}"
+            )
+        if dst_port != self.inference_port:
             self.regular_packets += 1
-            return RegularPacket(frame, "not the inference port")
+            return RegularPacket(
+                EthernetFrame.unpack(raw), "not the inference port"
+            )
+        payload_view = udp_view[UDPDatagram.HEADER_LEN : udp_length]
         try:
-            request = InferenceRequest.unpack(udp.payload)
+            request = self._parse_request(payload_view)
         except ValueError as exc:
             self.malformed_packets += 1
-            return RegularPacket(frame, f"bad inference request: {exc}")
+            return RegularPacket(
+                EthernetFrame.unpack(raw), f"bad inference request: {exc}"
+            )
         if request.model_id in self.header_data_models:
-            data = extract_header_features(ip, udp)
+            data = self._header_features(
+                ip_view, ihl, total_length, ttl, protocol,
+                src_port, dst_port,
+            )
         else:
             data = request.data
         self.inference_packets += 1
         return ParsedInferenceQuery(
             request=request,
             data_levels=data,
-            src_mac=frame.src_mac,
-            dst_mac=frame.dst_mac,
-            src_ip=ip.src_ip,
-            dst_ip=ip.dst_ip,
-            src_port=udp.src_port,
-            dst_port=udp.dst_port,
+            src_mac=bytes_to_mac(view[6:12]),
+            dst_mac=bytes_to_mac(view[0:6]),
+            src_ip=bytes_to_ip(ip_view[12:16]),
+            dst_ip=bytes_to_ip(ip_view[16:20]),
+            src_port=src_port,
+            dst_port=dst_port,
         )
+
+    @staticmethod
+    def _parse_ipv4(
+        ip_view: memoryview,
+    ) -> tuple[int, int, int, int]:
+        """Header-only IPv4 validation over a view (no payload copy).
+
+        Checks and messages mirror :meth:`IPv4Packet.unpack` exactly.
+        """
+        if len(ip_view) < IPv4Packet.HEADER_LEN:
+            raise ValueError("truncated IPv4 packet")
+        version_ihl = ip_view[0]
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < IPv4Packet.HEADER_LEN or len(ip_view) < ihl:
+            raise ValueError("malformed IPv4 header length")
+        if internet_checksum(ip_view[:ihl]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        (total_length,) = struct.unpack_from("!H", ip_view, 2)
+        if total_length > len(ip_view):
+            raise ValueError("IPv4 total length exceeds captured bytes")
+        return ihl, total_length, ip_view[8], ip_view[9]
+
+    @staticmethod
+    def _parse_udp(
+        udp_view: memoryview, ip_view: memoryview
+    ) -> tuple[int, int, int]:
+        """Header-only UDP validation over a view.
+
+        The pseudo-header sum and the datagram sum are accumulated
+        separately and folded once — exact, since the 12-byte
+        pseudo-header keeps the word boundaries aligned.  Checks and
+        messages mirror :meth:`UDPDatagram.unpack` exactly.
+        """
+        if len(udp_view) < UDPDatagram.HEADER_LEN:
+            raise ValueError("truncated UDP datagram")
+        src_port, dst_port, length, checksum = struct.unpack_from(
+            "!HHHH", udp_view, 0
+        )
+        if length < UDPDatagram.HEADER_LEN or length > len(udp_view):
+            raise ValueError("malformed UDP length")
+        if checksum != 0:
+            pseudo = bytes(ip_view[12:20]) + struct.pack(
+                "!BBH", 0, IP_PROTO_UDP, length
+            )
+            total = checksum_accumulate(pseudo)
+            total += checksum_accumulate(udp_view[:length])
+            if checksum_fold(total) != 0:
+                raise ValueError("UDP checksum mismatch")
+        return src_port, dst_port, length
+
+    @staticmethod
+    def _parse_request(payload_view: memoryview) -> InferenceRequest:
+        """Build the request with its data as a view of the frame."""
+        if len(payload_view) < _REQUEST_HEADER.size:
+            raise ValueError("truncated inference request")
+        magic, model_id, request_id = _REQUEST_HEADER.unpack_from(
+            payload_view, 0
+        )
+        if magic != REQUEST_MAGIC:
+            raise ValueError("not a Lightning inference request")
+        data = np.frombuffer(
+            payload_view[_REQUEST_HEADER.size :], dtype=np.uint8
+        )
+        return InferenceRequest(
+            model_id=model_id, request_id=request_id, data=data
+        )
+
+    @staticmethod
+    def _header_features(
+        ip_view: memoryview,
+        ihl: int,
+        total_length: int,
+        ttl: int,
+        protocol: int,
+        src_port: int,
+        dst_port: int,
+    ) -> np.ndarray:
+        """:func:`extract_header_features` from already-parsed fields."""
+        length = IPv4Packet.HEADER_LEN + (total_length - ihl)
+        features = np.empty(HEADER_FEATURE_COUNT, dtype=np.uint8)
+        features[0:4] = np.frombuffer(ip_view[12:16], dtype=np.uint8)
+        features[4:8] = np.frombuffer(ip_view[16:20], dtype=np.uint8)
+        features[8] = src_port >> 8
+        features[9] = src_port & 0xFF
+        features[10] = dst_port >> 8
+        features[11] = dst_port & 0xFF
+        features[12] = protocol
+        features[13] = ttl
+        features[14] = (length >> 8) & 0xFF
+        features[15] = length & 0xFF
+        return features

@@ -8,9 +8,12 @@ fast-path PR onward:
   readout, queue vs dispatch) with negligible overhead when idle;
 * :mod:`~repro.perf.bench` — the benchmark harness: a LeNet-class
   emulation benchmark comparing the compiled fast path against the
-  per-row loop path, and a cluster serving benchmark, both emitting
-  machine-readable ``BENCH_emulator.json`` / ``BENCH_cluster.json``
-  reports plus a regression gate for CI (``python -m repro.perf.bench``).
+  per-row loop path, a cluster serving benchmark, and a parallel
+  scaling benchmark (serial event loop vs ``execution="parallel"``
+  worker pools at 1/2/4 cores, determinism asserted), emitting
+  machine-readable ``BENCH_emulator.json`` / ``BENCH_cluster.json`` /
+  ``BENCH_parallel.json`` reports plus a regression gate for CI
+  (``python -m repro.perf.bench``).
 """
 
 from .timers import PhaseTimer
@@ -18,6 +21,7 @@ from .bench import (
     REGRESSION_THRESHOLD,
     bench_cluster,
     bench_emulator,
+    bench_parallel,
     check_regression,
     lenet_class_dag,
     write_report,
@@ -28,6 +32,7 @@ __all__ = [
     "REGRESSION_THRESHOLD",
     "bench_cluster",
     "bench_emulator",
+    "bench_parallel",
     "check_regression",
     "lenet_class_dag",
     "write_report",

@@ -13,6 +13,16 @@ trajectory is tracked PR over PR:
   :class:`~repro.runtime.cluster.Cluster` serving a Poisson trace on
   the fast path, reporting wall-clock serve time, requests per wall
   second, and the plan-cache replay counters.
+* **Parallel** (``BENCH_parallel.json``) — the same cluster workload
+  served twice per core count (1/2/4), once on the serial event loop
+  and once with ``execution="parallel"`` (one worker process per core
+  replaying shared-memory plans).  Reports the serial/parallel
+  wall-clock speedup per core count and asserts the determinism
+  contract: both modes must produce bit-identical
+  :class:`~repro.runtime.cluster.ClusterResult` records.  The gated
+  ``parallel_speedup_4c`` ratio is only emitted when the host has at
+  least four CPUs — on fewer cores the processes time-slice one
+  socket and the scaling number is meaningless.
 
 Run from a checkout::
 
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -51,6 +62,7 @@ __all__ = [
     "lenet_class_dag",
     "bench_emulator",
     "bench_cluster",
+    "bench_parallel",
     "write_report",
     "check_regression",
     "main",
@@ -64,6 +76,9 @@ REGRESSION_THRESHOLD = 0.20
 GATED_METRICS = {
     "BENCH_emulator": ["speedup"],
     "BENCH_cluster": ["fast_loop_serve_ratio"],
+    # Only present when the measuring host has >= 4 CPUs; the gate
+    # skips it otherwise (same-host ratios only, like the rest).
+    "BENCH_parallel": ["parallel_speedup_4c"],
 }
 
 
@@ -252,6 +267,120 @@ def bench_cluster(
     }
 
 
+def _results_identical(serial, parallel) -> bool:
+    """Bit-exact comparison of two :class:`ClusterResult` objects.
+
+    The determinism contract the parallel executor guarantees: every
+    served record (assignment, timing, prediction), every drop, and the
+    aggregate accounting must match the serial event loop exactly — not
+    approximately.
+    """
+    if len(serial.records) != len(parallel.records):
+        return False
+    for s, p in zip(serial.records, parallel.records):
+        if (
+            s.request.request_id != p.request.request_id
+            or s.core != p.core
+            or s.batch_size != p.batch_size
+            or s.queuing_s != p.queuing_s
+            or s.datapath_s != p.datapath_s
+            or s.compute_s != p.compute_s
+            or s.finish_s != p.finish_s
+            or s.prediction != p.prediction
+        ):
+            return False
+
+    def ids(requests) -> list[int]:
+        return [request.request_id for request in requests]
+
+    return (
+        ids(serial.dropped) == ids(parallel.dropped)
+        and ids(serial.failed) == ids(parallel.failed)
+        and sorted(ids(serial.unfinished)) == sorted(ids(parallel.unfinished))
+        and serial.busy_seconds == parallel.busy_seconds
+        and serial.horizon_s == parallel.horizon_s
+    )
+
+
+def bench_parallel(
+    requests: int = 96,
+    core_counts: tuple[int, ...] = (1, 2, 4),
+    max_batch: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Process-parallel serving vs the serial event loop, per core count.
+
+    For each core count the same Poisson trace is served twice on
+    identically seeded fast-fidelity clusters — once serially, once
+    with ``execution="parallel"`` — and the results are required to be
+    bit-identical (the determinism contract is asserted, not just
+    reported).  The wall-clock ratio per core count is the scaling
+    curve; ``parallel_speedup_4c`` is emitted only on hosts with at
+    least four CPUs, where the four worker processes actually run
+    concurrently.
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    dag = lenet_class_dag(seed)
+    rate = 2_000_000.0  # arrivals much faster than service: full load
+    cpus = os.cpu_count() or 1
+    scaling: list[dict] = []
+    for num_cores in core_counts:
+        trace = poisson_trace([dag], rate, requests, seed=seed)
+        results = {}
+        walls: dict[str, float] = {}
+        for execution in ("serial", "parallel"):
+            cluster = Cluster(
+                num_cores=num_cores,
+                datapath_factory=lambda core: LightningDatapath(
+                    core=BehavioralCore(seed=core),
+                    fidelity="fast",
+                    seed=core,
+                ),
+                max_batch=max_batch,
+                execution=execution,
+            )
+            try:
+                cluster.deploy(dag)
+                start = time.perf_counter()
+                results[execution] = cluster.serve_trace(trace)
+                walls[execution] = time.perf_counter() - start
+            finally:
+                cluster.close()
+        if not _results_identical(results["serial"], results["parallel"]):
+            raise AssertionError(
+                f"parallel results diverged from serial at "
+                f"{num_cores} cores"
+            )
+        scaling.append(
+            {
+                "num_cores": num_cores,
+                "served": len(results["serial"].records),
+                "serial_wall_s": walls["serial"],
+                "parallel_wall_s": walls["parallel"],
+                "speedup": walls["serial"] / walls["parallel"],
+            }
+        )
+    report = {
+        "benchmark": "parallel",
+        "model": dag.name,
+        "requests": requests,
+        "max_batch": max_batch,
+        "seed": seed,
+        "cpus": cpus,
+        "core_counts": list(core_counts),
+        "deterministic": True,  # asserted above, per core count
+        "scaling": scaling,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    if cpus >= 4:
+        for row in scaling:
+            if row["num_cores"] == 4:
+                report["parallel_speedup_4c"] = row["speedup"]
+    return report
+
+
 def write_report(result: dict, path: pathlib.Path | str) -> pathlib.Path:
     """Write one benchmark result as pretty-printed JSON."""
     path = pathlib.Path(path)
@@ -276,6 +405,8 @@ def check_regression(
     for metric in metrics:
         if metric not in baseline:
             continue  # baselines predating a metric don't gate it
+        if metric not in current:
+            continue  # cpu-gated metrics vanish on small hosts
         base = float(baseline[metric])
         now = float(current[metric])
         floor = base * (1.0 - threshold)
@@ -306,6 +437,10 @@ def main(argv: list[str] | None = None) -> int:
         "--cluster-requests", type=int, default=128,
         help="cluster benchmark request count",
     )
+    parser.add_argument(
+        "--parallel-requests", type=int, default=96,
+        help="parallel-scaling benchmark request count (per core count)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--check",
@@ -321,6 +456,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "BENCH_cluster": bench_cluster(
             requests=args.cluster_requests, seed=args.seed
+        ),
+        "BENCH_parallel": bench_parallel(
+            requests=args.parallel_requests, seed=args.seed
         ),
     }
     failures: list[str] = []
@@ -354,6 +492,17 @@ def main(argv: list[str] | None = None) -> int:
             reports["BENCH_cluster"]["fast_loop_serve_ratio"],
         )
     )
+    parallel = reports["BENCH_parallel"]
+    curve = ", ".join(
+        "{num_cores}c {speedup:.2f}x".format(**row)
+        for row in parallel["scaling"]
+    )
+    gate_note = (
+        "gated speedup_4c {:.2f}x".format(parallel["parallel_speedup_4c"])
+        if "parallel_speedup_4c" in parallel
+        else f"speedup_4c not gated ({parallel['cpus']} cpu host)"
+    )
+    print(f"parallel: deterministic, serial/parallel {curve}; {gate_note}")
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

@@ -348,7 +348,23 @@ class BehavioralCore:
         self.architecture = architecture
         self.noise = noise if noise is not None else GaussianNoise()
         self.remove_mean = remove_mean
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def reseed_noise(self, *subkey: int) -> None:
+        """Rebase the readout-noise stream onto a keyed Philox substream.
+
+        The runtime keys each dispatch by ``(domain, core, epoch,
+        batch)`` so the noise a batch consumes depends only on its key,
+        never on which batches other cores ran first — that is what
+        makes serial and process-parallel serving draw-for-draw
+        identical.  ``SeedSequence`` mixes the core's base seed with the
+        key, so distinct cores keep distinct streams even for equal
+        keys.
+        """
+        self._rng = np.random.Generator(
+            np.random.Philox(np.random.SeedSequence((self.seed, *subkey)))
+        )
 
     def _noise_offset(self) -> float:
         if self.remove_mean and isinstance(self.noise, GaussianNoise):

@@ -15,7 +15,10 @@ paper's §9 simulator abstracts, realised over real
 * :mod:`~repro.runtime.batching` — the opportunistic coalescer that
   merges queued same-model requests into broadcast batch executions;
 * :mod:`~repro.runtime.workload` — Poisson traces over deployed DAGs,
-  reusing the §9 workload generator.
+  reusing the §9 workload generator;
+* :mod:`~repro.runtime.parallel` — the process-parallel execution
+  backend (``Cluster(execution="parallel")``): one persistent worker
+  per core replaying shared-memory plans, bit-identical to serial.
 """
 
 from .schedulers import (
@@ -29,6 +32,7 @@ from .schedulers import (
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
 from .batching import BatchingCoalescer, stack_levels
 from .cluster import Cluster, ClusterResult, RuntimeRecord, RuntimeRequest
+from .parallel import CoreWorkerPool, SharedArrayRef, publish_model
 from .workload import poisson_trace, rate_for_cluster_utilization
 
 __all__ = [
@@ -47,6 +51,9 @@ __all__ = [
     "ClusterResult",
     "RuntimeRecord",
     "RuntimeRequest",
+    "CoreWorkerPool",
+    "SharedArrayRef",
+    "publish_model",
     "poisson_trace",
     "rate_for_cluster_utilization",
 ]

@@ -65,10 +65,20 @@ from ..faults.wire import (
 from ..net.parser import PacketParser
 from ..sim.events import EventQueue
 from .batching import BatchingCoalescer, stack_levels
+from .parallel import CoreWorkerPool, pool_finalizer
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
 from .schedulers import RoundRobinScheduler, Scheduler
 
 __all__ = ["RuntimeRequest", "RuntimeRecord", "ClusterResult", "Cluster"]
+
+#: Domain separators for the keyed readout-noise substreams.  Every
+#: batch draws from ``Philox(seed, BATCH, core, epoch, batch)`` and
+#: every watchdog probe from ``Philox(seed, PROBE, core, round)``, in
+#: both execution modes — so the draws a dispatch consumes depend only
+#: on its key, never on scheduling order, and ``execution="parallel"``
+#: reproduces the serial run bit for bit.
+_BATCH_RNG_DOMAIN = 0xB0
+_PROBE_RNG_DOMAIN = 0xA5
 
 
 @dataclass(frozen=True)
@@ -112,6 +122,12 @@ class _Dispatch:
     out and a crash can void the batch entirely, so the outcome is only
     known when the completion event (carrying a matching ``epoch``)
     fires.
+
+    Under ``execution="parallel"`` the outputs are computed by the
+    core's worker process while the virtual clock races ahead:
+    ``outputs`` stays ``None`` until finalization collects the result
+    by ``worker_seq`` (timing was already fixed at dispatch by the
+    parent's dry run, so event ordering never depends on the worker).
     """
 
     core: int
@@ -122,8 +138,9 @@ class _Dispatch:
     service_s: float
     pass_datapath_s: float
     pass_compute_s: float
-    outputs: list[np.ndarray]
+    outputs: list[np.ndarray] | None
     epoch: int = 0
+    worker_seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -202,9 +219,15 @@ class Cluster:
         drop_policy: str = "drop-tail",
         max_batch: int = 1,
         tracer: DatapathTracer | None = None,
+        execution: str = "serial",
     ) -> None:
         if num_cores < 1:
             raise ValueError("a cluster needs at least one core")
+        if execution not in ("serial", "parallel"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                "choose 'serial' or 'parallel'"
+            )
         # Validate queue parameters eagerly so a misconfigured cluster
         # fails at construction, not at the first deploy().
         if queue_capacity < 1:
@@ -241,6 +264,17 @@ class Cluster:
         }
         self._dags: dict[int, ComputationDAG] = {}
         self._queues: dict[int, AdmissionQueue[RuntimeRequest]] = {}
+        self.execution = execution
+        self._pool: CoreWorkerPool | None = None
+        self._pool_finalizer = None
+        if execution == "parallel":
+            # Fork the workers before any model state accumulates so
+            # each child starts from a lean image; the factory crosses
+            # by fork inheritance (it is commonly an unpicklable
+            # closure).  Plans ship later, at deploy, via shared
+            # memory.
+            self._pool = CoreWorkerPool(num_cores, factory)
+            self._pool_finalizer = pool_finalizer(self, self._pool)
 
     # ------------------------------------------------------------------
     # Model management
@@ -267,6 +301,17 @@ class Cluster:
         """
         for datapath in self.datapaths:
             datapath.register_model(dag)
+        if self._pool is not None:
+            plan = self.datapaths[0].model_plan(dag.model_id)
+            if plan is None:
+                raise ValueError(
+                    "execution='parallel' replays compiled plans; "
+                    "build the cluster's datapaths with "
+                    "fidelity='fast'"
+                )
+            # Publish the compiled state once into shared memory and
+            # let every worker rebuild its plan from read-only views.
+            self._pool.deploy(dag, plan)
         self._dags[dag.model_id] = dag
         self._queues[dag.model_id] = AdmissionQueue(
             model_id=dag.model_id,
@@ -278,6 +323,34 @@ class Cluster:
         for datapath in self.datapaths:
             for _ in range(max(warmup, 0)):
                 datapath.execute(dag.model_id, zeros)
+
+    def shared_segment_names(self) -> tuple[str, ...]:
+        """Live shared-memory segments (empty for serial clusters).
+
+        Exposed so tests can assert the unlink guarantee: after
+        :meth:`close`, attaching any of these names must fail.
+        """
+        if self._pool is None:
+            return ()
+        return self._pool.segment_names
+
+    def close(self) -> None:
+        """Stop worker processes and unlink shared segments.
+
+        Serial clusters have nothing to release; parallel clusters must
+        be closed (or used as a context manager) so their segments do
+        not outlive the process.  A garbage-collected cluster is also
+        cleaned up via ``weakref.finalize``, but relying on the
+        collector keeps segments around longer than needed.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def queue_counters(self) -> dict[int, dict[str, int]]:
         """Per-model admission/drop counters for operator dashboards."""
@@ -357,6 +430,11 @@ class Cluster:
         core_busy = [False] * self.num_cores
         stalled_until = [0.0] * self.num_cores
         epoch = [0] * self.num_cores
+        #: Per-core dispatch ordinal and global probe round — the
+        #: "batch" components of the keyed noise substreams.  Reset per
+        #: trace so a fixed seed reproduces a fixed trace exactly.
+        dispatch_seq = [0] * self.num_cores
+        probe_round = 0
         inflight: dict[int, _Dispatch] = {}
         records: list[RuntimeRecord] = []
         dropped: list[RuntimeRequest] = []
@@ -383,6 +461,15 @@ class Cluster:
             wrapped = self.datapaths[core].core
             if isinstance(wrapped, DegradedCore):
                 wrapped.set_time(now)
+
+        def reseed_core(core: int, *key: int) -> None:
+            # Rebase the core's readout-noise stream onto the keyed
+            # Philox substream (no-op for cores without one, e.g. the
+            # hardware prototype).  DegradedCore forwards to its inner
+            # core.
+            reseed = getattr(self.datapaths[core].core, "reseed_noise", None)
+            if reseed is not None:
+                reseed(*key)
 
         def work_pending() -> bool:
             if remaining_arrivals or pending_retries or inflight:
@@ -450,6 +537,10 @@ class Cluster:
                 return
             epoch[core] += 1
             core_busy[core] = False
+            if batch.outputs is None:
+                # The worker computes the doomed batch anyway; mark it
+                # so its result is dropped when it surfaces.
+                self._pool.discard(core, batch.worker_seq)
             # The crashed dispatch's partial occupancy still counts
             # against the core — wasted work is work.
             busy_seconds += now - batch.start_s
@@ -461,6 +552,10 @@ class Cluster:
             batch = inflight.pop(core)
             core_busy[core] = False
             busy_seconds += batch.service_s
+            if batch.outputs is None:
+                # Parallel mode: the virtual clock reached this batch's
+                # completion; join with the worker that computed it.
+                batch.outputs = self._pool.result(core, batch.worker_seq)
             for entry, output in zip(batch.entries, batch.outputs):
                 queuing_s = (
                     batch.finish_s
@@ -494,6 +589,12 @@ class Cluster:
                 wrapper = DegradedCore.ensure(self.datapaths[core])
                 wrapper.set_time(now)
                 wrapper.install(device_fault_from_event(fault))
+                if self._pool is not None:
+                    # The worker's pipe is FIFO, so the fault lands
+                    # between exactly the dispatches it separated on
+                    # the virtual clock — same prefix a serial run
+                    # would have applied.
+                    self._pool.fault(core, fault, now)
                 emit("fault", f"core:{core}", {"kind": fault.kind}, now)
                 return
             if fault.kind == "core_crash":
@@ -531,10 +632,16 @@ class Cluster:
             )
 
         def run_probes(now: float) -> None:
+            nonlocal probe_round
+            probe_round += 1
             for i in range(self.num_cores):
                 if health[i].state != "healthy":
                     continue
                 set_core_time(i, now)
+                # Probes always run on the parent's core — its faults
+                # and keyed noise stream match the workers', so the
+                # quarantine decision is identical in both modes.
+                reseed_core(i, _PROBE_RNG_DOMAIN, i, probe_round)
                 result = watchdog.check(i, self.datapaths[i].core)
                 health[i].error_rms = result.error_rms
                 health[i].probes += 1
@@ -552,6 +659,8 @@ class Cluster:
                 # plans were compiled against; recompile lazily if the
                 # core ever serves again (post-recalibration).
                 self.datapaths[i].invalidate_plans()
+                if self._pool is not None:
+                    self._pool.invalidate(i)
                 self.stats.quarantines += 1
                 emit(
                     "quarantine",
@@ -601,7 +710,20 @@ class Cluster:
                 )
                 core = idle[pick]
                 set_core_time(core, now)
-                batch = self._run_batch(core, model_id, entries, now)
+                key = (
+                    _BATCH_RNG_DOMAIN,
+                    core,
+                    epoch[core],
+                    dispatch_seq[core],
+                )
+                dispatch_seq[core] += 1
+                if self._pool is None:
+                    reseed_core(core, *key)
+                    batch = self._run_batch(core, model_id, entries, now)
+                else:
+                    batch = self._dispatch_parallel(
+                        core, model_id, entries, now, key
+                    )
                 batch.epoch = epoch[core]
                 inflight[core] = batch
                 core_busy[core] = True
@@ -688,6 +810,16 @@ class Cluster:
             dispatch(now)
 
         events.run(handle, until=timeout_s)
+
+        if self._pool is not None:
+            # Join with every worker before returning: batches cut off
+            # by a timeout were never finalized, and aborted ones still
+            # finish in the background — consume them all so the next
+            # serve starts from quiet pipes.
+            for batch in inflight.values():
+                if batch.outputs is None:
+                    self._pool.discard(batch.core, batch.worker_seq)
+            self._pool.drain()
 
         unfinished: list[RuntimeRequest] = []
         timed_out = timeout_s is not None and len(events) > 0
@@ -805,4 +937,50 @@ class Cluster:
             pass_datapath_s=pass_datapath_s,
             pass_compute_s=pass_compute_s,
             outputs=outputs,
+        )
+
+    def _dispatch_parallel(
+        self,
+        core: int,
+        model_id: int,
+        entries: Sequence[QueueEntry],
+        start_s: float,
+        key: tuple[int, ...],
+    ) -> _Dispatch:
+        """Ship one dispatch to a core's worker process.
+
+        The parent runs the datapath's timing dry run — consuming the
+        same memory-jitter draws, in the same order, as a serial
+        execute would — so the virtual clock's event ordering is fixed
+        here and never waits on a worker.  Only the request block and
+        the noise key cross the pipe; the worker replays the
+        shared-memory plan and the outputs are joined at completion
+        time (see :meth:`_Dispatch`).
+        """
+        datapath = self.datapaths[core]
+        if len(entries) == 1:
+            block = np.asarray(entries[0].item.data_levels)
+            if block.ndim != 1:
+                block = block.ravel()
+            timing = datapath.execute_timing(model_id)
+        else:
+            block = stack_levels(entries)
+            timing = datapath.execute_batch_timing(model_id, len(entries))
+        service_s = timing.total_seconds
+        pass_datapath_s = (
+            timing.datapath_seconds + timing.memory_seconds
+        ) / timing.passes
+        pass_compute_s = timing.compute_seconds / timing.passes
+        seq = self._pool.run(core, model_id, block, start_s, key)
+        return _Dispatch(
+            core=core,
+            model_id=model_id,
+            entries=list(entries),
+            start_s=start_s,
+            finish_s=start_s + service_s,
+            service_s=service_s,
+            pass_datapath_s=pass_datapath_s,
+            pass_compute_s=pass_compute_s,
+            outputs=None,
+            worker_seq=seq,
         )

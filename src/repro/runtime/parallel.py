@@ -1,0 +1,524 @@
+"""Process-parallel core execution with shared-memory plan replay.
+
+Lightning's count-action datapath keeps every photonic core busy at
+once; a Python serving loop that executes core batches serially does
+not.  This module gives :class:`~repro.runtime.cluster.Cluster` real
+execution parallelism while preserving its virtual-clock determinism:
+
+* :class:`CoreWorkerPool` — one persistent worker process per photonic
+  core.  Each worker owns a full :class:`~repro.core.datapath.
+  LightningDatapath` built by the cluster's own ``datapath_factory``,
+  so a worker computes exactly what the serial path would have computed
+  on that core.
+* **Shared-memory plan publication** — at ``deploy()`` time the parent
+  copies every compiled plan's immutable replay state (stacked
+  sign-separated operand blocks, prescaled CSR data, im2col gather
+  maps) plus each task's weight matrix into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment per
+  model.  Workers map the segment read-only and rebuild their plans as
+  views (:func:`~repro.core.plans.import_model_plan`) — compiled state
+  is published once and never re-pickled.
+* **Zero-copy dispatch** — a per-batch message carries only the request
+  vectors (or the coalesced ``(batch, input)`` block), the virtual
+  dispatch time, and the RNG substream key.  Results come back as raw
+  output-level arrays.
+
+Determinism contract: the parent reseeds nothing here — the cluster
+keys every batch's readout-noise stream by ``(domain, core, epoch,
+batch)`` and ships the key with the dispatch, and the worker rebases
+its core's Philox substream on that key before executing
+(:meth:`~repro.photonics.core.BehavioralCore.reseed_noise`).  Because
+the draws a batch consumes depend only on its key, the worker's outputs
+are bit-identical to the serial path's regardless of real scheduling
+order.  Device faults forward over the same FIFO pipe as dispatches, so
+a worker observes exactly the fault-prefix a serial execution at that
+virtual time would have.
+
+Lifecycle: segments are created by :meth:`CoreWorkerPool.deploy` and
+unlinked by :meth:`CoreWorkerPool.close` (the cluster also arranges a
+``weakref.finalize`` so a dropped cluster cannot leak segments across
+test runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.dag import ComputationDAG, LayerTask
+from ..core.plans import ModelPlan, PlanGeometry, import_model_plan
+
+__all__ = [
+    "SharedArrayRef",
+    "PublishedModel",
+    "CoreWorkerPool",
+    "publish_model",
+    "attach_array",
+]
+
+#: Byte alignment of every array inside a shared segment (cache line).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Where one array lives inside a named shared-memory segment."""
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass
+class PublishedModel:
+    """One model's compiled state, resident in a shared segment."""
+
+    model_id: int
+    segment: shared_memory.SharedMemory
+    geometry: PlanGeometry
+    #: Per-task weight matrices (``None`` for weightless tasks).
+    weight_refs: dict[str, SharedArrayRef | None]
+    #: Per-task plan arrays keyed by the plan's own slot names.
+    plan_refs: dict[str, dict[str, SharedArrayRef]]
+    #: Per-task picklable plan metadata (kind, ledger, step counts).
+    plan_meta: dict[str, dict]
+
+    @property
+    def segment_name(self) -> str:
+        return self.segment.name
+
+
+def attach_array(
+    segment: shared_memory.SharedMemory, ref: SharedArrayRef
+) -> np.ndarray:
+    """A read-only view of one published array (no copy)."""
+    view = np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=segment.buf,
+        offset=ref.offset,
+    )
+    view.setflags(write=False)
+    return view
+
+
+def publish_model(
+    dag: ComputationDAG, model_plan: ModelPlan
+) -> PublishedModel:
+    """Copy one model's compiled replay state into shared memory.
+
+    Lays out, 64-byte aligned in one segment: each weighted task's
+    untransposed weight matrix (workers re-derive the transposed views
+    locally, so the worker-side BLAS sees the exact memory layout the
+    parent's compile produced) followed by each plan's shared arrays.
+    Paid once per deploy; per-batch dispatch never touches this again.
+    """
+    entries: list[tuple[str, str, np.ndarray]] = []
+    for task in dag.tasks:
+        if task.weights_levels is not None:
+            entries.append((task.name, "__weights__", task.weights_levels))
+        for slot, array in model_plan.tasks[task.name].shared_arrays().items():
+            entries.append((task.name, slot, array))
+    total = 0
+    offsets: list[int] = []
+    for _, _, array in entries:
+        total = _aligned(total)
+        offsets.append(total)
+        total += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    weight_refs: dict[str, SharedArrayRef | None] = {
+        task.name: None for task in dag.tasks
+    }
+    plan_refs: dict[str, dict[str, SharedArrayRef]] = {
+        task.name: {} for task in dag.tasks
+    }
+    for (task_name, slot, array), offset in zip(entries, offsets):
+        ref = SharedArrayRef(
+            segment=segment.name,
+            offset=offset,
+            shape=tuple(array.shape),
+            dtype=np.dtype(array.dtype).str,
+        )
+        dest = np.ndarray(
+            array.shape,
+            dtype=array.dtype,
+            buffer=segment.buf,
+            offset=offset,
+        )
+        dest[...] = array
+        if slot == "__weights__":
+            weight_refs[task_name] = ref
+        else:
+            plan_refs[task_name][slot] = ref
+    return PublishedModel(
+        model_id=dag.model_id,
+        segment=segment,
+        geometry=model_plan.geometry,
+        weight_refs=weight_refs,
+        plan_refs=plan_refs,
+        plan_meta={
+            name: plan.shared_meta()
+            for name, plan in model_plan.tasks.items()
+        },
+    )
+
+
+def _task_spec(task: LayerTask) -> dict:
+    """A task's constructor kwargs with the weight matrix stripped.
+
+    The geometry dataclasses (``ConvShape`` etc.) and the small bias
+    vector pickle through the pipe; the weights travel as a
+    :class:`SharedArrayRef` instead.
+    """
+    spec = {
+        f.name: getattr(task, f.name) for f in dataclasses.fields(task)
+    }
+    spec.pop("weights_levels")
+    return spec
+
+
+def _deploy_spec(dag: ComputationDAG, published: PublishedModel) -> dict:
+    return {
+        "segment": published.segment_name,
+        "geometry": published.geometry,
+        "model_id": dag.model_id,
+        "name": dag.name,
+        "tasks": [_task_spec(task) for task in dag.tasks],
+        "weight_refs": published.weight_refs,
+        "plan_refs": published.plan_refs,
+        "plan_meta": published.plan_meta,
+    }
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    The parent owns unlinking; before Python 3.13 a plain attach also
+    registers the segment with the resource tracker (which would
+    double-unlink it, or — with a fork-shared tracker — erase the
+    parent's own registration), so registration is suppressed for the
+    duration of the attach.  Workers are single-threaded message
+    loops, so the temporary patch cannot race.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register(rt_name, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                original(rt_name, rtype)
+
+        resource_tracker.register = register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _worker_deploy(datapath, spec: dict, segments: list) -> None:
+    """Rebuild one model inside a worker from a deploy spec."""
+    segment = _attach_segment(spec["segment"])
+    segments.append(segment)  # keep the mapping alive
+    tasks = []
+    for task_spec in spec["tasks"]:
+        ref = spec["weight_refs"][task_spec["name"]]
+        weights = (
+            attach_array(segment, ref) if ref is not None else None
+        )
+        tasks.append(LayerTask(weights_levels=weights, **task_spec))
+    dag = ComputationDAG(spec["model_id"], spec["name"], tasks)
+    arrays = {
+        name: {
+            slot: attach_array(segment, ref)
+            for slot, ref in refs.items()
+        }
+        for name, refs in spec["plan_refs"].items()
+    }
+    plan = import_model_plan(
+        dag, spec["geometry"], arrays, spec["plan_meta"]
+    )
+    datapath.register_model(dag, plan=plan)
+
+
+def _worker_main(core_index: int, datapath_factory, conn) -> None:
+    """One photonic core's worker loop.
+
+    Messages are handled strictly in pipe order, which is what makes
+    fault forwarding deterministic: a device fault sent at virtual time
+    T lands between the dispatches it separated in virtual time.
+    """
+    from ..faults.device import DegradedCore, device_fault_from_event
+
+    datapath = datapath_factory(core_index)
+    segments: list[shared_memory.SharedMemory] = []
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        kind = message[0]
+        if kind == "deploy":
+            try:
+                _worker_deploy(datapath, message[1], segments)
+                conn.send(("ok", "deploy"))
+            except Exception:
+                conn.send(("error", -1, traceback.format_exc()))
+        elif kind == "run":
+            _, seq, model_id, block, now_s, key = message
+            try:
+                core = datapath.core
+                if isinstance(core, DegradedCore):
+                    core.set_time(now_s)
+                reseed = getattr(core, "reseed_noise", None)
+                if reseed is not None:
+                    reseed(*key)
+                if block.ndim == 1:
+                    outputs = [
+                        datapath.execute(model_id, block).output_levels
+                    ]
+                else:
+                    outputs = list(
+                        datapath.execute_batch(
+                            model_id, block
+                        ).output_levels
+                    )
+                conn.send(("result", seq, outputs))
+            except Exception:
+                conn.send(("error", seq, traceback.format_exc()))
+        elif kind == "fault":
+            from ..faults.schedule import FaultEvent
+
+            _, (time_s, fkind, fcore, duration_s, params), now_s = message
+            event = FaultEvent(
+                time_s=time_s,
+                kind=fkind,
+                core=fcore,
+                duration_s=duration_s,
+                params=params,
+            )
+            wrapper = DegradedCore.ensure(datapath)
+            wrapper.set_time(now_s)
+            wrapper.install(device_fault_from_event(event))
+        elif kind == "invalidate":
+            datapath.invalidate_plans()
+        elif kind == "stop":
+            break
+    for segment in segments:
+        segment.close()
+    conn.close()
+
+
+class CoreWorkerPool:
+    """A persistent worker process per photonic core.
+
+    Workers fork at construction so the cluster's ``datapath_factory``
+    — commonly a closure — transfers by inheritance, never by pickle.
+    All later traffic is small: deploy specs carry shared-memory refs,
+    dispatches carry request vectors, results carry output levels.
+    """
+
+    def __init__(self, num_cores: int, datapath_factory) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise RuntimeError(
+                "execution='parallel' needs the fork start method"
+            ) from exc
+        self._pipes = []
+        self._procs = []
+        for core in range(num_cores):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(core, datapath_factory, child_conn),
+                daemon=True,
+                name=f"lightning-core-{core}",
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+        self._seq = [0] * num_cores
+        #: Dispatched-but-uncollected sequence numbers, per core.
+        self._outstanding: list[set[int]] = [set() for _ in range(num_cores)]
+        #: Sequence numbers whose results must be dropped (aborted
+        #: batches): the worker computes them anyway, the parent skips
+        #: them when they surface.
+        self._discarded: list[set[int]] = [set() for _ in range(num_cores)]
+        self._published: list[PublishedModel] = []
+        self._closed = False
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._procs)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every live shared-memory segment (leak guard)."""
+        return tuple(p.segment_name for p in self._published)
+
+    # ------------------------------------------------------------------
+    # Deploy
+    # ------------------------------------------------------------------
+    def deploy(self, dag: ComputationDAG, model_plan: ModelPlan) -> None:
+        """Publish one model's plan and register it in every worker."""
+        published = publish_model(dag, model_plan)
+        self._published.append(published)
+        spec = _deploy_spec(dag, published)
+        for conn in self._pipes:
+            conn.send(("deploy", spec))
+        for core, conn in enumerate(self._pipes):
+            message = self._recv(core)
+            if message[0] != "ok":
+                raise RuntimeError(
+                    f"worker {core} failed to deploy model "
+                    f"{dag.model_id}:\n{message[2]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Dispatch / collect
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        core: int,
+        model_id: int,
+        block: np.ndarray,
+        now_s: float,
+        key: tuple[int, ...],
+    ) -> int:
+        """Ship one batch to a core's worker; returns its sequence id.
+
+        ``block`` is a single request vector (1-D) or a coalesced
+        ``(batch, input)`` stack; the worker mirrors the serial path's
+        ``execute`` / ``execute_batch`` split on its dimensionality.
+        """
+        seq = self._seq[core]
+        self._seq[core] += 1
+        self._outstanding[core].add(seq)
+        self._pipes[core].send(("run", seq, model_id, block, now_s, key))
+        return seq
+
+    def _recv(self, core: int, poll_s: float = 1.0):
+        conn = self._pipes[core]
+        while not conn.poll(poll_s):
+            if not self._procs[core].is_alive():
+                raise RuntimeError(
+                    f"worker {core} died while the parent awaited a "
+                    "result"
+                )
+        return conn.recv()
+
+    def result(self, core: int, seq: int) -> list[np.ndarray]:
+        """Block until ``seq``'s outputs arrive (skipping discards).
+
+        The worker answers strictly in dispatch order, so anything that
+        surfaces before ``seq`` is a previously discarded batch.
+        """
+        while True:
+            message = self._recv(core)
+            kind, got = message[0], message[1]
+            if kind == "error":
+                self._outstanding[core].discard(got)
+                self._discarded[core].discard(got)
+                raise RuntimeError(
+                    f"worker {core} failed on batch {got}:\n{message[2]}"
+                )
+            self._outstanding[core].discard(got)
+            if got == seq:
+                return message[2]
+            if got in self._discarded[core]:
+                self._discarded[core].discard(got)
+                continue
+            raise RuntimeError(
+                f"worker {core} answered batch {got} while the parent "
+                f"awaited {seq}"
+            )
+
+    def discard(self, core: int, seq: int) -> None:
+        """Mark an aborted batch: its result is dropped on arrival."""
+        if seq in self._outstanding[core]:
+            self._discarded[core].add(seq)
+
+    def fault(self, core: int, event, now_s: float) -> None:
+        """Forward a device fault into a core's worker (FIFO-ordered).
+
+        The event travels as a plain tuple — its ``params`` mapping is
+        an unpicklable ``mappingproxy`` — and is rebuilt worker-side.
+        """
+        self._pipes[core].send((
+            "fault",
+            (
+                event.time_s,
+                event.kind,
+                event.core,
+                event.duration_s,
+                dict(event.params),
+            ),
+            now_s,
+        ))
+
+    def invalidate(self, core: int) -> None:
+        """Drop a worker's compiled plans (quarantine bookkeeping)."""
+        self._pipes[core].send(("invalidate",))
+
+    def drain(self) -> None:
+        """Consume every outstanding result so the next serve starts
+        clean (aborted and timed-out batches finish in the background).
+        """
+        for core in range(self.num_cores):
+            while self._outstanding[core]:
+                message = self._recv(core)
+                if message[0] in ("result", "error"):
+                    self._outstanding[core].discard(message[1])
+                    self._discarded[core].discard(message[1])
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, join_timeout_s: float = 5.0) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._pipes:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=join_timeout_s)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=join_timeout_s)
+        for conn in self._pipes:
+            conn.close()
+        for published in self._published:
+            try:
+                published.segment.close()
+                published.segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._published.clear()
+
+
+def pool_finalizer(owner, pool: CoreWorkerPool) -> weakref.finalize:
+    """Tie a pool's cleanup to its owner's garbage collection.
+
+    Segments must never outlive the cluster that published them — a
+    leaked segment persists in ``/dev/shm`` across test runs.
+    """
+    return weakref.finalize(owner, pool.close)

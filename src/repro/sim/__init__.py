@@ -20,6 +20,7 @@ from .simulator import (
     Scheduler,
     ServedRecord,
     SimulationResult,
+    StreamedSummary,
     run_comparison,
 )
 from .stop_and_go import StopAndGoSystem
@@ -46,6 +47,7 @@ __all__ = [
     "RoundRobinScheduler",
     "EventDrivenSimulator",
     "SimulationResult",
+    "StreamedSummary",
     "ComparisonReport",
     "run_comparison",
     "DRAM_QUEUE_POWER_WATTS",

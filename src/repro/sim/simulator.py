@@ -18,13 +18,13 @@ DRAM power while waiting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.stats import LatencyReservoir
 from ..dnn.model import ModelSpec
 from .accelerators import AcceleratorSpec
-from .events import Event, EventQueue
 from .workload import PoissonWorkload, SimRequest, rate_for_utilization
 
 # The scheduler abstraction is shared with the serving runtime
@@ -39,6 +39,7 @@ __all__ = [
     "RoundRobinScheduler",
     "EventDrivenSimulator",
     "SimulationResult",
+    "StreamedSummary",
     "ComparisonReport",
     "run_comparison",
     "DRAM_QUEUE_POWER_WATTS",
@@ -80,19 +81,115 @@ class ServedRecord:
         return compute_energy + datapath_energy + queue_energy
 
 
+@dataclass
+class _ModelAggregate:
+    """Exact running sums for one model's served requests."""
+
+    count: int = 0
+    datapath_s: float = 0.0
+    queuing_s: float = 0.0
+    compute_s: float = 0.0
+
+    @property
+    def serve_s(self) -> float:
+        return self.datapath_s + self.queuing_s + self.compute_s
+
+
+@dataclass
+class StreamedSummary:
+    """O(1)-memory aggregates of a trace served with ``keep_records=False``.
+
+    Counts and sums are exact; serve-time percentiles come from a
+    fixed-capacity :class:`~repro.core.stats.LatencyReservoir`, so a
+    million-request trace costs the same memory as a thousand-request
+    one.
+    """
+
+    count: int = 0
+    busy_s: float = 0.0
+    horizon_s: float = 0.0
+    per_model: dict[str, _ModelAggregate] = field(default_factory=dict)
+    reservoir: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    def observe(
+        self,
+        model_name: str,
+        datapath_s: float,
+        queuing_s: float,
+        compute_s: float,
+        finish_s: float,
+    ) -> None:
+        """Fold one served request into the streaming aggregates."""
+        self.count += 1
+        self.busy_s += compute_s
+        if finish_s > self.horizon_s:
+            self.horizon_s = finish_s
+        agg = self.per_model.get(model_name)
+        if agg is None:
+            agg = self.per_model[model_name] = _ModelAggregate()
+        agg.count += 1
+        agg.datapath_s += datapath_s
+        agg.queuing_s += queuing_s
+        agg.compute_s += compute_s
+        self.reservoir.add(datapath_s + queuing_s + compute_s)
+
+
 @dataclass(frozen=True)
 class SimulationResult:
-    """All served records of one trace on one accelerator."""
+    """All served records of one trace on one accelerator.
+
+    With ``keep_records=False`` the per-request tuple is empty and the
+    aggregate queries below answer from :attr:`summary` instead — the
+    means and utilization are exact either way (modulo float summation
+    order); percentiles over a streamed run are reservoir estimates.
+    """
 
     accelerator: AcceleratorSpec
     records: tuple[ServedRecord, ...]
+    summary: StreamedSummary | None = None
 
     def serve_times(self) -> np.ndarray:
         """Every request's serve time, in record order."""
+        if not self.records and self.summary is not None:
+            raise ValueError(
+                "records were streamed, not kept; use "
+                "serve_time_percentiles() or mean_serve_time()"
+            )
         return np.array([r.serve_time_s for r in self.records])
+
+    def serve_time_percentiles(self, qs: list[float]) -> list[float]:
+        """Serve-time percentiles, from records or the reservoir."""
+        if self.records:
+            values = np.percentile(
+                [r.serve_time_s for r in self.records], qs
+            )
+            return [float(v) for v in np.atleast_1d(values)]
+        if self.summary is None:
+            raise ValueError("no records and no summary")
+        return self.summary.reservoir.percentiles(qs)
+
+    def _aggregate(self, model_name: str | None) -> _ModelAggregate:
+        assert self.summary is not None
+        if model_name is None:
+            total = _ModelAggregate()
+            for agg in self.summary.per_model.values():
+                total.count += agg.count
+                total.datapath_s += agg.datapath_s
+                total.queuing_s += agg.queuing_s
+                total.compute_s += agg.compute_s
+        else:
+            total = self.summary.per_model.get(
+                model_name, _ModelAggregate()
+            )
+        if total.count == 0:
+            raise ValueError(f"no records for model {model_name!r}")
+        return total
 
     def mean_serve_time(self, model_name: str | None = None) -> float:
         """Mean serve time, optionally restricted to one model."""
+        if not self.records and self.summary is not None:
+            agg = self._aggregate(model_name)
+            return agg.serve_s / agg.count
         times = [
             r.serve_time_s
             for r in self.records
@@ -103,7 +200,24 @@ class SimulationResult:
         return float(np.mean(times))
 
     def mean_energy(self, model_name: str | None = None) -> float:
-        """Mean per-request energy, optionally for one model."""
+        """Mean per-request energy, optionally for one model.
+
+        Energy is linear in the decomposition components, so exact
+        per-model sums reproduce the record-by-record mean exactly in
+        streamed mode.
+        """
+        if not self.records and self.summary is not None:
+            agg = self._aggregate(model_name)
+            acc = self.accelerator
+            compute_energy = agg.compute_s * acc.power_watts
+            if acc.datapath_kind == "per_layer":
+                datapath_energy = agg.datapath_s * acc.power_watts
+            else:
+                datapath_energy = agg.datapath_s * acc.nic_power_watts
+            queue_energy = agg.queuing_s * DRAM_QUEUE_POWER_WATTS
+            return (
+                compute_energy + datapath_energy + queue_energy
+            ) / agg.count
         energies = [
             r.energy_joules(self.accelerator)
             for r in self.records
@@ -115,6 +229,10 @@ class SimulationResult:
 
     def utilization(self) -> float:
         """Fraction of the simulated horizon the accelerator computed."""
+        if not self.records and self.summary is not None:
+            if self.summary.horizon_s <= 0:
+                return 0.0
+            return self.summary.busy_s / self.summary.horizon_s
         busy = sum(r.compute_s for r in self.records)
         horizon = max(r.finish_s for r in self.records)
         return busy / horizon if horizon > 0 else 0.0
@@ -133,45 +251,96 @@ class EventDrivenSimulator:
             scheduler if scheduler is not None else RoundRobinScheduler()
         )
 
-    def run(self, trace: list[SimRequest]) -> SimulationResult:
-        """Serve a trace to completion; returns all per-request records."""
+    def run(
+        self, trace: list[SimRequest], keep_records: bool = True
+    ) -> SimulationResult:
+        """Serve a trace to completion.
+
+        A simulated trace holds nothing but arrival events, so the
+        event heap the serving runtime needs (completions, faults,
+        probes...) is pure overhead here: one stable sort of the trace
+        *is* the event schedule.  The hot loop runs over preallocated
+        per-request arrays — per-model datapath/compute costs are
+        memoized, and :class:`ServedRecord` objects are only
+        materialized at the end (or, with ``keep_records=False``, never:
+        serve times stream through a fixed-capacity reservoir and exact
+        per-model sums, so arbitrarily long traces serve in O(1)
+        memory).
+
+        The recurrence is identical to the event-loop formulation —
+        ``start = max(arrival + datapath, core_free_at[core])`` in
+        arrival order — so results are bit-equal to the old path.
+        """
         if not trace:
             raise ValueError("cannot simulate an empty trace")
         self.scheduler.reset()
-        queue = EventQueue()
+        num_requests = len(trace)
+        arrivals = np.fromiter(
+            (r.arrival_s for r in trace), dtype=np.float64, count=num_requests
+        )
+        # Stable sort matches the event queue's (time, push-seq) order.
+        order = np.argsort(arrivals, kind="stable")
         core_free_at = [0.0] * self.scheduler.num_cores
-        records: list[ServedRecord] = []
-        for request in sorted(trace, key=lambda r: r.arrival_s):
-            queue.push(request.arrival_s, "arrival", request)
-
-        def handle(event: Event) -> None:
-            if event.kind != "arrival":
-                return
-            request: SimRequest = event.payload
-            core = self.scheduler.assign(request, core_free_at)
-            datapath_s = self.accelerator.datapath_seconds(request.model)
-            compute_s = self.accelerator.compute_seconds(request.model)
+        # Per-model costs are pure functions of the spec — memoize
+        # instead of recomputing the layer sums per request.
+        costs: dict[int, tuple[float, float]] = {}
+        cores = np.empty(num_requests, dtype=np.int64)
+        datapath = np.empty(num_requests, dtype=np.float64)
+        queuing = np.empty(num_requests, dtype=np.float64)
+        compute = np.empty(num_requests, dtype=np.float64)
+        finish = np.empty(num_requests, dtype=np.float64)
+        assign = self.scheduler.assign
+        summary = None if keep_records else StreamedSummary()
+        for slot, index in enumerate(order):
+            request = trace[index]
+            model = request.model
+            cost = costs.get(id(model))
+            if cost is None:
+                cost = costs[id(model)] = (
+                    self.accelerator.datapath_seconds(model),
+                    self.accelerator.compute_seconds(model),
+                )
+            datapath_s, compute_s = cost
+            core = assign(request, core_free_at)
             # The request becomes ready for compute after its datapath
             # stage; it queues in DRAM while the core is busy.
             ready_at = request.arrival_s + datapath_s
-            start = max(ready_at, core_free_at[core])
-            queuing_s = start - ready_at
-            finish = start + compute_s
-            core_free_at[core] = finish
-            records.append(
-                ServedRecord(
-                    request=request,
-                    core=core,
-                    datapath_s=datapath_s,
-                    queuing_s=queuing_s,
-                    compute_s=compute_s,
-                    finish_s=finish,
+            free_at = core_free_at[core]
+            start = ready_at if ready_at > free_at else free_at
+            finish_s = start + compute_s
+            core_free_at[core] = finish_s
+            cores[slot] = core
+            datapath[slot] = datapath_s
+            queuing[slot] = start - ready_at
+            compute[slot] = compute_s
+            finish[slot] = finish_s
+            if summary is not None:
+                summary.observe(
+                    model.name,
+                    datapath_s,
+                    start - ready_at,
+                    compute_s,
+                    finish_s,
                 )
+        if summary is not None:
+            return SimulationResult(
+                accelerator=self.accelerator,
+                records=(),
+                summary=summary,
             )
-
-        queue.run(handle)
+        records = tuple(
+            ServedRecord(
+                request=trace[index],
+                core=int(cores[slot]),
+                datapath_s=float(datapath[slot]),
+                queuing_s=float(queuing[slot]),
+                compute_s=float(compute[slot]),
+                finish_s=float(finish[slot]),
+            )
+            for slot, index in enumerate(order)
+        )
         return SimulationResult(
-            accelerator=self.accelerator, records=tuple(records)
+            accelerator=self.accelerator, records=records
         )
 
 
@@ -229,8 +398,14 @@ def run_comparison(
         workload = PoissonWorkload(models, rate, seed=seed)
         for trace_index in range(num_traces):
             trace = workload.trace(num_requests, trace_index)
-            lightning_result = EventDrivenSimulator(lightning).run(trace)
-            result = EventDrivenSimulator(platform).run(trace)
+            # Only per-model means feed the ratios — stream the serve,
+            # keeping the comparison O(1) in trace length.
+            lightning_result = EventDrivenSimulator(lightning).run(
+                trace, keep_records=False
+            )
+            result = EventDrivenSimulator(platform).run(
+                trace, keep_records=False
+            )
             for model in models:
                 sums_speedup[platform.name][model.name].append(
                     result.mean_serve_time(model.name)

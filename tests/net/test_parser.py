@@ -148,3 +148,59 @@ class TestHeaderFeatures:
         features = extract_header_features(ip, udp)
         assert features.dtype == np.uint8
         assert features.max() <= 255
+
+
+class TestZeroCopyIngress:
+    """The fast path parses headers in place and views the payload."""
+
+    def test_data_levels_view_frame_buffer(self):
+        data = np.arange(32, dtype=np.uint8)
+        raw = inference_frame(data=data)
+        parsed = PacketParser().parse(raw)
+        assert isinstance(parsed, ParsedInferenceQuery)
+        assert np.array_equal(parsed.data_levels, data)
+        # The levels alias the frame bytes — no payload copy was made.
+        assert not parsed.data_levels.flags.owndata
+        assert np.shares_memory(
+            parsed.data_levels, np.frombuffer(raw, dtype=np.uint8)
+        )
+
+    def test_memoryview_input_accepted(self):
+        raw = inference_frame()
+        parsed = PacketParser().parse(memoryview(raw))
+        assert isinstance(parsed, ParsedInferenceQuery)
+
+    def test_header_feature_fast_path_matches_reference(self):
+        # The in-place feature extraction must match the public
+        # extract_header_features byte for byte.
+        raw = inference_frame(model_id=9, src_port=0x0102)
+        parser = PacketParser(header_data_models={9})
+        parsed = parser.parse(raw)
+        frame = EthernetFrame.unpack(raw)
+        ip = IPv4Packet.unpack(frame.payload)
+        udp = UDPDatagram.unpack(ip.payload, ip.src_ip, ip.dst_ip)
+        reference = extract_header_features(ip, udp)
+        assert np.array_equal(parsed.data_levels, reference)
+
+
+class TestVectorizedChecksum:
+    def test_matches_incremental_reference(self):
+        from repro.net.packet import internet_checksum
+
+        def reference(data: bytes) -> int:
+            import struct as _s
+
+            if len(data) % 2:
+                data += b"\x00"
+            total = 0
+            for (word,) in _s.iter_unpack("!H", data):
+                total += word
+                total = (total & 0xFFFF) + (total >> 16)
+            return (~total) & 0xFFFF
+
+        rng = np.random.default_rng(0)
+        for size in [0, 1, 2, 3, 19, 20, 64, 1499, 1500]:
+            payload = rng.integers(0, 256, size=size).astype(np.uint8)
+            blob = payload.tobytes()
+            assert internet_checksum(blob) == reference(blob), size
+            assert internet_checksum(memoryview(blob)) == reference(blob)

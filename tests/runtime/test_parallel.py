@@ -1,0 +1,308 @@
+"""Determinism contract for process-parallel cluster serving.
+
+``Cluster(execution="parallel")`` must be an *implementation detail*:
+for a fixed seed, every observable of a serve — predictions, the
+t_q/t_d/t_c decomposition of every record, drop/fail/retry accounting,
+busy seconds, the horizon — must match the serial run bit for bit,
+including under active fault schedules (crash mid-batch, stalls,
+device drift, watchdog quarantine) and drop-head admission queues.
+
+These tests run the *real* worker processes with a *noisy* core model
+(Gaussian readout noise), so they exercise the keyed Philox substream
+contract, the shared-memory plan replay, and the fault-forwarding
+pipes — not just a degenerate noiseless path.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationDAG, LayerTask, LightningDatapath
+from repro.core.dag import AttentionShape, ConvShape, PoolShape
+from repro.faults import CalibrationWatchdog, FaultSchedule, RetryPolicy
+from repro.photonics import BehavioralCore, CoreArchitecture, GaussianNoise
+from repro.runtime import Cluster, RuntimeRequest
+
+
+def make_cluster(execution, num_cores=4, hardware_batch=1, **kwargs):
+    """A noisy, seeded cluster — per-core seeds shared by both modes."""
+    arch = CoreArchitecture(
+        accumulation_wavelengths=2, batch_size=hardware_batch
+    )
+    return Cluster(
+        num_cores=num_cores,
+        datapath_factory=lambda core: LightningDatapath(
+            core=BehavioralCore(
+                architecture=arch, noise=GaussianNoise(), seed=core
+            ),
+            seed=core,
+        ),
+        execution=execution,
+        **kwargs,
+    )
+
+
+def dense_dag(model_id: int = 1, seed: int = 7) -> ComputationDAG:
+    rng = np.random.default_rng(seed)
+    return ComputationDAG(
+        model_id,
+        "tiny-mlp",
+        [
+            LayerTask(
+                name="fc1", kind="dense", input_size=12, output_size=8,
+                weights_levels=rng.integers(-4, 5, (8, 12)).astype(float),
+                nonlinearity="relu",
+            ),
+            LayerTask(
+                name="fc2", kind="dense", input_size=8, output_size=4,
+                weights_levels=rng.integers(-4, 5, (4, 8)).astype(float),
+                depends_on=("fc1",),
+            ),
+        ],
+    )
+
+
+def mixed_dag(model_id: int = 2, seed: int = 3) -> ComputationDAG:
+    """Conv + pool + attention + dense: every shared-plan class."""
+    rng = np.random.default_rng(seed)
+    conv = ConvShape(1, 6, 6, out_channels=2, kernel=3, padding=1)
+    pool = PoolShape(channels=2, height=6, width=6, kernel=2)
+    attn = AttentionShape(seq_len=3, d_model=6)
+    return ComputationDAG(
+        model_id,
+        "mixed",
+        [
+            LayerTask(
+                name="conv1", kind="conv",
+                input_size=conv.input_size, output_size=conv.output_size,
+                weights_levels=rng.integers(-200, 201, (2, 9)).astype(float),
+                conv=conv, nonlinearity="relu", requant_divisor=8.0,
+            ),
+            LayerTask(
+                name="pool1", kind="maxpool",
+                input_size=pool.input_size, output_size=pool.output_size,
+                pool=pool, depends_on=("conv1",),
+            ),
+            LayerTask(
+                name="attn", kind="attention",
+                input_size=attn.input_size, output_size=attn.output_size,
+                weights_levels=rng.integers(
+                    -200, 201, (4 * attn.d_model, attn.d_model)
+                ).astype(float),
+                attention=attn, depends_on=("pool1",),
+                requant_divisor=4.0,
+            ),
+            LayerTask(
+                name="fc", kind="dense",
+                input_size=attn.output_size, output_size=3,
+                weights_levels=rng.integers(
+                    -200, 201, (3, attn.output_size)
+                ).astype(float),
+                depends_on=("attn",),
+            ),
+        ],
+    )
+
+
+def steady_trace(count=48, spacing_s=2e-6, model_id=1, size=12, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        RuntimeRequest(
+            request_id=i,
+            model_id=model_id,
+            arrival_s=i * spacing_s,
+            data_levels=rng.integers(0, 256, size=size).astype(np.float64),
+        )
+        for i in range(count)
+    ]
+
+
+def assert_bit_identical(serial, parallel) -> None:
+    """Field-by-field equality of two ClusterResults — no tolerances."""
+    assert serial.offered == parallel.offered
+    assert len(serial.records) == len(parallel.records)
+    for a, b in zip(serial.records, parallel.records):
+        assert a.request.request_id == b.request.request_id
+        assert a.core == b.core
+        assert a.batch_size == b.batch_size
+        assert a.queuing_s == b.queuing_s
+        assert a.datapath_s == b.datapath_s
+        assert a.compute_s == b.compute_s
+        assert a.finish_s == b.finish_s
+        assert a.prediction == b.prediction
+    assert [r.request_id for r in serial.dropped] == [
+        r.request_id for r in parallel.dropped
+    ]
+    assert [r.request_id for r in serial.failed] == [
+        r.request_id for r in parallel.failed
+    ]
+    assert sorted(r.request_id for r in serial.unfinished) == sorted(
+        r.request_id for r in parallel.unfinished
+    )
+    assert serial.busy_seconds == parallel.busy_seconds
+    assert serial.horizon_s == parallel.horizon_s
+    assert serial.stats.summary() == parallel.stats.summary()
+    assert serial.stats.per_model_served == parallel.stats.per_model_served
+    assert serial.stats.core_health == parallel.stats.core_health
+
+
+def run_both(dag, trace, *, cluster_kwargs=None, **serve_kwargs):
+    """Serve one trace serially and in parallel; return both results."""
+    cluster_kwargs = cluster_kwargs or {}
+    serial = make_cluster("serial", **cluster_kwargs)
+    serial.deploy(dag)
+    serial_result = serial.serve_trace(trace, **serve_kwargs)
+    with make_cluster("parallel", **cluster_kwargs) as parallel:
+        parallel.deploy(dag)
+        parallel_result = parallel.serve_trace(trace, **serve_kwargs)
+    return serial_result, parallel_result
+
+
+class TestParallelDeterminism:
+    def test_clean_trace_bit_identical(self):
+        serial, parallel = run_both(dense_dag(), steady_trace())
+        assert serial.served == serial.offered
+        assert_bit_identical(serial, parallel)
+
+    def test_every_plan_kind_replays_identically(self):
+        dag = mixed_dag()
+        trace = steady_trace(
+            count=24, model_id=dag.model_id, size=dag.tasks[0].input_size
+        )
+        serial, parallel = run_both(dag, trace)
+        assert serial.served == serial.offered
+        assert_bit_identical(serial, parallel)
+
+    def test_coalesced_batches_bit_identical(self):
+        # Arrivals far faster than service → real multi-request
+        # batches, with two pipeline passes each (hardware_batch=2,
+        # max_batch=4), through the broadcast batch path.
+        trace = steady_trace(count=64, spacing_s=1e-7)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            cluster_kwargs={"hardware_batch": 2, "max_batch": 4},
+        )
+        assert max(r.batch_size for r in serial.records) > 1
+        assert_bit_identical(serial, parallel)
+
+    def test_drop_head_overload_bit_identical(self):
+        trace = steady_trace(count=96, spacing_s=5e-8)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            cluster_kwargs={
+                "num_cores": 2,
+                "queue_capacity": 4,
+                "drop_policy": "drop-head",
+            },
+        )
+        assert serial.dropped  # the overload must actually bite
+        assert_bit_identical(serial, parallel)
+
+    def test_consecutive_traces_reproduce(self):
+        # The keyed substreams reset per trace: the same cluster
+        # serving the same trace twice gives the same predictions.
+        with make_cluster("parallel") as cluster:
+            cluster.deploy(dense_dag())
+            first = cluster.serve_trace(steady_trace())
+            second = cluster.serve_trace(steady_trace())
+        assert [r.prediction for r in first.records] == [
+            r.prediction for r in second.records
+        ]
+
+
+class TestParallelFaultDeterminism:
+    def test_faulted_run_bit_identical(self):
+        # Crash lands mid-batch on a busy core, a stall freezes
+        # another, drift degrades a third until the watchdog
+        # quarantines it — the full resilience machinery, both modes.
+        schedule = (
+            FaultSchedule(seed=2)
+            .core_stall(at_s=20e-6, core=0, duration_s=30e-6)
+            .core_crash(at_s=50e-6, core=1)
+            .mzm_bias_drift(at_s=10e-6, core=2, volts_per_s=1e5)
+        )
+        trace = steady_trace(count=60)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            fault_schedule=schedule,
+            watchdog=CalibrationWatchdog(interval_s=15e-6),
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert serial.stats.retries > 0  # the crash voided a batch
+        assert "quarantined" in serial.stats.core_health.values()
+        assert_bit_identical(serial, parallel)
+
+    def test_crash_mid_batch_discards_worker_result(self):
+        # With one slow core and a crash timed inside its dispatch,
+        # the worker's orphaned result must be dropped, the entries
+        # retried, and accounting must still match serial exactly.
+        schedule = FaultSchedule().core_crash(at_s=5e-6, core=0)
+        trace = steady_trace(count=20, spacing_s=1e-6)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            cluster_kwargs={"num_cores": 2},
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert serial.served + len(serial.failed) == serial.offered
+        assert_bit_identical(serial, parallel)
+
+    def test_timeout_drains_workers_cleanly(self):
+        trace = steady_trace(count=40)
+        serial, parallel = run_both(
+            dense_dag(), trace, timeout_s=30e-6
+        )
+        assert serial.unfinished  # the timeout must actually bite
+        assert_bit_identical(serial, parallel)
+
+
+class TestSharedMemoryLifecycle:
+    def test_segments_unlinked_on_close(self):
+        cluster = make_cluster("parallel")
+        cluster.deploy(dense_dag())
+        names = cluster.shared_segment_names()
+        assert names  # deploy published at least one segment
+        for name in names:
+            probe = shared_memory.SharedMemory(name=name)
+            probe.close()
+        cluster.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        cluster = make_cluster("parallel")
+        cluster.deploy(dense_dag())
+        cluster.close()
+        cluster.close()
+
+    def test_serial_cluster_has_no_segments(self):
+        cluster = make_cluster("serial")
+        cluster.deploy(dense_dag())
+        assert cluster.shared_segment_names() == ()
+        cluster.close()  # must be a harmless no-op
+
+
+class TestParallelValidation:
+    def test_unknown_execution_mode_rejected(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            make_cluster("speculative")
+
+    def test_loop_fidelity_rejected_at_deploy(self):
+        cluster = Cluster(
+            num_cores=2,
+            datapath_factory=lambda core: LightningDatapath(
+                fidelity="loop", seed=core
+            ),
+            execution="parallel",
+        )
+        with pytest.raises(ValueError, match="fast"):
+            cluster.deploy(dense_dag())
+        cluster.close()

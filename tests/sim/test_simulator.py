@@ -224,3 +224,69 @@ class TestStopAndGo:
             StopAndGoSystem(num_wavelengths=0)
         with pytest.raises(ValueError):
             StopAndGoSystem().layer_latency_seconds(-1)
+
+
+class TestStreamedServing:
+    """keep_records=False: O(1)-memory aggregation over the reservoir."""
+
+    def _trace(self, n=3000):
+        models = SIMULATION_MODELS()
+        acc = a100x_dpu()
+        rate = rate_for_utilization([acc], models, 0.9)
+        return acc, models, PoissonWorkload(models, rate, seed=3).trace(n)
+
+    def test_streamed_aggregates_match_records(self):
+        acc, models, trace = self._trace()
+        full = EventDrivenSimulator(acc).run(trace)
+        streamed = EventDrivenSimulator(acc).run(trace, keep_records=False)
+        assert streamed.records == ()
+        assert streamed.summary is not None
+        assert streamed.summary.count == len(full.records)
+        assert streamed.mean_serve_time() == pytest.approx(
+            full.mean_serve_time(), rel=1e-12
+        )
+        assert streamed.utilization() == pytest.approx(
+            full.utilization(), rel=1e-12
+        )
+        for model in models:
+            assert streamed.mean_serve_time(model.name) == pytest.approx(
+                full.mean_serve_time(model.name), rel=1e-12
+            )
+            assert streamed.mean_energy(model.name) == pytest.approx(
+                full.mean_energy(model.name), rel=1e-12
+            )
+
+    def test_streamed_percentiles_are_exact_below_capacity(self):
+        # Fewer samples than the reservoir holds: the percentile path
+        # sees every value verbatim, so it must match the full run.
+        acc, _, trace = self._trace(n=1000)
+        full = EventDrivenSimulator(acc).run(trace)
+        streamed = EventDrivenSimulator(acc).run(trace, keep_records=False)
+        assert streamed.serve_time_percentiles(
+            [50, 99]
+        ) == pytest.approx(full.serve_time_percentiles([50, 99]))
+
+    def test_streamed_serve_times_raise(self):
+        acc, _, trace = self._trace(n=10)
+        streamed = EventDrivenSimulator(acc).run(trace, keep_records=False)
+        with pytest.raises(ValueError, match="streamed"):
+            streamed.serve_times()
+        with pytest.raises(ValueError, match="no records"):
+            streamed.mean_serve_time("NoSuchModel")
+
+    def test_record_path_unchanged_by_rewrite(self):
+        # The heap-free loop must reproduce the event-loop recurrence:
+        # FIFO order per core, ready-vs-free max, exact finish chain.
+        model = tiny_model()
+        acc = lightning_chip()
+        trace = [SimRequest(i, model, i * 1e-9) for i in range(16)]
+        result = EventDrivenSimulator(acc).run(trace)
+        compute = acc.compute_seconds(model)
+        datapath = acc.datapath_seconds(model)
+        expected_finish = []
+        free = 0.0
+        for r in trace:
+            start = max(r.arrival_s + datapath, free)
+            free = start + compute
+            expected_finish.append(free)
+        assert [r.finish_s for r in result.records] == expected_finish
