@@ -33,6 +33,7 @@ from . import (
     core,
     dnn,
     emulation,
+    fabric,
     faults,
     net,
     photonics,
@@ -53,6 +54,7 @@ from .core import (
 )
 from .photonics import BehavioralCore, GaussianNoise, PrototypeCore
 from .runtime import Cluster
+from .fabric import Fabric, ShardSpec
 from .sim import lightning_chip, run_comparison
 from .synthesis import LightningChip
 
@@ -64,6 +66,7 @@ __all__ = [
     "core",
     "dnn",
     "emulation",
+    "fabric",
     "faults",
     "net",
     "photonics",
@@ -85,6 +88,8 @@ __all__ = [
     "lightning_chip",
     "run_comparison",
     "Cluster",
+    "Fabric",
+    "ShardSpec",
     "LightningDevKit",
     "__version__",
 ]

@@ -319,6 +319,28 @@ class LightningDatapath:
             for model_id, plan in self._plans.items()
         }
 
+    def adopt_sign_separation(
+        self, donor: "LightningDatapath", model_id: int
+    ) -> None:
+        """Copy a donor's cached sign separations for one model.
+
+        Sign-separated rows depend only on the weights and the
+        wavelength count, so datapaths sharing a plan geometry can
+        share the offline phase's output.  A cluster deploying one DAG
+        across many same-architecture cores adopts the first core's
+        rows on the rest, which also keeps lazy recompiles (after a
+        quarantine or re-lock invalidated the plans) from redoing the
+        separation.
+        """
+        if donor.num_wavelengths != self.num_wavelengths:
+            raise ValueError(
+                "sign separations are keyed by wavelength count; the "
+                "donor datapath's does not match"
+            )
+        for key, rows in donor._sign_cache.items():
+            if key[0] == model_id:
+                self._sign_cache[key] = rows
+
     def _sign_separated(
         self, dag: ComputationDAG, task: LayerTask
     ) -> list[SignSeparatedRow]:

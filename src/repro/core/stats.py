@@ -102,6 +102,44 @@ class LatencyReservoir:
         values = np.percentile(self._samples, qs)
         return [float(v) for v in np.atleast_1d(values)]
 
+    def merge(self, other: "LatencyReservoir") -> None:
+        """Fold another reservoir into this one in place.
+
+        The count and sum stay exact, so :attr:`mean` remains exact
+        over the union of both streams.  The retained sample is rebuilt
+        as a stream-weighted subsample: when the combined retention
+        exceeds ``capacity``, slots are split between the two sources
+        in proportion to their exact stream counts and filled by
+        without-replacement draws from each side, which keeps the
+        merged reservoir approximately uniform over the union.  The
+        draw uses this reservoir's own RNG, so merging is deterministic
+        for a fixed construction/merge order (as in cross-shard
+        aggregation, where shard order is fixed).
+        """
+        if other._count == 0:
+            return
+        combined = self._samples + other._samples
+        if self._count == 0 or len(combined) <= self.capacity:
+            self._samples = combined
+        else:
+            total = self._count + other._count
+            take_self = int(round(self.capacity * self._count / total))
+            take_self = min(max(take_self, 0), len(self._samples))
+            take_other = min(
+                self.capacity - take_self, len(other._samples)
+            )
+            picks_self = self._rng.choice(
+                len(self._samples), size=take_self, replace=False
+            )
+            picks_other = self._rng.choice(
+                len(other._samples), size=take_other, replace=False
+            )
+            self._samples = [
+                self._samples[int(i)] for i in np.sort(picks_self)
+            ] + [other._samples[int(i)] for i in np.sort(picks_other)]
+        self._count += other._count
+        self._total += other._total
+
 
 @dataclass
 class NICCounters:
@@ -116,6 +154,13 @@ class NICCounters:
     punted: int = 0
     dropped: int = 0
     frames_seen: int = 0
+
+    def merge(self, other: "NICCounters") -> None:
+        """Accumulate another NIC's frame counters into this one."""
+        self.served += other.served
+        self.punted += other.punted
+        self.dropped += other.dropped
+        self.frames_seen += other.frames_seen
 
     def summary(self) -> dict[str, int]:
         """A dashboard-style snapshot of the frame counters."""
@@ -152,6 +197,9 @@ class ServerStats:
     slo_dropped: int = 0
     #: Cores removed from service by the calibration watchdog.
     quarantines: int = 0
+    #: Quarantined cores returned to service after a bias re-lock
+    #: brought their calibration probe back under threshold.
+    relocks: int = 0
     per_model_served: dict[int, int] = field(default_factory=dict)
     #: Last observed state per core ("healthy" | "stalled" |
     #: "quarantined" | "crashed"), maintained by the runtime.
@@ -183,6 +231,33 @@ class ServerStats:
             raise ValueError("no requests served yet")
         return self._latencies.mean
 
+    def merge(self, other: "ServerStats", core_offset: int = 0) -> None:
+        """Fold another server's statistics into this one in place.
+
+        Counters and per-model tallies add exactly; latency reservoirs
+        merge via :meth:`LatencyReservoir.merge`, so the combined mean
+        is exact and percentiles stay representative of the union.
+        ``core_offset`` shifts the other server's core indices before
+        they land in :attr:`core_health` — the fabric uses it to map
+        each shard's local cores into one global namespace.
+        """
+        self.served += other.served
+        self.punted += other.punted
+        self.dropped += other.dropped
+        self.errors += other.errors
+        self.failed += other.failed
+        self.retries += other.retries
+        self.slo_dropped += other.slo_dropped
+        self.quarantines += other.quarantines
+        self.relocks += other.relocks
+        for model_id, count in other.per_model_served.items():
+            self.per_model_served[model_id] = (
+                self.per_model_served.get(model_id, 0) + count
+            )
+        for core, state in other.core_health.items():
+            self.core_health[core + core_offset] = state
+        self._latencies.merge(other._latencies)
+
     def summary(self) -> dict[str, float | int]:
         """A dashboard-style snapshot."""
         out: dict[str, float | int] = {
@@ -194,6 +269,7 @@ class ServerStats:
             "retries": self.retries,
             "slo_dropped": self.slo_dropped,
             "quarantines": self.quarantines,
+            "relocks": self.relocks,
         }
         if len(self._latencies):
             p50, p95, p99 = self._latencies.percentiles([50, 95, 99])

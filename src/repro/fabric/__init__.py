@@ -1,0 +1,29 @@
+"""Sharded, heterogeneity- and health-aware serving control plane.
+
+The fabric layer sits above :mod:`repro.runtime`: a
+:class:`~repro.fabric.fabric.Fabric` composes N cluster shards (each
+with its own core count, architecture, scheduler, and execution mode)
+behind a two-level scheduler — a shard router places requests across
+NICs at admission time, then each shard's per-core scheduler (health-
+aware or not) places batches on cores at dispatch time.
+"""
+
+from .fabric import Fabric, FabricResult, ShardSpec
+from .router import (
+    HashShardRouter,
+    LeastLoadedShardRouter,
+    ShardRouter,
+    ShardView,
+    SwitchShardRouter,
+)
+
+__all__ = [
+    "Fabric",
+    "FabricResult",
+    "ShardSpec",
+    "ShardRouter",
+    "ShardView",
+    "SwitchShardRouter",
+    "HashShardRouter",
+    "LeastLoadedShardRouter",
+]

@@ -1,0 +1,374 @@
+"""The sharded serving fabric — N clusters behind one control plane.
+
+A :class:`Fabric` composes N shards, each an independent
+:class:`~repro.runtime.cluster.Cluster` with its own core count, core
+architecture, per-core scheduler, queues, and execution mode (serial
+or process-parallel).  Shards are the unit of heterogeneity: a
+parallel cluster must be geometry-uniform so its workers can adopt
+shared plans, but a fabric happily mixes a 4-core 8-wavelength shard
+with a 2-core 1-wavelength one — each shard compiles its own
+:class:`~repro.core.plans.ExecutionPlan` per architecture at deploy.
+
+Placement is two-level.  At admission time a
+:class:`~repro.fabric.router.ShardRouter` places each request on a
+shard using only :class:`~repro.fabric.router.ShardView` snapshots
+(capacity-normalized routed load), so routing is a pure deterministic
+function of the arrival order.  At dispatch time the shard's own
+scheduler — health-aware or not — picks the core.
+
+Faults and health are global: a
+:class:`~repro.faults.schedule.FaultSchedule` addresses cores by
+*global* index (shard offsets concatenated in shard order), and the
+fabric splits it into per-shard schedules with local core indices
+before serving.  Results merge back the other way:
+:class:`~repro.core.stats.ServerStats.merge` remaps each shard's core
+health into the global namespace and folds latency reservoirs, and
+:class:`FabricResult` re-checks the global accounting invariant
+``served + dropped + failed + unfinished == offered``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from ..core.dag import ComputationDAG
+from ..core.datapath import LightningDatapath
+from ..core.stats import ServerStats
+from ..faults.resilience import CalibrationWatchdog, RetryPolicy
+from ..faults.schedule import FaultEvent, FaultSchedule, WIRE_FAULT_KINDS
+from ..runtime.cluster import (
+    Cluster,
+    ClusterResult,
+    RuntimeRecord,
+    RuntimeRequest,
+)
+from ..runtime.schedulers import Scheduler
+from .router import LeastLoadedShardRouter, ShardRouter, ShardView
+
+__all__ = ["ShardSpec", "FabricResult", "Fabric"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Constructor recipe for one shard's cluster.
+
+    A spec, not a cluster, so the fabric owns construction order and a
+    single spec can be reused (each :meth:`build` call makes fresh
+    datapaths).  ``datapath_factory`` is where heterogeneity lives: it
+    receives the *local* core index and returns that core's
+    :class:`~repro.core.datapath.LightningDatapath`, so different
+    shards may return cores with different architectures and
+    samples-per-cycle.
+    """
+
+    num_cores: int = 4
+    datapath_factory: Callable[[int], LightningDatapath] | None = None
+    scheduler_factory: Callable[[int], Scheduler] | None = None
+    queue_capacity: int = 64
+    drop_policy: str = "drop-tail"
+    max_batch: int = 1
+    execution: str = "serial"
+
+    def build(self) -> Cluster:
+        """Construct this shard's cluster."""
+        return Cluster(
+            num_cores=self.num_cores,
+            datapath_factory=self.datapath_factory,
+            scheduler=(
+                self.scheduler_factory(self.num_cores)
+                if self.scheduler_factory is not None
+                else None
+            ),
+            queue_capacity=self.queue_capacity,
+            drop_policy=self.drop_policy,
+            max_batch=self.max_batch,
+            execution=self.execution,
+        )
+
+
+@dataclass(frozen=True)
+class FabricResult:
+    """Everything one trace produced across all shards.
+
+    Per-shard :class:`~repro.runtime.cluster.ClusterResult` objects
+    are kept verbatim (``None`` for shards the router never used);
+    the merged view re-checks the accounting invariant globally.
+    """
+
+    shard_results: tuple[ClusterResult | None, ...]
+    #: Shard index each offered request was routed to, arrival order.
+    routed: tuple[int, ...]
+    #: Cross-shard merged counters and latency percentiles.
+    stats: ServerStats
+    offered: int
+    total_cores: int
+    #: Global core index of each shard's core 0.
+    core_offsets: tuple[int, ...]
+
+    def _shards(self) -> tuple[ClusterResult, ...]:
+        return tuple(r for r in self.shard_results if r is not None)
+
+    @property
+    def served(self) -> int:
+        return sum(r.served for r in self._shards())
+
+    @property
+    def dropped(self) -> int:
+        return sum(len(r.dropped) for r in self._shards())
+
+    @property
+    def failed(self) -> int:
+        return sum(len(r.failed) for r in self._shards())
+
+    @property
+    def unfinished(self) -> int:
+        return sum(len(r.unfinished) for r in self._shards())
+
+    @property
+    def horizon_s(self) -> float:
+        """The slowest shard's horizon — the fabric's makespan."""
+        shards = self._shards()
+        return max((r.horizon_s for r in shards), default=0.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Global completions per second over the fabric makespan."""
+        if self.horizon_s <= 0:
+            raise ValueError("no requests finished")
+        return self.served / self.horizon_s
+
+    def records(self) -> tuple[RuntimeRecord, ...]:
+        """All served records with *global* core indices, ordered by
+        ``(finish_s, request_id)`` — the cross-shard completion order."""
+        merged: list[RuntimeRecord] = []
+        for shard, result in enumerate(self.shard_results):
+            if result is None:
+                continue
+            offset = self.core_offsets[shard]
+            merged.extend(
+                replace(record, core=record.core + offset)
+                for record in result.records
+            )
+        return tuple(
+            sorted(
+                merged,
+                key=lambda r: (r.finish_s, r.request.request_id),
+            )
+        )
+
+    def accounted(self) -> bool:
+        """The global invariant: every offered request landed in
+        exactly one of served/dropped/failed/unfinished."""
+        return (
+            self.served + self.dropped + self.failed + self.unfinished
+            == self.offered
+        )
+
+
+class Fabric:
+    """N cluster shards behind a two-level scheduler.
+
+    ``shards`` may mix :class:`ShardSpec` recipes and pre-built
+    :class:`~repro.runtime.cluster.Cluster` instances.  ``router``
+    defaults to :class:`~repro.fabric.router.LeastLoadedShardRouter`.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSpec | Cluster],
+        router: ShardRouter | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a fabric needs at least one shard")
+        self.shards: tuple[Cluster, ...] = tuple(
+            spec.build() if isinstance(spec, ShardSpec) else spec
+            for spec in shards
+        )
+        self.router: ShardRouter = (
+            router if router is not None else LeastLoadedShardRouter()
+        )
+        offsets: list[int] = []
+        total = 0
+        for shard in self.shards:
+            offsets.append(total)
+            total += shard.num_cores
+        self._core_offsets = tuple(offsets)
+        self._total_cores = total
+        #: Cross-shard merged statistics, refreshed by each serve.
+        self.stats = ServerStats()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all shards (the global core namespace)."""
+        return self._total_cores
+
+    @property
+    def core_offsets(self) -> tuple[int, ...]:
+        """Global index of each shard's local core 0."""
+        return self._core_offsets
+
+    def shard_of_core(self, global_core: int) -> tuple[int, int]:
+        """Map a global core index to ``(shard, local core)``."""
+        if not 0 <= global_core < self._total_cores:
+            raise ValueError(
+                f"core {global_core} out of range "
+                f"(fabric has {self._total_cores} cores)"
+            )
+        for shard in range(self.num_shards - 1, -1, -1):
+            offset = self._core_offsets[shard]
+            if global_core >= offset:
+                return shard, global_core - offset
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    def deploy(self, dag: ComputationDAG, warmup: int = 1) -> None:
+        """Register one DAG on every shard (compiled per architecture
+        inside each shard's geometry-keyed deploy)."""
+        for shard in self.shards:
+            shard.deploy(dag, warmup=warmup)
+
+    # ------------------------------------------------------------------
+    # Fault-schedule splitting
+    # ------------------------------------------------------------------
+    def _split_schedule(
+        self, schedule: FaultSchedule
+    ) -> list[FaultSchedule | None]:
+        """One per-shard schedule with *local* core indices.
+
+        Wire faults (core ``None``) replicate to every shard — the
+        wire is shared, and ``serve_trace`` ignores them anyway.
+        Device/core faults land on the shard owning their global core.
+        Shards with no events get ``None`` so their serve skips fault
+        replay entirely.
+        """
+        per_shard: list[list[FaultEvent]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for event in schedule.events:
+            if event.kind in WIRE_FAULT_KINDS or event.core is None:
+                for bucket in per_shard:
+                    bucket.append(event)
+                continue
+            shard, local = self.shard_of_core(event.core)
+            per_shard[shard].append(
+                FaultEvent(
+                    time_s=event.time_s,
+                    kind=event.kind,
+                    core=local,
+                    duration_s=event.duration_s,
+                    params=dict(event.params),
+                )
+            )
+        schedules: list[FaultSchedule | None] = []
+        for events in per_shard:
+            if not events:
+                schedules.append(None)
+                continue
+            local_schedule = FaultSchedule(seed=schedule.seed)
+            for event in events:
+                local_schedule.add(event)
+            schedules.append(local_schedule)
+        return schedules
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_trace(
+        self,
+        requests: Iterable[RuntimeRequest],
+        *,
+        fault_schedule: FaultSchedule | None = None,
+        watchdog: CalibrationWatchdog | None = None,
+        retry_policy: RetryPolicy | None = None,
+        slo_s: float | None = None,
+        timeout_s: float | None = None,
+    ) -> FabricResult:
+        """Serve one global trace across the shards.
+
+        Requests are routed in arrival order (ties by request id) —
+        the router sees each shard's capacity-normalized routed load,
+        nothing else, so placement is deterministic.  Each shard then
+        serves its sub-trace on its own virtual clock; shard clocks
+        are independent but share origin 0, so per-request timings are
+        directly comparable and the fabric makespan is the slowest
+        shard's horizon.  ``watchdog`` (with or without a re-lock
+        controller) is probe-stateless and is shared by every shard.
+        """
+        trace = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        if not trace:
+            raise ValueError("cannot serve an empty trace")
+        self.router.reset()
+        routed_counts = [0] * self.num_shards
+        sub_traces: list[list[RuntimeRequest]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        routed: list[int] = []
+        for request in trace:
+            views = tuple(
+                ShardView(
+                    shard=i,
+                    num_cores=shard.num_cores,
+                    macs_per_step=(
+                        shard.datapaths[0].core
+                        .architecture.macs_per_step
+                    ),
+                    routed=routed_counts[i],
+                )
+                for i, shard in enumerate(self.shards)
+            )
+            target = self.router.route(request, views)
+            if not 0 <= target < self.num_shards:
+                raise ValueError(
+                    f"router returned shard {target} for request "
+                    f"{request.request_id}; fabric has "
+                    f"{self.num_shards} shards"
+                )
+            routed_counts[target] += 1
+            sub_traces[target].append(request)
+            routed.append(target)
+
+        schedules: Sequence[FaultSchedule | None] = (
+            self._split_schedule(fault_schedule)
+            if fault_schedule is not None
+            else [None] * self.num_shards
+        )
+        results: list[ClusterResult | None] = []
+        merged = ServerStats()
+        for shard_index, shard in enumerate(self.shards):
+            sub = sub_traces[shard_index]
+            if not sub:
+                # Nothing routed here; faults on an idle shard have no
+                # observable effect, so skip the serve entirely.
+                results.append(None)
+                continue
+            result = shard.serve_trace(
+                sub,
+                fault_schedule=schedules[shard_index],
+                watchdog=watchdog,
+                retry_policy=retry_policy,
+                slo_s=slo_s,
+                timeout_s=timeout_s,
+            )
+            results.append(result)
+            merged.merge(
+                result.stats,
+                core_offset=self._core_offsets[shard_index],
+            )
+        self.stats = merged
+        return FabricResult(
+            shard_results=tuple(results),
+            routed=tuple(routed),
+            stats=merged,
+            offered=len(trace),
+            total_cores=self._total_cores,
+            core_offsets=self._core_offsets,
+        )

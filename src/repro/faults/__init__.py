@@ -49,9 +49,11 @@ from .wire import (
 )
 from .resilience import (
     CORE_STATES,
+    BiasRelockController,
     CalibrationWatchdog,
     CoreHealth,
     ProbeResult,
+    RelockReport,
     RetryPolicy,
 )
 
@@ -78,4 +80,6 @@ __all__ = [
     "ProbeResult",
     "RetryPolicy",
     "CalibrationWatchdog",
+    "BiasRelockController",
+    "RelockReport",
 ]

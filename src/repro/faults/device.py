@@ -31,6 +31,7 @@ cores with.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -57,6 +58,11 @@ class DeviceFault:
     of inner size ``k`` on ``N`` wavelengths) so per-readout effects
     scale correctly.
     """
+
+    #: Whether a bias re-lock (sweep + set_bias) can cancel the fault's
+    #: accumulated error.  Only bias-point wander is servo-correctable;
+    #: dim lasers, saturated detectors and stuck converter bits are not.
+    relockable = False
 
     def __init__(self, onset_s: float = 0.0) -> None:
         if onset_s < 0:
@@ -106,12 +112,20 @@ class LaserPowerDrift(DeviceFault):
 class MZMBiasDrift(DeviceFault):
     """The modulator bias point wanders off max extinction.
 
-    A bias error ``b(t) = volts_per_s * t`` away from the extinction
-    point leaks ``sin^2(pi/2 * b / v_pi)`` of the carrier through a
-    nominally-dark modulator (the Appendix A transfer function), adding
-    a growing offset to every readout — exactly the failure the bias
-    controller of Figure 23 exists to servo away.
+    A bias error ``b(t) = b_residual + volts_per_s * t`` away from the
+    extinction point leaks ``sin^2(pi/2 * b / v_pi)`` of the carrier
+    through a nominally-dark modulator (the Appendix A transfer
+    function), adding a growing offset to every readout — exactly the
+    failure the bias controller of Figure 23 exists to servo away.
+
+    Because the failure is a wandered operating point rather than a
+    damaged device, it is *relockable*: :meth:`relock` re-bases the
+    drift at a freshly servoed bias (found by a Figure-23 sweep), after
+    which the error re-accumulates from whatever residual the sweep's
+    finite ADC/grid resolution left behind.
     """
+
+    relockable = True
 
     def __init__(
         self,
@@ -126,14 +140,31 @@ class MZMBiasDrift(DeviceFault):
             raise ValueError("half-wave voltage must be positive")
         self.volts_per_s = volts_per_s
         self.v_pi = v_pi
+        self.residual_volts = 0.0
+
+    def bias_error_volts(self, now_s: float) -> float:
+        """Signed offset from the extinction point at ``now_s``."""
+        return self.residual_volts + self.volts_per_s * self.elapsed(now_s)
 
     def leakage_levels(self, now_s: float) -> float:
         """Per-readout additive offset, on the 0..255 scale."""
-        bias_error = self.volts_per_s * self.elapsed(now_s)
+        bias_error = abs(self.bias_error_volts(now_s))
         transmission = math.sin(
             (math.pi / 2.0) * min(bias_error, self.v_pi) / self.v_pi
         ) ** 2
         return transmission * FULL_SCALE
+
+    def relock(self, now_s: float, residual_volts: float = 0.0) -> None:
+        """Re-base the drift at a freshly servoed operating point.
+
+        Called by the re-lock controller after a bias sweep found and
+        applied a new extinction bias at ``now_s``: the accumulated
+        error collapses to ``residual_volts`` (the sweep grid/ADC-floor
+        mismatch between the applied bias and the true null) and the
+        physical drift process continues from there.
+        """
+        self.onset_s = float(now_s)
+        self.residual_volts = float(residual_volts)
 
     def perturb(self, values, readouts, now_s):
         return values + self.leakage_levels(now_s) * readouts
@@ -257,6 +288,30 @@ class DegradedCore:
     def install(self, fault: DeviceFault) -> None:
         """Add one more fault to the composition."""
         self.faults.append(fault)
+
+    def relockable_faults(self) -> list[DeviceFault]:
+        """The installed faults a bias re-lock can correct, in install
+        order (the order re-lock residuals are reported/applied in)."""
+        return [f for f in self.faults if f.relockable]
+
+    def relock(
+        self, now_s: float, residual_volts: Sequence[float]
+    ) -> None:
+        """Re-base every relockable fault at ``now_s``.
+
+        ``residual_volts`` pairs with :meth:`relockable_faults` in
+        install order.  The parallel pool uses this to mirror a
+        parent-side re-lock into a worker's wrapper so both replicas
+        keep perturbing batches identically.
+        """
+        faults = self.relockable_faults()
+        if len(residual_volts) != len(faults):
+            raise ValueError(
+                f"{len(faults)} relockable faults installed but "
+                f"{len(residual_volts)} residuals supplied"
+            )
+        for fault, residual in zip(faults, residual_volts):
+            fault.relock(now_s, float(residual))
 
     def set_time(self, now_s: float) -> None:
         """Advance the wrapper's clock (virtual seconds)."""

@@ -27,11 +27,61 @@ from .packet import ETHERTYPE_IPV4, EthernetFrame, IPv4Packet, UDPDatagram
 from .parser import extract_header_features
 
 __all__ = [
+    "LearningForwardingTable",
     "PolicyAction",
     "ClassPolicy",
     "SwitchDecision",
     "InNetworkInferenceSwitch",
 ]
+
+
+class LearningForwardingTable:
+    """An address→port table with learn-on-ingress, flood-on-miss.
+
+    The forwarding state machine of an L2 learning switch, factored out
+    of the frame pipeline so other planes can reuse it: the in-network
+    inference switch binds MAC addresses to physical ports, and the
+    serving fabric's :class:`~repro.fabric.router.SwitchShardRouter`
+    binds model ids to shards ("ports") with the same semantics —
+    learn the first placement, forward repeats to it, flood/relearn
+    when the binding disappears.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 1:
+            raise ValueError("a forwarding table needs at least one port")
+        self.num_ports = num_ports
+        self._table: dict[object, int] = {}
+
+    def learn(self, address: object, port: int) -> None:
+        """Bind ``address`` to ``port`` (last writer wins, as on a
+        real switch when a station moves)."""
+        if not 0 <= port < self.num_ports:
+            raise ValueError(f"port {port} out of range")
+        self._table[address] = port
+
+    def lookup(self, address: object) -> int | None:
+        """The learned port for ``address``, or ``None`` on a miss."""
+        return self._table.get(address)
+
+    def unlearn_port(self, port: int) -> None:
+        """Forget every binding to ``port`` (link down / shard dead)."""
+        self._table = {
+            addr: p for addr, p in self._table.items() if p != port
+        }
+
+    def flood_ports(self, ingress_port: int | None = None) -> tuple[int, ...]:
+        """Every port except the ingress — the flood set on a miss."""
+        return tuple(
+            p for p in range(self.num_ports) if p != ingress_port
+        )
+
+    def entries(self) -> dict[object, int]:
+        """A snapshot of the learned bindings."""
+        return dict(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
 
 
 class PolicyAction(enum.Enum):
@@ -81,7 +131,7 @@ class InNetworkInferenceSwitch:
         self.datapath = (
             datapath if datapath is not None else LightningDatapath()
         )
-        self._mac_table: dict[str, int] = {}
+        self._mac_table = LearningForwardingTable(num_ports)
         self._model_id: int | None = None
         self._policies: dict[int, ClassPolicy] = {}
         self._default_policy = ClassPolicy(PolicyAction.FORWARD)
@@ -125,7 +175,7 @@ class InNetworkInferenceSwitch:
 
     @property
     def mac_table(self) -> dict[str, int]:
-        return dict(self._mac_table)
+        return self._mac_table.entries()
 
     # ------------------------------------------------------------------
     # Data plane
@@ -134,15 +184,13 @@ class InNetworkInferenceSwitch:
         self, frame: EthernetFrame, ingress_port: int
     ) -> tuple[int, ...]:
         """Learn the source, look up the destination, flood if unknown."""
-        self._mac_table[frame.src_mac] = ingress_port
-        known = self._mac_table.get(frame.dst_mac)
+        self._mac_table.learn(frame.src_mac, ingress_port)
+        known = self._mac_table.lookup(frame.dst_mac)
         if known is not None and known != ingress_port:
             return (known,)
         if known == ingress_port:
             return ()  # hairpin: suppress
-        return tuple(
-            p for p in range(self.num_ports) if p != ingress_port
-        )
+        return self._mac_table.flood_ports(ingress_port)
 
     def _classify(self, frame: EthernetFrame) -> tuple[int | None, float]:
         """Run the inference stage on the frame's header features."""

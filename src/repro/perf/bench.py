@@ -23,6 +23,12 @@ trajectory is tracked PR over PR:
   ``parallel_speedup_4c`` ratio is only emitted when the host has at
   least four CPUs — on fewer cores the processes time-slice one
   socket and the scaling number is meaningless.
+* **Fabric** (``BENCH_fabric.json``) — the same full-load trace served
+  by a :class:`~repro.fabric.Fabric` of 1, 2, and 4 two-core shards.
+  The gated ``fabric_speedup_4s`` is the ratio of *virtual-clock*
+  makespans (one shard's horizon over four shards'), so it measures
+  the control plane's scaling — how well the shard router spreads the
+  load — and is exactly reproducible on any host.
 
 Run from a checkout::
 
@@ -63,6 +69,7 @@ __all__ = [
     "bench_emulator",
     "bench_cluster",
     "bench_parallel",
+    "bench_fabric",
     "write_report",
     "check_regression",
     "main",
@@ -79,6 +86,8 @@ GATED_METRICS = {
     # Only present when the measuring host has >= 4 CPUs; the gate
     # skips it otherwise (same-host ratios only, like the rest).
     "BENCH_parallel": ["parallel_speedup_4c"],
+    # Virtual-clock makespan ratio: machine-independent by design.
+    "BENCH_fabric": ["fabric_speedup_4s"],
 }
 
 
@@ -381,6 +390,109 @@ def bench_parallel(
     return report
 
 
+def bench_fabric(
+    requests: int = 96,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    cores_per_shard: int = 2,
+    max_batch: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Shard-scaling on the virtual clock: 1 vs 2 vs 4 shards.
+
+    The same full-load Poisson trace is served by fabrics of one, two,
+    and four identical two-core shards behind the least-loaded shard
+    router.  The virtual-time makespan (``horizon_s``) shrinks as
+    shards are added only if the router actually balances the load, so
+    the gated ``fabric_speedup_4s`` ratio measures the control plane,
+    not the host CPU — it is bit-identical on every machine.  The
+    four-shard configuration is served twice and asserted to replay
+    exactly (routing decisions included).
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    from ..fabric import Fabric, ShardSpec
+
+    dag = lenet_class_dag(seed)
+    rate = 2_000_000.0  # arrivals much faster than service: full load
+    trace = poisson_trace([dag], rate, requests, seed=seed)
+
+    def serve(num_shards: int):
+        fabric = Fabric(
+            [
+                ShardSpec(
+                    num_cores=cores_per_shard,
+                    datapath_factory=lambda core: LightningDatapath(
+                        core=BehavioralCore(seed=core),
+                        fidelity="fast",
+                        seed=core,
+                    ),
+                    # Full load on one shard must queue, not drop: the
+                    # makespan comparison needs every request served.
+                    queue_capacity=max(4 * requests, 64),
+                    max_batch=max_batch,
+                )
+                for _ in range(num_shards)
+            ]
+        )
+        fabric.deploy(dag)
+        start = time.perf_counter()
+        result = fabric.serve_trace(list(trace))
+        wall = time.perf_counter() - start
+        if result.served != requests:
+            raise AssertionError(
+                f"{num_shards}-shard fabric served {result.served} of "
+                f"{requests} requests; the scaling ratio is meaningless"
+            )
+        return result, wall
+
+    scaling: list[dict] = []
+    horizons: dict[int, float] = {}
+    for num_shards in shard_counts:
+        result, wall = serve(num_shards)
+        horizons[num_shards] = result.horizon_s
+        per_shard = [
+            sum(1 for s in result.routed if s == shard)
+            for shard in range(num_shards)
+        ]
+        scaling.append(
+            {
+                "num_shards": num_shards,
+                "total_cores": num_shards * cores_per_shard,
+                "served": result.served,
+                "horizon_s": result.horizon_s,
+                "wall_s": wall,
+                "routed_per_shard": per_shard,
+            }
+        )
+    repeat, _ = serve(max(shard_counts))
+    replayed = (
+        repeat.horizon_s == horizons[max(shard_counts)]
+        and repeat.served == requests
+    )
+    if not replayed:
+        raise AssertionError("fabric replay diverged between runs")
+    report = {
+        "benchmark": "fabric",
+        "model": dag.name,
+        "requests": requests,
+        "cores_per_shard": cores_per_shard,
+        "max_batch": max_batch,
+        "seed": seed,
+        "shard_counts": list(shard_counts),
+        "deterministic": True,  # asserted above on the widest fabric
+        "scaling": scaling,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    base = min(shard_counts)
+    for num_shards in shard_counts:
+        if num_shards != base:
+            report[f"fabric_speedup_{num_shards}s"] = (
+                horizons[base] / horizons[num_shards]
+            )
+    return report
+
+
 def write_report(result: dict, path: pathlib.Path | str) -> pathlib.Path:
     """Write one benchmark result as pretty-printed JSON."""
     path = pathlib.Path(path)
@@ -441,6 +553,10 @@ def main(argv: list[str] | None = None) -> int:
         "--parallel-requests", type=int, default=96,
         help="parallel-scaling benchmark request count (per core count)",
     )
+    parser.add_argument(
+        "--fabric-requests", type=int, default=96,
+        help="fabric shard-scaling benchmark request count",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--check",
@@ -459,6 +575,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "BENCH_parallel": bench_parallel(
             requests=args.parallel_requests, seed=args.seed
+        ),
+        "BENCH_fabric": bench_fabric(
+            requests=args.fabric_requests, seed=args.seed
         ),
     }
     failures: list[str] = []
@@ -503,6 +622,17 @@ def main(argv: list[str] | None = None) -> int:
         else f"speedup_4c not gated ({parallel['cpus']} cpu host)"
     )
     print(f"parallel: deterministic, serial/parallel {curve}; {gate_note}")
+    fabric = reports["BENCH_fabric"]
+    fabric_curve = ", ".join(
+        "{num_shards}s {horizon_s:.2e}s".format(**row)
+        for row in fabric["scaling"]
+    )
+    print(
+        "fabric: virtual-clock makespans {curve}; gated speedup_4s "
+        "{speedup:.2f}x".format(
+            curve=fabric_curve, speedup=fabric["fabric_speedup_4s"]
+        )
+    )
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

@@ -22,6 +22,8 @@ paper's §9 simulator abstracts, realised over real
 """
 
 from .schedulers import (
+    CoreHealthView,
+    HealthAwareScheduler,
     LeastLoadedScheduler,
     ModelQueueView,
     RoundRobinScheduler,
@@ -42,6 +44,8 @@ __all__ = [
     "RoundRobinScheduler",
     "LeastLoadedScheduler",
     "WeightedFairScheduler",
+    "CoreHealthView",
+    "HealthAwareScheduler",
     "DROP_POLICIES",
     "AdmissionQueue",
     "QueueEntry",

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..core.datapath import LightningDatapath
 from ..core.dag import ComputationDAG
+from ..core.plans import export_model_plan, import_model_plan
 from ..core.stats import NICCounters, ServerStats
 from ..core.trace import DatapathTracer
 from ..faults.device import DegradedCore, device_fault_from_event
@@ -67,18 +68,20 @@ from ..sim.events import EventQueue
 from .batching import BatchingCoalescer, stack_levels
 from .parallel import CoreWorkerPool, pool_finalizer
 from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
-from .schedulers import RoundRobinScheduler, Scheduler
+from .schedulers import CoreHealthView, RoundRobinScheduler, Scheduler
 
 __all__ = ["RuntimeRequest", "RuntimeRecord", "ClusterResult", "Cluster"]
 
 #: Domain separators for the keyed readout-noise substreams.  Every
-#: batch draws from ``Philox(seed, BATCH, core, epoch, batch)`` and
-#: every watchdog probe from ``Philox(seed, PROBE, core, round)``, in
-#: both execution modes — so the draws a dispatch consumes depend only
-#: on its key, never on scheduling order, and ``execution="parallel"``
-#: reproduces the serial run bit for bit.
+#: batch draws from ``Philox(seed, BATCH, core, epoch, batch)``, every
+#: watchdog probe from ``Philox(seed, PROBE, core, round)``, and every
+#: post-re-lock confirmation probe from ``Philox(seed, RELOCK, core,
+#: attempt)``, in both execution modes — so the draws a dispatch
+#: consumes depend only on its key, never on scheduling order, and
+#: ``execution="parallel"`` reproduces the serial run bit for bit.
 _BATCH_RNG_DOMAIN = 0xB0
 _PROBE_RNG_DOMAIN = 0xA5
+_RELOCK_RNG_DOMAIN = 0x9C
 
 
 @dataclass(frozen=True)
@@ -268,6 +271,17 @@ class Cluster:
         self._pool: CoreWorkerPool | None = None
         self._pool_finalizer = None
         if execution == "parallel":
+            # Workers adopt the one plan the parent publishes per
+            # model, so a parallel cluster must be geometry-uniform;
+            # heterogeneous core architectures belong on separate
+            # shards of a repro.fabric.Fabric instead.
+            geometries = {d.plan_geometry for d in self.datapaths}
+            if len(geometries) > 1:
+                raise ValueError(
+                    "execution='parallel' needs every core to share "
+                    "one plan geometry; split heterogeneous cores "
+                    "across Fabric shards (repro.fabric)"
+                )
             # Fork the workers before any model state accumulates so
             # each child starts from a lean image; the factory crosses
             # by fork inheritance (it is commonly an unpicklable
@@ -296,11 +310,35 @@ class Cluster:
     def deploy(self, dag: ComputationDAG, warmup: int = 1) -> None:
         """Register one DAG on every core and create its queue.
 
+        Plan compilation is keyed per architecture: the first core of
+        each distinct :class:`~repro.core.plans.PlanGeometry` compiles
+        the DAG, and every later core with the same geometry adopts a
+        re-imported view over the compiled arrays (the in-process
+        analogue of the worker pool's shared-memory adoption) — so a
+        heterogeneous cluster pays one compile per architecture, not
+        one per core, while each datapath keeps private plan scratch
+        and replay counters.
+
         Warm-up executes a few zero queries per core so first live
         requests do not pay one-time costs (sign-separation caching).
         """
+        compiled: dict[object, tuple] = {}
         for datapath in self.datapaths:
+            geometry = datapath.plan_geometry
+            donor = compiled.get(geometry)
+            if donor is not None:
+                arrays, meta, donor_path = donor
+                datapath.register_model(
+                    dag,
+                    plan=import_model_plan(dag, geometry, arrays, meta),
+                )
+                datapath.adopt_sign_separation(donor_path, dag.model_id)
+                continue
             datapath.register_model(dag)
+            plan = datapath.model_plan(dag.model_id)
+            if plan is not None:
+                arrays, meta = export_model_plan(plan)
+                compiled[geometry] = (arrays, meta, datapath)
         if self._pool is not None:
             plan = self.datapaths[0].model_plan(dag.model_id)
             if plan is None:
@@ -402,7 +440,10 @@ class Cluster:
         ``fault_schedule`` replays device and core faults at their
         scheduled virtual times (wire faults are ingress-side — see
         :meth:`serve_frames`).  ``watchdog`` probes healthy cores every
-        ``interval_s`` and quarantines drifted ones.  ``retry_policy``
+        ``interval_s`` and quarantines drifted ones; a watchdog carrying
+        a :class:`~repro.faults.resilience.BiasRelockController` then
+        sweeps the quarantined core's modulator biases and returns it
+        to service once a confirmation probe passes.  ``retry_policy``
         bounds re-enqueues of batches lost to crashes (default:
         :class:`~repro.faults.resilience.RetryPolicy`).  ``slo_s`` sheds
         requests whose deadline passed before dispatch.  ``timeout_s``
@@ -435,6 +476,11 @@ class Cluster:
         #: trace so a fixed seed reproduces a fixed trace exactly.
         dispatch_seq = [0] * self.num_cores
         probe_round = 0
+        relock_attempts = [0] * self.num_cores
+        relocker = watchdog.relock if watchdog is not None else None
+        #: Health-aware policies receive a per-candidate snapshot right
+        #: before each assign; everyone else skips the view building.
+        wants_health = getattr(self.scheduler, "uses_health", False)
         inflight: dict[int, _Dispatch] = {}
         records: list[RuntimeRecord] = []
         dropped: list[RuntimeRequest] = []
@@ -475,8 +521,10 @@ class Cluster:
             if remaining_arrivals or pending_retries or inflight:
                 return True
             queued = any(q.depth for q in self._queues.values())
+            # A recalibrating core is out of service but expected back,
+            # so queued work behind it still counts as pending.
             alive = any(
-                health[i].state in ("healthy", "stalled")
+                health[i].state in ("healthy", "stalled", "recalibrating")
                 for i in range(self.num_cores)
             )
             return queued and alive
@@ -605,7 +653,9 @@ class Cluster:
                 abort_inflight(core, now)
                 return
             # core_stall: a dead or benched core cannot stall further.
-            if health[core].state in ("crashed", "quarantined"):
+            if health[core].state in (
+                "crashed", "quarantined", "recalibrating"
+            ):
                 return
             stalled_until[core] = max(
                 stalled_until[core], now + fault.duration_s
@@ -633,6 +683,11 @@ class Cluster:
 
         def run_probes(now: float) -> None:
             nonlocal probe_round
+            if not work_pending():
+                # The trace has drained; a probe (and any quarantine /
+                # re-lock cycle it would start) can no longer affect a
+                # request, so the watchdog goes quiet with the clock.
+                return
             probe_round += 1
             for i in range(self.num_cores):
                 if health[i].state != "healthy":
@@ -671,8 +726,99 @@ class Cluster:
                     },
                     now,
                 )
+                schedule_relock(i, now)
             if work_pending():
                 events.push(now + watchdog.interval_s, "probe")
+
+        def relock_sweep_s(core: int) -> float:
+            """Virtual time the core's bias sweeps will occupy."""
+            wrapped = self.datapaths[core].core
+            faults = (
+                len(wrapped.relockable_faults())
+                if isinstance(wrapped, DegradedCore)
+                else 0
+            )
+            return relocker.sweep_duration_s * max(faults, 1)
+
+        def schedule_relock(core: int, now: float) -> None:
+            """Queue a re-lock attempt for a just-quarantined core."""
+            if relocker is None:
+                return
+            if relock_attempts[core] >= relocker.max_attempts:
+                return
+            health[core].state = "recalibrating"
+            events.push(now + relock_sweep_s(core), "recalibrate", core)
+            emit(
+                "recalibrate",
+                f"core:{core}",
+                {"attempt": relock_attempts[core] + 1},
+                now,
+            )
+
+        def run_relock(core: int, now: float) -> None:
+            """Finish a bias sweep: re-base faults, re-probe, readmit.
+
+            The sweep's virtual time already elapsed (the recalibrate
+            event was scheduled ``relock_sweep_s`` after quarantine);
+            what remains is applying the found biases, mirroring them
+            into the core's worker, and letting the watchdog decide
+            whether the core rejoins the healthy set.
+            """
+            if health[core].state != "recalibrating":
+                return  # crashed while benched; nothing to readmit
+            relock_attempts[core] += 1
+            set_core_time(core, now)
+            report = relocker.relock_core(
+                core, self.datapaths[core].core, now
+            )
+            if self._pool is not None and report.relocked:
+                # FIFO pipe: the mirror lands after every batch the
+                # worker was sent pre-quarantine, exactly where the
+                # serial timeline re-based its own faults.
+                self._pool.relock(core, now, report.residual_volts)
+            reseed_core(core, _RELOCK_RNG_DOMAIN, core, relock_attempts[core])
+            result = watchdog.check(core, self.datapaths[core].core)
+            health[core].error_rms = result.error_rms
+            health[core].probes += 1
+            if result.healthy:
+                health[core].state = "healthy"
+                health[core].relocks += 1
+                health[core].relocked_at_s = now
+                self.stats.relocks += 1
+                core_free_at[core] = now
+                emit(
+                    "relock",
+                    f"core:{core}",
+                    {
+                        "error_rms": result.error_rms,
+                        "relocked": report.relocked,
+                        "uncorrectable": report.uncorrectable,
+                    },
+                    now,
+                )
+                return
+            if relock_attempts[core] < relocker.max_attempts:
+                # Another sweep may still help (e.g. the bias walked
+                # during the confirmation probe); stay benched and try
+                # again after one more sweep's worth of time.
+                events.push(now + relock_sweep_s(core), "recalibrate", core)
+                emit(
+                    "relock_failed",
+                    f"core:{core}",
+                    {
+                        "error_rms": result.error_rms,
+                        "attempt": relock_attempts[core],
+                    },
+                    now,
+                )
+                return
+            health[core].state = "quarantined"
+            emit(
+                "relock_failed",
+                f"core:{core}",
+                {"error_rms": result.error_rms, "permanent": True},
+                now,
+            )
 
         def dispatch(now: float) -> None:
             while True:
@@ -687,6 +833,16 @@ class Cluster:
                 ]
                 if not idle or not ready:
                     return
+                if wants_health:
+                    self.scheduler.observe_health([
+                        CoreHealthView(
+                            core=i,
+                            state=health[i].state,
+                            error_rms=health[i].error_rms,
+                            busy_until_s=core_free_at[i],
+                        )
+                        for i in idle
+                    ])
                 model_id = self.scheduler.next_model(ready)
                 entries = self.coalescer.take(self._queues[model_id])
                 if slo_s is not None:
@@ -807,6 +963,8 @@ class Cluster:
                     health[core].state = "healthy"
             elif event.kind == "probe":
                 run_probes(now)
+            elif event.kind == "recalibrate":
+                run_relock(event.payload, now)
             dispatch(now)
 
         events.run(handle, until=timeout_s)

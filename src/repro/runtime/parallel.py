@@ -313,6 +313,11 @@ def _worker_main(core_index: int, datapath_factory, conn) -> None:
             wrapper = DegradedCore.ensure(datapath)
             wrapper.set_time(now_s)
             wrapper.install(device_fault_from_event(event))
+        elif kind == "relock":
+            _, now_s, residuals = message
+            core = datapath.core
+            if isinstance(core, DegradedCore):
+                core.relock(now_s, residuals)
         elif kind == "invalidate":
             datapath.invalidate_plans()
         elif kind == "stop":
@@ -470,6 +475,18 @@ class CoreWorkerPool:
             ),
             now_s,
         ))
+
+    def relock(
+        self, core: int, now_s: float, residual_volts: tuple[float, ...]
+    ) -> None:
+        """Mirror a parent-side bias re-lock into a core's worker.
+
+        The parent ran the sweeps; the worker just re-bases its fault
+        replicas at the same residuals so both copies keep perturbing
+        future batches identically.  FIFO ordering places the re-lock
+        after every batch dispatched before it on the virtual clock.
+        """
+        self._pipes[core].send(("relock", now_s, tuple(residual_volts)))
 
     def invalidate(self, core: int) -> None:
         """Drop a worker's compiled plans (quarantine bookkeeping)."""

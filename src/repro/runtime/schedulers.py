@@ -17,6 +17,19 @@ A scheduler makes two kinds of decisions:
   FIFO semantics; :class:`WeightedFairScheduler` overrides it with
   weighted fair sharing of core time between models.
 
+Placement can additionally consume a read-only health snapshot: hosts
+that track core health (the runtime's calibration watchdog, or the
+simulator's all-healthy default) publish one :class:`CoreHealthView`
+per candidate core via :meth:`Scheduler.observe_health` immediately
+before each :meth:`Scheduler.assign` call.  Policies opt in by setting
+``uses_health = True`` (see :class:`HealthAwareScheduler`); hosts skip
+building the views otherwise so load-oblivious policies pay nothing.
+
+Every decision in this module breaks ties deterministically (stable
+lowest-index / lowest-id order on equal keys) — parallel-mode replay is
+bit-identical to serial only because placement never depends on dict or
+argsort iteration order.
+
 This module is dependency-free (numpy only) so both the simulator and
 the runtime can import it without cycles.
 """
@@ -27,13 +40,24 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 __all__ = [
+    "CoreHealthView",
     "ModelQueueView",
     "Scheduler",
     "SchedulerBase",
     "RoundRobinScheduler",
     "LeastLoadedScheduler",
     "WeightedFairScheduler",
+    "HealthAwareScheduler",
+    "DEFAULT_ERROR_SOFT_THRESHOLD",
 ]
+
+#: Probe-error level (8-bit output levels, RMS) above which
+#: :class:`HealthAwareScheduler` steers traffic away from a core even
+#: though the watchdog has not quarantined it yet.  2x the prototype's
+#: calibrated readout-noise sigma (~1.65 levels, Fig. 18): a healthy
+#: core's probe error sits near one sigma, while a drifting MZM pushes
+#: it past two sigmas well before the 3-sigma quarantine threshold.
+DEFAULT_ERROR_SOFT_THRESHOLD = 3.3
 
 
 @dataclass(frozen=True)
@@ -45,11 +69,41 @@ class ModelQueueView:
     head_enqueued_s: float
 
 
+@dataclass(frozen=True)
+class CoreHealthView:
+    """A scheduler's read-only view of one candidate core's health.
+
+    Hosts publish one view per candidate core (aligned with the
+    ``core_free_at`` sequence passed to :meth:`Scheduler.assign`) via
+    :meth:`Scheduler.observe_health`.  ``core`` is the host's core
+    index, ``error_rms`` the last calibration-probe error in output
+    levels, and ``busy_until_s`` the core's busy-until time on the
+    host's clock.
+    """
+
+    core: int
+    state: str = "healthy"
+    error_rms: float = 0.0
+    busy_until_s: float = 0.0
+
+    @property
+    def usable(self) -> bool:
+        """Whether the core may be given new work at all."""
+        return self.state == "healthy"
+
+
 @runtime_checkable
 class Scheduler(Protocol):
     """The placement policy shared by the simulator and the runtime."""
 
     num_cores: int
+    #: Whether the host must publish :class:`CoreHealthView` snapshots
+    #: through :meth:`observe_health` before each :meth:`assign` call.
+    uses_health: bool
+
+    def observe_health(self, views: Sequence["CoreHealthView"]) -> None:
+        """Receive the health snapshot for the next :meth:`assign`."""
+        ...
 
     def assign(
         self,
@@ -82,10 +136,17 @@ class Scheduler(Protocol):
 class SchedulerBase:
     """Shared behaviour: FIFO model selection, no-op accounting."""
 
+    #: Load-oblivious policies ignore health snapshots; hosts check this
+    #: flag and skip building :class:`CoreHealthView` lists entirely.
+    uses_health = False
+
     def __init__(self, num_cores: int = 1) -> None:
         if num_cores < 1:
             raise ValueError("need at least one core")
         self.num_cores = num_cores
+
+    def observe_health(self, views: Sequence[CoreHealthView]) -> None:
+        """Default: discard the snapshot (``uses_health`` is False)."""
 
     def next_model(self, candidates: Sequence[ModelQueueView]) -> int:
         """Global FIFO: serve the model whose head waited longest."""
@@ -156,7 +217,13 @@ class LeastLoadedScheduler(SchedulerBase):
             raise ValueError(
                 "least-loaded scheduling needs per-core load information"
             )
-        return min(range(len(core_free_at)), key=lambda i: core_free_at[i])
+        # The explicit (load, index) key pins equal-load ties to the
+        # lowest candidate index regardless of how the host ordered or
+        # produced the sequence (list, ndarray, generator output).
+        return min(
+            range(len(core_free_at)),
+            key=lambda i: (core_free_at[i], i),
+        )
 
 
 class WeightedFairScheduler(SchedulerBase):
@@ -202,7 +269,15 @@ class WeightedFairScheduler(SchedulerBase):
         return min(range(len(core_free_at)), key=lambda i: core_free_at[i])
 
     def next_model(self, candidates: Sequence[ModelQueueView]) -> int:
-        """Serve the backlogged model with least normalized service."""
+        """Serve the backlogged model with least normalized service.
+
+        The (service, head-enqueue time, model id) key is a total order
+        over candidates: when two models are exactly even on service
+        and head wait, the lower ``model_id`` wins.  Selection therefore
+        never depends on the candidate list's ordering or on the
+        iteration order of the internal service dict — a requirement
+        for parallel-mode bit-identical replay.
+        """
         if not candidates:
             raise ValueError("no candidate queues to pick from")
         best = min(
@@ -225,3 +300,85 @@ class WeightedFairScheduler(SchedulerBase):
     def reset(self) -> None:
         """Forget accumulated per-model service."""
         self._normalized_service.clear()
+
+
+class HealthAwareScheduler(SchedulerBase):
+    """Placement that prefers healthy, lightly loaded cores.
+
+    Consumes the :class:`CoreHealthView` snapshot published by the host
+    before each assignment and ranks candidates by a three-part key:
+
+    1. *clean before drifting* — cores whose last calibration-probe
+       error exceeds ``error_soft_threshold`` (or that are not in the
+       "healthy" state) are avoided while any clean candidate exists;
+    2. *least backlog* — remaining busy time ``max(free_at - now, 0)``;
+    3. *rotation* — among candidates tied on both, an internal counter
+       rotates placement round-robin so idle clean cores share warm-up
+       and wear evenly.
+
+    The rotation counter advances once per assignment, which makes the
+    policy deterministic and identical between the event-driven
+    simulator and the runtime cluster (validated by the parity tests).
+    Without a snapshot (e.g. a host that never probes) every core is
+    presumed clean and the policy degrades to rotating least-backlog.
+    """
+
+    uses_health = True
+
+    def __init__(
+        self,
+        num_cores: int = 1,
+        error_soft_threshold: float = DEFAULT_ERROR_SOFT_THRESHOLD,
+    ) -> None:
+        super().__init__(num_cores)
+        if error_soft_threshold <= 0:
+            raise ValueError("error_soft_threshold must be positive")
+        self.error_soft_threshold = error_soft_threshold
+        self._views: tuple[CoreHealthView, ...] | None = None
+        self._next = 0
+
+    def observe_health(self, views: Sequence[CoreHealthView]) -> None:
+        """Snapshot the candidate cores for the next assignment."""
+        self._views = tuple(views)
+
+    def assign(
+        self,
+        _request: object,
+        core_free_at: Sequence[float] | None = None,
+        now_s: float = 0.0,
+    ) -> int:
+        """Pick a clean, lightly loaded core (see class docstring)."""
+        if not core_free_at:
+            raise ValueError(
+                "health-aware scheduling needs per-core load information"
+            )
+        n = len(core_free_at)
+        views = self._views if (
+            self._views is not None and len(self._views) == n
+        ) else None
+
+        def drifting(i: int) -> bool:
+            if views is None:
+                return False
+            view = views[i]
+            return (
+                not view.usable
+                or view.error_rms > self.error_soft_threshold
+            )
+
+        def key(i: int) -> tuple[bool, float]:
+            return (drifting(i), max(core_free_at[i] - now_s, 0.0))
+
+        best = min(range(n), key=lambda i: (*key(i), i))
+        tied = [i for i in range(n) if key(i) == key(best)]
+        pick = tied[self._next % len(tied)]
+        self._next += 1
+        # Views are good for exactly one assignment; a stale snapshot
+        # must never leak into the next decision.
+        self._views = None
+        return pick
+
+    def reset(self) -> None:
+        """Forget the rotation and any pending health snapshot."""
+        self._views = None
+        self._next = 0

@@ -31,7 +31,11 @@ from .workload import PoissonWorkload, SimRequest, rate_for_utilization
 # (repro.runtime): a policy validated here drives real datapath cores
 # there with identical placement semantics.  RoundRobinScheduler is
 # re-exported for backwards compatibility.
-from ..runtime.schedulers import RoundRobinScheduler, Scheduler
+from ..runtime.schedulers import (
+    CoreHealthView,
+    RoundRobinScheduler,
+    Scheduler,
+)
 
 __all__ = [
     "ServedRecord",
@@ -290,6 +294,13 @@ class EventDrivenSimulator:
         compute = np.empty(num_requests, dtype=np.float64)
         finish = np.empty(num_requests, dtype=np.float64)
         assign = self.scheduler.assign
+        # Health-aware policies get the same per-candidate snapshot the
+        # runtime publishes; the simulator models no faults, so every
+        # core reports the default healthy state with zero probe error.
+        wants_health = getattr(self.scheduler, "uses_health", False)
+        observe_health = (
+            self.scheduler.observe_health if wants_health else None
+        )
         summary = None if keep_records else StreamedSummary()
         for slot, index in enumerate(order):
             request = trace[index]
@@ -301,7 +312,12 @@ class EventDrivenSimulator:
                     self.accelerator.compute_seconds(model),
                 )
             datapath_s, compute_s = cost
-            core = assign(request, core_free_at)
+            if observe_health is not None:
+                observe_health([
+                    CoreHealthView(core=i, busy_until_s=core_free_at[i])
+                    for i in range(len(core_free_at))
+                ])
+            core = assign(request, core_free_at, now_s=request.arrival_s)
             # The request becomes ready for compute after its datapath
             # stage; it queues in DRAM while the core is busy.
             ready_at = request.arrival_s + datapath_s

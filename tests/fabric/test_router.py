@@ -1,0 +1,160 @@
+"""Unit tests for the fabric's shard routers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric import (
+    HashShardRouter,
+    LeastLoadedShardRouter,
+    ShardRouter,
+    ShardView,
+    SwitchShardRouter,
+)
+from repro.runtime import RuntimeRequest
+
+
+def request(model_id: int, request_id: int = 0) -> RuntimeRequest:
+    return RuntimeRequest(
+        request_id=request_id,
+        model_id=model_id,
+        arrival_s=0.0,
+        data_levels=np.zeros(4),
+    )
+
+
+def views(*routed, capacities=None):
+    """ShardViews with given routed counts (uniform capacity 8 each
+    unless ``capacities`` supplies (num_cores, macs) pairs)."""
+    if capacities is None:
+        capacities = [(4, 2)] * len(routed)
+    return tuple(
+        ShardView(
+            shard=i, num_cores=c, macs_per_step=m, routed=routed[i]
+        )
+        for i, (c, m) in enumerate(capacities)
+    )
+
+
+class TestShardView:
+    def test_capacity_is_cores_times_macs(self):
+        view = ShardView(shard=0, num_cores=3, macs_per_step=16, routed=0)
+        assert view.capacity == 48
+
+    def test_normalized_load(self):
+        view = ShardView(shard=0, num_cores=2, macs_per_step=4, routed=4)
+        assert view.normalized_load == pytest.approx(0.5)
+
+
+class TestLeastLoaded:
+    def test_satisfies_protocol(self):
+        assert isinstance(LeastLoadedShardRouter(), ShardRouter)
+
+    def test_picks_lowest_normalized_load(self):
+        router = LeastLoadedShardRouter()
+        assert router.route(request(0), views(5, 2, 9)) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        router = LeastLoadedShardRouter()
+        assert router.route(request(0), views(3, 3, 3)) == 0
+
+    def test_heterogeneity_awareness(self):
+        """A big shard with more absolute work can still be the
+        lighter one per unit of capacity."""
+        router = LeastLoadedShardRouter()
+        # Shard 0: 6/32 = 0.19 normalized; shard 1: 3/8 = 0.375.
+        picked = router.route(
+            request(0),
+            views(6, 3, capacities=[(8, 4), (4, 2)]),
+        )
+        assert picked == 0
+
+    def test_rejects_no_shards(self):
+        with pytest.raises(ValueError, match="no shards"):
+            LeastLoadedShardRouter().route(request(0), ())
+
+
+class TestHash:
+    def test_model_affinity_is_stable(self):
+        router = HashShardRouter()
+        shards = views(0, 0, 0)
+        assert router.route(request(4), shards) == 1
+        assert router.route(request(5), shards) == 2
+        assert router.route(request(4), shards) == 1
+
+    def test_ignores_load(self):
+        router = HashShardRouter()
+        assert router.route(request(0), views(100, 0)) == 0
+
+
+class TestSwitch:
+    def test_miss_learns_on_least_loaded(self):
+        router = SwitchShardRouter(num_shards=3)
+        assert router.route(request(7), views(2, 0, 1)) == 1
+        assert router.bindings == {7: 1}
+        assert router.misses == 1
+
+    def test_hit_sticks_regardless_of_mild_imbalance(self):
+        router = SwitchShardRouter(num_shards=2, spill_factor=2.0)
+        router.route(request(7), views(0, 0))  # learn on shard 0
+        # Shard 0 now busier, but under the spill threshold: sticky.
+        assert router.route(request(7), views(9, 1)) == 0
+        assert router.hits == 1
+        assert router.moves == 0
+
+    def test_overload_moves_the_binding(self):
+        router = SwitchShardRouter(num_shards=2, spill_factor=0.5)
+        router.route(request(7), views(0, 0))  # learn on shard 0
+        # 9/8 - 1/8 = 1.0 > 0.5 → the model re-learns onto shard 1.
+        assert router.route(request(7), views(9, 1)) == 1
+        assert router.bindings == {7: 1}
+        assert router.moves == 1
+
+    def test_zero_spill_always_rebalances(self):
+        router = SwitchShardRouter(num_shards=2, spill_factor=0.0)
+        router.route(request(7), views(0, 0))
+        assert router.route(request(7), views(1, 0)) == 1
+
+    def test_distinct_models_spread(self):
+        router = SwitchShardRouter(num_shards=2)
+        shards = views(0, 0)
+        first = router.route(request(1, request_id=0), shards)
+        assert first == 0
+        # Shard 0 carries model 1 now; model 2 lands on shard 1.
+        second = router.route(request(2, request_id=1), views(1, 0))
+        assert second == 1
+
+    def test_reset_forgets_bindings_and_counters(self):
+        router = SwitchShardRouter(num_shards=2)
+        router.route(request(7), views(0, 0))
+        router.reset()
+        assert router.bindings == {}
+        assert router.misses == 0
+
+    def test_shard_count_mismatch_rejected(self):
+        router = SwitchShardRouter(num_shards=2)
+        with pytest.raises(ValueError, match="offered"):
+            router.route(request(0), views(0, 0, 0))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SwitchShardRouter(num_shards=0)
+        with pytest.raises(ValueError):
+            SwitchShardRouter(num_shards=2, spill_factor=-1.0)
+
+    def test_replay_is_deterministic(self):
+        """The same request/view sequence routes identically twice."""
+
+        def run():
+            router = SwitchShardRouter(num_shards=3, spill_factor=0.25)
+            loads = [0, 0, 0]
+            routes = []
+            for i in range(40):
+                shards = views(*loads)
+                target = router.route(request(i % 5, request_id=i), shards)
+                loads[target] += 1
+                routes.append(target)
+            return routes
+
+        assert run() == run()

@@ -238,6 +238,39 @@ class TestParallelFaultDeterminism:
         assert "quarantined" in serial.stats.core_health.values()
         assert_bit_identical(serial, parallel)
 
+    def test_relock_cycle_bit_identical(self):
+        # A drifted core is quarantined, bias-swept, re-probed on the
+        # keyed re-lock substream, and readmitted — the full repair
+        # loop must replay bit-identically: the worker re-bases its
+        # fault replicas from the forwarded residuals, so post-re-lock
+        # batches perturb identically in both modes.
+        from repro.faults import BiasRelockController
+
+        schedule = FaultSchedule(seed=9).mzm_bias_drift(
+            at_s=1e-6, core=2, volts_per_s=3000.0
+        )
+        watchdog = CalibrationWatchdog(
+            interval_s=100e-6, relock=BiasRelockController()
+        )
+        trace = steady_trace(count=80)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            fault_schedule=schedule,
+            watchdog=watchdog,
+        )
+        # The cycle actually ran and the core ended the trace in
+        # service — otherwise this test would pass vacuously.
+        assert serial.stats.quarantines >= 1
+        assert serial.stats.relocks >= 1
+        assert serial.stats.core_health[2] == "healthy"
+        # The probe fires at 100 us and the sweep costs ~18 us, so any
+        # core-2 completion after 120 us happened post-readmission.
+        assert any(
+            r.core == 2 and r.finish_s > 120e-6 for r in serial.records
+        )
+        assert_bit_identical(serial, parallel)
+
     def test_crash_mid_batch_discards_worker_result(self):
         # With one slow core and a crash timed inside its dispatch,
         # the worker's orphaned result must be dropped, the entries

@@ -58,6 +58,7 @@ class TestCLI:
         "fault_injection.py",
         "photonic_signal_processing.py",
         "serving_runtime.py",
+        "sharded_serving.py",
     ],
 )
 def test_example_runs_clean(script):
