@@ -1,0 +1,177 @@
+"""Benchmark: fleet-scale open-loop load campaigns (repro.traffic).
+
+The paper's §9 comparison reports *mean* serve times per platform; this
+benchmark regenerates the serving-systems view: latency-vs-offered-load
+SLO curves for Lightning against the calibrated A100 and P4 fleets,
+under three arrival shapes (smooth Poisson, bursty MMPP, heavy-tailed
+Pareto).  The campaign totals over one million open-loop requests
+through a 4-shard fleet and must complete in O(1) memory — the
+streaming summary keeps a fixed-capacity reservoir plus an exact tail
+tracker, never per-request records.
+
+Acceptance:
+- the >=10^6-request campaign holds the admission accounting invariant
+  (served + shed + dropped == offered) at every point,
+- Lightning's SLO knee sits far beyond the GPUs' in absolute rate,
+- at 2x capacity offered load, queue-depth backpressure beats
+  accept-all on SLO goodput under every arrival shape,
+- both findings land in ``benchmarks/reports/`` as rendered tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import a100_gpu, lightning_chip, p4_gpu
+from repro.traffic import (
+    AcceptAll,
+    AdmissionController,
+    Campaign,
+    FleetSpec,
+    ModelMix,
+    OpenLoopTraffic,
+    QueueBackpressure,
+    fleet_capacity_rps,
+    serve_open_loop,
+)
+from repro.traffic.campaign import default_processes
+
+LOADS = (0.5, 0.8, 1.2, 2.0)
+REQUESTS_PER_POINT = 28_000  # 3 acc x 3 proc x 4 loads -> 1,008,000
+
+
+@pytest.fixture(scope="module")
+def mix() -> ModelMix:
+    return ModelMix.zipf(SIMULATION_MODELS(), exponent=1.2)
+
+
+@pytest.fixture(scope="module")
+def campaign_report(mix):
+    campaign = Campaign(
+        mix=mix,
+        accelerators=[lightning_chip(), a100_gpu(), p4_gpu()],
+        loads=LOADS,
+        requests_per_point=REQUESTS_PER_POINT,
+        seed=21,
+    )
+    return campaign, campaign.run()
+
+
+class TestMillionRequestCampaign:
+    def test_campaign_exceeds_one_million_requests(self, campaign_report):
+        _, result = campaign_report
+        assert sum(p.offered for p in result.points) >= 1_000_000
+
+    def test_every_point_accounts(self, campaign_report):
+        _, result = campaign_report
+        for p in result.points:
+            assert p.served + p.shed + p.dropped == p.offered
+            assert p.p50_s <= p.p99_s <= p.p999_s
+
+    def test_single_million_request_point_is_o1_memory(self, mix):
+        """One 10^6-request serve: the summary must stay at its fixed
+        reservoir capacity (exact counters + top-K tail, no
+        per-request records) while the accounting still closes."""
+        spec = FleetSpec(lightning_chip(), num_shards=4, cores_per_shard=2)
+        cap = fleet_capacity_rps(spec, mix)
+        traffic = OpenLoopTraffic(
+            default_processes()["bursty"](1.2 * cap), mix, seed=21
+        )
+        result = serve_open_loop(
+            traffic,
+            1_000_000,
+            spec,
+            admission=AdmissionController(QueueBackpressure(), seed=21),
+        )
+        result.check_invariant()
+        assert result.offered == 1_000_000
+        assert result.unfinished == 0
+        reservoir = result.summary.reservoir
+        assert reservoir.count == result.served
+        assert len(reservoir) <= reservoir.capacity
+        assert reservoir._tail_coverage() >= 1000  # p999 stays exact
+
+
+class TestSLOCurves:
+    def test_lightning_knee_beyond_gpus(self, campaign_report):
+        """In absolute requests/second, Lightning's capacity — and so
+        the rate at which its SLO knee sits — dwarfs both GPUs'."""
+        _, result = campaign_report
+        cap = {p.accelerator: p.capacity_rps for p in result.points}
+        assert cap["Lightning"] > 5 * cap["A100 GPU"]
+        assert cap["A100 GPU"] > cap["P4 GPU"]
+
+    def test_slo_degrades_past_the_knee(self, campaign_report):
+        _, result = campaign_report
+        for p_low in result.points:
+            if p_low.load != 0.5:
+                continue
+            high = next(
+                p
+                for p in result.points
+                if p.accelerator == p_low.accelerator
+                and p.process == p_low.process
+                and p.load == 2.0
+            )
+            assert high.slo_attainment < p_low.slo_attainment
+
+    def test_report_written(self, campaign_report, report_writer):
+        campaign, result = campaign_report
+        lines = [result.render(), ""]
+        for acc in ("Lightning", "A100 GPU", "P4 GPU"):
+            knee = result.curve(acc, "poisson", "slo_attainment")
+            lines.append(
+                f"{acc}: poisson SLO attainment by load  "
+                + "  ".join(f"{load:.2f}x={v:.1%}" for load, v in knee)
+            )
+        report_writer("traffic_slo_curves", "\n".join(lines))
+
+
+class TestAdmissionAtOverload:
+    def test_backpressure_beats_accept_all_at_2x(self, mix, report_writer):
+        """The headline admission result, regenerated at benchmark
+        scale and written to reports: shedding at the queue watermark
+        preserves SLO goodput that accept-all destroys."""
+        spec = FleetSpec(lightning_chip(), num_shards=4, cores_per_shard=2)
+        cap = fleet_capacity_rps(spec, mix)
+        rows = [
+            f"{'process':<14} {'policy':<13} {'served':>7} {'shed':>7} "
+            f"{'dropped':>7} {'goodput':>12} {'slo%':>6}"
+        ]
+        gains = {}
+        for proc_idx, (name, factory) in enumerate(
+            sorted(default_processes().items())
+        ):
+            goodput = {}
+            for policy_name, policy in (
+                ("accept_all", AcceptAll()),
+                ("backpressure", QueueBackpressure()),
+            ):
+                traffic = OpenLoopTraffic(
+                    factory(2.0 * cap), mix, seed=21, stream=proc_idx
+                )
+                result = serve_open_loop(
+                    traffic,
+                    50_000,
+                    spec,
+                    admission=AdmissionController(
+                        policy, seed=21, stream=proc_idx
+                    ),
+                )
+                result.check_invariant()
+                goodput[policy_name] = result.goodput_rps
+                rows.append(
+                    f"{name:<14} {policy_name:<13} {result.served:>7} "
+                    f"{result.shed:>7} {result.dropped:>7} "
+                    f"{result.goodput_rps:>10.0f}/s "
+                    f"{result.slo_attainment:>5.1%}"
+                )
+            gains[name] = goodput["backpressure"] / goodput["accept_all"]
+            rows.append(
+                f"{name:<14} backpressure/accept-all goodput gain: "
+                f"{gains[name]:.1f}x"
+            )
+        report_writer("traffic_admission_goodput", "\n".join(rows))
+        for name, gain in gains.items():
+            assert gain > 1.5, name

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Live traffic: open-loop arrivals, admission control, overload.
+
+`repro.traffic` closes the serving loop around the calibrated fleet
+model: seeded arrival processes generate request timestamps on the
+virtual clock, an admission controller in front of the fleet decides
+what to let in, and the open-loop engine serves whatever is admitted
+while charging every shed and drop to a single accounting invariant
+(served + shed + dropped == offered).
+
+This demo:
+
+1. builds a bursty, diurnally modulated arrival process (the two
+   compose) over the paper's seven-model zoo with Zipf popularity,
+2. sweeps offered load from half capacity to 2x capacity over a
+   4-shard Lightning fleet, once with accept-all and once with
+   queue-depth backpressure,
+3. shows the overload story: accept-all lets the queues go stale and
+   tail-drops, while backpressure sheds at the watermark and keeps
+   the served requests inside the SLO.
+
+Run:  python examples/live_traffic.py
+"""
+
+from __future__ import annotations
+
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import lightning_chip
+from repro.traffic import (
+    AcceptAll,
+    AdmissionController,
+    DiurnalModulation,
+    FleetSpec,
+    MMPPProcess,
+    ModelMix,
+    OpenLoopTraffic,
+    QueueBackpressure,
+    fleet_capacity_rps,
+    serve_open_loop,
+)
+
+REQUESTS = 20_000
+
+
+def main() -> None:
+    mix = ModelMix.zipf(SIMULATION_MODELS(), exponent=1.2)
+    spec = FleetSpec(
+        lightning_chip(), num_shards=4, cores_per_shard=2
+    )
+    capacity = fleet_capacity_rps(spec, mix)
+    print(
+        f"4x2-core Lightning fleet, zipf(1.2) over {len(mix)} models: "
+        f"capacity {capacity:,.0f} req/s"
+    )
+    print(
+        f"{'load':>5} {'policy':<13} {'served':>7} {'shed':>6} "
+        f"{'dropped':>7} {'goodput':>11} {'slo%':>6} {'p99':>9}"
+    )
+    for load in (0.5, 1.0, 2.0):
+        for name, policy in (
+            ("accept-all", AcceptAll()),
+            ("backpressure", QueueBackpressure()),
+        ):
+            # Bursty on/off arrivals under a slow diurnal envelope —
+            # processes compose, and the same (seed, stream) pair
+            # replays the identical timestamp sequence for both
+            # policies.
+            process = DiurnalModulation(
+                MMPPProcess(load * capacity, on_fraction=0.2),
+                amplitude=0.5,
+                period_s=0.25,
+            )
+            traffic = OpenLoopTraffic(process, mix, seed=7, stream=0)
+            result = serve_open_loop(
+                traffic,
+                REQUESTS,
+                spec,
+                admission=AdmissionController(policy, seed=7),
+            )
+            result.check_invariant()
+            p99 = result.percentiles([99])[0]
+            print(
+                f"{load:>4.1f}x {name:<13} {result.served:>7} "
+                f"{result.shed:>6} {result.dropped:>7} "
+                f"{result.goodput_rps:>9.0f}/s "
+                f"{result.slo_attainment:>5.1%} {p99 * 1e6:>7.0f}us"
+            )
+    print(
+        "\nAt 2x offered load, backpressure sheds early at the queue"
+        "\nwatermark; accept-all serves stale requests and tail-drops"
+        "\nthe rest — same arrivals, opposite goodput."
+    )
+
+
+if __name__ == "__main__":
+    main()

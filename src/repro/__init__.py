@@ -40,6 +40,7 @@ from . import (
     runtime,
     sim,
     synthesis,
+    traffic,
 )
 from .devkit import LightningDevKit
 from .core import (
@@ -73,6 +74,7 @@ __all__ = [
     "runtime",
     "sim",
     "synthesis",
+    "traffic",
     "CountActionUnit",
     "CountActionFabric",
     "SynchronousDataStreamer",

@@ -66,6 +66,7 @@ from .server import InferenceServer
 from .smartnic import LightningSmartNIC, PuntedPacket, ServedRequest
 from .stats import (
     DEFAULT_RESERVOIR_CAPACITY,
+    DEFAULT_TAIL_CAPACITY,
     LatencyReservoir,
     NICCounters,
     ServerStats,
@@ -122,6 +123,7 @@ __all__ = [
     "LatencyReservoir",
     "NICCounters",
     "DEFAULT_RESERVOIR_CAPACITY",
+    "DEFAULT_TAIL_CAPACITY",
     "DatapathTracer",
     "TraceEvent",
 ]

@@ -15,12 +15,14 @@ run.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = [
     "DEFAULT_RESERVOIR_CAPACITY",
+    "DEFAULT_TAIL_CAPACITY",
     "LatencyReservoir",
     "NICCounters",
     "ServerStats",
@@ -31,6 +33,14 @@ __all__ = [
 #: 0.16 percentile points (sqrt(0.99*0.01/4096)), far below operator
 #: noise, while capping memory at a few tens of kilobytes per server.
 DEFAULT_RESERVOIR_CAPACITY = 4096
+
+#: Default number of largest values tracked exactly for tail quantiles.
+#: A uniform reservoir is hopeless at p999 (a 4096-sample reservoir holds
+#: ~4 values above the 99.9th percentile), so the reservoir additionally
+#: keeps the top ``DEFAULT_TAIL_CAPACITY`` values verbatim: p999 over a
+#: million-request stream needs the largest 1000 values, which 1024
+#: covers exactly — fleet SLO curves never need record retention.
+DEFAULT_TAIL_CAPACITY = 1024
 
 
 class LatencyReservoir:
@@ -46,25 +56,56 @@ class LatencyReservoir:
 
     The running count and sum are exact, so :attr:`mean` is exact even
     when the reservoir has started subsampling.
+
+    Alongside the uniform sample, the reservoir tracks the largest
+    ``tail_capacity`` values exactly (a min-heap updated in O(log k)).
+    Tail percentiles whose rank falls inside that tracked tail — p999
+    over up to ``1000 x tail_capacity`` values — are computed *exactly*
+    from the retained order statistics instead of estimated from the
+    subsample, which is what makes p999 SLO curves meaningful without
+    per-request record retention.
     """
 
     def __init__(
         self,
         capacity: int = DEFAULT_RESERVOIR_CAPACITY,
         seed: int = 0,
+        tail_capacity: int = DEFAULT_TAIL_CAPACITY,
     ) -> None:
         if capacity < 1:
             raise ValueError("reservoir capacity must be at least 1")
+        if tail_capacity < 0:
+            raise ValueError("tail capacity cannot be negative")
         self.capacity = capacity
+        self.tail_capacity = tail_capacity
         self._samples: list[float] = []
         self._count = 0
         self._total = 0.0
         self._rng = np.random.default_rng(seed)
+        #: Min-heap of the largest values observed so far.
+        self._tail: list[float] = []
+        #: Guaranteed number of exact top order statistics in ``_tail``;
+        #: ``None`` means "never merged": the heap provably holds the
+        #: top ``min(count, tail_capacity)``.  A merge can only vouch
+        #: for the smaller of the two sides' guarantees, so the bound
+        #: becomes explicit (and sticky) afterwards.
+        self._tail_exact: int | None = None
+
+    def _tail_coverage(self) -> int:
+        """How many of the stream's largest values are held exactly."""
+        if self._tail_exact is not None:
+            return self._tail_exact
+        return min(self._count, self.tail_capacity)
 
     def add(self, value: float) -> None:
         """Observe one value, retaining it with reservoir probability."""
         self._count += 1
         self._total += value
+        if self.tail_capacity:
+            if len(self._tail) < self.tail_capacity:
+                heapq.heappush(self._tail, value)
+            elif value > self._tail[0]:
+                heapq.heapreplace(self._tail, value)
         if len(self._samples) < self.capacity:
             self._samples.append(value)
             return
@@ -91,16 +132,61 @@ class LatencyReservoir:
         """One percentile estimate from the retained sample."""
         return self.percentiles([q])[0]
 
+    def _tail_percentile(self, q: float) -> float | None:
+        """Exact percentile from the tracked tail, or ``None``.
+
+        Follows numpy's linear-interpolation convention over the full
+        conceptual stream of ``count`` values: the percentile at ``q``
+        interpolates the order statistics at positions ``floor(h)`` and
+        ``ceil(h)`` with ``h = (count - 1) * q / 100``.  When both
+        positions fall inside the exactly-tracked top of the stream the
+        interpolated value is exact, not an estimate.
+        """
+        coverage = self._tail_coverage()
+        if coverage <= 1:
+            return None
+        # Same operation order as np.percentile (q -> quantile first),
+        # so exact answers match a full-stream np.percentile bit for bit.
+        h = (q / 100.0) * (self._count - 1)
+        lo = int(np.floor(h))
+        # Index of ``lo`` counted from the stream maximum (0 = max).
+        from_top = self._count - 1 - lo
+        if from_top >= coverage:
+            return None
+        ordered = sorted(self._tail, reverse=True)
+        v_lo = ordered[from_top]
+        v_hi = ordered[from_top - 1] if from_top > 0 else v_lo
+        # numpy's _lerp: interpolate from the nearer end for accuracy,
+        # so tail-exact answers match np.percentile over the full
+        # stream bit for bit.
+        t = h - lo
+        if t >= 0.5:
+            return float(v_hi - (v_hi - v_lo) * (1.0 - t))
+        return float(v_lo + (v_hi - v_lo) * t)
+
     def percentiles(self, qs: list[float]) -> list[float]:
         """Several percentiles from one pass over the retained sample.
 
         A single :func:`numpy.percentile` call sorts the reservoir once
-        for all requested quantiles.
+        for all requested quantiles.  Once the stream outgrows the
+        uniform sample, any quantile whose rank lands inside the
+        exactly-tracked tail (p999 and beyond on long streams) is
+        answered from the tail's order statistics instead — exact where
+        the subsample would be noisiest.
         """
         if not self._samples:
             raise ValueError("no samples observed yet")
-        values = np.percentile(self._samples, qs)
-        return [float(v) for v in np.atleast_1d(values)]
+        if self._count == len(self._samples):
+            # Nothing was subsampled: the reservoir is the stream.
+            values = np.percentile(self._samples, qs)
+            return [float(v) for v in np.atleast_1d(values)]
+        out: list[float | None] = [self._tail_percentile(q) for q in qs]
+        estimated = [q for q, v in zip(qs, out) if v is None]
+        if estimated:
+            values = np.atleast_1d(np.percentile(self._samples, estimated))
+            it = iter(float(v) for v in values)
+            out = [v if v is not None else next(it) for v in out]
+        return [float(v) for v in out]
 
     def merge(self, other: "LatencyReservoir") -> None:
         """Fold another reservoir into this one in place.
@@ -115,9 +201,32 @@ class LatencyReservoir:
         draw uses this reservoir's own RNG, so merging is deterministic
         for a fixed construction/merge order (as in cross-shard
         aggregation, where shard order is fixed).
+
+        Exact tails merge exactly: the union's top-k values are each in
+        their own side's top-k, so keeping the largest ``tail_capacity``
+        of the two tails preserves exactness up to the smaller side's
+        guarantee — p999 merged across shards is still exact while every
+        shard's tracked tail covers its own top 0.1%.
         """
         if other._count == 0:
             return
+        if self.tail_capacity:
+            merged_tail = heapq.nlargest(
+                self.tail_capacity, self._tail + other._tail
+            )
+            # A side constrains the union only once it has discarded
+            # values (saturated tail) or carries an explicit bound from
+            # an earlier merge; a fully-retained side vouches for all
+            # of its own values.
+            bounds = [self.tail_capacity]
+            for side in (self, other):
+                if side._tail_exact is not None:
+                    bounds.append(side._tail_exact)
+                elif side._count > side.tail_capacity:
+                    bounds.append(side.tail_capacity)
+            self._tail_exact = min(bounds)
+            heapq.heapify(merged_tail)
+            self._tail = merged_tail
         combined = self._samples + other._samples
         if self._count == 0 or len(combined) <= self.capacity:
             self._samples = combined
@@ -272,9 +381,12 @@ class ServerStats:
             "relocks": self.relocks,
         }
         if len(self._latencies):
-            p50, p95, p99 = self._latencies.percentiles([50, 95, 99])
+            p50, p95, p99, p999 = self._latencies.percentiles(
+                [50, 95, 99, 99.9]
+            )
             out["p50_us"] = p50 * 1e6
             out["p95_us"] = p95 * 1e6
             out["p99_us"] = p99 * 1e6
+            out["p999_us"] = p999 * 1e6
             out["mean_us"] = self.mean_latency_s * 1e6
         return out

@@ -105,6 +105,12 @@ class FabricResult:
     total_cores: int
     #: Global core index of each shard's core 0.
     core_offsets: tuple[int, ...]
+    #: Requests rejected by admission control before routing (the
+    #: open-loop gateway path; 0 for closed-loop ``serve_trace``).
+    shed: int = 0
+    #: Served requests an idle shard pulled off a backlogged shard's
+    #: projected queue (a subset of ``served``, not a separate fate).
+    stolen: int = 0
 
     def _shards(self) -> tuple[ClusterResult, ...]:
         return tuple(r for r in self.shard_results if r is not None)
@@ -159,9 +165,13 @@ class FabricResult:
 
     def accounted(self) -> bool:
         """The global invariant: every offered request landed in
-        exactly one of served/dropped/failed/unfinished."""
+        exactly one of served/dropped/failed/unfinished/shed."""
         return (
-            self.served + self.dropped + self.failed + self.unfinished
+            self.served
+            + self.dropped
+            + self.failed
+            + self.unfinished
+            + self.shed
             == self.offered
         )
 
@@ -308,9 +318,6 @@ class Fabric:
             raise ValueError("cannot serve an empty trace")
         self.router.reset()
         routed_counts = [0] * self.num_shards
-        sub_traces: list[list[RuntimeRequest]] = [
-            [] for _ in range(self.num_shards)
-        ]
         routed: list[int] = []
         for request in trace:
             views = tuple(
@@ -333,8 +340,66 @@ class Fabric:
                     f"{self.num_shards} shards"
                 )
             routed_counts[target] += 1
-            sub_traces[target].append(request)
             routed.append(target)
+        return self.serve_routed(
+            trace,
+            routed,
+            fault_schedule=fault_schedule,
+            watchdog=watchdog,
+            retry_policy=retry_policy,
+            slo_s=slo_s,
+            timeout_s=timeout_s,
+        )
+
+    def serve_routed(
+        self,
+        trace: Sequence[RuntimeRequest],
+        routed: Sequence[int],
+        *,
+        fault_schedule: FaultSchedule | None = None,
+        watchdog: CalibrationWatchdog | None = None,
+        retry_policy: RetryPolicy | None = None,
+        slo_s: float | None = None,
+        timeout_s: float | None = None,
+        offered: int | None = None,
+        shed: int = 0,
+        stolen: int = 0,
+    ) -> FabricResult:
+        """Serve a trace whose shard placement is already decided.
+
+        The execution half of :meth:`serve_trace`, exposed so admission
+        gateways (``repro.traffic``) can route with richer state —
+        live queue-depth views, work stealing, shed requests — and
+        still reuse the fabric's fault splitting, shard serving, and
+        stats merging verbatim.  ``offered``/``shed``/``stolen`` carry
+        the gateway's accounting: ``offered`` defaults to
+        ``len(trace)`` and must equal ``len(trace) + shed`` when sheds
+        occurred upstream.
+        """
+        if len(trace) != len(routed):
+            raise ValueError(
+                f"{len(trace)} requests but {len(routed)} placements"
+            )
+        if not trace:
+            raise ValueError("cannot serve an empty trace")
+        if offered is None:
+            offered = len(trace) + shed
+        if offered != len(trace) + shed:
+            raise ValueError(
+                f"offered={offered} inconsistent with "
+                f"{len(trace)} admitted + {shed} shed"
+            )
+        sub_traces: list[list[RuntimeRequest]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for request, target in zip(trace, routed):
+            if not 0 <= target < self.num_shards:
+                raise ValueError(
+                    f"placement {target} for request "
+                    f"{request.request_id} out of range; fabric has "
+                    f"{self.num_shards} shards"
+                )
+            sub_traces[target].append(request)
 
         schedules: Sequence[FaultSchedule | None] = (
             self._split_schedule(fault_schedule)
@@ -368,7 +433,9 @@ class Fabric:
             shard_results=tuple(results),
             routed=tuple(routed),
             stats=merged,
-            offered=len(trace),
+            offered=offered,
             total_cores=self._total_cores,
             core_offsets=self._core_offsets,
+            shed=shed,
+            stolen=stolen,
         )

@@ -58,6 +58,13 @@ class ShardView:
     macs_per_step: int
     #: Requests already routed to this shard this trace.
     routed: int
+    #: Requests sitting in this shard's admission queue right now
+    #: (0 on the closed-loop ``serve_trace`` path, where routing is a
+    #: pre-pass with no live clock; populated by the open-loop path so
+    #: admission policies can observe backpressure).
+    queued: int = 0
+    #: Capacity of that queue (0 when unknown/not applicable).
+    queue_capacity: int = 0
 
     @property
     def capacity(self) -> int:
@@ -68,6 +75,13 @@ class ShardView:
     def normalized_load(self) -> float:
         """Routed work per unit of capacity — the balancing key."""
         return self.routed / self.capacity
+
+    @property
+    def queue_occupancy(self) -> float:
+        """Queue fill fraction (0 when the queue capacity is unknown)."""
+        if self.queue_capacity <= 0:
+            return 0.0
+        return self.queued / self.queue_capacity
 
 
 @runtime_checkable

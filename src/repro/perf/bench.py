@@ -29,6 +29,14 @@ trajectory is tracked PR over PR:
   makespans (one shard's horizon over four shards'), so it measures
   the control plane's scaling — how well the shard router spreads the
   load — and is exactly reproducible on any host.
+* **Traffic** (``BENCH_traffic.json``) — open-loop Poisson campaigns
+  through the :mod:`~repro.traffic` fleet engine at three offered
+  loads (0.8x, 2x, 3x capacity), each served under accept-all and
+  queue-backpressure admission.  Reports SLO goodput and p99 per
+  (load, policy), engine wall-clock throughput, and process peak RSS.
+  The gated ``backpressure_goodput_gain_2x`` — backpressure goodput
+  over accept-all goodput at 2x overload — runs on the virtual clock,
+  so it is bit-identical on every host.
 
 Run from a checkout::
 
@@ -70,6 +78,7 @@ __all__ = [
     "bench_cluster",
     "bench_parallel",
     "bench_fabric",
+    "bench_traffic",
     "write_report",
     "check_regression",
     "main",
@@ -88,6 +97,8 @@ GATED_METRICS = {
     "BENCH_parallel": ["parallel_speedup_4c"],
     # Virtual-clock makespan ratio: machine-independent by design.
     "BENCH_fabric": ["fabric_speedup_4s"],
+    # Virtual-clock goodput ratio at 2x overload: machine-independent.
+    "BENCH_traffic": ["backpressure_goodput_gain_2x"],
 }
 
 
@@ -493,6 +504,124 @@ def bench_fabric(
     return report
 
 
+def bench_traffic(
+    requests: int = 100_000,
+    loads: tuple[float, ...] = (0.8, 2.0, 3.0),
+    seed: int = 0,
+) -> dict:
+    """Open-loop fleet campaigns: goodput and p99 per (load, policy).
+
+    A 4-shard, 8-core Lightning fleet serves ``requests`` Poisson
+    arrivals per point over the Zipf-skewed §9 model mix, once behind
+    accept-all and once behind queue backpressure.  Everything runs on
+    the virtual clock from keyed substreams, so every number except the
+    wall-clock throughput and RSS is bit-identical across hosts; the
+    gated ``backpressure_goodput_gain_2x`` ratio (shedding early vs
+    queueing everything, at 2x capacity) is therefore gated at the
+    standard threshold with zero measurement noise.
+
+    Peak RSS comes from ``getrusage`` and is a *process-wide*
+    high-water mark — meaningful in CI, where this benchmark runs in
+    its own process; the interesting signal is that it stays flat as
+    ``requests`` grows (the O(1)-memory streaming path).
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    import resource
+
+    from ..dnn import SIMULATION_MODELS
+    from ..sim.accelerators import lightning_chip
+    from ..traffic import (
+        AcceptAll,
+        AdmissionController,
+        FleetSpec,
+        ModelMix,
+        OpenLoopTraffic,
+        PoissonProcess,
+        QueueBackpressure,
+        fleet_capacity_rps,
+        serve_open_loop,
+    )
+
+    mix = ModelMix.zipf(SIMULATION_MODELS(), exponent=1.2)
+    spec = FleetSpec(
+        lightning_chip(), num_shards=4, cores_per_shard=2
+    )
+    capacity = fleet_capacity_rps(spec, mix)
+    policies = {
+        "accept_all": AcceptAll,
+        "backpressure": QueueBackpressure,
+    }
+    points: list[dict] = []
+    goodputs: dict[tuple[float, str], float] = {}
+    wall_total = 0.0
+    for load_index, load in enumerate(loads):
+        for policy_name, policy_factory in policies.items():
+            stream = (load_index,)
+            traffic = OpenLoopTraffic(
+                PoissonProcess(load * capacity),
+                mix,
+                seed=seed,
+                stream=stream,
+            )
+            admission = AdmissionController(
+                policy_factory(), seed=seed, stream=stream
+            )
+            start = time.perf_counter()
+            result = serve_open_loop(
+                traffic, requests, spec, admission=admission
+            )
+            wall = time.perf_counter() - start
+            wall_total += wall
+            result.check_invariant()
+            p50, p99 = result.percentiles([50, 99])
+            goodputs[(load, policy_name)] = result.goodput_rps
+            points.append(
+                {
+                    "load": load,
+                    "policy": policy_name,
+                    "offered": result.offered,
+                    "served": result.served,
+                    "shed": result.shed,
+                    "dropped": result.dropped,
+                    "stolen": result.stolen,
+                    "goodput_rps": result.goodput_rps,
+                    "slo_attainment": result.slo_attainment,
+                    "p50_s": p50,
+                    "p99_s": p99,
+                    "wall_s": wall,
+                }
+            )
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report = {
+        "benchmark": "traffic",
+        "requests": requests,
+        "loads": list(loads),
+        "seed": seed,
+        "capacity_rps": capacity,
+        "num_shards": spec.num_shards,
+        "cores_per_shard": spec.cores_per_shard,
+        "queue_capacity": spec.queue_capacity,
+        "points": points,
+        "engine_requests_per_wall_s": (
+            len(points) * requests / wall_total
+        ),
+        "wall_s": wall_total,
+        # ru_maxrss is KB on Linux; the flat-with-requests property is
+        # the O(1)-memory claim this report tracks.
+        "peak_rss_mb": rss_kb / 1024.0,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    if (2.0, "accept_all") in goodputs:
+        accept_2x = goodputs[(2.0, "accept_all")]
+        if accept_2x > 0:
+            report["backpressure_goodput_gain_2x"] = (
+                goodputs[(2.0, "backpressure")] / accept_2x
+            )
+    return report
+
+
 def write_report(result: dict, path: pathlib.Path | str) -> pathlib.Path:
     """Write one benchmark result as pretty-printed JSON."""
     path = pathlib.Path(path)
@@ -557,6 +686,10 @@ def main(argv: list[str] | None = None) -> int:
         "--fabric-requests", type=int, default=96,
         help="fabric shard-scaling benchmark request count",
     )
+    parser.add_argument(
+        "--traffic-requests", type=int, default=100_000,
+        help="open-loop traffic benchmark request count (per point)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--check",
@@ -578,6 +711,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "BENCH_fabric": bench_fabric(
             requests=args.fabric_requests, seed=args.seed
+        ),
+        "BENCH_traffic": bench_traffic(
+            requests=args.traffic_requests, seed=args.seed
         ),
     }
     failures: list[str] = []
@@ -631,6 +767,22 @@ def main(argv: list[str] | None = None) -> int:
         "fabric: virtual-clock makespans {curve}; gated speedup_4s "
         "{speedup:.2f}x".format(
             curve=fabric_curve, speedup=fabric["fabric_speedup_4s"]
+        )
+    )
+    traffic = reports["BENCH_traffic"]
+    traffic_curve = ", ".join(
+        "{load}x/{policy} {goodput_rps:.0f}/s".format(**row)
+        for row in traffic["points"]
+    )
+    print(
+        "traffic: goodput {curve}; engine {rps:.0f} req/wall-s, "
+        "peak RSS {rss:.0f} MB; gated goodput_gain_2x {gain:.2f}x".format(
+            curve=traffic_curve,
+            rps=traffic["engine_requests_per_wall_s"],
+            rss=traffic["peak_rss_mb"],
+            gain=traffic.get(
+                "backpressure_goodput_gain_2x", float("nan")
+            ),
         )
     )
     if failures:

@@ -1,0 +1,237 @@
+"""Admission control in front of the serving fabric.
+
+An open-loop workload does not stop offering requests when the fleet
+saturates — something must decide, request by request, whether to admit
+or shed.  Admission is the *first* line of defense, ahead of the shard
+router and the per-model queues: a shed request costs nothing
+downstream, while an admitted-then-dropped request has already crossed
+the NIC.  Sheds are charged to the global accounting invariant
+(``served + dropped + failed + unfinished == offered``) as admission
+drops, never lost silently.
+
+Three policies cover the design space:
+
+* :class:`AcceptAll` — the §9 baseline: infinite-buffer optimism.
+  Under overload the queues fill, every admitted request pays the full
+  queue delay, and goodput (SLO-compliant completions) collapses.
+* :class:`TokenBucket` — open-loop rate limiting: admit while tokens
+  last, refilled at a configured rate with a burst allowance.  Shields
+  the fleet from sustained overload but is blind to what the fleet is
+  actually doing.
+* :class:`QueueBackpressure` — closed-loop shedding from observed
+  shard queue depths (:class:`~repro.fabric.router.ShardView`): admit
+  below the low watermark, shed above the high watermark, and shed
+  probabilistically in between (RED-style), with the tie-break drawn
+  from a keyed substream so runs stay bit-reproducible.
+
+:class:`AdmissionController` wraps a policy with offered/admitted/shed
+accounting and owns the tie-break substream
+(:data:`~repro.traffic.arrivals.ADMIT_RNG_DOMAIN`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..fabric.router import ShardView
+from .arrivals import ADMIT_RNG_DOMAIN, substream
+
+__all__ = [
+    "AdmissionPolicy",
+    "AcceptAll",
+    "TokenBucket",
+    "QueueBackpressure",
+    "AdmissionController",
+]
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """One admit/shed decision per offered request."""
+
+    def admit(
+        self,
+        now_s: float,
+        shards: Sequence[ShardView],
+        rng: np.random.Generator,
+    ) -> bool:
+        """Admit (True) or shed (False) the request arriving now."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a new trace."""
+        ...
+
+
+class AcceptAll:
+    """Admit everything; overload lands on the queues (the baseline)."""
+
+    #: Controllers skip view construction entirely for this policy —
+    #: the hot path of a million-request accept-all campaign.
+    unconditional = True
+
+    def admit(self, now_s, shards, rng) -> bool:
+        return True
+
+    def reset(self) -> None:
+        pass
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiting (open-loop).
+
+    ``rate_rps`` tokens per second accrue up to ``burst`` tokens; each
+    admitted request spends one.  Deterministic — no tie-break draws.
+    """
+
+    unconditional = False
+
+    def __init__(self, rate_rps: float, burst: float = 32.0) -> None:
+        if rate_rps <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate_rps = rate_rps
+        self.burst = float(burst)
+        self.reset()
+
+    def reset(self) -> None:
+        self._tokens = self.burst
+        self._last_s = 0.0
+
+    def admit(self, now_s, shards, rng) -> bool:
+        if now_s > self._last_s:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now_s - self._last_s) * self.rate_rps,
+            )
+            self._last_s = now_s
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class QueueBackpressure:
+    """Shed-on-overload from observed shard queue occupancy.
+
+    Occupancy is total queued over total queue capacity across the
+    shard views.  Below ``low`` everything is admitted; above ``high``
+    everything is shed; in between the shed probability ramps linearly
+    (RED-style early dropping), with the coin flip drawn from the
+    controller's keyed substream — the "admission tie-break" stream, so
+    identical campaigns make identical coin flips.
+
+    At a sustained overload factor ``L`` the queue settles where the
+    shed probability balances the excess, i.e. occupancy near ``low +
+    (1 - 1/L) * (high - low)``, and every served request then waits
+    roughly ``occupancy x total_queue_slots / total_cores`` mean
+    services.  The watermarks must therefore be *tight* relative to
+    the SLO — the defaults hold the steady-state backlog near a
+    quarter of the (already SLO-sized) fleet queue, which keeps queue
+    delay inside a 5x-service SLO; queues half full are already
+    multiple SLOs deep.
+    """
+
+    unconditional = False
+
+    def __init__(self, low: float = 0.05, high: float = 0.25) -> None:
+        if not 0.0 <= low < high <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1"
+            )
+        self.low = low
+        self.high = high
+
+    def reset(self) -> None:
+        pass
+
+    def occupancy(self, shards: Sequence[ShardView]) -> float:
+        """Fleet-wide queue occupancy from the shard views."""
+        capacity = sum(v.queue_capacity for v in shards)
+        if capacity <= 0:
+            return 0.0
+        return sum(v.queued for v in shards) / capacity
+
+    def admit_occupancy(
+        self, occupancy: float, rng: np.random.Generator
+    ) -> bool:
+        """The decision given a precomputed occupancy (fast path —
+        the fleet engine maintains running depth counters and skips
+        building views)."""
+        if occupancy < self.low:
+            return True
+        if occupancy >= self.high:
+            return False
+        shed_p = (occupancy - self.low) / (self.high - self.low)
+        return float(rng.random()) >= shed_p
+
+    def admit(self, now_s, shards, rng) -> bool:
+        return self.admit_occupancy(self.occupancy(shards), rng)
+
+
+@dataclass
+class AdmissionController:
+    """A policy plus accounting plus the tie-break substream.
+
+    One controller fronts one serve: :meth:`reset` rewinds both the
+    counters and the keyed tie-break stream, so replaying the same
+    trace through the same controller reproduces every decision.
+    """
+
+    policy: AdmissionPolicy
+    seed: int = 0
+    stream: int | tuple[int, ...] = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stream, tuple):
+            self.stream = (self.stream,)
+        self.reset()
+
+    def reset(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self._rng = substream(self.seed, ADMIT_RNG_DOMAIN, *self.stream)
+        self.policy.reset()
+
+    @property
+    def unconditional(self) -> bool:
+        """True when the policy never sheds (skip view construction)."""
+        return getattr(self.policy, "unconditional", False)
+
+    def admit(
+        self, now_s: float, shards: Sequence[ShardView]
+    ) -> bool:
+        """Account and delegate one admit/shed decision."""
+        self.offered += 1
+        ok = self.policy.admit(now_s, shards, self._rng)
+        if ok:
+            self.admitted += 1
+        else:
+            self.shed += 1
+        return ok
+
+    def admit_occupancy(self, now_s: float, occupancy: float) -> bool:
+        """Fast-path decision from a precomputed queue occupancy.
+
+        Policies that only need occupancy (backpressure) skip view
+        construction; policies that only need the clock (token bucket)
+        get ``now_s`` with an empty view tuple.
+        """
+        self.offered += 1
+        policy = self.policy
+        if getattr(policy, "unconditional", False):
+            ok = True
+        elif hasattr(policy, "admit_occupancy"):
+            ok = policy.admit_occupancy(occupancy, self._rng)
+        else:
+            ok = policy.admit(now_s, (), self._rng)
+        if ok:
+            self.admitted += 1
+        else:
+            self.shed += 1
+        return ok

@@ -1,0 +1,354 @@
+"""Open-loop arrival processes on the virtual clock.
+
+The §10 evaluation offers inference requests to a *running* fleet:
+requests keep arriving while earlier ones serve, so queueing, overload,
+and tail latency emerge from the arrival process instead of being baked
+into a pre-materialized trace.  This module provides the seeded point
+processes that drive those campaigns:
+
+* :class:`PoissonProcess` — memoryless arrivals (CV = 1), the §9
+  baseline;
+* :class:`MMPPProcess` — a two-state on/off Markov-modulated Poisson
+  process: exponential on/off dwells with arrivals only while on,
+  producing bursty traffic (CV > 1) at the same mean rate;
+* :class:`ParetoProcess` — heavy-tailed Pareto inter-arrivals
+  (``alpha <= 2`` has infinite variance), the flash-crowd regime;
+* :class:`DiurnalModulation` — a sinusoidal rate envelope applied to
+  *any* base process by time rescaling, so "diurnal × bursty" is
+  literally ``DiurnalModulation(MMPPProcess(...))``.
+
+Every process is an immutable spec; randomness enters only through the
+:class:`numpy.random.Generator` handed to :meth:`ArrivalProcess.sampler`.
+Campaign code derives that generator from a keyed Philox substream
+(:func:`substream`, the same idiom the runtime uses for readout noise),
+so the arrival stream, the model-mix stream, and admission tie-breaks
+are independent: consuming more of one never shifts the others, and a
+fixed seed reproduces a campaign bit for bit.
+
+Samplers are *continuations*: each :meth:`ArrivalSampler.take` call
+returns the next ``n`` arrival times, strictly increasing across calls,
+so a million-request campaign can stream chunk by chunk in O(chunk)
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_RNG_DOMAIN",
+    "MIX_RNG_DOMAIN",
+    "ADMIT_RNG_DOMAIN",
+    "LEVELS_RNG_DOMAIN",
+    "substream",
+    "ArrivalSampler",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPPProcess",
+    "ParetoProcess",
+    "DiurnalModulation",
+]
+
+#: Domain separators for the traffic subsystem's keyed substreams,
+#: following the runtime's Philox keying idiom (``repro.runtime.cluster``
+#: uses 0xB0/0xA5/0x9C for batch/probe/re-lock noise).  Every draw a
+#: campaign makes comes from ``Philox(seed, DOMAIN, *stream_key)``, so
+#: the arrival process, the model mix, the admission tie-breaks, and the
+#: query payloads are four independent streams per campaign point.
+ARRIVAL_RNG_DOMAIN = 0x0A11
+MIX_RNG_DOMAIN = 0x313C
+ADMIT_RNG_DOMAIN = 0xAD00
+LEVELS_RNG_DOMAIN = 0x1E7E
+
+
+def substream(seed: int, domain: int, *key: int) -> np.random.Generator:
+    """A keyed Philox substream, independent per ``(domain, key)``.
+
+    ``SeedSequence`` mixes the base seed with the domain separator and
+    the stream key, so distinct domains (and distinct campaign points)
+    draw from decorrelated streams even under the same base seed.
+    """
+    return np.random.Generator(
+        np.random.Philox(np.random.SeedSequence((seed, domain, *key)))
+    )
+
+
+@runtime_checkable
+class ArrivalSampler(Protocol):
+    """A stateful continuation over one arrival stream."""
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` arrival times (seconds, strictly increasing
+        across calls)."""
+        ...
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """An immutable arrival-process spec."""
+
+    #: Nominal mean arrival rate (requests per second).
+    rate: float
+
+    def sampler(self, rng: np.random.Generator) -> ArrivalSampler:
+        """A fresh continuation drawing from ``rng``."""
+        ...
+
+
+def _positive_rate(rate: float) -> None:
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+
+
+class _GapSampler:
+    """Continuation for renewal processes defined by i.i.d. gaps."""
+
+    def __init__(self, draw_gaps, rng: np.random.Generator) -> None:
+        self._draw_gaps = draw_gaps
+        self._rng = rng
+        self._now = 0.0
+
+    def take(self, n: int) -> np.ndarray:
+        if n < 1:
+            raise ValueError("must take at least one arrival")
+        # Prepending the carried time keeps the accumulation strictly
+        # sequential, so chunked takes are bit-identical to one big
+        # take no matter where the chunk boundaries fall.
+        gaps = self._draw_gaps(self._rng, n)
+        times = np.cumsum(np.concatenate(([self._now], gaps)))[1:]
+        self._now = float(times[-1])
+        return times
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Memoryless arrivals: exponential inter-arrival gaps (CV = 1)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _positive_rate(self.rate)
+
+    def sampler(self, rng: np.random.Generator) -> ArrivalSampler:
+        scale = 1.0 / self.rate
+        return _GapSampler(
+            lambda r, n: r.exponential(scale, size=n), rng
+        )
+
+
+@dataclass(frozen=True)
+class ParetoProcess:
+    """Heavy-tailed Pareto inter-arrival gaps at a given mean rate.
+
+    Gaps follow a classical Pareto with shape ``alpha`` and the scale
+    chosen so the mean gap is ``1/rate`` (``alpha`` must exceed 1 for
+    the mean to exist).  ``alpha <= 2`` gives infinite gap variance —
+    the empirical CV grows with the trace and sits well above 1, the
+    signature of flash-crowd traffic.
+    """
+
+    rate: float
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        _positive_rate(self.rate)
+        if self.alpha <= 1.0:
+            raise ValueError(
+                "Pareto shape must exceed 1 for a finite mean rate"
+            )
+
+    def sampler(self, rng: np.random.Generator) -> ArrivalSampler:
+        # numpy's pareto draws Lomax (Pareto II shifted to 0); adding 1
+        # recovers classical Pareto with minimum 1, then the scale sets
+        # the mean gap to 1/rate: E[gap] = scale * alpha / (alpha - 1).
+        scale = (self.alpha - 1.0) / (self.alpha * self.rate)
+        alpha = self.alpha
+        return _GapSampler(
+            lambda r, n: scale * (1.0 + r.pareto(alpha, size=n)), rng
+        )
+
+
+@dataclass(frozen=True)
+class MMPPProcess:
+    """Two-state on/off MMPP: bursts of Poisson arrivals, then silence.
+
+    The modulating chain alternates exponential ON dwells (mean sized so
+    a burst carries ``burst_len`` arrivals on average) and OFF dwells
+    (mean set by ``on_fraction``).  While ON, arrivals are Poisson at
+    ``rate / on_fraction``; while OFF there are none — so the
+    *long-run* mean rate is exactly ``rate``, but arrivals clump into
+    bursts and the inter-arrival CV exceeds 1 (approaching
+    ``sqrt(2 * burst_len * (1 - on_fraction) + 1)`` for long off
+    periods).
+    """
+
+    rate: float
+    on_fraction: float = 0.2
+    burst_len: float = 64.0
+
+    def __post_init__(self) -> None:
+        _positive_rate(self.rate)
+        if not 0.0 < self.on_fraction <= 1.0:
+            raise ValueError("on fraction must be in (0, 1]")
+        if self.burst_len <= 0:
+            raise ValueError("mean burst length must be positive")
+
+    @property
+    def on_rate(self) -> float:
+        """Arrival rate while the chain is ON."""
+        return self.rate / self.on_fraction
+
+    @property
+    def mean_on_s(self) -> float:
+        """Mean ON dwell (sized to ``burst_len`` arrivals per burst)."""
+        return self.burst_len / self.on_rate
+
+    @property
+    def mean_off_s(self) -> float:
+        """Mean OFF dwell (sized so ON occupies ``on_fraction``)."""
+        return (
+            self.mean_on_s * (1.0 - self.on_fraction) / self.on_fraction
+        )
+
+    def sampler(self, rng: np.random.Generator) -> ArrivalSampler:
+        return _MMPPSampler(self, rng)
+
+
+class _MMPPSampler:
+    """Continuation for the on/off MMPP."""
+
+    def __init__(self, process: MMPPProcess, rng) -> None:
+        self._p = process
+        self._rng = rng
+        self._now = 0.0
+        #: Arrivals drawn in the current burst but not yet taken.
+        self._pending: list[float] = []
+
+    def _next_burst(self) -> None:
+        """Advance one off-dwell and materialize one burst's arrivals."""
+        p, rng = self._p, self._rng
+        scale = 1.0 / p.on_rate
+        chunk = max(8, int(2 * p.burst_len))
+        while True:
+            on_end = self._now + rng.exponential(p.mean_on_s)
+            times: list[float] = []
+            t = self._now
+            # Memoryless arrivals within the dwell; chunked cumsums keep
+            # this O(burst) without a per-arrival Python loop.  The
+            # partial gap at the dwell boundary is discarded — the
+            # exponential is memoryless, so restarting at the next ON
+            # dwell leaves the within-burst process exactly Poisson.
+            while True:
+                arrivals = t + np.cumsum(
+                    rng.exponential(scale, size=chunk)
+                )
+                cut = int(np.searchsorted(arrivals, on_end))
+                times.extend(arrivals[:cut].tolist())
+                if cut < chunk:
+                    break
+                t = float(arrivals[-1])
+            self._now = on_end
+            if p.on_fraction < 1.0:
+                self._now += self._rng.exponential(p.mean_off_s)
+            if times:
+                self._pending = times
+                return
+
+    def take(self, n: int) -> np.ndarray:
+        if n < 1:
+            raise ValueError("must take at least one arrival")
+        out: list[float] = []
+        while len(out) < n:
+            if not self._pending:
+                self._next_burst()
+            need = n - len(out)
+            out.extend(self._pending[:need])
+            del self._pending[:need]
+        return np.asarray(out, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DiurnalModulation:
+    """A sinusoidal rate envelope over any base process.
+
+    Applies the deterministic relative rate ``r(t) = 1 + amplitude *
+    sin(2*pi*t/period + phase)`` to ``base`` by time rescaling: the base
+    process runs in operational time ``tau`` and each arrival maps
+    through the inverse of the integrated envelope ``Lambda(t) =
+    integral of r``.  The long-run mean rate is unchanged (``r``
+    averages 1 over a period); instantaneously the process speeds up at
+    the peak and slows in the trough.  Because rescaling works on any
+    point process, envelopes compose with bursty bases —
+    ``DiurnalModulation(MMPPProcess(...))`` is the "diurnal × bursty"
+    load of a global service with regional rush hours.
+    """
+
+    base: ArrivalProcess
+    amplitude: float = 0.8
+    period_s: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                "amplitude must be in [0, 1) so the rate stays positive"
+            )
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def rate(self) -> float:
+        """Long-run mean rate (the envelope averages to 1)."""
+        return self.base.rate
+
+    def integrated_rate(self, t: np.ndarray | float) -> np.ndarray:
+        """``Lambda(t)``: operational time elapsed by wall time ``t``."""
+        w = 2.0 * np.pi / self.period_s
+        k = self.amplitude / w
+        return np.asarray(
+            t - k * (np.cos(w * np.asarray(t) + self.phase)
+                     - np.cos(self.phase))
+        )
+
+    def relative_rate(self, t: np.ndarray | float) -> np.ndarray:
+        """``r(t)``: the instantaneous rate multiplier."""
+        w = 2.0 * np.pi / self.period_s
+        return np.asarray(
+            1.0 + self.amplitude * np.sin(w * np.asarray(t) + self.phase)
+        )
+
+    def _invert(self, tau: np.ndarray) -> np.ndarray:
+        """Newton inversion of ``Lambda`` (monotone, ``r >= 1-amplitude``).
+
+        Convergence is judged per element (not per chunk), so the
+        mapped times are bit-identical no matter how the stream is
+        chunked.
+        """
+        t = tau.copy()
+        tol = 1e-13 * np.maximum(1.0, np.abs(tau))
+        for _ in range(128):
+            residual = self.integrated_rate(t) - tau
+            active = np.abs(residual) > tol
+            if not np.any(active):
+                break
+            t[active] -= (
+                residual[active] / self.relative_rate(t[active])
+            )
+        return t
+
+    def sampler(self, rng: np.random.Generator) -> ArrivalSampler:
+        return _RescaledSampler(self, self.base.sampler(rng))
+
+
+class _RescaledSampler:
+    """Continuation mapping a base sampler through ``Lambda^-1``."""
+
+    def __init__(self, envelope: DiurnalModulation, base) -> None:
+        self._envelope = envelope
+        self._base = base
+
+    def take(self, n: int) -> np.ndarray:
+        return self._envelope._invert(self._base.take(n))

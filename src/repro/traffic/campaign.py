@@ -1,0 +1,275 @@
+"""Load campaigns: offered-load sweeps into latency-vs-load SLO curves.
+
+A campaign answers the serving question the paper's Figure 21/22 means
+comparison cannot: *at what offered load does each platform's tail
+blow past the SLO, and how hard does it fail beyond the knee?*  For
+each (accelerator, arrival process, load fraction) point the campaign:
+
+1. calibrates the fleet's saturation throughput for that accelerator
+   under the model mix (:func:`~repro.traffic.fleet.fleet_capacity_rps`),
+2. builds an arrival process at ``load x capacity`` requests/second,
+3. serves ``requests_per_point`` open-loop arrivals through the fleet
+   engine behind the configured admission policy, and
+4. records goodput, SLO attainment, and p50/p99/p999 serve time.
+
+Every point gets its own substream key ``(accelerator, process,
+load)`` under the campaign seed, so the whole sweep is bit-reproducible
+end to end and any single point can be regenerated in isolation.
+
+The same SLO *factor* is applied to every platform (each in units of
+its own uncontended service time), so curves compare shapes — where
+the knee sits relative to capacity — rather than punishing slow
+platforms twice.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..sim.accelerators import AcceleratorSpec
+from .admission import AdmissionController, AdmissionPolicy, QueueBackpressure
+from .arrivals import (
+    ArrivalProcess,
+    DiurnalModulation,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+)
+from .fleet import FleetSpec, fleet_capacity_rps, serve_open_loop
+from .mix import ModelMix, OpenLoopTraffic
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignReport",
+    "Campaign",
+    "default_processes",
+]
+
+
+def default_processes() -> dict[str, Callable[[float], ArrivalProcess]]:
+    """The three canonical arrival shapes, keyed by name.
+
+    Each factory takes the target mean rate (requests/second) and
+    returns a process with exactly that long-run rate — smooth
+    (Poisson), bursty (MMPP on/off), and heavy-tailed (Pareto
+    inter-arrivals).
+    """
+    return {
+        "poisson": PoissonProcess,
+        "bursty": lambda rate: MMPPProcess(rate, on_fraction=0.2),
+        "heavy_tailed": lambda rate: ParetoProcess(rate, alpha=1.5),
+    }
+
+
+def diurnal_processes() -> dict[str, Callable[[float], ArrivalProcess]]:
+    """Diurnally modulated variants (sinusoid x base process)."""
+    return {
+        "diurnal_poisson": lambda rate: DiurnalModulation(
+            PoissonProcess(rate)
+        ),
+        "diurnal_bursty": lambda rate: DiurnalModulation(
+            MMPPProcess(rate, on_fraction=0.2)
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One (accelerator, process, load) measurement."""
+
+    accelerator: str
+    process: str
+    #: Offered load as a fraction of the fleet's saturation capacity.
+    load: float
+    #: Absolute offered rate (requests/second).
+    offered_rps: float
+    #: The fleet's calibrated saturation capacity (requests/second).
+    capacity_rps: float
+    policy: str
+    offered: int
+    served: int
+    shed: int
+    dropped: int
+    stolen: int
+    slo_s: float
+    slo_attainment: float
+    goodput_rps: float
+    throughput_rps: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "accelerator": self.accelerator,
+            "process": self.process,
+            "load": self.load,
+            "offered_rps": self.offered_rps,
+            "capacity_rps": self.capacity_rps,
+            "policy": self.policy,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "stolen": self.stolen,
+            "slo_s": self.slo_s,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+            "throughput_rps": self.throughput_rps,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "p999_s": self.p999_s,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """All points of one campaign, with curve and report helpers."""
+
+    seed: int
+    requests_per_point: int
+    points: tuple[CampaignPoint, ...]
+
+    def curve(
+        self, accelerator: str, process: str, metric: str
+    ) -> list[tuple[float, float]]:
+        """``(load, metric)`` pairs for one accelerator x process,
+        sorted by load — one SLO curve of the sweep."""
+        pts = [
+            p
+            for p in self.points
+            if p.accelerator == accelerator and p.process == process
+        ]
+        if not pts:
+            raise KeyError(
+                f"no points for {accelerator!r} x {process!r}"
+            )
+        return [
+            (p.load, float(getattr(p, metric)))
+            for p in sorted(pts, key=lambda p: p.load)
+        ]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "requests_per_point": self.requests_per_point,
+                "points": [p.to_dict() for p in self.points],
+            },
+            indent=indent,
+        )
+
+    def render(self) -> str:
+        """A readable latency-vs-offered-load table."""
+        lines = [
+            "offered-load sweep "
+            f"({self.requests_per_point} requests/point, "
+            f"seed {self.seed})",
+            f"{'accelerator':<14} {'process':<14} {'load':>5} "
+            f"{'goodput':>12} {'slo%':>6} "
+            f"{'p50':>10} {'p99':>10} {'p999':>10}",
+        ]
+        for p in sorted(
+            self.points,
+            key=lambda p: (p.accelerator, p.process, p.load),
+        ):
+            lines.append(
+                f"{p.accelerator:<14} {p.process:<14} {p.load:>5.2f} "
+                f"{p.goodput_rps:>10.0f}/s {p.slo_attainment:>5.1%} "
+                f"{p.p50_s * 1e6:>8.1f}us {p.p99_s * 1e6:>8.1f}us "
+                f"{p.p999_s * 1e6:>8.1f}us"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Campaign:
+    """An offered-load sweep over accelerators and arrival shapes.
+
+    ``policy_factory`` builds a *fresh* admission policy per point
+    (policies are stateful); the controller's tie-break stream is keyed
+    by the same point coordinates as the traffic, so every point — and
+    therefore the whole campaign — is bit-reproducible under ``seed``.
+    """
+
+    mix: ModelMix
+    accelerators: Sequence[AcceleratorSpec]
+    processes: Mapping[str, Callable[[float], ArrivalProcess]] = field(
+        default_factory=default_processes
+    )
+    loads: Sequence[float] = (0.5, 0.8, 1.2, 2.0)
+    requests_per_point: int = 50_000
+    seed: int = 0
+    num_shards: int = 4
+    cores_per_shard: int = 2
+    queue_capacity: int = 32
+    steal: bool = True
+    slo_factor: float = 5.0
+    policy_factory: Callable[[], AdmissionPolicy] = QueueBackpressure
+
+    def run(self) -> CampaignReport:
+        points = []
+        for acc_idx, accelerator in enumerate(self.accelerators):
+            spec = FleetSpec(
+                accelerator=accelerator,
+                num_shards=self.num_shards,
+                cores_per_shard=self.cores_per_shard,
+                queue_capacity=self.queue_capacity,
+                steal=self.steal,
+            )
+            capacity = fleet_capacity_rps(spec, self.mix)
+            for proc_idx, (proc_name, factory) in enumerate(
+                sorted(self.processes.items())
+            ):
+                for load_idx, load in enumerate(self.loads):
+                    key = (acc_idx, proc_idx, load_idx)
+                    traffic = OpenLoopTraffic(
+                        factory(load * capacity),
+                        self.mix,
+                        seed=self.seed,
+                        stream=key,
+                    )
+                    admission = AdmissionController(
+                        self.policy_factory(),
+                        seed=self.seed,
+                        stream=key,
+                    )
+                    result = serve_open_loop(
+                        traffic,
+                        self.requests_per_point,
+                        spec,
+                        admission=admission,
+                        slo_factor=self.slo_factor,
+                    )
+                    p50, p99, p999 = result.percentiles(
+                        [50, 99, 99.9]
+                    )
+                    points.append(
+                        CampaignPoint(
+                            accelerator=accelerator.name,
+                            process=proc_name,
+                            load=float(load),
+                            offered_rps=float(load * capacity),
+                            capacity_rps=capacity,
+                            policy=result.policy,
+                            offered=result.offered,
+                            served=result.served,
+                            shed=result.shed,
+                            dropped=result.dropped,
+                            stolen=result.stolen,
+                            slo_s=result.slo_s,
+                            slo_attainment=result.slo_attainment,
+                            goodput_rps=result.goodput_rps,
+                            throughput_rps=result.throughput_rps,
+                            p50_s=p50,
+                            p99_s=p99,
+                            p999_s=p999,
+                        )
+                    )
+        return CampaignReport(
+            seed=self.seed,
+            requests_per_point=self.requests_per_point,
+            points=tuple(points),
+        )

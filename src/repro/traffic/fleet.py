@@ -1,0 +1,337 @@
+"""The open-loop fleet engine — load campaigns at 10^6-request scale.
+
+:class:`~repro.fabric.fabric.Fabric` serves *runnable* traces: every
+request carries a payload, every layer executes on emulated photonic
+cores.  That fidelity costs milliseconds per request — fine for
+correctness, hopeless for sweeping offered load across millions of
+arrivals.  This module is the analytic twin: shards are modeled as
+``cores_per_shard`` symmetric servers fed by one FIFO admission queue,
+and per-model service times come straight from the
+:class:`~repro.sim.accelerators.AcceleratorSpec` characterization the
+§9 simulator uses (datapath + compute).  Cores are interchangeable, so
+the engine tracks only an idle-core *count* per shard and a single
+completion heap — no per-core identity, no per-request objects.
+
+The serving discipline, per admitted request:
+
+1. **Admission** — the :class:`~repro.traffic.admission.
+   AdmissionController` sees fleet-wide queue occupancy and sheds or
+   admits.  Sheds are charged to the accounting invariant
+   (``served + shed + dropped + unfinished == offered``).
+2. **Placement** — join-idlest-then-shortest: a shard with an idle
+   core wins; otherwise the shortest admission queue (lowest index on
+   ties, the fabric's deterministic tie-break contract).
+3. **Queueing** — drop-tail: a full shard queue drops the request
+   (``dropped``), exactly like the DRAM ring buffer overflowing.
+4. **Work stealing** — when a core completes and its own shard queue
+   is empty, it pulls the head of the *deepest* other queue
+   (``stolen``), so one backlogged shard cannot starve the fleet.
+
+Latency streams through the PR-4 O(1)-memory path: a
+:class:`~repro.sim.simulator.StreamedSummary` whose reservoir tracks
+exact tail order statistics, so a million-request sweep reports true
+p999 without retaining records.  Goodput is *SLO goodput*: served
+requests whose serve time met the SLO, per second of horizon — the
+metric under which accept-all collapses at overload while backpressure
+degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..sim.accelerators import AcceleratorSpec
+from ..sim.simulator import StreamedSummary
+from .admission import AdmissionController
+from .mix import ModelMix, OpenLoopTraffic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dnn.model import ModelSpec
+
+__all__ = [
+    "FleetSpec",
+    "FleetResult",
+    "fleet_capacity_rps",
+    "serve_open_loop",
+]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Shape of the analytic serving fleet."""
+
+    accelerator: AcceleratorSpec
+    num_shards: int = 4
+    cores_per_shard: int = 2
+    #: Admission-queue slots per shard (drop-tail beyond this).  The
+    #: default is sized to the default SLO: a full fleet queue of
+    #: ``4 x 32`` requests costs ~16 mean services of wait — several
+    #: times the default 5x-service SLO, so an uncontrolled full queue
+    #: is visibly past the knee without being bottomless.
+    queue_capacity: int = 32
+    #: Idle cores pull from backlogged sibling queues.
+    steal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        if self.cores_per_shard < 1:
+            raise ValueError("a shard needs at least one core")
+        if self.queue_capacity < 1:
+            raise ValueError("shard queues need at least one slot")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_shards * self.cores_per_shard
+
+    @property
+    def total_queue_capacity(self) -> int:
+        return self.num_shards * self.queue_capacity
+
+
+def fleet_capacity_rps(spec: FleetSpec, mix: ModelMix) -> float:
+    """Saturation throughput of the fleet under a model mix.
+
+    Cores are busy for the *compute* stage only (the datapath is
+    pipelined ahead of the core), so capacity is total cores over the
+    mix-weighted mean compute time.
+    """
+    mean_compute = float(
+        sum(
+            p * spec.accelerator.compute_seconds(m)
+            for p, m in zip(mix.probabilities, mix.models)
+        )
+    )
+    if mean_compute <= 0:
+        raise ValueError("mix has zero mean compute time")
+    return spec.total_cores / mean_compute
+
+
+def mean_service_seconds(spec: FleetSpec, mix: ModelMix) -> float:
+    """Mix-weighted uncontended service time (datapath + compute)."""
+    return float(
+        sum(
+            p * spec.accelerator.service_seconds(m)
+            for p, m in zip(mix.probabilities, mix.models)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one open-loop serve, with full accounting.
+
+    The global invariant — every offered request is accounted for
+    exactly once — is ``served + shed + dropped + unfinished ==
+    offered``; :meth:`check_invariant` enforces it.  ``stolen`` counts
+    served requests that migrated shards (a subset of ``served``, not
+    a separate fate).
+    """
+
+    spec: FleetSpec
+    policy: str
+    offered: int
+    served: int
+    #: Rejected by admission control before touching a queue.
+    shed: int
+    #: Admitted but lost to drop-tail queue overflow.
+    dropped: int
+    #: Served requests pulled from a sibling shard's queue.
+    stolen: int
+    unfinished: int
+    slo_s: float
+    #: Served requests whose serve time met the SLO.
+    slo_served: int
+    #: Last completion time (seconds on the virtual clock).
+    horizon_s: float
+    summary: StreamedSummary
+
+    def check_invariant(self) -> None:
+        """Every offered request has exactly one fate."""
+        total = self.served + self.shed + self.dropped + self.unfinished
+        if total != self.offered:
+            raise AssertionError(
+                f"accounting violated: served={self.served} + "
+                f"shed={self.shed} + dropped={self.dropped} + "
+                f"unfinished={self.unfinished} != offered={self.offered}"
+            )
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per second of horizon."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.served / self.horizon_s
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-compliant served requests per second of horizon."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.slo_served / self.horizon_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *offered* traffic served within SLO."""
+        if self.offered == 0:
+            return 0.0
+        return self.slo_served / self.offered
+
+    def percentiles(self, qs: list[float]) -> list[float]:
+        """Serve-time percentiles (tail-exact where covered)."""
+        return self.summary.reservoir.percentiles(qs)
+
+
+def serve_open_loop(
+    traffic: OpenLoopTraffic,
+    total: int,
+    spec: FleetSpec,
+    admission: AdmissionController | None = None,
+    slo_s: float | None = None,
+    slo_factor: float = 5.0,
+    chunk_size: int = 65_536,
+) -> FleetResult:
+    """Serve ``total`` open-loop requests through the fleet.
+
+    Traffic streams chunk-by-chunk (O(chunk) memory) and latency
+    streams through a fixed-capacity reservoir (O(1) memory), so the
+    request count can be arbitrarily large.  Everything — arrivals,
+    model draws, admission tie-breaks — comes from keyed substreams,
+    so a rerun with the same seeds is bit-identical.
+
+    ``slo_s`` defaults to ``slo_factor`` times the mix-weighted
+    uncontended service time: a served request may pay up to
+    ``slo_factor - 1`` services of queueing before it stops counting
+    toward goodput.
+    """
+    if admission is None:
+        from .admission import AcceptAll
+
+        admission = AdmissionController(AcceptAll())
+    admission.reset()
+    mix = traffic.mix
+    models = mix.models
+    if slo_s is None:
+        slo_s = slo_factor * mean_service_seconds(spec, mix)
+
+    accelerator = spec.accelerator
+    datapath = [accelerator.datapath_seconds(m) for m in models]
+    compute = [accelerator.compute_seconds(m) for m in models]
+    names = [m.name for m in models]
+
+    num_shards = spec.num_shards
+    shard_range = range(num_shards)
+    queue_cap = spec.queue_capacity
+    total_queue_cap = float(spec.total_queue_capacity)
+    steal = spec.steal and num_shards > 1
+
+    idle = [spec.cores_per_shard] * num_shards
+    queues: list[deque] = [deque() for _ in shard_range]
+    total_queued = 0
+    # Completion heap entries: (finish_s, seq, shard).  ``seq`` makes
+    # simultaneous completions pop in dispatch order — deterministic.
+    heap: list[tuple[float, int, int]] = []
+    seq = 0
+
+    served = 0
+    dropped = 0
+    stolen = 0
+    slo_served = 0
+    horizon = 0.0
+    summary = StreamedSummary()
+    observe = summary.observe
+    admit = admission.admit_occupancy
+
+    def complete(finish_s: float, shard: int) -> None:
+        """A core on ``shard`` freed: serve its queue, else steal."""
+        nonlocal seq, served, stolen, slo_served, horizon, total_queued
+        queue = queues[shard]
+        migrated = False
+        if not queue and steal and total_queued:
+            donor = max(shard_range, key=lambda s: len(queues[s]))
+            queue = queues[donor]
+            migrated = True
+        if not queue:
+            idle[shard] += 1
+            return
+        arrival_s, model = queue.popleft()
+        total_queued -= 1
+        ready = arrival_s + datapath[model]
+        start = ready if ready > finish_s else finish_s
+        done = start + compute[model]
+        heappush(heap, (done, seq, shard))
+        seq += 1
+        served += 1
+        if migrated:
+            stolen += 1
+        if done > horizon:
+            horizon = done
+        serve_s = done - arrival_s
+        if serve_s <= slo_s:
+            slo_served += 1
+        observe(names[model], datapath[model], start - ready, compute[model], done)
+
+    for chunk in traffic.chunks(total, chunk_size):
+        times = chunk.times.tolist()
+        picks = chunk.models.tolist()
+        for t, model in zip(times, picks):
+            while heap and heap[0][0] <= t:
+                finish_s, _, shard = heappop(heap)
+                complete(finish_s, shard)
+            if not admit(t, total_queued / total_queue_cap):
+                continue
+            # Join-idlest-then-shortest placement, lowest index on ties.
+            best = -1
+            for s in shard_range:
+                if idle[s]:
+                    best = s
+                    break
+            if best >= 0:
+                idle[best] -= 1
+                ready = t + datapath[model]
+                done = ready + compute[model]
+                heappush(heap, (done, seq, best))
+                seq += 1
+                served += 1
+                if done > horizon:
+                    horizon = done
+                if done - t <= slo_s:
+                    slo_served += 1
+                observe(names[model], datapath[model], 0.0, compute[model], done)
+                continue
+            best = min(shard_range, key=lambda s: len(queues[s]))
+            if len(queues[best]) >= queue_cap:
+                dropped += 1
+                continue
+            queues[best].append((t, model))
+            total_queued += 1
+    # Arrivals have stopped; run every pending completion.  Each one
+    # frees a core that pulls from the queues (stealing if enabled),
+    # and every shard with queued work has busy cores — so the drain
+    # empties the queues too, and nothing is left unfinished.
+    while heap:
+        finish_s, _, shard = heappop(heap)
+        complete(finish_s, shard)
+
+    unfinished = total_queued
+    result = FleetResult(
+        spec=spec,
+        policy=type(admission.policy).__name__,
+        offered=admission.offered,
+        served=served,
+        shed=admission.shed,
+        dropped=dropped,
+        stolen=stolen,
+        unfinished=unfinished,
+        slo_s=slo_s,
+        slo_served=slo_served,
+        horizon_s=horizon,
+        summary=summary,
+    )
+    result.check_invariant()
+    return result

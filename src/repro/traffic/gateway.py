@@ -1,0 +1,210 @@
+"""The open-loop gateway: admission + queue-aware routing for a Fabric.
+
+The :mod:`~repro.traffic.fleet` engine sweeps millions of *analytic*
+requests; this gateway runs the same admission discipline in front of
+a real :class:`~repro.fabric.fabric.Fabric`, whose shards execute
+every layer on emulated photonic cores.  The fabric serves closed
+traces shard-by-shard (each shard replays its sub-trace on its own
+virtual clock), so the gateway cannot observe true queue depths *during*
+the serve — instead it runs an **estimate-based pre-pass**:
+
+1. **Probe** each shard once per deployed model (a zero query on core
+   0, the :func:`~repro.runtime.workload.rate_for_cluster_utilization`
+   idiom) to learn real per-shard service times.
+2. **Project** every shard's queue forward in arrival order — idle
+   cores, busy-until heap, FIFO backlog — using those estimates.
+3. **Admit or shed** each request against the projected occupancy via
+   an :class:`~repro.traffic.admission.AdmissionController`; admitted
+   requests are routed by the fabric's own router, which now sees
+   :class:`~repro.fabric.router.ShardView` snapshots carrying live
+   ``queued``/``queue_capacity`` alongside routed load.
+4. **Steal**: when the routed shard is backlogged and another shard
+   has an idle core, the request is re-placed on the idlest shard —
+   the pre-pass form of an idle core pulling from a deep queue.
+
+The admitted trace then replays through
+:meth:`~repro.fabric.fabric.Fabric.serve_routed` with the gateway's
+placement, and sheds are charged into the returned
+:class:`~repro.fabric.fabric.FabricResult`, whose invariant becomes
+``served + dropped + failed + unfinished + shed == offered``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ..fabric.fabric import Fabric, FabricResult
+from ..fabric.router import ShardView
+from ..runtime.cluster import RuntimeRequest
+from .admission import AdmissionController
+
+__all__ = ["probe_service_estimates", "serve_fabric_open_loop"]
+
+
+def probe_service_estimates(fabric: Fabric) -> list[dict[int, float]]:
+    """Per-shard ``model_id -> estimated service seconds``.
+
+    One zero query per (shard, model) on the shard's core 0; caches
+    are warm after deploy, so each probe costs one plan replay.
+    """
+    estimates: list[dict[int, float]] = []
+    for shard in fabric.shards:
+        per_model: dict[int, float] = {}
+        for dag in shard.deployed_dags:
+            zeros = np.zeros(
+                dag.tasks[0].input_size, dtype=np.float64
+            )
+            execution = shard.datapaths[0].execute(dag.model_id, zeros)
+            per_model[dag.model_id] = execution.total_seconds
+        if not per_model:
+            raise ValueError(
+                "every shard must have deployed models before "
+                "open-loop serving"
+            )
+        estimates.append(per_model)
+    return estimates
+
+
+class _ShardProjection:
+    """Forward-projected queue state of one shard (pre-pass only)."""
+
+    __slots__ = ("idle", "busy", "queue", "capacity")
+
+    def __init__(self, num_cores: int, capacity: int) -> None:
+        self.idle = num_cores
+        self.busy: list[float] = []
+        self.queue: deque[tuple[float, float]] = deque()
+        self.capacity = capacity
+
+    def advance(self, now_s: float) -> None:
+        """Retire completions up to ``now_s``, starting queued work."""
+        busy = self.busy
+        queue = self.queue
+        while busy and busy[0] <= now_s:
+            finish = heappop(busy)
+            if queue:
+                arrival, service = queue.popleft()
+                start = arrival if arrival > finish else finish
+                heappush(busy, start + service)
+            else:
+                self.idle += 1
+
+    def charge(self, now_s: float, service_s: float) -> None:
+        """Place one admitted request on this shard's projection."""
+        if self.idle:
+            self.idle -= 1
+            heappush(self.busy, now_s + service_s)
+        else:
+            self.queue.append((now_s, service_s))
+
+
+def serve_fabric_open_loop(
+    fabric: Fabric,
+    requests: list[RuntimeRequest],
+    admission: AdmissionController | None = None,
+    steal: bool = True,
+    **serve_kwargs,
+) -> FabricResult:
+    """Serve an open-loop trace through a fabric behind admission.
+
+    ``serve_kwargs`` pass through to
+    :meth:`~repro.fabric.fabric.Fabric.serve_routed` (fault schedule,
+    watchdog, retry policy, SLO, timeout).  The returned result's
+    ``offered`` counts the *full* open-loop trace; ``shed`` requests
+    never reach a shard and are charged to the invariant.
+    """
+    if admission is None:
+        from .admission import AcceptAll
+
+        admission = AdmissionController(AcceptAll())
+    admission.reset()
+    trace = sorted(
+        requests, key=lambda r: (r.arrival_s, r.request_id)
+    )
+    if not trace:
+        raise ValueError("cannot serve an empty trace")
+    estimates = probe_service_estimates(fabric)
+    fallbacks = [
+        sum(per_model.values()) / len(per_model)
+        for per_model in estimates
+    ]
+    projections = [
+        _ShardProjection(shard.num_cores, shard.queue_capacity)
+        for shard in fabric.shards
+    ]
+    macs = [
+        shard.datapaths[0].core.architecture.macs_per_step
+        for shard in fabric.shards
+    ]
+    num_cores = [shard.num_cores for shard in fabric.shards]
+    fabric.router.reset()
+    routed_counts = [0] * fabric.num_shards
+
+    admitted: list[RuntimeRequest] = []
+    placements: list[int] = []
+    stolen = 0
+    for request in trace:
+        now_s = request.arrival_s
+        for projection in projections:
+            projection.advance(now_s)
+        views = tuple(
+            ShardView(
+                shard=i,
+                num_cores=num_cores[i],
+                macs_per_step=macs[i],
+                routed=routed_counts[i],
+                queued=len(projections[i].queue),
+                queue_capacity=projections[i].capacity,
+            )
+            for i in range(fabric.num_shards)
+        )
+        if not admission.admit(now_s, views):
+            continue
+        target = fabric.router.route(request, views)
+        if not 0 <= target < fabric.num_shards:
+            raise ValueError(
+                f"router returned shard {target} for request "
+                f"{request.request_id}; fabric has "
+                f"{fabric.num_shards} shards"
+            )
+        if (
+            steal
+            and projections[target].idle == 0
+            and projections[target].queue
+        ):
+            # The routed shard is backlogged; an idle sibling pulls
+            # the request instead (lowest index on ties).
+            candidates = [
+                i
+                for i in range(fabric.num_shards)
+                if projections[i].idle > 0
+            ]
+            if candidates:
+                target = min(candidates)
+                stolen += 1
+        routed_counts[target] += 1
+        projections[target].charge(
+            now_s,
+            estimates[target].get(
+                request.model_id, fallbacks[target]
+            ),
+        )
+        admitted.append(request)
+        placements.append(target)
+
+    if not admitted:
+        raise ValueError(
+            "admission shed the entire trace; nothing to serve "
+            f"(offered={admission.offered})"
+        )
+    return fabric.serve_routed(
+        admitted,
+        placements,
+        offered=admission.offered,
+        shed=admission.shed,
+        stolen=stolen,
+        **serve_kwargs,
+    )

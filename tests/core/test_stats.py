@@ -58,6 +58,83 @@ class TestLatencyReservoir:
             LatencyReservoir(capacity=0)
 
 
+class TestTailQuantiles:
+    """Exact-tail tracking: p999 without per-request record retention."""
+
+    def test_p999_exact_beyond_reservoir_capacity(self):
+        res = LatencyReservoir(capacity=256, seed=0, tail_capacity=1024)
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(0.0, 2.0, size=100_000)
+        for v in values:
+            res.add(float(v))
+        assert res.percentile(99.9) == pytest.approx(
+            float(np.percentile(values, 99.9)), rel=0, abs=0
+        )
+        assert res.percentile(99.99) == float(
+            np.percentile(values, 99.99)
+        )
+
+    def test_p999_falls_back_to_reservoir_when_tail_too_short(self):
+        # 100k values with a 16-value tail: p999 needs the top 100,
+        # which the tail cannot vouch for — the estimate must come from
+        # the reservoir, not a silently wrong "exact" answer.
+        res = LatencyReservoir(capacity=4096, seed=0, tail_capacity=16)
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0.0, 1.0, size=100_000)
+        for v in values:
+            res.add(float(v))
+        assert res.percentile(99.9) == pytest.approx(0.999, abs=0.01)
+
+    def test_merge_keeps_tail_exact_across_shards(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(1.0, size=80_000)
+        shards = []
+        for i, chunk in enumerate(np.split(values, 4)):
+            res = LatencyReservoir(capacity=128, seed=i)
+            for v in chunk:
+                res.add(float(v))
+            shards.append(res)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged.merge(shard)
+        assert merged.count == 80_000
+        assert merged.percentile(99.9) == float(
+            np.percentile(values, 99.9)
+        )
+
+    def test_merge_respects_weaker_side_guarantee(self):
+        # One side tracks only the top 8: the merged tail can only be
+        # exact that deep, so a quantile needing rank 50 from the top
+        # must not claim tail-exactness.
+        strong = LatencyReservoir(capacity=64, seed=0, tail_capacity=1024)
+        weak = LatencyReservoir(capacity=64, seed=1, tail_capacity=8)
+        rng = np.random.default_rng(6)
+        for v in rng.uniform(0.0, 1.0, size=5_000):
+            strong.add(float(v))
+        for v in rng.uniform(0.0, 1.0, size=5_000):
+            weak.add(float(v))
+        strong.merge(weak)
+        assert strong._tail_coverage() == 8
+        # The top handful is still exact after the merge.
+        assert strong.percentile(100.0) == max(
+            max(strong._tail), strong.percentile(100.0)
+        )
+
+    def test_tail_disabled(self):
+        res = LatencyReservoir(capacity=64, tail_capacity=0)
+        for i in range(10_000):
+            res.add(float(i))
+        assert res._tail == []
+        res.percentile(99.9)  # estimates, never raises
+
+    def test_summary_reports_p999(self):
+        stats = ServerStats()
+        for i in range(2_000):
+            stats.record(1, i * 1e-6)
+        summary = stats.summary()
+        assert summary["p99_us"] <= summary["p999_us"]
+
+
 class TestServerStats:
     def test_reservoir_capacity_configurable_and_documented_default(self):
         stats = ServerStats()

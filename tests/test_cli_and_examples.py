@@ -59,6 +59,7 @@ class TestCLI:
         "photonic_signal_processing.py",
         "serving_runtime.py",
         "sharded_serving.py",
+        "live_traffic.py",
     ],
 )
 def test_example_runs_clean(script):

@@ -1,0 +1,121 @@
+"""Admission-policy and controller tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import ShardView
+from repro.traffic import (
+    AcceptAll,
+    AdmissionController,
+    QueueBackpressure,
+    TokenBucket,
+    substream,
+)
+from repro.traffic.arrivals import ADMIT_RNG_DOMAIN
+
+
+def view(shard: int, queued: int, capacity: int = 32) -> ShardView:
+    return ShardView(
+        shard=shard,
+        num_cores=2,
+        macs_per_step=8,
+        routed=0,
+        queued=queued,
+        queue_capacity=capacity,
+    )
+
+
+def controller(policy, seed=0, stream=0) -> AdmissionController:
+    return AdmissionController(policy, seed=seed, stream=stream)
+
+
+class TestAcceptAll:
+    def test_admits_everything_and_accounts(self):
+        ctrl = controller(AcceptAll())
+        for i in range(10):
+            assert ctrl.admit(i * 1e-3, (view(0, 32),))
+        assert (ctrl.offered, ctrl.admitted, ctrl.shed) == (10, 10, 0)
+        assert ctrl.unconditional
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        ctrl = controller(TokenBucket(rate_rps=10.0, burst=3.0))
+        decisions = [ctrl.admit(0.0, ()) for _ in range(5)]
+        assert decisions == [True, True, True, False, False]
+
+    def test_refill_at_rate(self):
+        ctrl = controller(TokenBucket(rate_rps=10.0, burst=1.0))
+        assert ctrl.admit(0.0, ())
+        assert not ctrl.admit(0.01, ())  # only 0.1 tokens accrued
+        assert ctrl.admit(0.2, ())  # 2 tokens accrued, capped at 1
+
+    def test_fast_path_threads_clock(self):
+        """The occupancy fast path must still refill by wall clock."""
+        ctrl = controller(TokenBucket(rate_rps=10.0, burst=1.0))
+        assert ctrl.admit_occupancy(0.0, 0.0)
+        assert not ctrl.admit_occupancy(0.01, 0.0)
+        assert ctrl.admit_occupancy(0.5, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate_rps=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate_rps=1.0, burst=0.5)
+
+
+class TestQueueBackpressure:
+    def test_watermark_regions(self):
+        policy = QueueBackpressure(low=0.25, high=0.75)
+        rng = substream(0, ADMIT_RNG_DOMAIN, 0)
+        # Below low: always admit; at/above high: always shed.
+        assert policy.admit(0.0, (view(0, 0), view(1, 0)), rng)
+        assert policy.admit(0.0, (view(0, 7), view(1, 8)), rng)
+        assert not policy.admit(0.0, (view(0, 24), view(1, 24)), rng)
+        assert not policy.admit(0.0, (view(0, 32), view(1, 32)), rng)
+
+    def test_ramp_sheds_proportionally(self):
+        policy = QueueBackpressure(low=0.0, high=1.0)
+        rng = substream(3, ADMIT_RNG_DOMAIN, 0)
+        shed = sum(
+            not policy.admit_occupancy(0.5, rng) for _ in range(4000)
+        )
+        assert shed / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_occupancy_aggregates_across_shards(self):
+        policy = QueueBackpressure()
+        occ = policy.occupancy((view(0, 8, 32), view(1, 0, 32)))
+        assert occ == pytest.approx(8 / 64)
+        assert policy.occupancy(()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="watermarks"):
+            QueueBackpressure(low=0.5, high=0.5)
+        with pytest.raises(ValueError, match="watermarks"):
+            QueueBackpressure(low=-0.1, high=0.5)
+
+
+class TestController:
+    def test_accounting_sums_to_offered(self):
+        ctrl = controller(QueueBackpressure(low=0.0, high=0.5), seed=9)
+        for i in range(500):
+            ctrl.admit_occupancy(i * 1e-4, 0.25)
+        assert ctrl.offered == 500
+        assert ctrl.admitted + ctrl.shed == ctrl.offered
+        assert 0 < ctrl.shed < 500
+
+    def test_tie_breaks_reproducible_across_reset(self):
+        ctrl = controller(QueueBackpressure(low=0.0, high=1.0), seed=4)
+        first = [ctrl.admit_occupancy(0.0, 0.5) for _ in range(200)]
+        ctrl.reset()
+        assert (ctrl.offered, ctrl.admitted, ctrl.shed) == (0, 0, 0)
+        second = [ctrl.admit_occupancy(0.0, 0.5) for _ in range(200)]
+        assert first == second
+
+    def test_distinct_streams_decorrelate(self):
+        a = controller(QueueBackpressure(low=0.0, high=1.0), stream=0)
+        b = controller(QueueBackpressure(low=0.0, high=1.0), stream=1)
+        da = [a.admit_occupancy(0.0, 0.5) for _ in range(200)]
+        db = [b.admit_occupancy(0.0, 0.5) for _ in range(200)]
+        assert da != db

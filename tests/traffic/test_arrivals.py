@@ -1,0 +1,203 @@
+"""Statistical and determinism tests for the arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    ARRIVAL_RNG_DOMAIN,
+    DiurnalModulation,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+    substream,
+)
+
+
+def rng(key: int = 0) -> np.random.Generator:
+    return substream(1234, ARRIVAL_RNG_DOMAIN, key)
+
+
+def gaps_of(process, n: int, key: int = 0) -> np.ndarray:
+    times = process.sampler(rng(key)).take(n)
+    return np.diff(np.concatenate(([0.0], times)))
+
+
+def cv(gaps: np.ndarray) -> float:
+    return float(np.std(gaps) / np.mean(gaps))
+
+
+class TestRates:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonProcess(rate=5_000.0),
+            MMPPProcess(rate=5_000.0, on_fraction=0.2),
+            ParetoProcess(rate=5_000.0, alpha=1.8),
+            DiurnalModulation(PoissonProcess(rate=5_000.0)),
+        ],
+        ids=["poisson", "mmpp", "pareto", "diurnal"],
+    )
+    def test_empirical_rate_matches_nominal(self, process):
+        n = 200_000
+        times = process.sampler(rng()).take(n)
+        empirical = n / times[-1]
+        assert empirical == pytest.approx(process.rate, rel=0.05)
+
+    def test_times_strictly_increasing_across_takes(self):
+        sampler = MMPPProcess(rate=1000.0).sampler(rng())
+        previous = -1.0
+        for _ in range(5):
+            chunk = sampler.take(1000)
+            assert np.all(np.diff(chunk) > 0)
+            assert chunk[0] > previous
+            previous = float(chunk[-1])
+
+
+class TestVariability:
+    def test_poisson_cv_is_one(self):
+        assert cv(gaps_of(PoissonProcess(1000.0), 100_000)) == (
+            pytest.approx(1.0, rel=0.05)
+        )
+
+    def test_mmpp_is_bursty(self):
+        process = MMPPProcess(1000.0, on_fraction=0.2, burst_len=64.0)
+        assert cv(gaps_of(process, 100_000)) > 2.0
+
+    def test_pareto_is_heavy_tailed(self):
+        assert cv(gaps_of(ParetoProcess(1000.0, alpha=1.5), 100_000)) > 2.0
+
+    def test_mmpp_on_off_structure(self):
+        """Dwell bookkeeping: on-rate and off dwell follow from the
+        on fraction, keeping the long-run mean at ``rate``."""
+        p = MMPPProcess(1000.0, on_fraction=0.25, burst_len=50.0)
+        assert p.on_rate == pytest.approx(4000.0)
+        assert p.mean_on_s == pytest.approx(50.0 / 4000.0)
+        on_share = p.mean_on_s / (p.mean_on_s + p.mean_off_s)
+        assert on_share == pytest.approx(0.25)
+
+
+class TestDiurnal:
+    def test_phase_concentrates_arrivals_at_peak(self):
+        """With phase 0 the envelope is ``1 + a sin``: the first half
+        period (sin > 0) must hold ``(1 + 2a/pi) / 2`` of the
+        arrivals — about 75% at a = 0.8 — and shifting the phase by pi
+        swaps the halves."""
+        period = 0.1
+        amplitude = 0.8
+        expected = (1.0 + 2.0 * amplitude / np.pi) / 2.0
+        for phase, hot_half in ((0.0, 0), (np.pi, 1)):
+            process = DiurnalModulation(
+                PoissonProcess(rate=20_000.0),
+                amplitude=amplitude,
+                period_s=period,
+                phase=phase,
+            )
+            times = process.sampler(rng()).take(100_000)
+            phase_position = (times % period) / period
+            halves = np.histogram(
+                phase_position, bins=2, range=(0, 1)
+            )[0]
+            share = halves[hot_half] / halves.sum()
+            assert share == pytest.approx(expected, abs=0.02)
+
+    def test_mean_rate_preserved_under_modulation(self):
+        base = MMPPProcess(rate=2_000.0, on_fraction=0.3)
+        process = DiurnalModulation(base, amplitude=0.6, period_s=0.05)
+        n = 100_000
+        times = process.sampler(rng()).take(n)
+        assert n / times[-1] == pytest.approx(2_000.0, rel=0.05)
+
+    def test_integrated_rate_matches_inverse(self):
+        process = DiurnalModulation(
+            PoissonProcess(1000.0), amplitude=0.7, period_s=0.3,
+            phase=1.1,
+        )
+        tau = np.linspace(0.01, 5.0, 400)
+        t = process._invert(tau.copy())
+        np.testing.assert_allclose(
+            process.integrated_rate(t), tau, rtol=0, atol=1e-9
+        )
+
+    def test_composes_with_bursty_base(self):
+        """Diurnal x bursty keeps the burst signature (CV > 1)."""
+        process = DiurnalModulation(
+            MMPPProcess(rate=1000.0, on_fraction=0.2)
+        )
+        assert cv(gaps_of(process, 50_000)) > 2.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonProcess(rate=100.0),
+            MMPPProcess(rate=100.0),
+            ParetoProcess(rate=100.0),
+            DiurnalModulation(MMPPProcess(rate=100.0), period_s=0.5),
+        ],
+        ids=["poisson", "mmpp", "pareto", "diurnal_mmpp"],
+    )
+    def test_same_substream_same_times(self, process):
+        a = process.sampler(rng()).take(5_000)
+        b = process.sampler(rng()).take(5_000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_stream_keys_decorrelate(self):
+        process = PoissonProcess(rate=100.0)
+        a = process.sampler(rng(0)).take(100)
+        b = process.sampler(rng(1)).take(100)
+        assert not np.array_equal(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        splits=st.lists(
+            st.integers(min_value=1, max_value=200),
+            min_size=1,
+            max_size=6,
+        ),
+        kind=st.sampled_from(
+            ["poisson", "mmpp", "pareto", "diurnal"]
+        ),
+    )
+    def test_chunking_is_invariant(self, splits, kind):
+        """take(a)+take(b)+... is bit-identical to take(a+b+...) for
+        every process, no matter where the boundaries fall."""
+        process = {
+            "poisson": PoissonProcess(rate=500.0),
+            "mmpp": MMPPProcess(rate=500.0, burst_len=16.0),
+            "pareto": ParetoProcess(rate=500.0),
+            "diurnal": DiurnalModulation(
+                PoissonProcess(rate=500.0), period_s=0.2
+            ),
+        }[kind]
+        total = sum(splits)
+        whole = process.sampler(rng()).take(total)
+        chunked_sampler = process.sampler(rng())
+        chunked = np.concatenate(
+            [chunked_sampler.take(k) for k in splits]
+        )
+        np.testing.assert_array_equal(whole, chunked)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonProcess(rate=0.0)
+
+    def test_pareto_needs_finite_mean(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            ParetoProcess(rate=10.0, alpha=1.0)
+
+    def test_mmpp_validates_fractions(self):
+        with pytest.raises(ValueError, match="on fraction"):
+            MMPPProcess(rate=10.0, on_fraction=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            MMPPProcess(rate=10.0, burst_len=0.0)
+
+    def test_diurnal_amplitude_bounded(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalModulation(PoissonProcess(10.0), amplitude=1.0)

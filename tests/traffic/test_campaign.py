@@ -1,0 +1,135 @@
+"""Campaign-driver tests: sweeps, curves, and bit-reproducibility."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import a100_gpu, lightning_chip
+from repro.traffic import Campaign, ModelMix
+from repro.traffic.campaign import default_processes, diurnal_processes
+
+
+@pytest.fixture(scope="module")
+def report():
+    campaign = Campaign(
+        mix=ModelMix.zipf(SIMULATION_MODELS(), 1.2),
+        accelerators=[lightning_chip(), a100_gpu()],
+        loads=(0.5, 2.0),
+        requests_per_point=4_000,
+        seed=21,
+    )
+    return campaign, campaign.run()
+
+
+class TestSweep:
+    def test_full_grid_of_points(self, report):
+        campaign, result = report
+        expected = (
+            len(campaign.accelerators)
+            * len(campaign.processes)
+            * len(campaign.loads)
+        )
+        assert len(result.points) == expected
+
+    def test_offered_rate_tracks_platform_capacity(self, report):
+        _, result = report
+        by_acc = {}
+        for p in result.points:
+            by_acc.setdefault(p.accelerator, p.capacity_rps)
+            assert p.capacity_rps == by_acc[p.accelerator]
+            assert p.offered_rps == pytest.approx(
+                p.load * p.capacity_rps
+            )
+        # Lightning's fleet turns over requests far faster than A100.
+        assert by_acc["Lightning"] > 5 * by_acc["A100 GPU"]
+
+    def test_points_account_and_have_tails(self, report):
+        _, result = report
+        for p in result.points:
+            assert p.served + p.shed + p.dropped == p.offered
+            assert p.p50_s <= p.p99_s <= p.p999_s
+            assert 0.0 <= p.slo_attainment <= 1.0
+
+    def test_overload_degrades_slo(self, report):
+        """At 2x offered load the SLO attainment must fall relative to
+        0.5x on the same platform and process."""
+        _, result = report
+        for acc in ("Lightning", "A100 GPU"):
+            low = {
+                p.process: p.slo_attainment
+                for p in result.points
+                if p.accelerator == acc and p.load == 0.5
+            }
+            high = {
+                p.process: p.slo_attainment
+                for p in result.points
+                if p.accelerator == acc and p.load == 2.0
+            }
+            for process in low:
+                assert high[process] < low[process]
+
+
+class TestReportHelpers:
+    def test_curve_sorted_by_load(self, report):
+        _, result = report
+        curve = result.curve("Lightning", "poisson", "p99_s")
+        assert [load for load, _ in curve] == [0.5, 2.0]
+        assert all(value > 0 for _, value in curve)
+
+    def test_curve_unknown_key_raises(self, report):
+        _, result = report
+        with pytest.raises(KeyError):
+            result.curve("TPU", "poisson", "p99_s")
+
+    def test_json_round_trips(self, report):
+        _, result = report
+        payload = json.loads(result.to_json())
+        assert payload["seed"] == 21
+        assert len(payload["points"]) == len(result.points)
+        assert {p["accelerator"] for p in payload["points"]} == {
+            "Lightning", "A100 GPU",
+        }
+
+    def test_render_mentions_every_platform(self, report):
+        _, result = report
+        text = result.render()
+        assert "Lightning" in text and "A100 GPU" in text
+        assert "p999" in text
+
+
+class TestReproducibility:
+    def test_campaign_bit_reproducible(self):
+        def build():
+            return Campaign(
+                mix=ModelMix.zipf(SIMULATION_MODELS(), 1.2),
+                accelerators=[lightning_chip()],
+                loads=(0.8, 1.5),
+                requests_per_point=3_000,
+                seed=33,
+            )
+
+        assert build().run().to_json() == build().run().to_json()
+
+    def test_seed_changes_results(self):
+        def run(seed):
+            return Campaign(
+                mix=ModelMix.zipf(SIMULATION_MODELS(), 1.2),
+                accelerators=[lightning_chip()],
+                loads=(1.5,),
+                requests_per_point=3_000,
+                seed=seed,
+            ).run()
+
+        assert run(1).to_json() != run(2).to_json()
+
+
+class TestProcessFactories:
+    def test_default_factories_hit_requested_rate(self):
+        for name, factory in {
+            **default_processes(), **diurnal_processes(),
+        }.items():
+            process = factory(1234.0)
+            assert process.rate == pytest.approx(1234.0), name

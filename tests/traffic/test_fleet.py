@@ -1,0 +1,226 @@
+"""Fleet-engine tests: accounting, stealing, memory, and overload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn import SIMULATION_MODELS
+from repro.sim import lightning_chip
+from repro.traffic import (
+    AcceptAll,
+    AdmissionController,
+    FleetSpec,
+    ModelMix,
+    OpenLoopTraffic,
+    PoissonProcess,
+    MMPPProcess,
+    ParetoProcess,
+    QueueBackpressure,
+    fleet_capacity_rps,
+    serve_open_loop,
+)
+
+
+@pytest.fixture(scope="module")
+def mix() -> ModelMix:
+    return ModelMix.zipf(SIMULATION_MODELS(), exponent=1.2)
+
+
+@pytest.fixture(scope="module")
+def spec() -> FleetSpec:
+    return FleetSpec(lightning_chip(), num_shards=4, cores_per_shard=2)
+
+
+def traffic(mix, rate, seed=3, stream=0):
+    return OpenLoopTraffic(
+        PoissonProcess(rate), mix, seed=seed, stream=stream
+    )
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("load", [0.5, 1.0, 2.5])
+    def test_invariant_holds_at_every_load(self, mix, spec, load):
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(
+            traffic(mix, load * cap),
+            20_000,
+            spec,
+            admission=AdmissionController(QueueBackpressure(), seed=3),
+        )
+        result.check_invariant()  # raises on violation
+        assert result.offered == 20_000
+        assert result.unfinished == 0
+
+    def test_drop_tail_charged_as_dropped(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(traffic(mix, 3.0 * cap), 20_000, spec)
+        assert result.policy == "AcceptAll"
+        assert result.shed == 0
+        assert result.dropped > 0
+        result.check_invariant()
+
+    def test_sheds_charged_to_invariant(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(
+            traffic(mix, 3.0 * cap),
+            20_000,
+            spec,
+            admission=AdmissionController(QueueBackpressure(), seed=3),
+        )
+        assert result.shed > 0
+        assert result.served + result.shed + result.dropped == 20_000
+
+    def test_bad_accounting_raises(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+        good = serve_open_loop(traffic(mix, cap), 1_000, spec)
+        from dataclasses import replace
+
+        with pytest.raises(AssertionError, match="accounting"):
+            replace(good, served=good.served - 1).check_invariant()
+
+
+class TestWorkStealing:
+    def test_stealing_occurs_and_helps(self, mix):
+        """With stealing an idle shard drains a sibling's backlog; the
+        same traffic without stealing leaves strictly more queueing."""
+        with_steal = FleetSpec(
+            lightning_chip(), num_shards=4, cores_per_shard=2,
+            steal=True,
+        )
+        without = FleetSpec(
+            lightning_chip(), num_shards=4, cores_per_shard=2,
+            steal=False,
+        )
+        cap = fleet_capacity_rps(with_steal, mix)
+        bursty = OpenLoopTraffic(
+            MMPPProcess(0.9 * cap, on_fraction=0.2),
+            mix,
+            seed=5,
+        )
+        a = serve_open_loop(bursty, 30_000, with_steal)
+        b = serve_open_loop(bursty, 30_000, without)
+        assert a.stolen > 0
+        assert b.stolen == 0
+        assert a.slo_served >= b.slo_served
+
+    def test_stolen_is_subset_of_served(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(traffic(mix, 1.5 * cap), 10_000, spec)
+        assert 0 <= result.stolen <= result.served
+
+
+class TestStreaming:
+    def test_reservoir_stays_bounded(self, mix, spec):
+        """O(1) memory: the summary holds a fixed-capacity reservoir
+        plus exact counters, never per-request records."""
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(traffic(mix, 0.8 * cap), 100_000, spec)
+        reservoir = result.summary.reservoir
+        assert reservoir.count == result.served
+        assert len(reservoir) <= reservoir.capacity
+        assert result.summary.count == result.served
+
+    def test_p999_exact_beyond_reservoir(self, mix, spec):
+        """The tail tracker keeps p999 exact even when the reservoir
+        subsamples (100k serves >> 4096 reservoir slots)."""
+        cap = fleet_capacity_rps(spec, mix)
+        result = serve_open_loop(traffic(mix, 0.8 * cap), 100_000, spec)
+        assert result.summary.reservoir._tail_coverage() >= 1000
+        p99, p999 = result.percentiles([99, 99.9])
+        assert p999 >= p99 > 0
+
+
+class TestOverloadBehavior:
+    @pytest.mark.parametrize(
+        "make_process",
+        [
+            PoissonProcess,
+            lambda r: MMPPProcess(r, on_fraction=0.2),
+            lambda r: ParetoProcess(r, alpha=1.5),
+        ],
+        ids=["poisson", "bursty", "heavy_tailed"],
+    )
+    def test_backpressure_beats_accept_all_at_2x(
+        self, mix, spec, make_process
+    ):
+        """The acceptance criterion: at 2x capacity offered load,
+        shedding early wins on SLO goodput under every arrival shape."""
+        cap = fleet_capacity_rps(spec, mix)
+        results = {}
+        for name, policy in (
+            ("accept_all", AcceptAll()),
+            ("backpressure", QueueBackpressure()),
+        ):
+            stream = OpenLoopTraffic(
+                make_process(2.0 * cap), mix, seed=3, stream=7
+            )
+            results[name] = serve_open_loop(
+                stream,
+                40_000,
+                spec,
+                admission=AdmissionController(policy, seed=3, stream=7),
+            )
+        assert (
+            results["backpressure"].goodput_rps
+            > 1.5 * results["accept_all"].goodput_rps
+        )
+
+    def test_backpressure_bounds_tail_latency(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+        stream = OpenLoopTraffic(
+            PoissonProcess(2.0 * cap), mix, seed=3, stream=8
+        )
+        accept = serve_open_loop(stream, 30_000, spec)
+        shed = serve_open_loop(
+            stream,
+            30_000,
+            spec,
+            admission=AdmissionController(
+                QueueBackpressure(), seed=3, stream=8
+            ),
+        )
+        assert shed.percentiles([99])[0] < accept.percentiles([99])[0]
+
+
+class TestReproducibility:
+    def test_bit_identical_reruns(self, mix, spec):
+        cap = fleet_capacity_rps(spec, mix)
+
+        def run():
+            stream = OpenLoopTraffic(
+                ParetoProcess(1.5 * cap), mix, seed=11, stream=(2, 4)
+            )
+            return serve_open_loop(
+                stream,
+                20_000,
+                spec,
+                admission=AdmissionController(
+                    QueueBackpressure(), seed=11, stream=(2, 4)
+                ),
+            )
+
+        a, b = run(), run()
+        assert (a.served, a.shed, a.dropped, a.stolen) == (
+            b.served, b.shed, b.dropped, b.stolen,
+        )
+        assert a.horizon_s == b.horizon_s
+        assert a.percentiles([50, 99, 99.9]) == (
+            b.percentiles([50, 99, 99.9])
+        )
+
+
+class TestSpecValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="shard"):
+            FleetSpec(lightning_chip(), num_shards=0)
+        with pytest.raises(ValueError, match="core"):
+            FleetSpec(lightning_chip(), cores_per_shard=0)
+        with pytest.raises(ValueError, match="queue"):
+            FleetSpec(lightning_chip(), queue_capacity=0)
+
+    def test_capacity_scales_with_cores(self, mix):
+        small = FleetSpec(lightning_chip(), num_shards=2, cores_per_shard=1)
+        big = FleetSpec(lightning_chip(), num_shards=4, cores_per_shard=2)
+        assert fleet_capacity_rps(big, mix) == pytest.approx(
+            4 * fleet_capacity_rps(small, mix)
+        )

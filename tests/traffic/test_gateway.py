@@ -1,0 +1,188 @@
+"""Open-loop gateway tests against a real (emulated) fabric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationDAG, LayerTask, LightningDatapath
+from repro.fabric import Fabric, HashShardRouter, ShardSpec
+from repro.photonics import BehavioralCore, CoreArchitecture, NoiselessModel
+from repro.traffic import (
+    AcceptAll,
+    AdmissionController,
+    ModelMix,
+    OpenLoopTraffic,
+    PoissonProcess,
+    QueueBackpressure,
+    probe_service_estimates,
+    serve_fabric_open_loop,
+)
+
+
+def make_dag(model_id: int, seed: int = 5) -> ComputationDAG:
+    rng = np.random.default_rng(seed)
+    return ComputationDAG(
+        model_id,
+        f"model-{model_id}",
+        [
+            LayerTask(
+                name="fc1", kind="dense", input_size=12, output_size=6,
+                weights_levels=rng.integers(-200, 201, (6, 12)).astype(
+                    float
+                ),
+                nonlinearity="relu", requant_divisor=12.0,
+            ),
+            LayerTask(
+                name="fc2", kind="dense", input_size=6, output_size=3,
+                weights_levels=rng.integers(-200, 201, (3, 6)).astype(
+                    float
+                ),
+                depends_on=("fc1",),
+            ),
+        ],
+    )
+
+
+def shard_spec(num_cores: int = 2) -> ShardSpec:
+    def factory(core: int) -> LightningDatapath:
+        return LightningDatapath(
+            core=BehavioralCore(
+                architecture=CoreArchitecture(
+                    accumulation_wavelengths=2
+                ),
+                noise=NoiselessModel(),
+            ),
+            seed=core,
+        )
+
+    return ShardSpec(num_cores=num_cores, datapath_factory=factory)
+
+
+def build_fabric(router=None) -> Fabric:
+    fabric = Fabric([shard_spec(), shard_spec()], router=router)
+    for model_id in (1, 2):
+        fabric.deploy(make_dag(model_id))
+    return fabric
+
+
+@pytest.fixture(scope="module")
+def overload_trace():
+    """~2x-capacity open-loop trace for the two-model fabric."""
+    fabric = build_fabric()
+    estimates = probe_service_estimates(fabric)
+    mean_service = float(
+        np.mean([v for shard in estimates for v in shard.values()])
+    )
+    capacity = fabric.total_cores / mean_service
+    mix = ModelMix([make_dag(1), make_dag(2)])
+    traffic = OpenLoopTraffic(
+        PoissonProcess(2.0 * capacity), mix, seed=17
+    )
+    return traffic.runtime_trace(250)
+
+
+class TestProbe:
+    def test_estimates_cover_deployed_models(self):
+        fabric = build_fabric()
+        estimates = probe_service_estimates(fabric)
+        assert len(estimates) == fabric.num_shards
+        for per_model in estimates:
+            assert set(per_model) == {1, 2}
+            assert all(v > 0 for v in per_model.values())
+
+
+class TestAccounting:
+    def test_accept_all_serves_everything(self, overload_trace):
+        result = serve_fabric_open_loop(
+            build_fabric(),
+            overload_trace,
+            AdmissionController(AcceptAll()),
+        )
+        assert result.offered == len(overload_trace)
+        assert result.shed == 0
+        assert result.accounted()
+
+    def test_sheds_charged_to_invariant(self, overload_trace):
+        result = serve_fabric_open_loop(
+            build_fabric(),
+            overload_trace,
+            AdmissionController(QueueBackpressure(), seed=17),
+        )
+        assert result.offered == len(overload_trace)
+        assert result.shed > 0
+        assert result.served < len(overload_trace)
+        assert (
+            result.served
+            + result.dropped
+            + result.failed
+            + result.unfinished
+            + result.shed
+            == result.offered
+        )
+        assert result.accounted()
+
+    def test_deterministic_rerun(self, overload_trace):
+        def run():
+            return serve_fabric_open_loop(
+                build_fabric(),
+                overload_trace,
+                AdmissionController(QueueBackpressure(), seed=17),
+            )
+
+        a, b = run(), run()
+        assert (a.served, a.shed, a.stolen) == (b.served, b.shed, b.stolen)
+        assert a.routed == b.routed
+
+
+class TestStealing:
+    def test_affinity_hotspot_steals_to_idle_shard(self):
+        """A hash router pins the single hot model to one shard; with
+        stealing, the idle shard absorbs the overflow instead of the
+        queue dropping it."""
+        mix = ModelMix([make_dag(2)])
+        traffic = OpenLoopTraffic(
+            PoissonProcess(6_000_000.0), mix, seed=5
+        )
+        trace = traffic.runtime_trace(200)
+
+        def run(steal: bool):
+            return serve_fabric_open_loop(
+                build_fabric(router=HashShardRouter()),
+                trace,
+                AdmissionController(AcceptAll()),
+                steal=steal,
+            )
+
+        stolen = run(steal=True)
+        pinned = run(steal=False)
+        assert stolen.stolen > 0
+        assert pinned.stolen == 0
+        assert stolen.dropped < pinned.dropped
+        assert stolen.served > pinned.served
+        assert stolen.accounted() and pinned.accounted()
+
+
+class TestServeRouted:
+    def test_placement_length_mismatch_rejected(self, overload_trace):
+        fabric = build_fabric()
+        with pytest.raises(ValueError, match="placements"):
+            fabric.serve_routed(overload_trace[:5], [0, 1])
+
+    def test_inconsistent_accounting_rejected(self, overload_trace):
+        fabric = build_fabric()
+        with pytest.raises(ValueError, match="inconsistent"):
+            fabric.serve_routed(
+                overload_trace[:4],
+                [0, 0, 1, 1],
+                offered=10,
+                shed=2,
+            )
+
+    def test_closed_loop_serve_trace_unchanged(self, overload_trace):
+        """serve_trace still reports shed=0 and the legacy invariant."""
+        result = build_fabric().serve_trace(overload_trace[:40])
+        assert result.shed == 0
+        assert result.stolen == 0
+        assert result.offered == 40
+        assert result.accounted()
