@@ -443,3 +443,200 @@ def test_fabric_relocks_drifted_core(fabric_campaign):
         and r.finish_s > health.relocked_at_s
     ]
     assert post_relock
+
+
+# --------------------------------------------------------------------
+# Chaos campaign: rolling shard failures under open-loop load.
+# --------------------------------------------------------------------
+
+#: 10^5 open-loop arrivals per scenario (the acceptance scale).
+CHAOS_REQUESTS = 100_000
+CHAOS_SHARDS = 4
+CHAOS_CORES_PER_SHARD = 2
+#: Offered load as a fraction of ONE shard's healthy capacity — sized
+#: so the lone survivor of the last quarter is not itself overloaded.
+CHAOS_LOAD = 0.6
+#: Serving stand-ins for the 7-model zoo: the simulation specs are
+#: analytic (too large to execute), so each zoo entry maps to a small
+#: dense DAG whose relative width tracks its relative heft.
+CHAOS_WIDTHS = (8, 12, 16, 16, 20, 24, 12)
+
+
+def chaos_dag(model_id: int, width: int, name: str) -> "ComputationDAG":
+    from repro.core import ComputationDAG, LayerTask
+
+    rng = np.random.default_rng(1000 + model_id)
+    half = width // 2
+    return ComputationDAG(
+        model_id,
+        name,
+        [
+            LayerTask(
+                name="fc1", kind="dense",
+                input_size=width, output_size=half,
+                weights_levels=rng.integers(
+                    -200, 201, (half, width)
+                ).astype(float),
+                nonlinearity="relu", requant_divisor=float(width),
+            ),
+            LayerTask(
+                name="fc2", kind="dense",
+                input_size=half, output_size=4,
+                weights_levels=rng.integers(
+                    -200, 201, (4, half)
+                ).astype(float),
+                depends_on=("fc1",),
+            ),
+        ],
+    )
+
+
+def chaos_zoo():
+    from repro.dnn import SIMULATION_MODELS
+
+    return [
+        chaos_dag(model_id, width, spec.name)
+        for model_id, (width, spec) in enumerate(
+            zip(CHAOS_WIDTHS, SIMULATION_MODELS()), start=1
+        )
+    ]
+
+
+def chaos_run(replicas: int, auto_heal: bool):
+    """One rolling-failure campaign: shards 1..3 die at the quarter
+    marks of a 10^5-request open-loop trace."""
+    from repro.fabric import (
+        Fabric,
+        FailoverRouter,
+        ModelPlacement,
+        kill_shard,
+    )
+    from repro.traffic import (
+        AcceptAll,
+        AdmissionController,
+        ModelMix,
+        OpenLoopTraffic,
+        PoissonProcess,
+        probe_service_estimates,
+        serve_fabric_open_loop,
+    )
+
+    arch = CoreArchitecture(accumulation_wavelengths=2)
+    fabric = Fabric(
+        [
+            ShardSpec(
+                num_cores=CHAOS_CORES_PER_SHARD,
+                datapath_factory=lambda core: LightningDatapath(
+                    core=BehavioralCore(
+                        architecture=arch, noise=NoiselessModel()
+                    ),
+                    seed=core,
+                ),
+            )
+            for _ in range(CHAOS_SHARDS)
+        ],
+        router=FailoverRouter(),
+        placement=ModelPlacement(
+            replicas=replicas, auto_heal=auto_heal
+        ),
+    )
+    zoo = chaos_zoo()
+    for dag in zoo:
+        fabric.deploy(dag)
+    estimates = probe_service_estimates(fabric)
+    mean_service = float(
+        np.mean([v for per in estimates for v in per.values()])
+    )
+    shard_capacity = CHAOS_CORES_PER_SHARD / mean_service
+    traffic = OpenLoopTraffic(
+        PoissonProcess(CHAOS_LOAD * shard_capacity),
+        ModelMix(zoo),
+        seed=23,
+    )
+    trace = traffic.runtime_trace(CHAOS_REQUESTS)
+    horizon = max(r.arrival_s for r in trace)
+    schedule = FaultSchedule(seed=7)
+    for quarter, shard in enumerate((1, 2, 3), start=1):
+        kill_shard(schedule, fabric, shard, horizon * quarter / 4.0)
+    result = serve_fabric_open_loop(
+        fabric,
+        trace,
+        AdmissionController(AcceptAll()),
+        fault_schedule=schedule,
+        retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+    )
+    return fabric, result
+
+
+@pytest.fixture(scope="module")
+def chaos_campaign():
+    return {
+        "replicated": chaos_run(replicas=2, auto_heal=True),
+        "unreplicated": chaos_run(replicas=1, auto_heal=False),
+    }
+
+
+def test_chaos_report(chaos_campaign, report_writer):
+    rows = []
+    for label, (fabric, result) in chaos_campaign.items():
+        rows.append(
+            [
+                label,
+                result.offered,
+                result.served,
+                result.failed_over,
+                result.failovers,
+                len(fabric.placement.heals),
+                100.0 * result.goodput,
+            ]
+        )
+    report_writer(
+        "chaos_failover",
+        format_table(
+            [
+                "Scenario", "Offered", "Served", "Failed over",
+                "Failovers", "Heals", "Goodput (%)",
+            ],
+            rows,
+            title=(
+                f"Rolling shard failures — {CHAOS_SHARDS} shards, "
+                f"{len(CHAOS_WIDTHS)}-model zoo, "
+                f"{CHAOS_REQUESTS} open-loop requests, one shard "
+                "killed at each quarter mark"
+            ),
+        ),
+    )
+
+
+def test_replicated_failover_sustains_goodput(chaos_campaign):
+    """Acceptance: N=2 replication + failover routing holds >= 95%
+    goodput through three rolling shard deaths."""
+    fabric, result = chaos_campaign["replicated"]
+    assert result.offered == CHAOS_REQUESTS
+    assert result.goodput >= 0.95
+    assert result.failovers > 0
+
+
+def test_unreplicated_fleet_collapses(chaos_campaign):
+    """The ablation: without replicas the same fault schedule strands
+    every model homed on a dead shard."""
+    _, result = chaos_campaign["unreplicated"]
+    assert result.offered == CHAOS_REQUESTS
+    assert result.goodput < 0.75
+    assert result.failed_over > 0
+
+
+def test_chaos_extended_invariant_exact(chaos_campaign):
+    """Acceptance: served + dropped + failed + unfinished + shed +
+    failed_over == offered, term by term, in both scenarios."""
+    for _, result in chaos_campaign.values():
+        assert result.accounted()
+        total = (
+            result.served
+            + result.dropped
+            + result.failed
+            + result.unfinished
+            + result.shed
+            + result.failed_over
+        )
+        assert total == result.offered == CHAOS_REQUESTS

@@ -527,6 +527,15 @@ class DAGConfigurationLoader:
             )
         self._models[dag.model_id] = dag
 
+    def unregister_model(self, model_id: int) -> ComputationDAG:
+        """Forget a model's DAG (driver unload); returns the DAG."""
+        try:
+            return self._models.pop(model_id)
+        except KeyError:
+            raise KeyError(
+                f"no DAG registered for model id {model_id}"
+            ) from None
+
     @property
     def model_ids(self) -> tuple[int, ...]:
         return tuple(sorted(self._models))

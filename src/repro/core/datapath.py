@@ -267,6 +267,20 @@ class LightningDatapath:
             else:
                 self._plans[dag.model_id] = self._compile(dag)
 
+    def unregister_model(self, model_id: int) -> None:
+        """Remove one model: DAG, compiled plan, sign caches.
+
+        The model's DRAM image is left in place — the memory
+        controller models a log-structured store with no reclamation,
+        and a stale image is unreachable once the loader forgets the
+        DAG.  Re-registering the same id later simply stores a fresh
+        image.
+        """
+        self.loader.unregister_model(model_id)
+        self._plans.pop(model_id, None)
+        for key in [k for k in self._sign_cache if k[0] == model_id]:
+            del self._sign_cache[key]
+
     @property
     def plan_geometry(self) -> PlanGeometry:
         """The geometry compiled plans on this datapath are keyed by."""

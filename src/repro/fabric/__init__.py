@@ -6,9 +6,28 @@ with its own core count, architecture, scheduler, and execution mode)
 behind a two-level scheduler — a shard router places requests across
 NICs at admission time, then each shard's per-core scheduler (health-
 aware or not) places batches on cores at dispatch time.
+
+The model lifecycle lives in :mod:`~repro.fabric.lifecycle`:
+:class:`~repro.fabric.lifecycle.ModelPlacement` replicates each model
+N ways by compiled-plan step counts, a
+:class:`~repro.fabric.lifecycle.FailoverRouter` re-routes requests off
+dead or backlogged shards, and :class:`~repro.fabric.lifecycle.
+ModelVersions` gives ``Fabric.deploy(dag, version=...)`` blue/green
+cutover and bit-identical rollback.
 """
 
 from .fabric import Fabric, FabricResult, ShardSpec
+from .lifecycle import (
+    FAILOVER_DROP,
+    FailoverRouter,
+    HealEvent,
+    ModelPlacement,
+    ModelVersion,
+    ModelVersions,
+    OutageBook,
+    ReplicaHome,
+    kill_shard,
+)
 from .router import (
     HashShardRouter,
     LeastLoadedShardRouter,
@@ -26,4 +45,13 @@ __all__ = [
     "SwitchShardRouter",
     "HashShardRouter",
     "LeastLoadedShardRouter",
+    "FAILOVER_DROP",
+    "FailoverRouter",
+    "HealEvent",
+    "ModelPlacement",
+    "ModelVersion",
+    "ModelVersions",
+    "OutageBook",
+    "ReplicaHome",
+    "kill_shard",
 ]

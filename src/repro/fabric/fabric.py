@@ -16,6 +16,16 @@ shard using only :class:`~repro.fabric.router.ShardView` snapshots
 function of the arrival order.  At dispatch time the shard's own
 scheduler — health-aware or not — picks the core.
 
+The model lifecycle is versioned and replicated
+(:mod:`~repro.fabric.lifecycle`): a :class:`~repro.fabric.lifecycle.
+ModelPlacement` spreads each model's N replicas by compiled-plan step
+counts, ``deploy(dag, version=...)`` stages blue/green versions under
+alias ids with :meth:`Fabric.cutover`/:meth:`Fabric.rollback`
+switching them atomically on the virtual clock, and a
+:class:`~repro.fabric.lifecycle.FailoverRouter` re-routes requests
+whose primary shard is dead.  Requests the failover layer could not
+place anywhere are charged to ``failed_over``.
+
 Faults and health are global: a
 :class:`~repro.faults.schedule.FaultSchedule` addresses cores by
 *global* index (shard offsets concatenated in shard order), and the
@@ -24,7 +34,8 @@ before serving.  Results merge back the other way:
 :class:`~repro.core.stats.ServerStats.merge` remaps each shard's core
 health into the global namespace and folds latency reservoirs, and
 :class:`FabricResult` re-checks the global accounting invariant
-``served + dropped + failed + unfinished == offered``.
+``served + dropped + failed + unfinished + shed + failed_over ==
+offered``.
 """
 
 from __future__ import annotations
@@ -44,6 +55,12 @@ from ..runtime.cluster import (
     RuntimeRequest,
 )
 from ..runtime.schedulers import Scheduler
+from .lifecycle import (
+    FAILOVER_DROP,
+    FailoverRouter,
+    ModelPlacement,
+    ModelVersions,
+)
 from .router import LeastLoadedShardRouter, ShardRouter, ShardView
 
 __all__ = ["ShardSpec", "FabricResult", "Fabric"]
@@ -111,9 +128,26 @@ class FabricResult:
     #: Served requests an idle shard pulled off a backlogged shard's
     #: projected queue (a subset of ``served``, not a separate fate).
     stolen: int = 0
+    #: Requests abandoned at the routing layer because every replica
+    #: of their model was dead — a terminal fate, disjoint from the
+    #: cluster fates, charged to the extended invariant.
+    failed_over: int = 0
+    #: Requests that *failed over* to a healthy replica (router
+    #: re-routes plus post-serve recovery re-serves).  Like ``stolen``
+    #: this annotates admitted requests — their final fates are
+    #: counted where they landed.
+    failovers: int = 0
+    #: Per-shard recovery serves: requests stranded by a mid-trace
+    #: shard death re-served on a healthy replica (``None`` when the
+    #: shard ran no recovery pass).
+    recovery_results: tuple[ClusterResult | None, ...] = ()
 
     def _shards(self) -> tuple[ClusterResult, ...]:
-        return tuple(r for r in self.shard_results if r is not None)
+        primary = tuple(r for r in self.shard_results if r is not None)
+        recovery = tuple(
+            r for r in self.recovery_results if r is not None
+        )
+        return primary + recovery
 
     @property
     def served(self) -> int:
@@ -144,18 +178,29 @@ class FabricResult:
             raise ValueError("no requests finished")
         return self.served / self.horizon_s
 
+    @property
+    def goodput(self) -> float:
+        """Served fraction of everything offered (sheds and failed-over
+        requests count against it — they were offered too)."""
+        if self.offered <= 0:
+            raise ValueError("nothing was offered")
+        return self.served / self.offered
+
     def records(self) -> tuple[RuntimeRecord, ...]:
         """All served records with *global* core indices, ordered by
-        ``(finish_s, request_id)`` — the cross-shard completion order."""
+        ``(finish_s, request_id)`` — the cross-shard completion order.
+        Recovery-pass records are included: a failed-over request's
+        record carries the replica's core."""
         merged: list[RuntimeRecord] = []
-        for shard, result in enumerate(self.shard_results):
-            if result is None:
-                continue
-            offset = self.core_offsets[shard]
-            merged.extend(
-                replace(record, core=record.core + offset)
-                for record in result.records
-            )
+        for results in (self.shard_results, self.recovery_results):
+            for shard, result in enumerate(results):
+                if result is None:
+                    continue
+                offset = self.core_offsets[shard]
+                merged.extend(
+                    replace(record, core=record.core + offset)
+                    for record in result.records
+                )
         return tuple(
             sorted(
                 merged,
@@ -165,13 +210,23 @@ class FabricResult:
 
     def accounted(self) -> bool:
         """The global invariant: every offered request landed in
-        exactly one of served/dropped/failed/unfinished/shed."""
+        exactly one of served / dropped / failed / unfinished / shed /
+        failed_over — and the subset annotations are sane (``stolen``
+        and ``failovers`` mark served/admitted requests, so they can
+        never exceed what they annotate)."""
+        if min(
+            self.shed, self.stolen, self.failed_over, self.failovers
+        ) < 0:
+            return False
+        if self.stolen > self.served:
+            return False
         return (
             self.served
             + self.dropped
             + self.failed
             + self.unfinished
             + self.shed
+            + self.failed_over
             == self.offered
         )
 
@@ -182,12 +237,17 @@ class Fabric:
     ``shards`` may mix :class:`ShardSpec` recipes and pre-built
     :class:`~repro.runtime.cluster.Cluster` instances.  ``router``
     defaults to :class:`~repro.fabric.router.LeastLoadedShardRouter`.
+    ``placement`` opts into the replicated model lifecycle: deploys go
+    to the placement's chosen shards instead of everywhere, and serves
+    run a post-pass that re-routes requests stranded by a dead shard
+    onto a live replica.
     """
 
     def __init__(
         self,
         shards: Sequence[ShardSpec | Cluster],
         router: ShardRouter | None = None,
+        placement: ModelPlacement | None = None,
     ) -> None:
         if not shards:
             raise ValueError("a fabric needs at least one shard")
@@ -205,6 +265,17 @@ class Fabric:
             total += shard.num_cores
         self._core_offsets = tuple(offsets)
         self._total_cores = total
+        self.placement = placement
+        if placement is not None:
+            placement.bind(self)
+        if (
+            isinstance(self.router, FailoverRouter)
+            and self.router.placement is None
+        ):
+            self.router.placement = placement
+        #: Blue/green version registry (always present; a fabric that
+        #: never stages a second version pays one dict miss per serve).
+        self.versions = ModelVersions()
         #: Cross-shard merged statistics, refreshed by each serve.
         self.stats = ServerStats()
 
@@ -238,11 +309,136 @@ class Fabric:
     # ------------------------------------------------------------------
     # Model management
     # ------------------------------------------------------------------
-    def deploy(self, dag: ComputationDAG, warmup: int = 1) -> None:
-        """Register one DAG on every shard (compiled per architecture
-        inside each shard's geometry-keyed deploy)."""
+    def _aliased_dag(self, dag: ComputationDAG, alias: int) -> ComputationDAG:
+        if alias == dag.model_id:
+            return dag
+        return ComputationDAG(alias, dag.name, list(dag.tasks))
+
+    def deploy(
+        self,
+        dag: ComputationDAG,
+        warmup: int = 1,
+        version: str | None = None,
+    ) -> tuple[int, ...]:
+        """Register one DAG (compiled per architecture inside each
+        shard's geometry-keyed deploy) and return its home shards.
+
+        Without a placement the model lands on every shard; with one,
+        on the placement's N chosen shards.  ``version`` stages a
+        blue/green version of an already-deployed model: its plans
+        (and shared-memory segments, on parallel shards) register
+        under a private alias id on the same home shards while the
+        active version keeps serving — nothing routes to it until
+        :meth:`cutover`.
+        """
+        staging = (
+            version is not None
+            and self.versions.is_registered(dag.model_id)
+        )
+        model_version = self.versions.register(dag, version)
+        if self.placement is not None:
+            homes = (
+                self.placement.shards_for(dag.model_id)
+                if staging
+                else self.placement.place(dag)
+            )
+        else:
+            homes = tuple(range(self.num_shards))
+        target = self._aliased_dag(dag, model_version.alias)
+        if staging:
+            # A staged version must be invisible to the live version's
+            # timing: warm-up executes consume the memory controller's
+            # sequential DRAM-jitter draws, which would make a post-
+            # rollback serve diverge from a fresh deploy.  Staging
+            # registers plans and segments only; the new version pays
+            # its (value-neutral) one-time costs after cutover.
+            warmup = 0
+        for shard_index in homes:
+            self.shards[shard_index].deploy(target, warmup=warmup)
+        return homes
+
+    def deploy_versions_to_shard(
+        self, model_id: int, shard: int
+    ) -> ComputationDAG:
+        """Deploy every registered version of one model onto one shard
+        (the auto-heal re-replication path).  Returns the active
+        version's DAG so the caller can weigh the new replica."""
+        versions = self.versions.versions_of(model_id)
+        cluster = self.shards[shard]
+        for model_version in versions:
+            if model_version.alias in cluster.model_ids:
+                continue
+            cluster.deploy(
+                self._aliased_dag(model_version.dag, model_version.alias)
+            )
+        active = self.versions.active_version(model_id)
+        for model_version in versions:
+            if model_version.name == active:
+                return model_version.dag
+        raise AssertionError("unreachable: active version missing")
+
+    def undeploy(self, model_id: int, version: str | None = None) -> None:
+        """Remove a model — or one non-active version of it — from
+        every shard hosting it, releasing compiled plans and (on
+        parallel shards) shared-memory segments."""
+        if version is not None:
+            model_version = self.versions.forget_version(
+                model_id, version
+            )
+            aliases: tuple[int, ...] = (model_version.alias,)
+        else:
+            aliases = tuple(
+                v.alias for v in self.versions.versions_of(model_id)
+            )
+            self.versions.forget(model_id)
+            if self.placement is not None:
+                self.placement.forget(model_id)
         for shard in self.shards:
-            shard.deploy(dag, warmup=warmup)
+            for alias in aliases:
+                if alias in shard.model_ids:
+                    shard.undeploy(alias)
+
+    def cutover(
+        self, model_id: int, version: str, at_s: float = 0.0
+    ) -> None:
+        """Atomically switch a model to a staged version.
+
+        The switch is a pointer flip on the virtual clock: requests
+        arriving at or after ``at_s`` serve the new version's plans,
+        earlier ones the old — no plans are recompiled, moved, or
+        dropped, which is what keeps :meth:`rollback` bit-identical.
+        """
+        self.versions.cutover(model_id, version, at_s=at_s)
+
+    def rollback(self, model_id: int) -> str:
+        """Undo the latest cutover; the restored version's plans were
+        never touched, so subsequent serves are bit-identical to never
+        having cut over.  Returns the restored version name."""
+        return self.versions.rollback(model_id)
+
+    def active_version(self, model_id: int) -> str:
+        """The version name currently serving ``model_id``."""
+        return self.versions.active_version(model_id)
+
+    def _rewrite_versioned(
+        self, trace: Sequence[RuntimeRequest]
+    ) -> list[RuntimeRequest]:
+        """Map public model ids to the version alias active at each
+        request's arrival (identity for unversioned models)."""
+        rewritten: list[RuntimeRequest] = []
+        for request in trace:
+            if not self.versions.is_versioned(request.model_id):
+                rewritten.append(request)
+                continue
+            alias = self.versions.alias_at(
+                request.model_id, request.arrival_s
+            )
+            rewritten.append(
+                request
+                if alias == request.model_id
+                else replace(request, model_id=alias)
+            )
+        return rewritten
 
     # ------------------------------------------------------------------
     # Fault-schedule splitting
@@ -310,6 +506,11 @@ class Fabric:
         directly comparable and the fabric makespan is the slowest
         shard's horizon.  ``watchdog`` (with or without a re-lock
         controller) is probe-stateless and is shared by every shard.
+
+        A :class:`~repro.fabric.lifecycle.FailoverRouter` may return
+        :data:`~repro.fabric.lifecycle.FAILOVER_DROP` for a request
+        with no usable replica; such requests never reach a shard and
+        are charged to the result's ``failed_over``.
         """
         trace = sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
@@ -318,7 +519,9 @@ class Fabric:
             raise ValueError("cannot serve an empty trace")
         self.router.reset()
         routed_counts = [0] * self.num_shards
+        kept: list[RuntimeRequest] = []
         routed: list[int] = []
+        failed_over = 0
         for request in trace:
             views = tuple(
                 ShardView(
@@ -333,6 +536,9 @@ class Fabric:
                 for i, shard in enumerate(self.shards)
             )
             target = self.router.route(request, views)
+            if target == FAILOVER_DROP:
+                failed_over += 1
+                continue
             if not 0 <= target < self.num_shards:
                 raise ValueError(
                     f"router returned shard {target} for request "
@@ -340,16 +546,59 @@ class Fabric:
                     f"{self.num_shards} shards"
                 )
             routed_counts[target] += 1
+            kept.append(request)
             routed.append(target)
         return self.serve_routed(
-            trace,
+            kept,
             routed,
             fault_schedule=fault_schedule,
             watchdog=watchdog,
             retry_policy=retry_policy,
             slo_s=slo_s,
             timeout_s=timeout_s,
+            failed_over=failed_over,
+            failovers=getattr(self.router, "failovers", 0),
         )
+
+    def _recovery_target(
+        self,
+        request: RuntimeRequest,
+        failed_shard: int,
+        schedules: Sequence[FaultSchedule | None],
+        handed_counts: Sequence[int],
+    ) -> int | None:
+        """Pick the replica shard that re-serves one stranded request.
+
+        Eligible shards host the request's model (its version alias),
+        had no scheduled faults of their own, and — if they already
+        served — ended their serve with at least one usable core.
+        Deterministic: fewest requests already handed over, then
+        lowest index.
+        """
+        if self.placement is None:
+            return None
+        public = request.model_id
+        try:
+            public = self.versions.public(request.model_id)[0]
+        except KeyError:
+            pass
+        if not self.placement.is_placed(public):
+            return None
+        candidates = []
+        for shard_index in self.placement.shards_for(public):
+            if shard_index == failed_shard:
+                continue
+            shard = self.shards[shard_index]
+            if request.model_id not in shard.model_ids:
+                continue
+            if schedules[shard_index] is not None:
+                continue
+            if not any(h.usable for h in shard.health.values()):
+                continue
+            candidates.append(shard_index)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (handed_counts[s], s))
 
     def serve_routed(
         self,
@@ -364,6 +613,8 @@ class Fabric:
         offered: int | None = None,
         shed: int = 0,
         stolen: int = 0,
+        failed_over: int = 0,
+        failovers: int = 0,
     ) -> FabricResult:
         """Serve a trace whose shard placement is already decided.
 
@@ -371,10 +622,19 @@ class Fabric:
         gateways (``repro.traffic``) can route with richer state —
         live queue-depth views, work stealing, shed requests — and
         still reuse the fabric's fault splitting, shard serving, and
-        stats merging verbatim.  ``offered``/``shed``/``stolen`` carry
-        the gateway's accounting: ``offered`` defaults to
-        ``len(trace)`` and must equal ``len(trace) + shed`` when sheds
-        occurred upstream.
+        stats merging verbatim.  ``offered``/``shed``/``stolen``/
+        ``failed_over``/``failovers`` carry the gateway's accounting:
+        ``offered`` defaults to ``len(trace) + shed + failed_over``
+        and must equal it when sheds or failover drops occurred
+        upstream; ``stolen`` and ``failovers`` are subset annotations
+        and can never exceed the admitted trace.
+
+        With a placement attached, a **recovery pass** runs after the
+        primary serves: requests a shard *failed* (crashed cores,
+        permanent quarantine — the "no usable core" fate) are
+        re-routed to a live replica shard and re-served there, so a
+        mid-trace shard death moves requests instead of losing them.
+        Each re-route counts in the result's ``failovers``.
         """
         if len(trace) != len(routed):
             raise ValueError(
@@ -382,13 +642,26 @@ class Fabric:
             )
         if not trace:
             raise ValueError("cannot serve an empty trace")
+        if shed < 0 or stolen < 0 or failed_over < 0 or failovers < 0:
+            raise ValueError(
+                "accounting terms cannot be negative (shed="
+                f"{shed}, stolen={stolen}, failed_over={failed_over}, "
+                f"failovers={failovers})"
+            )
         if offered is None:
-            offered = len(trace) + shed
-        if offered != len(trace) + shed:
+            offered = len(trace) + shed + failed_over
+        if offered != len(trace) + shed + failed_over:
             raise ValueError(
                 f"offered={offered} inconsistent with "
-                f"{len(trace)} admitted + {shed} shed"
+                f"{len(trace)} admitted + {shed} shed + "
+                f"{failed_over} failed over"
             )
+        if stolen > len(trace):
+            raise ValueError(
+                f"stolen={stolen} exceeds the {len(trace)} admitted "
+                "requests it annotates"
+            )
+        trace = self._rewrite_versioned(trace)
         sub_traces: list[list[RuntimeRequest]] = [
             [] for _ in range(self.num_shards)
         ]
@@ -407,7 +680,6 @@ class Fabric:
             else [None] * self.num_shards
         )
         results: list[ClusterResult | None] = []
-        merged = ServerStats()
         for shard_index, shard in enumerate(self.shards):
             sub = sub_traces[shard_index]
             if not sub:
@@ -415,17 +687,74 @@ class Fabric:
                 # observable effect, so skip the serve entirely.
                 results.append(None)
                 continue
-            result = shard.serve_trace(
-                sub,
-                fault_schedule=schedules[shard_index],
-                watchdog=watchdog,
-                retry_policy=retry_policy,
-                slo_s=slo_s,
-                timeout_s=timeout_s,
+            results.append(
+                shard.serve_trace(
+                    sub,
+                    fault_schedule=schedules[shard_index],
+                    watchdog=watchdog,
+                    retry_policy=retry_policy,
+                    slo_s=slo_s,
+                    timeout_s=timeout_s,
+                )
             )
-            results.append(result)
+
+        # Recovery pass: move failed requests to a live replica.
+        recovery_results: list[ClusterResult | None] = [
+            None
+        ] * self.num_shards
+        if self.placement is not None:
+            handed: list[list[RuntimeRequest]] = [
+                [] for _ in range(self.num_shards)
+            ]
+            handed_counts = [0] * self.num_shards
+            for shard_index, result in enumerate(results):
+                if result is None or not result.failed:
+                    continue
+                kept_failed = []
+                moved = 0
+                for request in result.failed:
+                    target = self._recovery_target(
+                        request, shard_index, schedules, handed_counts
+                    )
+                    if target is None:
+                        kept_failed.append(request)
+                        continue
+                    handed[target].append(request)
+                    handed_counts[target] += 1
+                    moved += 1
+                if moved:
+                    results[shard_index] = replace(
+                        result, failed=tuple(kept_failed)
+                    )
+                    # The shard's cumulative counters charged these as
+                    # failed; their fates now belong to the replica.
+                    self.shards[shard_index].stats.failed -= moved
+                    failovers += moved
+            for shard_index, shard in enumerate(self.shards):
+                if not handed[shard_index]:
+                    continue
+                recovery_results[shard_index] = shard.serve_trace(
+                    sorted(
+                        handed[shard_index],
+                        key=lambda r: (r.arrival_s, r.request_id),
+                    ),
+                    watchdog=watchdog,
+                    retry_policy=retry_policy,
+                    slo_s=slo_s,
+                    timeout_s=timeout_s,
+                )
+
+        merged = ServerStats()
+        for shard_index, shard in enumerate(self.shards):
+            if (
+                results[shard_index] is None
+                and recovery_results[shard_index] is None
+            ):
+                continue
+            # One merge per shard: the cluster's stats accumulate over
+            # its primary and recovery serves within this call.
             merged.merge(
-                result.stats,
+                shard.stats,
                 core_offset=self._core_offsets[shard_index],
             )
         self.stats = merged
@@ -438,4 +767,7 @@ class Fabric:
             core_offsets=self._core_offsets,
             shed=shed,
             stolen=stolen,
+            failed_over=failed_over,
+            failovers=failovers,
+            recovery_results=tuple(recovery_results),
         )

@@ -65,6 +65,12 @@ class ShardView:
     queued: int = 0
     #: Capacity of that queue (0 when unknown/not applicable).
     queue_capacity: int = 0
+    #: Cores currently able to serve (``None`` when unknown — the
+    #: closed-loop pre-pass has no health feed; the open-loop gateway
+    #: fills this from the fault schedule's :class:`~repro.fabric.
+    #: lifecycle.OutageBook` so a :class:`~repro.fabric.lifecycle.
+    #: FailoverRouter` can route around a dead shard).
+    usable_cores: int | None = None
 
     @property
     def capacity(self) -> int:
@@ -82,6 +88,11 @@ class ShardView:
         if self.queue_capacity <= 0:
             return 0.0
         return self.queued / self.queue_capacity
+
+    @property
+    def alive(self) -> bool:
+        """False only when the health feed reports zero usable cores."""
+        return self.usable_cores is None or self.usable_cores > 0
 
 
 @runtime_checkable

@@ -37,6 +37,13 @@ trajectory is tracked PR over PR:
   The gated ``backpressure_goodput_gain_2x`` — backpressure goodput
   over accept-all goodput at 2x overload — runs on the virtual clock,
   so it is bit-identical on every host.
+* **Failover** (``BENCH_failover.json``) — rolling shard failures on
+  an emulated fabric: a 7-model stand-in zoo served open-loop while
+  one shard dies at each quarter of the horizon, once with N=2
+  replication behind a :class:`~repro.fabric.FailoverRouter`
+  (auto-heal on) and once with bare N=1 placement.  The gated
+  ``failover_goodput_gain`` is the replicated/unreplicated goodput
+  ratio — virtual clock, bit-identical everywhere.
 
 Run from a checkout::
 
@@ -79,6 +86,7 @@ __all__ = [
     "bench_parallel",
     "bench_fabric",
     "bench_traffic",
+    "bench_failover",
     "write_report",
     "check_regression",
     "main",
@@ -99,6 +107,9 @@ GATED_METRICS = {
     "BENCH_fabric": ["fabric_speedup_4s"],
     # Virtual-clock goodput ratio at 2x overload: machine-independent.
     "BENCH_traffic": ["backpressure_goodput_gain_2x"],
+    # Replicated-vs-unreplicated goodput under rolling shard kills:
+    # virtual clock again, bit-identical everywhere.
+    "BENCH_failover": ["failover_goodput_gain"],
 }
 
 
@@ -622,6 +633,179 @@ def bench_traffic(
     return report
 
 
+def bench_failover(
+    requests: int = 20_000,
+    num_shards: int = 4,
+    cores_per_shard: int = 2,
+    load: float = 0.6,
+    seed: int = 0,
+) -> dict:
+    """Rolling shard failures: replicated failover vs bare placement.
+
+    A small dense stand-in zoo (one model per §9 simulation entry,
+    widths tracking relative heft) serves a Poisson open-loop trace on
+    an emulated fabric while one shard is killed at each quarter of
+    the horizon — by the last quarter a single shard survives, which
+    is why the offered load is sized against *one* shard's capacity.
+    The campaign runs twice: N=2 replication behind a
+    :class:`~repro.fabric.FailoverRouter` with auto-heal, and N=1
+    placement with no failover.  Both runs sit on the virtual clock,
+    so the gated ``failover_goodput_gain`` (replicated goodput over
+    unreplicated) is bit-identical on every host; wall-clock
+    throughput is reported for trend tracking only.
+    """
+    if requests < 1:
+        raise ValueError("need at least one request")
+    from ..core.dag import LayerTask
+    from ..dnn import SIMULATION_MODELS
+    from ..fabric import (
+        Fabric,
+        FailoverRouter,
+        ModelPlacement,
+        ShardSpec,
+        kill_shard,
+    )
+    from ..faults import FaultSchedule, RetryPolicy
+    from ..photonics import (
+        BehavioralCore as _Core,
+        CoreArchitecture,
+        NoiselessModel,
+    )
+    from ..traffic import (
+        AcceptAll,
+        AdmissionController,
+        ModelMix,
+        OpenLoopTraffic,
+        PoissonProcess,
+        probe_service_estimates,
+        serve_fabric_open_loop,
+    )
+
+    widths = (8, 12, 16, 16, 20, 24, 12)
+
+    def zoo_dag(model_id: int, width: int, name: str) -> ComputationDAG:
+        rng = np.random.default_rng(1000 + model_id + seed)
+        half = width // 2
+        return ComputationDAG(
+            model_id,
+            name,
+            [
+                LayerTask(
+                    name="fc1", kind="dense",
+                    input_size=width, output_size=half,
+                    weights_levels=rng.integers(
+                        -200, 201, (half, width)
+                    ).astype(float),
+                    nonlinearity="relu",
+                    requant_divisor=float(width),
+                ),
+                LayerTask(
+                    name="fc2", kind="dense",
+                    input_size=half, output_size=4,
+                    weights_levels=rng.integers(
+                        -200, 201, (4, half)
+                    ).astype(float),
+                    depends_on=("fc1",),
+                ),
+            ],
+        )
+
+    zoo = [
+        zoo_dag(model_id, width, spec.name)
+        for model_id, (width, spec) in enumerate(
+            zip(widths, SIMULATION_MODELS()), start=1
+        )
+    ]
+    arch = CoreArchitecture(accumulation_wavelengths=2)
+
+    def run(replicas: int, auto_heal: bool) -> dict:
+        fabric = Fabric(
+            [
+                ShardSpec(
+                    num_cores=cores_per_shard,
+                    datapath_factory=lambda core: LightningDatapath(
+                        core=_Core(
+                            architecture=arch, noise=NoiselessModel()
+                        ),
+                        seed=core,
+                    ),
+                )
+                for _ in range(num_shards)
+            ],
+            router=FailoverRouter(),
+            placement=ModelPlacement(
+                replicas=replicas, auto_heal=auto_heal
+            ),
+        )
+        for dag in zoo:
+            fabric.deploy(dag)
+        estimates = probe_service_estimates(fabric)
+        mean_service = float(
+            np.mean([v for per in estimates for v in per.values()])
+        )
+        traffic = OpenLoopTraffic(
+            PoissonProcess(load * cores_per_shard / mean_service),
+            ModelMix(zoo),
+            seed=seed + 23,
+        )
+        trace = traffic.runtime_trace(requests)
+        horizon = max(r.arrival_s for r in trace)
+        schedule = FaultSchedule(seed=seed + 7)
+        for quarter, shard in enumerate(
+            range(1, num_shards), start=1
+        ):
+            kill_shard(
+                schedule, fabric, shard, horizon * quarter / 4.0
+            )
+        start = time.perf_counter()
+        result = serve_fabric_open_loop(
+            fabric,
+            trace,
+            AdmissionController(AcceptAll()),
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(
+                max_retries=2, backoff_s=1e-6
+            ),
+        )
+        wall = time.perf_counter() - start
+        if not result.accounted():
+            raise AssertionError(
+                "failover benchmark broke the accounting invariant"
+            )
+        return {
+            "replicas": replicas,
+            "auto_heal": auto_heal,
+            "offered": result.offered,
+            "served": result.served,
+            "failed_over": result.failed_over,
+            "failovers": result.failovers,
+            "heals": len(fabric.placement.heals),
+            "goodput": result.goodput,
+            "wall_s": wall,
+            "requests_per_wall_s": requests / wall,
+        }
+
+    replicated = run(replicas=2, auto_heal=True)
+    unreplicated = run(replicas=1, auto_heal=False)
+    report = {
+        "benchmark": "failover",
+        "requests": requests,
+        "num_shards": num_shards,
+        "cores_per_shard": cores_per_shard,
+        "load_fraction_of_one_shard": load,
+        "seed": seed,
+        "replicated": replicated,
+        "unreplicated": unreplicated,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    if unreplicated["goodput"] > 0:
+        report["failover_goodput_gain"] = (
+            replicated["goodput"] / unreplicated["goodput"]
+        )
+    return report
+
+
 def write_report(result: dict, path: pathlib.Path | str) -> pathlib.Path:
     """Write one benchmark result as pretty-printed JSON."""
     path = pathlib.Path(path)
@@ -690,6 +874,10 @@ def main(argv: list[str] | None = None) -> int:
         "--traffic-requests", type=int, default=100_000,
         help="open-loop traffic benchmark request count (per point)",
     )
+    parser.add_argument(
+        "--failover-requests", type=int, default=20_000,
+        help="rolling-shard-failure benchmark request count",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--check",
@@ -714,6 +902,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "BENCH_traffic": bench_traffic(
             requests=args.traffic_requests, seed=args.seed
+        ),
+        "BENCH_failover": bench_failover(
+            requests=args.failover_requests, seed=args.seed
         ),
     }
     failures: list[str] = []
@@ -783,6 +974,16 @@ def main(argv: list[str] | None = None) -> int:
             gain=traffic.get(
                 "backpressure_goodput_gain_2x", float("nan")
             ),
+        )
+    )
+    failover = reports["BENCH_failover"]
+    print(
+        "failover: replicated {rep:.1%} vs unreplicated {bare:.1%} "
+        "goodput under rolling kills; gated goodput_gain "
+        "{gain:.2f}x".format(
+            rep=failover["replicated"]["goodput"],
+            bare=failover["unreplicated"]["goodput"],
+            gain=failover.get("failover_goodput_gain", float("nan")),
         )
     )
     if failures:

@@ -362,6 +362,31 @@ class Cluster:
             for _ in range(max(warmup, 0)):
                 datapath.execute(dag.model_id, zeros)
 
+    def undeploy(self, model_id: int) -> None:
+        """Remove one deployed model from every core.
+
+        Releases the model's compiled plans, sign caches, and admission
+        queue; on parallel clusters the model's shared-memory segment
+        is unlinked (worker mappings linger until the workers exit —
+        live plan views forbid closing them earlier).  The queue must
+        be empty: undeploying mid-trace is a control-plane bug, not a
+        shedding mechanism.
+        """
+        if model_id not in self._dags:
+            raise KeyError(f"model {model_id} is not deployed")
+        queue = self._queues[model_id]
+        if queue.depth:
+            raise ValueError(
+                f"model {model_id} still has {queue.depth} queued "
+                "requests; drain or serve them before undeploying"
+            )
+        for datapath in self.datapaths:
+            datapath.unregister_model(model_id)
+        if self._pool is not None:
+            self._pool.undeploy(model_id)
+        del self._dags[model_id]
+        del self._queues[model_id]
+
     def shared_segment_names(self) -> tuple[str, ...]:
         """Live shared-memory segments (empty for serial clusters).
 

@@ -318,6 +318,17 @@ def _worker_main(core_index: int, datapath_factory, conn) -> None:
             core = datapath.core
             if isinstance(core, DegradedCore):
                 core.relock(now_s, residuals)
+        elif kind == "undeploy":
+            try:
+                # Unregister the model but keep its segment mapped:
+                # numpy views over the buffer may still be referenced
+                # (plan scratch), and closing a mapped segment raises
+                # BufferError.  The parent owns the unlink; this
+                # worker's mapping dies with the process.
+                datapath.unregister_model(message[1])
+                conn.send(("ok", "undeploy"))
+            except Exception:
+                conn.send(("error", -1, traceback.format_exc()))
         elif kind == "invalidate":
             datapath.invalidate_plans()
         elif kind == "stop":
@@ -393,6 +404,35 @@ class CoreWorkerPool:
                     f"worker {core} failed to deploy model "
                     f"{dag.model_id}:\n{message[2]}"
                 )
+
+    def undeploy(self, model_id: int) -> None:
+        """Unregister one model in every worker and release its segment.
+
+        Workers drop their plans but keep the segment mapped (live
+        numpy views forbid closing it); the parent closes and unlinks,
+        so the segment's backing store is reclaimed once the last
+        worker mapping disappears.
+        """
+        for conn in self._pipes:
+            conn.send(("undeploy", model_id))
+        for core in range(self.num_cores):
+            message = self._recv(core)
+            if message[0] != "ok":
+                raise RuntimeError(
+                    f"worker {core} failed to undeploy model "
+                    f"{model_id}:\n{message[2]}"
+                )
+        keep: list[PublishedModel] = []
+        for published in self._published:
+            if published.model_id != model_id:
+                keep.append(published)
+                continue
+            try:
+                published.segment.close()
+                published.segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._published = keep
 
     # ------------------------------------------------------------------
     # Dispatch / collect

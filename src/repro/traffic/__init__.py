@@ -27,6 +27,7 @@ from .admission import (
     AdmissionController,
     AdmissionPolicy,
     QueueBackpressure,
+    TenantQuotas,
     TokenBucket,
 )
 from .arrivals import (
@@ -55,6 +56,7 @@ from .fleet import (
 )
 from .gateway import probe_service_estimates, serve_fabric_open_loop
 from .mix import ModelMix, OpenLoopTraffic, TrafficChunk
+from .slo import SLOBook, SLOClass, SLOReport
 
 __all__ = [
     "ARRIVAL_RNG_DOMAIN",
@@ -75,7 +77,11 @@ __all__ = [
     "AcceptAll",
     "TokenBucket",
     "QueueBackpressure",
+    "TenantQuotas",
     "AdmissionController",
+    "SLOClass",
+    "SLOReport",
+    "SLOBook",
     "FleetSpec",
     "FleetResult",
     "fleet_capacity_rps",

@@ -12,21 +12,34 @@ the serve — instead it runs an **estimate-based pre-pass**:
    0, the :func:`~repro.runtime.workload.rate_for_cluster_utilization`
    idiom) to learn real per-shard service times.
 2. **Project** every shard's queue forward in arrival order — idle
-   cores, busy-until heap, FIFO backlog — using those estimates.
+   cores, busy-until heap, FIFO backlog — using those estimates, and
+   read shard *health* off the fault schedule's
+   :class:`~repro.fabric.lifecycle.OutageBook` (a crash the schedule
+   will inject at time T makes the shard dead to every request
+   arriving after T, exactly as fleet telemetry would).
 3. **Admit or shed** each request against the projected occupancy via
-   an :class:`~repro.traffic.admission.AdmissionController`; admitted
-   requests are routed by the fabric's own router, which now sees
+   an :class:`~repro.traffic.admission.AdmissionController` (which may
+   be request-aware — per-tenant quotas); admitted requests whose
+   class deadline (:class:`~repro.traffic.slo.SLOBook`) is already
+   unmeetable given the projected queue wait are shed at the NIC.
+4. **Route** by the fabric's own router over
    :class:`~repro.fabric.router.ShardView` snapshots carrying live
-   ``queued``/``queue_capacity`` alongside routed load.
-4. **Steal**: when the routed shard is backlogged and another shard
-   has an idle core, the request is re-placed on the idlest shard —
-   the pre-pass form of an idle core pulling from a deep queue.
+   ``queued``/``queue_capacity``/``usable_cores``.  A
+   :class:`~repro.fabric.lifecycle.FailoverRouter` re-routes requests
+   off dead replicas; when *every* replica is dead the gateway asks
+   the placement to re-replicate (auto-heal) and charges the request
+   to ``failed_over`` if the heal has not activated yet.
+5. **Steal**: when the routed shard is backlogged and another usable
+   shard hosting the model has an idle core, the request is re-placed
+   there — the pre-pass form of an idle core pulling from a deep
+   queue.
 
 The admitted trace then replays through
 :meth:`~repro.fabric.fabric.Fabric.serve_routed` with the gateway's
 placement, and sheds are charged into the returned
 :class:`~repro.fabric.fabric.FabricResult`, whose invariant becomes
-``served + dropped + failed + unfinished + shed == offered``.
+``served + dropped + failed + unfinished + shed + failed_over ==
+offered``.
 """
 
 from __future__ import annotations
@@ -37,9 +50,11 @@ from heapq import heappop, heappush
 import numpy as np
 
 from ..fabric.fabric import Fabric, FabricResult
+from ..fabric.lifecycle import FAILOVER_DROP, OutageBook
 from ..fabric.router import ShardView
 from ..runtime.cluster import RuntimeRequest
 from .admission import AdmissionController
+from .slo import SLOBook
 
 __all__ = ["probe_service_estimates", "serve_fabric_open_loop"]
 
@@ -48,7 +63,12 @@ def probe_service_estimates(fabric: Fabric) -> list[dict[int, float]]:
     """Per-shard ``model_id -> estimated service seconds``.
 
     One zero query per (shard, model) on the shard's core 0; caches
-    are warm after deploy, so each probe costs one plan replay.
+    are warm after deploy, so each probe costs one plan replay.  Under
+    a :class:`~repro.fabric.lifecycle.ModelPlacement` a shard hosts
+    only its replicas' models — shards with no models return empty
+    estimate maps (the gateway prices foreign requests with the fleet
+    mean), but a fabric with *no* deployed model anywhere is a
+    configuration error.
     """
     estimates: list[dict[int, float]] = []
     for shard in fabric.shards:
@@ -59,22 +79,23 @@ def probe_service_estimates(fabric: Fabric) -> list[dict[int, float]]:
             )
             execution = shard.datapaths[0].execute(dag.model_id, zeros)
             per_model[dag.model_id] = execution.total_seconds
-        if not per_model:
-            raise ValueError(
-                "every shard must have deployed models before "
-                "open-loop serving"
-            )
         estimates.append(per_model)
+    if not any(estimates):
+        raise ValueError(
+            "no shard has a deployed model; deploy before open-loop "
+            "serving"
+        )
     return estimates
 
 
 class _ShardProjection:
     """Forward-projected queue state of one shard (pre-pass only)."""
 
-    __slots__ = ("idle", "busy", "queue", "capacity")
+    __slots__ = ("idle", "busy", "queue", "capacity", "num_cores")
 
     def __init__(self, num_cores: int, capacity: int) -> None:
         self.idle = num_cores
+        self.num_cores = num_cores
         self.busy: list[float] = []
         self.queue: deque[tuple[float, float]] = deque()
         self.capacity = capacity
@@ -100,21 +121,39 @@ class _ShardProjection:
         else:
             self.queue.append((now_s, service_s))
 
+    def wait_estimate(self, now_s: float) -> float:
+        """Projected queuing delay a request admitted now would pay:
+        zero with an idle core, else the earliest completion plus the
+        backlog's service demand spread over the shard's cores."""
+        if self.idle > 0:
+            return 0.0
+        wait = max(self.busy[0] - now_s, 0.0) if self.busy else 0.0
+        if self.queue:
+            backlog = sum(service for _, service in self.queue)
+            wait += backlog / self.num_cores
+        return wait
+
 
 def serve_fabric_open_loop(
     fabric: Fabric,
     requests: list[RuntimeRequest],
     admission: AdmissionController | None = None,
     steal: bool = True,
+    slo_book: SLOBook | None = None,
     **serve_kwargs,
 ) -> FabricResult:
     """Serve an open-loop trace through a fabric behind admission.
 
     ``serve_kwargs`` pass through to
     :meth:`~repro.fabric.fabric.Fabric.serve_routed` (fault schedule,
-    watchdog, retry policy, SLO, timeout).  The returned result's
-    ``offered`` counts the *full* open-loop trace; ``shed`` requests
-    never reach a shard and are charged to the invariant.
+    watchdog, retry policy, SLO, timeout); the fault schedule is also
+    read *here*, as the :class:`~repro.fabric.lifecycle.OutageBook`
+    health feed behind the routing views.  ``slo_book`` enables
+    deadline-aware shedding: a request whose projected wait already
+    blows its class deadline is shed at admission.  The returned
+    result's ``offered`` counts the *full* open-loop trace; ``shed``
+    and ``failed_over`` requests never reach a shard and are charged
+    to the invariant.
     """
     if admission is None:
         from .admission import AcceptAll
@@ -127,10 +166,18 @@ def serve_fabric_open_loop(
     if not trace:
         raise ValueError("cannot serve an empty trace")
     estimates = probe_service_estimates(fabric)
+    fleet_mean = float(
+        np.mean([s for per in estimates for s in per.values()])
+    )
     fallbacks = [
         sum(per_model.values()) / len(per_model)
+        if per_model
+        else fleet_mean
         for per_model in estimates
     ]
+    outages = OutageBook.from_schedule(
+        fabric, serve_kwargs.get("fault_schedule")
+    )
     projections = [
         _ShardProjection(shard.num_cores, shard.queue_capacity)
         for shard in fabric.shards
@@ -140,12 +187,14 @@ def serve_fabric_open_loop(
         for shard in fabric.shards
     ]
     num_cores = [shard.num_cores for shard in fabric.shards]
+    placement = fabric.placement
     fabric.router.reset()
     routed_counts = [0] * fabric.num_shards
 
     admitted: list[RuntimeRequest] = []
     placements: list[int] = []
     stolen = 0
+    failed_over = 0
     for request in trace:
         now_s = request.arrival_s
         for projection in projections:
@@ -158,12 +207,30 @@ def serve_fabric_open_loop(
                 routed=routed_counts[i],
                 queued=len(projections[i].queue),
                 queue_capacity=projections[i].capacity,
+                usable_cores=outages.usable_cores(i, now_s),
             )
             for i in range(fabric.num_shards)
         )
-        if not admission.admit(now_s, views):
+        if not admission.admit(now_s, views, request=request):
             continue
         target = fabric.router.route(request, views)
+        if target == FAILOVER_DROP:
+            if (
+                placement is not None
+                and placement.auto_heal
+                and placement.is_placed(request.model_id)
+            ):
+                # Every replica is dead: heal onto a surviving shard,
+                # then retry the route once.  Requests arriving inside
+                # the redeploy-latency window still fail over.
+                usable = [v.shard for v in views if v.alive]
+                placement.re_replicate(
+                    request.model_id, now_s, usable
+                )
+                target = fabric.router.route(request, views)
+            if target == FAILOVER_DROP:
+                failed_over += 1
+                continue
         if not 0 <= target < fabric.num_shards:
             raise ValueError(
                 f"router returned shard {target} for request "
@@ -175,16 +242,39 @@ def serve_fabric_open_loop(
             and projections[target].idle == 0
             and projections[target].queue
         ):
-            # The routed shard is backlogged; an idle sibling pulls
-            # the request instead (lowest index on ties).
+            # The routed shard is backlogged; an idle, usable sibling
+            # hosting the model pulls the request instead (lowest
+            # index on ties).
+            if placement is not None and placement.is_placed(
+                request.model_id
+            ):
+                hosts = set(
+                    placement.replicas_at(request.model_id, now_s)
+                )
+            else:
+                hosts = set(range(fabric.num_shards))
             candidates = [
                 i
                 for i in range(fabric.num_shards)
                 if projections[i].idle > 0
+                and views[i].alive
+                and i in hosts
             ]
             if candidates:
                 target = min(candidates)
                 stolen += 1
+        if slo_book is not None:
+            deadline = slo_book.deadline_for(request.model_id)
+            if deadline is not None:
+                service = estimates[target].get(
+                    request.model_id, fallbacks[target]
+                )
+                wait = projections[target].wait_estimate(now_s)
+                if wait + service > deadline:
+                    # Admitted by quota, unmeetable by deadline: shed
+                    # at the NIC instead of wasting a queue slot.
+                    admission.shed_admitted()
+                    continue
         routed_counts[target] += 1
         projections[target].charge(
             now_s,
@@ -206,5 +296,7 @@ def serve_fabric_open_loop(
         offered=admission.offered,
         shed=admission.shed,
         stolen=stolen,
+        failed_over=failed_over,
+        failovers=getattr(fabric.router, "failovers", 0),
         **serve_kwargs,
     )

@@ -1,0 +1,134 @@
+"""Per-model SLO classes and deadline-aware grading.
+
+One latency bar for a whole zoo misgrades everyone: LeNet-class
+models answer in microseconds while GPT-2-class stragglers need
+milliseconds, so a single fleet-wide deadline either sheds every
+large-model request as hopeless or lets small-model latency rot
+unnoticed.  An :class:`SLOBook` maps each model id to an
+:class:`SLOClass` with its own deadline, which the open-loop gateway
+uses two ways:
+
+* **Deadline-aware shedding** — at admission time the gateway knows
+  each shard's projected queue wait; a request whose projected finish
+  already blows its class deadline is shed at the NIC (charged to
+  ``shed``), before it wastes a queue slot it cannot convert into
+  goodput.
+* **Per-class grading** — :meth:`SLOBook.grade` scores a
+  :class:`~repro.fabric.fabric.FabricResult` per class, so a GPT-2
+  straggler is judged on the GPT-2 curve and a LeNet request on the
+  LeNet curve, and :meth:`SLOBook.goodput` counts only completions
+  that met *their own* deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fabric.fabric import FabricResult
+
+__all__ = ["SLOClass", "SLOReport", "SLOBook"]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service class: a name and its serve-time deadline."""
+
+    name: str
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("an SLO deadline must be positive")
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One class's scorecard over one serve."""
+
+    slo_class: SLOClass
+    served: int
+    met: int
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of this class's completions inside its deadline
+        (1.0 for a class that saw no traffic — nothing was violated)."""
+        if self.served == 0:
+            return 1.0
+        return self.met / self.served
+
+
+class SLOBook:
+    """Model-id → :class:`SLOClass` assignments for one fleet."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, SLOClass] = {}
+        self._assignments: dict[int, str] = {}
+
+    def assign(self, model_id: int, slo_class: SLOClass) -> None:
+        """Put one model into one class (re-assignment allowed; the
+        class is interned by name, so two classes sharing a name must
+        share a deadline)."""
+        existing = self._classes.get(slo_class.name)
+        if existing is not None and existing != slo_class:
+            raise ValueError(
+                f"SLO class {slo_class.name!r} is already defined "
+                f"with deadline {existing.deadline_s}, not "
+                f"{slo_class.deadline_s}"
+            )
+        self._classes[slo_class.name] = slo_class
+        self._assignments[model_id] = slo_class.name
+
+    def class_of(self, model_id: int) -> SLOClass | None:
+        """The model's class, or ``None`` for unclassified models."""
+        name = self._assignments.get(model_id)
+        return self._classes[name] if name is not None else None
+
+    def deadline_for(self, model_id: int) -> float | None:
+        """The model's serve-time deadline, or ``None`` (no SLO)."""
+        slo_class = self.class_of(model_id)
+        return slo_class.deadline_s if slo_class is not None else None
+
+    def grade(self, result: FabricResult) -> dict[str, SLOReport]:
+        """Score one serve per class (unclassified records skipped).
+
+        A record is graded against the class of its *public* model id
+        — version aliases map back through the serving fabric before
+        grading, so callers grading a versioned serve should assign
+        classes by public id only.
+        """
+        served: dict[str, int] = {name: 0 for name in self._classes}
+        met: dict[str, int] = {name: 0 for name in self._classes}
+        for record in result.records():
+            slo_class = self.class_of(record.request.model_id)
+            if slo_class is None:
+                continue
+            served[slo_class.name] += 1
+            if record.serve_time_s <= slo_class.deadline_s:
+                met[slo_class.name] += 1
+        return {
+            name: SLOReport(
+                slo_class=self._classes[name],
+                served=served[name],
+                met=met[name],
+            )
+            for name in self._classes
+        }
+
+    def goodput(self, result: FabricResult) -> float:
+        """Deadline-respecting completions over everything offered.
+
+        Unclassified records count as good (no deadline to miss);
+        classified records count only inside their own deadline.
+        """
+        if result.offered <= 0:
+            raise ValueError("nothing was offered")
+        good = 0
+        for record in result.records():
+            slo_class = self.class_of(record.request.model_id)
+            if (
+                slo_class is None
+                or record.serve_time_s <= slo_class.deadline_s
+            ):
+                good += 1
+        return good / result.offered

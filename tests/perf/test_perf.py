@@ -110,6 +110,10 @@ class TestBenchmarks:
             bench_emulator(requests=0)
         with pytest.raises(ValueError, match="at least one"):
             bench_cluster(requests=0)
+        from repro.perf.bench import bench_failover
+
+        with pytest.raises(ValueError, match="at least one"):
+            bench_failover(requests=0)
 
 
 class TestCLI:
@@ -117,12 +121,17 @@ class TestCLI:
         out = tmp_path / "reports"
         code = main([
             "--out-dir", str(out), "--requests", "4",
-            "--cluster-requests", "4",
+            "--cluster-requests", "4", "--failover-requests", "400",
         ])
         assert code == 0
         emulator = json.loads((out / "BENCH_emulator.json").read_text())
         assert emulator["benchmark"] == "emulator"
         assert (out / "BENCH_cluster.json").exists()
+        failover = json.loads(
+            (out / "BENCH_failover.json").read_text()
+        )
+        assert failover["benchmark"] == "failover"
+        assert failover["failover_goodput_gain"] > 0
 
         # A hugely better baseline makes the gate fail.
         baseline_dir = tmp_path / "baselines"
@@ -131,7 +140,8 @@ class TestCLI:
         write_report(inflated, baseline_dir / "BENCH_emulator.json")
         code = main([
             "--out-dir", str(out), "--requests", "4",
-            "--cluster-requests", "4", "--check", str(baseline_dir),
+            "--cluster-requests", "4", "--failover-requests", "400",
+            "--check", str(baseline_dir),
         ])
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().err

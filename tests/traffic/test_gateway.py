@@ -6,7 +6,15 @@ import numpy as np
 import pytest
 
 from repro.core import ComputationDAG, LayerTask, LightningDatapath
-from repro.fabric import Fabric, HashShardRouter, ShardSpec
+from repro.fabric import (
+    Fabric,
+    FailoverRouter,
+    HashShardRouter,
+    ModelPlacement,
+    ShardSpec,
+    kill_shard,
+)
+from repro.faults import FaultSchedule, RetryPolicy
 from repro.photonics import BehavioralCore, CoreArchitecture, NoiselessModel
 from repro.traffic import (
     AcceptAll,
@@ -15,6 +23,9 @@ from repro.traffic import (
     OpenLoopTraffic,
     PoissonProcess,
     QueueBackpressure,
+    SLOBook,
+    SLOClass,
+    TenantQuotas,
     probe_service_estimates,
     serve_fabric_open_loop,
 )
@@ -186,3 +197,177 @@ class TestServeRouted:
         assert result.stolen == 0
         assert result.offered == 40
         assert result.accounted()
+
+
+def paced_trace(fabric, count=240, load=0.4, seed=29):
+    """Open-loop trace at ``load`` x the fabric's healthy capacity."""
+    estimates = probe_service_estimates(fabric)
+    mean_service = float(
+        np.mean([v for per in estimates for v in per.values()])
+    )
+    capacity = fabric.total_cores / mean_service
+    mix = ModelMix([make_dag(1), make_dag(2)])
+    traffic = OpenLoopTraffic(
+        PoissonProcess(load * capacity), mix, seed=seed
+    )
+    return traffic.runtime_trace(count)
+
+
+class TestFailoverGateway:
+    def replicated_fabric(
+        self, shards=2, replicas=2, auto_heal=True, latency=0.0
+    ) -> Fabric:
+        fabric = Fabric(
+            [shard_spec() for _ in range(shards)],
+            router=FailoverRouter(),
+            placement=ModelPlacement(
+                replicas=replicas,
+                redeploy_latency_s=latency,
+                auto_heal=auto_heal,
+            ),
+        )
+        for model_id in (1, 2):
+            fabric.deploy(make_dag(model_id))
+        return fabric
+
+    def test_dead_shard_reroutes_to_the_replica(self):
+        fabric = self.replicated_fabric()
+        requests = paced_trace(fabric)
+        horizon = max(r.arrival_s for r in requests)
+        schedule = kill_shard(
+            FaultSchedule(seed=7), fabric, shard=1, at_s=horizon / 2
+        )
+        result = serve_fabric_open_loop(
+            fabric,
+            requests,
+            AdmissionController(AcceptAll()),
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert result.accounted()
+        # A live replica existed throughout: nobody was abandoned.
+        assert result.failed_over == 0
+        assert result.failovers > 0
+        assert result.goodput >= 0.95
+        ordered = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        for request, target in zip(ordered, result.routed):
+            if request.arrival_s >= horizon / 2:
+                assert target == 0
+
+    def test_total_replica_loss_auto_heals(self):
+        fabric = self.replicated_fabric(shards=4, replicas=1)
+        placement = fabric.placement
+        requests = paced_trace(fabric, count=300)
+        horizon = max(r.arrival_s for r in requests)
+        placement.redeploy_latency_s = horizon / 5
+        victim = placement.shards_for(1)[0]
+        schedule = kill_shard(
+            FaultSchedule(seed=7), fabric, victim, horizon / 3
+        )
+        result = serve_fabric_open_loop(
+            fabric,
+            requests,
+            AdmissionController(AcceptAll()),
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert result.accounted()
+        assert len(placement.heals) == 1
+        heal = placement.heals[0]
+        assert heal.model_id == 1
+        assert heal.shard != victim
+        # Requests inside the redeploy window were charged, not lost
+        # silently; post-heal model-1 traffic serves again.
+        assert result.failed_over > 0
+        healed_home = heal.shard
+        served_model_1_after = [
+            r
+            for r in result.records()
+            if r.request.model_id == 1
+            and r.request.arrival_s >= heal.active_from_s
+        ]
+        assert served_model_1_after
+        assert placement.shards_for(1) == (victim, healed_home)
+
+    def test_without_auto_heal_the_model_goes_dark(self):
+        fabric = self.replicated_fabric(
+            shards=4, replicas=1, auto_heal=False
+        )
+        requests = paced_trace(fabric, count=300)
+        horizon = max(r.arrival_s for r in requests)
+        victim = fabric.placement.shards_for(1)[0]
+        schedule = kill_shard(
+            FaultSchedule(seed=7), fabric, victim, horizon / 3
+        )
+        result = serve_fabric_open_loop(
+            fabric,
+            requests,
+            AdmissionController(AcceptAll()),
+            fault_schedule=schedule,
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert result.accounted()
+        assert fabric.placement.heals == []
+        # Roughly a third of the trace is post-kill model-1 traffic
+        # with nowhere to go.
+        assert result.failed_over > 0.15 * len(requests)
+        assert result.goodput < 0.9
+
+
+class TestSLOGateway:
+    def test_deadline_shedding_raises_attainment(
+        self, overload_trace
+    ):
+        estimates = probe_service_estimates(build_fabric())
+        mean_service = float(
+            np.mean([v for per in estimates for v in per.values()])
+        )
+        book = SLOBook()
+        slo_class = SLOClass("interactive", 4.0 * mean_service)
+        book.assign(1, slo_class)
+        book.assign(2, slo_class)
+
+        baseline = serve_fabric_open_loop(
+            build_fabric(),
+            overload_trace,
+            AdmissionController(AcceptAll()),
+        )
+        shedding = serve_fabric_open_loop(
+            build_fabric(),
+            overload_trace,
+            AdmissionController(AcceptAll()),
+            slo_book=book,
+        )
+        assert shedding.accounted()
+        assert shedding.shed > 0
+        with_book = book.grade(shedding)["interactive"].attainment
+        without = book.grade(baseline)["interactive"].attainment
+        assert with_book > without
+        assert with_book > 0.9
+
+    def test_tenant_quotas_gate_the_fabric(self):
+        fabric = build_fabric()
+        requests = paced_trace(fabric, count=200)
+        estimates = probe_service_estimates(fabric)
+        mean_service = float(
+            np.mean([v for per in estimates for v in per.values()])
+        )
+        capacity = fabric.total_cores / mean_service
+        quotas = TenantQuotas(
+            rate_rps=10.0 * capacity, shares={1: 1.0}
+        )
+        result = serve_fabric_open_loop(
+            fabric, requests, AdmissionController(quotas)
+        )
+        assert result.accounted()
+        # Model 2 is not in the allow-list: all of it sheds.
+        model_2 = sum(
+            1 for r in requests if r.model_id == 2
+        )
+        assert result.shed >= model_2 > 0
+        assert all(
+            r.request.model_id == 1 for r in result.records()
+        )
+        assert quotas.tenants[1]["admitted"] == result.offered - result.shed

@@ -1,0 +1,130 @@
+"""Per-model SLO classes: assignment, grading, deadline goodput."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationDAG, LayerTask, LightningDatapath
+from repro.fabric import Fabric, ShardSpec
+from repro.photonics import BehavioralCore, CoreArchitecture, NoiselessModel
+from repro.runtime import RuntimeRequest
+from repro.traffic import SLOBook, SLOClass
+
+
+def make_dag(model_id: int, seed: int = 5) -> ComputationDAG:
+    rng = np.random.default_rng(seed)
+    return ComputationDAG(
+        model_id,
+        f"model-{model_id}",
+        [
+            LayerTask(
+                name="fc1", kind="dense", input_size=12, output_size=6,
+                weights_levels=rng.integers(-200, 201, (6, 12)).astype(
+                    float
+                ),
+                nonlinearity="relu", requant_divisor=12.0,
+            ),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def serve_result():
+    def factory(core: int) -> LightningDatapath:
+        return LightningDatapath(
+            core=BehavioralCore(
+                architecture=CoreArchitecture(
+                    accumulation_wavelengths=2
+                ),
+                noise=NoiselessModel(),
+            ),
+            seed=core,
+        )
+
+    fabric = Fabric(
+        [ShardSpec(num_cores=2, datapath_factory=factory)]
+    )
+    fabric.deploy(make_dag(1))
+    fabric.deploy(make_dag(2))
+    rng = np.random.default_rng(3)
+    requests = [
+        RuntimeRequest(
+            request_id=i,
+            model_id=1 + i % 2,
+            arrival_s=i * 2e-6,
+            data_levels=rng.integers(0, 256, size=12).astype(
+                np.float64
+            ),
+        )
+        for i in range(20)
+    ]
+    return fabric.serve_trace(requests)
+
+
+class TestSLOClasses:
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SLOClass("interactive", 0.0)
+
+    def test_class_names_intern_by_deadline(self):
+        book = SLOBook()
+        book.assign(1, SLOClass("interactive", 1e-6))
+        book.assign(2, SLOClass("interactive", 1e-6))
+        with pytest.raises(ValueError, match="already defined"):
+            book.assign(3, SLOClass("interactive", 2e-6))
+
+    def test_models_can_be_reassigned(self):
+        book = SLOBook()
+        book.assign(1, SLOClass("interactive", 1e-6))
+        book.assign(1, SLOClass("batch", 1e-3))
+        assert book.class_of(1).name == "batch"
+        assert book.deadline_for(1) == 1e-3
+
+    def test_unclassified_models_have_no_deadline(self):
+        book = SLOBook()
+        assert book.class_of(9) is None
+        assert book.deadline_for(9) is None
+
+
+class TestGrading:
+    def test_per_class_attainment(self, serve_result):
+        serve_times = [
+            r.serve_time_s for r in serve_result.records()
+        ]
+        loose = max(serve_times) * 2
+        book = SLOBook()
+        book.assign(1, SLOClass("generous", loose))
+        book.assign(2, SLOClass("impossible", 1e-12))
+        reports = book.grade(serve_result)
+        assert reports["generous"].served == 10
+        assert reports["generous"].met == 10
+        assert reports["generous"].attainment == 1.0
+        assert reports["impossible"].served == 10
+        assert reports["impossible"].met == 0
+        assert reports["impossible"].attainment == 0.0
+
+    def test_untrafficked_class_attains_trivially(self, serve_result):
+        book = SLOBook()
+        book.assign(42, SLOClass("idle", 1e-3))
+        report = book.grade(serve_result)["idle"]
+        assert report.served == 0
+        assert report.attainment == 1.0
+
+    def test_unclassified_records_skipped(self, serve_result):
+        book = SLOBook()
+        book.assign(1, SLOClass("only-model-1", 1.0))
+        reports = book.grade(serve_result)
+        assert reports["only-model-1"].served == 10
+
+    def test_goodput_counts_deadlines_not_completions(
+        self, serve_result
+    ):
+        book = SLOBook()
+        book.assign(1, SLOClass("impossible", 1e-12))
+        # Model 1's 10 completions all blow their deadline; model 2 is
+        # unclassified and counts as good.
+        assert book.goodput(serve_result) == pytest.approx(
+            10 / serve_result.offered
+        )
+        assert serve_result.goodput == 1.0
