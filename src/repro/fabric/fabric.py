@@ -40,6 +40,7 @@ offered``.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
@@ -86,6 +87,9 @@ class ShardSpec:
     drop_policy: str = "drop-tail"
     max_batch: int = 1
     execution: str = "serial"
+    #: Dispatch-signalling window for ``execution="parallel"`` shards
+    #: (batches per worker wake-up; results are window-invariant).
+    window: int = 8
 
     def build(self) -> Cluster:
         """Construct this shard's cluster."""
@@ -101,6 +105,7 @@ class ShardSpec:
             drop_policy=self.drop_policy,
             max_batch=self.max_batch,
             execution=self.execution,
+            window=self.window,
         )
 
 
@@ -240,7 +245,12 @@ class Fabric:
     ``placement`` opts into the replicated model lifecycle: deploys go
     to the placement's chosen shards instead of everywhere, and serves
     run a post-pass that re-routes requests stranded by a dead shard
-    onto a live replica.
+    onto a live replica.  ``concurrency`` (default ``"threads"``)
+    serves busy shards concurrently — one thread per shard, so with
+    parallel-execution shards the whole fabric's worker processes
+    compute at once and wall-clock tracks the slowest shard instead of
+    the sum; ``"serial"`` restores the one-shard-at-a-time loop
+    (identical results, for debugging and A/B timing).
     """
 
     def __init__(
@@ -248,9 +258,25 @@ class Fabric:
         shards: Sequence[ShardSpec | Cluster],
         router: ShardRouter | None = None,
         placement: ModelPlacement | None = None,
+        concurrency: str = "threads",
     ) -> None:
         if not shards:
             raise ValueError("a fabric needs at least one shard")
+        if concurrency not in ("threads", "serial"):
+            raise ValueError(
+                f"unknown concurrency mode {concurrency!r}; "
+                "choose 'threads' or 'serial'"
+            )
+        #: How busy shards serve relative to each other: ``"threads"``
+        #: dispatches every shard's serve concurrently (one thread per
+        #: busy shard — shards share no mutable state, and parallel
+        #: shards spend their serve waiting on worker processes, which
+        #: releases the GIL), ``"serial"`` iterates them in shard
+        #: order.  Results are bit-identical either way: each shard
+        #: serves its own sub-trace on its own virtual clock, and
+        #: merging happens in fixed shard order after every serve
+        #: returns.
+        self.concurrency = concurrency
         self.shards: tuple[Cluster, ...] = tuple(
             spec.build() if isinstance(spec, ShardSpec) else spec
             for spec in shards
@@ -486,6 +512,28 @@ class Fabric:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _serve_shards(
+        self, jobs: Sequence[tuple[int, Callable[[], ClusterResult]]]
+    ) -> list[ClusterResult]:
+        """Run per-shard serve thunks, concurrently when configured.
+
+        Wall-clock is the only thing concurrency changes: every thunk
+        touches exactly one shard's state (clusters share nothing
+        mutable — the shared watchdog is probe-stateless and the
+        re-lock controller serializes its sweep mount internally), and
+        the caller consumes the returned list in the same fixed job
+        order either way.  The first shard exception propagates after
+        all serves finish, so no cluster is abandoned mid-trace.
+        """
+        if self.concurrency != "threads" or len(jobs) <= 1:
+            return [thunk() for _, thunk in jobs]
+        with ThreadPoolExecutor(
+            max_workers=len(jobs),
+            thread_name_prefix="lightning-shard",
+        ) as pool:
+            futures = [pool.submit(thunk) for _, thunk in jobs]
+            return [future.result() for future in futures]
+
     def serve_trace(
         self,
         requests: Iterable[RuntimeRequest],
@@ -679,24 +727,31 @@ class Fabric:
             if fault_schedule is not None
             else [None] * self.num_shards
         )
-        results: list[ClusterResult | None] = []
-        for shard_index, shard in enumerate(self.shards):
-            sub = sub_traces[shard_index]
-            if not sub:
-                # Nothing routed here; faults on an idle shard have no
-                # observable effect, so skip the serve entirely.
-                results.append(None)
-                continue
-            results.append(
-                shard.serve_trace(
-                    sub,
-                    fault_schedule=schedules[shard_index],
-                    watchdog=watchdog,
-                    retry_policy=retry_policy,
-                    slo_s=slo_s,
-                    timeout_s=timeout_s,
-                )
+        # Idle shards are skipped entirely (faults on an idle shard
+        # have no observable effect); every busy shard's serve runs
+        # as one job — concurrently under concurrency="threads", so
+        # the fabric's wall-clock is the slowest shard, not the sum.
+        results: list[ClusterResult | None] = [None] * self.num_shards
+
+        def serve_shard(shard_index: int) -> ClusterResult:
+            return self.shards[shard_index].serve_trace(
+                sub_traces[shard_index],
+                fault_schedule=schedules[shard_index],
+                watchdog=watchdog,
+                retry_policy=retry_policy,
+                slo_s=slo_s,
+                timeout_s=timeout_s,
             )
+
+        jobs = [
+            (index, lambda index=index: serve_shard(index))
+            for index in range(self.num_shards)
+            if sub_traces[index]
+        ]
+        for (shard_index, _), result in zip(
+            jobs, self._serve_shards(jobs)
+        ):
+            results[shard_index] = result
 
         # Recovery pass: move failed requests to a live replica.
         recovery_results: list[ClusterResult | None] = [
@@ -730,10 +785,8 @@ class Fabric:
                     # failed; their fates now belong to the replica.
                     self.shards[shard_index].stats.failed -= moved
                     failovers += moved
-            for shard_index, shard in enumerate(self.shards):
-                if not handed[shard_index]:
-                    continue
-                recovery_results[shard_index] = shard.serve_trace(
+            def recover_shard(shard_index: int) -> ClusterResult:
+                return self.shards[shard_index].serve_trace(
                     sorted(
                         handed[shard_index],
                         key=lambda r: (r.arrival_s, r.request_id),
@@ -743,6 +796,16 @@ class Fabric:
                     slo_s=slo_s,
                     timeout_s=timeout_s,
                 )
+
+            recovery_jobs = [
+                (index, lambda index=index: recover_shard(index))
+                for index in range(self.num_shards)
+                if handed[index]
+            ]
+            for (shard_index, _), result in zip(
+                recovery_jobs, self._serve_shards(recovery_jobs)
+            ):
+                recovery_results[shard_index] = result
 
         merged = ServerStats()
         for shard_index, shard in enumerate(self.shards):

@@ -27,6 +27,7 @@ trusting them:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -284,6 +285,13 @@ class BiasRelockController:
         self.max_attempts = max_attempts
         self.point_time_s = point_time_s
         self._kit = None
+        # One controller is commonly shared by every shard of a fabric
+        # (via a shared watchdog), and concurrent shard serving runs
+        # re-locks from shard threads; the cached dev kit's lane 0 is
+        # the sweep mount, so sweeps must not interleave.  The sweep is
+        # a pure function of the fault's offset, so serializing them
+        # changes nothing observable.
+        self._sweep_lock = threading.Lock()
 
     @property
     def sweep_duration_s(self) -> float:
@@ -333,15 +341,16 @@ class BiasRelockController:
         bias-configuration call the Appendix-G notebook uses — so the
         repair loop exercises the real operator procedure end to end.
         """
-        kit = self._devkit()
         offset = fault.bias_error_volts(now_s)
-        lane = kit.core.lanes[0]
-        original = lane.mod_a
-        lane.mod_a = _WanderedModulator(offset, v_pi=fault.v_pi)
-        try:
-            sweep = kit.sweep_bias(lane=0, which="a")
-        finally:
-            lane.mod_a = original
+        with self._sweep_lock:
+            kit = self._devkit()
+            lane = kit.core.lanes[0]
+            original = lane.mod_a
+            lane.mod_a = _WanderedModulator(offset, v_pi=fault.v_pi)
+            try:
+                sweep = kit.sweep_bias(lane=0, which="a")
+            finally:
+                lane.mod_a = original
         applied = sweep.max_extinction_bias()
         # The new operating point sits ``applied`` away from nominal;
         # the physical phase offset remains, so the leftover bias error

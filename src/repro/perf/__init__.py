@@ -8,11 +8,13 @@ fast-path PR onward:
   readout, queue vs dispatch) with negligible overhead when idle;
 * :mod:`~repro.perf.bench` — the benchmark harness: a LeNet-class
   emulation benchmark comparing the compiled fast path against the
-  per-row loop path, a cluster serving benchmark, and a parallel
-  scaling benchmark (serial event loop vs ``execution="parallel"``
-  worker pools at 1/2/4 cores, determinism asserted), emitting
-  machine-readable ``BENCH_emulator.json`` / ``BENCH_cluster.json`` /
-  ``BENCH_parallel.json`` reports plus a regression gate for CI
+  per-row loop path, a cluster serving benchmark, a parallel scaling
+  benchmark (serial event loop vs ``execution="parallel"`` worker
+  pools at 1/2/4 cores, determinism asserted), and a dispatch
+  microbenchmark (pipe round-trips vs windowed shared-memory ring
+  hand-offs), emitting machine-readable ``BENCH_emulator.json`` /
+  ``BENCH_cluster.json`` / ``BENCH_parallel.json`` /
+  ``BENCH_dispatch.json`` reports plus a regression gate for CI
   (``python -m repro.perf.bench``).
 """
 
@@ -20,9 +22,12 @@ from .timers import PhaseTimer
 from .bench import (
     REGRESSION_THRESHOLD,
     bench_cluster,
+    bench_dispatch,
     bench_emulator,
+    bench_fabric,
     bench_parallel,
     check_regression,
+    effective_cpus,
     lenet_class_dag,
     write_report,
 )
@@ -31,9 +36,12 @@ __all__ = [
     "PhaseTimer",
     "REGRESSION_THRESHOLD",
     "bench_cluster",
+    "bench_dispatch",
     "bench_emulator",
+    "bench_fabric",
     "bench_parallel",
     "check_regression",
+    "effective_cpus",
     "lenet_class_dag",
     "write_report",
 ]

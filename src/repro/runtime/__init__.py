@@ -18,7 +18,10 @@ paper's §9 simulator abstracts, realised over real
   reusing the §9 workload generator;
 * :mod:`~repro.runtime.parallel` — the process-parallel execution
   backend (``Cluster(execution="parallel")``): one persistent worker
-  per core replaying shared-memory plans, bit-identical to serial.
+  per core replaying shared-memory plans, bit-identical to serial;
+* :mod:`~repro.runtime.rings` — the windowed shared-memory ring
+  transport the parallel backend dispatches through (one semaphore
+  post per window of batches, zero per-batch pickling).
 """
 
 from .schedulers import (
@@ -35,6 +38,7 @@ from .queues import DROP_POLICIES, AdmissionQueue, QueueEntry
 from .batching import BatchingCoalescer, stack_levels
 from .cluster import Cluster, ClusterResult, RuntimeRecord, RuntimeRequest
 from .parallel import CoreWorkerPool, SharedArrayRef, publish_model
+from .rings import RingConsumer, RingGeometry, RingProducer, RingSems
 from .workload import poisson_trace, rate_for_cluster_utilization
 
 __all__ = [
@@ -58,6 +62,10 @@ __all__ = [
     "CoreWorkerPool",
     "SharedArrayRef",
     "publish_model",
+    "RingGeometry",
+    "RingSems",
+    "RingProducer",
+    "RingConsumer",
     "poisson_trace",
     "rate_for_cluster_utilization",
 ]

@@ -40,6 +40,7 @@ ends in exactly one bucket — ``served + dropped + failed + unfinished
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -223,9 +224,12 @@ class Cluster:
         max_batch: int = 1,
         tracer: DatapathTracer | None = None,
         execution: str = "serial",
+        window: int = 8,
     ) -> None:
         if num_cores < 1:
             raise ValueError("a cluster needs at least one core")
+        if window < 1:
+            raise ValueError("dispatch window must be at least 1")
         if execution not in ("serial", "parallel"):
             raise ValueError(
                 f"unknown execution mode {execution!r}; "
@@ -256,6 +260,10 @@ class Cluster:
         self.queue_capacity = queue_capacity
         self.drop_policy = drop_policy
         self.coalescer = BatchingCoalescer(max_batch=max_batch)
+        #: Dispatch-signalling window for parallel execution (batches
+        #: per worker wake-up); irrelevant to results, which are
+        #: bit-identical at any window size.
+        self.window = window
         self.tracer = tracer
         self.stats = ServerStats()
         #: Frame-level accounting shared with every admission queue, so
@@ -286,8 +294,11 @@ class Cluster:
             # each child starts from a lean image; the factory crosses
             # by fork inheritance (it is commonly an unpicklable
             # closure).  Plans ship later, at deploy, via shared
-            # memory.
-            self._pool = CoreWorkerPool(num_cores, factory)
+            # memory; dispatches ride per-worker ring buffers signalled
+            # once per ``window`` batches.
+            self._pool = CoreWorkerPool(
+                num_cores, factory, window=window, max_batch=max_batch
+            )
             self._pool_finalizer = pool_finalizer(self, self._pool)
 
     # ------------------------------------------------------------------
@@ -507,6 +518,13 @@ class Cluster:
         #: before each assign; everyone else skips the view building.
         wants_health = getattr(self.scheduler, "uses_health", False)
         inflight: dict[int, _Dispatch] = {}
+        #: Parallel-mode batches whose outputs are still in a worker:
+        #: ``(first record index, dispatch)`` in finalization order.
+        #: Records are written with a placeholder prediction during the
+        #: loop and patched after it, so the virtual clock never blocks
+        #: on a worker — the parent's timing dry-runs for later windows
+        #: overlap the workers' compute for earlier ones.
+        pending_joins: list[tuple[int, _Dispatch]] = []
         records: list[RuntimeRecord] = []
         dropped: list[RuntimeRequest] = []
         failed: list[RuntimeRequest] = []
@@ -626,10 +644,19 @@ class Cluster:
             core_busy[core] = False
             busy_seconds += batch.service_s
             if batch.outputs is None:
-                # Parallel mode: the virtual clock reached this batch's
-                # completion; join with the worker that computed it.
-                batch.outputs = self._pool.result(core, batch.worker_seq)
-            for entry, output in zip(batch.entries, batch.outputs):
+                # Parallel mode: the timing was fixed at dispatch, so
+                # the record is complete except for its prediction.
+                # Defer the worker join until the event loop drains —
+                # the placeholder is patched in completion order, which
+                # per core is dispatch order (a core serializes), so
+                # the strict-order collect still matches.
+                pending_joins.append((len(records), batch))
+            outputs = (
+                batch.outputs
+                if batch.outputs is not None
+                else [None] * len(batch.entries)
+            )
+            for entry, output in zip(batch.entries, outputs):
                 queuing_s = (
                     batch.finish_s
                     - entry.item.arrival_s
@@ -644,7 +671,9 @@ class Cluster:
                     datapath_s=batch.pass_datapath_s,
                     compute_s=batch.pass_compute_s,
                     finish_s=batch.finish_s,
-                    prediction=int(np.argmax(output)),
+                    prediction=(
+                        -1 if output is None else int(np.argmax(output))
+                    ),
                 )
                 records.append(record)
                 self.stats.record(batch.model_id, record.serve_time_s)
@@ -663,9 +692,9 @@ class Cluster:
                 wrapper.set_time(now)
                 wrapper.install(device_fault_from_event(fault))
                 if self._pool is not None:
-                    # The worker's pipe is FIFO, so the fault lands
-                    # between exactly the dispatches it separated on
-                    # the virtual clock — same prefix a serial run
+                    # The worker's request ring is FIFO, so the fault
+                    # lands between exactly the dispatches it separated
+                    # on the virtual clock — same prefix a serial run
                     # would have applied.
                     self._pool.fault(core, fault, now)
                 emit("fault", f"core:{core}", {"kind": fault.kind}, now)
@@ -797,7 +826,7 @@ class Cluster:
                 core, self.datapaths[core].core, now
             )
             if self._pool is not None and report.relocked:
-                # FIFO pipe: the mirror lands after every batch the
+                # Ring FIFO: the mirror lands after every batch the
                 # worker was sent pre-quarantine, exactly where the
                 # serial timeline re-based its own faults.
                 self._pool.relock(core, now, report.residual_volts)
@@ -995,10 +1024,23 @@ class Cluster:
         events.run(handle, until=timeout_s)
 
         if self._pool is not None:
-            # Join with every worker before returning: batches cut off
-            # by a timeout were never finalized, and aborted ones still
-            # finish in the background — consume them all so the next
-            # serve starts from quiet pipes.
+            # The event loop never blocked on a worker; now join.
+            # Collect every finalized batch's outputs in completion
+            # order (per core that is dispatch order) and patch the
+            # placeholder predictions — everything else in the record
+            # was already exact at finalization.
+            for base, batch in pending_joins:
+                batch.outputs = self._pool.result(
+                    batch.core, batch.worker_seq
+                )
+                for offset, output in enumerate(batch.outputs):
+                    records[base + offset] = dataclasses.replace(
+                        records[base + offset],
+                        prediction=int(np.argmax(output)),
+                    )
+            # Batches cut off by a timeout were never finalized, and
+            # aborted ones still finish in the background — consume
+            # them all so the next serve starts from quiet rings.
             for batch in inflight.values():
                 if batch.outputs is None:
                     self._pool.discard(batch.core, batch.worker_seq)
@@ -1136,9 +1178,11 @@ class Cluster:
         same memory-jitter draws, in the same order, as a serial
         execute would — so the virtual clock's event ordering is fixed
         here and never waits on a worker.  Only the request block and
-        the noise key cross the pipe; the worker replays the
-        shared-memory plan and the outputs are joined at completion
-        time (see :meth:`_Dispatch`).
+        the noise key land in the worker's request ring (one semaphore
+        post per window of dispatches); the outputs are joined after
+        the event loop drains (see :class:`_Dispatch`), so the
+        parent's bookkeeping for later windows overlaps the workers'
+        compute for earlier ones.
         """
         datapath = self.datapaths[core]
         if len(entries) == 1:

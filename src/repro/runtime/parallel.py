@@ -18,10 +18,13 @@ execution parallelism while preserving its virtual-clock determinism:
   model.  Workers map the segment read-only and rebuild their plans as
   views (:func:`~repro.core.plans.import_model_plan`) — compiled state
   is published once and never re-pickled.
-* **Zero-copy dispatch** — a per-batch message carries only the request
-  vectors (or the coalesced ``(batch, input)`` block), the virtual
-  dispatch time, and the RNG substream key.  Results come back as raw
-  output-level arrays.
+* **Windowed ring dispatch** — per-batch traffic rides the
+  :mod:`~repro.runtime.rings` transport: the parent writes dispatch
+  slots (raw input block, virtual time, Philox substream key) into a
+  per-worker shared-memory request ring and posts the worker once per
+  ``window`` batches; results come back through a mirrored completion
+  ring as raw output rows.  No per-batch pickling, no per-batch pipe
+  syscalls — one semaphore post amortizes over W dispatches.
 
 Determinism contract: the parent reseeds nothing here — the cluster
 keys every batch's readout-noise stream by ``(domain, core, epoch,
@@ -30,12 +33,15 @@ its core's Philox substream on that key before executing
 (:meth:`~repro.photonics.core.BehavioralCore.reseed_noise`).  Because
 the draws a batch consumes depend only on its key, the worker's outputs
 are bit-identical to the serial path's regardless of real scheduling
-order.  Device faults forward over the same FIFO pipe as dispatches, so
-a worker observes exactly the fault-prefix a serial execution at that
-virtual time would have.
+order.  Device faults, bias re-locks, and plan invalidations travel as
+control slots in the *same* request ring as dispatches, so a worker
+observes exactly the fault-prefix a serial execution at that virtual
+time would have — FIFO ordering by construction, windowing or not.
 
-Lifecycle: segments are created by :meth:`CoreWorkerPool.deploy` and
-unlinked by :meth:`CoreWorkerPool.close` (the cluster also arranges a
+Lifecycle: model segments are created by :meth:`CoreWorkerPool.deploy`,
+ring segments lazily at the first deploy (sized to the widest deployed
+model), and all of them are unlinked by :meth:`CoreWorkerPool.close`
+even when a worker died mid-window (the cluster also arranges a
 ``weakref.finalize`` so a dropped cluster cannot leak segments across
 test runs).
 """
@@ -46,6 +52,7 @@ import dataclasses
 import multiprocessing
 import traceback
 import weakref
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -53,6 +60,15 @@ import numpy as np
 
 from ..core.dag import ComputationDAG, LayerTask
 from ..core.plans import ModelPlan, PlanGeometry, import_model_plan
+from .rings import (
+    MIN_PAYLOAD_BYTES,
+    POLL_S,
+    RingConsumer,
+    RingGeometry,
+    RingProducer,
+    RingSems,
+    attach_segment,
+)
 
 __all__ = [
     "SharedArrayRef",
@@ -64,6 +80,9 @@ __all__ = [
 
 #: Byte alignment of every array inside a shared segment (cache line).
 _ALIGN = 64
+
+#: Default signalling window: semaphore posts per W dispatches.
+DEFAULT_WINDOW = 8
 
 
 def _aligned(offset: int) -> int:
@@ -201,37 +220,9 @@ def _deploy_spec(dag: ComputationDAG, published: PublishedModel) -> dict:
     }
 
 
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach an existing segment without adopting its lifetime.
-
-    The parent owns unlinking; before Python 3.13 a plain attach also
-    registers the segment with the resource tracker (which would
-    double-unlink it, or — with a fork-shared tracker — erase the
-    parent's own registration), so registration is suppressed for the
-    duration of the attach.  Workers are single-threaded message
-    loops, so the temporary patch cannot race.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: no track parameter
-        from multiprocessing import resource_tracker
-
-        original = resource_tracker.register
-
-        def register(rt_name, rtype):  # pragma: no cover - trivial
-            if rtype != "shared_memory":
-                original(rt_name, rtype)
-
-        resource_tracker.register = register
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
-
-
 def _worker_deploy(datapath, spec: dict, segments: list) -> None:
     """Rebuild one model inside a worker from a deploy spec."""
-    segment = _attach_segment(spec["segment"])
+    segment = attach_segment(spec["segment"])
     segments.append(segment)  # keep the mapping alive
     tasks = []
     for task_spec in spec["tasks"]:
@@ -254,88 +245,158 @@ def _worker_deploy(datapath, spec: dict, segments: list) -> None:
     datapath.register_model(dag, plan=plan)
 
 
-def _worker_main(core_index: int, datapath_factory, conn) -> None:
-    """One photonic core's worker loop.
+class _WorkerState:
+    """Mutable bag threaded through one worker's message handlers."""
 
-    Messages are handled strictly in pipe order, which is what makes
-    fault forwarding deterministic: a device fault sent at virtual time
-    T lands between the dispatches it separated in virtual time.
+    def __init__(self, datapath, conn, sems: RingSems) -> None:
+        self.datapath = datapath
+        self.conn = conn
+        self.sems = sems
+        self.consumer: RingConsumer | None = None
+        self.segments: list[shared_memory.SharedMemory] = []
+
+
+def _worker_pipe_message(state: _WorkerState, message: tuple) -> bool:
+    """Handle one control-plane pipe message; False stops the worker.
+
+    The pipe carries only rare, variably sized control traffic: deploy
+    specs, undeploys, ring (re)attachment, and pre-ring shutdown.  Each
+    is acknowledged so the parent can sequence against it.
     """
+    kind = message[0]
+    if kind == "deploy":
+        try:
+            _worker_deploy(state.datapath, message[1], state.segments)
+            state.conn.send(("ok", "deploy"))
+        except Exception:
+            state.conn.send(("error", -1, traceback.format_exc()))
+    elif kind == "undeploy":
+        try:
+            # Unregister the model but keep its segment mapped: numpy
+            # views over the buffer may still be referenced (plan
+            # scratch), and closing a mapped segment raises
+            # BufferError.  The parent owns the unlink; this worker's
+            # mapping dies with the process.
+            state.datapath.unregister_model(message[1])
+            state.conn.send(("ok", "undeploy"))
+        except Exception:
+            state.conn.send(("error", -1, traceback.format_exc()))
+    elif kind == "ring":
+        # Attach (or swap to) the ring pair at ``name``.  The parent
+        # only swaps while the rings are drained, so the shared
+        # semaphores are at their baseline and the fresh consumer's
+        # ordinal 0 lines up with the fresh producer's.
+        _, name, geometry = message
+        try:
+            if state.consumer is not None:
+                state.consumer.close()
+            state.consumer = RingConsumer(name, geometry, state.sems)
+            state.conn.send(("ok", "ring"))
+        except Exception:
+            state.conn.send(("error", -1, traceback.format_exc()))
+    elif kind == "stop":
+        return False
+    return True
+
+
+def _worker_run(state: _WorkerState, message: tuple) -> None:
+    """Execute one dispatched batch and post its outputs (or error)."""
+    from ..faults.device import DegradedCore
+
+    _, seq, model_id, block, now_s, key = message
+    try:
+        datapath = state.datapath
+        core = datapath.core
+        if isinstance(core, DegradedCore):
+            core.set_time(now_s)
+        reseed = getattr(core, "reseed_noise", None)
+        if reseed is not None:
+            reseed(*key)
+        if block.ndim == 1:
+            outputs = [datapath.execute(model_id, block).output_levels]
+        else:
+            outputs = list(
+                datapath.execute_batch(model_id, block).output_levels
+            )
+        state.consumer.post_result(seq, outputs)
+    except Exception:
+        state.consumer.post_error(seq, traceback.format_exc())
+
+
+def _worker_control(state: _WorkerState, message: tuple) -> bool:
+    """Handle one in-ring control slot; False stops the worker."""
     from ..faults.device import DegradedCore, device_fault_from_event
 
-    datapath = datapath_factory(core_index)
-    segments: list[shared_memory.SharedMemory] = []
-    while True:
-        try:
-            message = conn.recv()
-        except EOFError:
-            break
-        kind = message[0]
-        if kind == "deploy":
-            try:
-                _worker_deploy(datapath, message[1], segments)
-                conn.send(("ok", "deploy"))
-            except Exception:
-                conn.send(("error", -1, traceback.format_exc()))
-        elif kind == "run":
-            _, seq, model_id, block, now_s, key = message
-            try:
-                core = datapath.core
-                if isinstance(core, DegradedCore):
-                    core.set_time(now_s)
-                reseed = getattr(core, "reseed_noise", None)
-                if reseed is not None:
-                    reseed(*key)
-                if block.ndim == 1:
-                    outputs = [
-                        datapath.execute(model_id, block).output_levels
-                    ]
-                else:
-                    outputs = list(
-                        datapath.execute_batch(
-                            model_id, block
-                        ).output_levels
-                    )
-                conn.send(("result", seq, outputs))
-            except Exception:
-                conn.send(("error", seq, traceback.format_exc()))
-        elif kind == "fault":
-            from ..faults.schedule import FaultEvent
+    kind = message[0]
+    if kind == "fault":
+        from ..faults.schedule import FaultEvent
 
-            _, (time_s, fkind, fcore, duration_s, params), now_s = message
-            event = FaultEvent(
-                time_s=time_s,
-                kind=fkind,
-                core=fcore,
-                duration_s=duration_s,
-                params=params,
-            )
-            wrapper = DegradedCore.ensure(datapath)
-            wrapper.set_time(now_s)
-            wrapper.install(device_fault_from_event(event))
-        elif kind == "relock":
-            _, now_s, residuals = message
-            core = datapath.core
-            if isinstance(core, DegradedCore):
-                core.relock(now_s, residuals)
-        elif kind == "undeploy":
+        _, (time_s, fkind, fcore, duration_s, params), now_s = message
+        event = FaultEvent(
+            time_s=time_s,
+            kind=fkind,
+            core=fcore,
+            duration_s=duration_s,
+            params=params,
+        )
+        wrapper = DegradedCore.ensure(state.datapath)
+        wrapper.set_time(now_s)
+        wrapper.install(device_fault_from_event(event))
+    elif kind == "relock":
+        _, now_s, residuals = message
+        core = state.datapath.core
+        if isinstance(core, DegradedCore):
+            core.relock(now_s, residuals)
+    elif kind == "invalidate":
+        state.datapath.invalidate_plans()
+    elif kind == "pipe":
+        # The parent queued a control-plane message behind everything
+        # already in the ring; fetch and handle it now.
+        try:
+            return _worker_pipe_message(state, state.conn.recv())
+        except EOFError:
+            return False
+    elif kind == "stop":
+        return False
+    return True
+
+
+def _worker_main(core_index: int, datapath_factory, conn, sems) -> None:
+    """One photonic core's worker loop.
+
+    Until the first deploy the worker blocks on its pipe; once the
+    parent attaches the rings it blocks on the request ring instead,
+    and all further pipe traffic is announced by an in-ring ``pipe``
+    control slot.  Either way messages are handled strictly in
+    submission order, which is what makes fault forwarding
+    deterministic: a device fault sent at virtual time T lands between
+    the dispatches it separated in virtual time.
+    """
+    datapath = datapath_factory(core_index)
+    state = _WorkerState(datapath, conn, sems)
+    running = True
+    while running:
+        if state.consumer is None:
             try:
-                # Unregister the model but keep its segment mapped:
-                # numpy views over the buffer may still be referenced
-                # (plan scratch), and closing a mapped segment raises
-                # BufferError.  The parent owns the unlink; this
-                # worker's mapping dies with the process.
-                datapath.unregister_model(message[1])
-                conn.send(("ok", "undeploy"))
-            except Exception:
-                conn.send(("error", -1, traceback.format_exc()))
-        elif kind == "invalidate":
-            datapath.invalidate_plans()
-        elif kind == "stop":
-            break
-    for segment in segments:
+                message = conn.recv()
+            except EOFError:
+                break
+            running = _worker_pipe_message(state, message)
+            continue
+        message = state.consumer.next()
+        if message[0] == "run":
+            _worker_run(state, message)
+        else:
+            running = _worker_control(state, message)
+    if state.consumer is not None:
+        state.consumer.close()
+    for segment in state.segments:
         segment.close()
     conn.close()
+
+
+class _CloseTimeout(Exception):
+    """Internal: a best-effort shutdown submit could not land."""
 
 
 class CoreWorkerPool:
@@ -343,24 +404,54 @@ class CoreWorkerPool:
 
     Workers fork at construction so the cluster's ``datapath_factory``
     — commonly a closure — transfers by inheritance, never by pickle.
-    All later traffic is small: deploy specs carry shared-memory refs,
-    dispatches carry request vectors, results carry output levels.
+    All later traffic is small: deploy specs carry shared-memory refs
+    over the pipe; dispatches and results ride per-worker shared-memory
+    ring buffers (:mod:`~repro.runtime.rings`), with the request-ring
+    semaphore posted once per ``window`` dispatches.
+
+    ``capacity`` bounds each ring (default ``max(2 * window, 8)``
+    slots); the parent never blocks on a full ring without draining
+    completions first, so deep traces flow through shallow rings.
+    ``max_batch`` sizes the ring slots for the widest coalesced block
+    the cluster may dispatch.
     """
 
-    def __init__(self, num_cores: int, datapath_factory) -> None:
+    def __init__(
+        self,
+        num_cores: int,
+        datapath_factory,
+        *,
+        window: int = DEFAULT_WINDOW,
+        capacity: int | None = None,
+        max_batch: int = 1,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least one batch")
+        if capacity is None:
+            capacity = max(2 * window, 8)
+        if capacity < window:
+            raise ValueError(
+                f"ring capacity {capacity} cannot be smaller than the "
+                f"signalling window {window}"
+            )
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX hosts
             raise RuntimeError(
                 "execution='parallel' needs the fork start method"
             ) from exc
+        self.window = window
+        self.capacity = capacity
+        self._max_batch = max(max_batch, 1)
         self._pipes = []
         self._procs = []
+        self._sems: list[RingSems] = []
         for core in range(num_cores):
             parent_conn, child_conn = ctx.Pipe()
+            sems = RingSems(ctx, capacity)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(core, datapath_factory, child_conn),
+                args=(core, datapath_factory, child_conn, sems),
                 daemon=True,
                 name=f"lightning-core-{core}",
             )
@@ -368,6 +459,7 @@ class CoreWorkerPool:
             child_conn.close()
             self._pipes.append(parent_conn)
             self._procs.append(proc)
+            self._sems.append(sems)
         self._seq = [0] * num_cores
         #: Dispatched-but-uncollected sequence numbers, per core.
         self._outstanding: list[set[int]] = [set() for _ in range(num_cores)]
@@ -375,6 +467,10 @@ class CoreWorkerPool:
         #: batches): the worker computes them anyway, the parent skips
         #: them when they surface.
         self._discarded: list[set[int]] = [set() for _ in range(num_cores)]
+        #: Completions drained out-of-band (to unwedge a full ring),
+        #: held in worker order until ``result``/``drain`` consume them.
+        self._stash: list[deque] = [deque() for _ in range(num_cores)]
+        self._rings: list[RingProducer] | None = None
         self._published: list[PublishedModel] = []
         self._closed = False
 
@@ -385,20 +481,127 @@ class CoreWorkerPool:
     @property
     def segment_names(self) -> tuple[str, ...]:
         """Names of every live shared-memory segment (leak guard)."""
-        return tuple(p.segment_name for p in self._published)
+        names = [p.segment_name for p in self._published]
+        if self._rings is not None:
+            names.extend(ring.segment_name for ring in self._rings)
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # Ring management
+    # ------------------------------------------------------------------
+    def _stall_guard(self, core: int):
+        """An ``on_stall`` callback: drain completions, check liveness.
+
+        Draining keeps a capacity-bound ring from deadlocking (the
+        worker may itself be blocked on a full completion ring); the
+        liveness check turns a worker crash into a loud error instead
+        of an indefinite wait.
+        """
+
+        def on_stall() -> None:
+            self._drain_ready(core)
+            if not self._procs[core].is_alive():
+                raise RuntimeError(
+                    f"worker {core} died while the parent awaited a "
+                    "result"
+                )
+
+        return on_stall
+
+    def _drain_ready(self, core: int) -> None:
+        """Move every already-posted completion into the stash."""
+        while True:
+            message = self._rings[core].poll()
+            if message is None:
+                return
+            self._stash[core].append(message)
+
+    def _next_completion(self, core: int) -> tuple:
+        """The next completion in worker order (stash, then ring)."""
+        if self._stash[core]:
+            return self._stash[core].popleft()
+        return self._rings[core].collect(on_stall=self._stall_guard(core))
+
+    def _pipe_recv(self, core: int):
+        """Receive a control-plane ack, watching for a dead worker."""
+        conn = self._pipes[core]
+        while not conn.poll(POLL_S):
+            if not self._procs[core].is_alive():
+                raise RuntimeError(
+                    f"worker {core} died while the parent awaited a "
+                    "result"
+                )
+        return conn.recv()
+
+    def _pipe_message(self, core: int, message: tuple) -> None:
+        """Queue one pipe message behind the core's in-ring traffic."""
+        if self._rings is not None:
+            self._rings[core].submit_control(
+                ("pipe",), on_stall=self._stall_guard(core)
+            )
+        self._pipes[core].send(message)
+
+    def _ensure_rings(
+        self, request_bytes: int, completion_bytes: int
+    ) -> None:
+        """Create (or grow) the per-worker ring pairs.
+
+        Called only from :meth:`deploy`, i.e. between serves while the
+        rings are drained — the shared semaphores are at baseline, so a
+        freshly attached ring starts both sides at ordinal 0.
+        """
+        request_bytes = max(request_bytes, MIN_PAYLOAD_BYTES)
+        completion_bytes = max(completion_bytes, MIN_PAYLOAD_BYTES)
+        if self._rings is not None and self._rings[0].geometry.fits(
+            request_bytes, completion_bytes
+        ):
+            return
+        old = self._rings
+        geometry = RingGeometry(
+            capacity=self.capacity,
+            request_bytes=request_bytes,
+            completion_bytes=completion_bytes,
+        )
+        fresh: list[RingProducer] = []
+        for core in range(self.num_cores):
+            producer = RingProducer(geometry, self._sems[core], self.window)
+            self._pipe_message(
+                core, ("ring", producer.segment_name, geometry)
+            )
+            fresh.append(producer)
+        # The swap message itself travelled through the *old* rings (or
+        # the bare pipe on first deploy); only after every worker acks
+        # its new attachment do the old segments unlink.
+        self._rings = fresh
+        for core in range(self.num_cores):
+            message = self._pipe_recv(core)
+            if message[0] != "ok":
+                raise RuntimeError(
+                    f"worker {core} failed to attach its dispatch "
+                    f"rings:\n{message[2]}"
+                )
+        if old is not None:
+            for producer in old:
+                producer.close()
 
     # ------------------------------------------------------------------
     # Deploy
     # ------------------------------------------------------------------
     def deploy(self, dag: ComputationDAG, model_plan: ModelPlan) -> None:
         """Publish one model's plan and register it in every worker."""
+        widest_in = max(task.input_size for task in dag.tasks)
+        widest_out = max(task.output_size for task in dag.tasks)
+        self._ensure_rings(
+            self._max_batch * widest_in * 8,
+            self._max_batch * widest_out * 8,
+        )
         published = publish_model(dag, model_plan)
         self._published.append(published)
         spec = _deploy_spec(dag, published)
-        for conn in self._pipes:
-            conn.send(("deploy", spec))
-        for core, conn in enumerate(self._pipes):
-            message = self._recv(core)
+        for core in range(self.num_cores):
+            self._pipe_message(core, ("deploy", spec))
+        for core in range(self.num_cores):
+            message = self._pipe_recv(core)
             if message[0] != "ok":
                 raise RuntimeError(
                     f"worker {core} failed to deploy model "
@@ -413,10 +616,10 @@ class CoreWorkerPool:
         so the segment's backing store is reclaimed once the last
         worker mapping disappears.
         """
-        for conn in self._pipes:
-            conn.send(("undeploy", model_id))
         for core in range(self.num_cores):
-            message = self._recv(core)
+            self._pipe_message(core, ("undeploy", model_id))
+        for core in range(self.num_cores):
+            message = self._pipe_recv(core)
             if message[0] != "ok":
                 raise RuntimeError(
                     f"worker {core} failed to undeploy model "
@@ -445,27 +648,35 @@ class CoreWorkerPool:
         now_s: float,
         key: tuple[int, ...],
     ) -> int:
-        """Ship one batch to a core's worker; returns its sequence id.
+        """Write one batch into a core's request ring; returns its seq.
 
         ``block`` is a single request vector (1-D) or a coalesced
         ``(batch, input)`` stack; the worker mirrors the serial path's
         ``execute`` / ``execute_batch`` split on its dimensionality.
+        The ring semaphore is only posted once ``window`` dispatches
+        have accumulated, so W batches cost one wake-up.
         """
+        if self._rings is None:
+            raise RuntimeError("no model deployed; rings not attached")
         seq = self._seq[core]
         self._seq[core] += 1
         self._outstanding[core].add(seq)
-        self._pipes[core].send(("run", seq, model_id, block, now_s, key))
+        self._rings[core].submit_run(
+            seq,
+            model_id,
+            block,
+            now_s,
+            key,
+            on_stall=self._stall_guard(core),
+        )
         return seq
 
-    def _recv(self, core: int, poll_s: float = 1.0):
-        conn = self._pipes[core]
-        while not conn.poll(poll_s):
-            if not self._procs[core].is_alive():
-                raise RuntimeError(
-                    f"worker {core} died while the parent awaited a "
-                    "result"
-                )
-        return conn.recv()
+    def flush(self) -> None:
+        """Post every worker's pending window (end-of-burst nudge)."""
+        if self._rings is None:
+            return
+        for producer in self._rings:
+            producer.flush()
 
     def result(self, core: int, seq: int) -> list[np.ndarray]:
         """Block until ``seq``'s outputs arrive (skipping discards).
@@ -474,7 +685,7 @@ class CoreWorkerPool:
         surfaces before ``seq`` is a previously discarded batch.
         """
         while True:
-            message = self._recv(core)
+            message = self._next_completion(core)
             kind, got = message[0], message[1]
             if kind == "error":
                 self._outstanding[core].discard(got)
@@ -503,18 +714,23 @@ class CoreWorkerPool:
 
         The event travels as a plain tuple — its ``params`` mapping is
         an unpicklable ``mappingproxy`` — and is rebuilt worker-side.
+        Riding the request ring places it between exactly the
+        dispatches it separated on the virtual clock.
         """
-        self._pipes[core].send((
-            "fault",
+        self._rings[core].submit_control(
             (
-                event.time_s,
-                event.kind,
-                event.core,
-                event.duration_s,
-                dict(event.params),
+                "fault",
+                (
+                    event.time_s,
+                    event.kind,
+                    event.core,
+                    event.duration_s,
+                    dict(event.params),
+                ),
+                now_s,
             ),
-            now_s,
-        ))
+            on_stall=self._stall_guard(core),
+        )
 
     def relock(
         self, core: int, now_s: float, residual_volts: tuple[float, ...]
@@ -523,14 +739,20 @@ class CoreWorkerPool:
 
         The parent ran the sweeps; the worker just re-bases its fault
         replicas at the same residuals so both copies keep perturbing
-        future batches identically.  FIFO ordering places the re-lock
-        after every batch dispatched before it on the virtual clock.
+        future batches identically.  Ring FIFO ordering places the
+        re-lock after every batch dispatched before it on the virtual
+        clock.
         """
-        self._pipes[core].send(("relock", now_s, tuple(residual_volts)))
+        self._rings[core].submit_control(
+            ("relock", now_s, tuple(residual_volts)),
+            on_stall=self._stall_guard(core),
+        )
 
     def invalidate(self, core: int) -> None:
         """Drop a worker's compiled plans (quarantine bookkeeping)."""
-        self._pipes[core].send(("invalidate",))
+        self._rings[core].submit_control(
+            ("invalidate",), on_stall=self._stall_guard(core)
+        )
 
     def drain(self) -> None:
         """Consume every outstanding result so the next serve starts
@@ -538,7 +760,7 @@ class CoreWorkerPool:
         """
         for core in range(self.num_cores):
             while self._outstanding[core]:
-                message = self._recv(core)
+                message = self._next_completion(core)
                 if message[0] in ("result", "error"):
                     self._outstanding[core].discard(message[1])
                     self._discarded[core].discard(message[1])
@@ -546,15 +768,47 @@ class CoreWorkerPool:
     # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
+    def _stop_worker(self, core: int, give_up_ticks: int) -> None:
+        """Best-effort graceful stop for one worker.
+
+        A live worker drains its ring, so the stop slot lands; a dead
+        or wedged one is detected by the bounded stall guard and left
+        for ``terminate``.  Either way ``close`` keeps going — segment
+        unlinking never depends on worker cooperation.
+        """
+        if self._rings is None:
+            self._pipes[core].send(("stop",))
+            return
+        ticks = 0
+
+        def on_stall() -> None:
+            nonlocal ticks
+            ticks += 1
+            try:
+                self._drain_ready(core)
+            except Exception:  # pragma: no cover - corrupt ring
+                raise _CloseTimeout
+            if ticks >= give_up_ticks or not self._procs[core].is_alive():
+                raise _CloseTimeout
+
+        self._rings[core].submit_control(("stop",), on_stall=on_stall)
+
     def close(self, join_timeout_s: float = 5.0) -> None:
-        """Stop workers and unlink every shared segment (idempotent)."""
+        """Stop workers and unlink every shared segment (idempotent).
+
+        Hardened against a worker that crashed mid-window: the stop
+        submit gives up after ``join_timeout_s`` (or as soon as the
+        worker is seen dead), the process is terminated, and every
+        model and ring segment is closed and unlinked regardless.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._pipes:
+        give_up_ticks = max(int(join_timeout_s / POLL_S), 1)
+        for core in range(self.num_cores):
             try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+                self._stop_worker(core, give_up_ticks)
+            except (_CloseTimeout, BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
             proc.join(timeout=join_timeout_s)
@@ -563,6 +817,10 @@ class CoreWorkerPool:
                 proc.join(timeout=join_timeout_s)
         for conn in self._pipes:
             conn.close()
+        if self._rings is not None:
+            for producer in self._rings:
+                producer.close()
+            self._rings = None
         for published in self._published:
             try:
                 published.segment.close()

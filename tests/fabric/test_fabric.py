@@ -302,3 +302,87 @@ class TestHealthAwareFabric:
         result = fabric.serve_trace(trace(count=40))
         assert result.accounted()
         assert result.served == 40
+
+
+class TestShardConcurrency:
+    """``concurrency="threads"`` is pure wall-clock mechanism.
+
+    Each shard serves its own sub-trace on its own virtual clock, so
+    running the shard serves on threads instead of a loop must not
+    change one routed bit — records, horizons, merged stats, or the
+    recovery pass included.
+    """
+
+    @staticmethod
+    def assert_identical(a, b) -> None:
+        assert a.routed == b.routed
+        assert a.stats.summary() == b.stats.summary()
+        for ra, rb in zip(
+            a.shard_results + a.recovery_results,
+            b.shard_results + b.recovery_results,
+        ):
+            assert (ra is None) == (rb is None)
+            if ra is None:
+                continue
+            assert ra.horizon_s == rb.horizon_s
+            assert ra.busy_seconds == rb.busy_seconds
+            assert [
+                (r.request.request_id, r.core, r.prediction, r.finish_s)
+                for r in ra.records
+            ] == [
+                (r.request.request_id, r.core, r.prediction, r.finish_s)
+                for r in rb.records
+            ]
+
+    def serve_both(self, shard_cores, count=48, fault_schedule=None,
+                   make_placement=None, **serve_kwargs):
+        results = {}
+        for concurrency in ("threads", "serial"):
+            fabric = Fabric(
+                [spec(cores) for cores in shard_cores],
+                # A placement binds to one fabric, so each mode gets
+                # an identically configured fresh one.
+                placement=make_placement() if make_placement else None,
+                concurrency=concurrency,
+            )
+            fabric.deploy(make_dag(1))
+            results[concurrency] = fabric.serve_trace(
+                trace(count=count),
+                fault_schedule=fault_schedule,
+                **serve_kwargs,
+            )
+        return results["threads"], results["serial"]
+
+    def test_clean_trace_bit_identical(self):
+        threads, serial = self.serve_both((2, 2, 2))
+        assert threads.served == 48
+        self.assert_identical(threads, serial)
+
+    def test_recovery_pass_bit_identical(self):
+        from repro.fabric import ModelPlacement
+        from repro.faults import RetryPolicy
+
+        requests = trace(count=48)
+        # Three single-core shards, the model placed on all of them;
+        # crashing shards 1 and 2 halfway strands two sub-traces, so
+        # the *recovery* loop also runs with more than one job — the
+        # threaded path, not its single-job serial shortcut.
+        schedule = (
+            FaultSchedule(seed=3)
+            .core_crash(requests[-1].arrival_s / 2, core=1)
+            .core_crash(requests[-1].arrival_s / 2, core=2)
+        )
+        threads, serial = self.serve_both(
+            (1, 1, 1),
+            fault_schedule=schedule,
+            make_placement=lambda: ModelPlacement(replicas=3),
+            retry_policy=RetryPolicy(max_retries=1, backoff_s=1e-6),
+        )
+        # The crashes must actually strand work onto the recovery pass,
+        # or the threaded recovery loop went untested.
+        assert any(r is not None for r in threads.recovery_results)
+        self.assert_identical(threads, serial)
+
+    def test_unknown_concurrency_rejected(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            Fabric([spec(1)], concurrency="fibers")

@@ -15,10 +15,14 @@ pipes — not just a degenerate noiseless path.
 
 from __future__ import annotations
 
+import os
+import signal
 from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import ComputationDAG, LayerTask, LightningDatapath
 from repro.core.dag import AttentionShape, ConvShape, PoolShape
@@ -323,10 +327,110 @@ class TestSharedMemoryLifecycle:
         cluster.close()  # must be a harmless no-op
 
 
+class TestWindowInvariance:
+    """The signalling window is pure mechanism: W must never leak.
+
+    Dispatch slots are ordered by the ring and every batch's noise is
+    keyed by its dispatch sequence, so how many batches share one
+    semaphore post cannot change a served bit — predictions, timing
+    decompositions, busy-seconds ledgers, or the accounting identity.
+    """
+
+    @given(
+        window=st.sampled_from([1, 4, 16]),
+        spacing_s=st.sampled_from([5e-8, 2e-6]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_window_never_changes_observables(self, window, spacing_s):
+        trace = steady_trace(count=32, spacing_s=spacing_s)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            cluster_kwargs={"window": window, "max_batch": 4},
+        )
+        accounted = (
+            parallel.served
+            + len(parallel.dropped)
+            + len(parallel.failed)
+            + len(parallel.unfinished)
+        )
+        assert accounted == parallel.offered
+        assert_bit_identical(serial, parallel)
+
+    @pytest.mark.parametrize("window", [1, 16])
+    def test_faulted_trace_window_invariant(self, window):
+        # The full resilience machinery — crash retries, a stall, a
+        # drifting core that gets quarantined, swept, and relocked —
+        # at the window extremes, against the windowless serial loop.
+        from repro.faults import BiasRelockController
+
+        schedule = (
+            FaultSchedule(seed=2)
+            .core_stall(at_s=20e-6, core=0, duration_s=30e-6)
+            .core_crash(at_s=50e-6, core=1)
+            .mzm_bias_drift(at_s=10e-6, core=2, volts_per_s=1e5)
+        )
+        trace = steady_trace(count=60)
+        serial, parallel = run_both(
+            dense_dag(),
+            trace,
+            cluster_kwargs={"window": window},
+            fault_schedule=schedule,
+            watchdog=CalibrationWatchdog(
+                interval_s=15e-6, relock=BiasRelockController()
+            ),
+            retry_policy=RetryPolicy(max_retries=2, backoff_s=1e-6),
+        )
+        assert serial.stats.retries > 0
+        assert serial.stats.quarantines >= 1
+        assert_bit_identical(serial, parallel)
+
+
+class TestWorkerCrashHardening:
+    def test_dead_worker_raises_instead_of_hanging(self):
+        # A worker killed while the parent awaits its window must
+        # surface as a loud error from the stall guard, not a hang.
+        with make_cluster("parallel", num_cores=2) as cluster:
+            dag = dense_dag()
+            cluster.deploy(dag)
+            pool = cluster._pool
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=10.0)
+            seq = pool.run(
+                0, dag.model_id, np.zeros(12), 0.0, (0, 0, 0, 0)
+            )
+            with pytest.raises(RuntimeError, match="worker 0 died"):
+                pool.result(0, seq)
+
+    def test_close_unlinks_segments_after_worker_kill(self):
+        # SIGKILL one worker, then wedge its request ring solid (a
+        # dead consumer never frees slots): close() must give up on
+        # the graceful stop yet still unlink every shared segment.
+        cluster = make_cluster("parallel", num_cores=2)
+        dag = dense_dag()
+        cluster.deploy(dag)
+        names = cluster.shared_segment_names()
+        assert names
+        pool = cluster._pool
+        os.kill(pool._procs[0].pid, signal.SIGKILL)
+        pool._procs[0].join(timeout=10.0)
+        for _ in range(pool.capacity):
+            pool.run(0, dag.model_id, np.zeros(12), 0.0, (0, 0, 0, 0))
+        pool.close(join_timeout_s=0.5)
+        cluster.close()  # must stay a harmless no-op afterwards
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
 class TestParallelValidation:
     def test_unknown_execution_mode_rejected(self):
         with pytest.raises(ValueError, match="execution mode"):
             make_cluster("speculative")
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError, match="dispatch window"):
+            make_cluster("parallel", window=0)
 
     def test_loop_fidelity_rejected_at_deploy(self):
         cluster = Cluster(

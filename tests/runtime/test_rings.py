@@ -1,0 +1,281 @@
+"""Unit tests for the windowed shared-memory ring transport.
+
+The producer and consumer halves of one ring pair are exercised in a
+single process (attached to the same segment and semaphores), which
+makes every ordering and signalling property directly observable: how
+many semaphore posts a window of submissions generated, what order
+slots come out in, and what survives a wrap-around.  The cross-process
+behaviour rides on exactly the same code paths and is covered by the
+``execution="parallel"`` determinism suite in ``test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.runtime.rings import (
+    MIN_PAYLOAD_BYTES,
+    RingConsumer,
+    RingGeometry,
+    RingProducer,
+    RingSems,
+)
+
+CTX = multiprocessing.get_context("fork")
+
+
+def make_pair(capacity=8, request_bytes=4096, completion_bytes=2048,
+              window=4):
+    """An attached producer/consumer pair over one fresh segment."""
+    geometry = RingGeometry(
+        capacity=capacity,
+        request_bytes=request_bytes,
+        completion_bytes=completion_bytes,
+    )
+    sems = RingSems(CTX, capacity)
+    producer = RingProducer(geometry, sems, window)
+    consumer = RingConsumer(producer.segment_name, geometry, sems)
+    return producer, consumer, sems
+
+
+class TestRingGeometry:
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError, match="at least one slot"):
+            RingGeometry(capacity=0, request_bytes=4096,
+                         completion_bytes=4096)
+
+    def test_rejects_undersized_payloads(self):
+        with pytest.raises(ValueError, match="request slots"):
+            RingGeometry(capacity=4, request_bytes=MIN_PAYLOAD_BYTES - 1,
+                         completion_bytes=4096)
+        with pytest.raises(ValueError, match="completion slots"):
+            RingGeometry(capacity=4, request_bytes=4096,
+                         completion_bytes=MIN_PAYLOAD_BYTES - 1)
+
+    def test_strides_are_cache_aligned(self):
+        geometry = RingGeometry(capacity=4, request_bytes=2050,
+                                completion_bytes=2049)
+        assert geometry.request_stride % 64 == 0
+        assert geometry.completion_stride % 64 == 0
+        assert geometry.segment_bytes == 4 * (
+            geometry.request_stride + geometry.completion_stride
+        )
+
+    def test_fits(self):
+        geometry = RingGeometry(capacity=4, request_bytes=4096,
+                                completion_bytes=2048)
+        assert geometry.fits(4096, 2048)
+        assert not geometry.fits(4097, 2048)
+        assert not geometry.fits(4096, 2049)
+
+    def test_mismatched_semaphores_rejected(self):
+        geometry = RingGeometry(capacity=4, request_bytes=4096,
+                                completion_bytes=4096)
+        sems = RingSems(CTX, 8)
+        with pytest.raises(ValueError, match="semaphores sized for 8"):
+            RingProducer(geometry, sems, window=1)
+
+    def test_window_must_be_positive(self):
+        geometry = RingGeometry(capacity=4, request_bytes=4096,
+                                completion_bytes=4096)
+        with pytest.raises(ValueError, match="window"):
+            RingProducer(geometry, RingSems(CTX, 4), window=0)
+
+
+class TestRoundTrip:
+    def test_run_slot_round_trip(self):
+        producer, consumer, _ = make_pair()
+        try:
+            block = np.arange(12, dtype=np.float64).reshape(3, 4)
+            producer.submit_run(7, 2, block, 1.5e-6, (11, 3, 0, 9))
+            producer.flush()
+            kind, seq, model_id, received, now_s, key = consumer.next()
+            assert kind == "run"
+            assert (seq, model_id) == (7, 2)
+            assert now_s == 1.5e-6
+            assert key == (11, 3, 0, 9)
+            np.testing.assert_array_equal(received, block)
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_one_dimensional_block_round_trip(self):
+        producer, consumer, _ = make_pair()
+        try:
+            block = np.arange(5, dtype=np.float64)
+            producer.submit_run(0, 1, block, 0.0, (0, 0, 0, 0))
+            producer.flush()
+            _, _, _, received, _, _ = consumer.next()
+            assert received.ndim == 1
+            np.testing.assert_array_equal(received, block)
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_result_round_trip(self):
+        producer, consumer, _ = make_pair()
+        try:
+            outputs = [np.array([1.0, -2.5]), np.array([0.0, 7.125])]
+            consumer.post_result(4, outputs)
+            kind, seq, received = producer.collect()
+            assert (kind, seq) == ("result", 4)
+            assert len(received) == 2
+            for got, sent in zip(received, outputs):
+                np.testing.assert_array_equal(got, sent)
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_error_round_trip(self):
+        producer, consumer, _ = make_pair()
+        try:
+            consumer.post_error(9, "Traceback: kaboom")
+            assert producer.collect() == ("error", 9, "Traceback: kaboom")
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_control_slots_stay_fifo_with_runs(self):
+        # A fault submitted between two dispatches must come out
+        # between them — the ordering the serial event loop relies on.
+        producer, consumer, _ = make_pair()
+        try:
+            block = np.zeros(4)
+            producer.submit_run(0, 1, block, 0.0, (0, 0, 0, 0))
+            producer.submit_control(("fault", "mzm_bias_drift", 2))
+            producer.submit_run(1, 1, block, 0.0, (0, 0, 0, 1))
+            producer.flush()
+            assert consumer.next()[0] == "run"
+            assert consumer.next() == ("fault", "mzm_bias_drift", 2)
+            assert consumer.next()[0] == "run"
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_wrap_around_preserves_contents(self):
+        # Three full revolutions of a 4-slot ring, interleaved with
+        # completions, never corrupt a slot.
+        producer, consumer, _ = make_pair(capacity=4, window=2)
+        try:
+            for seq in range(12):
+                block = np.full((2, 3), float(seq))
+                producer.submit_run(seq, 1, block, seq * 1e-6,
+                                    (0, 0, 0, seq))
+                producer.flush()
+                kind, got_seq, _, received, now_s, key = consumer.next()
+                assert (kind, got_seq) == ("run", seq)
+                assert now_s == seq * 1e-6
+                assert key == (0, 0, 0, seq)
+                np.testing.assert_array_equal(
+                    received, np.full((2, 3), float(seq))
+                )
+                consumer.post_result(seq, [np.array([float(seq)])])
+                assert producer.collect()[1] == seq
+        finally:
+            consumer.close()
+            producer.close()
+
+
+class TestWindowedSignalling:
+    def test_submissions_below_window_post_nothing(self):
+        producer, consumer, sems = make_pair(window=4)
+        try:
+            block = np.zeros(4)
+            for seq in range(3):
+                producer.submit_run(seq, 1, block, 0.0, (0, 0, 0, seq))
+            assert producer.pending_signals == 3
+            # The worker would still be asleep: no items were posted.
+            assert not sems.request_items.acquire(False)
+            producer.flush()
+            assert producer.pending_signals == 0
+            for _ in range(3):
+                assert sems.request_items.acquire(False)
+                sems.request_items.release()
+                assert consumer.next()[0] == "run"
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_full_window_flushes_automatically(self):
+        producer, consumer, sems = make_pair(window=2)
+        try:
+            block = np.zeros(4)
+            producer.submit_run(0, 1, block, 0.0, (0, 0, 0, 0))
+            assert producer.pending_signals == 1
+            producer.submit_run(1, 1, block, 0.0, (0, 0, 0, 1))
+            assert producer.pending_signals == 0  # window hit → flushed
+            assert consumer.next()[1] == 0
+            assert consumer.next()[1] == 1
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_control_flushes_immediately(self):
+        producer, consumer, _ = make_pair(window=8)
+        try:
+            producer.submit_run(0, 1, np.zeros(4), 0.0, (0, 0, 0, 0))
+            producer.submit_control(("stop",))
+            # Both the deferred run and the control slot were signalled.
+            assert producer.pending_signals == 0
+            assert consumer.next()[0] == "run"
+            assert consumer.next() == ("stop",)
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_collect_flushes_pending_window(self):
+        # A blocking collect must first tell the worker about the
+        # partial window, or both sides would wait forever.
+        producer, consumer, _ = make_pair(window=8)
+        try:
+            producer.submit_run(0, 1, np.zeros(4), 0.0, (0, 0, 0, 0))
+            assert producer.pending_signals == 1
+
+            def on_stall():
+                # Runs once collect() is already blocking — the flush
+                # must have happened, so next() cannot block here.
+                message = consumer.next()
+                consumer.post_result(message[1], [np.zeros(2)])
+
+            # collect() flushes before blocking; the "worker" (the
+            # stall callback here) then finds the slot and answers.
+            assert producer.collect(on_stall=on_stall)[1] == 0
+            assert producer.pending_signals == 0
+        finally:
+            consumer.close()
+            producer.close()
+
+
+class TestOversizeAndLifecycle:
+    def test_oversized_block_rejected(self):
+        producer, consumer, _ = make_pair(request_bytes=2048)
+        try:
+            with pytest.raises(ValueError, match="exceeds"):
+                producer.submit_run(
+                    0, 1, np.zeros(4096), 0.0, (0, 0, 0, 0)
+                )
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_oversized_control_rejected(self):
+        producer, consumer, _ = make_pair(request_bytes=2048)
+        try:
+            with pytest.raises(ValueError, match="control message"):
+                producer.submit_control(("blob", b"x" * 4096))
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_close_unlinks_segment_idempotently(self):
+        producer, consumer, _ = make_pair()
+        name = producer.segment_name
+        consumer.close()
+        producer.close()
+        producer.close()  # second close must be harmless
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
