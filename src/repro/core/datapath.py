@@ -74,6 +74,7 @@ __all__ = [
     "InferenceExecution",
     "BatchExecution",
     "TimingEstimate",
+    "TimingPlan",
     "LightningDatapath",
     "PER_LAYER_DATAPATH_SECONDS",
 ]
@@ -81,6 +82,24 @@ __all__ = [
 #: Datapath latency per DNN layer measured on the prototype (§9): covers
 #: the Lightning-specific functions — DACs, ADCs, count-action modules.
 PER_LAYER_DATAPATH_SECONDS = 193e-9
+
+_DEGRADED_CORE: type | None = None
+
+
+def _degraded_core_class() -> type | None:
+    """Resolve :class:`~repro.faults.device.DegradedCore` lazily.
+
+    ``repro.faults`` imports the core package, so the dependency must
+    stay one-way at import time; the class is cached after first use.
+    """
+    global _DEGRADED_CORE
+    if _DEGRADED_CORE is None:
+        try:
+            from ..faults.device import DegradedCore
+        except ImportError:  # pragma: no cover - stripped installs
+            return None
+        _DEGRADED_CORE = DegradedCore
+    return _DEGRADED_CORE
 
 
 @dataclass(frozen=True)
@@ -157,6 +176,48 @@ class TimingEstimate:
 
 
 @dataclass(frozen=True)
+class TimingPlan:
+    """A model's dry-run costs, frozen into flat arrays at deploy time.
+
+    The per-layer constants of :meth:`LightningDatapath.execute_timing`
+    — compute cycles, the 193 ns datapath charge with its
+    parallel-group dedup already applied, each memory-touching layer's
+    transfer time and byte count — depend only on the compiled plan and
+    the DRAM image, so they are compiled once (mirroring the execution
+    plans of ``repro.core.plans``) and every later dry-run reduces them
+    with a handful of numpy ops instead of a per-layer Python loop.
+
+    Only the DRAM jitter draws vary between dry-runs; they are kept
+    bit-identical to the scalar path by drawing all ``layers x batch``
+    uniforms in one RNG call (see
+    :meth:`~repro.core.memory.MemoryController.jitter_batch`) and
+    folding latencies sequentially in scalar charge order.
+    """
+
+    model_id: int
+    num_layers: int
+    #: Left-fold totals matching ``sum()`` over the per-layer lists the
+    #: loop dry-run builds — precomputed because they never change.
+    compute_seconds: float
+    datapath_seconds: float
+    #: Which layers charge the 193 ns datapath constant (first of each
+    #: parallel group; pooling never does) — the dedup mask, retained
+    #: for inspection and tests.
+    datapath_mask: np.ndarray
+    #: Per-layer compute seconds in layer order.
+    compute_layer_seconds: np.ndarray
+    #: Memory-touching layers in layer order: task names, whether each
+    #: streams (dense/attention) or loads a cacheable kernel (conv),
+    #: the frozen transfer seconds and bytes moved per access.
+    read_names: tuple[str, ...]
+    read_is_stream: np.ndarray
+    read_transfer_s: np.ndarray
+    read_bytes: np.ndarray
+    #: Whether any layer needs a matmul-capable core (attention).
+    needs_matmul: bool
+
+
+@dataclass(frozen=True)
 class InferenceExecution:
     """Result and cost of executing a full DAG on the datapath."""
 
@@ -226,6 +287,7 @@ class LightningDatapath:
         self._rng = np.random.default_rng(seed)
         self._sign_cache: dict[tuple[int, str], list[SignSeparatedRow]] = {}
         self._plans: dict[int, ModelPlan] = {}
+        self._timing_plans: dict[int, TimingPlan] = {}
 
     # ------------------------------------------------------------------
     # Model management
@@ -266,6 +328,9 @@ class LightningDatapath:
                 self._plans[dag.model_id] = plan
             else:
                 self._plans[dag.model_id] = self._compile(dag)
+            self._timing_plans[dag.model_id] = self._compile_timing(
+                dag, self._plans[dag.model_id]
+            )
 
     def unregister_model(self, model_id: int) -> None:
         """Remove one model: DAG, compiled plan, sign caches.
@@ -278,6 +343,7 @@ class LightningDatapath:
         """
         self.loader.unregister_model(model_id)
         self._plans.pop(model_id, None)
+        self._timing_plans.pop(model_id, None)
         for key in [k for k in self._sign_cache if k[0] == model_id]:
             del self._sign_cache[key]
 
@@ -315,8 +381,18 @@ class LightningDatapath:
         """
         if model_id is None:
             self._plans.clear()
+            self._timing_plans.clear()
         else:
             self._plans.pop(model_id, None)
+            self._timing_plans.pop(model_id, None)
+
+    def timing_plan(self, model_id: int) -> TimingPlan | None:
+        """The cached dry-run constants for one model, if compiled.
+
+        ``None`` after an invalidation or a degraded-core fallback —
+        the explicit signal the fault tests assert on.
+        """
+        return self._timing_plans.get(model_id)
 
     def model_plan(self, model_id: int) -> ModelPlan | None:
         """The compiled plan for one model, if the fast path built it.
@@ -881,20 +957,109 @@ class LightningDatapath:
             memory_seconds,
         )
 
-    def execute_timing(self, model_id: int) -> TimingEstimate:
-        """Charge one request's exact cost without computing outputs.
-
-        The parent process of a worker pool calls this instead of
-        :meth:`execute`: it advances the loader, plan-replay counters,
-        and memory-jitter RNG exactly as a real execution would — so the
-        virtual-clock event loop stays bit-identical to serial serving —
-        while the worker computes the output levels.
-        """
+    def _require_fast(self) -> None:
         if self.fidelity != "fast":
             raise ValueError(
                 "timing dry-runs require the compiled fast path "
                 "(fidelity='fast')"
             )
+
+    def _core_degraded(self) -> bool:
+        """Whether the core carries installed analog faults.
+
+        A degraded core's constants are not plan-stable (a re-lock or a
+        further fault changes them mid-trace), so dry-runs on one fall
+        back to the per-layer loop and drop the cached timing plan.
+        """
+        degraded = _degraded_core_class()
+        return degraded is not None and isinstance(self.core, degraded)
+
+    def _compile_timing(
+        self, dag: ComputationDAG, plan_model: ModelPlan
+    ) -> TimingPlan:
+        """Freeze one model's dry-run constants into flat arrays.
+
+        Everything :meth:`execute_timing_loop` recomputes per call that
+        does not actually vary — per-layer cycle counts, the
+        parallel-group-deduped datapath charges, each memory-touching
+        layer's transfer time from its resident byte count — is folded
+        here, once, in the loop path's exact summation order.
+        """
+        compute: list[float] = []
+        datapath_mask: list[bool] = []
+        seen_groups: set[str] = set()
+        names: list[str] = []
+        is_stream: list[bool] = []
+        transfer_s: list[float] = []
+        nbytes: list[int] = []
+        needs_matmul = False
+        bandwidth = self.memory.dram.bandwidth_gbps
+        for task in dag.tasks:
+            plan = plan_model.plan(task.name)
+            if task.kind == "maxpool":
+                compute.append(plan.compute_cycles / self.clock_hz)
+                charged = False
+            else:
+                if task.kind == "attention":
+                    needs_matmul = True
+                cycles = (
+                    plan.stream_cycles
+                    + self.adder_tree.latency_cycles
+                    + plan.nonlinear.latency_cycles
+                )
+                compute.append(cycles / self.clock_hz)
+                charged = True
+                data = self.memory.peek(dag.model_id, task.name)
+                names.append(task.name)
+                is_stream.append(task.kind != "conv")
+                transfer_s.append(
+                    data.nbytes * 8 / (bandwidth * 1e9)
+                )
+                nbytes.append(data.nbytes)
+            if task.parallel_group is not None:
+                if task.parallel_group in seen_groups:
+                    charged = False
+                else:
+                    seen_groups.add(task.parallel_group)
+            datapath_mask.append(charged)
+        return TimingPlan(
+            model_id=dag.model_id,
+            num_layers=dag.num_layers,
+            compute_seconds=sum(compute),
+            datapath_seconds=sum(
+                PER_LAYER_DATAPATH_SECONDS if charged else 0.0
+                for charged in datapath_mask
+            ),
+            datapath_mask=np.asarray(datapath_mask, dtype=bool),
+            compute_layer_seconds=np.asarray(compute, dtype=np.float64),
+            read_names=tuple(names),
+            read_is_stream=np.asarray(is_stream, dtype=bool),
+            read_transfer_s=np.asarray(transfer_s, dtype=np.float64),
+            read_bytes=np.asarray(nbytes, dtype=np.int64),
+            needs_matmul=needs_matmul,
+        )
+
+    def _timing_plan_for(
+        self, dag: ComputationDAG, plan_model: ModelPlan
+    ) -> TimingPlan:
+        """The model's timing plan, rebuilt lazily if invalidated."""
+        tplan = self._timing_plans.get(dag.model_id)
+        if tplan is None:
+            tplan = self._compile_timing(dag, plan_model)
+            self._timing_plans[dag.model_id] = tplan
+        return tplan
+
+    def execute_timing_loop(self, model_id: int) -> TimingEstimate:
+        """The per-layer dry-run loop (the equivalence baseline).
+
+        One sample's cost charged layer by layer with scalar memory
+        calls — the reference the vectorized path must match bit for
+        bit (cycle ledger, jitter-RNG stream position, register end
+        state), kept both as the fallback for degraded cores and as the
+        baseline the equivalence tests and ``bench_dryrun`` compare
+        against.
+        """
+        self._require_fast()
         dag = self.loader.load(model_id)
         plan_model = self._plan_for(dag)
         plan_model.replays += 1
@@ -919,6 +1084,159 @@ class LightningDatapath:
             memory_seconds=sum(memory),
         )
 
+    def _timing_vectorized(
+        self, model_id: int, batch: int
+    ) -> TimingEstimate:
+        """One vectorized pass over a whole dry-run batch.
+
+        Charges exactly what ``batch`` calls to
+        :meth:`execute_timing_loop` would have charged — same loader
+        and replay counters, same register end state, same DRAM reads,
+        hits, and jitter draws in the same order — but with one RNG
+        call and a handful of array reductions instead of
+        ``batch x layers`` interpreter iterations.
+
+        Draw order (the bit-identity argument): the scalar path draws
+        one uniform per DRAM read, sample-major and layer-ordered
+        within each sample.  Sample 0 reads every streaming layer plus
+        every not-yet-cached conv kernel; samples 1..B-1 read only the
+        streaming layers (sample 0 pinned the kernels).  One
+        ``uniform(size=n)`` call consumes the identical doubles in the
+        identical order, and the latency fold replays scalar ``+=``
+        summation via ``np.add.accumulate``.
+        """
+        dag = self.loader.load(model_id)
+        plan_model = self._plan_for(dag)
+        tplan = self._timing_plan_for(dag, plan_model)
+        if tplan.needs_matmul and not supports_matmul(self.core):
+            raise ValueError(
+                "attention tasks require a behavioral core (device-"
+                "fidelity attention streaming is not implemented)"
+            )
+        plan_model.replays += batch
+        # The loop path loads once per sample and walks the layer
+        # registers up to the last layer; one load plus one final
+        # configure leaves the identical register end state.
+        self.loader.loads += batch - 1
+        if dag.num_layers > 1:
+            self.loader.configure_layer(
+                dag, dag.num_layers - 1, self.num_wavelengths
+            )
+        memory = self.memory
+        streams = tplan.read_is_stream
+        cached = np.fromiter(
+            (
+                (not bool(stream))
+                and memory.kernel_cached(dag.model_id, name)
+                for stream, name in zip(streams, tplan.read_names)
+            ),
+            dtype=bool,
+            count=len(tplan.read_names),
+        )
+        draw0 = ~cached
+        n0 = int(draw0.sum())
+        n_stream = int(streams.sum())
+        n_kernel = len(tplan.read_names) - n_stream
+        jitters = memory.jitter_batch(n0 + (batch - 1) * n_stream)
+        base_ns = memory.dram.base_latency_ns
+        # Sample 0: streams expose pipeline fill only; kernel misses
+        # expose the full access-plus-transfer latency.
+        transfer0 = tplan.read_transfer_s[draw0]
+        raw0 = (base_ns + jitters[:n0]) * 1e-9 + transfer0
+        lat0 = np.where(
+            streams[draw0], np.maximum(raw0 - transfer0, 0.0), raw0
+        )
+        # Samples 1..B-1: streaming layers only, all kernels cached.
+        transfer_t = tplan.read_transfer_s[streams]
+        jitter_t = jitters[n0:].reshape(batch - 1, n_stream)
+        raw_t = (base_ns + jitter_t) * 1e-9 + transfer_t
+        lat_t = np.maximum(raw_t - transfer_t, 0.0)
+        memory.charge_read_batch(
+            np.concatenate([lat0, lat_t.ravel()]),
+            reads=n0 + (batch - 1) * n_stream,
+            hits=int(cached.sum()) + (batch - 1) * n_kernel,
+        )
+        for index, name in enumerate(tplan.read_names):
+            if not streams[index] and not cached[index]:
+                memory.pin_kernel(dag.model_id, name)
+        if n0:
+            memory_seconds = float(
+                np.add.accumulate(np.concatenate(([0.0], lat0)))[-1]
+            )
+        else:
+            memory_seconds = 0.0
+        return TimingEstimate(
+            compute_seconds=tplan.compute_seconds,
+            datapath_seconds=tplan.datapath_seconds,
+            memory_seconds=memory_seconds,
+        )
+
+    def _timing_tail(self, model_id: int, samples: int) -> None:
+        """Advance the side effects of ``samples`` extra dry-runs.
+
+        The degraded-core fallback runs the loop once for sample 0 (its
+        constants are live, not plan-stable) but must not re-loop for
+        the rest of the batch: later samples only move the loader and
+        replay counters and the memory RNG/ledger — all of which batch.
+        Assumes sample 0 already pinned every conv kernel (the loop
+        just did).
+        """
+        if samples <= 0:
+            return
+        dag = self.loader.load(model_id)
+        plan_model = self._plan_for(dag)
+        plan_model.replays += samples
+        self.loader.loads += samples - 1
+        if dag.num_layers > 1:
+            self.loader.configure_layer(
+                dag, dag.num_layers - 1, self.num_wavelengths
+            )
+        memory = self.memory
+        bandwidth = memory.dram.bandwidth_gbps
+        stream_names = [
+            task.name
+            for task in dag.tasks
+            if task.kind not in ("maxpool", "conv")
+        ]
+        n_kernel = sum(1 for task in dag.tasks if task.kind == "conv")
+        transfer = np.array(
+            [
+                memory.peek(dag.model_id, name).nbytes
+                * 8
+                / (bandwidth * 1e9)
+                for name in stream_names
+            ],
+            dtype=np.float64,
+        )
+        n_stream = len(stream_names)
+        jitter = memory.jitter_batch(samples * n_stream).reshape(
+            samples, n_stream
+        )
+        raw = (memory.dram.base_latency_ns + jitter) * 1e-9 + transfer
+        latencies = np.maximum(raw - transfer, 0.0)
+        memory.charge_read_batch(
+            latencies.ravel(),
+            reads=samples * n_stream,
+            hits=samples * n_kernel,
+        )
+
+    def execute_timing(self, model_id: int) -> TimingEstimate:
+        """Charge one request's exact cost without computing outputs.
+
+        The parent process of a worker pool calls this instead of
+        :meth:`execute`: it advances the loader, plan-replay counters,
+        and memory-jitter RNG exactly as a real execution would — so the
+        virtual-clock event loop stays bit-identical to serial serving —
+        while the worker computes the output levels.  Costs replay the
+        model's compiled :class:`TimingPlan`; a degraded core falls
+        back to :meth:`execute_timing_loop` and invalidates the plan.
+        """
+        self._require_fast()
+        if self._core_degraded():
+            self._timing_plans.pop(model_id, None)
+            return self.execute_timing_loop(model_id)
+        return self._timing_vectorized(model_id, 1)
+
     def execute_batch_timing(
         self, model_id: int, batch: int
     ) -> TimingEstimate:
@@ -927,15 +1245,21 @@ class LightningDatapath:
         Replays the accounting of :meth:`execute_batch` exactly: every
         sample advances the memory RNG and replay counters (the real
         path executes each sample), but only sample 0's pipeline cost,
-        multiplied by the pass count, is charged.
+        multiplied by the pass count, is charged.  The whole batch is
+        one vectorized pass; even the degraded-core fallback loops only
+        for sample 0 and batches the rest's RNG/ledger advance.
         """
         if batch < 1:
             raise ValueError("a batch needs at least one query")
-        first = self.execute_timing(model_id)
-        for _ in range(batch - 1):
-            self.execute_timing(model_id)
+        self._require_fast()
         hardware_batch = self.core.architecture.batch_size
         passes = math.ceil(batch / hardware_batch)
+        if self._core_degraded():
+            self._timing_plans.pop(model_id, None)
+            first = self.execute_timing_loop(model_id)
+            self._timing_tail(model_id, batch - 1)
+        else:
+            first = self._timing_vectorized(model_id, batch)
         return TimingEstimate(
             compute_seconds=first.compute_seconds * passes,
             datapath_seconds=first.datapath_seconds * passes,

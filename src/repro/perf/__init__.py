@@ -12,10 +12,12 @@ fast-path PR onward:
   benchmark (serial event loop vs ``execution="parallel"`` worker
   pools at 1/2/4 cores, determinism asserted), and a dispatch
   microbenchmark (pipe round-trips vs windowed shared-memory ring
-  hand-offs), emitting machine-readable ``BENCH_emulator.json`` /
-  ``BENCH_cluster.json`` / ``BENCH_parallel.json`` /
-  ``BENCH_dispatch.json`` reports plus a regression gate for CI
-  (``python -m repro.perf.bench``).
+  hand-offs), and a dry-run microbenchmark (per-layer loop costing vs
+  compiled :class:`~repro.core.datapath.TimingPlan` reduction on a
+  GPT-2-class DAG), emitting machine-readable ``BENCH_emulator.json``
+  / ``BENCH_cluster.json`` / ``BENCH_parallel.json`` /
+  ``BENCH_dispatch.json`` / ``BENCH_dryrun.json`` reports plus a
+  regression gate for CI (``python -m repro.perf.bench``).
 """
 
 from .timers import PhaseTimer
@@ -23,11 +25,13 @@ from .bench import (
     REGRESSION_THRESHOLD,
     bench_cluster,
     bench_dispatch,
+    bench_dryrun,
     bench_emulator,
     bench_fabric,
     bench_parallel,
     check_regression,
     effective_cpus,
+    gpt2_class_dag,
     lenet_class_dag,
     write_report,
 )
@@ -37,11 +41,13 @@ __all__ = [
     "REGRESSION_THRESHOLD",
     "bench_cluster",
     "bench_dispatch",
+    "bench_dryrun",
     "bench_emulator",
     "bench_fabric",
     "bench_parallel",
     "check_regression",
     "effective_cpus",
+    "gpt2_class_dag",
     "lenet_class_dag",
     "write_report",
 ]

@@ -30,9 +30,19 @@ trajectory is tracked PR over PR:
   child process once as per-batch pickled pipe round-trips (the
   pre-ring transport) and once as windowed shared-memory ring
   hand-offs (:mod:`repro.runtime.rings`).  Reports per-batch
-  microseconds for both legs and the gated ``dispatch_ring_speedup``
+  microseconds for both legs — split into submit and collect halves,
+  the parent-cost breakdown — and the gated ``dispatch_ring_speedup``
   ratio, so the transport win is attributable, not inferred — and it
   is a same-host, same-run ratio, measurable even on one CPU.
+* **Dry-run** (``BENCH_dryrun.json``) — the parent-side timing dry-run
+  on a GPT-2-class DAG (12 transformer-ish blocks, 25 layers): one
+  batch-8 dispatch costed once per sample through the per-layer loop
+  (``execute_timing_loop``, the old ``execute_batch_timing``
+  behavior) and once through the compiled
+  :class:`~repro.core.datapath.TimingPlan` (one vectorized pass, one
+  RNG call).  Both legs are asserted bit-identical on fresh twin
+  datapaths; the gated ``dryrun_speedup`` is best-round loop-µs over
+  plan-µs per dispatch — same host, same run, meaningful on one CPU.
 * **Fabric** (``BENCH_fabric.json``) — the same full-load trace served
   by a :class:`~repro.fabric.Fabric` of 1, 2, and 4 two-core shards.
   The gated ``fabric_speedup_4s`` is the ratio of *virtual-clock*
@@ -97,10 +107,12 @@ __all__ = [
     "REGRESSION_THRESHOLD",
     "effective_cpus",
     "lenet_class_dag",
+    "gpt2_class_dag",
     "bench_emulator",
     "bench_cluster",
     "bench_parallel",
     "bench_dispatch",
+    "bench_dryrun",
     "bench_fabric",
     "bench_traffic",
     "bench_failover",
@@ -140,6 +152,9 @@ GATED_METRICS = {
     # Pipe-vs-ring transport latency ratio: same host, same run, so it
     # gates meaningfully even on a single CPU.
     "BENCH_dispatch": ["dispatch_ring_speedup"],
+    # Loop-vs-plan dry-run latency ratio: same host, same run — the
+    # compiled TimingPlan's win over the per-layer Python loop.
+    "BENCH_dryrun": ["dryrun_speedup"],
     # Virtual-clock makespan ratio: machine-independent by design.
     # (fabric_wall_ratio_4s is reported but CI-gated by the dedicated
     # wall-clock job, not the regression gate — wall ratios on shared
@@ -166,6 +181,72 @@ def lenet_class_dag(seed: int = 0, model_id: int = 1) -> ComputationDAG:
     return quantize_mlp(
         model, calibration, model_id=model_id, name="lenet-class"
     )
+
+
+def gpt2_class_dag(
+    seed: int = 0,
+    model_id: int = 1,
+    blocks: int = 12,
+    seq_len: int = 8,
+    d_model: int = 16,
+) -> ComputationDAG:
+    """A GPT-2-class transformer stand-in: attention + MLP blocks.
+
+    Twelve blocks of one self-attention task (stacked
+    ``[Wq; Wk; Wv; Wo]`` projections) followed by one dense MLP task,
+    capped by a dense classifier head — 25 layers at the defaults.
+    The geometry is scaled down (the timing dry-run's cost is per
+    *layer*, not per MAC, so layer count is what the dry-run benchmark
+    must match), but the layer mix is the paper's §9 GPT-2 shape:
+    alternating attention and feed-forward, classifier last.
+    """
+    from ..core.dag import AttentionShape, LayerTask
+
+    rng = np.random.default_rng(seed)
+    width = seq_len * d_model
+    attn = AttentionShape(seq_len=seq_len, d_model=d_model)
+    tasks: list[LayerTask] = []
+    previous: tuple[str, ...] = ()
+    for block in range(blocks):
+        attn_name = f"block{block}.attn"
+        mlp_name = f"block{block}.mlp"
+        tasks.append(
+            LayerTask(
+                name=attn_name, kind="attention",
+                input_size=attn.input_size,
+                output_size=attn.output_size,
+                weights_levels=rng.integers(
+                    -200, 201, (4 * d_model, d_model)
+                ).astype(float),
+                attention=attn,
+                depends_on=previous,
+                requant_divisor=4.0,
+            )
+        )
+        tasks.append(
+            LayerTask(
+                name=mlp_name, kind="dense",
+                input_size=width, output_size=width,
+                weights_levels=rng.integers(
+                    -200, 201, (width, width)
+                ).astype(float),
+                nonlinearity="relu",
+                depends_on=(attn_name,),
+                requant_divisor=float(width),
+            )
+        )
+        previous = (mlp_name,)
+    tasks.append(
+        LayerTask(
+            name="head", kind="dense",
+            input_size=width, output_size=10,
+            weights_levels=rng.integers(
+                -200, 201, (10, width)
+            ).astype(float),
+            depends_on=previous,
+        )
+    )
+    return ComputationDAG(model_id, "gpt2-class", tasks)
 
 
 def _datapath(fidelity: str, seed: int) -> LightningDatapath:
@@ -542,6 +623,27 @@ def bench_dispatch(
             walls.append(time.perf_counter() - start)
         return walls
 
+    def split_pass(submit_fn, collect_fn) -> dict[str, float]:
+        """One extra measured pass, submit and collect timed apart.
+
+        The parent-cost breakdown: submit is the serialization /
+        slot-write half the event loop pays inline, collect is the
+        join half.  Measured outside the best-of rounds so the split
+        instrumentation never perturbs the gated ratio.
+        """
+        split = {"submit_s": 0.0, "collect_s": 0.0}
+        done = 0
+        while done < batches:
+            count = min(window, batches - done)
+            start = time.perf_counter()
+            submit_fn(count)
+            mid = time.perf_counter()
+            collect_fn(count)
+            split["submit_s"] += mid - start
+            split["collect_s"] += time.perf_counter() - mid
+            done += count
+        return split
+
     # -- pipe leg: per-batch pickled round-trips -----------------------
     parent_conn, child_conn = ctx.Pipe()
     pipe_proc = ctx.Process(
@@ -553,15 +655,22 @@ def bench_dispatch(
     child_conn.close()
     seq = 0
 
-    def pipe_stride(count: int) -> None:
+    def pipe_submit(count: int) -> None:
         nonlocal seq
         for _ in range(count):
             parent_conn.send(("run", seq, block))
             seq += 1
+
+    def pipe_collect(count: int) -> None:
         for _ in range(count):
             parent_conn.recv()
 
+    def pipe_stride(count: int) -> None:
+        pipe_submit(count)
+        pipe_collect(count)
+
     pipe_walls = timed_rounds(pipe_stride)
+    pipe_split = split_pass(pipe_submit, pipe_collect)
     parent_conn.send(("stop",))
     pipe_proc.join(timeout=10.0)
     parent_conn.close()
@@ -584,16 +693,23 @@ def bench_dispatch(
     key = (0, 0, 0, 0)
     seq = 0
 
-    def ring_stride(count: int) -> None:
+    def ring_submit(count: int) -> None:
         nonlocal seq
         for _ in range(count):
             producer.submit_run(seq, 1, block, 0.0, key)
             seq += 1
+
+    def ring_collect(count: int) -> None:
         for _ in range(count):
             producer.collect()
 
+    def ring_stride(count: int) -> None:
+        ring_submit(count)
+        ring_collect(count)
+
     try:
         ring_walls = timed_rounds(ring_stride)
+        ring_split = split_pass(ring_submit, ring_collect)
         producer.submit_control(("stop",))
         ring_proc.join(timeout=10.0)
     finally:
@@ -624,7 +740,118 @@ def bench_dispatch(
         "ring_round_walls_s": ring_walls,
         "pipe_batch_us": pipe_us,
         "ring_batch_us": ring_us,
+        # Parent-cost breakdown, per batch, from the split pass.
+        "pipe_submit_us": pipe_split["submit_s"] / batches * 1e6,
+        "pipe_collect_us": pipe_split["collect_s"] / batches * 1e6,
+        "ring_submit_us": ring_split["submit_s"] / batches * 1e6,
+        "ring_collect_us": ring_split["collect_s"] / batches * 1e6,
         "dispatch_ring_speedup": pipe_us / ring_us,
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def bench_dryrun(
+    batch: int = 8,
+    dispatches: int = 24,
+    rounds: int = 5,
+    blocks: int = 12,
+    seed: int = 0,
+) -> dict:
+    """Compiled timing plans vs the per-layer dry-run loop.
+
+    Two identically seeded fast-fidelity datapaths register the same
+    GPT-2-class DAG.  The loop leg costs each dispatch the way
+    ``execute_batch_timing`` did before timing plans landed — one
+    :meth:`~repro.core.datapath.LightningDatapath.execute_timing_loop`
+    pass per sample, B x L interpreter iterations — and the plan leg
+    calls the vectorized
+    :meth:`~repro.core.datapath.LightningDatapath.execute_batch_timing`
+    once per dispatch.  The two estimates are asserted bit-identical
+    (per-dispatch, both legs consuming their own jitter streams in
+    lockstep), so the gated ``dryrun_speedup`` — best-round loop-µs
+    over plan-µs per dispatch — measures pure parent-side overhead
+    removed, not a semantics change.
+    """
+    if batch < 1:
+        raise ValueError("a dispatch needs at least one sample")
+    if dispatches < 1:
+        raise ValueError("need at least one dispatch")
+    if rounds < 1:
+        raise ValueError("need at least one timing round")
+    import math
+
+    dag = gpt2_class_dag(seed, blocks=blocks)
+    loop_dp = _datapath("fast", seed)
+    plan_dp = _datapath("fast", seed)
+    loop_dp.register_model(dag)
+    plan_dp.register_model(dag)
+    hardware_batch = loop_dp.core.architecture.batch_size
+    passes = math.ceil(batch / hardware_batch)
+
+    def loop_dispatch():
+        # The pre-plan execute_batch_timing: sample 0's estimate times
+        # the pass count, every later sample re-walking the layer loop
+        # only for its RNG and ledger side effects.
+        first = loop_dp.execute_timing_loop(dag.model_id)
+        for _ in range(batch - 1):
+            loop_dp.execute_timing_loop(dag.model_id)
+        return (
+            first.compute_seconds * passes,
+            first.datapath_seconds * passes,
+            first.memory_seconds * passes,
+        )
+
+    def plan_dispatch():
+        estimate = plan_dp.execute_batch_timing(dag.model_id, batch)
+        return (
+            estimate.compute_seconds,
+            estimate.datapath_seconds,
+            estimate.memory_seconds,
+        )
+
+    # Both legs consume their jitter streams in lockstep (batch draws
+    # per dispatch), so dispatch k's estimates must match bit for bit.
+    identical = True
+    for _ in range(2):
+        identical = identical and loop_dispatch() == plan_dispatch()
+    if not identical:
+        raise AssertionError(
+            "plan-backed dry-run diverged from the loop dry-run"
+        )
+
+    def timed_round(dispatch_fn) -> float:
+        start = time.perf_counter()
+        for _ in range(dispatches):
+            dispatch_fn()
+        return time.perf_counter() - start
+
+    # Interleave the legs round by round (the bench_emulator
+    # convention) so frequency drift biases neither side.
+    loop_walls: list[float] = []
+    plan_walls: list[float] = []
+    for _ in range(rounds):
+        loop_walls.append(timed_round(loop_dispatch))
+        plan_walls.append(timed_round(plan_dispatch))
+    loop_us = min(loop_walls) / dispatches * 1e6
+    plan_us = min(plan_walls) / dispatches * 1e6
+    return {
+        "benchmark": "dryrun",
+        "model": dag.name,
+        "layers": len(dag.tasks),
+        "blocks": blocks,
+        "batch": batch,
+        "hardware_batch": hardware_batch,
+        "passes": passes,
+        "dispatches": dispatches,
+        "rounds": rounds,
+        "seed": seed,
+        "cpus": os.cpu_count() or 1,
+        "effective_cpus": effective_cpus(),
+        "identical": identical,
+        "loop_dispatch_us": loop_us,
+        "plan_dispatch_us": plan_us,
+        "dryrun_speedup": loop_us / plan_us,
         "machine": platform.machine(),
         "python": platform.python_version(),
     }
@@ -1135,6 +1362,10 @@ def main(argv: list[str] | None = None) -> int:
         help="dispatch microbenchmark batch count (per transport)",
     )
     parser.add_argument(
+        "--dryrun-dispatches", type=int, default=24,
+        help="dry-run microbenchmark dispatch count (per leg, per round)",
+    )
+    parser.add_argument(
         "--traffic-requests", type=int, default=100_000,
         help="open-loop traffic benchmark request count (per point)",
     )
@@ -1163,6 +1394,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "BENCH_dispatch": bench_dispatch(
             batches=args.dispatch_batches, seed=args.seed
+        ),
+        "BENCH_dryrun": bench_dryrun(
+            dispatches=args.dryrun_dispatches, seed=args.seed
         ),
         "BENCH_fabric": bench_fabric(
             requests=args.fabric_requests, seed=args.seed
@@ -1219,11 +1453,28 @@ def main(argv: list[str] | None = None) -> int:
     print(f"parallel: deterministic, serial/parallel {curve}; {gate_note}")
     dispatch = reports["BENCH_dispatch"]
     print(
-        "dispatch: pipe {pipe:.1f} us/batch vs ring {ring:.1f} us/batch; "
+        "dispatch: pipe {pipe:.1f} us/batch vs ring {ring:.1f} us/batch "
+        "(submit/collect pipe {ps:.1f}/{pc:.1f}, ring {rs:.1f}/{rc:.1f}); "
         "gated ring_speedup {speedup:.2f}x".format(
             pipe=dispatch["pipe_batch_us"],
             ring=dispatch["ring_batch_us"],
+            ps=dispatch["pipe_submit_us"],
+            pc=dispatch["pipe_collect_us"],
+            rs=dispatch["ring_submit_us"],
+            rc=dispatch["ring_collect_us"],
             speedup=dispatch["dispatch_ring_speedup"],
+        )
+    )
+    dryrun = reports["BENCH_dryrun"]
+    print(
+        "dryrun: loop {loop:.1f} us/dispatch vs plan {plan:.1f} "
+        "us/dispatch on {layers} layers x batch {batch}; "
+        "gated dryrun_speedup {speedup:.2f}x".format(
+            loop=dryrun["loop_dispatch_us"],
+            plan=dryrun["plan_dispatch_us"],
+            layers=dryrun["layers"],
+            batch=dryrun["batch"],
+            speedup=dryrun["dryrun_speedup"],
         )
     )
     fabric = reports["BENCH_fabric"]

@@ -225,6 +225,7 @@ class Cluster:
         tracer: DatapathTracer | None = None,
         execution: str = "serial",
         window: int = 8,
+        completions: str = "predictions",
     ) -> None:
         if num_cores < 1:
             raise ValueError("a cluster needs at least one core")
@@ -234,6 +235,11 @@ class Cluster:
             raise ValueError(
                 f"unknown execution mode {execution!r}; "
                 "choose 'serial' or 'parallel'"
+            )
+        if completions not in ("predictions", "rows"):
+            raise ValueError(
+                f"unknown completions mode {completions!r}; "
+                "choose 'predictions' or 'rows'"
             )
         # Validate queue parameters eagerly so a misconfigured cluster
         # fails at construction, not at the first deploy().
@@ -297,7 +303,11 @@ class Cluster:
             # memory; dispatches ride per-worker ring buffers signalled
             # once per ``window`` batches.
             self._pool = CoreWorkerPool(
-                num_cores, factory, window=window, max_batch=max_batch
+                num_cores,
+                factory,
+                window=window,
+                max_batch=max_batch,
+                completions=completions,
             )
             self._pool_finalizer = pool_finalizer(self, self._pool)
 
@@ -1029,14 +1039,19 @@ class Cluster:
             # order (per core that is dispatch order) and patch the
             # placeholder predictions — everything else in the record
             # was already exact at finalization.
+            predictions_only = self._pool.predictions_only
             for base, batch in pending_joins:
                 batch.outputs = self._pool.result(
                     batch.core, batch.worker_seq
                 )
-                for offset, output in enumerate(batch.outputs):
+                for offset, value in enumerate(batch.outputs):
                     records[base + offset] = dataclasses.replace(
                         records[base + offset],
-                        prediction=int(np.argmax(output)),
+                        prediction=(
+                            int(value)
+                            if predictions_only
+                            else int(np.argmax(value))
+                        ),
                     )
             # Batches cut off by a timeout were never finalized, and
             # aborted ones still finish in the background — consume
@@ -1174,10 +1189,12 @@ class Cluster:
     ) -> _Dispatch:
         """Ship one dispatch to a core's worker process.
 
-        The parent runs the datapath's timing dry run — consuming the
-        same memory-jitter draws, in the same order, as a serial
-        execute would — so the virtual clock's event ordering is fixed
-        here and never waits on a worker.  Only the request block and
+        The parent runs the datapath's timing dry run off the model's
+        compiled :class:`~repro.core.datapath.TimingPlan` — one
+        vectorized pass that consumes the same memory-jitter draws, in
+        the same order, as a serial execute would — so the virtual
+        clock's event ordering is fixed here and never waits on a
+        worker.  Only the request block and
         the noise key land in the worker's request ring (one semaphore
         post per window of dispatches); the outputs are joined after
         the event loop drains (see :class:`_Dispatch`), so the

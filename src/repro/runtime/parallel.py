@@ -248,10 +248,13 @@ def _worker_deploy(datapath, spec: dict, segments: list) -> None:
 class _WorkerState:
     """Mutable bag threaded through one worker's message handlers."""
 
-    def __init__(self, datapath, conn, sems: RingSems) -> None:
+    def __init__(
+        self, datapath, conn, sems: RingSems, predictions: bool = False
+    ) -> None:
         self.datapath = datapath
         self.conn = conn
         self.sems = sems
+        self.predictions = predictions
         self.consumer: RingConsumer | None = None
         self.segments: list[shared_memory.SharedMemory] = []
 
@@ -318,7 +321,16 @@ def _worker_run(state: _WorkerState, message: tuple) -> None:
             outputs = list(
                 datapath.execute_batch(model_id, block).output_levels
             )
-        state.consumer.post_result(seq, outputs)
+        if state.predictions:
+            # Argmax-only serving: reduce worker-side and ship one
+            # int32 per row.  ``np.argmax`` over the identical float64
+            # outputs is the identical reduction the parent would have
+            # run, so predictions stay bit-identical to serial.
+            state.consumer.post_predictions(
+                seq, [int(np.argmax(output)) for output in outputs]
+            )
+        else:
+            state.consumer.post_result(seq, outputs)
     except Exception:
         state.consumer.post_error(seq, traceback.format_exc())
 
@@ -361,7 +373,13 @@ def _worker_control(state: _WorkerState, message: tuple) -> bool:
     return True
 
 
-def _worker_main(core_index: int, datapath_factory, conn, sems) -> None:
+def _worker_main(
+    core_index: int,
+    datapath_factory,
+    conn,
+    sems,
+    completions: str = "rows",
+) -> None:
     """One photonic core's worker loop.
 
     Until the first deploy the worker blocks on its pipe; once the
@@ -373,7 +391,9 @@ def _worker_main(core_index: int, datapath_factory, conn, sems) -> None:
     the dispatches it separated in virtual time.
     """
     datapath = datapath_factory(core_index)
-    state = _WorkerState(datapath, conn, sems)
+    state = _WorkerState(
+        datapath, conn, sems, predictions=completions == "predictions"
+    )
     running = True
     while running:
         if state.consumer is None:
@@ -424,9 +444,15 @@ class CoreWorkerPool:
         window: int = DEFAULT_WINDOW,
         capacity: int | None = None,
         max_batch: int = 1,
+        completions: str = "rows",
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least one batch")
+        if completions not in ("rows", "predictions"):
+            raise ValueError(
+                f"unknown completions mode {completions!r}; "
+                "choose 'rows' or 'predictions'"
+            )
         if capacity is None:
             capacity = max(2 * window, 8)
         if capacity < window:
@@ -443,6 +469,7 @@ class CoreWorkerPool:
         self.window = window
         self.capacity = capacity
         self._max_batch = max(max_batch, 1)
+        self._completions = completions
         self._pipes = []
         self._procs = []
         self._sems: list[RingSems] = []
@@ -451,7 +478,7 @@ class CoreWorkerPool:
             sems = RingSems(ctx, capacity)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(core, datapath_factory, child_conn, sems),
+                args=(core, datapath_factory, child_conn, sems, completions),
                 daemon=True,
                 name=f"lightning-core-{core}",
             )
@@ -477,6 +504,11 @@ class CoreWorkerPool:
     @property
     def num_cores(self) -> int:
         return len(self._procs)
+
+    @property
+    def predictions_only(self) -> bool:
+        """Whether workers post int32 argmaxes instead of output rows."""
+        return self._completions == "predictions"
 
     @property
     def segment_names(self) -> tuple[str, ...]:
@@ -591,9 +623,18 @@ class CoreWorkerPool:
         """Publish one model's plan and register it in every worker."""
         widest_in = max(task.input_size for task in dag.tasks)
         widest_out = max(task.output_size for task in dag.tasks)
+        # Prediction-only completions carry one int32 per row, so the
+        # completion slots never need to grow with the model's output
+        # width (the MIN_PAYLOAD_BYTES floor still fits every error
+        # pickle).
+        completion_bytes = (
+            self._max_batch * 4
+            if self.predictions_only
+            else self._max_batch * widest_out * 8
+        )
         self._ensure_rings(
             self._max_batch * widest_in * 8,
-            self._max_batch * widest_out * 8,
+            completion_bytes,
         )
         published = publish_model(dag, model_plan)
         self._published.append(published)
@@ -761,7 +802,7 @@ class CoreWorkerPool:
         for core in range(self.num_cores):
             while self._outstanding[core]:
                 message = self._next_completion(core)
-                if message[0] in ("result", "error"):
+                if message[0] in ("result", "pred", "error"):
                     self._outstanding[core].discard(message[1])
                     self._discarded[core].discard(message[1])
 

@@ -19,7 +19,9 @@ in one :class:`multiprocessing.shared_memory.SharedMemory` segment:
   same ring so FIFO ordering between faults and the batches they
   separate is preserved **by construction**;
 * the **completion ring** mirrors it with result slots (raw output
-  rows) and error slots (pickled tracebacks).
+  rows), prediction slots (one ``int32`` argmax per row, the slim
+  format for argmax-only serves), and error slots (pickled
+  tracebacks).
 
 Synchronisation is four POSIX semaphores per worker (items/free for
 each ring).  The parent *windows* its submissions: slot writes are
@@ -79,6 +81,10 @@ KIND_CONTROL = 2
 #: Completion-slot kinds.
 KIND_RESULT = 3
 KIND_ERROR = 4
+#: Prediction-only completion: one ``int32`` argmax per row instead of
+#: a full ``float64`` output row — ~``8 x num_classes`` less completion
+#: traffic for argmax-only serves.
+KIND_PRED = 5
 
 
 class PeerDiedError(RuntimeError):
@@ -205,6 +211,11 @@ class _RingView:
     def _f64(self, offset: int, count: int) -> np.ndarray:
         return np.ndarray(
             (count,), dtype="<f8", buffer=self.segment.buf, offset=offset
+        )
+
+    def _i32(self, offset: int, count: int) -> np.ndarray:
+        return np.ndarray(
+            (count,), dtype="<i4", buffer=self.segment.buf, offset=offset
         )
 
     def request_offset(self, ordinal: int) -> int:
@@ -376,6 +387,11 @@ class RingProducer:
                 for row in range(max(rows, 1))
             ]
             message = ("result", seq, outputs)
+        elif kind == KIND_PRED:
+            flat = self._view._i32(
+                base + COMPLETION_HEADER_BYTES, max(rows, 1)
+            )
+            message = ("pred", seq, [int(v) for v in flat[:rows]])
         elif kind == KIND_ERROR:
             start = base + COMPLETION_HEADER_BYTES
             message = (
@@ -498,6 +514,36 @@ class RingConsumer:
             flat[row * cols : (row + 1) * cols] = np.asarray(
                 output, dtype=np.float64
             ).ravel()
+        self._posted += 1
+        self._sems.completion_items.release()
+
+    def post_predictions(self, seq: int, predictions) -> None:
+        """Write one prediction-only slot: one ``int32`` per row.
+
+        The slimmed completion format for argmax-only serves — the
+        worker reduces each output row to its argmax and the parent
+        patches records without ever copying output rows back across
+        the ring.
+        """
+        preds = np.ascontiguousarray(predictions, dtype=np.int32).ravel()
+        rows = int(preds.shape[0])
+        if rows * 4 > self.geometry.completion_bytes:
+            raise ValueError(
+                f"{rows} predictions exceed the "
+                f"{self.geometry.completion_bytes}-byte completion slots"
+            )
+        self._sems.completion_free.acquire()
+        base = self._view.completion_offset(self._posted)
+        header = self._view._i64(base, 5)
+        header[0] = KIND_PRED
+        header[1] = seq
+        header[2] = rows
+        header[3] = 1
+        header[4] = rows * 4
+        flat = self._view._i32(
+            base + COMPLETION_HEADER_BYTES, max(rows, 1)
+        )
+        flat[:rows] = preds
         self._posted += 1
         self._sems.completion_items.release()
 

@@ -386,6 +386,45 @@ class TestWindowInvariance:
         assert_bit_identical(serial, parallel)
 
 
+class TestCompletionModes:
+    """Prediction-only completion slots vs full output rows.
+
+    ``completions="predictions"`` (the cluster default) ships one
+    ``int32`` per row back across the completion ring; the worker's
+    ``np.argmax`` is the exact reduction the parent would have run, so
+    both modes — and the serial loop — must agree bit for bit.
+    """
+
+    @pytest.mark.parametrize("completions", ["predictions", "rows"])
+    def test_both_modes_match_serial(self, completions):
+        serial, parallel = run_both(
+            dense_dag(),
+            steady_trace(),
+            cluster_kwargs={"completions": completions, "max_batch": 4},
+        )
+        assert serial.served == serial.offered
+        assert_bit_identical(serial, parallel)
+
+    def test_modes_match_each_other_on_mixed_model(self):
+        trace = steady_trace(count=32, model_id=2, size=36, seed=4)
+        results = {}
+        for completions in ("predictions", "rows"):
+            with make_cluster(
+                "parallel", completions=completions, max_batch=4
+            ) as cluster:
+                cluster.deploy(mixed_dag())
+                results[completions] = cluster.serve_trace(trace)
+        assert_bit_identical(results["predictions"], results["rows"])
+
+    def test_prediction_slots_are_the_cluster_default(self):
+        with make_cluster("parallel", num_cores=2) as cluster:
+            assert cluster._pool.predictions_only
+
+    def test_unknown_completions_mode_rejected(self):
+        with pytest.raises(ValueError, match="completions mode"):
+            make_cluster("parallel", completions="telepathy")
+
+
 class TestWorkerCrashHardening:
     def test_dead_worker_raises_instead_of_hanging(self):
         # A worker killed while the parent awaits its window must

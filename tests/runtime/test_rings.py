@@ -130,6 +130,30 @@ class TestRoundTrip:
             consumer.close()
             producer.close()
 
+    def test_prediction_round_trip(self):
+        # Prediction-only completions: one int32 per row, no float64
+        # output payload — the argmax-only serving path's slot format.
+        producer, consumer, _ = make_pair()
+        try:
+            consumer.post_predictions(7, [3, 0, 9])
+            kind, seq, received = producer.collect()
+            assert (kind, seq) == ("pred", 7)
+            assert received == [3, 0, 9]
+            assert all(isinstance(v, int) for v in received)
+        finally:
+            consumer.close()
+            producer.close()
+
+    def test_prediction_overflow_rejected(self):
+        producer, consumer, _ = make_pair()
+        try:
+            too_many = list(range(1024))
+            with pytest.raises(ValueError, match="completion slot"):
+                consumer.post_predictions(0, too_many)
+        finally:
+            consumer.close()
+            producer.close()
+
     def test_error_round_trip(self):
         producer, consumer, _ = make_pair()
         try:
