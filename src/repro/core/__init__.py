@@ -62,14 +62,17 @@ from .preamble import (
     add_preamble,
     make_preamble,
 )
+from .energy import DRAM_QUEUE_POWER_WATTS, EnergyModel
 from .server import InferenceServer
 from .smartnic import LightningSmartNIC, PuntedPacket, ServedRequest
 from .stats import (
     DEFAULT_RESERVOIR_CAPACITY,
     DEFAULT_TAIL_CAPACITY,
+    EnergyLedger,
     LatencyReservoir,
     NICCounters,
     ServerStats,
+    check_accounting,
 )
 from .streamer import SynchronousDataStreamer
 from .trace import DatapathTracer, TraceEvent
@@ -121,6 +124,10 @@ __all__ = [
     "InferenceServer",
     "ServerStats",
     "LatencyReservoir",
+    "EnergyLedger",
+    "EnergyModel",
+    "DRAM_QUEUE_POWER_WATTS",
+    "check_accounting",
     "NICCounters",
     "DEFAULT_RESERVOIR_CAPACITY",
     "DEFAULT_TAIL_CAPACITY",

@@ -1,0 +1,132 @@
+"""Per-request energy accounting shared by every serving layer (§9).
+
+The paper charges each served request energy from three sources:
+
+* **compute** — t_c × accelerator power.  For Lightning the chip power
+  figure comes from the §8 synthesis rollup (Tables 1–3: 65 nm digital
+  synthesis scaled to 7 nm, plus photonic MACs at 40 aJ/MAC and the
+  published HBM2/DAC/ADC numbers); for the digital platforms it is the
+  Table 6 board power.
+* **datapath** — t_d × datapath power.  Lightning integrates packet I/O
+  into the chip (``datapath_kind == "per_layer"``), so its datapath time
+  is charged at chip power; server-attached platforms pay their NIC
+  card's power instead.
+* **queuing** — t_q × host DRAM power while the request waits in the
+  admission queue [ref 29].
+
+Historically this formula lived in three private copies inside
+``repro.sim.simulator`` while the real serving stack (Cluster → Fabric →
+traffic campaigns) had no energy accounting at all.  :class:`EnergyModel`
+is now the single owner: the simulator delegates to it, the runtime
+charges it per request from the same t_q/t_d/t_c decomposition, and the
+fleet campaigns aggregate its output into energy–latency Pareto
+frontiers.  The arithmetic (one multiply per source, summed in
+compute → datapath → queuing order) is kept bit-identical to the old
+copies so pinned simulator results are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.accelerators import AcceleratorSpec
+
+__all__ = [
+    "DRAM_QUEUE_POWER_WATTS",
+    "EnergyModel",
+]
+
+#: Power drawn by host DRAM holding queued requests [ref 29].
+DRAM_QUEUE_POWER_WATTS = 3.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """The paper's three-source per-request energy formula.
+
+    One frozen instance prices every request served on one accelerator:
+    ``energy = t_c x power + t_d x datapath_power + t_q x dram_power``.
+    Build it with :meth:`from_accelerator` (Table 6 platforms, including
+    the NIC-vs-chip datapath power distinction) or :meth:`lightning`
+    (chip power sourced from the ``repro.synthesis`` Tables 1-3 power
+    database rather than the hard-coded spec constant).
+    """
+
+    name: str
+    #: Accelerator power charged during compute time [W].
+    power_watts: float
+    #: Power charged during datapath time [W] — chip power for
+    #: Lightning (packet I/O is on-chip), NIC card power otherwise.
+    datapath_power_watts: float
+    #: Host DRAM power charged during queuing time [W].
+    dram_power_watts: float = DRAM_QUEUE_POWER_WATTS
+
+    def __post_init__(self) -> None:
+        for label in ("power_watts", "datapath_power_watts", "dram_power_watts"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} cannot be negative")
+
+    def energy(
+        self, datapath_s: float, queuing_s: float, compute_s: float
+    ) -> float:
+        """Joules for one request's t_d/t_q/t_c decomposition.
+
+        The formula is linear in the components, so calling it on
+        exact per-model *sums* prices the whole group in one shot —
+        the streamed simulator and the fleet engine rely on that.
+        The operation order matches the formula's original inlined
+        copies bit for bit.
+        """
+        compute_energy = compute_s * self.power_watts
+        datapath_energy = datapath_s * self.datapath_power_watts
+        queue_energy = queuing_s * self.dram_power_watts
+        return compute_energy + datapath_energy + queue_energy
+
+    @classmethod
+    def from_accelerator(
+        cls,
+        accelerator: "AcceleratorSpec",
+        dram_power_watts: float = DRAM_QUEUE_POWER_WATTS,
+    ) -> "EnergyModel":
+        """Price requests for one Table 6 accelerator.
+
+        Lightning's datapath is integrated into the chip
+        (``datapath_kind == "per_layer"``), so datapath seconds are
+        charged at chip power; every other platform pays its NIC
+        card's power during the datapath stage.
+        """
+        if accelerator.datapath_kind == "per_layer":
+            datapath_power = accelerator.power_watts
+        else:
+            datapath_power = accelerator.nic_power_watts
+        return cls(
+            name=accelerator.name,
+            power_watts=accelerator.power_watts,
+            datapath_power_watts=datapath_power,
+            dram_power_watts=dram_power_watts,
+        )
+
+    @classmethod
+    def lightning(
+        cls, dram_power_watts: float = DRAM_QUEUE_POWER_WATTS
+    ) -> "EnergyModel":
+        """Lightning priced from the synthesis power database.
+
+        Chip power is the Tables 1-3 rollup
+        (:attr:`~repro.synthesis.chip.LightningChip.total_power_watts`:
+        scaled digital synthesis + photonic MACs + HBM2/DAC/ADC), not
+        the spec constant — so a re-synthesis at a different clock or
+        core count reprices the fleet automatically.  Datapath power
+        equals chip power: Lightning's packet I/O is on-chip.
+        """
+        from ..synthesis.chip import LightningChip
+
+        power = LightningChip().total_power_watts
+        return cls(
+            name="Lightning",
+            power_watts=power,
+            datapath_power_watts=power,
+            dram_power_watts=dram_power_watts,
+        )

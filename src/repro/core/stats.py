@@ -23,9 +23,11 @@ import numpy as np
 __all__ = [
     "DEFAULT_RESERVOIR_CAPACITY",
     "DEFAULT_TAIL_CAPACITY",
+    "EnergyLedger",
     "LatencyReservoir",
     "NICCounters",
     "ServerStats",
+    "check_accounting",
 ]
 
 #: Default number of latency samples retained for percentile estimation.
@@ -120,6 +122,11 @@ class LatencyReservoir:
     def count(self) -> int:
         """Exact number of values observed (may exceed ``capacity``)."""
         return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact sum over every observed value."""
+        return self._total
 
     @property
     def mean(self) -> float:
@@ -250,6 +257,161 @@ class LatencyReservoir:
         self._total += other._total
 
 
+class EnergyLedger:
+    """Bounded-memory per-request energy accounting.
+
+    Every layer of the serving stack charges energy through one of
+    these: the exact count and joule totals (global and per model)
+    make joules-per-inference exact over arbitrarily long runs, while
+    per-request energies stream through a :class:`LatencyReservoir`
+    so energy percentiles get the same exact-tail treatment as
+    latency percentiles — p999 energy over a million-request campaign
+    is an exact order statistic, not an estimate.
+
+    Ledgers merge the same way :class:`ServerStats` do: totals add
+    exactly (so merged means are exact and order-invariant), and the
+    reservoirs fold via :meth:`LatencyReservoir.merge`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+        seed: int = 0,
+        tail_capacity: int = DEFAULT_TAIL_CAPACITY,
+    ) -> None:
+        #: Exact joules charged per model (cluster layers key by model
+        #: id, the fleet engine keys by model name).
+        self.per_model_joules: dict[int | str, float] = {}
+        self.per_model_count: dict[int | str, int] = {}
+        self._reservoir = LatencyReservoir(
+            capacity=capacity, seed=seed, tail_capacity=tail_capacity
+        )
+
+    def charge(self, model_id: int | str, joules: float) -> None:
+        """Account one served request's energy."""
+        self.per_model_joules[model_id] = (
+            self.per_model_joules.get(model_id, 0.0) + joules
+        )
+        self.per_model_count[model_id] = (
+            self.per_model_count.get(model_id, 0) + 1
+        )
+        self._reservoir.add(joules)
+
+    @property
+    def count(self) -> int:
+        """Exact number of requests charged."""
+        return self._reservoir.count
+
+    @property
+    def total_joules(self) -> float:
+        """Exact total energy charged across every request."""
+        return self._reservoir.total
+
+    @property
+    def mean_joules(self) -> float:
+        """Exact joules-per-inference over every charged request."""
+        return self._reservoir.mean
+
+    def model_mean_joules(self, model_id: int | str) -> float:
+        """Exact joules-per-inference for one model."""
+        count = self.per_model_count.get(model_id, 0)
+        if count == 0:
+            raise ValueError(f"no energy charged for model {model_id!r}")
+        return self.per_model_joules[model_id] / count
+
+    def percentile(self, q: float) -> float:
+        """One per-request energy percentile (exact inside the tail)."""
+        return self._reservoir.percentile(q)
+
+    def percentiles(self, qs: list[float]) -> list[float]:
+        """Several energy percentiles from one pass."""
+        return self._reservoir.percentiles(qs)
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger into this one in place.
+
+        Counts and joule totals add exactly, so merged means are exact
+        and independent of merge order; reservoirs merge like latency
+        reservoirs (exact tails stay exact up to the smaller side's
+        guarantee).
+        """
+        for model_id, joules in other.per_model_joules.items():
+            self.per_model_joules[model_id] = (
+                self.per_model_joules.get(model_id, 0.0) + joules
+            )
+        for model_id, count in other.per_model_count.items():
+            self.per_model_count[model_id] = (
+                self.per_model_count.get(model_id, 0) + count
+            )
+        self._reservoir.merge(other._reservoir)
+
+    def summary(self) -> dict[str, float | int]:
+        """A dashboard-style snapshot (empty dict before any charge)."""
+        if self.count == 0:
+            return {}
+        p50, p99, p999 = self.percentiles([50, 99, 99.9])
+        return {
+            "energy_count": self.count,
+            "energy_j": self.total_joules,
+            "mean_energy_j": self.mean_joules,
+            "p50_energy_j": p50,
+            "p99_energy_j": p99,
+            "p999_energy_j": p999,
+        }
+
+
+def check_accounting(
+    *,
+    offered: int,
+    served: int,
+    dropped: int = 0,
+    failed: int = 0,
+    unfinished: int = 0,
+    shed: int = 0,
+    failed_over: int = 0,
+    stolen: int = 0,
+    failovers: int = 0,
+) -> None:
+    """Enforce the extended serving invariant shared by every layer.
+
+    Every offered request must meet exactly one fate::
+
+        served + dropped + failed + unfinished + shed + failed_over
+            == offered
+
+    ``stolen`` and ``failovers`` annotate subsets of other fates
+    (stolen requests are served by a sibling shard; failovers are
+    recoveries already counted as served), so they bound-check rather
+    than sum.  The cluster, fabric, fleet engine, and gateway all call
+    this one helper instead of re-implementing the arithmetic — a new
+    fate (cost, carbon) is a single-file change.
+
+    Raises :exc:`ValueError` with the full tally on any violation.
+    """
+    counters = {
+        "offered": offered,
+        "served": served,
+        "dropped": dropped,
+        "failed": failed,
+        "unfinished": unfinished,
+        "shed": shed,
+        "failed_over": failed_over,
+        "stolen": stolen,
+        "failovers": failovers,
+    }
+    for name, value in counters.items():
+        if value < 0:
+            raise ValueError(f"negative {name} count: {counters}")
+    if stolen > served:
+        raise ValueError(f"stolen exceeds served: {counters}")
+    accounted = served + dropped + failed + unfinished + shed + failed_over
+    if accounted != offered:
+        raise ValueError(
+            f"accounting violation: {accounted} accounted != "
+            f"{offered} offered ({counters})"
+        )
+
+
 @dataclass
 class NICCounters:
     """Frame-level accounting shared by the smartNIC and the runtime.
@@ -309,15 +471,36 @@ class ServerStats:
     #: Quarantined cores returned to service after a bias re-lock
     #: brought their calibration probe back under threshold.
     relocks: int = 0
+    #: Requests presented to this layer (admission offered, or the
+    #: trace length for layers without an admission controller).
+    offered: int = 0
+    #: Requests shed by admission control (or the energy/deadline-aware
+    #: gateway pre-pass) before reaching a serving queue.
+    shed: int = 0
+    #: Requests served by a sibling shard via work stealing (a subset
+    #: of ``served`` fleet-wide, never a separate fate).
+    stolen: int = 0
+    #: Requests re-homed to a replica by the failover router before
+    #: serving (their fate is charged to the replica's shard).
+    failed_over: int = 0
+    #: Failed requests recovered onto a replica by the post-serve
+    #: recovery pass (already counted inside ``served``).
+    failovers: int = 0
+    #: Requests still queued when the serve horizon ended.
+    unfinished: int = 0
     per_model_served: dict[int, int] = field(default_factory=dict)
     #: Last observed state per core ("healthy" | "stalled" |
     #: "quarantined" | "crashed"), maintained by the runtime.
     core_health: dict[int, str] = field(default_factory=dict)
     reservoir_capacity: int = DEFAULT_RESERVOIR_CAPACITY
     _latencies: LatencyReservoir = field(init=False, repr=False)
+    #: Per-request joules charged by the serving layer (empty until a
+    #: layer with an :class:`~repro.core.energy.EnergyModel` serves).
+    energy: EnergyLedger = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._latencies = LatencyReservoir(capacity=self.reservoir_capacity)
+        self.energy = EnergyLedger(capacity=self.reservoir_capacity)
 
     def record(self, model_id: int, latency_s: float) -> None:
         """Account one served request's latency."""
@@ -326,6 +509,30 @@ class ServerStats:
             self.per_model_served.get(model_id, 0) + 1
         )
         self._latencies.add(latency_s)
+
+    def record_energy(self, model_id: int | str, joules: float) -> None:
+        """Account one served request's energy charge."""
+        self.energy.charge(model_id, joules)
+
+    def accounted(self) -> None:
+        """Check the extended invariant over this ledger's counters.
+
+        ``errors``/``retries``/``slo_dropped`` annotate subsets of the
+        primary fates (an SLO drop is already inside ``dropped``), so
+        only the primary fates sum.  Raises :exc:`ValueError` when a
+        request went missing or was double-counted.
+        """
+        check_accounting(
+            offered=self.offered,
+            served=self.served,
+            dropped=self.dropped,
+            failed=self.failed,
+            unfinished=self.unfinished,
+            shed=self.shed,
+            failed_over=self.failed_over,
+            stolen=self.stolen,
+            failovers=self.failovers,
+        )
 
     def latency_percentile(self, percentile: float) -> float:
         """Serve-time percentile in seconds (raises with no samples)."""
@@ -359,6 +566,12 @@ class ServerStats:
         self.slo_dropped += other.slo_dropped
         self.quarantines += other.quarantines
         self.relocks += other.relocks
+        self.offered += other.offered
+        self.shed += other.shed
+        self.stolen += other.stolen
+        self.failed_over += other.failed_over
+        self.failovers += other.failovers
+        self.unfinished += other.unfinished
         for model_id, count in other.per_model_served.items():
             self.per_model_served[model_id] = (
                 self.per_model_served.get(model_id, 0) + count
@@ -366,6 +579,7 @@ class ServerStats:
         for core, state in other.core_health.items():
             self.core_health[core + core_offset] = state
         self._latencies.merge(other._latencies)
+        self.energy.merge(other.energy)
 
     def summary(self) -> dict[str, float | int]:
         """A dashboard-style snapshot."""
@@ -389,4 +603,5 @@ class ServerStats:
             out["p99_us"] = p99 * 1e6
             out["p999_us"] = p999 * 1e6
             out["mean_us"] = self.mean_latency_s * 1e6
+        out.update(self.energy.summary())
         return out

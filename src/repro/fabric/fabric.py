@@ -46,7 +46,8 @@ from typing import Callable, Iterable, Sequence
 
 from ..core.dag import ComputationDAG
 from ..core.datapath import LightningDatapath
-from ..core.stats import ServerStats
+from ..core.energy import EnergyModel
+from ..core.stats import ServerStats, check_accounting
 from ..faults.resilience import CalibrationWatchdog, RetryPolicy
 from ..faults.schedule import FaultEvent, FaultSchedule, WIRE_FAULT_KINDS
 from ..runtime.cluster import (
@@ -90,6 +91,9 @@ class ShardSpec:
     #: Dispatch-signalling window for ``execution="parallel"`` shards
     #: (batches per worker wake-up; results are window-invariant).
     window: int = 8
+    #: Per-request energy pricing for this shard's cluster (see
+    #: :class:`~repro.runtime.cluster.Cluster`); ``None`` disables it.
+    energy_model: EnergyModel | str | None = "lightning"
 
     def build(self) -> Cluster:
         """Construct this shard's cluster."""
@@ -106,6 +110,7 @@ class ShardSpec:
             max_batch=self.max_batch,
             execution=self.execution,
             window=self.window,
+            energy_model=self.energy_model,
         )
 
 
@@ -121,7 +126,10 @@ class FabricResult:
     shard_results: tuple[ClusterResult | None, ...]
     #: Shard index each offered request was routed to, arrival order.
     routed: tuple[int, ...]
-    #: Cross-shard merged counters and latency percentiles.
+    #: Cross-shard merged counters, latency percentiles, and the
+    #: per-request energy ledger (``stats.energy``).  Shard stats are
+    #: cumulative across a fabric's serves, so this reflects the
+    #: fabric's lifetime — equal to this serve for a fresh fabric.
     stats: ServerStats
     offered: int
     total_cores: int
@@ -218,22 +226,24 @@ class FabricResult:
         exactly one of served / dropped / failed / unfinished / shed /
         failed_over — and the subset annotations are sane (``stolen``
         and ``failovers`` mark served/admitted requests, so they can
-        never exceed what they annotate)."""
-        if min(
-            self.shed, self.stolen, self.failed_over, self.failovers
-        ) < 0:
+        never exceed what they annotate).  Delegates the arithmetic to
+        :func:`repro.core.stats.check_accounting`, the one invariant
+        spine shared with the cluster, fleet engine, and gateway."""
+        try:
+            check_accounting(
+                offered=self.offered,
+                served=self.served,
+                dropped=self.dropped,
+                failed=self.failed,
+                unfinished=self.unfinished,
+                shed=self.shed,
+                failed_over=self.failed_over,
+                stolen=self.stolen,
+                failovers=self.failovers,
+            )
+        except ValueError:
             return False
-        if self.stolen > self.served:
-            return False
-        return (
-            self.served
-            + self.dropped
-            + self.failed
-            + self.unfinished
-            + self.shed
-            + self.failed_over
-            == self.offered
-        )
+        return True
 
 
 class Fabric:
@@ -781,9 +791,14 @@ class Fabric:
                     results[shard_index] = replace(
                         result, failed=tuple(kept_failed)
                     )
-                    # The shard's cumulative counters charged these as
-                    # failed; their fates now belong to the replica.
+                    # The moved requests are re-homed wholesale: the
+                    # failing shard gives up both the offer and the
+                    # failed fate, the replica's recovery serve counts
+                    # them as its own offers and serves — so every
+                    # shard's *cumulative* ledger stays individually
+                    # balanced, not just the merge.
                     self.shards[shard_index].stats.failed -= moved
+                    self.shards[shard_index].stats.offered -= moved
                     failovers += moved
             def recover_shard(shard_index: int) -> ClusterResult:
                 return self.shards[shard_index].serve_trace(
@@ -806,6 +821,13 @@ class Fabric:
                 recovery_jobs, self._serve_shards(recovery_jobs)
             ):
                 recovery_results[shard_index] = result
+                # The replica's serve_trace already counted the handed
+                # requests as offers; annotate how many of its serves
+                # were failover recoveries (energy was charged there
+                # normally — a failed attempt charges nothing).
+                self.shards[shard_index].stats.failovers += len(
+                    handed[shard_index]
+                )
 
         merged = ServerStats()
         for shard_index, shard in enumerate(self.shards):

@@ -36,6 +36,14 @@ answer in time; ``timeout_s`` bounds the virtual clock so a mis-sized
 trace terminates with partial stats instead of spinning.  Every request
 ends in exactly one bucket — ``served + dropped + failed + unfinished
 == offered`` — so degraded runs stay fully accounted.
+
+Energy: each served request is priced by the cluster's
+:class:`~repro.core.energy.EnergyModel` from the same t_q/t_d/t_c
+decomposition its record carries, and lands in the
+:class:`~repro.core.stats.ServerStats` energy ledger.  The charge
+happens parent-side at finalization — in parallel execution the timing
+was already fixed by the dispatch-time dry run — so serial and parallel
+serves charge bit-identical joules in both completion modes.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ import numpy as np
 
 from ..core.datapath import LightningDatapath
 from ..core.dag import ComputationDAG
+from ..core.energy import EnergyModel
 from ..core.plans import export_model_plan, import_model_plan
 from ..core.stats import NICCounters, ServerStats
 from ..core.trace import DatapathTracer
@@ -226,9 +235,21 @@ class Cluster:
         execution: str = "serial",
         window: int = 8,
         completions: str = "predictions",
+        energy_model: EnergyModel | str | None = "lightning",
     ) -> None:
         if num_cores < 1:
             raise ValueError("a cluster needs at least one core")
+        if isinstance(energy_model, str):
+            if energy_model != "lightning":
+                raise ValueError(
+                    f"unknown energy model {energy_model!r}; pass an "
+                    "EnergyModel, 'lightning', or None to disable "
+                    "energy accounting"
+                )
+            energy_model = EnergyModel.lightning()
+        #: Prices each served request's t_q/t_d/t_c into joules on the
+        #: stats energy ledger; ``None`` disables energy accounting.
+        self.energy_model = energy_model
         if window < 1:
             raise ValueError("dispatch window must be at least 1")
         if execution not in ("serial", "parallel"):
@@ -687,6 +708,18 @@ class Cluster:
                 )
                 records.append(record)
                 self.stats.record(batch.model_id, record.serve_time_s)
+                if self.energy_model is not None:
+                    # Parent-side pricing of the decomposition the
+                    # record carries: identical in serial and parallel
+                    # execution, whose timings agree bit for bit.
+                    self.stats.record_energy(
+                        batch.model_id,
+                        self.energy_model.energy(
+                            datapath_s=batch.pass_datapath_s,
+                            queuing_s=queuing_s,
+                            compute_s=batch.pass_compute_s,
+                        ),
+                    )
                 self.nic_counters.served += 1
             emit(
                 "complete",
@@ -1080,6 +1113,11 @@ class Cluster:
         self.stats.core_health = {
             i: health[i].state for i in range(self.num_cores)
         }
+        # The cumulative ledger carries the trace's fate counters too,
+        # so cross-serve aggregation (fabric shard merges) can check
+        # the accounting invariant without re-deriving it.
+        self.stats.offered += len(trace)
+        self.stats.unfinished += len(unfinished)
         horizon = max((r.finish_s for r in records), default=0.0)
         return ClusterResult(
             records=tuple(records),

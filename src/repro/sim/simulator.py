@@ -13,7 +13,10 @@ Energy accounting follows §9 exactly: computation energy is compute time
 times accelerator power (for Lightning this includes the datapath, whose
 packet I/O is integrated); server-attached platforms additionally pay the
 NIC card's power during their datapath time; and queued requests pay
-DRAM power while waiting.
+DRAM power while waiting.  The formula itself lives in
+:class:`repro.core.energy.EnergyModel` — the same instance the serving
+runtime charges per request — so the simulator and the real cluster
+price identical decompositions to identical joules.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.energy import DRAM_QUEUE_POWER_WATTS, EnergyModel
 from ..core.stats import LatencyReservoir
 from ..dnn.model import ModelSpec
 from .accelerators import AcceleratorSpec
@@ -46,11 +50,11 @@ __all__ = [
     "StreamedSummary",
     "ComparisonReport",
     "run_comparison",
+    # The energy constants/model now live in repro.core.energy; they
+    # stay re-exported here because §9 introduced them.
     "DRAM_QUEUE_POWER_WATTS",
+    "EnergyModel",
 ]
-
-#: Power drawn by host DRAM holding queued requests [ref 29].
-DRAM_QUEUE_POWER_WATTS = 3.0
 
 
 @dataclass(frozen=True)
@@ -75,14 +79,14 @@ class ServedRecord:
         dram_power_watts: float = DRAM_QUEUE_POWER_WATTS,
     ) -> float:
         """Per-request energy following the paper's three sources."""
-        compute_energy = self.compute_s * accelerator.power_watts
-        if accelerator.datapath_kind == "per_layer":
-            # Lightning: datapath energy is part of chip power.
-            datapath_energy = self.datapath_s * accelerator.power_watts
-        else:
-            datapath_energy = self.datapath_s * accelerator.nic_power_watts
-        queue_energy = self.queuing_s * dram_power_watts
-        return compute_energy + datapath_energy + queue_energy
+        model = EnergyModel.from_accelerator(
+            accelerator, dram_power_watts=dram_power_watts
+        )
+        return model.energy(
+            datapath_s=self.datapath_s,
+            queuing_s=self.queuing_s,
+            compute_s=self.compute_s,
+        )
 
 
 @dataclass
@@ -212,16 +216,16 @@ class SimulationResult:
         """
         if not self.records and self.summary is not None:
             agg = self._aggregate(model_name)
-            acc = self.accelerator
-            compute_energy = agg.compute_s * acc.power_watts
-            if acc.datapath_kind == "per_layer":
-                datapath_energy = agg.datapath_s * acc.power_watts
-            else:
-                datapath_energy = agg.datapath_s * acc.nic_power_watts
-            queue_energy = agg.queuing_s * DRAM_QUEUE_POWER_WATTS
-            return (
-                compute_energy + datapath_energy + queue_energy
-            ) / agg.count
+            # Energy is linear in the decomposition, so pricing the
+            # exact per-model sums in one EnergyModel call reproduces
+            # the record-by-record total bit for bit.
+            model = EnergyModel.from_accelerator(self.accelerator)
+            total = model.energy(
+                datapath_s=agg.datapath_s,
+                queuing_s=agg.queuing_s,
+                compute_s=agg.compute_s,
+            )
+            return total / agg.count
         energies = [
             r.energy_joules(self.accelerator)
             for r in self.records

@@ -332,6 +332,10 @@ class AdmissionController:
         self.offered = 0
         self.admitted = 0
         self.shed = 0
+        #: Post-admission shed counts by cause (``"deadline"``,
+        #: ``"energy_budget"``, ...) — every count here is also inside
+        #: ``shed``, never a separate fate.
+        self.shed_reasons: dict[str, int] = {}
         self._rng = substream(self.seed, ADMIT_RNG_DOMAIN, *self.stream)
         self.policy.reset()
 
@@ -364,18 +368,22 @@ class AdmissionController:
             self.shed += 1
         return ok
 
-    def shed_admitted(self) -> None:
+    def shed_admitted(self, reason: str = "deadline") -> None:
         """Reclassify the most recent admit as a shed.
 
-        The gateway's deadline-aware path admits first (the policy and
-        its token accounting must observe the request) and sheds after
-        routing, once the projected queue wait shows the deadline is
-        already unmeetable.
+        The gateway's deadline- and energy-aware paths admit first
+        (the policy and its token accounting must observe the request)
+        and shed after routing, once the projected queue wait shows
+        the deadline is unmeetable or the projected serve blows the
+        class's energy budget.  ``reason`` tallies the cause into
+        :attr:`shed_reasons` without changing the invariant — a
+        reclassified request is charged to ``shed`` either way.
         """
         if self.admitted <= 0:
             raise ValueError("no admitted request to reclassify")
         self.admitted -= 1
         self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
 
     def admit_occupancy(self, now_s: float, occupancy: float) -> bool:
         """Fast-path decision from a precomputed queue occupancy.

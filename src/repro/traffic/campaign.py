@@ -10,7 +10,17 @@ each (accelerator, arrival process, load fraction) point the campaign:
 2. builds an arrival process at ``load x capacity`` requests/second,
 3. serves ``requests_per_point`` open-loop arrivals through the fleet
    engine behind the configured admission policy, and
-4. records goodput, SLO attainment, and p50/p99/p999 serve time.
+4. records goodput, SLO attainment, p50/p99/p999 serve time, and the
+   energy ledger's exact joules-per-inference with tail-exact energy
+   percentiles.
+
+Because every point carries both axes, a sweep over several platforms
+(Lightning vs A100/P4) yields a **joint energy–latency Pareto
+frontier** per (process, load) point —
+:meth:`CampaignReport.pareto_frontier` marks the non-dominated
+platforms (minimal joules-per-inference *and* p99), reproducing the
+paper's Figs 21/22 single-NIC comparison as a fleet-level trade-off
+curve.
 
 Every point gets its own substream key ``(accelerator, process,
 load)`` under the campaign seed, so the whole sweep is bit-reproducible
@@ -100,6 +110,12 @@ class CampaignPoint:
     p50_s: float
     p99_s: float
     p999_s: float
+    #: Exact mean joules per served inference (the Fig 22 axis).
+    energy_per_inference_j: float = 0.0
+    #: Tail per-request energy (exact where the ledger's tail covers).
+    p99_energy_j: float = 0.0
+    #: Exact total joules the fleet spent at this point.
+    total_energy_j: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -121,6 +137,9 @@ class CampaignPoint:
             "p50_s": self.p50_s,
             "p99_s": self.p99_s,
             "p999_s": self.p999_s,
+            "energy_per_inference_j": self.energy_per_inference_j,
+            "p99_energy_j": self.p99_energy_j,
+            "total_energy_j": self.total_energy_j,
         }
 
 
@@ -151,6 +170,99 @@ class CampaignReport:
             for p in sorted(pts, key=lambda p: p.load)
         ]
 
+    def pareto_frontier(
+        self, process: str, load: float
+    ) -> list[dict]:
+        """The energy–latency trade-off across platforms at one point.
+
+        For each accelerator's (``process``, ``load``) measurement,
+        reports joules-per-inference against p99 serve time and marks
+        whether the platform is **Pareto-optimal** (no other platform
+        is at least as good on both axes and strictly better on one).
+        Sorted by energy-per-inference, so the frontier reads left to
+        right as "cheapest joules" → "fastest tail".
+        """
+        pts = [
+            p
+            for p in self.points
+            if p.process == process and p.load == load
+        ]
+        if not pts:
+            raise KeyError(f"no points for {process!r} at load {load}")
+        out = []
+        for p in pts:
+            dominated = any(
+                other.energy_per_inference_j <= p.energy_per_inference_j
+                and other.p99_s <= p.p99_s
+                and (
+                    other.energy_per_inference_j
+                    < p.energy_per_inference_j
+                    or other.p99_s < p.p99_s
+                )
+                for other in pts
+                if other is not p
+            )
+            out.append(
+                {
+                    "accelerator": p.accelerator,
+                    "process": process,
+                    "load": load,
+                    "energy_per_inference_j": p.energy_per_inference_j,
+                    "p99_s": p.p99_s,
+                    "goodput_rps": p.goodput_rps,
+                    "on_frontier": not dominated,
+                }
+            )
+        return sorted(
+            out, key=lambda e: (e["energy_per_inference_j"], e["p99_s"])
+        )
+
+    def energy_ratio(
+        self, baseline: str, against: str, process: str, load: float
+    ) -> float:
+        """``against``'s joules-per-inference over ``baseline``'s at
+        one (process, load) point — e.g. A100-over-Lightning, the
+        fleet-level Fig 22 savings figure."""
+        def point(name: str) -> CampaignPoint:
+            for p in self.points:
+                if (
+                    p.accelerator == name
+                    and p.process == process
+                    and p.load == load
+                ):
+                    return p
+            raise KeyError(
+                f"no point for {name!r} x {process!r} at load {load}"
+            )
+
+        base = point(baseline).energy_per_inference_j
+        if base <= 0:
+            raise ValueError(f"{baseline!r} charged no energy")
+        return point(against).energy_per_inference_j / base
+
+    def render_pareto(self) -> str:
+        """A readable energy–latency frontier per (process, load)."""
+        lines = ["energy-latency Pareto frontier (per process x load)"]
+        seen: list[tuple[str, float]] = []
+        for p in sorted(
+            self.points, key=lambda p: (p.process, p.load)
+        ):
+            key = (p.process, p.load)
+            if key in seen:
+                continue
+            seen.append(key)
+            lines.append(f"-- {p.process} @ load {p.load:.2f}")
+            for entry in self.pareto_frontier(*key):
+                marker = "*" if entry["on_frontier"] else " "
+                lines.append(
+                    f" {marker} {entry['accelerator']:<14} "
+                    f"{entry['energy_per_inference_j'] * 1e3:>10.4f}mJ "
+                    f"{entry['p99_s'] * 1e6:>10.1f}us "
+                    f"{entry['goodput_rps']:>10.0f}/s"
+                )
+        lines.append("(* = Pareto-optimal: no platform beats it on both axes)")
+        return "\n".join(lines)
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(
             {
@@ -169,7 +281,7 @@ class CampaignReport:
             f"seed {self.seed})",
             f"{'accelerator':<14} {'process':<14} {'load':>5} "
             f"{'goodput':>12} {'slo%':>6} "
-            f"{'p50':>10} {'p99':>10} {'p999':>10}",
+            f"{'p50':>10} {'p99':>10} {'p999':>10} {'J/inf':>12}",
         ]
         for p in sorted(
             self.points,
@@ -179,7 +291,8 @@ class CampaignReport:
                 f"{p.accelerator:<14} {p.process:<14} {p.load:>5.2f} "
                 f"{p.goodput_rps:>10.0f}/s {p.slo_attainment:>5.1%} "
                 f"{p.p50_s * 1e6:>8.1f}us {p.p99_s * 1e6:>8.1f}us "
-                f"{p.p999_s * 1e6:>8.1f}us"
+                f"{p.p999_s * 1e6:>8.1f}us "
+                f"{p.energy_per_inference_j * 1e3:>10.4f}mJ"
             )
         return "\n".join(lines)
 
@@ -246,6 +359,7 @@ class Campaign:
                     p50, p99, p999 = result.percentiles(
                         [50, 99, 99.9]
                     )
+                    p99_energy = result.energy_percentiles([99])[0]
                     points.append(
                         CampaignPoint(
                             accelerator=accelerator.name,
@@ -266,6 +380,11 @@ class Campaign:
                             p50_s=p50,
                             p99_s=p99,
                             p999_s=p999,
+                            energy_per_inference_j=(
+                                result.energy_per_inference_j
+                            ),
+                            p99_energy_j=p99_energy,
+                            total_energy_j=result.total_energy_j,
                         )
                     )
         return CampaignReport(

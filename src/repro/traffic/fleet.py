@@ -34,6 +34,16 @@ p999 without retaining records.  Goodput is *SLO goodput*: served
 requests whose serve time met the SLO, per second of horizon — the
 metric under which accept-all collapses at overload while backpressure
 degrades gracefully.
+
+Energy rides the same spine: every served request is priced by the
+accelerator's :class:`~repro.core.energy.EnergyModel` (the paper's
+three-source formula) into an
+:class:`~repro.core.stats.EnergyLedger`, so each campaign point
+reports exact joules-per-inference and tail-exact energy percentiles
+alongside its latency curve — the raw material of the fleet-level
+energy–latency Pareto frontier.  The accounting invariant itself is
+enforced by the shared :func:`~repro.core.stats.check_accounting`
+helper rather than a local re-implementation.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.energy import EnergyModel
+from ..core.stats import EnergyLedger, check_accounting
 from ..sim.accelerators import AcceleratorSpec
 from ..sim.simulator import StreamedSummary
 from .admission import AdmissionController
@@ -150,16 +162,25 @@ class FleetResult:
     #: Last completion time (seconds on the virtual clock).
     horizon_s: float
     summary: StreamedSummary
+    #: Per-request joules (exact totals per model + tail-exact
+    #: percentiles), priced by the accelerator's EnergyModel.
+    energy: EnergyLedger
 
     def check_invariant(self) -> None:
-        """Every offered request has exactly one fate."""
-        total = self.served + self.shed + self.dropped + self.unfinished
-        if total != self.offered:
-            raise AssertionError(
-                f"accounting violated: served={self.served} + "
-                f"shed={self.shed} + dropped={self.dropped} + "
-                f"unfinished={self.unfinished} != offered={self.offered}"
-            )
+        """Every offered request has exactly one fate.
+
+        Delegates to :func:`repro.core.stats.check_accounting`, the
+        invariant spine shared with the cluster, fabric, and gateway
+        (the fleet engine has no failed/failed-over fates — analytic
+        cores never crash)."""
+        check_accounting(
+            offered=self.offered,
+            served=self.served,
+            dropped=self.dropped,
+            unfinished=self.unfinished,
+            shed=self.shed,
+            stolen=self.stolen,
+        )
 
     @property
     def throughput_rps(self) -> float:
@@ -185,6 +206,20 @@ class FleetResult:
     def percentiles(self, qs: list[float]) -> list[float]:
         """Serve-time percentiles (tail-exact where covered)."""
         return self.summary.reservoir.percentiles(qs)
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        """Exact mean joules per served request."""
+        return self.energy.mean_joules
+
+    @property
+    def total_energy_j(self) -> float:
+        """Exact total joules charged across every served request."""
+        return self.energy.total_joules
+
+    def energy_percentiles(self, qs: list[float]) -> list[float]:
+        """Per-request energy percentiles (tail-exact where covered)."""
+        return self.energy.percentiles(qs)
 
 
 def serve_open_loop(
@@ -223,6 +258,18 @@ def serve_open_loop(
     datapath = [accelerator.datapath_seconds(m) for m in models]
     compute = [accelerator.compute_seconds(m) for m in models]
     names = [m.name for m in models]
+    energy_model = EnergyModel.from_accelerator(accelerator)
+    # A model's datapath and compute energy are fixed; only queuing
+    # varies per request.  ``base + t_q * dram`` is bit-identical to
+    # ``EnergyModel.energy(t_d, t_q, t_c)`` (x + 0.0 == x), so the hot
+    # loop charges the shared formula without re-pricing the constants.
+    base_energy = [
+        energy_model.energy(d, 0.0, c)
+        for d, c in zip(datapath, compute)
+    ]
+    dram_watts = energy_model.dram_power_watts
+    energy = EnergyLedger()
+    charge = energy.charge
 
     num_shards = spec.num_shards
     shard_range = range(num_shards)
@@ -275,6 +322,7 @@ def serve_open_loop(
         if serve_s <= slo_s:
             slo_served += 1
         observe(names[model], datapath[model], start - ready, compute[model], done)
+        charge(names[model], base_energy[model] + (start - ready) * dram_watts)
 
     for chunk in traffic.chunks(total, chunk_size):
         times = chunk.times.tolist()
@@ -303,6 +351,7 @@ def serve_open_loop(
                 if done - t <= slo_s:
                     slo_served += 1
                 observe(names[model], datapath[model], 0.0, compute[model], done)
+                charge(names[model], base_energy[model])
                 continue
             best = min(shard_range, key=lambda s: len(queues[s]))
             if len(queues[best]) >= queue_cap:
@@ -332,6 +381,7 @@ def serve_open_loop(
         slo_served=slo_served,
         horizon_s=horizon,
         summary=summary,
+        energy=energy,
     )
     result.check_invariant()
     return result

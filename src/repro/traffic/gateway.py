@@ -49,6 +49,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from ..core.energy import EnergyModel
 from ..fabric.fabric import Fabric, FabricResult
 from ..fabric.lifecycle import FAILOVER_DROP, OutageBook
 from ..fabric.router import ShardView
@@ -140,6 +141,7 @@ def serve_fabric_open_loop(
     admission: AdmissionController | None = None,
     steal: bool = True,
     slo_book: SLOBook | None = None,
+    energy_model: EnergyModel | None = None,
     **serve_kwargs,
 ) -> FabricResult:
     """Serve an open-loop trace through a fabric behind admission.
@@ -150,7 +152,12 @@ def serve_fabric_open_loop(
     read *here*, as the :class:`~repro.fabric.lifecycle.OutageBook`
     health feed behind the routing views.  ``slo_book`` enables
     deadline-aware shedding: a request whose projected wait already
-    blows its class deadline is shed at admission.  The returned
+    blows its class deadline is shed at admission.  With an
+    ``energy_model`` too, requests whose class carries an energy
+    budget are additionally priced forward — projected service at
+    accelerator power plus projected wait at DRAM power — and shed
+    when the budget is already blown (tallied under
+    ``admission.shed_reasons["energy_budget"]``).  The returned
     result's ``offered`` counts the *full* open-loop trace; ``shed``
     and ``failed_over`` requests never reach a shard and are charged
     to the invariant.
@@ -265,16 +272,29 @@ def serve_fabric_open_loop(
                 stolen += 1
         if slo_book is not None:
             deadline = slo_book.deadline_for(request.model_id)
-            if deadline is not None:
+            budget = slo_book.energy_budget_for(request.model_id)
+            if deadline is not None or budget is not None:
                 service = estimates[target].get(
                     request.model_id, fallbacks[target]
                 )
                 wait = projections[target].wait_estimate(now_s)
-                if wait + service > deadline:
+                if deadline is not None and wait + service > deadline:
                     # Admitted by quota, unmeetable by deadline: shed
                     # at the NIC instead of wasting a queue slot.
-                    admission.shed_admitted()
+                    admission.shed_admitted("deadline")
                     continue
+                if budget is not None and energy_model is not None:
+                    # The pre-pass sees no t_d/t_c split, so the whole
+                    # projected service is priced at accelerator power
+                    # and the projected wait at DRAM power — the same
+                    # three-source formula the shard will charge.
+                    projected_j = (
+                        service * energy_model.power_watts
+                        + wait * energy_model.dram_power_watts
+                    )
+                    if projected_j > budget:
+                        admission.shed_admitted("energy_budget")
+                        continue
         routed_counts[target] += 1
         projections[target].charge(
             now_s,

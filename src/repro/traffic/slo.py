@@ -1,29 +1,39 @@
-"""Per-model SLO classes and deadline-aware grading.
+"""Per-model SLO classes and deadline/energy-aware grading.
 
 One latency bar for a whole zoo misgrades everyone: LeNet-class
 models answer in microseconds while GPT-2-class stragglers need
 milliseconds, so a single fleet-wide deadline either sheds every
 large-model request as hopeless or lets small-model latency rot
 unnoticed.  An :class:`SLOBook` maps each model id to an
-:class:`SLOClass` with its own deadline, which the open-loop gateway
-uses two ways:
+:class:`SLOClass` with its own deadline — and, optionally, its own
+**energy budget** (joules per inference, the paper's headline axis) —
+which the open-loop gateway uses three ways:
 
 * **Deadline-aware shedding** — at admission time the gateway knows
   each shard's projected queue wait; a request whose projected finish
   already blows its class deadline is shed at the NIC (charged to
   ``shed``), before it wastes a queue slot it cannot convert into
   goodput.
+* **Energy-aware shedding** — with an
+  :class:`~repro.core.energy.EnergyModel`, the gateway prices each
+  request's projected serve (service time at accelerator power plus
+  projected wait at DRAM power) and sheds requests whose class energy
+  budget is already blown, so a congested fleet stops burning joules
+  on requests it would rather not serve.
 * **Per-class grading** — :meth:`SLOBook.grade` scores a
   :class:`~repro.fabric.fabric.FabricResult` per class, so a GPT-2
   straggler is judged on the GPT-2 curve and a LeNet request on the
-  LeNet curve, and :meth:`SLOBook.goodput` counts only completions
-  that met *their own* deadline.
+  LeNet curve; given an energy model it additionally grades each
+  class's completions against its energy budget, and
+  :meth:`SLOBook.goodput` counts only completions that met *their
+  own* deadline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.energy import EnergyModel
 from ..fabric.fabric import FabricResult
 
 __all__ = ["SLOClass", "SLOReport", "SLOBook"]
@@ -31,14 +41,21 @@ __all__ = ["SLOClass", "SLOReport", "SLOBook"]
 
 @dataclass(frozen=True)
 class SLOClass:
-    """One service class: a name and its serve-time deadline."""
+    """One service class: a name, a serve-time deadline, and an
+    optional per-inference energy budget (``None`` = unbudgeted)."""
 
     name: str
     deadline_s: float
+    #: Joules a single inference of this class may cost before it
+    #: stops counting as energy-compliant (and, at the gateway,
+    #: before it is shed rather than served).
+    energy_budget_j: float | None = None
 
     def __post_init__(self) -> None:
         if self.deadline_s <= 0:
             raise ValueError("an SLO deadline must be positive")
+        if self.energy_budget_j is not None and self.energy_budget_j <= 0:
+            raise ValueError("an SLO energy budget must be positive")
 
 
 @dataclass(frozen=True)
@@ -48,6 +65,9 @@ class SLOReport:
     slo_class: SLOClass
     served: int
     met: int
+    #: Completions inside the class's energy budget; ``None`` when the
+    #: serve was not energy-graded (no energy model supplied).
+    energy_met: int | None = None
 
     @property
     def attainment(self) -> float:
@@ -56,6 +76,18 @@ class SLOReport:
         if self.served == 0:
             return 1.0
         return self.met / self.served
+
+    @property
+    def energy_attainment(self) -> float | None:
+        """Fraction of completions inside the class's energy budget.
+
+        1.0 for an unbudgeted class or one that saw no traffic;
+        ``None`` when the serve was not energy-graded."""
+        if self.slo_class.energy_budget_j is None or self.served == 0:
+            return 1.0
+        if self.energy_met is None:
+            return None
+        return self.energy_met / self.served
 
 
 class SLOBook:
@@ -68,13 +100,14 @@ class SLOBook:
     def assign(self, model_id: int, slo_class: SLOClass) -> None:
         """Put one model into one class (re-assignment allowed; the
         class is interned by name, so two classes sharing a name must
-        share a deadline)."""
+        share a deadline and energy budget)."""
         existing = self._classes.get(slo_class.name)
         if existing is not None and existing != slo_class:
             raise ValueError(
                 f"SLO class {slo_class.name!r} is already defined "
-                f"with deadline {existing.deadline_s}, not "
-                f"{slo_class.deadline_s}"
+                f"with deadline {existing.deadline_s} and energy "
+                f"budget {existing.energy_budget_j}, not "
+                f"({slo_class.deadline_s}, {slo_class.energy_budget_j})"
             )
         self._classes[slo_class.name] = slo_class
         self._assignments[model_id] = slo_class.name
@@ -89,16 +122,30 @@ class SLOBook:
         slo_class = self.class_of(model_id)
         return slo_class.deadline_s if slo_class is not None else None
 
-    def grade(self, result: FabricResult) -> dict[str, SLOReport]:
+    def energy_budget_for(self, model_id: int) -> float | None:
+        """The model's per-inference energy budget, or ``None``."""
+        slo_class = self.class_of(model_id)
+        return (
+            slo_class.energy_budget_j if slo_class is not None else None
+        )
+
+    def grade(
+        self,
+        result: FabricResult,
+        energy_model: EnergyModel | None = None,
+    ) -> dict[str, SLOReport]:
         """Score one serve per class (unclassified records skipped).
 
         A record is graded against the class of its *public* model id
         — version aliases map back through the serving fabric before
         grading, so callers grading a versioned serve should assign
-        classes by public id only.
+        classes by public id only.  With an ``energy_model``, each
+        record's t_q/t_d/t_c is priced through the shared three-source
+        formula and graded against its class's energy budget.
         """
         served: dict[str, int] = {name: 0 for name in self._classes}
         met: dict[str, int] = {name: 0 for name in self._classes}
+        energy_met: dict[str, int] = {name: 0 for name in self._classes}
         for record in result.records():
             slo_class = self.class_of(record.request.model_id)
             if slo_class is None:
@@ -106,11 +153,27 @@ class SLOBook:
             served[slo_class.name] += 1
             if record.serve_time_s <= slo_class.deadline_s:
                 met[slo_class.name] += 1
+            if (
+                energy_model is not None
+                and (
+                    slo_class.energy_budget_j is None
+                    or energy_model.energy(
+                        datapath_s=record.datapath_s,
+                        queuing_s=record.queuing_s,
+                        compute_s=record.compute_s,
+                    )
+                    <= slo_class.energy_budget_j
+                )
+            ):
+                energy_met[slo_class.name] += 1
         return {
             name: SLOReport(
                 slo_class=self._classes[name],
                 served=served[name],
                 met=met[name],
+                energy_met=(
+                    energy_met[name] if energy_model is not None else None
+                ),
             )
             for name in self._classes
         }

@@ -1,0 +1,203 @@
+"""The energy spine: EnergyModel, EnergyLedger, and check_accounting.
+
+The three-source formula (compute at accelerator power, datapath at
+chip/NIC power, queuing at DRAM power) used to live in two private
+copies inside the simulator; these tests pin the extracted
+:class:`~repro.core.energy.EnergyModel` as the single source of truth
+and the ledger/merge algebra every layer above it relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DRAM_QUEUE_POWER_WATTS, EnergyModel
+from repro.core.stats import EnergyLedger, ServerStats, check_accounting
+from repro.sim import a100_gpu, lightning_chip, p4_gpu
+
+
+class TestEnergyModel:
+    def test_three_source_formula_operation_order(self):
+        """compute + datapath + queue, summed in exactly that order —
+        the bit-compat contract with the old inlined copies."""
+        em = EnergyModel(
+            name="x", power_watts=7.0,
+            datapath_power_watts=3.0, dram_power_watts=2.0,
+        )
+        d, q, c = 0.1, 0.2, 0.3
+        expected = (c * 7.0) + (d * 3.0) + (q * 2.0)
+        assert em.energy(d, q, c) == expected
+
+    def test_from_accelerator_per_layer_prices_datapath_at_chip(self):
+        spec = lightning_chip()
+        assert spec.datapath_kind == "per_layer"
+        em = EnergyModel.from_accelerator(spec)
+        assert em.datapath_power_watts == spec.power_watts
+        assert em.power_watts == spec.power_watts
+        assert em.dram_power_watts == DRAM_QUEUE_POWER_WATTS
+
+    @pytest.mark.parametrize("make_spec", [a100_gpu, p4_gpu])
+    def test_from_accelerator_table_prices_datapath_at_nic(
+        self, make_spec
+    ):
+        spec = make_spec()
+        em = EnergyModel.from_accelerator(spec)
+        assert em.datapath_power_watts == spec.nic_power_watts
+
+    def test_lightning_sources_synthesis_rollup(self):
+        """EnergyModel.lightning() prices at the Tables 1-3 synthesis
+        rollup, not the rounded Table 6 spec constant."""
+        from repro.synthesis.chip import LightningChip
+
+        em = EnergyModel.lightning()
+        total = LightningChip().total_power_watts
+        assert em.power_watts == total
+        assert em.datapath_power_watts == total
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EnergyModel(
+                name="bad", power_watts=-1.0, datapath_power_watts=0.0
+            )
+        with pytest.raises(ValueError, match="negative"):
+            EnergyModel(
+                name="bad", power_watts=1.0, datapath_power_watts=-0.5
+            )
+        with pytest.raises(ValueError, match="negative"):
+            EnergyModel(
+                name="bad", power_watts=1.0,
+                datapath_power_watts=0.0, dram_power_watts=-3.0,
+            )
+
+    @given(
+        d=st.floats(0, 1e-3, allow_nan=False),
+        q=st.floats(0, 1e-3, allow_nan=False),
+        c=st.floats(0, 1e-3, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_base_plus_queue_bit_equals_full_formula(self, d, q, c):
+        """The fleet hot-loop identity: pre-pricing the load-invariant
+        part and adding queue energy later is bit-identical to the full
+        three-source call (x + 0.0 == x for non-negative x)."""
+        em = EnergyModel.lightning()
+        base = em.energy(d, 0.0, c)
+        assert base + q * em.dram_power_watts == em.energy(d, q, c)
+
+
+# Integer-valued floats <= 2**53 add exactly, so sums are associative
+# and the additivity/order-invariance assertions below can demand
+# bitwise equality instead of tolerances.
+exact_joules = st.integers(min_value=0, max_value=2**30).map(float)
+charge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), exact_joules),
+    min_size=0,
+    max_size=60,
+)
+
+
+def ledger_of(charges) -> EnergyLedger:
+    ledger = EnergyLedger()
+    for model, joules in charges:
+        ledger.charge(model, joules)
+    return ledger
+
+
+class TestEnergyLedger:
+    def test_empty_summary_is_empty(self):
+        assert EnergyLedger().summary() == {}
+        with pytest.raises(ValueError, match="no samples"):
+            EnergyLedger().mean_joules
+
+    def test_charge_and_percentiles(self):
+        ledger = ledger_of((0, float(j)) for j in range(1, 101))
+        assert ledger.count == 100
+        assert ledger.total_joules == sum(range(1, 101))
+        p50, p99 = ledger.percentiles([50, 99])
+        assert p50 == pytest.approx(50.5)
+        assert p99 > p50
+        summary = ledger.summary()
+        assert summary["energy_count"] == 100
+        assert summary["mean_energy_j"] == ledger.mean_joules
+
+    @given(charges=charge_lists, split=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_additive(self, charges, split):
+        """Sharded charging then merging equals single-ledger charging:
+        exact counts, exact per-model sums, exact totals."""
+        split = min(split, len(charges))
+        merged = ledger_of(charges[:split])
+        merged.merge(ledger_of(charges[split:]))
+        whole = ledger_of(charges)
+        assert merged.count == whole.count
+        assert merged.total_joules == whole.total_joules
+        assert merged.per_model_joules == whole.per_model_joules
+        assert merged.per_model_count == whole.per_model_count
+
+    @given(charges=charge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_percentiles_order_invariant(self, charges):
+        """Below reservoir capacity the percentile path is exact, so
+        any merge order of the same charges reports identical tails."""
+        split = len(charges) // 2
+        ab = ledger_of(charges[:split])
+        ab.merge(ledger_of(charges[split:]))
+        ba = ledger_of(charges[split:])
+        ba.merge(ledger_of(charges[:split]))
+        assert ab.summary() == ba.summary()
+        if charges:
+            qs = [50, 99, 99.9]
+            assert ab.percentiles(qs) == ba.percentiles(qs)
+
+
+class TestServerStatsEnergy:
+    def test_record_energy_feeds_summary(self):
+        stats = ServerStats()
+        stats.record(1, 1e-3)
+        stats.record_energy(1, 2.5)
+        summary = stats.summary()
+        assert summary["energy_count"] == 1
+        assert summary["energy_j"] == 2.5
+
+    @given(charges=charge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_merge_carries_energy_and_counters(self, charges):
+        split = len(charges) // 2
+        parts = []
+        for chunk in (charges[:split], charges[split:]):
+            stats = ServerStats()
+            for model, joules in chunk:
+                stats.record(model, 1e-6)
+                stats.record_energy(model, joules)
+            stats.offered = len(chunk)
+            parts.append(stats)
+        merged = ServerStats()
+        merged.merge(parts[0])
+        merged.merge(parts[1])
+        whole = ledger_of(charges)
+        assert merged.energy.total_joules == whole.total_joules
+        assert merged.energy.per_model_joules == whole.per_model_joules
+        assert merged.offered == len(charges)
+        merged.served = len(charges)
+        merged.accounted()  # raises on violation
+
+
+class TestCheckAccounting:
+    def test_exact_balance_passes(self):
+        check_accounting(
+            offered=10, served=6, dropped=1, failed=1,
+            unfinished=0, shed=1, failed_over=1,
+        )
+
+    def test_imbalance_raises(self):
+        with pytest.raises(ValueError, match="accounting"):
+            check_accounting(offered=10, served=9)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_accounting(offered=1, served=2, dropped=-1)
+
+    def test_stolen_bounded_by_served(self):
+        with pytest.raises(ValueError, match="stolen"):
+            check_accounting(offered=2, served=2, stolen=3)

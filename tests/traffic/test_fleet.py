@@ -75,7 +75,7 @@ class TestAccounting:
         good = serve_open_loop(traffic(mix, cap), 1_000, spec)
         from dataclasses import replace
 
-        with pytest.raises(AssertionError, match="accounting"):
+        with pytest.raises(ValueError, match="accounting"):
             replace(good, served=good.served - 1).check_invariant()
 
 
